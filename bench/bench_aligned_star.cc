@@ -1,0 +1,109 @@
+// Experiment E8 (DESIGN.md): ablation of aligned-tiling '*' configurations
+// — the Figure 4 scenario. A 3-D object is accessed frame by frame
+// (sections y = c, i.e. full x/z planes); the paper prescribes tile
+// configuration [*,1,*] for this access pattern and warns that such tiling
+// "should only be adopted when there are very clear directional
+// preferences, since performance is severely degraded for almost all other
+// types of access".
+//
+// This bench runs frame sections AND the orthogonal sections x = c against
+// regular tiling, the prescribed [*,1,*], and the mis-tuned [1,*,1].
+//
+// Flags: --runs=N (default 3), --frames=N sections per pattern (default 8).
+
+#include <cstdio>
+#include <memory>
+
+#include "common/bench_util.h"
+#include "common/random.h"
+#include "tiling/aligned.h"
+
+namespace tilestore {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  RunOptions options;
+  options.runs = FlagInt(argc, argv, "runs", 3);
+  const int sections = FlagInt(argc, argv, "frames", 8);
+
+  // A 256^3 1-byte object (16.7 MiB), e.g. a volume scan.
+  const MInterval domain({{0, 255}, {0, 255}, {0, 255}});
+  std::fprintf(stderr, "building 256^3 volume (16.7 MiB)...\n");
+  Array volume = Array::Create(domain, CellType::Of(CellTypeId::kUInt8))
+                     .MoveValue();
+  Random fill(7);
+  for (size_t i = 0; i < volume.size_bytes(); ++i) {
+    volume.mutable_data()[i] = static_cast<uint8_t>(fill.Next());
+  }
+
+  const uint64_t max_bytes = 64 * 1024;
+  std::vector<Scheme> schemes = {
+      {"Reg64K",
+       std::make_shared<AlignedTiling>(AlignedTiling::Regular(3, max_bytes)),
+       max_bytes},
+      {"Star[*,1,*]",
+       std::make_shared<AlignedTiling>(TileConfig::Parse("[*,1,*]").value(),
+                                       max_bytes),
+       max_bytes},
+      {"Star[1,*,1]",
+       std::make_shared<AlignedTiling>(TileConfig::Parse("[1,*,1]").value(),
+                                       max_bytes),
+       max_bytes},
+  };
+
+  std::vector<BenchQuery> queries;
+  Random rng(11);
+  for (int i = 0; i < sections; ++i) {
+    const Coord c = rng.UniformInt(0, 255);
+    queries.push_back(BenchQuery{
+        "y" + std::to_string(i),
+        MInterval({{0, 255}, {c, c}, {0, 255}}),
+        "frame section y=" + std::to_string(c)});
+  }
+  for (int i = 0; i < sections; ++i) {
+    const Coord c = rng.UniformInt(0, 255);
+    queries.push_back(BenchQuery{
+        "x" + std::to_string(i),
+        MInterval({{c, c}, {0, 255}, {0, 255}}),
+        "orthogonal section x=" + std::to_string(c)});
+  }
+
+  std::vector<SchemeResult> results =
+      RunSchemes(volume, schemes, queries, options);
+
+  std::printf("=== E8: aligned '*' configurations (Figure 4 scenario) ===\n");
+  PrintSchemeTable(results);
+
+  // Aggregate per access pattern.
+  std::printf("\n%-14s %18s %18s\n", "scheme", "avg frame t_total",
+              "avg ortho t_total");
+  for (const SchemeResult& result : results) {
+    double frame_ms = 0, ortho_ms = 0;
+    int frames = 0, orthos = 0;
+    for (const QueryResult& qr : result.queries) {
+      if (qr.query[0] == 'y') {
+        frame_ms += qr.stats.total_cpu_model_ms();
+        ++frames;
+      } else {
+        ortho_ms += qr.stats.total_cpu_model_ms();
+        ++orthos;
+      }
+    }
+    std::printf("%-14s %18.1f %18.1f\n", result.scheme.c_str(),
+                frames > 0 ? frame_ms / frames : 0,
+                orthos > 0 ? ortho_ms / orthos : 0);
+  }
+  std::printf(
+      "\nexpected: Star[*,1,*] fastest on frame sections, severely degraded "
+      "on orthogonal sections; Reg64K balanced.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tilestore
+
+int main(int argc, char** argv) {
+  return tilestore::bench::Main(argc, argv);
+}

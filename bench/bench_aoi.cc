@@ -1,0 +1,113 @@
+// Experiments E6, E7 and E10 (DESIGN.md): Section 6.2 of the paper —
+// tiling according to areas of interest vs regular tiling on a 3-D RGB
+// animation sequence.
+//
+// Reproduces:
+//   Table 5  — object, areas of interest, schemes and query set,
+//   Table 6  — speedup of AI256K over Reg64K per time component,
+//   Figure 8 — time components for queries a..d under AI256K and Reg64K.
+// Ablation E10: --no-merge adds AI256K-nm (merge step disabled).
+//
+// Flags: --runs=N (default 3), --no-merge, --measured, --keep.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/bench_util.h"
+#include "tiling/aligned.h"
+#include "tiling/areas_of_interest.h"
+
+namespace tilestore {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  RunOptions options;
+  options.runs = FlagInt(argc, argv, "runs", 3);
+  options.keep_files = FlagBool(argc, argv, "keep");
+  const bool measured = FlagBool(argc, argv, "measured");
+  const bool no_merge = FlagBool(argc, argv, "no-merge");
+
+  std::fprintf(stderr, "building animation (Table 5, 6.8 MiB)...\n");
+  Array animation = MakeAnimation();
+  const std::vector<MInterval> areas = {AnimationHeadArea(),
+                                        AnimationBodyArea()};
+
+  std::vector<Scheme> schemes;
+  for (uint64_t kb : {32, 64, 128, 256}) {
+    const uint64_t max_bytes = kb * 1024;
+    schemes.push_back(
+        Scheme{"Reg" + std::to_string(kb) + "K",
+               std::make_shared<AlignedTiling>(
+                   AlignedTiling::Regular(3, max_bytes)),
+               max_bytes});
+  }
+  for (uint64_t kb : {32, 64, 128, 256}) {
+    const uint64_t max_bytes = kb * 1024;
+    schemes.push_back(
+        Scheme{"AI" + std::to_string(kb) + "K",
+               std::make_shared<AreasOfInterestTiling>(areas, max_bytes),
+               max_bytes});
+  }
+  if (no_merge) {
+    auto strategy =
+        std::make_shared<AreasOfInterestTiling>(areas, 256 * 1024);
+    strategy->DisableMerge();
+    schemes.push_back(Scheme{"AI256K-nm", strategy, 256 * 1024});
+  }
+
+  // Table 5's queries: the two areas of interest (the access pattern) and
+  // two "unexpected" queries.
+  const std::vector<BenchQuery> queries = {
+      {"a", AnimationHeadArea(), "area of interest 1 (523 KB)"},
+      {"b", AnimationBodyArea(), "area of interest 2 (2.6 MB)"},
+      {"c", MInterval({{0, 60}, {0, 159}, {0, 119}}),
+       "first 61 frames (3.6 MB, unexpected)"},
+      {"d", MInterval({{0, 120}, {0, 159}, {0, 119}}),
+       "whole array (6.8 MB, unexpected)"},
+  };
+
+  std::printf("=== E6: test setup (Table 5) ===\n");
+  std::printf("  object      %s, rgb8 cells (%.1f MiB)\n",
+              animation.domain().ToString().c_str(),
+              static_cast<double>(animation.size_bytes()) / (1024 * 1024));
+  std::printf("  interest 1  %s\n", AnimationHeadArea().ToString().c_str());
+  std::printf("  interest 2  %s\n", AnimationBodyArea().ToString().c_str());
+  for (const BenchQuery& query : queries) {
+    std::printf("  query %-2s    %-22s %s\n", query.name.c_str(),
+                query.region.ToString().c_str(), query.comment.c_str());
+  }
+
+  std::vector<SchemeResult> results =
+      RunSchemes(animation, schemes, queries, options);
+
+  std::printf("\n=== tiling schemes ===\n");
+  PrintSchemeTable(results);
+
+  std::printf("\n=== per-query time components, 1997-disk model (ms) ===\n");
+  PrintTimesTable(results);
+  if (measured) {
+    std::printf("\n=== per-query measured wall clock (ms) ===\n");
+    PrintTimesTable(results, /*measured=*/true);
+  }
+
+  std::printf("\n=== E7: Table 6 — speedup of AI256K over Reg64K ===\n");
+  PrintSpeedupTable(results, "AI256K", "Reg64K");
+
+  std::printf("\n=== E7: Figure 8 — components for all queries ===\n");
+  PrintComponentsFigure(results, {"a", "b", "c", "d"}, {"AI256K", "Reg64K"});
+
+  if (no_merge) {
+    std::printf("\n=== E10: merge ablation — AI256K vs AI256K-nm ===\n");
+    PrintSpeedupTable(results, "AI256K", "AI256K-nm");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tilestore
+
+int main(int argc, char** argv) {
+  return tilestore::bench::Main(argc, argv);
+}

@@ -1,0 +1,132 @@
+// Experiments E1-E4 (DESIGN.md): Section 6.1 of the paper — directional
+// tiling vs regular tiling on the 3-D sales data cube.
+//
+// Reproduces:
+//   Table 1/2 — the data cube and the tiling schemes (tile counts printed),
+//   Table 3   — the query set a..j,
+//   Table 4   — speedups of Dir64K3P over Reg32K for t_o, t_totalaccess,
+//               t_totalcpu,
+//   Figure 7  — time components for queries e, f, g.
+//
+// Flags: --runs=N (default 3), --quick (only Reg32K + Dir64K3P),
+//        --measured (also print wall-clock table), --keep (keep db files).
+
+#include <cstdio>
+#include <memory>
+
+#include "common/bench_util.h"
+#include "tiling/aligned.h"
+#include "tiling/directional.h"
+
+namespace tilestore {
+namespace bench {
+namespace {
+
+std::vector<BenchQuery> Table3Queries() {
+  auto q = [](const char* name, const char* region, const char* comment) {
+    return BenchQuery{name, MInterval::Parse(region).value(), comment};
+  };
+  return {
+      q("a", "[32:59,28:42,28:35]", "1 month, 1 class, 1 district"),
+      q("b", "[32:59,*:*,28:35]", "1 month, all, 1 district"),
+      q("c", "[32:59,28:42,*:*]", "1 month, 1 class, all"),
+      q("d", "[*:*,28:42,28:35]", "all, 1 class, 1 district"),
+      q("e", "[32:59,*:*,*:*]", "1 month, all, all"),
+      q("f", "[*:*,*:*,28:35]", "all, all, 1 district"),
+      q("g", "[*:*,28:42,*:*]", "all, 1 class, all"),
+      q("h", "[182:365,*:*,*:*]", "6 months, all, all"),
+      q("i", "[32:396,*:*,*:*]", "12 months, all, all"),
+      q("j", "[28:34,*:*,*:*]", "1 week (unexpected), all, all"),
+  };
+}
+
+std::vector<Scheme> MakeSchemes(const SalesCubeSpec& spec, bool quick) {
+  std::vector<Scheme> schemes;
+  auto add_regular = [&](const char* name, uint64_t max_bytes) {
+    schemes.push_back(Scheme{
+        name, std::make_shared<AlignedTiling>(AlignedTiling::Regular(
+                  3, max_bytes)),
+        max_bytes});
+  };
+  auto add_directional = [&](const char* name, uint64_t max_bytes,
+                             bool three_partitions) {
+    std::vector<AxisPartition> partitions = {spec.Months(), spec.Districts()};
+    if (three_partitions) partitions.push_back(spec.ProductClasses());
+    schemes.push_back(Scheme{
+        name,
+        std::make_shared<DirectionalTiling>(std::move(partitions), max_bytes),
+        max_bytes});
+  };
+
+  if (quick) {
+    add_regular("Reg32K", 32 * 1024);
+    add_directional("Dir64K3P", 64 * 1024, true);
+    return schemes;
+  }
+  // Table 2: regular and directional schemes per MaxTileSize.
+  add_regular("Reg32K", 32 * 1024);
+  add_regular("Reg64K", 64 * 1024);
+  add_regular("Reg128K", 128 * 1024);
+  add_regular("Reg256K", 256 * 1024);
+  add_directional("Dir32K2P", 32 * 1024, false);
+  add_directional("Dir64K2P", 64 * 1024, false);
+  add_directional("Dir128K2P", 128 * 1024, false);
+  add_directional("Dir256K2P", 256 * 1024, false);
+  add_directional("Dir32K3P", 32 * 1024, true);
+  add_directional("Dir64K3P", 64 * 1024, true);
+  // (Dir>64K 3P equals Dir64K3P per the paper: all category blocks already
+  // fit in 64 KiB, so larger limits change nothing.)
+  return schemes;
+}
+
+int Main(int argc, char** argv) {
+  RunOptions options;
+  options.runs = FlagInt(argc, argv, "runs", 3);
+  options.keep_files = FlagBool(argc, argv, "keep");
+  const bool quick = FlagBool(argc, argv, "quick");
+  const bool measured = FlagBool(argc, argv, "measured");
+
+  SalesCubeSpec spec;  // the small cube: 730 x 60 x 100, 16.7 MiB
+  std::fprintf(stderr, "building sales cube %s (%.1f MiB)...\n",
+               spec.Domain().ToString().c_str(),
+               static_cast<double>(spec.Domain().CellCountOrDie()) * 4.0 /
+                   (1024 * 1024));
+  Array cube = MakeSalesCube(spec);
+
+  const std::vector<Scheme> schemes = MakeSchemes(spec, quick);
+  const std::vector<BenchQuery> queries = Table3Queries();
+
+  std::printf("=== E2: query set (Table 3) ===\n");
+  for (const BenchQuery& query : queries) {
+    std::printf("  %-2s %-22s  %s\n", query.name.c_str(),
+                query.region.ToString().c_str(), query.comment.c_str());
+  }
+
+  std::vector<SchemeResult> results =
+      RunSchemes(cube, schemes, queries, options);
+
+  std::printf("\n=== E1: tiling schemes (Tables 1/2) ===\n");
+  PrintSchemeTable(results);
+
+  std::printf("\n=== per-query time components, 1997-disk model (ms) ===\n");
+  PrintTimesTable(results);
+  if (measured) {
+    std::printf("\n=== per-query measured wall clock (ms) ===\n");
+    PrintTimesTable(results, /*measured=*/true);
+  }
+
+  std::printf("\n=== E3: Table 4 — speedup of Dir64K3P over Reg32K ===\n");
+  PrintSpeedupTable(results, "Dir64K3P", "Reg32K");
+
+  std::printf("\n=== E4: Figure 7 — components for queries e, f, g ===\n");
+  PrintComponentsFigure(results, {"e", "f", "g"}, {"Dir64K3P", "Reg32K"});
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tilestore
+
+int main(int argc, char** argv) {
+  return tilestore::bench::Main(argc, argv);
+}

@@ -1,0 +1,96 @@
+// Experiment E5 (DESIGN.md): Section 6.1's extended data cubes — the same
+// query set on cubes with one more year, 240 more products and 200 more
+// stores (375 MiB at full scale), comparing only Dir64K3P and Reg32K as
+// the paper does.
+//
+// Expected shape (paper): speedups shrink relative to the small cubes
+// (1.1-2.7 for t_totalaccess) because t_ix grows with the tile count while
+// t_o stays fixed; query d may invert.
+//
+// Flags: --scale=F   fraction of the full extended cube (default 1.0;
+//                    0.25 gives a ~94 MiB cube for quick runs)
+//        --runs=N    cold runs per query (default 2)
+//        --keep      keep the scratch store files
+
+#include <cstdio>
+#include <memory>
+
+#include "common/bench_util.h"
+#include "tiling/aligned.h"
+#include "tiling/directional.h"
+
+namespace tilestore {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  RunOptions options;
+  options.runs = FlagInt(argc, argv, "runs", 2);
+  options.keep_files = FlagBool(argc, argv, "keep");
+  options.pool_pages = 65536;  // 256 MiB pool: still cold-per-query
+  const double scale = FlagDouble(argc, argv, "scale", 1.0);
+
+  // Full extended cube: 3 years x 300 products x 300 stores (Section 6.1:
+  // "one more year, 240 more products and 200 more shops ... 375MB").
+  SalesCubeSpec spec;
+  spec.years = 3;
+  spec.products = scale >= 1.0 ? 300 : static_cast<Coord>(300 * scale);
+  spec.stores = scale >= 1.0 ? 300 : static_cast<Coord>(300 * scale);
+  if (spec.products < 60) spec.products = 60;
+  if (spec.stores < 100) spec.stores = 100;
+
+  const double mib = static_cast<double>(spec.Domain().CellCountOrDie()) *
+                     4.0 / (1024 * 1024);
+  std::fprintf(stderr, "building extended sales cube %s (%.0f MiB)...\n",
+               spec.Domain().ToString().c_str(), mib);
+  Array cube = MakeSalesCube(spec);
+
+  std::vector<Scheme> schemes;
+  schemes.push_back(Scheme{
+      "Reg32K",
+      std::make_shared<AlignedTiling>(AlignedTiling::Regular(3, 32 * 1024)),
+      32 * 1024});
+  schemes.push_back(
+      Scheme{"Dir64K3P",
+             std::make_shared<DirectionalTiling>(
+                 std::vector<AxisPartition>{spec.Months(), spec.Districts(),
+                                            spec.ProductClasses()},
+                 64 * 1024),
+             64 * 1024});
+
+  // The Table 3 query set with the *same absolute regions* as on the
+  // small cubes ('*' replaced by the small cube's bounds): the paper notes
+  // for the extended cubes that "t_o remains the same" while t_ix grows
+  // with the tile count — which requires identical selections.
+  auto q = [](const char* name, const char* region) {
+    return BenchQuery{name, MInterval::Parse(region).value(), ""};
+  };
+  const std::vector<BenchQuery> queries = {
+      q("a", "[32:59,28:42,28:35]"),    q("b", "[32:59,1:60,28:35]"),
+      q("c", "[32:59,28:42,1:100]"),    q("d", "[1:730,28:42,28:35]"),
+      q("e", "[32:59,1:60,1:100]"),     q("f", "[1:730,1:60,28:35]"),
+      q("g", "[1:730,28:42,1:100]"),    q("h", "[182:365,1:60,1:100]"),
+      q("i", "[32:396,1:60,1:100]"),    q("j", "[28:34,1:60,1:100]"),
+  };
+
+  std::printf("=== E5: extended cubes (%.0f MiB), Dir64K3P vs Reg32K ===\n",
+              mib);
+  std::vector<SchemeResult> results =
+      RunSchemes(cube, schemes, queries, options);
+
+  PrintSchemeTable(results);
+  std::printf("\n--- per-query time components, 1997-disk model (ms) ---\n");
+  PrintTimesTable(results);
+  std::printf("\n--- speedups (expect smaller than the 16.7 MiB cube; d may "
+              "invert) ---\n");
+  PrintSpeedupTable(results, "Dir64K3P", "Reg32K");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tilestore
+
+int main(int argc, char** argv) {
+  return tilestore::bench::Main(argc, argv);
+}

@@ -1,0 +1,123 @@
+// Experiment E15 (DESIGN.md): gradual growth — the paper's Section 3
+// scenario of MDD types with unbounded definition domains whose instances
+// grow over time (time series, streaming sensor data).
+//
+// A 2-D series [0:*, 0:255] of float32 cells grows by daily appends of
+// 256 time steps; after each month of appends the bench measures (a) the
+// append cost, (b) a "recent window" query, (c) a full-history column
+// query, under three tilings of the appended batches: time-extended tiles
+// ([*,1]: full batch depth, few sensors), square tiles ([1,1]), and
+// sensor-wide frame tiles ([1,*]: thin in time, all sensors).
+//
+// Expected: append cost stays flat (index inserts are logarithmic) and
+// recent-window queries stay flat as the object grows; the column query
+// grows linearly with history for every tiling and ranks the
+// configurations [*,1] < [1,1] < [1,*] -- the Section 5.1
+// preferential-direction story on a growing object.
+//
+// Flags: --months=N growth epochs (default 12).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "common/bench_util.h"
+#include "common/random.h"
+#include "tiling/aligned.h"
+
+namespace tilestore {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+int Main(int argc, char** argv) {
+  const int months = FlagInt(argc, argv, "months", 12);
+  const Coord kWidth = 256;       // sensors
+  const Coord kBatch = 256;       // time steps appended per day
+  const int kDaysPerMonth = 30;
+
+  for (const char* config : {"[*,1]", "[1,1]", "[1,*]"}) {
+    const std::string path = "/tmp/tilestore_bench_growth.db";
+    (void)RemoveFile(path);
+    MDDStoreOptions store_options;
+    store_options.pool_pages = 32768;
+    auto store = MDDStore::Create(path, store_options).MoveValue();
+    MDDObject* series =
+        store
+            ->CreateMDD("series", MInterval::Parse("[0:*,0:255]").value(),
+                        CellType::Of(CellTypeId::kFloat32))
+            .value();
+    AlignedTiling tiling(TileConfig::Parse(config).value(), 64 * 1024);
+
+    std::printf("=== E15: growth with batch tiling %s ===\n", config);
+    std::printf("%8s %10s %12s %14s %14s %10s\n", "month", "tiles",
+                "append_ms", "window_q_ms", "column_q_ms", "t_ix_ms");
+
+    RangeQueryOptions query_options;
+    query_options.cold = true;
+    RangeQueryExecutor executor(store.get(), query_options);
+    Random rng(55);
+    Coord t = 0;
+    for (int month = 1; month <= months; ++month) {
+      // (a) Appends.
+      const Clock::time_point append_start = Clock::now();
+      for (int day = 0; day < kDaysPerMonth; ++day) {
+        const MInterval batch({{t, t + kBatch - 1}, {0, kWidth - 1}});
+        Array data = Array::Create(batch, series->cell_type()).MoveValue();
+        auto* cells = reinterpret_cast<float*>(data.mutable_data());
+        for (uint64_t i = 0; i < data.cell_count(); ++i) {
+          cells[i] = static_cast<float>(rng.NextDouble());
+        }
+        TilingSpec spec =
+            tiling.ComputeTiling(batch, series->cell_size()).MoveValue();
+        Status st = series->Load(data, spec);
+        if (!st.ok()) {
+          std::fprintf(stderr, "append failed: %s\n", st.ToString().c_str());
+          return 1;
+        }
+        t += kBatch;
+      }
+      const double append_ms = ElapsedMs(append_start);
+
+      // (b) Recent window: the last day across all sensors.
+      QueryStats window_stats;
+      (void)executor.Execute(
+          series, MInterval({{t - kBatch, t - 1}, {0, kWidth - 1}}),
+          &window_stats);
+
+      // (c) One sensor's full history.
+      const Coord sensor = rng.UniformInt(0, kWidth - 1);
+      QueryStats column_stats;
+      (void)executor.Execute(series,
+                             MInterval({{0, t - 1}, {sensor, sensor}}),
+                             &column_stats);
+
+      std::printf("%8d %10zu %12.1f %14.1f %14.1f %10.1f\n", month,
+                  series->tile_count(), append_ms,
+                  window_stats.total_cpu_model_ms(),
+                  column_stats.total_cpu_model_ms(),
+                  column_stats.t_ix_model_ms);
+    }
+    store.reset();
+    (void)RemoveFile(path);
+    std::printf("\n");
+  }
+  std::printf(
+      "expected: appends and window queries flat as the object grows; the "
+      "column query grows with history and ranks [*,1] < [1,1] < [1,*].\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tilestore
+
+int main(int argc, char** argv) {
+  return tilestore::bench::Main(argc, argv);
+}

@@ -1,0 +1,123 @@
+// Experiment E12 (DESIGN.md): google-benchmark microbenchmarks of the hot
+// kernels — row-major offset computation, region copy (query
+// post-processing), the tiling algorithms themselves, and index search.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/bench_util.h"
+#include "common/random.h"
+#include "core/linearizer.h"
+#include "index/rtree_index.h"
+#include "tiling/aligned.h"
+#include "tiling/areas_of_interest.h"
+#include "tiling/directional.h"
+
+namespace tilestore {
+namespace bench {
+namespace {
+
+void BM_RowMajorOffset(benchmark::State& state) {
+  const MInterval domain({{0, 999}, {0, 999}, {0, 99}});
+  Random rng(1);
+  Point p({rng.UniformInt(0, 999), rng.UniformInt(0, 999),
+           rng.UniformInt(0, 99)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RowMajorOffset(domain, p));
+  }
+}
+BENCHMARK(BM_RowMajorOffset);
+
+void BM_CopyRegion(benchmark::State& state) {
+  // Copy an inner region between two 2-D buffers; run length = arg bytes.
+  const Coord run = state.range(0);
+  const MInterval src_domain({{0, 511}, {0, 511}});
+  const MInterval dst_domain({{128, 383}, {128, 383}});
+  const MInterval region({{128, 383}, {128, 128 + run - 1}});
+  std::vector<uint8_t> src(src_domain.CellCountOrDie());
+  std::vector<uint8_t> dst(dst_domain.CellCountOrDie());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CopyRegion(src_domain, src.data(), dst_domain,
+                                        dst.data(), region, 1));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          region.CellCountOrDie());
+}
+BENCHMARK(BM_CopyRegion)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_AlignedTiling(benchmark::State& state) {
+  SalesCubeSpec spec;
+  const MInterval domain = spec.Domain();
+  const AlignedTiling tiling =
+      AlignedTiling::Regular(3, static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tiling.ComputeTiling(domain, 4));
+  }
+}
+BENCHMARK(BM_AlignedTiling)->Arg(32 * 1024)->Arg(256 * 1024);
+
+void BM_DirectionalTiling(benchmark::State& state) {
+  SalesCubeSpec spec;
+  const DirectionalTiling tiling(
+      {spec.Months(), spec.ProductClasses(), spec.Districts()}, 64 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tiling.ComputeTiling(spec.Domain(), 4));
+  }
+}
+BENCHMARK(BM_DirectionalTiling);
+
+void BM_AreasOfInterestTiling(benchmark::State& state) {
+  const MInterval domain({{0, 120}, {0, 159}, {0, 119}});
+  const AreasOfInterestTiling tiling(
+      {AnimationHeadArea(), AnimationBodyArea()}, 64 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tiling.ComputeTiling(domain, 3));
+  }
+}
+BENCHMARK(BM_AreasOfInterestTiling);
+
+void BM_RTreeSearch(benchmark::State& state) {
+  const Coord side = state.range(0);
+  const MInterval domain({{0, side - 1}, {0, side - 1}, {0, side - 1}});
+  RTreeIndex index;
+  std::vector<TileEntry> entries;
+  BlobId blob = 1;
+  for (const MInterval& tile : GridTiling(domain, {16, 16, 16})) {
+    entries.push_back(TileEntry{tile, blob++});
+  }
+  (void)index.BulkLoad(entries);
+  Random rng(5);
+  for (auto _ : state) {
+    std::vector<Coord> lo(3), hi(3);
+    for (size_t i = 0; i < 3; ++i) {
+      lo[i] = rng.UniformInt(0, side - 32);
+      hi[i] = lo[i] + 31;
+    }
+    benchmark::DoNotOptimize(
+        index.Search(MInterval::Create(lo, hi).value()));
+  }
+}
+BENCHMARK(BM_RTreeSearch)->Arg(128)->Arg(512);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  const MInterval domain({{0, 511}, {0, 511}, {0, 511}});
+  const TilingSpec spec = GridTiling(domain, {32, 32, 32});
+  for (auto _ : state) {
+    RTreeIndex index;
+    BlobId blob = 1;
+    for (const MInterval& tile : spec) {
+      (void)index.Insert(tile, blob++);
+    }
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(spec.size()));
+}
+BENCHMARK(BM_RTreeInsert);
+
+}  // namespace
+}  // namespace bench
+}  // namespace tilestore
+
+BENCHMARK_MAIN();

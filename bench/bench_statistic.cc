@@ -1,0 +1,115 @@
+// Experiment E11 (DESIGN.md): statistic tiling — the paper's automatic
+// strategy (Section 5.2) that derives areas of interest from an access
+// log. A synthetic workload hammers two hot regions of a 2-D raster (plus
+// scattered one-off queries); the object is then re-tiled from the log and
+// the same workload is replayed against regular tiling, the auto tiling,
+// and the ideal hand-tuned areas-of-interest tiling.
+//
+// Flags: --runs=N (default 3), --accesses=N log size (default 60).
+
+#include <cstdio>
+#include <memory>
+
+#include "common/bench_util.h"
+#include "common/random.h"
+#include "query/access_log.h"
+#include "tiling/aligned.h"
+#include "tiling/areas_of_interest.h"
+#include "tiling/statistic.h"
+
+namespace tilestore {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  RunOptions options;
+  options.runs = FlagInt(argc, argv, "runs", 3);
+  const int accesses = FlagInt(argc, argv, "accesses", 60);
+
+  // A 4096x4096 1-byte raster (16.7 MiB).
+  const MInterval domain({{0, 4095}, {0, 4095}});
+  std::fprintf(stderr, "building 4096^2 raster (16.7 MiB)...\n");
+  Array raster =
+      Array::Create(domain, CellType::Of(CellTypeId::kUInt8)).MoveValue();
+  Random fill(3);
+  for (size_t i = 0; i < raster.size_bytes(); ++i) {
+    raster.mutable_data()[i] = static_cast<uint8_t>(fill.Next());
+  }
+
+  // The application's hot regions (unknown to the storage manager).
+  const MInterval hot1({{300, 811}, {450, 961}});
+  const MInterval hot2({{2800, 3300}, {1000, 2200}});
+
+  // Synthesize the access log: mostly the hot regions (with jitter well
+  // inside the merge distance), some scattered one-offs.
+  AccessLog log;
+  Random rng(17);
+  for (int i = 0; i < accesses; ++i) {
+    const int kind = static_cast<int>(rng.Uniform(10));
+    if (kind < 4) {
+      const Coord dx = rng.UniformInt(-8, 8), dy = rng.UniformInt(-8, 8);
+      log.Record(hot1.Translate(Point({dx, dy})));
+    } else if (kind < 8) {
+      const Coord dx = rng.UniformInt(-8, 8), dy = rng.UniformInt(-8, 8);
+      log.Record(hot2.Translate(Point({dx, dy})));
+    } else {
+      const Coord x = rng.UniformInt(0, 3000), y = rng.UniformInt(0, 3000);
+      log.Record(MInterval({{x, x + 200}, {y, y + 200}}));
+    }
+  }
+
+  const uint64_t max_bytes = 256 * 1024;
+  auto statistic = std::make_shared<StatisticTiling>(
+      log.ToRecords(), max_bytes,
+      /*frequency_threshold=*/5, /*distance_threshold=*/64);
+
+  // Show what the automatic strategy derived.
+  Result<std::vector<MInterval>> derived =
+      statistic->DeriveAreasOfInterest(domain);
+  std::printf("=== E11: statistic tiling (automatic areas of interest) ===\n");
+  std::printf("hot region 1 (truth): %s\n", hot1.ToString().c_str());
+  std::printf("hot region 2 (truth): %s\n", hot2.ToString().c_str());
+  if (derived.ok()) {
+    for (const MInterval& area : *derived) {
+      std::printf("derived area:         %s\n", area.ToString().c_str());
+    }
+  }
+
+  std::vector<Scheme> schemes = {
+      {"Reg256K",
+       std::make_shared<AlignedTiling>(AlignedTiling::Regular(2, max_bytes)),
+       max_bytes},
+      {"Stat256K", statistic, max_bytes},
+      {"Ideal256K",
+       std::make_shared<AreasOfInterestTiling>(
+           std::vector<MInterval>{hot1, hot2}, max_bytes),
+       max_bytes},
+  };
+
+  // Replay workload: the two hot regions (exact), one scattered access.
+  const std::vector<BenchQuery> queries = {
+      {"hot1", hot1, "frequent region 1"},
+      {"hot2", hot2, "frequent region 2"},
+      {"cold", MInterval({{100, 300}, {3000, 3200}}), "one-off access"},
+  };
+
+  std::vector<SchemeResult> results =
+      RunSchemes(raster, schemes, queries, options);
+
+  PrintSchemeTable(results);
+  std::printf("\n--- per-query time components, 1997-disk model (ms) ---\n");
+  PrintTimesTable(results);
+  std::printf("\n--- speedup of the automatic tiling over regular ---\n");
+  PrintSpeedupTable(results, "Stat256K", "Reg256K");
+  std::printf("\n--- automatic vs ideal hand-tuned areas of interest ---\n");
+  PrintSpeedupTable(results, "Stat256K", "Ideal256K");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tilestore
+
+int main(int argc, char** argv) {
+  return tilestore::bench::Main(argc, argv);
+}

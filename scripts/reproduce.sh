@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Regenerates every reproduction artefact from scratch:
+#   build -> tests -> all benchmark tables -> results/ + output logs.
+#
+# Usage: scripts/reproduce.sh [--quick]
+#   --quick  runs 1 repetition per query and scales the extended cube down
+#            to ~40 MiB (full run needs ~1 GiB of scratch disk and a few
+#            minutes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+mkdir -p results
+RUNS=3
+SCALE=1.0
+if [[ $QUICK -eq 1 ]]; then
+  RUNS=1
+  SCALE=0.34
+fi
+
+{
+  for b in bench_directional bench_aoi bench_aligned_star bench_index \
+           bench_statistic bench_chunking bench_sparse bench_growth \
+           bench_cache bench_ordering; do
+    echo "== $b =="
+    ./build/bench/$b --runs=$RUNS 2>/dev/null
+  done
+} > results/bench_small.txt
+
+./build/bench/bench_directional_extended --scale=$SCALE --runs=2 \
+  > results/bench_extended.txt 2>/dev/null
+./build/bench/bench_micro > results/bench_micro.txt 2>&1
+
+{
+  cat results/bench_small.txt
+  echo "== bench_directional_extended =="
+  cat results/bench_extended.txt
+  echo "== bench_micro =="
+  cat results/bench_micro.txt
+} > bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt, results/"

@@ -1,0 +1,30 @@
+#ifndef TILESTORE_COMMON_MACROS_H_
+#define TILESTORE_COMMON_MACROS_H_
+
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+/// Propagates a non-OK Status to the caller.
+#define TILESTORE_RETURN_IF_ERROR(expr)            \
+  do {                                             \
+    ::tilestore::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#define TILESTORE_CONCAT_IMPL(a, b) a##b
+#define TILESTORE_CONCAT(a, b) TILESTORE_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define TILESTORE_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  TILESTORE_ASSIGN_OR_RETURN_IMPL(                                          \
+      TILESTORE_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define TILESTORE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).MoveValue()
+
+#endif  // TILESTORE_COMMON_MACROS_H_

@@ -1,0 +1,34 @@
+#include "common/random.h"
+
+#include <cassert>
+
+namespace tilestore {
+
+Random::Random(uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ull : seed) {}
+
+uint64_t Random::Next() {
+  // xorshift64* — fast, good-enough statistical quality for workload
+  // generation; not for cryptographic use.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 0x2545f4914f6cdd1dull;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  assert(n > 0);
+  return Next() % n;
+}
+
+int64_t Random::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+}  // namespace tilestore

@@ -1,0 +1,35 @@
+#ifndef TILESTORE_COMMON_RANDOM_H_
+#define TILESTORE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace tilestore {
+
+/// \brief Deterministic 64-bit PRNG (xorshift*), used by tests and
+/// benchmarks so runs are reproducible across machines.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, n). `n` must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform value in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_COMMON_RANDOM_H_

@@ -1,0 +1,164 @@
+#include "core/aggregate.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+namespace tilestore {
+
+namespace {
+
+template <typename T>
+double Reduce(const Array& array, AggregateOp op) {
+  const T* cells = reinterpret_cast<const T*>(array.data());
+  const uint64_t n = array.cell_count();
+  switch (op) {
+    case AggregateOp::kSum:
+    case AggregateOp::kAvg: {
+      double sum = 0;
+      for (uint64_t i = 0; i < n; ++i) sum += static_cast<double>(cells[i]);
+      return op == AggregateOp::kSum ? sum
+                                     : sum / static_cast<double>(n);
+    }
+    case AggregateOp::kMin: {
+      double best = std::numeric_limits<double>::infinity();
+      for (uint64_t i = 0; i < n; ++i) {
+        best = std::min(best, static_cast<double>(cells[i]));
+      }
+      return best;
+    }
+    case AggregateOp::kMax: {
+      double best = -std::numeric_limits<double>::infinity();
+      for (uint64_t i = 0; i < n; ++i) {
+        best = std::max(best, static_cast<double>(cells[i]));
+      }
+      return best;
+    }
+    case AggregateOp::kCount: {
+      uint64_t count = 0;
+      for (uint64_t i = 0; i < n; ++i) {
+        if (cells[i] != static_cast<T>(0)) ++count;
+      }
+      return static_cast<double>(count);
+    }
+  }
+  return 0;
+}
+
+struct OpName {
+  AggregateOp op;
+  std::string_view name;
+};
+
+constexpr OpName kOpNames[] = {
+    {AggregateOp::kSum, "add_cells"},   {AggregateOp::kMin, "min_cells"},
+    {AggregateOp::kMax, "max_cells"},   {AggregateOp::kAvg, "avg_cells"},
+    {AggregateOp::kCount, "count_cells"},
+};
+
+}  // namespace
+
+Result<AggregateOp> AggregateOpFromName(std::string_view name) {
+  for (const OpName& entry : kOpNames) {
+    if (entry.name == name) return entry.op;
+  }
+  return Status::NotFound("unknown condenser '" + std::string(name) + "'");
+}
+
+std::string_view AggregateOpToName(AggregateOp op) {
+  for (const OpName& entry : kOpNames) {
+    if (entry.op == op) return entry.name;
+  }
+  return "unknown";
+}
+
+Result<double> CellValueAsDouble(CellType cell_type, const uint8_t* cell) {
+  switch (cell_type.id()) {
+    case CellTypeId::kUInt8:
+      return static_cast<double>(*cell);
+    case CellTypeId::kInt8:
+      return static_cast<double>(*reinterpret_cast<const int8_t*>(cell));
+    case CellTypeId::kUInt16: {
+      uint16_t v;
+      std::memcpy(&v, cell, sizeof(v));
+      return static_cast<double>(v);
+    }
+    case CellTypeId::kInt16: {
+      int16_t v;
+      std::memcpy(&v, cell, sizeof(v));
+      return static_cast<double>(v);
+    }
+    case CellTypeId::kUInt32: {
+      uint32_t v;
+      std::memcpy(&v, cell, sizeof(v));
+      return static_cast<double>(v);
+    }
+    case CellTypeId::kInt32: {
+      int32_t v;
+      std::memcpy(&v, cell, sizeof(v));
+      return static_cast<double>(v);
+    }
+    case CellTypeId::kUInt64: {
+      uint64_t v;
+      std::memcpy(&v, cell, sizeof(v));
+      return static_cast<double>(v);
+    }
+    case CellTypeId::kInt64: {
+      int64_t v;
+      std::memcpy(&v, cell, sizeof(v));
+      return static_cast<double>(v);
+    }
+    case CellTypeId::kFloat32: {
+      float v;
+      std::memcpy(&v, cell, sizeof(v));
+      return static_cast<double>(v);
+    }
+    case CellTypeId::kFloat64: {
+      double v;
+      std::memcpy(&v, cell, sizeof(v));
+      return v;
+    }
+    case CellTypeId::kRGB8:
+    case CellTypeId::kOpaque:
+      return Status::InvalidArgument(
+          "cell type does not support numeric interpretation: " +
+          std::string(cell_type.name()));
+  }
+  return Status::Internal("unhandled cell type");
+}
+
+Result<double> AggregateCells(const Array& array, AggregateOp op) {
+  if (array.cell_count() == 0) {
+    return Status::InvalidArgument("aggregate of empty array");
+  }
+  switch (array.cell_type().id()) {
+    case CellTypeId::kUInt8:
+      return Reduce<uint8_t>(array, op);
+    case CellTypeId::kInt8:
+      return Reduce<int8_t>(array, op);
+    case CellTypeId::kUInt16:
+      return Reduce<uint16_t>(array, op);
+    case CellTypeId::kInt16:
+      return Reduce<int16_t>(array, op);
+    case CellTypeId::kUInt32:
+      return Reduce<uint32_t>(array, op);
+    case CellTypeId::kInt32:
+      return Reduce<int32_t>(array, op);
+    case CellTypeId::kUInt64:
+      return Reduce<uint64_t>(array, op);
+    case CellTypeId::kInt64:
+      return Reduce<int64_t>(array, op);
+    case CellTypeId::kFloat32:
+      return Reduce<float>(array, op);
+    case CellTypeId::kFloat64:
+      return Reduce<double>(array, op);
+    case CellTypeId::kRGB8:
+    case CellTypeId::kOpaque:
+      return Status::InvalidArgument(
+          "cell type does not support numeric aggregation: " +
+          std::string(array.cell_type().name()));
+  }
+  return Status::Internal("unhandled cell type");
+}
+
+}  // namespace tilestore

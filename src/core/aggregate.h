@@ -1,0 +1,38 @@
+#ifndef TILESTORE_CORE_AGGREGATE_H_
+#define TILESTORE_CORE_AGGREGATE_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "core/array.h"
+
+namespace tilestore {
+
+/// Cell-condensing operations over arrays — the reductions behind OLAP
+/// sub-aggregation queries (Section 5.1 access type (c): "to perform a
+/// subaggregation"). Mirrors RasQL's condenser functions.
+enum class AggregateOp {
+  kSum,    // add_cells
+  kMin,    // min_cells
+  kMax,    // max_cells
+  kAvg,    // avg_cells
+  kCount,  // count_cells (cells different from zero)
+};
+
+/// Parses a condenser name ("add_cells", "avg_cells", ...).
+Result<AggregateOp> AggregateOpFromName(std::string_view name);
+std::string_view AggregateOpToName(AggregateOp op);
+
+/// Reduces all cells of `array` with `op`, widening to double. Supported
+/// for the numeric built-in cell types (not rgb8/opaque). `kAvg` of an
+/// array is sum/count; `kCount` counts non-zero cells.
+Result<double> AggregateCells(const Array& array, AggregateOp op);
+
+/// Interprets one cell (`cell_type.size()` bytes at `cell`) as a double.
+/// Used to fold an object's default cell value into aggregations over
+/// partially covered regions. Numeric built-in types only.
+Result<double> CellValueAsDouble(CellType cell_type, const uint8_t* cell);
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_CORE_AGGREGATE_H_

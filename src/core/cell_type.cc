@@ -1,0 +1,53 @@
+#include "core/cell_type.h"
+
+#include <cassert>
+
+namespace tilestore {
+
+namespace {
+
+struct BuiltinInfo {
+  CellTypeId id;
+  size_t size;
+  std::string_view name;
+};
+
+constexpr BuiltinInfo kBuiltins[] = {
+    {CellTypeId::kUInt8, 1, "uint8"},     {CellTypeId::kInt8, 1, "int8"},
+    {CellTypeId::kUInt16, 2, "uint16"},   {CellTypeId::kInt16, 2, "int16"},
+    {CellTypeId::kUInt32, 4, "uint32"},   {CellTypeId::kInt32, 4, "int32"},
+    {CellTypeId::kUInt64, 8, "uint64"},   {CellTypeId::kInt64, 8, "int64"},
+    {CellTypeId::kFloat32, 4, "float32"}, {CellTypeId::kFloat64, 8, "float64"},
+    {CellTypeId::kRGB8, 3, "rgb8"},
+};
+
+}  // namespace
+
+CellType CellType::Of(CellTypeId id) {
+  for (const BuiltinInfo& info : kBuiltins) {
+    if (info.id == id) return CellType(info.id, info.size);
+  }
+  assert(false && "CellType::Of called with non-builtin id");
+  return CellType();
+}
+
+CellType CellType::Opaque(size_t size) {
+  assert(size >= 1);
+  return CellType(CellTypeId::kOpaque, size);
+}
+
+Result<CellType> CellType::FromName(std::string_view name) {
+  for (const BuiltinInfo& info : kBuiltins) {
+    if (info.name == name) return CellType(info.id, info.size);
+  }
+  return Status::NotFound("unknown cell type name: " + std::string(name));
+}
+
+std::string_view CellType::name() const {
+  for (const BuiltinInfo& info : kBuiltins) {
+    if (info.id == id_) return info.name;
+  }
+  return "opaque";
+}
+
+}  // namespace tilestore

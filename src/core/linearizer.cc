@@ -1,0 +1,151 @@
+#include "core/linearizer.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace tilestore {
+
+namespace {
+
+// Per-axis row-major strides (in cells) of a fixed domain: stride[d-1] == 1,
+// stride[i] == stride[i+1] * extent(i+1).
+std::vector<uint64_t> Strides(const MInterval& domain) {
+  const size_t d = domain.dim();
+  std::vector<uint64_t> stride(d);
+  uint64_t acc = 1;
+  for (size_t i = d; i > 0; --i) {
+    stride[i - 1] = acc;
+    acc *= static_cast<uint64_t>(domain.Extent(i - 1));
+  }
+  return stride;
+}
+
+Status ValidateRegion(const MInterval& src_domain, const MInterval& dst_domain,
+                      const MInterval& region) {
+  if (src_domain.dim() != region.dim() || dst_domain.dim() != region.dim()) {
+    return Status::InvalidArgument("CopyRegion: dimensionality mismatch");
+  }
+  if (!src_domain.IsFixed() || !dst_domain.IsFixed() || !region.IsFixed()) {
+    return Status::InvalidArgument("CopyRegion: unbounded interval");
+  }
+  if (!src_domain.Contains(region)) {
+    return Status::InvalidArgument("CopyRegion: region " + region.ToString() +
+                                   " not inside source domain " +
+                                   src_domain.ToString());
+  }
+  if (!dst_domain.Contains(region)) {
+    return Status::InvalidArgument("CopyRegion: region " + region.ToString() +
+                                   " not inside destination domain " +
+                                   dst_domain.ToString());
+  }
+  return Status::OK();
+}
+
+// Shared walker: calls `emit(src_off_cells, dst_off_cells)` once per
+// innermost-axis run of `region`, with offsets in cells relative to the
+// respective domain origins.
+template <typename Emit>
+void ForEachRun(const MInterval& src_domain, const MInterval& dst_domain,
+                const MInterval& region, Emit&& emit) {
+  const size_t d = region.dim();
+  const std::vector<uint64_t> src_stride = Strides(src_domain);
+  const std::vector<uint64_t> dst_stride = Strides(dst_domain);
+
+  // Offset of the region's low corner within each domain.
+  uint64_t src_off = 0, dst_off = 0;
+  for (size_t i = 0; i < d; ++i) {
+    src_off += static_cast<uint64_t>(region.lo(i) - src_domain.lo(i)) *
+               src_stride[i];
+    dst_off += static_cast<uint64_t>(region.lo(i) - dst_domain.lo(i)) *
+               dst_stride[i];
+  }
+
+  if (d == 1) {
+    emit(src_off, dst_off);
+    return;
+  }
+
+  // Odometer over axes 0..d-2; axis d-1 is the contiguous run.
+  std::vector<Coord> pos(region.lo().begin(), region.lo().end() - 1);
+  while (true) {
+    emit(src_off, dst_off);
+    size_t axis = d - 1;
+    while (axis > 0) {
+      --axis;
+      if (pos[axis] < region.hi(axis)) {
+        ++pos[axis];
+        src_off += src_stride[axis];
+        dst_off += dst_stride[axis];
+        break;
+      }
+      // Wrap this axis back to the region's low bound.
+      src_off -= static_cast<uint64_t>(region.Extent(axis) - 1) *
+                 src_stride[axis];
+      dst_off -= static_cast<uint64_t>(region.Extent(axis) - 1) *
+                 dst_stride[axis];
+      pos[axis] = region.lo(axis);
+      if (axis == 0) return;
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t RowMajorOffset(const MInterval& domain, const Point& p) {
+  assert(domain.Contains(p));
+  const std::vector<uint64_t> stride = Strides(domain);
+  uint64_t off = 0;
+  for (size_t i = 0; i < domain.dim(); ++i) {
+    off += static_cast<uint64_t>(p[i] - domain.lo(i)) * stride[i];
+  }
+  return off;
+}
+
+Point RowMajorPoint(const MInterval& domain, uint64_t offset) {
+  assert(offset < domain.CellCountOrDie());
+  const std::vector<uint64_t> stride = Strides(domain);
+  Point p(domain.dim());
+  for (size_t i = 0; i < domain.dim(); ++i) {
+    p[i] = domain.lo(i) + static_cast<Coord>(offset / stride[i]);
+    offset %= stride[i];
+  }
+  return p;
+}
+
+Status CopyRegion(const MInterval& src_domain, const uint8_t* src,
+                  const MInterval& dst_domain, uint8_t* dst,
+                  const MInterval& region, size_t cell_size) {
+  Status st = ValidateRegion(src_domain, dst_domain, region);
+  if (!st.ok()) return st;
+
+  const size_t run_bytes =
+      static_cast<size_t>(region.Extent(region.dim() - 1)) * cell_size;
+  ForEachRun(src_domain, dst_domain, region,
+             [&](uint64_t src_off, uint64_t dst_off) {
+               std::memcpy(dst + dst_off * cell_size,
+                           src + src_off * cell_size, run_bytes);
+             });
+  return Status::OK();
+}
+
+Status FillRegion(const MInterval& dst_domain, uint8_t* dst,
+                  const MInterval& region, const void* cell_value,
+                  size_t cell_size) {
+  Status st = ValidateRegion(dst_domain, dst_domain, region);
+  if (!st.ok()) return st;
+
+  const uint64_t run_cells =
+      static_cast<uint64_t>(region.Extent(region.dim() - 1));
+  const auto* pattern = static_cast<const uint8_t*>(cell_value);
+  ForEachRun(dst_domain, dst_domain, region,
+             [&](uint64_t /*src_off*/, uint64_t dst_off) {
+               uint8_t* out = dst + dst_off * cell_size;
+               for (uint64_t c = 0; c < run_cells; ++c) {
+                 std::memcpy(out + c * cell_size, pattern, cell_size);
+               }
+             });
+  return Status::OK();
+}
+
+}  // namespace tilestore

@@ -1,0 +1,75 @@
+#ifndef TILESTORE_CORE_LINEARIZER_H_
+#define TILESTORE_CORE_LINEARIZER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/minterval.h"
+#include "core/point.h"
+
+namespace tilestore {
+
+/// \file
+/// Row-major linearization of cells (the paper's "implicit ordering of the
+/// cells according to the ordering of the coordinates", Section 3) and the
+/// clip/copy kernels that move rectangular regions between linearized
+/// buffers. These kernels are the hot path of query post-processing
+/// (the paper's t_cpu: "the time taken to compose tiles parts into the
+/// result array").
+
+/// Index of point `p` within `domain` under row-major order (last axis
+/// varies fastest). `domain` must be fixed and contain `p`.
+uint64_t RowMajorOffset(const MInterval& domain, const Point& p);
+
+/// Inverse of `RowMajorOffset`: the point at linear index `offset` within
+/// `domain`. `offset` must be < domain.CellCount().
+Point RowMajorPoint(const MInterval& domain, uint64_t offset);
+
+/// Copies `region` from a source buffer linearized over `src_domain` into a
+/// destination buffer linearized over `dst_domain`.
+///
+/// Requirements (validated; InvalidArgument on violation):
+///  - all three intervals are fixed and have the same dimensionality;
+///  - `region` is contained in both `src_domain` and `dst_domain`.
+///
+/// The copy proceeds run-by-run: the innermost axis of `region` is
+/// contiguous in both buffers, so each run is one `memcpy` of
+/// `region.Extent(d-1) * cell_size` bytes.
+Status CopyRegion(const MInterval& src_domain, const uint8_t* src,
+                  const MInterval& dst_domain, uint8_t* dst,
+                  const MInterval& region, size_t cell_size);
+
+/// Fills `region` of a buffer linearized over `dst_domain` with copies of
+/// the `cell_size`-byte pattern at `cell_value` (the paper's default value
+/// for uncovered areas). Same containment requirements as `CopyRegion`.
+Status FillRegion(const MInterval& dst_domain, uint8_t* dst,
+                  const MInterval& region, const void* cell_value,
+                  size_t cell_size);
+
+/// Calls `fn(const Point&)` for every point of `domain` in row-major order.
+/// `domain` must be fixed. Intended for tests and data generators, not hot
+/// paths.
+template <typename Fn>
+void ForEachPoint(const MInterval& domain, Fn&& fn) {
+  const size_t d = domain.dim();
+  Point p = domain.LowCorner();
+  while (true) {
+    fn(static_cast<const Point&>(p));
+    // Odometer increment, last axis fastest.
+    size_t axis = d;
+    while (axis > 0) {
+      --axis;
+      if (p[axis] < domain.hi(axis)) {
+        ++p[axis];
+        break;
+      }
+      p[axis] = domain.lo(axis);
+      if (axis == 0) return;
+    }
+  }
+}
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_CORE_LINEARIZER_H_

@@ -1,0 +1,46 @@
+#include "core/point.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace tilestore {
+
+Point Point::operator+(const Point& other) const {
+  assert(dim() == other.dim());
+  Point out(dim());
+  for (size_t i = 0; i < dim(); ++i) out[i] = coords_[i] + other[i];
+  return out;
+}
+
+Point Point::operator-(const Point& other) const {
+  assert(dim() == other.dim());
+  Point out(dim());
+  for (size_t i = 0; i < dim(); ++i) out[i] = coords_[i] - other[i];
+  return out;
+}
+
+std::string Point::ToString() const {
+  std::ostringstream os;
+  os << '(';
+  for (size_t i = 0; i < coords_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << coords_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+bool RowMajorLess::operator()(const Point& a, const Point& b) const {
+  assert(a.dim() == b.dim());
+  for (size_t i = 0; i < a.dim(); ++i) {
+    if (a[i] < b[i]) return true;
+    if (a[i] > b[i]) return false;
+  }
+  return false;
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << p.ToString();
+}
+
+}  // namespace tilestore

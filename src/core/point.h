@@ -1,0 +1,60 @@
+#ifndef TILESTORE_CORE_POINT_H_
+#define TILESTORE_CORE_POINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tilestore {
+
+/// Cell coordinate along one axis. The paper maps every discrete coordinate
+/// set (days, product models, ...) to a subinterval of Z^d before storage;
+/// we therefore use a signed 64-bit integer everywhere.
+using Coord = int64_t;
+
+/// \brief A point in d-dimensional discrete space.
+///
+/// Points are small value types (a handful of coordinates); they are copied
+/// freely. The paper's total ordering "lower than" (row-major order, the
+/// order used for arrays in C) is provided by `RowMajorLess`.
+class Point {
+ public:
+  Point() = default;
+  explicit Point(size_t dim) : coords_(dim, 0) {}
+  Point(std::initializer_list<Coord> coords) : coords_(coords) {}
+  explicit Point(std::vector<Coord> coords) : coords_(std::move(coords)) {}
+
+  size_t dim() const { return coords_.size(); }
+  Coord operator[](size_t i) const { return coords_[i]; }
+  Coord& operator[](size_t i) { return coords_[i]; }
+  const std::vector<Coord>& coords() const { return coords_; }
+
+  /// Componentwise addition/subtraction. Dimensions must match.
+  Point operator+(const Point& other) const;
+  Point operator-(const Point& other) const;
+
+  bool operator==(const Point& other) const { return coords_ == other.coords_; }
+  bool operator!=(const Point& other) const { return !(*this == other); }
+
+  /// Renders as "(x1,x2,...,xd)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Coord> coords_;
+};
+
+/// \brief The paper's total ordering of points (Section 3): x < y iff there
+/// is an axis k with x_k < y_k and x_i == y_i for all i < k. This is exactly
+/// lexicographic order, i.e. row-major order of cells.
+struct RowMajorLess {
+  bool operator()(const Point& a, const Point& b) const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_CORE_POINT_H_

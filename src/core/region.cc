@@ -1,0 +1,54 @@
+#include "core/region.h"
+
+#include <cassert>
+
+namespace tilestore {
+
+std::vector<MInterval> SubtractBox(const MInterval& piece,
+                                   const MInterval& box) {
+  assert(piece.dim() == box.dim());
+  if (!piece.Intersects(box)) return {piece};
+  const MInterval overlap = *piece.Intersection(box);
+  if (overlap == piece) return {};
+
+  std::vector<MInterval> out;
+  // Slab decomposition: walk the axes, peeling off the parts of `piece`
+  // hanging over `overlap` on each side; `lo`/`hi` tracks the shrinking
+  // remainder, which equals `overlap` at the end (and is dropped).
+  std::vector<Coord> lo(piece.lo()), hi(piece.hi());
+  for (size_t i = 0; i < piece.dim(); ++i) {
+    if (lo[i] < overlap.lo(i)) {
+      std::vector<Coord> slab_lo(lo), slab_hi(hi);
+      slab_hi[i] = overlap.lo(i) - 1;
+      out.push_back(MInterval::Create(std::move(slab_lo),
+                                      std::move(slab_hi)).value());
+      lo[i] = overlap.lo(i);
+    }
+    if (hi[i] > overlap.hi(i)) {
+      std::vector<Coord> slab_lo(lo), slab_hi(hi);
+      slab_lo[i] = overlap.hi(i) + 1;
+      out.push_back(MInterval::Create(std::move(slab_lo),
+                                      std::move(slab_hi)).value());
+      hi[i] = overlap.hi(i);
+    }
+  }
+  return out;
+}
+
+std::vector<MInterval> Subtract(const MInterval& region,
+                                const std::vector<MInterval>& boxes) {
+  std::vector<MInterval> pieces = {region};
+  for (const MInterval& box : boxes) {
+    std::vector<MInterval> next;
+    next.reserve(pieces.size());
+    for (const MInterval& piece : pieces) {
+      std::vector<MInterval> remains = SubtractBox(piece, box);
+      next.insert(next.end(), remains.begin(), remains.end());
+    }
+    pieces = std::move(next);
+    if (pieces.empty()) break;
+  }
+  return pieces;
+}
+
+}  // namespace tilestore

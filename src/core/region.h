@@ -1,0 +1,30 @@
+#ifndef TILESTORE_CORE_REGION_H_
+#define TILESTORE_CORE_REGION_H_
+
+#include <vector>
+
+#include "core/minterval.h"
+
+namespace tilestore {
+
+/// \file
+/// Small region algebra over multidimensional intervals, used by the MDD
+/// update path: writing a region must split the part not covered by any
+/// existing tile into disjoint boxes that become new tiles.
+
+/// Subtracts `box` from `piece`, returning disjoint intervals that cover
+/// exactly `piece \ box`. Returns `{piece}` when they do not intersect and
+/// an empty vector when `box` covers `piece`. The pieces are produced by
+/// axis-ordered slab decomposition (at most 2d pieces).
+std::vector<MInterval> SubtractBox(const MInterval& piece,
+                                   const MInterval& box);
+
+/// Subtracts every box in `boxes` from `region`; the result is a set of
+/// disjoint intervals covering exactly the cells of `region` inside none
+/// of the boxes.
+std::vector<MInterval> Subtract(const MInterval& region,
+                                const std::vector<MInterval>& boxes);
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_CORE_REGION_H_

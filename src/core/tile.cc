@@ -1,0 +1,38 @@
+#include "core/tile.h"
+
+#include <algorithm>
+
+namespace tilestore {
+
+Result<std::vector<Tile>> CutTiles(const Array& source,
+                                   const TilingSpec& spec) {
+  std::vector<Tile> tiles;
+  tiles.reserve(spec.size());
+  for (const MInterval& domain : spec) {
+    if (!source.domain().Contains(domain)) {
+      return Status::InvalidArgument("tile domain " + domain.ToString() +
+                                     " outside source array domain " +
+                                     source.domain().ToString());
+    }
+    Result<Tile> tile = source.Slice(domain);
+    if (!tile.ok()) return tile.status();
+    tiles.push_back(std::move(tile).MoveValue());
+  }
+  return tiles;
+}
+
+uint64_t SpecCellCount(const TilingSpec& spec) {
+  uint64_t total = 0;
+  for (const MInterval& iv : spec) total += iv.CellCountOrDie();
+  return total;
+}
+
+uint64_t SpecMaxTileBytes(const TilingSpec& spec, size_t cell_size) {
+  uint64_t max_bytes = 0;
+  for (const MInterval& iv : spec) {
+    max_bytes = std::max(max_bytes, iv.CellCountOrDie() * cell_size);
+  }
+  return max_bytes;
+}
+
+}  // namespace tilestore

@@ -1,0 +1,42 @@
+#ifndef TILESTORE_CORE_TILE_H_
+#define TILESTORE_CORE_TILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/array.h"
+#include "core/minterval.h"
+
+namespace tilestore {
+
+/// \brief A tile: a multidimensional sub-array of an MDD object with the
+/// same dimensionality (Section 4 of the paper). Tiles always have fixed
+/// bounds; their cells are stored together in one BLOB.
+///
+/// In memory, a tile is simply an `Array` whose domain is the tile domain —
+/// the distinction is conceptual: tiles are the unit of disk access.
+using Tile = Array;
+
+/// \brief A tiling: a set of disjoint tile *domains* of an MDD object
+/// (Section 4). Produced by tiling strategies; consumed by `CutTiles` and
+/// by MDD loading. Coverage of the object's domain may be partial.
+using TilingSpec = std::vector<MInterval>;
+
+/// Materializes tiles from a source array according to `spec`.
+///
+/// Every interval in `spec` must be contained in `source.domain()`. Tiles
+/// are returned in the order of `spec`. This is the "second phase" of the
+/// paper's tiling pipeline: "Only at that point are the cells that
+/// constitute each tile copied together".
+Result<std::vector<Tile>> CutTiles(const Array& source, const TilingSpec& spec);
+
+/// Total number of cells covered by a spec (no overlap assumed).
+uint64_t SpecCellCount(const TilingSpec& spec);
+
+/// Largest tile size in bytes for the given cell size.
+uint64_t SpecMaxTileBytes(const TilingSpec& spec, size_t cell_size);
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_CORE_TILE_H_

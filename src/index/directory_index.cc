@@ -1,0 +1,38 @@
+#include "index/directory_index.h"
+
+namespace tilestore {
+
+Status DirectoryIndex::Insert(const TileEntry& entry) {
+  if (!entry.domain.IsFixed()) {
+    return Status::InvalidArgument("tile domain must be fixed: " +
+                                   entry.domain.ToString());
+  }
+  entries_.push_back(entry);
+  return Status::OK();
+}
+
+Status DirectoryIndex::Remove(const MInterval& domain) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].domain == domain) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no tile with domain " + domain.ToString());
+}
+
+std::vector<TileEntry> DirectoryIndex::Search(const MInterval& region) const {
+  std::vector<TileEntry> out;
+  for (const TileEntry& entry : entries_) {
+    if (entry.domain.Intersects(region)) out.push_back(entry);
+  }
+  last_nodes_visited_ =
+      (entries_.size() + kEntriesPerNode - 1) / kEntriesPerNode;
+  return out;
+}
+
+void DirectoryIndex::GetAll(std::vector<TileEntry>* out) const {
+  out->insert(out->end(), entries_.begin(), entries_.end());
+}
+
+}  // namespace tilestore

@@ -1,0 +1,38 @@
+#ifndef TILESTORE_INDEX_DIRECTORY_INDEX_H_
+#define TILESTORE_INDEX_DIRECTORY_INDEX_H_
+
+#include <vector>
+
+#include "index/tile_index.h"
+
+namespace tilestore {
+
+/// \brief Baseline tile index: a flat directory scanned linearly.
+///
+/// Simple and adequate for objects with few tiles; its search cost grows
+/// linearly with the tile count, which the index ablation benchmark (E9 in
+/// DESIGN.md) contrasts with the R-tree. For t_ix accounting, the
+/// directory counts one "node" per `kEntriesPerNode` entries scanned,
+/// mimicking a paged sequential directory.
+class DirectoryIndex : public TileIndex {
+ public:
+  static constexpr size_t kEntriesPerNode = 64;
+
+  DirectoryIndex() = default;
+
+  using TileIndex::Insert;
+  Status Insert(const TileEntry& entry) override;
+  Status Remove(const MInterval& domain) override;
+  std::vector<TileEntry> Search(const MInterval& region) const override;
+  uint64_t last_nodes_visited() const override { return last_nodes_visited_; }
+  size_t size() const override { return entries_.size(); }
+  void GetAll(std::vector<TileEntry>* out) const override;
+
+ private:
+  std::vector<TileEntry> entries_;
+  mutable uint64_t last_nodes_visited_ = 0;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_INDEX_DIRECTORY_INDEX_H_

@@ -1,0 +1,269 @@
+#include "index/packed_rtree.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "index/str_pack.h"
+
+namespace tilestore {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x54534958;  // "TSIX"
+constexpr uint32_t kVersion = 1;
+
+void WriteBox(ByteWriter* w, const MInterval& box) {
+  for (size_t i = 0; i < box.dim(); ++i) {
+    w->I64(box.lo(i));
+    w->I64(box.hi(i));
+  }
+}
+
+Status ReadBox(ByteReader* r, size_t dim, MInterval* out) {
+  std::vector<Coord> lo(dim), hi(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    Status st = r->I64(&lo[i]);
+    if (!st.ok()) return st;
+    st = r->I64(&hi[i]);
+    if (!st.ok()) return st;
+  }
+  Result<MInterval> box = MInterval::Create(std::move(lo), std::move(hi));
+  if (!box.ok()) {
+    return Status::Corruption("invalid box in packed index: " +
+                              box.status().message());
+  }
+  *out = std::move(box).MoveValue();
+  return Status::OK();
+}
+
+MInterval HullOf(const std::vector<TileEntry>& entries, size_t begin,
+                 size_t end) {
+  MInterval box = entries[begin].domain;
+  for (size_t i = begin + 1; i < end; ++i) box = box.Hull(entries[i].domain);
+  return box;
+}
+
+struct BuildNode {
+  bool leaf;
+  size_t first;
+  size_t count;
+  MInterval box;
+};
+
+}  // namespace
+
+Result<std::vector<uint8_t>> PackedRTree::Serialize(
+    const std::vector<TileEntry>& entries, size_t dim, size_t max_entries) {
+  if (dim == 0 || dim > 255) {
+    return Status::InvalidArgument("packed index dimensionality must be in "
+                                   "[1,255]");
+  }
+  max_entries = std::max<size_t>(2, max_entries);
+  std::vector<TileEntry> sorted = entries;
+  for (const TileEntry& entry : sorted) {
+    if (entry.domain.dim() != dim || !entry.domain.IsFixed()) {
+      return Status::InvalidArgument("bad tile domain in packed index: " +
+                                     entry.domain.ToString());
+    }
+  }
+
+  // Build levels bottom-up. Level 0 holds the leaves.
+  std::vector<std::vector<BuildNode>> levels;
+  if (!sorted.empty()) {
+    std::vector<std::pair<size_t, size_t>> runs;
+    StrPackRuns(&sorted, 0, sorted.size(), dim, 0, max_entries,
+                [](const TileEntry& e) -> const MInterval& {
+                  return e.domain;
+                },
+                &runs);
+    std::vector<BuildNode> leaves;
+    leaves.reserve(runs.size());
+    for (const auto& [begin, end] : runs) {
+      leaves.push_back(BuildNode{true, begin, end - begin,
+                                 HullOf(sorted, begin, end)});
+    }
+    levels.push_back(std::move(leaves));
+    while (levels.back().size() > 1) {
+      std::vector<BuildNode>& lower = levels.back();
+      runs.clear();
+      StrPackRuns(&lower, 0, lower.size(), dim, 0, max_entries,
+                  [](const BuildNode& n) -> const MInterval& {
+                    return n.box;
+                  },
+                  &runs);
+      std::vector<BuildNode> parents;
+      parents.reserve(runs.size());
+      for (const auto& [begin, end] : runs) {
+        MInterval box = lower[begin].box;
+        for (size_t i = begin + 1; i < end; ++i) box = box.Hull(lower[i].box);
+        parents.push_back(BuildNode{false, begin, end - begin, box});
+      }
+      levels.push_back(std::move(parents));
+    }
+  }
+
+  // Lay the levels out top-down; `first` of an internal node at level L
+  // references the global offset of level L-1.
+  std::vector<size_t> level_offset(levels.size(), 0);
+  size_t node_count = 0;
+  for (size_t level = levels.size(); level > 0; --level) {
+    level_offset[level - 1] = node_count;
+    node_count += levels[level - 1].size();
+  }
+
+  ByteWriter w;
+  w.U32(kMagic);
+  w.U32(kVersion);
+  w.U32(static_cast<uint32_t>(dim));
+  w.U32(static_cast<uint32_t>(node_count));
+  w.U64(sorted.size());
+  for (size_t level = levels.size(); level > 0; --level) {
+    for (const BuildNode& node : levels[level - 1]) {
+      w.U8(node.leaf ? 1 : 0);
+      const size_t first =
+          node.leaf ? node.first : level_offset[level - 2] + node.first;
+      w.U32(static_cast<uint32_t>(first));
+      w.U32(static_cast<uint32_t>(node.count));
+      WriteBox(&w, node.box);
+    }
+  }
+  for (const TileEntry& entry : sorted) {
+    WriteBox(&w, entry.domain);
+    w.U64(entry.blob);
+    w.U8(static_cast<uint8_t>(entry.compression));
+  }
+  return w.Take();
+}
+
+Result<std::unique_ptr<PackedRTree>> PackedRTree::Parse(
+    std::vector<uint8_t> bytes) {
+  ByteReader r(bytes);
+  uint32_t magic = 0, version = 0, dim32 = 0, node_count = 0;
+  uint64_t entry_count = 0;
+  Status st = r.U32(&magic);
+  if (!st.ok()) return st;
+  if (magic != kMagic) {
+    return Status::Corruption("bad packed index magic");
+  }
+  st = r.U32(&version);
+  if (!st.ok()) return st;
+  if (version != kVersion) {
+    return Status::Corruption("unsupported packed index version " +
+                              std::to_string(version));
+  }
+  st = r.U32(&dim32);
+  if (!st.ok()) return st;
+  if (dim32 == 0 || dim32 > 255) {
+    return Status::Corruption("bad packed index dimensionality");
+  }
+  st = r.U32(&node_count);
+  if (!st.ok()) return st;
+  st = r.U64(&entry_count);
+  if (!st.ok()) return st;
+  const size_t dim = dim32;
+
+  auto tree = std::unique_ptr<PackedRTree>(new PackedRTree());
+  tree->nodes_.reserve(node_count);
+  for (uint32_t n = 0; n < node_count; ++n) {
+    PackedNode node;
+    uint8_t leaf = 0;
+    uint32_t first = 0, count = 0;
+    st = r.U8(&leaf);
+    if (!st.ok()) return st;
+    st = r.U32(&first);
+    if (!st.ok()) return st;
+    st = r.U32(&count);
+    if (!st.ok()) return st;
+    st = ReadBox(&r, dim, &node.box);
+    if (!st.ok()) return st;
+    node.leaf = leaf != 0;
+    node.first = first;
+    node.count = count;
+    if (node.leaf) {
+      if (static_cast<uint64_t>(first) + count > entry_count) {
+        return Status::Corruption("leaf entry range out of bounds");
+      }
+    } else {
+      if (count == 0 || static_cast<uint64_t>(first) + count > node_count ||
+          first <= n) {
+        // Children always come after their parent in the top-down layout;
+        // anything else would allow cycles.
+        return Status::Corruption("internal child range out of bounds");
+      }
+    }
+    tree->nodes_.push_back(std::move(node));
+  }
+
+  tree->entries_.reserve(entry_count);
+  for (uint64_t e = 0; e < entry_count; ++e) {
+    TileEntry entry;
+    st = ReadBox(&r, dim, &entry.domain);
+    if (!st.ok()) return st;
+    st = r.U64(&entry.blob);
+    if (!st.ok()) return st;
+    uint8_t codec = 0;
+    st = r.U8(&codec);
+    if (!st.ok()) return st;
+    if (codec > static_cast<uint8_t>(Compression::kRle)) {
+      return Status::Corruption("unknown compression codec in packed index");
+    }
+    entry.compression = static_cast<Compression>(codec);
+    tree->entries_.push_back(std::move(entry));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after packed index");
+  }
+  if (node_count == 0 && entry_count != 0) {
+    return Status::Corruption("entries without nodes in packed index");
+  }
+  return tree;
+}
+
+Status PackedRTree::Insert(const TileEntry& entry) {
+  (void)entry;
+  return Status::Unimplemented(
+      "PackedRTree is read-only; upgrade to a dynamic index first");
+}
+
+Status PackedRTree::Remove(const MInterval& domain) {
+  (void)domain;
+  return Status::Unimplemented(
+      "PackedRTree is read-only; upgrade to a dynamic index first");
+}
+
+std::vector<TileEntry> PackedRTree::Search(const MInterval& region) const {
+  std::vector<TileEntry> out;
+  last_nodes_visited_ = 0;
+  if (nodes_.empty()) return out;
+
+  if (!nodes_[0].box.Intersects(region) && nodes_[0].count > 0) {
+    last_nodes_visited_ = 1;
+    return out;
+  }
+  // Like the dynamic tree, a node counts as visited when its contents are
+  // examined; children are box-tested before descending.
+  std::vector<uint32_t> stack = {0};
+  while (!stack.empty()) {
+    const PackedNode& node = nodes_[stack.back()];
+    stack.pop_back();
+    ++last_nodes_visited_;
+    if (node.leaf) {
+      for (uint32_t i = node.first; i < node.first + node.count; ++i) {
+        if (entries_[i].domain.Intersects(region)) {
+          out.push_back(entries_[i]);
+        }
+      }
+    } else {
+      for (uint32_t i = node.first; i < node.first + node.count; ++i) {
+        if (nodes_[i].box.Intersects(region)) stack.push_back(i);
+      }
+    }
+  }
+  return out;
+}
+
+void PackedRTree::GetAll(std::vector<TileEntry>* out) const {
+  out->insert(out->end(), entries_.begin(), entries_.end());
+}
+
+}  // namespace tilestore

@@ -1,0 +1,66 @@
+#ifndef TILESTORE_INDEX_PACKED_RTREE_H_
+#define TILESTORE_INDEX_PACKED_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "index/tile_index.h"
+
+namespace tilestore {
+
+/// \brief A read-only, serialized R-tree over tile entries — the on-disk
+/// image of an MDD object's tile index.
+///
+/// `Serialize` STR-packs the entries into a flat, pointer-free byte image
+/// (nodes breadth-first, each referencing a contiguous run of children or
+/// entries); `Parse` validates the image and serves `Search` directly from
+/// it without rebuilding a dynamic tree. The MDD layer stores one image
+/// per object in the catalog and upgrades to a dynamic `RTreeIndex` on the
+/// first mutation (copy-on-write).
+///
+/// `Insert`/`Remove` intentionally return Unimplemented: mutations go
+/// through the upgrade path.
+class PackedRTree : public TileIndex {
+ public:
+  /// Builds the byte image for `entries` (may be empty). All entries must
+  /// share dimensionality `dim` and have fixed domains. `max_entries` is
+  /// the node fan-out.
+  static Result<std::vector<uint8_t>> Serialize(
+      const std::vector<TileEntry>& entries, size_t dim,
+      size_t max_entries = 16);
+
+  /// Parses and validates an image produced by `Serialize`. The returned
+  /// index keeps the bytes alive internally.
+  static Result<std::unique_ptr<PackedRTree>> Parse(
+      std::vector<uint8_t> bytes);
+
+  using TileIndex::Insert;
+  Status Insert(const TileEntry& entry) override;
+  Status Remove(const MInterval& domain) override;
+  std::vector<TileEntry> Search(const MInterval& region) const override;
+  uint64_t last_nodes_visited() const override { return last_nodes_visited_; }
+  size_t size() const override { return entries_.size(); }
+  void GetAll(std::vector<TileEntry>* out) const override;
+
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct PackedNode {
+    bool leaf = true;
+    uint32_t first = 0;  // index of first child node / first entry
+    uint32_t count = 0;  // number of children / entries
+    MInterval box;
+  };
+
+  PackedRTree() = default;
+
+  std::vector<PackedNode> nodes_;   // nodes_[0] is the root (if any)
+  std::vector<TileEntry> entries_;  // leaf payloads, in packed order
+  mutable uint64_t last_nodes_visited_ = 0;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_INDEX_PACKED_RTREE_H_

@@ -1,0 +1,413 @@
+#include "index/rtree_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "index/str_pack.h"
+
+namespace tilestore {
+
+namespace {
+
+// Volume measure for box comparisons. Double precision is ample: boxes are
+// only compared against each other and ties are broken deterministically.
+double Volume(const MInterval& box) {
+  double v = 1.0;
+  for (size_t i = 0; i < box.dim(); ++i) {
+    v *= static_cast<double>(box.Extent(i));
+  }
+  return v;
+}
+
+double Enlargement(const MInterval& box, const MInterval& add) {
+  return Volume(box.Hull(add)) - Volume(box);
+}
+
+}  // namespace
+
+struct RTreeIndex::Node {
+  bool leaf = true;
+  MInterval box;  // meaningful only when the node is non-empty
+  std::vector<TileEntry> entries;                 // leaf payload
+  std::vector<std::unique_ptr<Node>> children;    // internal payload
+
+  size_t fanout() const { return leaf ? entries.size() : children.size(); }
+
+  void RecomputeBox() {
+    if (leaf) {
+      assert(!entries.empty());
+      box = entries[0].domain;
+      for (size_t i = 1; i < entries.size(); ++i) {
+        box = box.Hull(entries[i].domain);
+      }
+    } else {
+      assert(!children.empty());
+      box = children[0]->box;
+      for (size_t i = 1; i < children.size(); ++i) {
+        box = box.Hull(children[i]->box);
+      }
+    }
+  }
+};
+
+namespace {
+
+using Node = RTreeIndex::Node;
+
+// ---------------------------------------------------------------------------
+// Quadratic split (Guttman). Splits the boxes at `boxes` into two groups,
+// returning group membership. Generic over the item kind: callers pass the
+// box of every item.
+std::vector<int> QuadraticSplit(const std::vector<MInterval>& boxes,
+                                size_t min_entries) {
+  const size_t n = boxes.size();
+  assert(n >= 2);
+
+  // PickSeeds: the pair wasting the most area if grouped together.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double waste =
+          Volume(boxes[i].Hull(boxes[j])) - Volume(boxes[i]) - Volume(boxes[j]);
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  std::vector<int> group(n, -1);
+  group[seed_a] = 0;
+  group[seed_b] = 1;
+  MInterval box_a = boxes[seed_a];
+  MInterval box_b = boxes[seed_b];
+  size_t count_a = 1, count_b = 1;
+  size_t remaining = n - 2;
+
+  while (remaining > 0) {
+    // If one group must take everything left to reach the minimum, do so.
+    if (count_a + remaining == min_entries) {
+      for (size_t i = 0; i < n; ++i) {
+        if (group[i] < 0) group[i] = 0;
+      }
+      break;
+    }
+    if (count_b + remaining == min_entries) {
+      for (size_t i = 0; i < n; ++i) {
+        if (group[i] < 0) group[i] = 1;
+      }
+      break;
+    }
+    // PickNext: the item with the greatest preference for one group.
+    size_t best = SIZE_MAX;
+    double best_diff = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (group[i] >= 0) continue;
+      const double diff = std::abs(Enlargement(box_a, boxes[i]) -
+                                   Enlargement(box_b, boxes[i]));
+      if (diff > best_diff) {
+        best_diff = diff;
+        best = i;
+      }
+    }
+    const double enl_a = Enlargement(box_a, boxes[best]);
+    const double enl_b = Enlargement(box_b, boxes[best]);
+    bool to_a;
+    if (enl_a != enl_b) {
+      to_a = enl_a < enl_b;
+    } else if (Volume(box_a) != Volume(box_b)) {
+      to_a = Volume(box_a) < Volume(box_b);
+    } else {
+      to_a = count_a <= count_b;
+    }
+    if (to_a) {
+      group[best] = 0;
+      box_a = box_a.Hull(boxes[best]);
+      ++count_a;
+    } else {
+      group[best] = 1;
+      box_b = box_b.Hull(boxes[best]);
+      ++count_b;
+    }
+    --remaining;
+  }
+  return group;
+}
+
+// Splits an overflowing node in place; returns the new sibling.
+std::unique_ptr<Node> SplitNode(Node* node, size_t min_entries) {
+  std::vector<MInterval> boxes;
+  if (node->leaf) {
+    boxes.reserve(node->entries.size());
+    for (const TileEntry& e : node->entries) boxes.push_back(e.domain);
+  } else {
+    boxes.reserve(node->children.size());
+    for (const auto& c : node->children) boxes.push_back(c->box);
+  }
+  const std::vector<int> group = QuadraticSplit(boxes, min_entries);
+
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+  if (node->leaf) {
+    std::vector<TileEntry> keep;
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (group[i] == 0) {
+        keep.push_back(std::move(node->entries[i]));
+      } else {
+        sibling->entries.push_back(std::move(node->entries[i]));
+      }
+    }
+    node->entries = std::move(keep);
+  } else {
+    std::vector<std::unique_ptr<Node>> keep;
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      if (group[i] == 0) {
+        keep.push_back(std::move(node->children[i]));
+      } else {
+        sibling->children.push_back(std::move(node->children[i]));
+      }
+    }
+    node->children = std::move(keep);
+  }
+  node->RecomputeBox();
+  sibling->RecomputeBox();
+  return sibling;
+}
+
+// Recursive insert; returns a sibling when `node` was split.
+std::unique_ptr<Node> InsertRec(Node* node, const TileEntry& entry,
+                                size_t max_entries, size_t min_entries) {
+  if (node->leaf) {
+    node->entries.push_back(entry);
+    node->RecomputeBox();
+    if (node->entries.size() > max_entries) {
+      return SplitNode(node, min_entries);
+    }
+    return nullptr;
+  }
+
+  // ChooseSubtree: least enlargement, ties by smaller volume.
+  size_t best = 0;
+  double best_enl = std::numeric_limits<double>::infinity();
+  double best_vol = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const double enl = Enlargement(node->children[i]->box, entry.domain);
+    const double vol = Volume(node->children[i]->box);
+    if (enl < best_enl || (enl == best_enl && vol < best_vol)) {
+      best_enl = enl;
+      best_vol = vol;
+      best = i;
+    }
+  }
+
+  std::unique_ptr<Node> split =
+      InsertRec(node->children[best].get(), entry, max_entries, min_entries);
+  if (split != nullptr) {
+    node->children.push_back(std::move(split));
+  }
+  node->RecomputeBox();
+  if (node->children.size() > max_entries) {
+    return SplitNode(node, min_entries);
+  }
+  return nullptr;
+}
+
+void SearchRec(const Node* node, const MInterval& region,
+               std::vector<TileEntry>* out, uint64_t* visited) {
+  ++*visited;
+  if (node->fanout() == 0) return;
+  if (node->leaf) {
+    for (const TileEntry& e : node->entries) {
+      if (e.domain.Intersects(region)) out->push_back(e);
+    }
+    return;
+  }
+  for (const auto& child : node->children) {
+    if (child->box.Intersects(region)) {
+      SearchRec(child.get(), region, out, visited);
+    }
+  }
+}
+
+void CollectEntries(const Node* node, std::vector<TileEntry>* out) {
+  if (node->leaf) {
+    out->insert(out->end(), node->entries.begin(), node->entries.end());
+    return;
+  }
+  for (const auto& child : node->children) CollectEntries(child.get(), out);
+}
+
+// Recursive remove-by-exact-domain. Underflowing nodes are dissolved: their
+// remaining entries are pushed to `orphans` for reinsertion.
+bool RemoveRec(Node* node, const MInterval& domain, size_t min_entries,
+               bool is_root, std::vector<TileEntry>* orphans) {
+  if (node->leaf) {
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (node->entries[i].domain == domain) {
+        node->entries.erase(node->entries.begin() +
+                            static_cast<ptrdiff_t>(i));
+        if (!node->entries.empty()) node->RecomputeBox();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    Node* child = node->children[i].get();
+    if (child->fanout() > 0 && !child->box.Contains(domain)) continue;
+    if (!RemoveRec(child, domain, min_entries, /*is_root=*/false, orphans)) {
+      continue;
+    }
+    // Dissolve the child if it underflowed.
+    if (child->fanout() < min_entries) {
+      CollectEntries(child, orphans);
+      node->children.erase(node->children.begin() +
+                           static_cast<ptrdiff_t>(i));
+    }
+    if (node->fanout() > 0) node->RecomputeBox();
+    (void)is_root;
+    return true;
+  }
+  return false;
+}
+
+size_t CountNodes(const Node* node) {
+  size_t count = 1;
+  if (!node->leaf) {
+    for (const auto& child : node->children) count += CountNodes(child.get());
+  }
+  return count;
+}
+
+size_t Height(const Node* node) {
+  if (node->leaf) return 1;
+  return 1 + Height(node->children.front().get());
+}
+
+}  // namespace
+
+RTreeIndex::RTreeIndex(size_t max_entries)
+    : max_entries_(std::max<size_t>(4, max_entries)),
+      min_entries_(std::max<size_t>(2, max_entries_ / 2)),
+      root_(std::make_unique<Node>()) {}
+
+RTreeIndex::~RTreeIndex() = default;
+
+Status RTreeIndex::Insert(const TileEntry& entry) {
+  if (!entry.domain.IsFixed()) {
+    return Status::InvalidArgument("tile domain must be fixed: " +
+                                   entry.domain.ToString());
+  }
+  std::unique_ptr<Node> split =
+      InsertRec(root_.get(), entry, max_entries_, min_entries_);
+  if (split != nullptr) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split));
+    new_root->RecomputeBox();
+    root_ = std::move(new_root);
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Status RTreeIndex::Remove(const MInterval& domain) {
+  std::vector<TileEntry> orphans;
+  if (!RemoveRec(root_.get(), domain, min_entries_, /*is_root=*/true,
+                 &orphans)) {
+    return Status::NotFound("no tile with domain " + domain.ToString());
+  }
+  --size_;
+  // Collapse a root with a single internal child.
+  while (!root_->leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children.front());
+  }
+  if (!root_->leaf && root_->children.empty()) {
+    root_ = std::make_unique<Node>();
+  }
+  // Reinsert entries of dissolved nodes.
+  size_ -= orphans.size();
+  for (const TileEntry& e : orphans) {
+    Status st = Insert(e);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+std::vector<TileEntry> RTreeIndex::Search(const MInterval& region) const {
+  std::vector<TileEntry> out;
+  uint64_t visited = 0;
+  SearchRec(root_.get(), region, &out, &visited);
+  last_nodes_visited_ = visited;
+  return out;
+}
+
+void RTreeIndex::GetAll(std::vector<TileEntry>* out) const {
+  CollectEntries(root_.get(), out);
+}
+
+size_t RTreeIndex::node_count() const { return CountNodes(root_.get()); }
+
+size_t RTreeIndex::height() const { return Height(root_.get()); }
+
+Status RTreeIndex::BulkLoad(std::vector<TileEntry> entries) {
+  for (const TileEntry& e : entries) {
+    if (!e.domain.IsFixed()) {
+      return Status::InvalidArgument("tile domain must be fixed: " +
+                                     e.domain.ToString());
+    }
+  }
+  size_ = entries.size();
+  if (entries.empty()) {
+    root_ = std::make_unique<Node>();
+    return Status::OK();
+  }
+  const size_t dim = entries.front().domain.dim();
+
+  // Pack leaves.
+  std::vector<std::pair<size_t, size_t>> runs;
+  StrPackRuns(&entries, 0, entries.size(), dim, 0, max_entries_,
+              [](const TileEntry& e) -> const MInterval& { return e.domain; },
+              &runs);
+  std::vector<std::unique_ptr<Node>> level;
+  level.reserve(runs.size());
+  for (const auto& [begin, end] : runs) {
+    auto leaf = std::make_unique<Node>();
+    leaf->leaf = true;
+    leaf->entries.assign(entries.begin() + static_cast<ptrdiff_t>(begin),
+                         entries.begin() + static_cast<ptrdiff_t>(end));
+    leaf->RecomputeBox();
+    level.push_back(std::move(leaf));
+  }
+
+  // Pack upper levels until a single root remains.
+  while (level.size() > 1) {
+    runs.clear();
+    StrPackRuns(&level, 0, level.size(), dim, 0, max_entries_,
+                [](const std::unique_ptr<Node>& n) -> const MInterval& {
+                  return n->box;
+                },
+                &runs);
+    std::vector<std::unique_ptr<Node>> parents;
+    parents.reserve(runs.size());
+    for (const auto& [begin, end] : runs) {
+      auto parent = std::make_unique<Node>();
+      parent->leaf = false;
+      for (size_t i = begin; i < end; ++i) {
+        parent->children.push_back(std::move(level[i]));
+      }
+      parent->RecomputeBox();
+      parents.push_back(std::move(parent));
+    }
+    level = std::move(parents);
+  }
+  root_ = std::move(level.front());
+  return Status::OK();
+}
+
+}  // namespace tilestore

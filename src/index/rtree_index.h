@@ -1,0 +1,61 @@
+#ifndef TILESTORE_INDEX_RTREE_INDEX_H_
+#define TILESTORE_INDEX_RTREE_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "index/tile_index.h"
+
+namespace tilestore {
+
+/// \brief R-tree index over tile domains — the "R+-tree-like" index the
+/// paper attaches to every MDD object.
+///
+/// Because the tiles of one object are pairwise disjoint, the classic
+/// R-tree (Guttman, quadratic split) already yields near-R+-tree behaviour:
+/// directory rectangles overlap only marginally and an intersection search
+/// descends a handful of paths. STR bulk loading (`BulkLoad`) packs an
+/// entire tiling at load time into a tree with minimal overlap; incremental
+/// `Insert` supports the paper's gradual-growth scenario.
+class RTreeIndex : public TileIndex {
+ public:
+  /// `max_entries` is the node fan-out M; the minimum fill is M/2.
+  explicit RTreeIndex(size_t max_entries = 16);
+  ~RTreeIndex() override;
+
+  RTreeIndex(const RTreeIndex&) = delete;
+  RTreeIndex& operator=(const RTreeIndex&) = delete;
+
+  /// Rebuilds the tree from `entries` with sort-tile-recursive packing.
+  /// Replaces the current contents.
+  Status BulkLoad(std::vector<TileEntry> entries);
+
+  using TileIndex::Insert;
+  Status Insert(const TileEntry& entry) override;
+  Status Remove(const MInterval& domain) override;
+  std::vector<TileEntry> Search(const MInterval& region) const override;
+  uint64_t last_nodes_visited() const override { return last_nodes_visited_; }
+  size_t size() const override { return size_; }
+  void GetAll(std::vector<TileEntry>* out) const override;
+
+  /// Total directory + leaf nodes (index footprint, drives t_ix modelling).
+  size_t node_count() const;
+  /// Tree height (1 for a single leaf).
+  size_t height() const;
+
+  /// Opaque node type; defined in the .cc file. Public only so that
+  /// file-local helpers there can name it.
+  struct Node;
+
+ private:
+  size_t max_entries_;
+  size_t min_entries_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  mutable uint64_t last_nodes_visited_ = 0;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_INDEX_RTREE_INDEX_H_

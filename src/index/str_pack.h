@@ -1,0 +1,61 @@
+#ifndef TILESTORE_INDEX_STR_PACK_H_
+#define TILESTORE_INDEX_STR_PACK_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/minterval.h"
+
+namespace tilestore {
+
+/// Center of a box along one axis, for STR sorting.
+inline double BoxCenter(const MInterval& box, size_t axis) {
+  return (static_cast<double>(box.lo(axis)) +
+          static_cast<double>(box.hi(axis))) /
+         2.0;
+}
+
+/// Sort-tile-recursive grouping (Leutenegger et al.): recursively slices
+/// `items[begin,end)` into slabs along successive axes, sorting in place,
+/// so that each final run holds at most `per_group` items and runs are
+/// spatially compact. Appends the `[begin, end)` ranges of the runs to
+/// `runs`. `box_of(item)` must return the item's bounding box.
+///
+/// Shared by the dynamic R-tree's bulk load and the packed (on-disk)
+/// R-tree builder.
+template <typename T, typename BoxFn>
+void StrPackRuns(std::vector<T>* items, size_t begin, size_t end, size_t dim,
+                 size_t axis, size_t per_group, const BoxFn& box_of,
+                 std::vector<std::pair<size_t, size_t>>* runs) {
+  const size_t n = end - begin;
+  auto by_center = [&](const T& a, const T& b) {
+    return BoxCenter(box_of(a), axis) < BoxCenter(box_of(b), axis);
+  };
+  if (n <= per_group || axis + 1 >= dim) {
+    std::sort(items->begin() + static_cast<ptrdiff_t>(begin),
+              items->begin() + static_cast<ptrdiff_t>(end), by_center);
+    for (size_t i = begin; i < end; i += per_group) {
+      runs->emplace_back(i, std::min(end, i + per_group));
+    }
+    return;
+  }
+  std::sort(items->begin() + static_cast<ptrdiff_t>(begin),
+            items->begin() + static_cast<ptrdiff_t>(end), by_center);
+  const size_t total_groups = (n + per_group - 1) / per_group;
+  const double frac = 1.0 / static_cast<double>(dim - axis);
+  const size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(std::pow(static_cast<double>(total_groups), frac))));
+  const size_t slab_size = (n + slabs - 1) / slabs;
+  for (size_t s = begin; s < end; s += slab_size) {
+    StrPackRuns(items, s, std::min(end, s + slab_size), dim, axis + 1,
+                per_group, box_of, runs);
+  }
+}
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_INDEX_STR_PACK_H_

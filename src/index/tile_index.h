@@ -1,0 +1,64 @@
+#ifndef TILESTORE_INDEX_TILE_INDEX_H_
+#define TILESTORE_INDEX_TILE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/minterval.h"
+#include "storage/blob_store.h"
+#include "storage/compression.h"
+
+namespace tilestore {
+
+/// One indexed tile: its spatial domain, the BLOB holding its cells, and
+/// the codec the cells were stored with (selective compression may choose
+/// a different codec per tile).
+struct TileEntry {
+  MInterval domain;
+  BlobId blob = kInvalidBlobId;
+  Compression compression = Compression::kNone;
+};
+
+/// \brief Spatial index over the tiles of one MDD object (Section 5: "the
+/// MDD object index stores the spatial information of the object tiles; for
+/// each access ... the index returns the tiles intersected by the query
+/// region").
+///
+/// Tile domains of one object are pairwise disjoint by the tiling
+/// invariant, which is why an R-tree over them behaves like the paper's
+/// R+-tree. Implementations must support intersection search and report
+/// how many index nodes a search visited — the quantity behind the paper's
+/// t_ix cost component.
+class TileIndex {
+ public:
+  virtual ~TileIndex() = default;
+
+  /// Adds a tile. The entry's domain must be fixed; no disjointness check
+  /// is done here (the MDD layer enforces the tiling invariant).
+  virtual Status Insert(const TileEntry& entry) = 0;
+
+  /// Convenience for uncompressed tiles.
+  Status Insert(const MInterval& domain, BlobId blob) {
+    return Insert(TileEntry{domain, blob, Compression::kNone});
+  }
+
+  /// Removes the tile with exactly this domain. NotFound if absent.
+  virtual Status Remove(const MInterval& domain) = 0;
+
+  /// All tiles intersecting `region`, in unspecified order.
+  virtual std::vector<TileEntry> Search(const MInterval& region) const = 0;
+
+  /// Index nodes visited by the most recent `Search` (for t_ix modelling).
+  virtual uint64_t last_nodes_visited() const = 0;
+
+  /// Number of indexed tiles.
+  virtual size_t size() const = 0;
+
+  /// Appends every entry to `out` (for persistence and validation).
+  virtual void GetAll(std::vector<TileEntry>* out) const = 0;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_INDEX_TILE_INDEX_H_

@@ -1,0 +1,341 @@
+#include "mdd/mdd_object.h"
+
+#include "core/region.h"
+#include "index/directory_index.h"
+#include "index/rtree_index.h"
+#include "tiling/aligned.h"
+#include "tiling/validator.h"
+
+namespace tilestore {
+
+namespace {
+
+std::unique_ptr<TileIndex> MakeIndex(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kRTree:
+      return std::make_unique<RTreeIndex>();
+    case IndexKind::kDirectory:
+      return std::make_unique<DirectoryIndex>();
+  }
+  return std::make_unique<RTreeIndex>();
+}
+
+}  // namespace
+
+MDDObject::MDDObject(std::string name, MInterval definition_domain,
+                     CellType cell_type, BlobStore* blobs,
+                     IndexKind index_kind)
+    : name_(std::move(name)),
+      definition_domain_(std::move(definition_domain)),
+      cell_type_(cell_type),
+      default_cell_(cell_type.size(), 0),
+      blobs_(blobs),
+      index_kind_(index_kind),
+      index_(MakeIndex(index_kind)) {}
+
+Status MDDObject::SetDefaultCell(std::vector<uint8_t> value) {
+  if (value.size() != cell_size()) {
+    return Status::InvalidArgument(
+        "default cell must be exactly " + std::to_string(cell_size()) +
+        " bytes, got " + std::to_string(value.size()));
+  }
+  default_cell_ = std::move(value);
+  return Status::OK();
+}
+
+Status MDDObject::CheckInsertable(const MInterval& domain,
+                                  size_t cell_size) const {
+  if (cell_size != this->cell_size()) {
+    return Status::InvalidArgument(
+        "tile cell size " + std::to_string(cell_size) +
+        " does not match object cell size " +
+        std::to_string(this->cell_size()));
+  }
+  if (domain.dim() != definition_domain_.dim() || !domain.IsFixed()) {
+    return Status::InvalidArgument("bad tile domain " + domain.ToString() +
+                                   " for object with definition domain " +
+                                   definition_domain_.ToString());
+  }
+  if (!definition_domain_.Contains(domain)) {
+    return Status::OutOfRange("tile domain " + domain.ToString() +
+                              " outside definition domain " +
+                              definition_domain_.ToString());
+  }
+  if (!index_->Search(domain).empty()) {
+    return Status::AlreadyExists("tile domain " + domain.ToString() +
+                                 " overlaps an existing tile of '" + name_ +
+                                 "'");
+  }
+  return Status::OK();
+}
+
+Status MDDObject::EnsureMutableIndex() {
+  if (!index_packed_) return Status::OK();
+  std::vector<TileEntry> entries;
+  index_->GetAll(&entries);
+  auto dynamic = MakeIndex(index_kind_);
+  if (index_kind_ == IndexKind::kRTree) {
+    Status st =
+        static_cast<RTreeIndex*>(dynamic.get())->BulkLoad(std::move(entries));
+    if (!st.ok()) return st;
+  } else {
+    for (const TileEntry& entry : entries) {
+      Status st = dynamic->Insert(entry);
+      if (!st.ok()) return st;
+    }
+  }
+  index_ = std::move(dynamic);
+  index_packed_ = false;
+  return Status::OK();
+}
+
+Status MDDObject::InsertTile(const Tile& tile) {
+  Status st = EnsureMutableIndex();
+  if (!st.ok()) return st;
+  st = CheckInsertable(tile.domain(), tile.cell_size());
+  if (!st.ok()) return st;
+  // Selective compression: the configured codec is used only when it
+  // actually shrinks this tile's cells.
+  std::vector<uint8_t> stored;
+  const std::vector<uint8_t> raw(tile.data(), tile.data() + tile.size_bytes());
+  const Compression used = CompressIfSmaller(compression_, raw, &stored);
+  Result<BlobId> blob = blobs_->Put(stored);
+  if (!blob.ok()) return blob.status();
+  st = index_->Insert(TileEntry{tile.domain(), blob.value(), used});
+  if (!st.ok()) return st;
+  current_domain_ = current_domain_.has_value()
+                        ? current_domain_->Hull(tile.domain())
+                        : tile.domain();
+  return Status::OK();
+}
+
+Status MDDObject::Load(const Array& data, const TilingStrategy& strategy) {
+  Result<TilingSpec> spec =
+      strategy.ComputeTiling(data.domain(), data.cell_size());
+  if (!spec.ok()) return spec.status();
+  return Load(data, spec.value());
+}
+
+Status MDDObject::Load(const Array& data, const TilingSpec& spec) {
+  // Cut tile by tile rather than materializing all tiles at once, so load
+  // memory stays bounded by one tile.
+  for (const MInterval& domain : spec) {
+    if (!data.domain().Contains(domain)) {
+      return Status::InvalidArgument("tile domain " + domain.ToString() +
+                                     " outside loaded array domain " +
+                                     data.domain().ToString());
+    }
+    Result<Tile> tile = data.Slice(domain);
+    if (!tile.ok()) return tile.status();
+    Status st = InsertTile(tile.value());
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status MDDObject::Load(const Array& data) {
+  return Load(data, AlignedTiling::Regular(data.domain().dim(),
+                                           kDefaultMaxTileBytes));
+}
+
+Status MDDObject::LoadFrom(
+    const TilingSpec& spec,
+    const std::function<Result<Tile>(const MInterval&)>& producer) {
+  for (const MInterval& domain : spec) {
+    Result<Tile> tile = producer(domain);
+    if (!tile.ok()) return tile.status();
+    if (tile->domain() != domain) {
+      return Status::InvalidArgument(
+          "producer returned tile " + tile->domain().ToString() +
+          " for requested domain " + domain.ToString());
+    }
+    if (tile->cell_type() != cell_type_) {
+      return Status::InvalidArgument(
+          "producer returned wrong cell type for tile " + domain.ToString());
+    }
+    Status st = InsertTile(tile.value());
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status MDDObject::RemoveTile(const MInterval& domain) {
+  Status mut = EnsureMutableIndex();
+  if (!mut.ok()) return mut;
+  std::vector<TileEntry> hits = index_->Search(domain);
+  const TileEntry* exact = nullptr;
+  for (const TileEntry& entry : hits) {
+    if (entry.domain == domain) {
+      exact = &entry;
+      break;
+    }
+  }
+  if (exact == nullptr) {
+    return Status::NotFound("no tile with domain " + domain.ToString() +
+                            " in '" + name_ + "'");
+  }
+  Status st = blobs_->Delete(exact->blob);
+  if (!st.ok()) return st;
+  st = index_->Remove(domain);
+  if (!st.ok()) return st;
+
+  // Shrink the current domain to the hull of the remaining tiles.
+  std::vector<TileEntry> remaining;
+  index_->GetAll(&remaining);
+  if (remaining.empty()) {
+    current_domain_.reset();
+  } else {
+    MInterval hull = remaining.front().domain;
+    for (size_t i = 1; i < remaining.size(); ++i) {
+      hull = hull.Hull(remaining[i].domain);
+    }
+    current_domain_ = hull;
+  }
+  return Status::OK();
+}
+
+Status MDDObject::WriteRegion(const Array& data) {
+  Status mut = EnsureMutableIndex();
+  if (!mut.ok()) return mut;
+  const MInterval& region = data.domain();
+  if (data.cell_size() != cell_size()) {
+    return Status::InvalidArgument("WriteRegion: cell size mismatch");
+  }
+  if (region.dim() != definition_domain_.dim() || !region.IsFixed()) {
+    return Status::InvalidArgument("WriteRegion: bad region " +
+                                   region.ToString());
+  }
+  if (!definition_domain_.Contains(region)) {
+    return Status::OutOfRange("WriteRegion: region " + region.ToString() +
+                              " outside definition domain " +
+                              definition_domain_.ToString());
+  }
+
+  // Update the covered parts tile by tile (read-modify-write).
+  const std::vector<TileEntry> hits = index_->Search(region);
+  std::vector<MInterval> covered;
+  covered.reserve(hits.size());
+  for (const TileEntry& entry : hits) {
+    covered.push_back(entry.domain);
+    Result<Tile> tile = FetchTile(entry);
+    if (!tile.ok()) return tile.status();
+    const std::optional<MInterval> overlap =
+        entry.domain.Intersection(region);
+    Status st = tile->CopyFrom(data, *overlap);
+    if (!st.ok()) return st;
+
+    // Rewrite the BLOB (the codec choice is re-evaluated selectively).
+    st = blobs_->Delete(entry.blob);
+    if (!st.ok()) return st;
+    std::vector<uint8_t> stored;
+    const std::vector<uint8_t> raw(tile->data(),
+                                   tile->data() + tile->size_bytes());
+    const Compression used = CompressIfSmaller(compression_, raw, &stored);
+    Result<BlobId> blob = blobs_->Put(stored);
+    if (!blob.ok()) return blob.status();
+    st = index_->Remove(entry.domain);
+    if (!st.ok()) return st;
+    st = index_->Insert(TileEntry{entry.domain, blob.value(), used});
+    if (!st.ok()) return st;
+  }
+
+  // Uncovered parts become new tiles (growth), split to the default
+  // maximum tile size.
+  const AlignedTiling splitter =
+      AlignedTiling::Regular(region.dim(), kDefaultMaxTileBytes);
+  for (const MInterval& piece : Subtract(region, covered)) {
+    TilingSpec spec;
+    if (piece.CellCountOrDie() * cell_size() > kDefaultMaxTileBytes) {
+      Result<TilingSpec> sub = splitter.ComputeTiling(piece, cell_size());
+      if (!sub.ok()) return sub.status();
+      spec = std::move(sub).MoveValue();
+    } else {
+      spec.push_back(piece);
+    }
+    for (const MInterval& tile_domain : spec) {
+      Result<Tile> tile = data.Slice(tile_domain);
+      if (!tile.ok()) return tile.status();
+      Status st = InsertTile(tile.value());
+      if (!st.ok()) return st;
+    }
+  }
+  current_domain_ = current_domain_.has_value()
+                        ? current_domain_->Hull(region)
+                        : region;
+  return Status::OK();
+}
+
+Result<Tile> MDDObject::FetchTile(const TileEntry& entry) const {
+  Result<std::vector<uint8_t>> data = blobs_->Get(entry.blob);
+  if (!data.ok()) return data.status();
+  const size_t raw_size = entry.domain.CellCountOrDie() * cell_size();
+  Result<std::vector<uint8_t>> cells =
+      Decompress(entry.compression, data.value(), raw_size);
+  if (!cells.ok()) return cells.status();
+  return Tile::FromBuffer(entry.domain, cell_type_,
+                          std::move(cells).MoveValue());
+}
+
+std::vector<TileEntry> MDDObject::AllTiles() const {
+  std::vector<TileEntry> out;
+  index_->GetAll(&out);
+  return out;
+}
+
+Status MDDObject::Validate() const {
+  std::vector<TileEntry> entries = AllTiles();
+  TilingSpec spec;
+  spec.reserve(entries.size());
+  for (const TileEntry& entry : entries) spec.push_back(entry.domain);
+  Status st = CheckWithinDomain(spec, definition_domain_);
+  if (!st.ok()) return st;
+  return CheckDisjoint(spec);
+}
+
+Status MDDObject::RestoreTiles(std::vector<TileEntry> entries) {
+  std::optional<MInterval> hull;
+  for (const TileEntry& entry : entries) {
+    hull = hull.has_value() ? hull->Hull(entry.domain) : entry.domain;
+  }
+  if (index_kind_ == IndexKind::kRTree) {
+    auto* rtree = static_cast<RTreeIndex*>(index_.get());
+    Status st = rtree->BulkLoad(std::move(entries));
+    if (!st.ok()) return st;
+  } else {
+    for (const TileEntry& entry : entries) {
+      Status st = index_->Insert(entry);
+      if (!st.ok()) return st;
+    }
+  }
+  if (hull.has_value()) {
+    current_domain_ = current_domain_.has_value()
+                          ? current_domain_->Hull(*hull)
+                          : *hull;
+  }
+  return Status::OK();
+}
+
+Status MDDObject::RestorePackedIndex(std::unique_ptr<TileIndex> packed) {
+  std::vector<TileEntry> entries;
+  packed->GetAll(&entries);
+  std::optional<MInterval> hull;
+  for (const TileEntry& entry : entries) {
+    hull = hull.has_value() ? hull->Hull(entry.domain) : entry.domain;
+  }
+  index_ = std::move(packed);
+  index_packed_ = true;
+  current_domain_ = hull;
+  return Status::OK();
+}
+
+Status MDDObject::RestoreTile(const MInterval& domain, BlobId blob,
+                              Compression compression) {
+  Status st = index_->Insert(TileEntry{domain, blob, compression});
+  if (!st.ok()) return st;
+  current_domain_ = current_domain_.has_value()
+                        ? current_domain_->Hull(domain)
+                        : domain;
+  return Status::OK();
+}
+
+}  // namespace tilestore

@@ -1,0 +1,165 @@
+#ifndef TILESTORE_MDD_MDD_OBJECT_H_
+#define TILESTORE_MDD_MDD_OBJECT_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/array.h"
+#include "core/cell_type.h"
+#include "core/minterval.h"
+#include "core/tile.h"
+#include "index/tile_index.h"
+#include "storage/blob_store.h"
+#include "tiling/tiling.h"
+
+namespace tilestore {
+
+/// Which index implementation an MDD object uses for its tiles.
+enum class IndexKind {
+  kRTree,
+  kDirectory,
+};
+
+/// \brief A stored multidimensional discrete data object (Sections 3-5):
+/// a definition domain (fixed per type, possibly unbounded), a current
+/// domain (the minimal interval covering all cells inserted so far), a set
+/// of disjoint tiles stored as BLOBs, and a spatial index over the tiles.
+///
+/// Tiles need not cover the current domain: uncovered areas read back as
+/// the object's default cell value (zero bytes unless set), the paper's
+/// mechanism for sparse data.
+///
+/// Instances are owned by their `MDDStore`; pointers returned by the store
+/// stay valid until the object is dropped or the store is destroyed.
+class MDDObject {
+ public:
+  /// Constructed by MDDStore; not for direct use.
+  MDDObject(std::string name, MInterval definition_domain, CellType cell_type,
+            BlobStore* blobs, IndexKind index_kind);
+
+  MDDObject(const MDDObject&) = delete;
+  MDDObject& operator=(const MDDObject&) = delete;
+
+  const std::string& name() const { return name_; }
+  const MInterval& definition_domain() const { return definition_domain_; }
+  /// Empty until the first tile is inserted.
+  const std::optional<MInterval>& current_domain() const {
+    return current_domain_;
+  }
+  CellType cell_type() const { return cell_type_; }
+  size_t cell_size() const { return cell_type_.size(); }
+  size_t tile_count() const { return index_->size(); }
+
+  /// The default cell value for areas not covered by any tile
+  /// (`cell_size()` bytes; zeroes unless changed).
+  const std::vector<uint8_t>& default_cell() const { return default_cell_; }
+  Status SetDefaultCell(std::vector<uint8_t> value);
+
+  /// Preferred codec for newly inserted tiles (Section 8: "selective
+  /// compression of blocks"). Compression is *selective*: a tile is stored
+  /// uncompressed whenever the codec fails to shrink it. Already-stored
+  /// tiles are unaffected.
+  void SetCompression(Compression compression) { compression_ = compression; }
+  Compression compression() const { return compression_; }
+
+  /// Inserts one tile (the gradual-growth path). The tile domain must be
+  /// fixed, lie inside the definition domain, and be disjoint from all
+  /// existing tiles. The current domain is extended by closure with the
+  /// tile domain (Section 4).
+  Status InsertTile(const Tile& tile);
+
+  /// Loads a whole array using a tiling strategy: computes the tiling
+  /// specification, cuts the array into tiles (phase two of the paper's
+  /// pipeline) and inserts them.
+  Status Load(const Array& data, const TilingStrategy& strategy);
+
+  /// Loads a whole array with an explicit, precomputed specification.
+  Status Load(const Array& data, const TilingSpec& spec);
+
+  /// Loads with the default tiling (Section 5.2: "default tiling is
+  /// performed if no tiling strategy is specified for an MDD object; the
+  /// default tiling is aligned"): regular aligned tiles of at most
+  /// `kDefaultMaxTileBytes`.
+  Status Load(const Array& data);
+
+  /// Streaming load: `producer` materializes each tile on demand, so
+  /// objects far larger than memory can be ingested — peak memory is one
+  /// tile. The producer receives each domain of `spec` in order and must
+  /// return a tile with exactly that domain and this object's cell type.
+  Status LoadFrom(const TilingSpec& spec,
+                  const std::function<Result<Tile>(const MInterval&)>&
+                      producer);
+
+  /// Removes the tile with exactly this domain, freeing its BLOB. The
+  /// current domain shrinks to the hull of the remaining tiles.
+  Status RemoveTile(const MInterval& domain);
+
+  /// Writes `data` into the object (the update path): cells covered by
+  /// existing tiles are updated in place (read-modify-write of the
+  /// affected tiles); uncovered parts of `data.domain()` become new tiles,
+  /// split by the default aligned tiling when they exceed
+  /// `kDefaultMaxTileBytes` — the paper's gradual-growth scenario.
+  Status WriteRegion(const Array& data);
+
+  /// The tiles intersecting `region` (index probe only; no data I/O).
+  std::vector<TileEntry> FindTiles(const MInterval& region) const {
+    return index_->Search(region);
+  }
+
+  /// Fetches the cell data of one indexed tile from the BLOB store.
+  Result<Tile> FetchTile(const TileEntry& entry) const;
+
+  /// All tile entries, for persistence and validation.
+  std::vector<TileEntry> AllTiles() const;
+
+  /// Verifies the tiling invariants (disjoint, inside definition domain).
+  Status Validate() const;
+
+  TileIndex* index() const { return index_.get(); }
+  BlobStore* blob_store() const { return blobs_; }
+  IndexKind index_kind() const { return index_kind_; }
+
+  /// Used by MDDStore when re-opening: registers an existing tile without
+  /// writing a BLOB.
+  Status RestoreTile(const MInterval& domain, BlobId blob,
+                     Compression compression = Compression::kNone);
+
+  /// Bulk variant of `RestoreTile` for whole tile tables; uses STR bulk
+  /// loading when the index supports it.
+  Status RestoreTiles(std::vector<TileEntry> entries);
+
+  /// Attaches a read-only packed index image restored from the catalog.
+  /// The object serves queries directly from it and transparently
+  /// upgrades to a dynamic index on the first mutation (copy-on-write).
+  Status RestorePackedIndex(std::unique_ptr<TileIndex> packed);
+
+  /// True while the tile index is still the read-only packed image.
+  bool index_is_packed() const { return index_packed_; }
+
+ private:
+  Status CheckInsertable(const MInterval& domain, size_t cell_size) const;
+
+  // Replaces a packed (read-only) index with a dynamic one before any
+  // mutation.
+  Status EnsureMutableIndex();
+
+  std::string name_;
+  MInterval definition_domain_;
+  std::optional<MInterval> current_domain_;
+  CellType cell_type_;
+  std::vector<uint8_t> default_cell_;
+  Compression compression_ = Compression::kNone;
+  BlobStore* blobs_;
+  IndexKind index_kind_;
+  bool index_packed_ = false;
+  std::unique_ptr<TileIndex> index_;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_MDD_MDD_OBJECT_H_

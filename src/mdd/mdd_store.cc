@@ -1,0 +1,266 @@
+#include "mdd/mdd_store.h"
+
+#include "common/serde.h"
+#include "index/packed_rtree.h"
+
+namespace tilestore {
+
+namespace {
+
+constexpr uint32_t kCatalogMagic = 0x54534354;  // "TSCT"
+constexpr uint32_t kCatalogVersion = 2;
+
+// --------------------------------------------------------------------------
+// Catalog (de)serialization. The catalog is a single BLOB whose id lives in
+// the page file's user-root slot.
+
+void WriteInterval(ByteWriter* w, const MInterval& iv) {
+  w->U8(static_cast<uint8_t>(iv.dim()));
+  for (size_t i = 0; i < iv.dim(); ++i) {
+    w->I64(iv.lo(i));
+    w->I64(iv.hi(i));
+  }
+}
+
+Status ReadInterval(ByteReader* r, MInterval* out) {
+  uint8_t dim = 0;
+  Status st = r->U8(&dim);
+  if (!st.ok()) return st;
+  if (dim == 0) return Status::Corruption("zero-dimensional catalog interval");
+  std::vector<Coord> lo(dim), hi(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    st = r->I64(&lo[i]);
+    if (!st.ok()) return st;
+    st = r->I64(&hi[i]);
+    if (!st.ok()) return st;
+  }
+  Result<MInterval> iv = MInterval::Create(std::move(lo), std::move(hi));
+  if (!iv.ok()) {
+    return Status::Corruption("invalid catalog interval: " +
+                              iv.status().message());
+  }
+  *out = std::move(iv).MoveValue();
+  return Status::OK();
+}
+
+}  // namespace
+
+MDDStore::MDDStore(std::unique_ptr<PageFile> file, MDDStoreOptions options)
+    : options_(options),
+      disk_model_(options.disk_params),
+      file_(std::move(file)) {
+  file_->set_disk_model(&disk_model_);
+  pool_ = std::make_unique<BufferPool>(file_.get(), options_.pool_pages);
+  blobs_ = std::make_unique<BlobStore>(pool_.get());
+}
+
+MDDStore::~MDDStore() = default;
+
+Result<std::unique_ptr<MDDStore>> MDDStore::Create(const std::string& path,
+                                                   MDDStoreOptions options) {
+  Result<std::unique_ptr<PageFile>> file =
+      PageFile::Create(path, options.page_size);
+  if (!file.ok()) return file.status();
+  std::unique_ptr<MDDStore> store(
+      new MDDStore(std::move(file).MoveValue(), options));
+  return store;
+}
+
+Result<std::unique_ptr<MDDStore>> MDDStore::Open(const std::string& path,
+                                                 MDDStoreOptions options) {
+  Result<std::unique_ptr<PageFile>> file = PageFile::Open(path);
+  if (!file.ok()) return file.status();
+  std::unique_ptr<MDDStore> store(
+      new MDDStore(std::move(file).MoveValue(), options));
+  Status st = store->LoadCatalog();
+  if (!st.ok()) return st;
+  return store;
+}
+
+Result<MDDObject*> MDDStore::CreateMDD(const std::string& name,
+                                       const MInterval& definition_domain,
+                                       CellType cell_type) {
+  if (name.empty()) {
+    return Status::InvalidArgument("MDD object name must not be empty");
+  }
+  if (objects_.count(name) > 0) {
+    return Status::AlreadyExists("MDD object '" + name + "' already exists");
+  }
+  if (definition_domain.dim() == 0) {
+    return Status::InvalidArgument("definition domain must have dim >= 1");
+  }
+  auto object = std::make_unique<MDDObject>(
+      name, definition_domain, cell_type, blobs_.get(), options_.index_kind);
+  MDDObject* raw = object.get();
+  objects_[name] = std::move(object);
+  return raw;
+}
+
+Result<MDDObject*> MDDStore::GetMDD(const std::string& name) {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    return Status::NotFound("no MDD object named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Status MDDStore::DropMDD(const std::string& name) {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    return Status::NotFound("no MDD object named '" + name + "'");
+  }
+  for (const TileEntry& entry : it->second->AllTiles()) {
+    Status st = blobs_->Delete(entry.blob);
+    if (!st.ok()) return st;
+  }
+  auto blob_it = index_blobs_.find(name);
+  if (blob_it != index_blobs_.end()) {
+    if (blob_it->second != kInvalidBlobId) {
+      Status st = blobs_->Delete(blob_it->second);
+      if (!st.ok()) return st;
+    }
+    index_blobs_.erase(blob_it);
+  }
+  objects_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> MDDStore::ListMDD() const {
+  std::vector<std::string> names;
+  names.reserve(objects_.size());
+  for (const auto& [name, object] : objects_) names.push_back(name);
+  return names;
+}
+
+Status MDDStore::Save() {
+  // Phase 1: persist each object's packed index image.
+  std::map<std::string, BlobId> new_index_blobs;
+  for (const auto& [name, object] : objects_) {
+    Result<std::vector<uint8_t>> image = PackedRTree::Serialize(
+        object->AllTiles(), object->definition_domain().dim());
+    if (!image.ok()) return image.status();
+    Result<BlobId> blob = blobs_->Put(image.value());
+    if (!blob.ok()) return blob.status();
+    new_index_blobs[name] = blob.value();
+  }
+
+  // Phase 2: the catalog references the index images.
+  ByteWriter w;
+  w.U32(kCatalogMagic);
+  w.U32(kCatalogVersion);
+  w.U32(static_cast<uint32_t>(objects_.size()));
+  for (const auto& [name, object] : objects_) {
+    w.Str(name);
+    w.U8(static_cast<uint8_t>(object->cell_type().id()));
+    w.U32(static_cast<uint32_t>(object->cell_size()));
+    w.U8(object->index_kind() == IndexKind::kRTree ? 0 : 1);
+    WriteInterval(&w, object->definition_domain());
+    w.Bytes(object->default_cell().data(), object->default_cell().size());
+    w.U64(new_index_blobs[name]);
+  }
+
+  const BlobId old_root = file_->user_root();
+  Result<BlobId> root = blobs_->Put(w.Take());
+  if (!root.ok()) return root.status();
+  file_->set_user_root(root.value());
+
+  // Phase 3: free the previous catalog and index images.
+  if (old_root != kInvalidBlobId) {
+    Status st = blobs_->Delete(old_root);
+    if (!st.ok()) return st;
+  }
+  for (const auto& [name, blob] : index_blobs_) {
+    if (blob == kInvalidBlobId) continue;
+    Status st = blobs_->Delete(blob);
+    if (!st.ok()) return st;
+  }
+  index_blobs_ = std::move(new_index_blobs);
+  return file_->Flush();
+}
+
+Status MDDStore::LoadCatalog() {
+  const BlobId root = file_->user_root();
+  if (root == kInvalidBlobId) return Status::OK();  // empty store
+
+  Result<std::vector<uint8_t>> raw = blobs_->Get(root);
+  if (!raw.ok()) return raw.status();
+  ByteReader r(raw.value());
+
+  uint32_t magic = 0, version = 0, count = 0;
+  Status st = r.U32(&magic);
+  if (!st.ok()) return st;
+  if (magic != kCatalogMagic) return Status::Corruption("bad catalog magic");
+  st = r.U32(&version);
+  if (!st.ok()) return st;
+  if (version != kCatalogVersion) {
+    return Status::Corruption("unsupported catalog version " +
+                              std::to_string(version));
+  }
+  st = r.U32(&count);
+  if (!st.ok()) return st;
+
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    st = r.Str(&name);
+    if (!st.ok()) return st;
+    uint8_t type_id = 0;
+    uint32_t cell_size = 0;
+    uint8_t index_kind_raw = 0;
+    st = r.U8(&type_id);
+    if (!st.ok()) return st;
+    st = r.U32(&cell_size);
+    if (!st.ok()) return st;
+    st = r.U8(&index_kind_raw);
+    if (!st.ok()) return st;
+
+    CellType cell_type;
+    if (static_cast<CellTypeId>(type_id) == CellTypeId::kOpaque) {
+      cell_type = CellType::Opaque(cell_size);
+    } else {
+      cell_type = CellType::Of(static_cast<CellTypeId>(type_id));
+      if (cell_type.size() != cell_size) {
+        return Status::Corruption("cell size mismatch for object '" + name +
+                                  "'");
+      }
+    }
+
+    MInterval definition_domain;
+    st = ReadInterval(&r, &definition_domain);
+    if (!st.ok()) return st;
+
+    std::vector<uint8_t> default_cell(cell_size);
+    st = r.Bytes(default_cell.data(), cell_size);
+    if (!st.ok()) return st;
+
+    const IndexKind kind =
+        index_kind_raw == 0 ? IndexKind::kRTree : IndexKind::kDirectory;
+    auto object = std::make_unique<MDDObject>(name, definition_domain,
+                                              cell_type, blobs_.get(), kind);
+    st = object->SetDefaultCell(std::move(default_cell));
+    if (!st.ok()) return st;
+
+    uint64_t index_blob = 0;
+    st = r.U64(&index_blob);
+    if (!st.ok()) return st;
+    Result<std::vector<uint8_t>> image = blobs_->Get(index_blob);
+    if (!image.ok()) return image.status();
+    Result<std::unique_ptr<PackedRTree>> packed =
+        PackedRTree::Parse(std::move(image).MoveValue());
+    if (!packed.ok()) return packed.status();
+    st = object->RestorePackedIndex(std::move(packed).MoveValue());
+    if (!st.ok()) return st;
+    index_blobs_[name] = index_blob;
+
+    if (objects_.count(name) > 0) {
+      return Status::Corruption("duplicate object '" + name +
+                                "' in catalog");
+    }
+    objects_[name] = std::move(object);
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after catalog");
+  }
+  return Status::OK();
+}
+
+}  // namespace tilestore

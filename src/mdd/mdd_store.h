@@ -1,0 +1,89 @@
+#ifndef TILESTORE_MDD_MDD_STORE_H_
+#define TILESTORE_MDD_MDD_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "mdd/mdd_object.h"
+#include "storage/blob_store.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_model.h"
+#include "storage/page_file.h"
+
+namespace tilestore {
+
+/// Store creation/open parameters.
+struct MDDStoreOptions {
+  uint32_t page_size = kDefaultPageSize;
+  /// Buffer pool capacity in pages (0 disables caching).
+  size_t pool_pages = 4096;
+  /// Index used by newly created objects.
+  IndexKind index_kind = IndexKind::kRTree;
+  /// Disk cost model parameters (attached to the page file).
+  DiskParams disk_params;
+};
+
+/// \brief The database of MDD objects: one page file holding tile BLOBs
+/// and a persisted catalog (object metadata + tile tables).
+///
+/// This is the top of the storage manager: create a store, create MDD
+/// objects in it, load arrays through tiling strategies, and run range
+/// queries via `RangeQueryExecutor`. `Save()` persists the catalog; `Open`
+/// restores all objects and rebuilds their tile indexes by bulk load.
+class MDDStore {
+ public:
+  static Result<std::unique_ptr<MDDStore>> Create(
+      const std::string& path, MDDStoreOptions options = MDDStoreOptions());
+
+  static Result<std::unique_ptr<MDDStore>> Open(
+      const std::string& path, MDDStoreOptions options = MDDStoreOptions());
+
+  ~MDDStore();
+  MDDStore(const MDDStore&) = delete;
+  MDDStore& operator=(const MDDStore&) = delete;
+
+  /// Creates an empty MDD object. `definition_domain` may have unbounded
+  /// axes. Fails with AlreadyExists on a duplicate name.
+  Result<MDDObject*> CreateMDD(const std::string& name,
+                               const MInterval& definition_domain,
+                               CellType cell_type);
+
+  /// Looks an object up by name.
+  Result<MDDObject*> GetMDD(const std::string& name);
+
+  /// Drops an object, freeing all of its tile BLOBs.
+  Status DropMDD(const std::string& name);
+
+  std::vector<std::string> ListMDD() const;
+
+  /// Persists the catalog and flushes the page file.
+  Status Save();
+
+  BlobStore* blob_store() { return blobs_.get(); }
+  BufferPool* buffer_pool() { return pool_.get(); }
+  PageFile* page_file() { return file_.get(); }
+  DiskModel* disk_model() { return &disk_model_; }
+
+ private:
+  MDDStore(std::unique_ptr<PageFile> file, MDDStoreOptions options);
+
+  Status LoadCatalog();
+
+  MDDStoreOptions options_;
+  DiskModel disk_model_;
+  // BLOB holding each object's packed index image (kInvalidBlobId until
+  // first Save).
+  std::map<std::string, BlobId> index_blobs_;
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BlobStore> blobs_;
+  std::map<std::string, std::unique_ptr<MDDObject>> objects_;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_MDD_MDD_STORE_H_

@@ -1,0 +1,44 @@
+#include "query/access_log.h"
+
+#include <fstream>
+
+namespace tilestore {
+
+std::vector<AccessRecord> AccessLog::ToRecords() const {
+  std::vector<AccessRecord> records;
+  records.reserve(accesses_.size());
+  for (const MInterval& region : accesses_) {
+    records.push_back(AccessRecord{region, 1});
+  }
+  return records;
+}
+
+Status AccessLog::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const MInterval& region : accesses_) {
+    out << region.ToString() << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<AccessLog> AccessLog::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  AccessLog log;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Result<MInterval> region = MInterval::Parse(line);
+    if (!region.ok()) {
+      return Status::Corruption("bad access log line '" + line +
+                                "': " + region.status().message());
+    }
+    log.Record(region.value());
+  }
+  return log;
+}
+
+}  // namespace tilestore

@@ -1,0 +1,44 @@
+#ifndef TILESTORE_QUERY_ACCESS_LOG_H_
+#define TILESTORE_QUERY_ACCESS_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/minterval.h"
+#include "tiling/statistic.h"
+
+namespace tilestore {
+
+/// \brief A log of query regions executed against one MDD object — the
+/// input to statistic tiling (Section 5.2: "this list is obtained from an
+/// application or database log file of access operations").
+///
+/// The log can be persisted to a plain text file (one interval in paper
+/// notation per line), so it can be inspected and replayed.
+class AccessLog {
+ public:
+  void Record(const MInterval& region) { accesses_.push_back(region); }
+  void Clear() { accesses_.clear(); }
+
+  size_t size() const { return accesses_.size(); }
+  const std::vector<MInterval>& accesses() const { return accesses_; }
+
+  /// Converts to the statistic-tiling input form (one record per access,
+  /// count 1; StatisticTiling does its own merging/counting).
+  std::vector<AccessRecord> ToRecords() const;
+
+  /// Writes the log as text, one interval per line.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Parses a log written by `SaveToFile`.
+  static Result<AccessLog> LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<MInterval> accesses_;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_QUERY_ACCESS_LOG_H_

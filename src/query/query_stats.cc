@@ -1,0 +1,55 @@
+#include "query/query_stats.h"
+
+#include <sstream>
+
+namespace tilestore {
+
+void QueryStats::Add(const QueryStats& other) {
+  tiles_accessed += other.tiles_accessed;
+  tile_bytes_read += other.tile_bytes_read;
+  pages_read += other.pages_read;
+  seeks += other.seeks;
+  index_nodes_visited += other.index_nodes_visited;
+  result_cells += other.result_cells;
+  result_bytes += other.result_bytes;
+  useful_bytes += other.useful_bytes;
+  t_ix_model_ms += other.t_ix_model_ms;
+  t_o_model_ms += other.t_o_model_ms;
+  t_cpu_model_ms += other.t_cpu_model_ms;
+  t_ix_measured_ms += other.t_ix_measured_ms;
+  t_o_measured_ms += other.t_o_measured_ms;
+  t_cpu_measured_ms += other.t_cpu_measured_ms;
+}
+
+void QueryStats::DivideBy(uint64_t n) {
+  if (n == 0) return;
+  tiles_accessed /= n;
+  tile_bytes_read /= n;
+  pages_read /= n;
+  seeks /= n;
+  index_nodes_visited /= n;
+  result_cells /= n;
+  result_bytes /= n;
+  useful_bytes /= n;
+  const double dn = static_cast<double>(n);
+  t_ix_model_ms /= dn;
+  t_o_model_ms /= dn;
+  t_cpu_model_ms /= dn;
+  t_ix_measured_ms /= dn;
+  t_o_measured_ms /= dn;
+  t_cpu_measured_ms /= dn;
+}
+
+std::string QueryStats::ToString() const {
+  std::ostringstream os;
+  os << "tiles=" << tiles_accessed << " read=" << tile_bytes_read
+     << "B (useful " << useful_bytes << "B) pages=" << pages_read
+     << " seeks=" << seeks << " ix_nodes=" << index_nodes_visited
+     << " | model ms: ix=" << t_ix_model_ms << " o=" << t_o_model_ms
+     << " cpu=" << t_cpu_model_ms << " | measured ms: ix="
+     << t_ix_measured_ms << " o=" << t_o_measured_ms << " cpu="
+     << t_cpu_measured_ms;
+  return os.str();
+}
+
+}  // namespace tilestore

@@ -1,0 +1,76 @@
+#ifndef TILESTORE_QUERY_RANGE_QUERY_H_
+#define TILESTORE_QUERY_RANGE_QUERY_H_
+
+#include "common/result.h"
+#include "core/aggregate.h"
+#include "core/array.h"
+#include "core/minterval.h"
+#include "mdd/mdd_object.h"
+#include "mdd/mdd_store.h"
+#include "query/access_log.h"
+#include "query/query_stats.h"
+
+namespace tilestore {
+
+/// Execution options for range queries.
+struct RangeQueryOptions {
+  /// Cold run: clear the buffer pool and reset the disk model before
+  /// executing, so t_o reflects physical retrieval — the regime the paper
+  /// measures. Warm runs (default) use whatever is cached.
+  bool cold = false;
+  /// Cost model parameters for t_ix / t_cpu (see CostParams).
+  CostParams cost;
+  /// Optional access log: every executed query region is recorded, to be
+  /// fed into statistic tiling later.
+  AccessLog* log = nullptr;
+};
+
+/// \brief Executes range queries (access types (a)-(c) of Section 5.1)
+/// against MDD objects, instrumented with the paper's t_ix / t_o / t_cpu
+/// breakdown.
+///
+/// Execution pipeline, exactly as in Section 5: (1) probe the tile index
+/// for the tiles intersecting the query region (t_ix); (2) retrieve those
+/// tiles' BLOBs from the storage system (t_o); (3) compose the intersected
+/// tile parts into the result array (t_cpu). Cells of the region covered
+/// by no tile are filled with the object's default value.
+class RangeQueryExecutor {
+ public:
+  explicit RangeQueryExecutor(MDDStore* store,
+                              RangeQueryOptions options = RangeQueryOptions());
+
+  /// Runs the query. `region` may use unbounded bounds ('*'), which
+  /// resolve against the object's current domain — e.g. the paper's query
+  /// "[32:59,*:*,28:35]" selects the full product axis. The resolved
+  /// region must lie inside the definition domain. `stats` may be null.
+  Result<Array> Execute(MDDObject* object, const MInterval& region,
+                        QueryStats* stats = nullptr);
+
+  /// Aggregation push-down: condenses `region` with `op` without ever
+  /// materializing the result array — tiles are fetched one at a time (in
+  /// physical order) and folded immediately, so peak memory is one tile
+  /// regardless of the region size. Uncovered cells contribute the
+  /// object's default value. Numeric cell types only.
+  Result<double> ExecuteAggregate(MDDObject* object, const MInterval& region,
+                                  AggregateOp op,
+                                  QueryStats* stats = nullptr);
+
+  /// Resolves '*' bounds of `region` against the object's current domain
+  /// without executing. Exposed for tests and benchmark tooling.
+  static Result<MInterval> ResolveRegion(const MDDObject& object,
+                                         const MInterval& region);
+
+  RangeQueryOptions* mutable_options() { return &options_; }
+
+ private:
+  MDDStore* store_;
+  RangeQueryOptions options_;
+};
+
+/// Convenience wrapper: executes one warm query with default options.
+Result<Array> ReadRegion(MDDStore* store, MDDObject* object,
+                         const MInterval& region);
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_QUERY_RANGE_QUERY_H_

@@ -1,0 +1,66 @@
+#ifndef TILESTORE_QUERY_RASQL_H_
+#define TILESTORE_QUERY_RASQL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/aggregate.h"
+#include "core/array.h"
+#include "mdd/mdd_store.h"
+#include "query/query_stats.h"
+#include "query/range_query.h"
+
+namespace tilestore {
+
+/// \brief The parsed form of a (mini-)RasQL query.
+///
+/// The paper's evaluation runs "a set of region queries to MDD objects in
+/// RasQL, the RasDaMan query language". This module implements the slice
+/// of RasQL those experiments need:
+///
+///   SELECT obj[32:59,*:*,28:35] FROM obj          -- trim (range query)
+///   SELECT obj FROM obj                           -- whole object
+///   SELECT add_cells(obj[1:31,28:42,28:35]) FROM obj   -- sub-aggregation
+///
+/// Condensers: add_cells, min_cells, max_cells, avg_cells, count_cells.
+/// '*' bounds resolve against the object's current domain, exactly as in
+/// the paper's query set (Table 3).
+struct RasqlQuery {
+  std::string object;                    // FROM clause
+  std::optional<MInterval> trim;         // nullopt = whole object
+  std::optional<AggregateOp> condenser;  // nullopt = return the array
+};
+
+/// Parses the query text. Keywords are case-insensitive; whitespace is
+/// free-form.
+Result<RasqlQuery> ParseRasql(std::string_view text);
+
+/// The value of a query: either a sub-array or a condensed scalar.
+struct RasqlValue {
+  std::optional<Array> array;  // set for trim queries
+  double scalar = 0;           // set for condenser queries
+  bool is_scalar() const { return !array.has_value(); }
+};
+
+/// \brief Executes mini-RasQL queries against a store.
+class RasqlEngine {
+ public:
+  explicit RasqlEngine(MDDStore* store,
+                       RangeQueryOptions options = RangeQueryOptions())
+      : store_(store), executor_(store, options) {}
+
+  /// Parses and runs `text`. Per-phase stats of the underlying range query
+  /// land in `stats` when non-null.
+  Result<RasqlValue> Execute(std::string_view text,
+                             QueryStats* stats = nullptr);
+
+ private:
+  MDDStore* store_;
+  RangeQueryExecutor executor_;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_QUERY_RASQL_H_

@@ -1,0 +1,41 @@
+#include "query/subaggregate.h"
+
+#include "query/range_query.h"
+
+namespace tilestore {
+
+Result<std::vector<SubAggregate>> ComputeSubAggregates(
+    MDDStore* store, MDDObject* object,
+    const std::vector<AxisPartition>& partitions, AggregateOp op,
+    QueryStats* total_stats) {
+  if (!object->current_domain().has_value()) {
+    return Status::InvalidArgument("object '" + object->name() +
+                                   "' holds no cells");
+  }
+  const MInterval domain = *object->current_domain();
+
+  // Reuse directional tiling's validated block computation; a huge
+  // MaxTileSize keeps blocks unsplit.
+  DirectionalTiling blocks_only(partitions, UINT64_MAX);
+  Result<TilingSpec> blocks = blocks_only.ComputeBlocks(domain);
+  if (!blocks.ok()) return blocks.status();
+
+  RangeQueryOptions options;
+  options.cold = true;  // each sub-aggregation is an independent access
+  RangeQueryExecutor executor(store, options);
+
+  std::vector<SubAggregate> out;
+  out.reserve(blocks->size());
+  for (const MInterval& block : blocks.value()) {
+    QueryStats stats;
+    Result<Array> data = executor.Execute(object, block, &stats);
+    if (!data.ok()) return data.status();
+    Result<double> value = AggregateCells(*data, op);
+    if (!value.ok()) return value.status();
+    out.push_back(SubAggregate{block, *value});
+    if (total_stats != nullptr) total_stats->Add(stats);
+  }
+  return out;
+}
+
+}  // namespace tilestore

@@ -1,0 +1,40 @@
+#ifndef TILESTORE_QUERY_SUBAGGREGATE_H_
+#define TILESTORE_QUERY_SUBAGGREGATE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/aggregate.h"
+#include "core/minterval.h"
+#include "mdd/mdd_object.h"
+#include "mdd/mdd_store.h"
+#include "query/query_stats.h"
+#include "tiling/directional.h"
+
+namespace tilestore {
+
+/// One cell of a sub-aggregation result: a category block and its
+/// condensed value.
+struct SubAggregate {
+  MInterval block;
+  double value = 0;
+};
+
+/// \brief Computes the Figure 3 workload: one condensed value per category
+/// block of the given axis partitions ("for calculating the total number
+/// of units sold in different regions, of products of each type, during
+/// some time frame", Section 5.1 access type (c)).
+///
+/// The blocks are the cross product of the partitions (unpartitioned axes
+/// span the whole domain). One range query per block is executed; when the
+/// object was loaded with `DirectionalTiling` over the *same* partitions,
+/// every query reads exactly its block's bytes. Aggregate I/O statistics
+/// accumulate into `total_stats` when non-null.
+Result<std::vector<SubAggregate>> ComputeSubAggregates(
+    MDDStore* store, MDDObject* object,
+    const std::vector<AxisPartition>& partitions, AggregateOp op,
+    QueryStats* total_stats = nullptr);
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_QUERY_SUBAGGREGATE_H_

@@ -1,0 +1,40 @@
+#include "query/tile_scan.h"
+
+#include <algorithm>
+
+#include "query/range_query.h"
+
+namespace tilestore {
+
+Status TileScan::Begin(const MInterval& region) {
+  Result<MInterval> resolved =
+      RangeQueryExecutor::ResolveRegion(*object_, region);
+  if (!resolved.ok()) return resolved.status();
+  region_ = std::move(resolved).MoveValue();
+
+  hits_ = object_->FindTiles(region_);
+  // Physical order, as in the executor: ascending BLOB id.
+  std::sort(hits_.begin(), hits_.end(),
+            [](const TileEntry& a, const TileEntry& b) {
+              return a.blob < b.blob;
+            });
+  next_ = 0;
+  begun_ = true;
+  return Status::OK();
+}
+
+Result<bool> TileScan::Next() {
+  if (!begun_) {
+    return Status::InvalidArgument("TileScan::Next called before Begin");
+  }
+  if (next_ >= hits_.size()) return false;
+  const TileEntry& entry = hits_[next_++];
+  Result<Tile> tile = object_->FetchTile(entry);
+  if (!tile.ok()) return tile.status();
+  tile_ = std::move(tile).MoveValue();
+  // Index hits always intersect the region.
+  part_ = *tile_.domain().Intersection(region_);
+  return true;
+}
+
+}  // namespace tilestore

@@ -1,0 +1,69 @@
+#ifndef TILESTORE_QUERY_TILE_SCAN_H_
+#define TILESTORE_QUERY_TILE_SCAN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/tile.h"
+#include "mdd/mdd_object.h"
+#include "mdd/mdd_store.h"
+
+namespace tilestore {
+
+/// \brief Streaming cursor over the tiles a range query touches.
+///
+/// For workloads that process tiles one at a time (user-defined
+/// aggregation, export, format conversion, rendering), materializing the
+/// whole query region wastes memory. `TileScan` performs the same pipeline
+/// as `RangeQueryExecutor` — resolve the region, probe the index, fetch
+/// BLOBs in physical order — but hands each tile (and its intersection
+/// with the region) to the caller as soon as it is read, keeping peak
+/// memory at one tile:
+///
+///   TileScan scan(store, object);
+///   TILESTORE_RETURN_IF_ERROR(scan.Begin(region));
+///   while (true) {
+///     TILESTORE_ASSIGN_OR_RETURN(bool more, scan.Next());
+///     if (!more) break;
+///     Process(scan.tile(), scan.part());
+///   }
+///
+/// Cells of the region covered by no tile are NOT reported; callers
+/// needing them can subtract the visited parts from the region
+/// (`Subtract` in core/region.h) and use the object's default cell value.
+class TileScan {
+ public:
+  TileScan(MDDStore* store, MDDObject* object)
+      : store_(store), object_(object) {}
+
+  /// Resolves `region` ('*' bounds allowed) and probes the index. May be
+  /// called again to restart with a new region.
+  Status Begin(const MInterval& region);
+
+  /// Fetches the next intersecting tile. Returns false when the scan is
+  /// exhausted.
+  Result<bool> Next();
+
+  /// The current tile's cells (valid after Next() returned true).
+  const Tile& tile() const { return tile_; }
+  /// The intersection of the current tile's domain with the region.
+  const MInterval& part() const { return part_; }
+  /// The resolved query region (valid after Begin()).
+  const MInterval& region() const { return region_; }
+  /// Tiles remaining to fetch (including the current position).
+  size_t remaining() const { return hits_.size() - next_; }
+
+ private:
+  MDDStore* store_;
+  MDDObject* object_;
+  MInterval region_;
+  std::vector<TileEntry> hits_;
+  size_t next_ = 0;
+  Tile tile_;
+  MInterval part_;
+  bool begun_ = false;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_QUERY_TILE_SCAN_H_

@@ -1,0 +1,178 @@
+#include "storage/blob_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tilestore {
+
+namespace {
+
+constexpr uint32_t kBlobMagic = 0x5453424c;  // "TSBL"
+
+// Header page layout:  u32 magic, u32 reserved, u64 size, u64 next, payload
+// Continuation layout: u64 next, payload
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 8;
+constexpr size_t kContinuationBytes = 8;
+
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+BlobStore::BlobStore(BufferPool* pool) : pool_(pool) {}
+
+size_t BlobStore::header_capacity() const {
+  return pool_->page_file()->page_size() - kHeaderBytes;
+}
+
+size_t BlobStore::continuation_capacity() const {
+  return pool_->page_file()->page_size() - kContinuationBytes;
+}
+
+Result<BlobId> BlobStore::Put(const std::vector<uint8_t>& data) {
+  return Put(data.data(), data.size());
+}
+
+Result<BlobId> BlobStore::Put(const uint8_t* data, size_t size) {
+  PageFile* file = pool_->page_file();
+  const size_t page_size = file->page_size();
+
+  // Number of pages: one header plus continuations for the overflow.
+  size_t pages = 1;
+  if (size > header_capacity()) {
+    const size_t overflow = size - header_capacity();
+    pages += (overflow + continuation_capacity() - 1) / continuation_capacity();
+  }
+
+  // Allocate the whole chain up front so pages are (mostly) consecutive.
+  std::vector<PageId> chain(pages);
+  for (size_t i = 0; i < pages; ++i) {
+    Result<PageId> id = file->AllocatePage();
+    if (!id.ok()) return id.status();
+    chain[i] = id.value();
+  }
+
+  std::vector<uint8_t> page(page_size, 0);
+  size_t consumed = 0;
+  for (size_t i = 0; i < pages; ++i) {
+    std::memset(page.data(), 0, page_size);
+    const PageId next = (i + 1 < pages) ? chain[i + 1] : kInvalidPageId;
+    size_t capacity;
+    uint8_t* payload;
+    if (i == 0) {
+      PutU32(page.data() + 0, kBlobMagic);
+      PutU32(page.data() + 4, 0);
+      PutU64(page.data() + 8, size);
+      PutU64(page.data() + 16, next);
+      payload = page.data() + kHeaderBytes;
+      capacity = header_capacity();
+    } else {
+      PutU64(page.data(), next);
+      payload = page.data() + kContinuationBytes;
+      capacity = continuation_capacity();
+    }
+    const size_t chunk = std::min(capacity, size - consumed);
+    if (chunk > 0) {
+      std::memcpy(payload, data + consumed, chunk);
+    }
+    consumed += chunk;
+    Status st = pool_->WritePage(chain[i], page.data());
+    if (!st.ok()) return st;
+  }
+  return chain[0];
+}
+
+Result<std::vector<uint8_t>> BlobStore::Get(BlobId id) {
+  PageFile* file = pool_->page_file();
+  const size_t page_size = file->page_size();
+  std::vector<uint8_t> page(page_size);
+
+  Status st = pool_->ReadPage(id, page.data());
+  if (!st.ok()) return st;
+  if (GetU32(page.data()) != kBlobMagic) {
+    return Status::Corruption("page " + std::to_string(id) +
+                              " is not a BLOB header");
+  }
+  const uint64_t size = GetU64(page.data() + 8);
+  PageId next = GetU64(page.data() + 16);
+
+  std::vector<uint8_t> out;
+  out.reserve(size);
+  const size_t head_chunk =
+      std::min<uint64_t>(size, header_capacity());
+  out.insert(out.end(), page.data() + kHeaderBytes,
+             page.data() + kHeaderBytes + head_chunk);
+
+  while (out.size() < size) {
+    if (next == kInvalidPageId) {
+      return Status::Corruption("BLOB chain of " + std::to_string(id) +
+                                " ends before its declared size");
+    }
+    st = pool_->ReadPage(next, page.data());
+    if (!st.ok()) return st;
+    next = GetU64(page.data());
+    const size_t chunk =
+        std::min<uint64_t>(size - out.size(), continuation_capacity());
+    out.insert(out.end(), page.data() + kContinuationBytes,
+               page.data() + kContinuationBytes + chunk);
+  }
+  return out;
+}
+
+Result<uint64_t> BlobStore::Size(BlobId id) {
+  std::vector<uint8_t> page(pool_->page_file()->page_size());
+  Status st = pool_->ReadPage(id, page.data());
+  if (!st.ok()) return st;
+  if (GetU32(page.data()) != kBlobMagic) {
+    return Status::Corruption("page " + std::to_string(id) +
+                              " is not a BLOB header");
+  }
+  return GetU64(page.data() + 8);
+}
+
+Status BlobStore::Delete(BlobId id) {
+  PageFile* file = pool_->page_file();
+  std::vector<uint8_t> page(file->page_size());
+
+  Status st = pool_->ReadPage(id, page.data());
+  if (!st.ok()) return st;
+  if (GetU32(page.data()) != kBlobMagic) {
+    return Status::Corruption("page " + std::to_string(id) +
+                              " is not a BLOB header");
+  }
+  const uint64_t size = GetU64(page.data() + 8);
+  PageId next = GetU64(page.data() + 16);
+  pool_->Invalidate(id);
+  st = file->FreePage(id);
+  if (!st.ok()) return st;
+
+  uint64_t remaining =
+      size > header_capacity() ? size - header_capacity() : 0;
+  while (remaining > 0) {
+    if (next == kInvalidPageId) {
+      return Status::Corruption("BLOB chain of " + std::to_string(id) +
+                                " ends before its declared size");
+    }
+    st = pool_->ReadPage(next, page.data());
+    if (!st.ok()) return st;
+    const PageId current = next;
+    next = GetU64(page.data());
+    pool_->Invalidate(current);
+    st = file->FreePage(current);
+    if (!st.ok()) return st;
+    remaining -= std::min<uint64_t>(remaining, continuation_capacity());
+  }
+  return Status::OK();
+}
+
+}  // namespace tilestore

@@ -1,0 +1,57 @@
+#ifndef TILESTORE_STORAGE_BLOB_STORE_H_
+#define TILESTORE_STORAGE_BLOB_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace tilestore {
+
+/// Identifier of a BLOB: the page id of its header page.
+using BlobId = uint64_t;
+inline constexpr BlobId kInvalidBlobId = 0;
+
+/// \brief Variable-length BLOBs on top of the page file — the storage
+/// abstraction the paper assumes ("cells of each tile are stored in a
+/// separate BLOB", Section 5).
+///
+/// A BLOB is a chain of pages: the header page carries a magic, the total
+/// payload size, and the next-page pointer; continuation pages carry a
+/// next-page pointer and payload. Pages are allocated together at `Put`
+/// time, so a freshly written BLOB occupies (mostly) consecutive pages and
+/// reads back with one seek plus sequential transfer — the behaviour the
+/// disk model is calibrated for.
+///
+/// All I/O goes through the `BufferPool` handed to the constructor.
+class BlobStore {
+ public:
+  explicit BlobStore(BufferPool* pool);
+
+  /// Writes a new BLOB; returns its id. Empty BLOBs are allowed.
+  Result<BlobId> Put(const std::vector<uint8_t>& data);
+  Result<BlobId> Put(const uint8_t* data, size_t size);
+
+  /// Reads a BLOB back in full.
+  Result<std::vector<uint8_t>> Get(BlobId id);
+
+  /// Payload size of a BLOB without reading the payload.
+  Result<uint64_t> Size(BlobId id);
+
+  /// Frees all pages of the BLOB.
+  Status Delete(BlobId id);
+
+  /// Payload bytes that fit in one header / continuation page.
+  size_t header_capacity() const;
+  size_t continuation_capacity() const;
+
+ private:
+  BufferPool* pool_;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_STORAGE_BLOB_STORE_H_

@@ -1,0 +1,65 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace tilestore {
+
+BufferPool::BufferPool(PageFile* file, size_t capacity_pages)
+    : file_(file), capacity_(capacity_pages) {}
+
+void BufferPool::Touch(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void BufferPool::InsertEntry(PageId id, const uint8_t* data) {
+  if (capacity_ == 0) return;
+  while (lru_.size() >= capacity_) {
+    map_.erase(lru_.back().id);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{id, std::vector<uint8_t>(
+                                data, data + file_->page_size())});
+  map_[id] = lru_.begin();
+}
+
+Status BufferPool::ReadPage(PageId id, uint8_t* out) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    ++hits_;
+    Touch(it->second);
+    std::memcpy(out, it->second->data.data(), file_->page_size());
+    return Status::OK();
+  }
+  ++misses_;
+  Status st = file_->ReadPage(id, out);
+  if (!st.ok()) return st;
+  InsertEntry(id, out);
+  return Status::OK();
+}
+
+Status BufferPool::WritePage(PageId id, const uint8_t* data) {
+  Status st = file_->WritePage(id, data);
+  if (!st.ok()) return st;
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    std::memcpy(it->second->data.data(), data, file_->page_size());
+    Touch(it->second);
+  } else {
+    InsertEntry(id, data);
+  }
+  return Status::OK();
+}
+
+void BufferPool::Invalidate(PageId id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace tilestore

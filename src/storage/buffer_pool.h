@@ -1,0 +1,67 @@
+#ifndef TILESTORE_STORAGE_BUFFER_POOL_H_
+#define TILESTORE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page_file.h"
+
+namespace tilestore {
+
+/// \brief Write-through LRU page cache in front of a `PageFile`.
+///
+/// Reads served from the pool do not touch the page file and therefore do
+/// not accrue disk-model cost — exactly like a database buffer pool hiding
+/// repeated tile accesses. Benchmarks call `Clear()` between queries to
+/// measure the cold (disk-bound) regime the paper reports.
+///
+/// Not thread-safe, like the rest of the storage layer.
+class BufferPool {
+ public:
+  /// `capacity_pages` of zero disables caching (all calls pass through).
+  BufferPool(PageFile* file, size_t capacity_pages);
+
+  /// Reads a page through the cache.
+  Status ReadPage(PageId id, uint8_t* out);
+
+  /// Writes a page through to the file and refreshes any cached copy.
+  Status WritePage(PageId id, const uint8_t* data);
+
+  /// Drops a page from the cache (e.g. when it is freed).
+  void Invalidate(PageId id);
+
+  /// Drops all cached pages. Hit/miss counters are cumulative and are not
+  /// reset.
+  void Clear();
+
+  size_t capacity_pages() const { return capacity_; }
+  size_t cached_pages() const { return lru_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  PageFile* page_file() const { return file_; }
+
+ private:
+  struct Entry {
+    PageId id;
+    std::vector<uint8_t> data;
+  };
+  using LruList = std::list<Entry>;
+
+  void Touch(LruList::iterator it);
+  void InsertEntry(PageId id, const uint8_t* data);
+
+  PageFile* file_;
+  size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<PageId, LruList::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_STORAGE_BUFFER_POOL_H_

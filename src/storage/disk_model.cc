@@ -1,0 +1,39 @@
+#include "storage/disk_model.h"
+
+namespace tilestore {
+
+void DiskModel::OnRead(uint64_t page_id, size_t bytes) {
+  if (page_id != expected_next_) {
+    ++read_seeks_;
+    read_ms_ += params_.seek_ms;
+  }
+  read_ms_ += TransferMs(bytes);
+  ++pages_read_;
+  bytes_read_ += bytes;
+  expected_next_ = page_id + 1;
+}
+
+void DiskModel::OnWrite(uint64_t page_id, size_t bytes) {
+  if (page_id != expected_next_) {
+    ++write_seeks_;
+    write_ms_ += params_.seek_ms;
+  }
+  write_ms_ += TransferMs(bytes);
+  ++pages_written_;
+  bytes_written_ += bytes;
+  expected_next_ = page_id + 1;
+}
+
+void DiskModel::Reset() {
+  expected_next_ = UINT64_MAX;
+  read_ms_ = 0;
+  write_ms_ = 0;
+  pages_read_ = 0;
+  pages_written_ = 0;
+  bytes_read_ = 0;
+  bytes_written_ = 0;
+  read_seeks_ = 0;
+  write_seeks_ = 0;
+}
+
+}  // namespace tilestore

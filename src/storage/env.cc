@@ -1,0 +1,94 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tilestore {
+
+namespace {
+std::string ErrnoMessage(const std::string& context) {
+  return context + ": " + std::strerror(errno);
+}
+}  // namespace
+
+Result<std::unique_ptr<File>> File::Open(const std::string& path,
+                                         bool create) {
+  int flags = O_RDWR;
+  if (create) flags |= O_CREAT | O_EXCL;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    if (create && errno == EEXIST) {
+      return Status::AlreadyExists("file already exists: " + path);
+    }
+    if (!create && errno == ENOENT) {
+      return Status::NotFound("file not found: " + path);
+    }
+    return Status::IOError(ErrnoMessage("open " + path));
+  }
+  return std::unique_ptr<File>(new File(path, fd));
+}
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status File::ReadAt(uint64_t offset, size_t n, uint8_t* out) const {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::pread(fd_, out + done, n - done,
+                                static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("pread " + path_));
+    }
+    if (got == 0) {
+      return Status::IOError("short read at offset " + std::to_string(offset) +
+                             " of " + path_);
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+Status File::WriteAt(uint64_t offset, const uint8_t* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::pwrite(fd_, data + done, n - done,
+                                 static_cast<off_t>(offset + done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("pwrite " + path_));
+    }
+    done += static_cast<size_t>(put);
+  }
+  return Status::OK();
+}
+
+Status File::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(ErrnoMessage("fdatasync " + path_));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> File::Size() const {
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) return Status::IOError(ErrnoMessage("lseek " + path_));
+  return static_cast<uint64_t>(end);
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(ErrnoMessage("unlink " + path));
+  }
+  return Status::OK();
+}
+
+}  // namespace tilestore

@@ -1,0 +1,58 @@
+#ifndef TILESTORE_STORAGE_ENV_H_
+#define TILESTORE_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tilestore {
+
+/// \brief Minimal random-access file abstraction over POSIX pread/pwrite.
+///
+/// The storage manager needs only offset-addressed reads and writes of
+/// whole pages; this thin wrapper keeps the rest of the storage layer
+/// portable and testable.
+class File {
+ public:
+  /// Opens `path` read-write, creating it when `create` is true (failing
+  /// with AlreadyExists if it already exists in that case).
+  static Result<std::unique_ptr<File>> Open(const std::string& path,
+                                            bool create);
+
+  ~File();
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Reads exactly `n` bytes at `offset`. Short reads are IOErrors.
+  Status ReadAt(uint64_t offset, size_t n, uint8_t* out) const;
+
+  /// Writes exactly `n` bytes at `offset`, extending the file as needed.
+  Status WriteAt(uint64_t offset, const uint8_t* data, size_t n);
+
+  /// Flushes file contents to stable storage (fdatasync).
+  Status Sync();
+
+  /// Current size in bytes.
+  Result<uint64_t> Size() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  File(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_;
+};
+
+/// True if a file exists at `path`.
+bool FileExists(const std::string& path);
+
+/// Removes the file at `path` if present (OK when absent).
+Status RemoveFile(const std::string& path);
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_STORAGE_ENV_H_

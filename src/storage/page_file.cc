@@ -1,0 +1,161 @@
+#include "storage/page_file.h"
+
+#include <cstring>
+#include <vector>
+
+namespace tilestore {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x54535046;  // "TSPF"
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kMinPageSize = 512;
+
+// Superblock layout (all little-endian, at file offset 0):
+//   u32 magic, u32 version, u32 page_size, u32 reserved,
+//   u64 page_count, u64 free_head, u64 free_count, u64 user_root
+constexpr size_t kSuperblockBytes = 4 * 4 + 4 * 8;
+
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PageFile>> PageFile::Create(const std::string& path,
+                                                   uint32_t page_size) {
+  if (page_size < kMinPageSize || (page_size & (page_size - 1)) != 0) {
+    return Status::InvalidArgument(
+        "page size must be a power of two >= " + std::to_string(kMinPageSize));
+  }
+  Result<std::unique_ptr<File>> file = File::Open(path, /*create=*/true);
+  if (!file.ok()) return file.status();
+  std::unique_ptr<PageFile> pf(
+      new PageFile(std::move(file).MoveValue(), page_size));
+  Status st = pf->WriteSuperblock();
+  if (!st.ok()) return st;
+  return pf;
+}
+
+Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path) {
+  Result<std::unique_ptr<File>> file = File::Open(path, /*create=*/false);
+  if (!file.ok()) return file.status();
+  std::unique_ptr<PageFile> pf(
+      new PageFile(std::move(file).MoveValue(), kDefaultPageSize));
+  Status st = pf->ReadSuperblock();
+  if (!st.ok()) return st;
+  return pf;
+}
+
+PageFile::~PageFile() {
+  // Best-effort superblock persistence; callers needing durability must
+  // Flush() and check the status.
+  (void)WriteSuperblock();
+}
+
+Status PageFile::WriteSuperblock() {
+  uint8_t buf[kSuperblockBytes];
+  PutU32(buf + 0, kMagic);
+  PutU32(buf + 4, kVersion);
+  PutU32(buf + 8, page_size_);
+  PutU32(buf + 12, 0);
+  PutU64(buf + 16, page_count_);
+  PutU64(buf + 24, free_head_);
+  PutU64(buf + 32, free_count_);
+  PutU64(buf + 40, user_root_);
+  return file_->WriteAt(0, buf, sizeof(buf));
+}
+
+Status PageFile::ReadSuperblock() {
+  uint8_t buf[kSuperblockBytes];
+  Status st = file_->ReadAt(0, sizeof(buf), buf);
+  if (!st.ok()) return st;
+  if (GetU32(buf + 0) != kMagic) {
+    return Status::Corruption("bad page file magic in " + file_->path());
+  }
+  if (GetU32(buf + 4) != kVersion) {
+    return Status::Corruption("unsupported page file version in " +
+                              file_->path());
+  }
+  page_size_ = GetU32(buf + 8);
+  if (page_size_ < kMinPageSize || (page_size_ & (page_size_ - 1)) != 0) {
+    return Status::Corruption("corrupt page size in " + file_->path());
+  }
+  page_count_ = GetU64(buf + 16);
+  free_head_ = GetU64(buf + 24);
+  free_count_ = GetU64(buf + 32);
+  user_root_ = GetU64(buf + 40);
+  if (page_count_ == 0) {
+    return Status::Corruption("corrupt page count in " + file_->path());
+  }
+  return Status::OK();
+}
+
+Status PageFile::ValidatePageId(PageId id) const {
+  if (id == kInvalidPageId || id >= page_count_) {
+    return Status::InvalidArgument("page id " + std::to_string(id) +
+                                   " out of range (page count " +
+                                   std::to_string(page_count_) + ")");
+  }
+  return Status::OK();
+}
+
+Result<PageId> PageFile::AllocatePage() {
+  if (free_head_ != kInvalidPageId) {
+    const PageId id = free_head_;
+    uint8_t next[8];
+    Status st = file_->ReadAt(id * page_size_, sizeof(next), next);
+    if (!st.ok()) return st;
+    free_head_ = GetU64(next);
+    --free_count_;
+    return id;
+  }
+  return page_count_++;
+}
+
+Status PageFile::FreePage(PageId id) {
+  Status st = ValidatePageId(id);
+  if (!st.ok()) return st;
+  uint8_t next[8];
+  PutU64(next, free_head_);
+  st = file_->WriteAt(id * page_size_, next, sizeof(next));
+  if (!st.ok()) return st;
+  free_head_ = id;
+  ++free_count_;
+  return Status::OK();
+}
+
+Status PageFile::ReadPage(PageId id, uint8_t* out) {
+  Status st = ValidatePageId(id);
+  if (!st.ok()) return st;
+  st = file_->ReadAt(id * page_size_, page_size_, out);
+  if (!st.ok()) return st;
+  if (disk_model_ != nullptr) disk_model_->OnRead(id, page_size_);
+  return Status::OK();
+}
+
+Status PageFile::WritePage(PageId id, const uint8_t* data) {
+  Status st = ValidatePageId(id);
+  if (!st.ok()) return st;
+  st = file_->WriteAt(id * page_size_, data, page_size_);
+  if (!st.ok()) return st;
+  if (disk_model_ != nullptr) disk_model_->OnWrite(id, page_size_);
+  return Status::OK();
+}
+
+Status PageFile::Flush() {
+  Status st = WriteSuperblock();
+  if (!st.ok()) return st;
+  return file_->Sync();
+}
+
+}  // namespace tilestore

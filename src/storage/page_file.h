@@ -1,0 +1,101 @@
+#ifndef TILESTORE_STORAGE_PAGE_FILE_H_
+#define TILESTORE_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_model.h"
+#include "storage/env.h"
+
+namespace tilestore {
+
+/// Identifier of a page within a page file. Page 0 is the superblock;
+/// 0 therefore doubles as the invalid/"null" page id in chains.
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPageId = 0;
+
+/// Default page size. The paper's storage substrate (the O2 system)
+/// managed BLOBs on pages of this order of magnitude; tile sizes
+/// (32 KiB .. 256 KiB) are intended to be integral multiples of it.
+inline constexpr uint32_t kDefaultPageSize = 4096;
+
+/// \brief A file of fixed-size pages with a free list — the lowest layer
+/// of the storage manager.
+///
+/// Layout: page 0 is the superblock (magic, page size, page count, free
+/// list head, and one user-root slot the catalog layer uses to find its
+/// metadata). Pages are allocated from the free list or by extending the
+/// file; freed pages are chained through their first 8 bytes.
+///
+/// Every physical page read/write is reported to the attached `DiskModel`
+/// (if any), which is how benchmarks obtain the paper's t_o. Superblock
+/// and free-list maintenance is metadata traffic and is deliberately not
+/// charged.
+///
+/// Not thread-safe; the storage manager is single-threaded by design.
+class PageFile {
+ public:
+  /// Creates a new page file at `path` (fails with AlreadyExists).
+  static Result<std::unique_ptr<PageFile>> Create(
+      const std::string& path, uint32_t page_size = kDefaultPageSize);
+
+  /// Opens an existing page file, validating the superblock.
+  static Result<std::unique_ptr<PageFile>> Open(const std::string& path);
+
+  ~PageFile();
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Allocates a page (reusing freed pages first). The caller must write
+  /// the page before reading it back.
+  Result<PageId> AllocatePage();
+
+  /// Returns `id` to the free list.
+  Status FreePage(PageId id);
+
+  /// Reads page `id` into `out` (page_size() bytes).
+  Status ReadPage(PageId id, uint8_t* out);
+
+  /// Writes page `id` from `data` (page_size() bytes).
+  Status WritePage(PageId id, const uint8_t* data);
+
+  /// Persists the superblock and syncs file contents.
+  Status Flush();
+
+  uint32_t page_size() const { return page_size_; }
+  /// Total pages including the superblock.
+  uint64_t page_count() const { return page_count_; }
+  uint64_t free_page_count() const { return free_count_; }
+
+  /// User-root slot: an opaque value (e.g. the catalog blob id) persisted
+  /// in the superblock.
+  uint64_t user_root() const { return user_root_; }
+  void set_user_root(uint64_t root) { user_root_ = root; }
+
+  /// Attaches a disk cost model; pass nullptr to detach.
+  void set_disk_model(DiskModel* model) { disk_model_ = model; }
+  DiskModel* disk_model() const { return disk_model_; }
+
+ private:
+  PageFile(std::unique_ptr<File> file, uint32_t page_size)
+      : file_(std::move(file)), page_size_(page_size) {}
+
+  Status ValidatePageId(PageId id) const;
+  Status WriteSuperblock();
+  Status ReadSuperblock();
+
+  std::unique_ptr<File> file_;
+  uint32_t page_size_;
+  uint64_t page_count_ = 1;  // superblock
+  PageId free_head_ = kInvalidPageId;
+  uint64_t free_count_ = 0;
+  uint64_t user_root_ = 0;
+  DiskModel* disk_model_ = nullptr;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,177 @@
+#include "tiling/advisor.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "tiling/aligned.h"
+#include "tiling/areas_of_interest.h"
+#include "tiling/tile_config.h"
+
+namespace tilestore {
+
+std::string_view WorkloadKindToString(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kWholeObject:
+      return "whole-object";
+    case WorkloadKind::kSections:
+      return "sections";
+    case WorkloadKind::kAreasOfInterest:
+      return "areas-of-interest";
+    case WorkloadKind::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+Result<TilingAdvice> TilingAdvisor::Advise(
+    const MInterval& domain,
+    const std::vector<AccessRecord>& accesses) const {
+  if (!domain.IsFixed()) {
+    return Status::InvalidArgument("advisor needs a fixed domain: " +
+                                   domain.ToString());
+  }
+  if (domain.dim() > 64) {
+    return Status::InvalidArgument("advisor supports at most 64 axes");
+  }
+  const size_t d = domain.dim();
+
+  uint64_t total = 0, scans = 0, sections = 0, subareas = 0;
+  // Votes per spanned-axis signature of section accesses.
+  std::vector<std::pair<uint64_t, uint64_t>> signatures;  // (mask, count)
+  std::vector<AccessRecord> subarea_records;
+
+  for (const AccessRecord& access : accesses) {
+    if (access.region.dim() != d || !access.region.IsFixed()) {
+      return Status::InvalidArgument("malformed access record " +
+                                     access.region.ToString());
+    }
+    const std::optional<MInterval> clipped =
+        access.region.Intersection(domain);
+    if (!clipped.has_value()) continue;
+    total += access.count;
+
+    size_t spanned = 0, thin = 0;
+    uint64_t mask = 0;
+    for (size_t i = 0; i < d; ++i) {
+      const double fraction = static_cast<double>(clipped->Extent(i)) /
+                              static_cast<double>(domain.Extent(i));
+      if (fraction >= options_.spanned_fraction) {
+        ++spanned;
+        mask |= (1ull << i);
+      } else if (fraction <= options_.thin_fraction) {
+        ++thin;
+      }
+    }
+    if (spanned == d) {
+      scans += access.count;
+      continue;
+    }
+    if (spanned >= 1 && spanned + thin == d) {
+      sections += access.count;
+      bool found = false;
+      for (auto& [sig, count] : signatures) {
+        if (sig == mask) {
+          count += access.count;
+          found = true;
+          break;
+        }
+      }
+      if (!found) signatures.emplace_back(mask, access.count);
+      continue;
+    }
+    subareas += access.count;
+    subarea_records.push_back(AccessRecord{*clipped, access.count});
+  }
+
+  TilingAdvice advice;
+  auto fallback = [&](std::string why) {
+    advice.kind = WorkloadKind::kMixed;
+    advice.strategy = std::make_shared<AlignedTiling>(
+        AlignedTiling::Regular(d, options_.max_tile_bytes));
+    advice.rationale = std::move(why);
+  };
+
+  if (total == 0) {
+    fallback("no usable accesses in the log; default aligned tiling");
+    return advice;
+  }
+  advice.full_scan_fraction = static_cast<double>(scans) / total;
+  advice.section_fraction = static_cast<double>(sections) / total;
+  advice.subarea_fraction = static_cast<double>(subareas) / total;
+
+  std::ostringstream why;
+  why << std::fixed;
+  why.precision(0);
+  why << "workload: " << advice.full_scan_fraction * 100 << "% scans, "
+      << advice.section_fraction * 100 << "% sections, "
+      << advice.subarea_fraction * 100 << "% subareas; ";
+
+  if (advice.full_scan_fraction >= options_.dominance_threshold) {
+    // Type (a): whole-object accesses -> aligned tiling (Section 5.1).
+    advice.kind = WorkloadKind::kWholeObject;
+    advice.strategy = std::make_shared<AlignedTiling>(
+        AlignedTiling::Regular(d, options_.max_tile_bytes));
+    why << "whole-object scans dominate: aligned (regular) tiling";
+    advice.rationale = why.str();
+    return advice;
+  }
+
+  if (advice.section_fraction >= options_.dominance_threshold &&
+      !signatures.empty()) {
+    // Types (c)/(d): find the dominant spanned-axis signature and stretch
+    // tiles along those axes ('*' configuration, Figure 4).
+    std::sort(signatures.begin(), signatures.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    const auto [mask, count] = signatures.front();
+    // Strictly dominant: at an exact tie between directions a star
+    // configuration would severely degrade the losing half (Section 5.1's
+    // warning), so fall through to the default instead.
+    if (static_cast<double>(count) / sections >
+        options_.dominance_threshold) {
+      TileConfig config = TileConfig::Regular(d);
+      why << "sections spanning axes {";
+      bool first = true;
+      for (size_t i = 0; i < d; ++i) {
+        if ((mask & (1ull << i)) == 0) continue;
+        config.SetStar(i);
+        why << (first ? "" : ",") << i;
+        first = false;
+      }
+      why << "} dominate: aligned tiling with '*' along them";
+      advice.kind = WorkloadKind::kSections;
+      advice.strategy = std::make_shared<AlignedTiling>(
+          config, options_.max_tile_bytes);
+      advice.rationale = why.str();
+      return advice;
+    }
+    why << "sections dominate but disagree on direction; ";
+  }
+
+  if (advice.subarea_fraction >= options_.dominance_threshold) {
+    // Type (b): repeated subareas -> areas of interest derived from the
+    // log (StatisticTiling's clustering).
+    StatisticTiling clustering(subarea_records, options_.max_tile_bytes,
+                               options_.frequency_threshold,
+                               options_.distance_threshold);
+    Result<std::vector<MInterval>> areas =
+        clustering.DeriveAreasOfInterest(domain);
+    if (!areas.ok()) return areas.status();
+    if (!areas->empty()) {
+      why << "repeated subareas dominate: areas-of-interest tiling over "
+          << areas->size() << " derived area(s)";
+      advice.kind = WorkloadKind::kAreasOfInterest;
+      advice.strategy = std::make_shared<AreasOfInterestTiling>(
+          std::move(areas).MoveValue(), options_.max_tile_bytes);
+      advice.rationale = why.str();
+      return advice;
+    }
+    why << "subareas dominate but none repeats often enough; ";
+  }
+
+  why << "no dominant pattern: default aligned tiling";
+  fallback(why.str());
+  return advice;
+}
+
+}  // namespace tilestore

@@ -1,0 +1,84 @@
+#ifndef TILESTORE_TILING_ADVISOR_H_
+#define TILESTORE_TILING_ADVISOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/minterval.h"
+#include "tiling/statistic.h"
+#include "tiling/tiling.h"
+
+namespace tilestore {
+
+/// How the advisor classified the workload (Section 5.1 access types).
+enum class WorkloadKind {
+  kWholeObject,      // type (a): mostly full scans -> aligned (regular)
+  kSections,         // type (d): directional sections -> aligned with '*'
+  kAreasOfInterest,  // type (b): repeated subareas -> areas of interest
+  kMixed,            // no dominant pattern -> default aligned tiling
+};
+
+std::string_view WorkloadKindToString(WorkloadKind kind);
+
+/// The advisor's output: a ready-to-use strategy plus the evidence.
+struct TilingAdvice {
+  WorkloadKind kind = WorkloadKind::kMixed;
+  std::shared_ptr<TilingStrategy> strategy;
+  std::string rationale;
+  // Workload composition (fractions of all in-domain accesses).
+  double full_scan_fraction = 0;
+  double section_fraction = 0;
+  double subarea_fraction = 0;
+};
+
+/// \brief Automates Section 5.1's access-pattern analysis: given a log of
+/// accesses to an object, classify the workload and recommend the tiling
+/// strategy the paper prescribes for it.
+///
+/// - Mostly whole-object scans (type a)   -> aligned regular tiling;
+/// - a dominant *section* signature — thin along some axes, spanning the
+///   others (types c/d)                   -> aligned tiling with '*' along
+///                                           the spanned axes;
+/// - repeated subarea accesses (type b)   -> areas-of-interest tiling with
+///                                           areas derived from the log
+///                                           (via StatisticTiling's
+///                                           clustering);
+/// - anything else                        -> the default aligned tiling.
+///
+/// This generalizes `StatisticTiling` (which always derives areas of
+/// interest) by first deciding *which* strategy family fits.
+class TilingAdvisor {
+ public:
+  struct Options {
+    uint64_t max_tile_bytes = kDefaultMaxTileBytes;
+    /// Fraction of accesses a pattern needs to dominate the workload.
+    double dominance_threshold = 0.5;
+    /// An axis is "thin" when the access spans at most this fraction of
+    /// it, and "spanned" when it covers at least `spanned_fraction`.
+    double thin_fraction = 0.1;
+    double spanned_fraction = 0.9;
+    /// Area-of-interest clustering (see StatisticTiling).
+    uint64_t frequency_threshold = 3;
+    Coord distance_threshold = 0;
+  };
+
+  TilingAdvisor() = default;
+  explicit TilingAdvisor(Options options) : options_(options) {}
+
+  /// Analyzes `accesses` against `domain` (must be fixed) and returns the
+  /// recommendation. Accesses outside the domain are clipped/ignored; an
+  /// empty or unusable log yields the default aligned strategy.
+  Result<TilingAdvice> Advise(
+      const MInterval& domain,
+      const std::vector<AccessRecord>& accesses) const;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_TILING_ADVISOR_H_

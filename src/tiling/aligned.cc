@@ -1,0 +1,201 @@
+#include "tiling/aligned.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tilestore {
+
+namespace {
+
+// Product of the entries of `t`, saturating at UINT64_MAX.
+uint64_t Product(const std::vector<Coord>& t) {
+  unsigned __int128 prod = 1;
+  for (Coord v : t) {
+    prod *= static_cast<unsigned __int128>(v);
+    if (prod > UINT64_MAX) return UINT64_MAX;
+  }
+  return static_cast<uint64_t>(prod);
+}
+
+}  // namespace
+
+AlignedTiling::AlignedTiling(TileConfig config, uint64_t max_tile_bytes)
+    : config_(std::move(config)), max_tile_bytes_(max_tile_bytes) {}
+
+AlignedTiling AlignedTiling::Regular(size_t dim, uint64_t max_tile_bytes) {
+  return AlignedTiling(TileConfig::Regular(dim), max_tile_bytes);
+}
+
+std::string AlignedTiling::name() const {
+  return "aligned" + config_.ToString() + "/" +
+         std::to_string(max_tile_bytes_);
+}
+
+Result<std::vector<Coord>> AlignedTiling::ComputeTileFormat(
+    const MInterval& domain, size_t cell_size) const {
+  const size_t d = domain.dim();
+  if (config_.dim() != d) {
+    return Status::InvalidArgument(
+        "tile configuration " + config_.ToString() +
+        " does not match domain dimensionality of " + domain.ToString());
+  }
+  if (!domain.IsFixed()) {
+    return Status::InvalidArgument("aligned tiling needs a fixed domain: " +
+                                   domain.ToString());
+  }
+  if (cell_size == 0) {
+    return Status::InvalidArgument("cell size must be positive");
+  }
+  if (cell_size > max_tile_bytes_) {
+    return Status::InvalidArgument(
+        "a single cell (" + std::to_string(cell_size) +
+        " bytes) exceeds MaxTileSize (" + std::to_string(max_tile_bytes_) +
+        " bytes)");
+  }
+
+  const uint64_t budget_cells = max_tile_bytes_ / cell_size;  // >= 1
+  std::vector<Coord> t(d, 1);
+
+  // Phase 1: starred (preferential) directions, highest axis first, so that
+  // cells consecutive along the highest starred axis group into one tile
+  // first (they are adjacent in row-major order).
+  uint64_t used = 1;  // product of assigned tile lengths so far
+  bool exhausted = false;
+  for (size_t i = d; i > 0; --i) {
+    const size_t axis = i - 1;
+    if (!config_.is_star(axis)) continue;
+    if (exhausted) {
+      t[axis] = 1;
+      continue;
+    }
+    const uint64_t allowed = budget_cells / used;
+    const uint64_t extent = static_cast<uint64_t>(domain.Extent(axis));
+    if (extent <= allowed) {
+      t[axis] = static_cast<Coord>(extent);
+      used *= extent;
+    } else {
+      t[axis] = static_cast<Coord>(std::max<uint64_t>(1, allowed));
+      used *= static_cast<uint64_t>(t[axis]);
+      exhausted = true;
+    }
+  }
+
+  // Phase 2: finite directions share the remaining budget by relative size.
+  std::vector<size_t> finite;
+  for (size_t i = 0; i < d; ++i) {
+    if (!config_.is_star(i)) finite.push_back(i);
+  }
+  if (!finite.empty() && !exhausted) {
+    const uint64_t allowed = std::max<uint64_t>(1, budget_cells / used);
+    double prod_r = 1.0;
+    for (size_t i : finite) prod_r *= config_.relative(i);
+    // The paper's stretch factor: f = (MaxTileSize/(CellSize*prod r))^(1/k)
+    // over the k finite axes (the budget already excludes starred axes).
+    const double f = std::pow(static_cast<double>(allowed) / prod_r,
+                              1.0 / static_cast<double>(finite.size()));
+    for (size_t i : finite) {
+      const Coord extent = domain.Extent(i);
+      Coord len = static_cast<Coord>(std::floor(f * config_.relative(i)));
+      t[i] = std::clamp<Coord>(len, 1, extent);
+    }
+    // Clamping lengths up to 1 can overshoot the budget; shrink the largest
+    // shrinkable axis until the product fits again.
+    auto finite_product = [&]() {
+      unsigned __int128 prod = 1;
+      for (size_t i : finite) prod *= static_cast<unsigned __int128>(t[i]);
+      return prod;
+    };
+    while (finite_product() > allowed) {
+      size_t largest = finite.front();
+      for (size_t i : finite) {
+        if (t[i] > t[largest]) largest = i;
+      }
+      if (t[largest] <= 1) break;  // only 1-cell axes left: give up shrinking
+      --t[largest];
+    }
+    // Greedily fill the rest of the budget ("tiles are sized in a way to
+    // optimally fill MaxTileSize"): repeatedly grow the axis furthest below
+    // its configured proportion.
+    while (true) {
+      size_t best = SIZE_MAX;
+      double best_ratio = 0;
+      const unsigned __int128 prod = finite_product();
+      for (size_t i : finite) {
+        if (t[i] >= domain.Extent(i)) continue;
+        if (prod / static_cast<unsigned __int128>(t[i]) *
+                static_cast<unsigned __int128>(t[i] + 1) >
+            allowed) {
+          continue;
+        }
+        const double ratio = static_cast<double>(t[i]) / config_.relative(i);
+        if (best == SIZE_MAX || ratio < best_ratio) {
+          best = i;
+          best_ratio = ratio;
+        }
+      }
+      if (best == SIZE_MAX) break;
+      ++t[best];
+    }
+  }
+
+  // Invariant: the format never exceeds the budget (single-cell tiles are
+  // always allowed since cell_size <= max_tile_bytes was checked above).
+  const uint64_t cells = Product(t);
+  if (cells > budget_cells && cells != 1) {
+    return Status::Internal("aligned tile format " +
+                            std::to_string(cells) +
+                            " cells exceeds the budget of " +
+                            std::to_string(budget_cells));
+  }
+  return t;
+}
+
+Result<TilingSpec> AlignedTiling::ComputeTiling(const MInterval& domain,
+                                                size_t cell_size) const {
+  Result<std::vector<Coord>> format = ComputeTileFormat(domain, cell_size);
+  if (!format.ok()) return format.status();
+  return GridTiling(domain, format.value());
+}
+
+TilingSpec GridTiling(const MInterval& domain,
+                      const std::vector<Coord>& format) {
+  const size_t d = domain.dim();
+  assert(format.size() == d);
+
+  // Number of tiles per axis.
+  std::vector<uint64_t> counts(d);
+  uint64_t total = 1;
+  for (size_t i = 0; i < d; ++i) {
+    assert(format[i] >= 1);
+    counts[i] = static_cast<uint64_t>(
+        (domain.Extent(i) + format[i] - 1) / format[i]);
+    total *= counts[i];
+  }
+
+  TilingSpec spec;
+  spec.reserve(total);
+  std::vector<uint64_t> idx(d, 0);
+  while (true) {
+    std::vector<Coord> lo(d), hi(d);
+    for (size_t i = 0; i < d; ++i) {
+      lo[i] = domain.lo(i) + static_cast<Coord>(idx[i]) * format[i];
+      hi[i] = std::min(lo[i] + format[i] - 1, domain.hi(i));
+    }
+    spec.push_back(MInterval::Create(std::move(lo), std::move(hi)).value());
+    size_t axis = d;
+    bool done = true;
+    while (axis > 0) {
+      --axis;
+      if (++idx[axis] < counts[axis]) {
+        done = false;
+        break;
+      }
+      idx[axis] = 0;
+    }
+    if (done) break;
+  }
+  return spec;
+}
+
+}  // namespace tilestore

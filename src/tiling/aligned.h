@@ -1,0 +1,70 @@
+#ifndef TILESTORE_TILING_ALIGNED_H_
+#define TILESTORE_TILING_ALIGNED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/minterval.h"
+#include "tiling/tile_config.h"
+#include "tiling/tiling.h"
+
+namespace tilestore {
+
+/// \brief Aligned tiling (Section 5.2, "Aligned Tiling").
+///
+/// Cuts the whole domain by hyperplanes orthogonal to the axes into a grid
+/// of congruent tiles (border tiles are clipped to the domain). The tile
+/// format (t_1, ..., t_d) is derived from a relative `TileConfig`
+/// (r_1, ..., r_d):
+///
+///  * If all r_i are finite, tiles are stretched equally by the factor
+///    f = (MaxTileSize / (CellSize * prod r_i))^(1/d), i.e.
+///    t_i = floor(f * r_i), so that CellSize * prod t_i <= MaxTileSize.
+///    Remaining budget is then greedily used to fill MaxTileSize as well as
+///    possible while preserving the configured proportions.
+///
+///  * '*' entries mark preferential scan directions: tile length is
+///    maximised along the *highest* starred axis first (cells with
+///    consecutive coordinates along that axis are contiguous in row-major
+///    order), then the next-lower starred axis, until the budget is
+///    exhausted. If the budget runs out, all remaining axes get length 1;
+///    otherwise the finite axes share the remaining budget by relative
+///    size.
+///
+/// With the regular configuration (1,...,1) this is exactly the
+/// regular/chunked tiling used as the baseline in Section 6.
+class AlignedTiling : public TilingStrategy {
+ public:
+  AlignedTiling(TileConfig config, uint64_t max_tile_bytes);
+
+  /// The regular-tiling baseline: cubic tiles of at most `max_tile_bytes`.
+  static AlignedTiling Regular(size_t dim, uint64_t max_tile_bytes);
+
+  Result<TilingSpec> ComputeTiling(const MInterval& domain,
+                                   size_t cell_size) const override;
+  std::string name() const override;
+
+  /// Computes only the tile format (t_1, ..., t_d); exposed for tests and
+  /// for the directional algorithm's subpartitioning step.
+  Result<std::vector<Coord>> ComputeTileFormat(const MInterval& domain,
+                                               size_t cell_size) const;
+
+  const TileConfig& config() const { return config_; }
+  uint64_t max_tile_bytes() const { return max_tile_bytes_; }
+
+ private:
+  TileConfig config_;
+  uint64_t max_tile_bytes_;
+};
+
+/// Generates the grid of tiles of format `format` anchored at
+/// `domain.LowCorner()`; border tiles are clipped to `domain`. Exposed for
+/// reuse by other strategies and tests.
+TilingSpec GridTiling(const MInterval& domain,
+                      const std::vector<Coord>& format);
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_TILING_ALIGNED_H_

@@ -1,0 +1,166 @@
+#include "tiling/areas_of_interest.h"
+
+#include <algorithm>
+#include <map>
+
+#include "tiling/aligned.h"
+#include "tiling/directional.h"
+
+namespace tilestore {
+
+namespace tiling_internal {
+
+uint64_t IntersectCode(const MInterval& block,
+                       const std::vector<MInterval>& areas) {
+  uint64_t code = 0;
+  for (size_t j = 0; j < areas.size(); ++j) {
+    if (block.Intersects(areas[j])) code |= (1ull << j);
+  }
+  return code;
+}
+
+void MergeByCode(std::vector<MInterval>* spec, std::vector<uint64_t>* codes,
+                 size_t dim, size_t cell_size, uint64_t max_bytes) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t axis = 0; axis < dim; ++axis) {
+      // Group blocks sharing all bounds except on `axis`; within a group,
+      // neighbours along `axis` are merge candidates.
+      std::map<std::vector<Coord>, std::vector<size_t>> groups;
+      for (size_t idx = 0; idx < spec->size(); ++idx) {
+        std::vector<Coord> key;
+        key.reserve(2 * (dim - 1));
+        for (size_t i = 0; i < dim; ++i) {
+          if (i == axis) continue;
+          key.push_back((*spec)[idx].lo(i));
+          key.push_back((*spec)[idx].hi(i));
+        }
+        groups[std::move(key)].push_back(idx);
+      }
+
+      std::vector<bool> dead(spec->size(), false);
+      for (auto& [key, members] : groups) {
+        std::sort(members.begin(), members.end(), [&](size_t a, size_t b) {
+          return (*spec)[a].lo(axis) < (*spec)[b].lo(axis);
+        });
+        size_t cur = members[0];
+        for (size_t m = 1; m < members.size(); ++m) {
+          const size_t next = members[m];
+          const bool adjacent =
+              (*spec)[cur].hi(axis) + 1 == (*spec)[next].lo(axis);
+          const MInterval merged = (*spec)[cur].Hull((*spec)[next]);
+          const bool fits =
+              merged.CellCountOrDie() * cell_size <= max_bytes;
+          if (adjacent && (*codes)[cur] == (*codes)[next] && fits) {
+            (*spec)[cur] = merged;
+            dead[next] = true;
+            changed = true;
+          } else {
+            cur = next;
+          }
+        }
+      }
+
+      // Compact the survivors.
+      size_t out = 0;
+      for (size_t idx = 0; idx < spec->size(); ++idx) {
+        if (dead[idx]) continue;
+        if (out != idx) {  // guard against self-move
+          (*spec)[out] = std::move((*spec)[idx]);
+          (*codes)[out] = (*codes)[idx];
+        }
+        ++out;
+      }
+      spec->resize(out);
+      codes->resize(out);
+    }
+  }
+}
+
+}  // namespace tiling_internal
+
+AreasOfInterestTiling::AreasOfInterestTiling(std::vector<MInterval> areas,
+                                             uint64_t max_tile_bytes)
+    : areas_(std::move(areas)), max_tile_bytes_(max_tile_bytes) {}
+
+AreasOfInterestTiling& AreasOfInterestTiling::DisableMerge() {
+  merge_enabled_ = false;
+  return *this;
+}
+
+std::string AreasOfInterestTiling::name() const {
+  return "areas_of_interest{" + std::to_string(areas_.size()) + "}/" +
+         std::to_string(max_tile_bytes_);
+}
+
+Result<TilingSpec> AreasOfInterestTiling::ComputeTiling(
+    const MInterval& domain, size_t cell_size) const {
+  if (!domain.IsFixed()) {
+    return Status::InvalidArgument(
+        "areas-of-interest tiling needs a fixed domain: " + domain.ToString());
+  }
+  if (areas_.empty()) {
+    return Status::InvalidArgument("no areas of interest given");
+  }
+  if (areas_.size() > 64) {
+    return Status::InvalidArgument(
+        "at most 64 areas of interest are supported (IntersectCode is a "
+        "64-bit mask)");
+  }
+  const size_t d = domain.dim();
+  for (const MInterval& area : areas_) {
+    if (area.dim() != d || !domain.Contains(area)) {
+      return Status::InvalidArgument("area of interest " + area.ToString() +
+                                     " not inside domain " +
+                                     domain.ToString());
+    }
+  }
+
+  // Step 1+2 (Figure 6 lines 1-2): axis partitions from the areas' bounds;
+  // cut the whole domain into the grid of blocks they induce.
+  std::vector<tiling_internal::AxisCuts> cuts(d);
+  for (const MInterval& area : areas_) {
+    for (size_t i = 0; i < d; ++i) {
+      cuts[i].push_back(area.lo(i));
+      cuts[i].push_back(area.hi(i) + 1);
+    }
+  }
+  Result<std::vector<tiling_internal::AxisCuts>> normalized =
+      tiling_internal::NormalizeCuts(domain, std::move(cuts));
+  if (!normalized.ok()) return normalized.status();
+  TilingSpec blocks = tiling_internal::GridBlocks(domain, normalized.value());
+
+  // Step 3 (line 3): classify blocks by IntersectCode.
+  std::vector<uint64_t> codes;
+  codes.reserve(blocks.size());
+  for (const MInterval& block : blocks) {
+    codes.push_back(tiling_internal::IntersectCode(block, areas_));
+  }
+
+  // Step 4 (line 4): merge neighbouring blocks with equal codes.
+  if (merge_enabled_) {
+    tiling_internal::MergeByCode(&blocks, &codes, d, cell_size,
+                                 max_tile_bytes_);
+  }
+
+  // Step 5 (line 5): split blocks that still exceed MaxTileSize using the
+  // aligned algorithm. Subdividing never crosses a code boundary, so the
+  // IntersectCode guarantee survives.
+  const AlignedTiling subtiler =
+      AlignedTiling::Regular(d, max_tile_bytes_);
+  TilingSpec spec;
+  spec.reserve(blocks.size());
+  for (const MInterval& block : blocks) {
+    if (block.CellCountOrDie() * cell_size <= max_tile_bytes_) {
+      spec.push_back(block);
+      continue;
+    }
+    Result<TilingSpec> sub = subtiler.ComputeTiling(block, cell_size);
+    if (!sub.ok()) return sub.status();
+    spec.insert(spec.end(), sub->begin(), sub->end());
+  }
+  return spec;
+}
+
+}  // namespace tilestore

@@ -1,0 +1,69 @@
+#ifndef TILESTORE_TILING_AREAS_OF_INTEREST_H_
+#define TILESTORE_TILING_AREAS_OF_INTEREST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/minterval.h"
+#include "tiling/tiling.h"
+
+namespace tilestore {
+
+/// \brief Tiling according to areas of interest (Section 5.2, Figure 6).
+///
+/// An area of interest is a frequently accessed subarray, given as a hint.
+/// The algorithm:
+///   1. derives axis partitions from the lower/upper bounds of all areas
+///      of interest and cuts the domain into the resulting grid of blocks
+///      (directional tiling without subpartitioning);
+///   2. classifies each block by its IntersectCode — one bit per area of
+///      interest, set iff the block intersects that area;
+///   3. merges neighbouring blocks with identical IntersectCodes (only
+///      when the union is a box and stays within MaxTileSize, so the
+///      guarantee below is preserved);
+///   4. splits blocks still exceeding MaxTileSize with aligned tiling.
+///
+/// Guarantee: every tile is fully inside or fully outside each area of
+/// interest, so a query for an area of interest reads only bytes belonging
+/// to that area.
+class AreasOfInterestTiling : public TilingStrategy {
+ public:
+  /// At most 64 areas of interest are supported (the IntersectCode is one
+  /// bit per area). Areas may overlap each other.
+  AreasOfInterestTiling(std::vector<MInterval> areas, uint64_t max_tile_bytes);
+
+  /// Disables the merge step (step 3); used by the merge ablation
+  /// benchmark. Returns *this for chaining.
+  AreasOfInterestTiling& DisableMerge();
+
+  Result<TilingSpec> ComputeTiling(const MInterval& domain,
+                                   size_t cell_size) const override;
+  std::string name() const override;
+
+  const std::vector<MInterval>& areas() const { return areas_; }
+
+ private:
+  std::vector<MInterval> areas_;
+  uint64_t max_tile_bytes_;
+  bool merge_enabled_ = true;
+};
+
+namespace tiling_internal {
+
+/// The IntersectCode of `block`: bit j set iff block intersects areas[j].
+uint64_t IntersectCode(const MInterval& block,
+                       const std::vector<MInterval>& areas);
+
+/// Merges axis-aligned neighbouring intervals whose codes match, when the
+/// union is a box and its payload stays within `max_bytes`. `codes` is
+/// kept in sync with `spec`. Iterates across axes until a fixpoint.
+void MergeByCode(std::vector<MInterval>* spec, std::vector<uint64_t>* codes,
+                 size_t dim, size_t cell_size, uint64_t max_bytes);
+
+}  // namespace tiling_internal
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_TILING_AREAS_OF_INTEREST_H_

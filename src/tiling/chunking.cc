@@ -1,0 +1,102 @@
+#include "tiling/chunking.h"
+
+#include <algorithm>
+
+#include "tiling/aligned.h"
+
+namespace tilestore {
+
+PatternOptimizedChunking::PatternOptimizedChunking(
+    std::vector<AccessShape> pattern, uint64_t max_tile_bytes)
+    : pattern_(std::move(pattern)), max_tile_bytes_(max_tile_bytes) {}
+
+std::string PatternOptimizedChunking::name() const {
+  return "pattern_chunking{" + std::to_string(pattern_.size()) + " shapes}/" +
+         std::to_string(max_tile_bytes_);
+}
+
+double PatternOptimizedChunking::ExpectedChunksPerAccess(
+    const std::vector<AccessShape>& pattern,
+    const std::vector<Coord>& format) {
+  double expectation = 0;
+  for (const AccessShape& shape : pattern) {
+    double chunks = 1;
+    for (size_t i = 0; i < format.size(); ++i) {
+      chunks *= (static_cast<double>(shape.extents[i]) - 1.0) /
+                    static_cast<double>(format[i]) +
+                1.0;
+    }
+    expectation += shape.probability * chunks;
+  }
+  return expectation;
+}
+
+Result<std::vector<Coord>> PatternOptimizedChunking::ComputeChunkFormat(
+    const MInterval& domain, size_t cell_size) const {
+  const size_t d = domain.dim();
+  if (!domain.IsFixed()) {
+    return Status::InvalidArgument("chunking needs a fixed domain: " +
+                                   domain.ToString());
+  }
+  if (pattern_.empty()) {
+    return Status::InvalidArgument("empty access pattern");
+  }
+  for (const AccessShape& shape : pattern_) {
+    if (shape.extents.size() != d) {
+      return Status::InvalidArgument(
+          "access shape dimensionality does not match the domain");
+    }
+    for (Coord e : shape.extents) {
+      if (e < 1) {
+        return Status::InvalidArgument("access shape extents must be >= 1");
+      }
+    }
+    if (!(shape.probability > 0)) {
+      return Status::InvalidArgument("access probabilities must be positive");
+    }
+  }
+  if (cell_size == 0 || cell_size > max_tile_bytes_) {
+    return Status::InvalidArgument("cell size incompatible with MaxTileSize");
+  }
+
+  const uint64_t budget_cells = max_tile_bytes_ / cell_size;
+  std::vector<Coord> format(d, 1);
+  uint64_t cells = 1;
+
+  // Greedy steepest descent: grow the axis with the largest reduction of
+  // the expected chunk count until the budget or the extents stop us.
+  while (true) {
+    const double current = ExpectedChunksPerAccess(pattern_, format);
+    size_t best_axis = SIZE_MAX;
+    double best_cost = current;
+    for (size_t i = 0; i < d; ++i) {
+      if (format[i] >= domain.Extent(i)) continue;
+      if (cells / static_cast<uint64_t>(format[i]) *
+              static_cast<uint64_t>(format[i] + 1) >
+          budget_cells) {
+        continue;
+      }
+      ++format[i];
+      const double cost = ExpectedChunksPerAccess(pattern_, format);
+      --format[i];
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_axis = i;
+      }
+    }
+    if (best_axis == SIZE_MAX) break;
+    cells = cells / static_cast<uint64_t>(format[best_axis]) *
+            static_cast<uint64_t>(format[best_axis] + 1);
+    ++format[best_axis];
+  }
+  return format;
+}
+
+Result<TilingSpec> PatternOptimizedChunking::ComputeTiling(
+    const MInterval& domain, size_t cell_size) const {
+  Result<std::vector<Coord>> format = ComputeChunkFormat(domain, cell_size);
+  if (!format.ok()) return format.status();
+  return GridTiling(domain, format.value());
+}
+
+}  // namespace tilestore

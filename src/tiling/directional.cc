@@ -1,0 +1,103 @@
+#include "tiling/directional.h"
+
+#include <algorithm>
+
+#include "tiling/aligned.h"
+
+namespace tilestore {
+
+using tiling_internal::AxisCuts;
+using tiling_internal::GridBlocks;
+using tiling_internal::NormalizeCuts;
+
+DirectionalTiling::DirectionalTiling(std::vector<AxisPartition> partitions,
+                                     uint64_t max_tile_bytes,
+                                     std::optional<TileConfig> sub_config)
+    : partitions_(std::move(partitions)),
+      max_tile_bytes_(max_tile_bytes),
+      sub_config_(std::move(sub_config)) {}
+
+std::string DirectionalTiling::name() const {
+  std::string out = "directional{";
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    if (i > 0) out += ';';
+    out += "axis" + std::to_string(partitions_[i].axis) + ":" +
+           std::to_string(partitions_[i].bounds.size()) + "pts";
+  }
+  out += "}/" + std::to_string(max_tile_bytes_);
+  return out;
+}
+
+Result<TilingSpec> DirectionalTiling::ComputeBlocks(
+    const MInterval& domain) const {
+  if (!domain.IsFixed()) {
+    return Status::InvalidArgument(
+        "directional tiling needs a fixed domain: " + domain.ToString());
+  }
+  const size_t d = domain.dim();
+  std::vector<bool> seen(d, false);
+  std::vector<AxisCuts> cuts(d);
+  for (const AxisPartition& part : partitions_) {
+    if (part.axis >= d) {
+      return Status::InvalidArgument("partition axis " +
+                                     std::to_string(part.axis) +
+                                     " out of range for " + domain.ToString());
+    }
+    if (seen[part.axis]) {
+      return Status::InvalidArgument("duplicate partition for axis " +
+                                     std::to_string(part.axis));
+    }
+    seen[part.axis] = true;
+    if (part.bounds.size() < 2 ||
+        !std::is_sorted(part.bounds.begin(), part.bounds.end()) ||
+        std::adjacent_find(part.bounds.begin(), part.bounds.end()) !=
+            part.bounds.end()) {
+      return Status::InvalidArgument(
+          "axis partition bounds must be strictly increasing with >= 2 "
+          "entries (axis " +
+          std::to_string(part.axis) + ")");
+    }
+    if (part.bounds.front() != domain.lo(part.axis) ||
+        part.bounds.back() != domain.hi(part.axis)) {
+      return Status::InvalidArgument(
+          "axis partition must start at the domain lower bound and end at "
+          "the upper bound (axis " +
+          std::to_string(part.axis) + " of " + domain.ToString() + ")");
+    }
+    // Interior bounds p_2..p_{n-1} become cut positions; the final bound
+    // p_n == domain.hi closes the last block [p_{n-1}, p_n].
+    AxisCuts& axis_cuts = cuts[part.axis];
+    axis_cuts.assign(part.bounds.begin(), part.bounds.end() - 1);
+  }
+  Result<std::vector<AxisCuts>> normalized = NormalizeCuts(domain, cuts);
+  if (!normalized.ok()) return normalized.status();
+  return GridBlocks(domain, normalized.value());
+}
+
+Result<TilingSpec> DirectionalTiling::ComputeTiling(const MInterval& domain,
+                                                    size_t cell_size) const {
+  Result<TilingSpec> blocks = ComputeBlocks(domain);
+  if (!blocks.ok()) return blocks.status();
+
+  const TileConfig sub_config =
+      sub_config_.has_value() ? *sub_config_ : TileConfig::Regular(domain.dim());
+  const AlignedTiling subtiler(sub_config, max_tile_bytes_);
+
+  TilingSpec spec;
+  spec.reserve(blocks->size());
+  for (const MInterval& block : blocks.value()) {
+    const uint64_t bytes = block.CellCountOrDie() * cell_size;
+    if (bytes <= max_tile_bytes_) {
+      spec.push_back(block);
+      continue;
+    }
+    // Oversized category block: subpartition with the aligned algorithm
+    // inside the block, keeping all block boundaries as tile boundaries.
+    Result<TilingSpec> sub = subtiler.ComputeTiling(block, cell_size);
+    if (!sub.ok()) return sub.status();
+    spec.insert(spec.end(), sub->begin(), sub->end());
+  }
+  return spec;
+}
+
+}  // namespace tilestore

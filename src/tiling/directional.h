@@ -1,0 +1,65 @@
+#ifndef TILESTORE_TILING_DIRECTIONAL_H_
+#define TILESTORE_TILING_DIRECTIONAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/minterval.h"
+#include "tiling/tile_config.h"
+#include "tiling/tiling.h"
+
+namespace tilestore {
+
+/// \brief A partition of one axis of the domain (Section 5.2,
+/// "Partitioning the Dimensions"): boundary values
+/// p_1 < p_2 < ... < p_n with p_1 == domain.lo(axis) and
+/// p_n == domain.hi(axis). The axis is divided into the n-1 category
+/// blocks [p_1, p_2-1], [p_2, p_3-1], ..., [p_{n-1}, p_n].
+///
+/// Example from the paper's sales cube (Table 1): the time axis of 730
+/// days partitions into 24 months with bounds {1, 31, 59, ..., 730}.
+struct AxisPartition {
+  size_t axis = 0;
+  std::vector<Coord> bounds;
+};
+
+/// \brief Directional tiling (Section 5.2, "Partitioning the Dimensions").
+///
+/// The user supplies partitions along some or all axes (e.g. OLAP category
+/// hierarchies: months, product classes, country districts). The space is
+/// first cut by the hyperplanes x_axis = p_j into iso-oriented category
+/// blocks; blocks exceeding MaxTileSize are then subpartitioned with the
+/// aligned tiling algorithm. The resulting tiling guarantees that an
+/// access to any union of category blocks reads no data outside those
+/// blocks.
+class DirectionalTiling : public TilingStrategy {
+ public:
+  /// `partitions` lists the partitioned axes (unlisted axes are not cut);
+  /// `sub_config` optionally shapes the aligned subpartitioning of
+  /// oversized blocks (defaults to the regular configuration).
+  DirectionalTiling(std::vector<AxisPartition> partitions,
+                    uint64_t max_tile_bytes,
+                    std::optional<TileConfig> sub_config = std::nullopt);
+
+  Result<TilingSpec> ComputeTiling(const MInterval& domain,
+                                   size_t cell_size) const override;
+  std::string name() const override;
+
+  /// The category blocks alone, without size-driven subpartitioning
+  /// (step 2 of the areas-of-interest algorithm, Figure 6).
+  Result<TilingSpec> ComputeBlocks(const MInterval& domain) const;
+
+  uint64_t max_tile_bytes() const { return max_tile_bytes_; }
+
+ private:
+  std::vector<AxisPartition> partitions_;
+  uint64_t max_tile_bytes_;
+  std::optional<TileConfig> sub_config_;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_TILING_DIRECTIONAL_H_

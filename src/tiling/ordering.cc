@@ -1,0 +1,141 @@
+#include "tiling/ordering.h"
+
+#include <algorithm>
+
+namespace tilestore {
+
+uint64_t HilbertIndex2D(uint32_t bits, uint64_t x, uint64_t y) {
+  // Classic iterative xy -> d conversion: walk the quadrants from the
+  // most significant bit down, rotating the frame as the curve prescribes.
+  uint64_t d = 0;
+  for (uint64_t s = bits == 0 ? 0 : (1ull << (bits - 1)); s > 0; s >>= 1) {
+    const uint64_t rx = (x & s) > 0 ? 1 : 0;
+    const uint64_t ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+Result<uint64_t> HilbertIndexND(uint32_t bits,
+                                const std::vector<uint64_t>& coords) {
+  const size_t n = coords.size();
+  if (n == 0 || bits == 0 || static_cast<uint64_t>(bits) * n > 62) {
+    return Status::InvalidArgument(
+        "Hilbert index needs 1 <= bits*dim <= 62 (got bits=" +
+        std::to_string(bits) + ", dim=" + std::to_string(n) + ")");
+  }
+  for (uint64_t c : coords) {
+    if (c >= (1ull << bits)) {
+      return Status::InvalidArgument("coordinate out of the curve's grid");
+    }
+  }
+
+  // Skilling's AxesToTranspose: in-place conversion of the coordinates to
+  // the "transposed" Hilbert index.
+  std::vector<uint64_t> x = coords;
+  const uint64_t m = 1ull << (bits - 1);
+  for (uint64_t q = m; q > 1; q >>= 1) {
+    const uint64_t p = q - 1;
+    for (size_t i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert low bits of x[0]
+      } else {
+        const uint64_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (size_t i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  uint64_t t = 0;
+  for (uint64_t q = m; q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (size_t i = 0; i < n; ++i) x[i] ^= t;
+
+  // Interleave the transposed bits into a single index: bit b of axis i
+  // lands at position (b * n + (n - 1 - i)).
+  uint64_t d = 0;
+  for (uint32_t b = bits; b > 0; --b) {
+    for (size_t i = 0; i < n; ++i) {
+      d = (d << 1) | ((x[i] >> (b - 1)) & 1);
+    }
+  }
+  return d;
+}
+
+Result<TilingSpec> OrderTiles(const MInterval& domain, TilingSpec spec,
+                              TileOrder order) {
+  if (!domain.IsFixed()) {
+    return Status::InvalidArgument("ordering needs a fixed domain: " +
+                                   domain.ToString());
+  }
+  for (const MInterval& tile : spec) {
+    if (tile.dim() != domain.dim() || !tile.IsFixed()) {
+      return Status::InvalidArgument("bad tile domain in spec: " +
+                                     tile.ToString());
+    }
+  }
+
+  switch (order) {
+    case TileOrder::kScanline: {
+      std::sort(spec.begin(), spec.end(), MIntervalLess());
+      return spec;
+    }
+    case TileOrder::kHilbert: {
+      const size_t dim = domain.dim();
+      // Curve order: enough bits to cover the longest axis.
+      uint64_t longest = 1;
+      for (size_t i = 0; i < dim; ++i) {
+        longest = std::max(longest, static_cast<uint64_t>(domain.Extent(i)));
+      }
+      uint32_t bits = 1;
+      while ((1ull << bits) < longest) ++bits;
+      if (static_cast<uint64_t>(bits) * dim > 62) {
+        return Status::InvalidArgument(
+            "domain too large/deep for a 64-bit Hilbert index (bits=" +
+            std::to_string(bits) + ", dim=" + std::to_string(dim) + ")");
+      }
+
+      struct Keyed {
+        uint64_t key;
+        MInterval tile;
+      };
+      std::vector<Keyed> keyed;
+      keyed.reserve(spec.size());
+      std::vector<uint64_t> center(dim);
+      for (MInterval& tile : spec) {
+        for (size_t i = 0; i < dim; ++i) {
+          center[i] = static_cast<uint64_t>((tile.lo(i) + tile.hi(i)) / 2 -
+                                            domain.lo(i));
+        }
+        Result<uint64_t> key =
+            dim == 2 ? HilbertIndex2D(bits, center[0], center[1])
+                     : HilbertIndexND(bits, center);
+        if (!key.ok()) return key.status();
+        keyed.push_back(Keyed{key.value(), std::move(tile)});
+      }
+      std::sort(keyed.begin(), keyed.end(),
+                [](const Keyed& a, const Keyed& b) {
+                  if (a.key != b.key) return a.key < b.key;
+                  return MIntervalLess()(a.tile, b.tile);
+                });
+      TilingSpec out;
+      out.reserve(keyed.size());
+      for (Keyed& k : keyed) out.push_back(std::move(k.tile));
+      return out;
+    }
+  }
+  return Status::InvalidArgument("unknown tile order");
+}
+
+}  // namespace tilestore

@@ -1,0 +1,120 @@
+#include "tiling/statistic.h"
+
+#include <algorithm>
+
+#include "tiling/aligned.h"
+#include "tiling/areas_of_interest.h"
+
+namespace tilestore {
+
+Coord BoxGap(const MInterval& a, const MInterval& b) {
+  Coord gap = 0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    Coord axis_gap = 0;
+    if (b.lo(i) > a.hi(i)) {
+      axis_gap = b.lo(i) - a.hi(i) - 1;
+    } else if (a.lo(i) > b.hi(i)) {
+      axis_gap = a.lo(i) - b.hi(i) - 1;
+    }
+    gap = std::max(gap, axis_gap);
+  }
+  return gap;
+}
+
+StatisticTiling::StatisticTiling(std::vector<AccessRecord> accesses,
+                                 uint64_t max_tile_bytes,
+                                 uint64_t frequency_threshold,
+                                 Coord distance_threshold)
+    : accesses_(std::move(accesses)),
+      max_tile_bytes_(max_tile_bytes),
+      frequency_threshold_(frequency_threshold),
+      distance_threshold_(distance_threshold) {}
+
+std::string StatisticTiling::name() const {
+  return "statistic{" + std::to_string(accesses_.size()) + " accesses,freq>=" +
+         std::to_string(frequency_threshold_) + ",dist<=" +
+         std::to_string(distance_threshold_) + "}/" +
+         std::to_string(max_tile_bytes_);
+}
+
+Result<std::vector<MInterval>> StatisticTiling::DeriveAreasOfInterest(
+    const MInterval& domain) const {
+  const size_t d = domain.dim();
+  struct Candidate {
+    MInterval region;
+    uint64_t count;
+  };
+  std::vector<Candidate> candidates;
+
+  for (const AccessRecord& access : accesses_) {
+    if (access.region.dim() != d || !access.region.IsFixed()) {
+      return Status::InvalidArgument("malformed access record " +
+                                     access.region.ToString());
+    }
+    // Accesses partially outside the domain are clipped; entirely-outside
+    // accesses are ignored (they carry no tiling information).
+    std::optional<MInterval> clipped = access.region.Intersection(domain);
+    if (!clipped.has_value()) continue;
+
+    // Greedy clustering: fold the access into the first candidate within
+    // the distance threshold, then keep folding candidates that the grown
+    // hull now reaches (transitive closure).
+    MInterval region = *clipped;
+    uint64_t count = access.count;
+    bool absorbed = true;
+    while (absorbed) {
+      absorbed = false;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (BoxGap(candidates[i].region, region) <= distance_threshold_) {
+          region = region.Hull(candidates[i].region);
+          count += candidates[i].count;
+          candidates.erase(candidates.begin() +
+                           static_cast<ptrdiff_t>(i));
+          absorbed = true;
+          break;
+        }
+      }
+    }
+    candidates.push_back({std::move(region), count});
+  }
+
+  std::vector<MInterval> areas;
+  for (const Candidate& c : candidates) {
+    if (c.count >= frequency_threshold_) areas.push_back(c.region);
+  }
+  if (areas.size() > 64) {
+    // Keep the 64 hottest areas; the IntersectCode mask is 64 bits wide.
+    std::vector<Candidate> qualifying;
+    for (const Candidate& c : candidates) {
+      if (c.count >= frequency_threshold_) qualifying.push_back(c);
+    }
+    std::sort(qualifying.begin(), qualifying.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.count > b.count;
+              });
+    qualifying.resize(64);
+    areas.clear();
+    for (const Candidate& c : qualifying) areas.push_back(c.region);
+  }
+  return areas;
+}
+
+Result<TilingSpec> StatisticTiling::ComputeTiling(const MInterval& domain,
+                                                  size_t cell_size) const {
+  if (!domain.IsFixed()) {
+    return Status::InvalidArgument("statistic tiling needs a fixed domain: " +
+                                   domain.ToString());
+  }
+  Result<std::vector<MInterval>> areas = DeriveAreasOfInterest(domain);
+  if (!areas.ok()) return areas.status();
+  if (areas->empty()) {
+    // No access pattern passed the filters: fall back to the default
+    // (regular aligned) tiling, as an untuned object would get.
+    return AlignedTiling::Regular(domain.dim(), max_tile_bytes_)
+        .ComputeTiling(domain, cell_size);
+  }
+  return AreasOfInterestTiling(std::move(areas).MoveValue(), max_tile_bytes_)
+      .ComputeTiling(domain, cell_size);
+}
+
+}  // namespace tilestore

@@ -1,0 +1,58 @@
+#ifndef TILESTORE_TILING_STATISTIC_H_
+#define TILESTORE_TILING_STATISTIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/minterval.h"
+#include "tiling/tiling.h"
+
+namespace tilestore {
+
+/// One recorded access: a query region and how many times it occurred.
+struct AccessRecord {
+  MInterval region;
+  uint64_t count = 1;
+};
+
+/// \brief Statistic tiling (Section 5.2, "Statistic Tiling"): automatically
+/// derives areas of interest from a log of accesses to an MDD object.
+///
+/// Accesses closer than `distance_threshold` (Chebyshev gap between the
+/// two boxes, in cells) are merged into one candidate area (hull of the
+/// group, accumulating counts); candidates occurring at least
+/// `frequency_threshold` times become areas of interest, which are then
+/// tiled with `AreasOfInterestTiling`. If no candidate passes the filter,
+/// the algorithm falls back to regular aligned tiling so the object is
+/// still completely tiled.
+class StatisticTiling : public TilingStrategy {
+ public:
+  StatisticTiling(std::vector<AccessRecord> accesses, uint64_t max_tile_bytes,
+                  uint64_t frequency_threshold = 2,
+                  Coord distance_threshold = 0);
+
+  Result<TilingSpec> ComputeTiling(const MInterval& domain,
+                                   size_t cell_size) const override;
+  std::string name() const override;
+
+  /// The filtered areas of interest this log induces (exposed for tests
+  /// and for inspecting what the automatic tiling decided).
+  Result<std::vector<MInterval>> DeriveAreasOfInterest(
+      const MInterval& domain) const;
+
+ private:
+  std::vector<AccessRecord> accesses_;
+  uint64_t max_tile_bytes_;
+  uint64_t frequency_threshold_;
+  Coord distance_threshold_;
+};
+
+/// Chebyshev gap between two boxes: 0 if they intersect or touch; otherwise
+/// the largest per-axis gap in cells between them. Exposed for tests.
+Coord BoxGap(const MInterval& a, const MInterval& b);
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_TILING_STATISTIC_H_

@@ -1,0 +1,94 @@
+#include "tiling/tile_config.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace tilestore {
+
+TileConfig TileConfig::Regular(size_t dim) {
+  return TileConfig(std::vector<double>(dim, 1.0),
+                    std::vector<bool>(dim, false));
+}
+
+Result<TileConfig> TileConfig::FromRelativeSizes(std::vector<double> sizes) {
+  if (sizes.empty()) {
+    return Status::InvalidArgument("tile configuration must not be empty");
+  }
+  for (double r : sizes) {
+    if (!(r >= 1.0)) {
+      return Status::InvalidArgument(
+          "relative tile sizes must be >= 1 (got " + std::to_string(r) + ")");
+    }
+  }
+  std::vector<bool> star(sizes.size(), false);
+  return TileConfig(std::move(sizes), std::move(star));
+}
+
+Result<TileConfig> TileConfig::Parse(std::string_view text) {
+  if (text.size() < 2 || text.front() != '[' || text.back() != ']') {
+    return Status::InvalidArgument("tile configuration must be bracketed: " +
+                                   std::string(text));
+  }
+  std::string_view body = text.substr(1, text.size() - 2);
+  std::vector<double> relative;
+  std::vector<bool> star;
+  while (!body.empty()) {
+    size_t comma = body.find(',');
+    std::string_view token =
+        comma == std::string_view::npos ? body : body.substr(0, comma);
+    if (comma != std::string_view::npos && comma + 1 == body.size()) {
+      return Status::InvalidArgument("trailing comma in tile configuration " +
+                                     std::string(text));
+    }
+    body = comma == std::string_view::npos ? std::string_view()
+                                           : body.substr(comma + 1);
+    if (token == "*") {
+      relative.push_back(1.0);
+      star.push_back(true);
+      continue;
+    }
+    double value = 0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size() ||
+        !(value >= 1.0)) {
+      return Status::InvalidArgument("malformed tile configuration entry '" +
+                                     std::string(token) + "'");
+    }
+    relative.push_back(value);
+    star.push_back(false);
+  }
+  if (relative.empty()) {
+    return Status::InvalidArgument("tile configuration must not be empty");
+  }
+  return TileConfig(std::move(relative), std::move(star));
+}
+
+TileConfig& TileConfig::SetStar(size_t i) {
+  star_[i] = true;
+  return *this;
+}
+
+bool TileConfig::AllFinite() const {
+  for (bool s : star_) {
+    if (s) return false;
+  }
+  return true;
+}
+
+std::string TileConfig::ToString() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < dim(); ++i) {
+    if (i > 0) os << ',';
+    if (star_[i]) {
+      os << '*';
+    } else {
+      os << relative_[i];
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace tilestore

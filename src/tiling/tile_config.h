@@ -1,0 +1,59 @@
+#ifndef TILESTORE_TILING_TILE_CONFIG_H_
+#define TILESTORE_TILING_TILE_CONFIG_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tilestore {
+
+/// \brief A tile configuration (Section 5.2, "Aligned Tiling"): a tuple
+/// (r_1, ..., r_d) of *relative* sizes along each direction, where an entry
+/// may also be '*' ("infinite"), requesting that tiles be maximally
+/// stretched along that direction (a preferential scan direction).
+///
+/// The paper deliberately lets users give relative sizes rather than exact
+/// tile formats, since the exact format depends on low-level parameters
+/// (page size, cell size) the user should not need to know. The aligned
+/// tiling algorithm converts a configuration into an exact tile format for
+/// a given domain, cell size and MaxTileSize.
+class TileConfig {
+ public:
+  /// The regular configuration (1, 1, ..., 1): cubic tiles. This is the
+  /// paper's default tiling and the "regular tiling" baseline of Section 6.
+  static TileConfig Regular(size_t dim);
+
+  /// Finite relative sizes, e.g. {4, 1} for tiles 4x wider than tall.
+  /// All values must be >= 1.
+  static Result<TileConfig> FromRelativeSizes(std::vector<double> sizes);
+
+  /// Parses the paper notation, e.g. "[*,1,*]" (Figure 4's frame-wise
+  /// animation access) or "[1,2,4]". Entries are '*' or positive numbers.
+  static Result<TileConfig> Parse(std::string_view text);
+
+  /// Builder-style: marks axis `i` as a preferential ('*') direction.
+  TileConfig& SetStar(size_t i);
+
+  size_t dim() const { return relative_.size(); }
+  bool is_star(size_t i) const { return star_[i]; }
+  /// Relative size of axis i; meaningless when `is_star(i)`.
+  double relative(size_t i) const { return relative_[i]; }
+  /// True if no axis is starred.
+  bool AllFinite() const;
+
+  std::string ToString() const;
+
+ private:
+  TileConfig(std::vector<double> relative, std::vector<bool> star)
+      : relative_(std::move(relative)), star_(std::move(star)) {}
+
+  std::vector<double> relative_;
+  std::vector<bool> star_;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_TILING_TILE_CONFIG_H_

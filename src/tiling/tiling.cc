@@ -1,0 +1,66 @@
+#include "tiling/tiling.h"
+
+#include <algorithm>
+
+namespace tilestore {
+namespace tiling_internal {
+
+Result<std::vector<AxisCuts>> NormalizeCuts(const MInterval& domain,
+                                            std::vector<AxisCuts> cuts) {
+  if (cuts.size() != domain.dim()) {
+    return Status::InvalidArgument("cut list count does not match dimension");
+  }
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    AxisCuts& axis = cuts[i];
+    axis.push_back(domain.lo(i));
+    axis.push_back(domain.hi(i) + 1);
+    std::sort(axis.begin(), axis.end());
+    axis.erase(std::unique(axis.begin(), axis.end()), axis.end());
+    if (axis.front() < domain.lo(i) || axis.back() > domain.hi(i) + 1) {
+      return Status::InvalidArgument(
+          "cut position outside domain on axis " + std::to_string(i) +
+          " of " + domain.ToString());
+    }
+  }
+  return cuts;
+}
+
+TilingSpec GridBlocks(const MInterval& domain,
+                      const std::vector<AxisCuts>& cuts) {
+  const size_t d = domain.dim();
+  // Number of blocks per axis.
+  std::vector<size_t> counts(d);
+  size_t total = 1;
+  for (size_t i = 0; i < d; ++i) {
+    counts[i] = cuts[i].size() - 1;
+    total *= counts[i];
+  }
+
+  TilingSpec blocks;
+  blocks.reserve(total);
+  std::vector<size_t> idx(d, 0);
+  while (true) {
+    std::vector<Coord> lo(d), hi(d);
+    for (size_t i = 0; i < d; ++i) {
+      lo[i] = cuts[i][idx[i]];
+      hi[i] = cuts[i][idx[i] + 1] - 1;
+    }
+    blocks.push_back(MInterval::Create(std::move(lo), std::move(hi)).value());
+    // Row-major odometer over block indices.
+    size_t axis = d;
+    bool done = true;
+    while (axis > 0) {
+      --axis;
+      if (++idx[axis] < counts[axis]) {
+        done = false;
+        break;
+      }
+      idx[axis] = 0;
+    }
+    if (done) break;
+  }
+  return blocks;
+}
+
+}  // namespace tiling_internal
+}  // namespace tilestore

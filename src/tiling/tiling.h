@@ -1,0 +1,63 @@
+#ifndef TILESTORE_TILING_TILING_H_
+#define TILESTORE_TILING_TILING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/minterval.h"
+#include "core/tile.h"
+
+namespace tilestore {
+
+/// Default upper limit on the size of a tile (the paper's MaxTileSize
+/// parameter, taken by every tiling algorithm). 64 KiB sits in the middle
+/// of the range the paper evaluates (32 KiB .. 256 KiB).
+inline constexpr uint64_t kDefaultMaxTileBytes = 64 * 1024;
+
+/// \brief Interface of all tiling algorithms (Section 5.2).
+///
+/// A strategy computes a *partition of the spatial domain* (a tiling
+/// specification); materializing the actual tiles happens in a second phase
+/// (`CutTiles`). All algorithms receive MaxTileSize through their
+/// constructor parameters and guarantee every returned tile holds at most
+/// MaxTileSize bytes — except for the unavoidable case of a single cell
+/// larger than MaxTileSize, which is rejected with InvalidArgument.
+class TilingStrategy {
+ public:
+  virtual ~TilingStrategy() = default;
+
+  /// Computes the tiling of `domain` for cells of `cell_size` bytes.
+  /// `domain` must be fixed. The returned intervals are pairwise disjoint
+  /// and contained in `domain`; whether they cover `domain` completely
+  /// depends on the strategy (all strategies in this library cover it).
+  virtual Result<TilingSpec> ComputeTiling(const MInterval& domain,
+                                           size_t cell_size) const = 0;
+
+  /// Human-readable strategy name for logs and benchmark tables.
+  virtual std::string name() const = 0;
+};
+
+namespace tiling_internal {
+
+/// Cut positions along each axis: a sorted list `c_0 < c_1 < ... < c_m`
+/// with `c_0 == domain.lo(i)` and `c_m == domain.hi(i) + 1`; block `j`
+/// along the axis is `[c_j, c_{j+1} - 1]`. This is the internal form the
+/// directional and areas-of-interest algorithms share.
+using AxisCuts = std::vector<Coord>;
+
+/// Validates and normalizes cut lists (sorts, deduplicates, checks range).
+Result<std::vector<AxisCuts>> NormalizeCuts(const MInterval& domain,
+                                            std::vector<AxisCuts> cuts);
+
+/// Cartesian product of per-axis blocks: the iso-oriented grid of blocks
+/// defined by the cuts, in row-major block order.
+TilingSpec GridBlocks(const MInterval& domain,
+                      const std::vector<AxisCuts>& cuts);
+
+}  // namespace tiling_internal
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_TILING_TILING_H_

@@ -1,0 +1,86 @@
+#include "tiling/validator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace tilestore {
+
+Status CheckDisjoint(const TilingSpec& spec) {
+  // Sort by lo on axis 0 so only pairs whose axis-0 ranges overlap are
+  // compared; this makes the common (grid-like) case near-linear.
+  std::vector<size_t> order(spec.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return spec[a].lo(0) < spec[b].lo(0);
+  });
+  for (size_t i = 0; i < order.size(); ++i) {
+    const MInterval& a = spec[order[i]];
+    for (size_t j = i + 1; j < order.size(); ++j) {
+      const MInterval& b = spec[order[j]];
+      if (b.lo(0) > a.hi(0)) break;  // all later tiles start past a on axis 0
+      if (a.Intersects(b)) {
+        return Status::Internal("tiles overlap: " + a.ToString() + " and " +
+                                b.ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckWithinDomain(const TilingSpec& spec, const MInterval& domain) {
+  for (const MInterval& tile : spec) {
+    if (tile.dim() != domain.dim()) {
+      return Status::Internal("tile dimensionality mismatch: " +
+                              tile.ToString());
+    }
+    if (!tile.IsFixed()) {
+      return Status::Internal("tile with unbounded domain: " +
+                              tile.ToString());
+    }
+    if (!domain.Contains(tile)) {
+      return Status::Internal("tile " + tile.ToString() +
+                              " outside domain " + domain.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckCoverage(const TilingSpec& spec, const MInterval& domain) {
+  Status st = CheckWithinDomain(spec, domain);
+  if (!st.ok()) return st;
+  st = CheckDisjoint(spec);
+  if (!st.ok()) return st;
+  const uint64_t covered = SpecCellCount(spec);
+  const uint64_t total = domain.CellCountOrDie();
+  if (covered != total) {
+    return Status::Internal(
+        "tiling covers " + std::to_string(covered) + " of " +
+        std::to_string(total) + " cells of " + domain.ToString());
+  }
+  return Status::OK();
+}
+
+Status CheckMaxTileSize(const TilingSpec& spec, size_t cell_size,
+                        uint64_t max_tile_bytes) {
+  for (const MInterval& tile : spec) {
+    const uint64_t cells = tile.CellCountOrDie();
+    if (cells == 1) continue;  // unsplittable
+    if (cells * cell_size > max_tile_bytes) {
+      return Status::Internal("tile " + tile.ToString() + " holds " +
+                              std::to_string(cells * cell_size) +
+                              " bytes, above the limit of " +
+                              std::to_string(max_tile_bytes));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateCompleteTiling(const TilingSpec& spec, const MInterval& domain,
+                              size_t cell_size, uint64_t max_tile_bytes) {
+  Status st = CheckCoverage(spec, domain);
+  if (!st.ok()) return st;
+  return CheckMaxTileSize(spec, cell_size, max_tile_bytes);
+}
+
+}  // namespace tilestore

@@ -1,0 +1,41 @@
+#ifndef TILESTORE_TILING_VALIDATOR_H_
+#define TILESTORE_TILING_VALIDATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/minterval.h"
+#include "core/tile.h"
+
+namespace tilestore {
+
+/// \file
+/// Structural invariant checks over tiling specifications (Section 4: "a
+/// particular tiling of a multidimensional array is a set of disjoint tiles
+/// of the array"). Used by tests, by debug assertions in the MDD layer, and
+/// available to applications that construct specs by hand.
+
+/// All tiles pairwise disjoint. O(n^2) with early exit per pair; intended
+/// for validation, not hot paths.
+Status CheckDisjoint(const TilingSpec& spec);
+
+/// Every tile fixed, non-degenerate and contained in `domain`.
+Status CheckWithinDomain(const TilingSpec& spec, const MInterval& domain);
+
+/// Tiles exactly cover `domain` (requires disjointness and containment,
+/// then compares total cell counts — which together imply full coverage).
+Status CheckCoverage(const TilingSpec& spec, const MInterval& domain);
+
+/// Every tile holds at most `max_tile_bytes` bytes of `cell_size`-byte
+/// cells. Single-cell tiles are exempt (a cell is unsplittable).
+Status CheckMaxTileSize(const TilingSpec& spec, size_t cell_size,
+                        uint64_t max_tile_bytes);
+
+/// Runs all of the above (the full contract of a complete-coverage tiling
+/// strategy).
+Status ValidateCompleteTiling(const TilingSpec& spec, const MInterval& domain,
+                              size_t cell_size, uint64_t max_tile_bytes);
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_TILING_VALIDATOR_H_

@@ -1,0 +1,142 @@
+// Tests for the benchmark workload generators: the reproduction's tables
+// are only as good as the data and partitions they run on, so the Table 1
+// and Table 5 generators are pinned down here.
+
+#include "common/bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include "tiling/directional.h"
+#include "tiling/validator.h"
+
+namespace tilestore {
+namespace bench {
+namespace {
+
+TEST(SalesCubeSpecTest, SmallCubeMatchesTable1) {
+  SalesCubeSpec spec;  // defaults: 2 years, 60 products, 100 stores
+  EXPECT_EQ(spec.Domain(), MInterval({{1, 730}, {1, 60}, {1, 100}}));
+  // 16.7 MiB at 4 bytes/cell, as the paper states.
+  EXPECT_NEAR(static_cast<double>(spec.Domain().CellCountOrDie()) * 4.0 /
+                  (1024 * 1024),
+              16.7, 0.1);
+
+  // 24 months, 3 product classes, 8 districts (Table 1 categories).
+  DirectionalTiling blocks(
+      {spec.Months(), spec.ProductClasses(), spec.Districts()}, 1ull << 40);
+  TilingSpec grid = blocks.ComputeBlocks(spec.Domain()).MoveValue();
+  EXPECT_EQ(grid.size(), 24u * 3u * 8u);
+  EXPECT_TRUE(CheckCoverage(grid, spec.Domain()).ok());
+}
+
+TEST(SalesCubeSpecTest, MonthBoundariesAreCalendarMonthStarts) {
+  SalesCubeSpec spec;
+  const AxisPartition months = spec.Months();
+  ASSERT_GE(months.bounds.size(), 4u);
+  EXPECT_EQ(months.bounds[0], 1);    // January 1st, year 1
+  EXPECT_EQ(months.bounds[1], 32);   // February 1st
+  EXPECT_EQ(months.bounds[2], 60);   // March 1st (non-leap)
+  EXPECT_EQ(months.bounds[12], 366); // January 1st, year 2
+  EXPECT_EQ(months.bounds.back(), 730);
+}
+
+TEST(SalesCubeSpecTest, Table3SelectionsAlignWithCategories) {
+  // The paper's query a selects exactly 1 month x 1 class x 1 district:
+  // [32:59, 28:42, 28:35]. Every bound must coincide with a block edge.
+  SalesCubeSpec spec;
+  DirectionalTiling blocks(
+      {spec.Months(), spec.ProductClasses(), spec.Districts()}, 1ull << 40);
+  TilingSpec grid = blocks.ComputeBlocks(spec.Domain()).MoveValue();
+  const MInterval query_a({{32, 59}, {28, 42}, {28, 35}});
+  uint64_t covered = 0;
+  for (const MInterval& block : grid) {
+    if (!block.Intersects(query_a)) continue;
+    EXPECT_TRUE(query_a.Contains(block))
+        << "query a straddles block " << block.ToString();
+    covered += block.CellCountOrDie();
+  }
+  EXPECT_EQ(covered, query_a.CellCountOrDie());
+}
+
+TEST(SalesCubeSpecTest, ExtendedCubeRepeatsThePatternCleanly) {
+  // Section 6.1's big cubes: one more year, 240 more products, 200 more
+  // stores; the category pattern repeats per 60 products / 100 stores.
+  SalesCubeSpec spec;
+  spec.years = 3;
+  spec.products = 300;
+  spec.stores = 300;
+  EXPECT_EQ(spec.Domain(), MInterval({{1, 1095}, {1, 300}, {1, 300}}));
+  EXPECT_NEAR(static_cast<double>(spec.Domain().CellCountOrDie()) * 4.0 /
+                  (1024.0 * 1024.0),
+              375.0, 2.0);
+
+  DirectionalTiling blocks(
+      {spec.Months(), spec.ProductClasses(), spec.Districts()}, 1ull << 40);
+  Result<TilingSpec> grid = blocks.ComputeBlocks(spec.Domain());
+  ASSERT_TRUE(grid.ok()) << grid.status();
+  // 36 months x 15 classes x 24 districts.
+  EXPECT_EQ(grid->size(), 36u * 15u * 24u);
+  EXPECT_TRUE(CheckCoverage(*grid, spec.Domain()).ok());
+
+  // The small-cube selections keep their meaning: products 1..60 span
+  // exactly the first 3 class blocks (no block starts at 60).
+  const AxisPartition classes = spec.ProductClasses();
+  for (Coord b : classes.bounds) {
+    EXPECT_NE(b, 60) << "class block must not start at product 60";
+  }
+  EXPECT_EQ(classes.bounds[3], 61);  // second cycle starts at 61
+  // Stores 1..100 span exactly the first 8 district blocks.
+  const AxisPartition districts = spec.Districts();
+  EXPECT_EQ(districts.bounds[8], 101);
+}
+
+TEST(SalesCubeSpecTest, NonMultipleExtentsStillProduceValidPartitions) {
+  SalesCubeSpec spec;
+  spec.products = 102;  // not a multiple of 60
+  spec.stores = 150;    // not a multiple of 100
+  DirectionalTiling blocks(
+      {spec.Months(), spec.ProductClasses(), spec.Districts()}, 1ull << 40);
+  Result<TilingSpec> grid = blocks.ComputeBlocks(spec.Domain());
+  ASSERT_TRUE(grid.ok()) << grid.status();
+  EXPECT_TRUE(CheckCoverage(*grid, spec.Domain()).ok());
+}
+
+TEST(MakeSalesCubeTest, DeterministicAndSized) {
+  SalesCubeSpec spec;
+  spec.years = 1;
+  spec.products = 60;
+  spec.stores = 100;
+  Array a = MakeSalesCube(spec, 7);
+  Array b = MakeSalesCube(spec, 7);
+  EXPECT_TRUE(a.Equals(b));
+  Array c = MakeSalesCube(spec, 8);
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_EQ(a.cell_count(), 365u * 60u * 100u);
+}
+
+TEST(MakeAnimationTest, MatchesTable5) {
+  Array anim = MakeAnimation();
+  EXPECT_EQ(anim.domain(), MInterval({{0, 120}, {0, 159}, {0, 119}}));
+  EXPECT_EQ(anim.cell_type().id(), CellTypeId::kRGB8);
+  // 6.8 MB at 3 bytes/cell.
+  EXPECT_NEAR(static_cast<double>(anim.size_bytes()) / 1e6, 6.9, 0.3);
+  // The areas of interest are inside the domain and overlap (head is part
+  // of the body region).
+  EXPECT_TRUE(anim.domain().Contains(AnimationHeadArea()));
+  EXPECT_TRUE(anim.domain().Contains(AnimationBodyArea()));
+  EXPECT_TRUE(AnimationHeadArea().Intersects(AnimationBodyArea()));
+  // Paper sizes: area 1 = 523 KB, area 2 = 2.6 MB.
+  EXPECT_NEAR(
+      static_cast<double>(AnimationHeadArea().CellCountOrDie()) * 3 / 1e3,
+      523.0, 15.0);
+  EXPECT_NEAR(
+      static_cast<double>(AnimationBodyArea().CellCountOrDie()) * 3 / 1e6,
+      2.6, 0.3);
+  // The character's pixels are brighter than the background.
+  const RGB8 head_px = anim.At<RGB8>(Point({60, 100, 40}));
+  EXPECT_GT(head_px.r, 200);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tilestore

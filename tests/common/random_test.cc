@@ -1,0 +1,76 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+namespace tilestore {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, ZeroSeedIsUsable) {
+  Random rng(0);
+  EXPECT_NE(rng.Next(), rng.Next());
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(RandomTest, UniformIntIsInclusive) {
+  Random rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(9);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 5000, 0.5, 0.05);  // roughly uniform
+}
+
+TEST(RandomTest, BernoulliRespectsProbability) {
+  Random rng(10);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+  Random always(11), never(12);
+  EXPECT_TRUE(always.Bernoulli(1.1));
+  EXPECT_FALSE(never.Bernoulli(0.0));
+}
+
+}  // namespace
+}  // namespace tilestore

@@ -1,0 +1,84 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/macros.h"
+
+namespace tilestore {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).MoveValue();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, CopyableResults) {
+  Result<std::string> a = std::string("x");
+  Result<std::string> b = a;
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(*b, "x");
+  Result<std::string> c = Status::Internal("boom");
+  b = c;
+  EXPECT_FALSE(b.ok());
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Result<int> DoubleIfPositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("non-positive");
+  return v * 2;
+}
+
+Status UseReturnIfError(int v) {
+  TILESTORE_RETURN_IF_ERROR(FailIfNegative(v));
+  return Status::OK();
+}
+
+Result<int> UseAssignOrReturn(int v) {
+  TILESTORE_ASSIGN_OR_RETURN(int doubled, DoubleIfPositive(v));
+  TILESTORE_ASSIGN_OR_RETURN(int quadrupled, DoubleIfPositive(doubled));
+  return quadrupled;
+}
+
+TEST(MacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UseReturnIfError(1).ok());
+  EXPECT_TRUE(UseReturnIfError(-1).IsInvalidArgument());
+}
+
+TEST(MacrosTest, AssignOrReturnChains) {
+  Result<int> ok = UseAssignOrReturn(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 12);
+  EXPECT_TRUE(UseAssignOrReturn(0).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tilestore

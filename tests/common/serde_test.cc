@@ -1,0 +1,90 @@
+#include "common/serde.h"
+
+#include <gtest/gtest.h>
+
+namespace tilestore {
+namespace {
+
+TEST(SerdeTest, RoundTripsAllTypes) {
+  ByteWriter w;
+  w.U8(0xAB);
+  w.U16(0x1234);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFull);
+  w.I64(-42);
+  w.Str("tilestore");
+  const uint8_t raw[3] = {1, 2, 3};
+  w.Bytes(raw, 3);
+  const std::vector<uint8_t> buf = w.Take();
+
+  ByteReader r(buf);
+  uint8_t u8 = 0;
+  uint16_t u16 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  std::string s;
+  uint8_t out[3] = {0, 0, 0};
+  ASSERT_TRUE(r.U8(&u8).ok());
+  ASSERT_TRUE(r.U16(&u16).ok());
+  ASSERT_TRUE(r.U32(&u32).ok());
+  ASSERT_TRUE(r.U64(&u64).ok());
+  ASSERT_TRUE(r.I64(&i64).ok());
+  ASSERT_TRUE(r.Str(&s).ok());
+  ASSERT_TRUE(r.Bytes(out, 3).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(s, "tilestore");
+  EXPECT_EQ(out[2], 3);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, ReaderDetectsOverrun) {
+  ByteWriter w;
+  w.U16(7);
+  const std::vector<uint8_t> buf = w.Take();
+  ByteReader r(buf);
+  uint32_t v;
+  Status st = r.U32(&v);
+  EXPECT_TRUE(st.IsCorruption());
+}
+
+TEST(SerdeTest, StrWithBogusLengthIsCorruption) {
+  ByteWriter w;
+  w.U32(1000000);  // declared length far beyond the buffer
+  w.U8('x');
+  const std::vector<uint8_t> buf = w.Take();
+  ByteReader r(buf);
+  std::string s;
+  EXPECT_TRUE(r.Str(&s).IsCorruption());
+}
+
+TEST(SerdeTest, EmptyStringRoundTrips) {
+  ByteWriter w;
+  w.Str("");
+  const std::vector<uint8_t> buf = w.Take();
+  ByteReader r(buf);
+  std::string s = "dirty";
+  ASSERT_TRUE(r.Str(&s).ok());
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, PositionTracksConsumption) {
+  ByteWriter w;
+  w.U32(1);
+  w.U32(2);
+  const std::vector<uint8_t> buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.position(), 0u);
+  uint32_t v;
+  ASSERT_TRUE(r.U32(&v).ok());
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_FALSE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace tilestore

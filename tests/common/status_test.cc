@@ -1,0 +1,70 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tilestore {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    bool (Status::*predicate)() const;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       &Status::IsInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound, &Status::IsNotFound},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists,
+       &Status::IsAlreadyExists},
+      {Status::OutOfRange("d"), StatusCode::kOutOfRange,
+       &Status::IsOutOfRange},
+      {Status::IOError("e"), StatusCode::kIOError, &Status::IsIOError},
+      {Status::Corruption("f"), StatusCode::kCorruption,
+       &Status::IsCorruption},
+      {Status::ResourceExhausted("g"), StatusCode::kResourceExhausted,
+       &Status::IsResourceExhausted},
+      {Status::Unimplemented("h"), StatusCode::kUnimplemented,
+       &Status::IsUnimplemented},
+      {Status::Internal("i"), StatusCode::kInternal, &Status::IsInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_TRUE((c.status.*c.predicate)());
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status st = Status::IOError("disk on fire");
+  EXPECT_EQ(st.ToString(), "IOError: disk on fire");
+  std::ostringstream os;
+  os << st;
+  EXPECT_EQ(os.str(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IOError("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+}  // namespace
+}  // namespace tilestore

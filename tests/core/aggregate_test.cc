@@ -1,0 +1,75 @@
+#include "core/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace tilestore {
+namespace {
+
+Array MakeInt32(const MInterval& domain, std::vector<int32_t> values) {
+  Array arr = Array::Create(domain, CellType::Of(CellTypeId::kInt32)).value();
+  size_t i = 0;
+  ForEachPoint(domain, [&](const Point& p) {
+    arr.Set<int32_t>(p, values[i++]);
+  });
+  return arr;
+}
+
+TEST(AggregateTest, SumMinMaxAvgCount) {
+  Array arr = MakeInt32(MInterval({{0, 4}}), {3, -1, 0, 7, 1});
+  EXPECT_DOUBLE_EQ(AggregateCells(arr, AggregateOp::kSum).value(), 10.0);
+  EXPECT_DOUBLE_EQ(AggregateCells(arr, AggregateOp::kMin).value(), -1.0);
+  EXPECT_DOUBLE_EQ(AggregateCells(arr, AggregateOp::kMax).value(), 7.0);
+  EXPECT_DOUBLE_EQ(AggregateCells(arr, AggregateOp::kAvg).value(), 2.0);
+  EXPECT_DOUBLE_EQ(AggregateCells(arr, AggregateOp::kCount).value(), 4.0);
+}
+
+TEST(AggregateTest, WorksForAllNumericTypes) {
+  for (CellTypeId id :
+       {CellTypeId::kUInt8, CellTypeId::kInt8, CellTypeId::kUInt16,
+        CellTypeId::kInt16, CellTypeId::kUInt32, CellTypeId::kInt32,
+        CellTypeId::kUInt64, CellTypeId::kInt64, CellTypeId::kFloat32,
+        CellTypeId::kFloat64}) {
+    Array arr = Array::Create(MInterval({{0, 3}}), CellType::Of(id)).value();
+    // All-zero array: sum 0, count 0, min/max/avg 0.
+    Result<double> sum = AggregateCells(arr, AggregateOp::kSum);
+    ASSERT_TRUE(sum.ok()) << static_cast<int>(id);
+    EXPECT_DOUBLE_EQ(*sum, 0.0);
+    EXPECT_DOUBLE_EQ(AggregateCells(arr, AggregateOp::kCount).value(), 0.0);
+  }
+}
+
+TEST(AggregateTest, FloatValues) {
+  Array arr =
+      Array::Create(MInterval({{0, 1}}), CellType::Of(CellTypeId::kFloat64))
+          .value();
+  arr.Set<double>(Point({0}), 1.5);
+  arr.Set<double>(Point({1}), 2.25);
+  EXPECT_DOUBLE_EQ(AggregateCells(arr, AggregateOp::kSum).value(), 3.75);
+  EXPECT_DOUBLE_EQ(AggregateCells(arr, AggregateOp::kAvg).value(), 1.875);
+}
+
+TEST(AggregateTest, RejectsNonNumericTypes) {
+  Array rgb =
+      Array::Create(MInterval({{0, 1}}), CellType::Of(CellTypeId::kRGB8))
+          .value();
+  EXPECT_TRUE(
+      AggregateCells(rgb, AggregateOp::kSum).status().IsInvalidArgument());
+  Array opaque =
+      Array::Create(MInterval({{0, 1}}), CellType::Opaque(16)).value();
+  EXPECT_TRUE(
+      AggregateCells(opaque, AggregateOp::kSum).status().IsInvalidArgument());
+}
+
+TEST(AggregateTest, NameRoundTrip) {
+  for (AggregateOp op : {AggregateOp::kSum, AggregateOp::kMin,
+                         AggregateOp::kMax, AggregateOp::kAvg,
+                         AggregateOp::kCount}) {
+    Result<AggregateOp> back = AggregateOpFromName(AggregateOpToName(op));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, op);
+  }
+  EXPECT_TRUE(AggregateOpFromName("median_cells").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace tilestore

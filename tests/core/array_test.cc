@@ -1,0 +1,168 @@
+#include "core/array.h"
+
+#include <gtest/gtest.h>
+
+namespace tilestore {
+namespace {
+
+TEST(ArrayTest, CreateZeroInitialized) {
+  Result<Array> arr =
+      Array::Create(MInterval({{0, 3}, {0, 4}}), CellType::Of(CellTypeId::kUInt8));
+  ASSERT_TRUE(arr.ok());
+  EXPECT_EQ(arr->cell_count(), 20u);
+  EXPECT_EQ(arr->size_bytes(), 20u);
+  for (size_t i = 0; i < arr->size_bytes(); ++i) {
+    EXPECT_EQ(arr->data()[i], 0);
+  }
+}
+
+TEST(ArrayTest, CreateRejectsUnboundedDomain) {
+  Result<MInterval> domain = MInterval::Parse("[0:*]");
+  ASSERT_TRUE(domain.ok());
+  Result<Array> arr = Array::Create(*domain, CellType::Of(CellTypeId::kUInt8));
+  EXPECT_FALSE(arr.ok());
+  EXPECT_TRUE(arr.status().IsInvalidArgument());
+}
+
+TEST(ArrayTest, CreateRejectsHugeAllocation) {
+  MInterval domain({{0, 1 << 20}, {0, 1 << 20}});
+  Result<Array> arr = Array::Create(domain, CellType::Of(CellTypeId::kFloat64));
+  EXPECT_FALSE(arr.ok());
+  EXPECT_TRUE(arr.status().IsOutOfRange());
+}
+
+TEST(ArrayTest, TypedAccessors) {
+  Result<Array> arr = Array::Create(MInterval({{0, 2}, {0, 2}}),
+                                    CellType::Of(CellTypeId::kInt32));
+  ASSERT_TRUE(arr.ok());
+  arr->Set<int32_t>(Point({1, 2}), -12345);
+  arr->Set<int32_t>(Point({0, 0}), 7);
+  EXPECT_EQ(arr->At<int32_t>(Point({1, 2})), -12345);
+  EXPECT_EQ(arr->At<int32_t>(Point({0, 0})), 7);
+  EXPECT_EQ(arr->At<int32_t>(Point({2, 2})), 0);
+}
+
+TEST(ArrayTest, RGBCells) {
+  Result<Array> arr = Array::Create(MInterval({{0, 1}, {0, 1}}),
+                                    CellType::Of(CellTypeId::kRGB8));
+  ASSERT_TRUE(arr.ok());
+  arr->Set<RGB8>(Point({1, 0}), RGB8{9, 8, 7});
+  EXPECT_EQ(arr->At<RGB8>(Point({1, 0})), (RGB8{9, 8, 7}));
+  EXPECT_EQ(arr->size_bytes(), 12u);
+}
+
+TEST(ArrayTest, FromBufferValidatesSize) {
+  MInterval domain({{0, 1}, {0, 1}});
+  EXPECT_TRUE(Array::FromBuffer(domain, CellType::Of(CellTypeId::kUInt16),
+                                std::vector<uint8_t>(8))
+                  .ok());
+  EXPECT_FALSE(Array::FromBuffer(domain, CellType::Of(CellTypeId::kUInt16),
+                                 std::vector<uint8_t>(7))
+                   .ok());
+}
+
+TEST(ArrayTest, SliceExtractsRegion) {
+  Result<Array> arr = Array::Create(MInterval({{0, 3}, {0, 3}}),
+                                    CellType::Of(CellTypeId::kUInt8));
+  ASSERT_TRUE(arr.ok());
+  ForEachPoint(arr->domain(), [&](const Point& p) {
+    arr->Set<uint8_t>(p, static_cast<uint8_t>(p[0] * 10 + p[1]));
+  });
+  Result<Array> slice = arr->Slice(MInterval({{1, 2}, {2, 3}}));
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->domain(), MInterval({{1, 2}, {2, 3}}));
+  EXPECT_EQ(slice->At<uint8_t>(Point({1, 2})), 12);
+  EXPECT_EQ(slice->At<uint8_t>(Point({2, 3})), 23);
+}
+
+TEST(ArrayTest, SliceOutsideDomainFails) {
+  Result<Array> arr =
+      Array::Create(MInterval({{0, 3}}), CellType::Of(CellTypeId::kUInt8));
+  ASSERT_TRUE(arr.ok());
+  EXPECT_FALSE(arr->Slice(MInterval({{2, 5}})).ok());
+}
+
+TEST(ArrayTest, CopyFromRejectsCellSizeMismatch) {
+  Result<Array> a =
+      Array::Create(MInterval({{0, 3}}), CellType::Of(CellTypeId::kUInt8));
+  Result<Array> b =
+      Array::Create(MInterval({{0, 3}}), CellType::Of(CellTypeId::kUInt32));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->CopyFrom(*b, MInterval({{0, 3}})).IsInvalidArgument());
+}
+
+TEST(ArrayTest, FillWithDefaultCell) {
+  Result<Array> arr = Array::Create(MInterval({{0, 2}}),
+                                    CellType::Of(CellTypeId::kUInt16));
+  ASSERT_TRUE(arr.ok());
+  const uint16_t v = 0xBEEF;
+  ASSERT_TRUE(arr->Fill(arr->domain(), &v).ok());
+  EXPECT_EQ(arr->At<uint16_t>(Point({0})), 0xBEEF);
+  EXPECT_EQ(arr->At<uint16_t>(Point({2})), 0xBEEF);
+}
+
+TEST(ArrayTest, EqualsComparesDomainTypeAndBytes) {
+  Result<Array> a =
+      Array::Create(MInterval({{0, 1}}), CellType::Of(CellTypeId::kUInt8));
+  Result<Array> b =
+      Array::Create(MInterval({{0, 1}}), CellType::Of(CellTypeId::kUInt8));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->Equals(*b));
+  b->Set<uint8_t>(Point({1}), 5);
+  EXPECT_FALSE(a->Equals(*b));
+  Result<Array> c =
+      Array::Create(MInterval({{1, 2}}), CellType::Of(CellTypeId::kUInt8));
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST(ArrayTest, DropAxisProducesSection) {
+  // Access type (d): a thickness-one slice becomes an MDD of lower
+  // dimensionality.
+  Result<Array> arr = Array::Create(MInterval({{4, 4}, {0, 2}, {10, 12}}),
+                                    CellType::Of(CellTypeId::kUInt8));
+  ASSERT_TRUE(arr.ok());
+  ForEachPoint(arr->domain(), [&](const Point& p) {
+    arr->Set<uint8_t>(p, static_cast<uint8_t>(p[1] * 10 + p[2]));
+  });
+  Result<Array> section = std::move(*arr).DropAxis(0);
+  ASSERT_TRUE(section.ok()) << section.status();
+  EXPECT_EQ(section->domain(), MInterval({{0, 2}, {10, 12}}));
+  // Row-major data is unchanged by dropping a unit axis.
+  EXPECT_EQ(section->At<uint8_t>(Point({1, 11})), 21);
+  EXPECT_EQ(section->At<uint8_t>(Point({2, 12})), 32);
+}
+
+TEST(ArrayTest, DropAxisValidates) {
+  Array a =
+      Array::Create(MInterval({{0, 4}}), CellType::Of(CellTypeId::kUInt8))
+          .value();
+  EXPECT_TRUE(std::move(a).DropAxis(0).status().IsInvalidArgument());  // 1-D
+  Array b = Array::Create(MInterval({{0, 4}, {0, 0}}),
+                          CellType::Of(CellTypeId::kUInt8))
+                .value();
+  Array b2 = Array::Create(MInterval({{0, 4}, {0, 0}}),
+                           CellType::Of(CellTypeId::kUInt8))
+                 .value();
+  EXPECT_TRUE(std::move(b).DropAxis(0).status().IsInvalidArgument());
+  EXPECT_TRUE(std::move(b2).DropAxis(1).ok());  // thickness-one axis
+  Array c = Array::Create(MInterval({{0, 4}, {0, 0}}),
+                          CellType::Of(CellTypeId::kUInt8))
+                .value();
+  EXPECT_TRUE(std::move(c).DropAxis(5).status().IsInvalidArgument());
+}
+
+TEST(ArrayTest, TakeBufferMovesData) {
+  Result<Array> arr =
+      Array::Create(MInterval({{0, 9}}), CellType::Of(CellTypeId::kUInt8));
+  ASSERT_TRUE(arr.ok());
+  arr->Set<uint8_t>(Point({3}), 42);
+  std::vector<uint8_t> buf = std::move(*arr).TakeBuffer();
+  EXPECT_EQ(buf.size(), 10u);
+  EXPECT_EQ(buf[3], 42);
+}
+
+}  // namespace
+}  // namespace tilestore

@@ -1,0 +1,65 @@
+#include "core/cell_type.h"
+
+#include <gtest/gtest.h>
+
+namespace tilestore {
+namespace {
+
+TEST(CellTypeTest, BuiltinSizes) {
+  EXPECT_EQ(CellType::Of(CellTypeId::kUInt8).size(), 1u);
+  EXPECT_EQ(CellType::Of(CellTypeId::kInt16).size(), 2u);
+  EXPECT_EQ(CellType::Of(CellTypeId::kUInt32).size(), 4u);
+  EXPECT_EQ(CellType::Of(CellTypeId::kInt64).size(), 8u);
+  EXPECT_EQ(CellType::Of(CellTypeId::kFloat32).size(), 4u);
+  EXPECT_EQ(CellType::Of(CellTypeId::kFloat64).size(), 8u);
+  EXPECT_EQ(CellType::Of(CellTypeId::kRGB8).size(), 3u);
+}
+
+TEST(CellTypeTest, DefaultIsOneByteOpaque) {
+  CellType t;
+  EXPECT_EQ(t.id(), CellTypeId::kOpaque);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(CellTypeTest, OpaqueCarriesArbitrarySize) {
+  CellType t = CellType::Opaque(37);
+  EXPECT_EQ(t.id(), CellTypeId::kOpaque);
+  EXPECT_EQ(t.size(), 37u);
+  EXPECT_EQ(t.name(), "opaque");
+}
+
+TEST(CellTypeTest, FromNameRoundTrip) {
+  for (CellTypeId id :
+       {CellTypeId::kUInt8, CellTypeId::kInt32, CellTypeId::kFloat64,
+        CellTypeId::kRGB8}) {
+    CellType t = CellType::Of(id);
+    Result<CellType> back = CellType::FromName(t.name());
+    ASSERT_TRUE(back.ok()) << t.name();
+    EXPECT_EQ(*back, t);
+  }
+}
+
+TEST(CellTypeTest, FromNameRejectsUnknown) {
+  Result<CellType> t = CellType::FromName("quaternion");
+  EXPECT_FALSE(t.ok());
+  EXPECT_TRUE(t.status().IsNotFound());
+}
+
+TEST(CellTypeTest, EqualityComparesIdAndSize) {
+  EXPECT_EQ(CellType::Of(CellTypeId::kUInt32), CellType::Of(CellTypeId::kUInt32));
+  EXPECT_NE(CellType::Of(CellTypeId::kUInt32), CellType::Of(CellTypeId::kInt32));
+  EXPECT_NE(CellType::Opaque(4), CellType::Of(CellTypeId::kUInt32));
+  EXPECT_EQ(CellType::Opaque(4), CellType::Opaque(4));
+  EXPECT_NE(CellType::Opaque(4), CellType::Opaque(8));
+}
+
+TEST(CellTypeTest, RGB8LayoutMatchesAnimationBenchmark) {
+  // Table 5: cell size 3 bytes (RGB).
+  RGB8 px{10, 20, 30};
+  EXPECT_EQ(sizeof(px), 3u);
+  EXPECT_EQ(px, (RGB8{10, 20, 30}));
+  EXPECT_NE(px, (RGB8{10, 20, 31}));
+}
+
+}  // namespace
+}  // namespace tilestore

@@ -1,0 +1,100 @@
+// Randomized algebraic properties of MInterval: intersection and hull obey
+// the usual lattice laws, and every geometric predicate agrees with its
+// pointwise definition.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/linearizer.h"
+#include "core/minterval.h"
+
+namespace tilestore {
+namespace {
+
+MInterval RandomInterval(Random* rng, size_t dim, Coord span) {
+  std::vector<Coord> lo(dim), hi(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    lo[i] = rng->UniformInt(-span, span);
+    hi[i] = lo[i] + rng->UniformInt(0, span);
+  }
+  return MInterval::Create(std::move(lo), std::move(hi)).value();
+}
+
+class MIntervalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MIntervalPropertyTest, LatticeLaws) {
+  Random rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const size_t dim = 1 + rng.Uniform(4);
+    const MInterval a = RandomInterval(&rng, dim, 8);
+    const MInterval b = RandomInterval(&rng, dim, 8);
+    const MInterval c = RandomInterval(&rng, dim, 8);
+
+    // Hull: commutative, associative, idempotent, extensive.
+    EXPECT_EQ(a.Hull(b), b.Hull(a));
+    EXPECT_EQ(a.Hull(b).Hull(c), a.Hull(b.Hull(c)));
+    EXPECT_EQ(a.Hull(a), a);
+    EXPECT_TRUE(a.Hull(b).Contains(a));
+    EXPECT_TRUE(a.Hull(b).Contains(b));
+
+    // Intersection: commutative, contained in both, consistent with
+    // Intersects.
+    const auto ab = a.Intersection(b);
+    const auto ba = b.Intersection(a);
+    EXPECT_EQ(ab.has_value(), ba.has_value());
+    EXPECT_EQ(ab.has_value(), a.Intersects(b));
+    if (ab.has_value()) {
+      EXPECT_EQ(*ab, *ba);
+      EXPECT_TRUE(a.Contains(*ab));
+      EXPECT_TRUE(b.Contains(*ab));
+      // Absorption: hull(a, a ∩ b) == a.
+      EXPECT_EQ(a.Hull(*ab), a);
+    }
+
+    // Containment is antisymmetric w.r.t. equality.
+    if (a.Contains(b) && b.Contains(a)) {
+      EXPECT_EQ(a, b);
+    }
+    // Containment implies intersection (both are non-empty).
+    if (a.Contains(b)) {
+      EXPECT_TRUE(a.Intersects(b));
+    }
+  }
+}
+
+TEST_P(MIntervalPropertyTest, PredicatesAgreeWithPointwiseDefinition) {
+  Random rng(GetParam() + 1);
+  for (int iter = 0; iter < 50; ++iter) {
+    const size_t dim = 1 + rng.Uniform(3);
+    const MInterval a = RandomInterval(&rng, dim, 5);
+    const MInterval b = RandomInterval(&rng, dim, 5);
+
+    bool any_shared = false;
+    ForEachPoint(a, [&](const Point& p) {
+      if (b.Contains(p)) any_shared = true;
+      EXPECT_TRUE(a.Contains(p));
+    });
+    EXPECT_EQ(a.Intersects(b), any_shared);
+
+    if (const auto overlap = a.Intersection(b)) {
+      uint64_t overlap_count = 0;
+      ForEachPoint(a, [&](const Point& p) {
+        if (b.Contains(p)) ++overlap_count;
+      });
+      EXPECT_EQ(overlap->CellCountOrDie(), overlap_count);
+    }
+
+    // Translation preserves extents and shifts containment.
+    Point offset(dim);
+    for (size_t i = 0; i < dim; ++i) offset[i] = rng.UniformInt(-4, 4);
+    const MInterval moved = a.Translate(offset);
+    EXPECT_EQ(moved.Extents(), a.Extents());
+    EXPECT_TRUE(moved.Contains(a.LowCorner() + offset));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MIntervalPropertyTest,
+                         ::testing::Values(100, 200, 300));
+
+}  // namespace
+}  // namespace tilestore

@@ -1,0 +1,191 @@
+#include "core/minterval.h"
+
+#include <gtest/gtest.h>
+
+namespace tilestore {
+namespace {
+
+TEST(MIntervalTest, CreateValidatesBounds) {
+  EXPECT_TRUE(MInterval::Create({0, 0}, {5, 9}).ok());
+  EXPECT_FALSE(MInterval::Create({0, 10}, {5, 9}).ok());
+  EXPECT_FALSE(MInterval::Create({0}, {5, 9}).ok());
+}
+
+TEST(MIntervalTest, InitializerListLiteral) {
+  MInterval iv({{1, 730}, {1, 60}, {1, 100}});
+  EXPECT_EQ(iv.dim(), 3u);
+  EXPECT_EQ(iv.lo(0), 1);
+  EXPECT_EQ(iv.hi(0), 730);
+  EXPECT_EQ(iv.Extent(0), 730);
+  EXPECT_EQ(iv.Extent(1), 60);
+  EXPECT_EQ(iv.Extent(2), 100);
+}
+
+TEST(MIntervalTest, ParsePaperNotation) {
+  Result<MInterval> iv = MInterval::Parse("[32:59,28:42,28:35]");
+  ASSERT_TRUE(iv.ok()) << iv.status();
+  EXPECT_EQ(iv->lo(0), 32);
+  EXPECT_EQ(iv->hi(1), 42);
+  EXPECT_EQ(iv->ToString(), "[32:59,28:42,28:35]");
+}
+
+TEST(MIntervalTest, ParseUnboundedBounds) {
+  Result<MInterval> iv = MInterval::Parse("[*:*,28:42,*:35]");
+  ASSERT_TRUE(iv.ok()) << iv.status();
+  EXPECT_TRUE(iv->lo_unbounded(0));
+  EXPECT_TRUE(iv->hi_unbounded(0));
+  EXPECT_FALSE(iv->lo_unbounded(1));
+  EXPECT_TRUE(iv->lo_unbounded(2));
+  EXPECT_FALSE(iv->hi_unbounded(2));
+  EXPECT_FALSE(iv->IsFixed());
+  EXPECT_EQ(iv->ToString(), "[*:*,28:42,*:35]");
+}
+
+TEST(MIntervalTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(MInterval::Parse("").ok());
+  EXPECT_FALSE(MInterval::Parse("[]").ok());
+  EXPECT_FALSE(MInterval::Parse("1:5").ok());
+  EXPECT_FALSE(MInterval::Parse("[1:5").ok());
+  EXPECT_FALSE(MInterval::Parse("[1;5]").ok());
+  EXPECT_FALSE(MInterval::Parse("[5:1]").ok());
+  EXPECT_FALSE(MInterval::Parse("[a:b]").ok());
+  EXPECT_FALSE(MInterval::Parse("[1:5,]").ok());
+  // A bare '*' without ':' is ambiguous (which side is unbounded?).
+  EXPECT_FALSE(MInterval::Parse("[*,0:9]").ok());
+}
+
+TEST(MIntervalTest, ParseSingleCoordinateSection) {
+  // "[5,0:9]" is a thickness-one section along axis 0 (access type (d)).
+  Result<MInterval> iv = MInterval::Parse("[5,0:9]");
+  ASSERT_TRUE(iv.ok()) << iv.status();
+  EXPECT_EQ(*iv, MInterval({{5, 5}, {0, 9}}));
+  EXPECT_EQ(MInterval::Parse("[-3]")->Extent(0), 1);
+}
+
+TEST(MIntervalTest, ParseRoundTripsToString) {
+  for (const char* text :
+       {"[0:0]", "[-5:5,0:9]", "[1:730,1:60,1:100]", "[*:*,0:9]"}) {
+    Result<MInterval> iv = MInterval::Parse(text);
+    ASSERT_TRUE(iv.ok()) << text;
+    EXPECT_EQ(iv->ToString(), text);
+  }
+}
+
+TEST(MIntervalTest, OfExtents) {
+  MInterval iv = MInterval::OfExtents({4, 5});
+  EXPECT_EQ(iv, MInterval({{0, 3}, {0, 4}}));
+  EXPECT_EQ(iv.CellCountOrDie(), 20u);
+}
+
+TEST(MIntervalTest, CellCount) {
+  EXPECT_EQ(MInterval({{1, 730}, {1, 60}, {1, 100}}).CellCountOrDie(),
+            730u * 60u * 100u);
+  EXPECT_EQ(MInterval({{5, 5}}).CellCountOrDie(), 1u);
+}
+
+TEST(MIntervalTest, CellCountOverflowIsDetected) {
+  MInterval huge({{0, INT64_MAX / 2}, {0, INT64_MAX / 2}, {0, 1000}});
+  Result<uint64_t> count = huge.CellCount();
+  EXPECT_FALSE(count.ok());
+  EXPECT_TRUE(count.status().IsOutOfRange());
+}
+
+TEST(MIntervalTest, CellCountOfUnboundedFails) {
+  Result<MInterval> iv = MInterval::Parse("[0:*]");
+  ASSERT_TRUE(iv.ok());
+  EXPECT_FALSE(iv->CellCount().ok());
+}
+
+TEST(MIntervalTest, ContainsPoint) {
+  MInterval iv({{0, 9}, {10, 19}});
+  EXPECT_TRUE(iv.Contains(Point({0, 10})));
+  EXPECT_TRUE(iv.Contains(Point({9, 19})));
+  EXPECT_TRUE(iv.Contains(Point({5, 15})));
+  EXPECT_FALSE(iv.Contains(Point({10, 15})));
+  EXPECT_FALSE(iv.Contains(Point({5, 9})));
+  EXPECT_FALSE(iv.Contains(Point({5})));  // wrong dimensionality
+}
+
+TEST(MIntervalTest, ContainsInterval) {
+  MInterval outer({{0, 9}, {0, 9}});
+  EXPECT_TRUE(outer.Contains(MInterval({{2, 5}, {3, 9}})));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(MInterval({{2, 10}, {3, 9}})));
+}
+
+TEST(MIntervalTest, UnboundedContainsEverythingAlongAxis) {
+  Result<MInterval> iv = MInterval::Parse("[*:*,0:9]");
+  ASSERT_TRUE(iv.ok());
+  EXPECT_TRUE(iv->Contains(Point({INT64_MIN + 1, 5})));
+  EXPECT_TRUE(iv->Contains(MInterval({{-1000000, 1000000}, {0, 9}})));
+  EXPECT_FALSE(iv->Contains(Point({0, 10})));
+}
+
+TEST(MIntervalTest, IntersectsAndIntersection) {
+  MInterval a({{0, 9}, {0, 9}});
+  MInterval b({{5, 15}, {8, 20}});
+  MInterval c({{10, 12}, {0, 9}});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  auto ab = a.Intersection(b);
+  ASSERT_TRUE(ab.has_value());
+  EXPECT_EQ(*ab, MInterval({{5, 9}, {8, 9}}));
+  EXPECT_FALSE(a.Intersection(c).has_value());
+}
+
+TEST(MIntervalTest, TouchingIntervalsIntersectOnlyWhenSharingCells) {
+  MInterval a({{0, 4}});
+  MInterval b({{4, 8}});
+  MInterval c({{5, 8}});
+  EXPECT_TRUE(a.Intersects(b));  // share cell 4
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(MIntervalTest, HullIsClosureOperation) {
+  MInterval a({{0, 4}, {0, 4}});
+  MInterval b({{10, 12}, {2, 8}});
+  EXPECT_EQ(a.Hull(b), MInterval({{0, 12}, {0, 8}}));
+  // Hull with itself is identity.
+  EXPECT_EQ(a.Hull(a), a);
+}
+
+TEST(MIntervalTest, Translate) {
+  MInterval iv({{0, 4}, {10, 14}});
+  EXPECT_EQ(iv.Translate(Point({5, -10})), MInterval({{5, 9}, {0, 4}}));
+}
+
+TEST(MIntervalTest, TranslatePreservesUnboundedBounds) {
+  Result<MInterval> iv = MInterval::Parse("[0:*,5:9]");
+  ASSERT_TRUE(iv.ok());
+  MInterval moved = iv->Translate(Point({3, 3}));
+  EXPECT_EQ(moved.lo(0), 3);
+  EXPECT_TRUE(moved.hi_unbounded(0));
+  EXPECT_EQ(moved.lo(1), 8);
+}
+
+TEST(MIntervalTest, CornersAndExtents) {
+  MInterval iv({{2, 5}, {-3, 3}});
+  EXPECT_EQ(iv.LowCorner(), Point({2, -3}));
+  EXPECT_EQ(iv.HighCorner(), Point({5, 3}));
+  EXPECT_EQ(iv.Extents(), (std::vector<Coord>{4, 7}));
+}
+
+TEST(MIntervalTest, SliceOfLengthOne) {
+  // A tile with t.l_i == t.u_i is a slice of thickness 1 (Section 4).
+  MInterval slice({{7, 7}, {0, 99}});
+  EXPECT_EQ(slice.Extent(0), 1);
+  EXPECT_EQ(slice.CellCountOrDie(), 100u);
+}
+
+TEST(MIntervalLessTest, ProvidesTotalOrder) {
+  MIntervalLess less;
+  MInterval a({{0, 4}, {0, 4}});
+  MInterval b({{0, 5}, {0, 4}});
+  MInterval c({{1, 2}, {0, 4}});
+  EXPECT_TRUE(less(a, b));   // same lo, smaller hi first
+  EXPECT_TRUE(less(a, c));   // smaller lo first
+  EXPECT_FALSE(less(a, a));
+}
+
+}  // namespace
+}  // namespace tilestore

@@ -1,0 +1,95 @@
+#include "core/point.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace tilestore {
+namespace {
+
+TEST(PointTest, ConstructionAndAccess) {
+  Point p{3, -1, 7};
+  EXPECT_EQ(p.dim(), 3u);
+  EXPECT_EQ(p[0], 3);
+  EXPECT_EQ(p[1], -1);
+  EXPECT_EQ(p[2], 7);
+}
+
+TEST(PointTest, DefaultIsZeroDimensional) {
+  Point p;
+  EXPECT_EQ(p.dim(), 0u);
+}
+
+TEST(PointTest, SizedConstructorZeroInitializes) {
+  Point p(4);
+  EXPECT_EQ(p.dim(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(p[i], 0);
+}
+
+TEST(PointTest, MutationThroughIndex) {
+  Point p(2);
+  p[0] = 10;
+  p[1] = -20;
+  EXPECT_EQ(p[0], 10);
+  EXPECT_EQ(p[1], -20);
+}
+
+TEST(PointTest, AdditionAndSubtraction) {
+  Point a{1, 2, 3};
+  Point b{10, 20, 30};
+  EXPECT_EQ(a + b, Point({11, 22, 33}));
+  EXPECT_EQ(b - a, Point({9, 18, 27}));
+}
+
+TEST(PointTest, EqualityComparesAllCoordinates) {
+  EXPECT_EQ(Point({1, 2}), Point({1, 2}));
+  EXPECT_NE(Point({1, 2}), Point({2, 1}));
+  EXPECT_NE(Point({1, 2}), Point({1, 2, 3}));
+}
+
+TEST(PointTest, ToString) {
+  EXPECT_EQ(Point({5}).ToString(), "(5)");
+  EXPECT_EQ(Point({1, -2, 3}).ToString(), "(1,-2,3)");
+}
+
+TEST(RowMajorLessTest, MatchesPaperOrdering) {
+  // Section 3: x < y iff exists k with x_k < y_k and x_i == y_i for i < k.
+  RowMajorLess less;
+  EXPECT_TRUE(less(Point({0, 9}), Point({1, 0})));
+  EXPECT_TRUE(less(Point({1, 0}), Point({1, 5})));
+  EXPECT_FALSE(less(Point({1, 5}), Point({1, 5})));
+  EXPECT_FALSE(less(Point({2, 0}), Point({1, 9})));
+}
+
+TEST(RowMajorLessTest, SortsInRowMajorOrder) {
+  std::vector<Point> points = {
+      Point({1, 1}), Point({0, 1}), Point({1, 0}), Point({0, 0})};
+  std::sort(points.begin(), points.end(), RowMajorLess());
+  EXPECT_EQ(points[0], Point({0, 0}));
+  EXPECT_EQ(points[1], Point({0, 1}));
+  EXPECT_EQ(points[2], Point({1, 0}));
+  EXPECT_EQ(points[3], Point({1, 1}));
+}
+
+TEST(RowMajorLessTest, IsStrictWeakOrdering) {
+  const std::vector<Point> pts = {Point({0, 0}), Point({0, 1}), Point({1, 0}),
+                                  Point({-3, 7}), Point({2, -5})};
+  RowMajorLess less;
+  for (const Point& a : pts) {
+    EXPECT_FALSE(less(a, a));  // irreflexive
+    for (const Point& b : pts) {
+      if (less(a, b)) {
+        EXPECT_FALSE(less(b, a));  // asymmetric
+      }
+      for (const Point& c : pts) {
+        if (less(a, b) && less(b, c)) {
+          EXPECT_TRUE(less(a, c));  // transitive
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tilestore

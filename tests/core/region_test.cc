@@ -1,0 +1,121 @@
+#include "core/region.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/linearizer.h"
+#include "tiling/validator.h"
+
+namespace tilestore {
+namespace {
+
+uint64_t TotalCells(const std::vector<MInterval>& pieces) {
+  uint64_t total = 0;
+  for (const MInterval& piece : pieces) total += piece.CellCountOrDie();
+  return total;
+}
+
+TEST(SubtractBoxTest, DisjointReturnsPiece) {
+  MInterval piece({{0, 9}});
+  std::vector<MInterval> out = SubtractBox(piece, MInterval({{20, 30}}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], piece);
+}
+
+TEST(SubtractBoxTest, FullCoverReturnsEmpty) {
+  MInterval piece({{2, 5}, {2, 5}});
+  EXPECT_TRUE(SubtractBox(piece, MInterval({{0, 9}, {0, 9}})).empty());
+  EXPECT_TRUE(SubtractBox(piece, piece).empty());
+}
+
+TEST(SubtractBoxTest, MiddleHoleIn1D) {
+  std::vector<MInterval> out =
+      SubtractBox(MInterval({{0, 9}}), MInterval({{3, 6}}));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], MInterval({{0, 2}}));
+  EXPECT_EQ(out[1], MInterval({{7, 9}}));
+}
+
+TEST(SubtractBoxTest, CenterHoleIn2DYieldsFourDisjointSlabs) {
+  MInterval piece({{0, 9}, {0, 9}});
+  MInterval hole({{3, 6}, {3, 6}});
+  std::vector<MInterval> out = SubtractBox(piece, hole);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_TRUE(CheckDisjoint(out).ok());
+  EXPECT_EQ(TotalCells(out), 100u - 16u);
+  for (const MInterval& slab : out) {
+    EXPECT_FALSE(slab.Intersects(hole)) << slab.ToString();
+    EXPECT_TRUE(piece.Contains(slab));
+  }
+}
+
+TEST(SubtractTest, MultipleOverlappingBoxes) {
+  MInterval region({{0, 19}, {0, 19}});
+  std::vector<MInterval> boxes = {MInterval({{0, 9}, {0, 9}}),
+                                  MInterval({{5, 14}, {5, 14}})};
+  std::vector<MInterval> out = Subtract(region, boxes);
+  EXPECT_TRUE(CheckDisjoint(out).ok());
+  // Remaining cells: 400 - |union| = 400 - (100 + 100 - 25) = 225.
+  EXPECT_EQ(TotalCells(out), 225u);
+  for (const MInterval& piece : out) {
+    for (const MInterval& box : boxes) {
+      EXPECT_FALSE(piece.Intersects(box));
+    }
+  }
+}
+
+TEST(SubtractTest, NothingLeft) {
+  MInterval region({{0, 9}});
+  EXPECT_TRUE(Subtract(region, {MInterval({{0, 5}}), MInterval({{6, 9}})})
+                  .empty());
+}
+
+TEST(SubtractTest, NoBoxesReturnsRegion) {
+  MInterval region({{0, 9}, {3, 4}});
+  std::vector<MInterval> out = Subtract(region, {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], region);
+}
+
+TEST(SubtractTest, RandomizedAgainstPointwiseReference) {
+  Random rng(20260707);
+  for (int iter = 0; iter < 40; ++iter) {
+    const size_t d = 1 + rng.Uniform(3);
+    std::vector<Coord> lo(d), hi(d);
+    for (size_t i = 0; i < d; ++i) {
+      lo[i] = rng.UniformInt(-5, 5);
+      hi[i] = lo[i] + rng.UniformInt(2, 12);
+    }
+    MInterval region = MInterval::Create(lo, hi).value();
+
+    std::vector<MInterval> boxes;
+    const size_t n_boxes = rng.Uniform(4);
+    for (size_t b = 0; b < n_boxes; ++b) {
+      std::vector<Coord> blo(d), bhi(d);
+      for (size_t i = 0; i < d; ++i) {
+        blo[i] = rng.UniformInt(region.lo(i) - 2, region.hi(i));
+        bhi[i] = blo[i] + rng.UniformInt(0, 6);
+      }
+      boxes.push_back(MInterval::Create(blo, bhi).value());
+    }
+
+    std::vector<MInterval> pieces = Subtract(region, boxes);
+    ASSERT_TRUE(CheckDisjoint(pieces).ok());
+    // Pointwise: every cell of `region` is in exactly one piece iff it is
+    // in no box.
+    ForEachPoint(region, [&](const Point& p) {
+      bool in_box = false;
+      for (const MInterval& box : boxes) {
+        if (box.Contains(p)) in_box = true;
+      }
+      int containing = 0;
+      for (const MInterval& piece : pieces) {
+        if (piece.Contains(p)) ++containing;
+      }
+      ASSERT_EQ(containing, in_box ? 0 : 1) << p.ToString();
+    });
+  }
+}
+
+}  // namespace
+}  // namespace tilestore

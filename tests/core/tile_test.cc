@@ -1,0 +1,55 @@
+#include "core/tile.h"
+
+#include <gtest/gtest.h>
+
+namespace tilestore {
+namespace {
+
+Array MakeSequentialArray(const MInterval& domain) {
+  Array arr = Array::Create(domain, CellType::Of(CellTypeId::kUInt8)).value();
+  uint8_t v = 0;
+  ForEachPoint(domain, [&](const Point& p) { arr.Set<uint8_t>(p, v++); });
+  return arr;
+}
+
+TEST(CutTilesTest, CutsDisjointTiles) {
+  Array source = MakeSequentialArray(MInterval({{0, 3}, {0, 3}}));
+  TilingSpec spec = {MInterval({{0, 1}, {0, 3}}), MInterval({{2, 3}, {0, 3}})};
+  Result<std::vector<Tile>> tiles = CutTiles(source, spec);
+  ASSERT_TRUE(tiles.ok());
+  ASSERT_EQ(tiles->size(), 2u);
+  EXPECT_EQ((*tiles)[0].domain(), spec[0]);
+  EXPECT_EQ((*tiles)[1].domain(), spec[1]);
+  // Cell contents are carried over.
+  EXPECT_EQ((*tiles)[1].At<uint8_t>(Point({2, 0})),
+            source.At<uint8_t>(Point({2, 0})));
+}
+
+TEST(CutTilesTest, RejectsTileOutsideSource) {
+  Array source = MakeSequentialArray(MInterval({{0, 3}, {0, 3}}));
+  TilingSpec spec = {MInterval({{2, 4}, {0, 3}})};
+  Result<std::vector<Tile>> tiles = CutTiles(source, spec);
+  EXPECT_FALSE(tiles.ok());
+  EXPECT_TRUE(tiles.status().IsInvalidArgument());
+}
+
+TEST(CutTilesTest, EmptySpecYieldsNoTiles) {
+  Array source = MakeSequentialArray(MInterval({{0, 1}}));
+  Result<std::vector<Tile>> tiles = CutTiles(source, {});
+  ASSERT_TRUE(tiles.ok());
+  EXPECT_TRUE(tiles->empty());
+}
+
+TEST(SpecHelpersTest, CellCountAndMaxBytes) {
+  TilingSpec spec = {MInterval({{0, 9}}), MInterval({{10, 14}})};
+  EXPECT_EQ(SpecCellCount(spec), 15u);
+  EXPECT_EQ(SpecMaxTileBytes(spec, 4), 40u);
+}
+
+TEST(SpecHelpersTest, EmptySpec) {
+  EXPECT_EQ(SpecCellCount({}), 0u);
+  EXPECT_EQ(SpecMaxTileBytes({}, 8), 0u);
+}
+
+}  // namespace
+}  // namespace tilestore

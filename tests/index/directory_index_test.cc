@@ -1,0 +1,66 @@
+#include "index/directory_index.h"
+
+#include <gtest/gtest.h>
+
+namespace tilestore {
+namespace {
+
+TEST(DirectoryIndexTest, InsertAndSearch) {
+  DirectoryIndex index;
+  ASSERT_TRUE(index.Insert(MInterval({{0, 4}, {0, 4}}), 1).ok());
+  ASSERT_TRUE(index.Insert(MInterval({{5, 9}, {0, 4}}), 2).ok());
+  ASSERT_TRUE(index.Insert(MInterval({{0, 4}, {5, 9}}), 3).ok());
+  EXPECT_EQ(index.size(), 3u);
+
+  std::vector<TileEntry> hits = index.Search(MInterval({{3, 6}, {1, 2}}));
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].blob, 1u);
+  EXPECT_EQ(hits[1].blob, 2u);
+}
+
+TEST(DirectoryIndexTest, SearchMissReturnsEmpty) {
+  DirectoryIndex index;
+  ASSERT_TRUE(index.Insert(MInterval({{0, 4}}), 1).ok());
+  EXPECT_TRUE(index.Search(MInterval({{10, 20}})).empty());
+}
+
+TEST(DirectoryIndexTest, RemoveByExactDomain) {
+  DirectoryIndex index;
+  ASSERT_TRUE(index.Insert(MInterval({{0, 4}}), 1).ok());
+  ASSERT_TRUE(index.Insert(MInterval({{5, 9}}), 2).ok());
+  EXPECT_TRUE(index.Remove(MInterval({{0, 4}})).ok());
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_TRUE(index.Remove(MInterval({{0, 4}})).IsNotFound());
+  // Intersecting-but-not-equal domain does not match.
+  EXPECT_TRUE(index.Remove(MInterval({{5, 8}})).IsNotFound());
+}
+
+TEST(DirectoryIndexTest, RejectsUnboundedDomain) {
+  DirectoryIndex index;
+  Result<MInterval> iv = MInterval::Parse("[0:*]");
+  ASSERT_TRUE(iv.ok());
+  EXPECT_TRUE(index.Insert(*iv, 1).IsInvalidArgument());
+}
+
+TEST(DirectoryIndexTest, GetAllReturnsEverything) {
+  DirectoryIndex index;
+  for (Coord i = 0; i < 10; ++i) {
+    ASSERT_TRUE(index.Insert(MInterval({{i * 10, i * 10 + 9}}), 100 + i).ok());
+  }
+  std::vector<TileEntry> all;
+  index.GetAll(&all);
+  EXPECT_EQ(all.size(), 10u);
+}
+
+TEST(DirectoryIndexTest, NodesVisitedGrowsLinearly) {
+  DirectoryIndex index;
+  for (Coord i = 0; i < 200; ++i) {
+    ASSERT_TRUE(index.Insert(MInterval({{i, i}}), i).ok());
+  }
+  index.Search(MInterval({{0, 0}}));
+  // 200 entries at 64 per node -> 4 nodes scanned.
+  EXPECT_EQ(index.last_nodes_visited(), 4u);
+}
+
+}  // namespace
+}  // namespace tilestore

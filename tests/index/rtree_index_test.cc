@@ -1,0 +1,251 @@
+#include "index/rtree_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "tiling/aligned.h"
+
+namespace tilestore {
+namespace {
+
+// Brute-force reference for differential testing.
+std::set<BlobId> BruteForceSearch(const std::vector<TileEntry>& entries,
+                                  const MInterval& region) {
+  std::set<BlobId> out;
+  for (const TileEntry& entry : entries) {
+    if (entry.domain.Intersects(region)) out.insert(entry.blob);
+  }
+  return out;
+}
+
+std::set<BlobId> ToBlobSet(const std::vector<TileEntry>& entries) {
+  std::set<BlobId> out;
+  for (const TileEntry& entry : entries) out.insert(entry.blob);
+  return out;
+}
+
+// Disjoint grid tiles over a domain, as real tilings produce.
+std::vector<TileEntry> GridEntries(const MInterval& domain,
+                                   const std::vector<Coord>& format) {
+  std::vector<TileEntry> entries;
+  BlobId next = 1;
+  for (const MInterval& tile : GridTiling(domain, format)) {
+    entries.push_back(TileEntry{tile, next++});
+  }
+  return entries;
+}
+
+TEST(RTreeIndexTest, EmptyTreeSearches) {
+  RTreeIndex index;
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.Search(MInterval({{0, 9}})).empty());
+  EXPECT_EQ(index.height(), 1u);
+}
+
+TEST(RTreeIndexTest, InsertAndExactSearch) {
+  RTreeIndex index;
+  ASSERT_TRUE(index.Insert(MInterval({{0, 4}, {0, 4}}), 1).ok());
+  ASSERT_TRUE(index.Insert(MInterval({{5, 9}, {5, 9}}), 2).ok());
+  std::vector<TileEntry> hits = index.Search(MInterval({{4, 5}, {4, 5}}));
+  EXPECT_EQ(ToBlobSet(hits), (std::set<BlobId>{1, 2}));
+}
+
+TEST(RTreeIndexTest, SplitsGrowTheTree) {
+  RTreeIndex index(/*max_entries=*/4);
+  const std::vector<TileEntry> entries =
+      GridEntries(MInterval({{0, 99}, {0, 99}}), {10, 10});
+  for (const TileEntry& entry : entries) {
+    ASSERT_TRUE(index.Insert(entry.domain, entry.blob).ok());
+  }
+  EXPECT_EQ(index.size(), 100u);
+  EXPECT_GT(index.height(), 1u);
+  EXPECT_GT(index.node_count(), 25u);
+  // Every tile findable; full-domain search returns everything.
+  EXPECT_EQ(ToBlobSet(index.Search(MInterval({{0, 99}, {0, 99}}))).size(),
+            100u);
+}
+
+TEST(RTreeIndexTest, DifferentialSearchAfterIncrementalInserts) {
+  RTreeIndex index(8);
+  const std::vector<TileEntry> entries =
+      GridEntries(MInterval({{0, 59}, {0, 59}, {0, 9}}), {7, 11, 3});
+  for (const TileEntry& entry : entries) {
+    ASSERT_TRUE(index.Insert(entry.domain, entry.blob).ok());
+  }
+  Random rng(99);
+  for (int q = 0; q < 50; ++q) {
+    std::vector<Coord> lo(3), hi(3);
+    const MInterval domain({{0, 59}, {0, 59}, {0, 9}});
+    for (size_t i = 0; i < 3; ++i) {
+      lo[i] = rng.UniformInt(domain.lo(i), domain.hi(i));
+      hi[i] = rng.UniformInt(lo[i], domain.hi(i));
+    }
+    MInterval region = MInterval::Create(lo, hi).value();
+    EXPECT_EQ(ToBlobSet(index.Search(region)),
+              BruteForceSearch(entries, region))
+        << region.ToString();
+  }
+}
+
+TEST(RTreeIndexTest, BulkLoadMatchesBruteForce) {
+  RTreeIndex index(16);
+  const std::vector<TileEntry> entries =
+      GridEntries(MInterval({{0, 99}, {0, 99}}), {4, 6});
+  ASSERT_TRUE(index.BulkLoad(entries).ok());
+  EXPECT_EQ(index.size(), entries.size());
+  Random rng(7);
+  for (int q = 0; q < 50; ++q) {
+    std::vector<Coord> lo(2), hi(2);
+    for (size_t i = 0; i < 2; ++i) {
+      lo[i] = rng.UniformInt(0, 99);
+      hi[i] = rng.UniformInt(lo[i], 99);
+    }
+    MInterval region = MInterval::Create(lo, hi).value();
+    EXPECT_EQ(ToBlobSet(index.Search(region)),
+              BruteForceSearch(entries, region));
+  }
+}
+
+TEST(RTreeIndexTest, BulkLoadReplacesPreviousContents) {
+  RTreeIndex index;
+  ASSERT_TRUE(index.Insert(MInterval({{0, 4}}), 1).ok());
+  ASSERT_TRUE(index.BulkLoad({TileEntry{MInterval({{10, 14}}), 2}}).ok());
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_TRUE(index.Search(MInterval({{0, 4}})).empty());
+  EXPECT_EQ(index.Search(MInterval({{10, 14}})).size(), 1u);
+}
+
+TEST(RTreeIndexTest, BulkLoadEmpty) {
+  RTreeIndex index;
+  ASSERT_TRUE(index.BulkLoad({}).ok());
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.Search(MInterval({{0, 4}})).empty());
+}
+
+TEST(RTreeIndexTest, RemoveMaintainsSearchability) {
+  RTreeIndex index(4);
+  std::vector<TileEntry> entries =
+      GridEntries(MInterval({{0, 39}, {0, 39}}), {5, 5});
+  for (const TileEntry& entry : entries) {
+    ASSERT_TRUE(index.Insert(entry.domain, entry.blob).ok());
+  }
+  // Remove every third tile.
+  std::vector<TileEntry> remaining;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i % 3 == 0) {
+      ASSERT_TRUE(index.Remove(entries[i].domain).ok()) << i;
+    } else {
+      remaining.push_back(entries[i]);
+    }
+  }
+  EXPECT_EQ(index.size(), remaining.size());
+  Random rng(5);
+  for (int q = 0; q < 30; ++q) {
+    std::vector<Coord> lo(2), hi(2);
+    for (size_t i = 0; i < 2; ++i) {
+      lo[i] = rng.UniformInt(0, 39);
+      hi[i] = rng.UniformInt(lo[i], 39);
+    }
+    MInterval region = MInterval::Create(lo, hi).value();
+    EXPECT_EQ(ToBlobSet(index.Search(region)),
+              BruteForceSearch(remaining, region));
+  }
+}
+
+TEST(RTreeIndexTest, RemoveMissingIsNotFound) {
+  RTreeIndex index;
+  ASSERT_TRUE(index.Insert(MInterval({{0, 4}}), 1).ok());
+  EXPECT_TRUE(index.Remove(MInterval({{5, 9}})).IsNotFound());
+  EXPECT_TRUE(index.Remove(MInterval({{0, 3}})).IsNotFound());
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(RTreeIndexTest, RemoveAllEmptiesTree) {
+  RTreeIndex index(4);
+  std::vector<TileEntry> entries =
+      GridEntries(MInterval({{0, 19}, {0, 19}}), {5, 5});
+  for (const TileEntry& entry : entries) {
+    ASSERT_TRUE(index.Insert(entry.domain, entry.blob).ok());
+  }
+  for (const TileEntry& entry : entries) {
+    ASSERT_TRUE(index.Remove(entry.domain).ok());
+  }
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.Search(MInterval({{0, 19}, {0, 19}})).empty());
+}
+
+TEST(RTreeIndexTest, GetAllReturnsEveryEntry) {
+  RTreeIndex index(4);
+  std::vector<TileEntry> entries =
+      GridEntries(MInterval({{0, 29}, {0, 29}}), {6, 5});
+  for (const TileEntry& entry : entries) {
+    ASSERT_TRUE(index.Insert(entry.domain, entry.blob).ok());
+  }
+  std::vector<TileEntry> all;
+  index.GetAll(&all);
+  EXPECT_EQ(ToBlobSet(all), ToBlobSet(entries));
+}
+
+TEST(RTreeIndexTest, NodesVisitedIsSubsetOfTree) {
+  RTreeIndex index(8);
+  std::vector<TileEntry> entries =
+      GridEntries(MInterval({{0, 199}, {0, 199}}), {10, 10});
+  ASSERT_TRUE(index.BulkLoad(entries).ok());
+  index.Search(MInterval({{0, 9}, {0, 9}}));
+  const uint64_t small_visit = index.last_nodes_visited();
+  index.Search(MInterval({{0, 199}, {0, 199}}));
+  const uint64_t full_visit = index.last_nodes_visited();
+  EXPECT_LT(small_visit, full_visit);
+  EXPECT_LE(full_visit, index.node_count());
+  // A point query in a bulk-loaded tree should visit a narrow path.
+  EXPECT_LE(small_visit, index.node_count() / 4);
+}
+
+TEST(RTreeIndexTest, RejectsUnboundedDomains) {
+  RTreeIndex index;
+  Result<MInterval> iv = MInterval::Parse("[0:*]");
+  ASSERT_TRUE(iv.ok());
+  EXPECT_TRUE(index.Insert(*iv, 1).IsInvalidArgument());
+  EXPECT_TRUE(index.BulkLoad({TileEntry{*iv, 1}}).IsInvalidArgument());
+}
+
+TEST(RTreeIndexTest, RandomizedInsertRemoveDifferential) {
+  Random rng(20260706);
+  RTreeIndex index(6);
+  std::vector<TileEntry> live;
+  BlobId next = 1;
+  // Random disjoint 1-D segments: carve [0, 10000) into slots of 10.
+  std::vector<bool> used(1000, false);
+  for (int iter = 0; iter < 400; ++iter) {
+    if (!live.empty() && rng.Bernoulli(0.4)) {
+      const size_t pick = rng.Uniform(live.size());
+      ASSERT_TRUE(index.Remove(live[pick].domain).ok());
+      used[static_cast<size_t>(live[pick].domain.lo(0) / 10)] = false;
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    } else {
+      const size_t slot = rng.Uniform(1000);
+      if (used[slot]) continue;
+      used[slot] = true;
+      MInterval domain(
+          {{static_cast<Coord>(slot) * 10, static_cast<Coord>(slot) * 10 + 9}});
+      ASSERT_TRUE(index.Insert(domain, next).ok());
+      live.push_back(TileEntry{domain, next});
+      ++next;
+    }
+    if (iter % 20 == 0) {
+      const Coord lo = rng.UniformInt(0, 9999);
+      const Coord hi = rng.UniformInt(lo, 9999);
+      MInterval region({{lo, hi}});
+      ASSERT_EQ(ToBlobSet(index.Search(region)),
+                BruteForceSearch(live, region))
+          << "iter " << iter;
+    }
+  }
+  EXPECT_EQ(index.size(), live.size());
+}
+
+}  // namespace
+}  // namespace tilestore

@@ -1,0 +1,65 @@
+#include "query/access_log.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "storage/env.h"
+
+namespace tilestore {
+namespace {
+
+TEST(AccessLogTest, RecordAndConvert) {
+  AccessLog log;
+  log.Record(MInterval({{0, 9}}));
+  log.Record(MInterval({{5, 14}}));
+  EXPECT_EQ(log.size(), 2u);
+  std::vector<AccessRecord> records = log.ToRecords();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].region, MInterval({{0, 9}}));
+  EXPECT_EQ(records[0].count, 1u);
+}
+
+TEST(AccessLogTest, ClearEmptiesLog) {
+  AccessLog log;
+  log.Record(MInterval({{0, 9}}));
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(AccessLogTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/access_log_test.txt";
+  (void)RemoveFile(path);
+  AccessLog log;
+  log.Record(MInterval({{0, 9}, {10, 19}}));
+  log.Record(MInterval({{-5, 5}, {0, 0}}));
+  ASSERT_TRUE(log.SaveToFile(path).ok());
+  Result<AccessLog> back = AccessLog::LoadFromFile(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->accesses()[0], MInterval({{0, 9}, {10, 19}}));
+  EXPECT_EQ(back->accesses()[1], MInterval({{-5, 5}, {0, 0}}));
+  (void)RemoveFile(path);
+}
+
+TEST(AccessLogTest, LoadMissingFileIsNotFound) {
+  Result<AccessLog> log =
+      AccessLog::LoadFromFile(::testing::TempDir() + "/nonexistent_log.txt");
+  EXPECT_FALSE(log.ok());
+  EXPECT_TRUE(log.status().IsNotFound());
+}
+
+TEST(AccessLogTest, LoadRejectsGarbageLines) {
+  const std::string path = ::testing::TempDir() + "/access_log_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "[0:9]\nnot an interval\n";
+  }
+  Result<AccessLog> log = AccessLog::LoadFromFile(path);
+  EXPECT_FALSE(log.ok());
+  EXPECT_TRUE(log.status().IsCorruption());
+  (void)RemoveFile(path);
+}
+
+}  // namespace
+}  // namespace tilestore

@@ -1,0 +1,69 @@
+#include "query/query_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace tilestore {
+namespace {
+
+QueryStats Sample() {
+  QueryStats s;
+  s.tiles_accessed = 4;
+  s.tile_bytes_read = 4000;
+  s.pages_read = 10;
+  s.seeks = 2;
+  s.index_nodes_visited = 6;
+  s.result_cells = 100;
+  s.result_bytes = 400;
+  s.useful_bytes = 400;
+  s.t_ix_model_ms = 6.0;
+  s.t_o_model_ms = 20.0;
+  s.t_cpu_model_ms = 4.0;
+  s.t_ix_measured_ms = 0.1;
+  s.t_o_measured_ms = 0.2;
+  s.t_cpu_measured_ms = 0.3;
+  return s;
+}
+
+TEST(QueryStatsTest, TotalsCombineComponents) {
+  const QueryStats s = Sample();
+  EXPECT_DOUBLE_EQ(s.total_access_model_ms(), 26.0);
+  EXPECT_DOUBLE_EQ(s.total_cpu_model_ms(), 30.0);
+  EXPECT_DOUBLE_EQ(s.total_access_measured_ms(), 0.1 + 0.2);
+  EXPECT_DOUBLE_EQ(s.total_cpu_measured_ms(), 0.1 + 0.2 + 0.3);
+}
+
+TEST(QueryStatsTest, AddAccumulatesEverything) {
+  QueryStats sum;
+  sum.Add(Sample());
+  sum.Add(Sample());
+  EXPECT_EQ(sum.tiles_accessed, 8u);
+  EXPECT_EQ(sum.tile_bytes_read, 8000u);
+  EXPECT_EQ(sum.pages_read, 20u);
+  EXPECT_EQ(sum.index_nodes_visited, 12u);
+  EXPECT_DOUBLE_EQ(sum.t_o_model_ms, 40.0);
+  EXPECT_DOUBLE_EQ(sum.t_cpu_measured_ms, 0.6);
+}
+
+TEST(QueryStatsTest, DivideByAverages) {
+  QueryStats sum;
+  sum.Add(Sample());
+  sum.Add(Sample());
+  sum.DivideBy(2);
+  const QueryStats expected = Sample();
+  EXPECT_EQ(sum.tiles_accessed, expected.tiles_accessed);
+  EXPECT_DOUBLE_EQ(sum.t_ix_model_ms, expected.t_ix_model_ms);
+  EXPECT_DOUBLE_EQ(sum.t_o_model_ms, expected.t_o_model_ms);
+  // Dividing by zero is a no-op, not a crash.
+  sum.DivideBy(0);
+  EXPECT_EQ(sum.tiles_accessed, expected.tiles_accessed);
+}
+
+TEST(QueryStatsTest, ToStringMentionsKeyNumbers) {
+  const std::string text = Sample().ToString();
+  EXPECT_NE(text.find("tiles=4"), std::string::npos);
+  EXPECT_NE(text.find("pages=10"), std::string::npos);
+  EXPECT_NE(text.find("ix=6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tilestore

@@ -1,0 +1,88 @@
+// Robustness: the mini-RasQL parser must never crash, hang or accept
+// nonsense, whatever bytes it is fed. Deterministic token-soup and
+// mutation fuzzing (no external fuzzer needed).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "query/rasql.h"
+
+namespace tilestore {
+namespace {
+
+TEST(RasqlFuzzTest, TokenSoupNeverCrashes) {
+  const std::vector<std::string> tokens = {
+      "select", "SELECT",  "from",  "FROM",   "img",       "add_cells",
+      "(",      ")",       "[",     "]",      ",",         ":",
+      "*",      "0",       "42",    "-17",    " ",         "  ",
+      "9999999999999999999999", "_", "a1",    "from_x",    "選択"};
+  Random rng(20260708);
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::string query;
+    const size_t parts = rng.Uniform(12);
+    for (size_t i = 0; i < parts; ++i) {
+      query += tokens[rng.Uniform(tokens.size())];
+    }
+    (void)ParseRasql(query);  // must neither crash nor hang
+  }
+}
+
+TEST(RasqlFuzzTest, RandomBytesNeverCrash) {
+  Random rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string query;
+    const size_t length = rng.Uniform(64);
+    for (size_t i = 0; i < length; ++i) {
+      query.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    (void)ParseRasql(query);
+  }
+}
+
+TEST(RasqlFuzzTest, MutationsOfValidQueriesNeverCrash) {
+  const std::string base =
+      "select add_cells(sales[32:59,*:*,28:35]) from sales";
+  Random rng(4711);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string query = base;
+    const size_t mutations = 1 + rng.Uniform(4);
+    for (size_t m = 0; m < mutations; ++m) {
+      const size_t pos = rng.Uniform(query.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          query[pos] = static_cast<char>(rng.Uniform(256));
+          break;
+        case 1:
+          query.erase(pos, 1);
+          break;
+        default:
+          query.insert(pos, 1, static_cast<char>(rng.Uniform(128)));
+          break;
+      }
+      if (query.empty()) query = "x";
+    }
+    (void)ParseRasql(query);
+  }
+}
+
+TEST(RasqlFuzzTest, ValidQueriesStayValidUnderWhitespaceNoise) {
+  // Property: inserting extra spaces around top-level tokens never changes
+  // the parse result.
+  Result<RasqlQuery> base = ParseRasql("select img[0:5,7:9] from img");
+  ASSERT_TRUE(base.ok());
+  for (const char* spaced :
+       {"  select   img[0:5,7:9]   from   img  ",
+        "select\timg[0:5,7:9]\tfrom\timg",
+        "select\n img[0:5,7:9] \n from \n img"}) {
+    Result<RasqlQuery> parsed = ParseRasql(spaced);
+    ASSERT_TRUE(parsed.ok()) << spaced;
+    EXPECT_EQ(parsed->object, base->object);
+    EXPECT_EQ(*parsed->trim, *base->trim);
+  }
+}
+
+}  // namespace
+}  // namespace tilestore

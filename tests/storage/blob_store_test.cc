@@ -1,0 +1,173 @@
+#include "storage/blob_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tilestore {
+namespace {
+
+class BlobStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/blob_store_test.db";
+    (void)RemoveFile(path_);
+    file_ = PageFile::Create(path_, 512).MoveValue();
+    file_->set_disk_model(&model_);
+    pool_ = std::make_unique<BufferPool>(file_.get(), 64);
+    store_ = std::make_unique<BlobStore>(pool_.get());
+  }
+  void TearDown() override {
+    store_.reset();
+    pool_.reset();
+    file_.reset();
+    (void)RemoveFile(path_);
+  }
+
+  static std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+    Random rng(seed);
+    std::vector<uint8_t> data(n);
+    for (auto& b : data) b = static_cast<uint8_t>(rng.Uniform(256));
+    return data;
+  }
+
+  std::string path_;
+  DiskModel model_;
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BlobStore> store_;
+};
+
+TEST_F(BlobStoreTest, SmallBlobRoundTrip) {
+  std::vector<uint8_t> data = RandomBytes(100, 1);
+  Result<BlobId> id = store_->Put(data);
+  ASSERT_TRUE(id.ok());
+  Result<std::vector<uint8_t>> back = store_->Get(*id);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(BlobStoreTest, EmptyBlob) {
+  Result<BlobId> id = store_->Put(std::vector<uint8_t>{});
+  ASSERT_TRUE(id.ok());
+  Result<std::vector<uint8_t>> back = store_->Get(*id);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+  EXPECT_EQ(store_->Size(*id).value(), 0u);
+}
+
+TEST_F(BlobStoreTest, MultiPageBlobRoundTrip) {
+  // Spans many 512-byte pages.
+  std::vector<uint8_t> data = RandomBytes(10000, 2);
+  Result<BlobId> id = store_->Put(data);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(store_->Size(*id).value(), 10000u);
+  Result<std::vector<uint8_t>> back = store_->Get(*id);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(BlobStoreTest, ExactCapacityBoundaries) {
+  for (size_t size :
+       {store_->header_capacity(), store_->header_capacity() + 1,
+        store_->header_capacity() + store_->continuation_capacity(),
+        store_->header_capacity() + store_->continuation_capacity() + 1}) {
+    std::vector<uint8_t> data = RandomBytes(size, size);
+    Result<BlobId> id = store_->Put(data);
+    ASSERT_TRUE(id.ok()) << size;
+    Result<std::vector<uint8_t>> back = store_->Get(*id);
+    ASSERT_TRUE(back.ok()) << size;
+    EXPECT_EQ(*back, data) << size;
+  }
+}
+
+TEST_F(BlobStoreTest, FreshBlobsReadSequentially) {
+  std::vector<uint8_t> data = RandomBytes(8192, 3);
+  BlobId id = store_->Put(data).value();
+  pool_->Clear();
+  model_.Reset();
+  ASSERT_TRUE(store_->Get(id).ok());
+  // 8192 payload on 512-byte pages: all pages allocated consecutively,
+  // so exactly one seek.
+  EXPECT_EQ(model_.read_seeks(), 1u);
+  EXPECT_GE(model_.pages_read(), 17u);
+}
+
+TEST_F(BlobStoreTest, MultipleBlobsCoexist) {
+  std::vector<std::vector<uint8_t>> payloads;
+  std::vector<BlobId> ids;
+  for (int i = 0; i < 20; ++i) {
+    payloads.push_back(RandomBytes(50 + i * 173, 100 + i));
+    ids.push_back(store_->Put(payloads.back()).value());
+  }
+  for (int i = 0; i < 20; ++i) {
+    Result<std::vector<uint8_t>> back = store_->Get(ids[i]);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, payloads[i]) << i;
+  }
+}
+
+TEST_F(BlobStoreTest, DeleteFreesPagesForReuse) {
+  std::vector<uint8_t> data = RandomBytes(5000, 4);
+  BlobId id = store_->Put(data).value();
+  const uint64_t pages_before = file_->page_count();
+  ASSERT_TRUE(store_->Delete(id).ok());
+  EXPECT_GT(file_->free_page_count(), 0u);
+  // A new blob of the same size reuses the freed pages.
+  BlobId id2 = store_->Put(data).value();
+  EXPECT_EQ(file_->page_count(), pages_before);
+  EXPECT_EQ(store_->Get(id2).value(), data);
+}
+
+TEST_F(BlobStoreTest, GetOnNonBlobPageIsCorruption) {
+  // Allocate a raw page that is not a blob header.
+  PageId raw = file_->AllocatePage().value();
+  std::vector<uint8_t> junk(512, 0xEE);
+  ASSERT_TRUE(file_->WritePage(raw, junk.data()).ok());
+  Result<std::vector<uint8_t>> got = store_->Get(raw);
+  EXPECT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsCorruption());
+  EXPECT_TRUE(store_->Size(raw).status().IsCorruption());
+  EXPECT_TRUE(store_->Delete(raw).IsCorruption());
+}
+
+TEST_F(BlobStoreTest, PersistsAcrossReopen) {
+  std::vector<uint8_t> data = RandomBytes(3000, 5);
+  BlobId id = store_->Put(data).value();
+  ASSERT_TRUE(file_->Flush().ok());
+  store_.reset();
+  pool_.reset();
+  file_.reset();
+
+  file_ = PageFile::Open(path_).MoveValue();
+  pool_ = std::make_unique<BufferPool>(file_.get(), 64);
+  store_ = std::make_unique<BlobStore>(pool_.get());
+  Result<std::vector<uint8_t>> back = store_->Get(id);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(BlobStoreTest, RandomizedRoundTrips) {
+  Random rng(20260705);
+  std::vector<std::pair<BlobId, std::vector<uint8_t>>> live;
+  for (int iter = 0; iter < 100; ++iter) {
+    if (!live.empty() && rng.Bernoulli(0.3)) {
+      const size_t pick = rng.Uniform(live.size());
+      ASSERT_TRUE(store_->Delete(live[pick].first).ok());
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+      continue;
+    }
+    std::vector<uint8_t> data = RandomBytes(rng.Uniform(3000), iter);
+    Result<BlobId> id = store_->Put(data);
+    ASSERT_TRUE(id.ok());
+    live.emplace_back(*id, std::move(data));
+  }
+  for (const auto& [id, data] : live) {
+    Result<std::vector<uint8_t>> back = store_->Get(id);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, data);
+  }
+}
+
+}  // namespace
+}  // namespace tilestore

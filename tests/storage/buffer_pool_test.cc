@@ -1,0 +1,127 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tilestore {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/buffer_pool_test.db";
+    (void)RemoveFile(path_);
+    file_ = PageFile::Create(path_, 512).MoveValue();
+    file_->set_disk_model(&model_);
+  }
+  void TearDown() override {
+    file_.reset();
+    (void)RemoveFile(path_);
+  }
+
+  PageId WritePageVia(BufferPool* pool, uint8_t fill) {
+    PageId id = file_->AllocatePage().value();
+    std::vector<uint8_t> page(512, fill);
+    EXPECT_TRUE(pool->WritePage(id, page.data()).ok());
+    return id;
+  }
+
+  std::string path_;
+  DiskModel model_;
+  std::unique_ptr<PageFile> file_;
+};
+
+TEST_F(BufferPoolTest, CachedReadSkipsPhysicalIO) {
+  BufferPool pool(file_.get(), 16);
+  PageId id = WritePageVia(&pool, 7);
+  model_.Reset();
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(pool.ReadPage(id, out.data()).ok());
+  EXPECT_EQ(out[0], 7);
+  EXPECT_EQ(model_.pages_read(), 0u);  // served from cache
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST_F(BufferPoolTest, ClearForcesPhysicalRead) {
+  BufferPool pool(file_.get(), 16);
+  PageId id = WritePageVia(&pool, 9);
+  pool.Clear();
+  model_.Reset();
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(pool.ReadPage(id, out.data()).ok());
+  EXPECT_EQ(out[0], 9);
+  EXPECT_EQ(model_.pages_read(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST_F(BufferPoolTest, LruEvictionKeepsCapacity) {
+  BufferPool pool(file_.get(), 2);
+  PageId a = WritePageVia(&pool, 1);
+  PageId b = WritePageVia(&pool, 2);
+  PageId c = WritePageVia(&pool, 3);  // evicts a (LRU)
+  EXPECT_LE(pool.cached_pages(), 2u);
+  model_.Reset();
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(pool.ReadPage(a, out.data()).ok());
+  EXPECT_EQ(model_.pages_read(), 1u);  // a was evicted
+  model_.Reset();
+  ASSERT_TRUE(pool.ReadPage(a, out.data()).ok());
+  EXPECT_EQ(model_.pages_read(), 0u);  // now cached again
+  (void)b;
+  (void)c;
+}
+
+TEST_F(BufferPoolTest, TouchOnReadRefreshesRecency) {
+  BufferPool pool(file_.get(), 2);
+  PageId a = WritePageVia(&pool, 1);
+  PageId b = WritePageVia(&pool, 2);
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(pool.ReadPage(a, out.data()).ok());  // a becomes MRU
+  PageId c = WritePageVia(&pool, 3);               // evicts b, not a
+  model_.Reset();
+  ASSERT_TRUE(pool.ReadPage(a, out.data()).ok());
+  EXPECT_EQ(model_.pages_read(), 0u);
+  ASSERT_TRUE(pool.ReadPage(b, out.data()).ok());
+  EXPECT_EQ(model_.pages_read(), 1u);
+  (void)c;
+}
+
+TEST_F(BufferPoolTest, WriteThroughUpdatesCachedCopy) {
+  BufferPool pool(file_.get(), 16);
+  PageId id = WritePageVia(&pool, 1);
+  std::vector<uint8_t> page(512, 99);
+  ASSERT_TRUE(pool.WritePage(id, page.data()).ok());
+  std::vector<uint8_t> out(512);
+  model_.Reset();
+  ASSERT_TRUE(pool.ReadPage(id, out.data()).ok());
+  EXPECT_EQ(out[0], 99);
+  EXPECT_EQ(model_.pages_read(), 0u);
+}
+
+TEST_F(BufferPoolTest, InvalidateDropsSinglePage) {
+  BufferPool pool(file_.get(), 16);
+  PageId a = WritePageVia(&pool, 1);
+  PageId b = WritePageVia(&pool, 2);
+  pool.Invalidate(a);
+  model_.Reset();
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(pool.ReadPage(a, out.data()).ok());
+  EXPECT_EQ(model_.pages_read(), 1u);
+  ASSERT_TRUE(pool.ReadPage(b, out.data()).ok());
+  EXPECT_EQ(model_.pages_read(), 1u);  // b still cached
+}
+
+TEST_F(BufferPoolTest, ZeroCapacityDisablesCaching) {
+  BufferPool pool(file_.get(), 0);
+  PageId id = WritePageVia(&pool, 5);
+  model_.Reset();
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(pool.ReadPage(id, out.data()).ok());
+  ASSERT_TRUE(pool.ReadPage(id, out.data()).ok());
+  EXPECT_EQ(model_.pages_read(), 2u);
+  EXPECT_EQ(pool.cached_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace tilestore

@@ -1,0 +1,74 @@
+#include "storage/disk_model.h"
+
+#include <gtest/gtest.h>
+
+namespace tilestore {
+namespace {
+
+TEST(DiskModelTest, FirstAccessChargesSeek) {
+  DiskModel model(DiskParams{.seek_ms = 10.0, .transfer_mib_per_s = 1.0});
+  model.OnRead(5, 1024 * 1024);  // 1 MiB at 1 MiB/s = 1000 ms + 10 ms seek
+  EXPECT_DOUBLE_EQ(model.read_ms(), 1010.0);
+  EXPECT_EQ(model.read_seeks(), 1u);
+}
+
+TEST(DiskModelTest, ContiguousAccessesSkipSeek) {
+  DiskModel model(DiskParams{.seek_ms = 10.0, .transfer_mib_per_s = 1.0});
+  model.OnRead(5, 1024);
+  model.OnRead(6, 1024);
+  model.OnRead(7, 1024);
+  EXPECT_EQ(model.read_seeks(), 1u);
+  model.OnRead(9, 1024);  // gap -> seek
+  EXPECT_EQ(model.read_seeks(), 2u);
+  model.OnRead(5, 1024);  // backwards -> seek
+  EXPECT_EQ(model.read_seeks(), 3u);
+}
+
+TEST(DiskModelTest, ReadsAndWritesTrackedSeparately) {
+  DiskModel model;
+  model.OnWrite(1, 4096);
+  model.OnWrite(2, 4096);
+  model.OnRead(3, 4096);
+  EXPECT_EQ(model.pages_written(), 2u);
+  EXPECT_EQ(model.pages_read(), 1u);
+  EXPECT_EQ(model.bytes_written(), 8192u);
+  EXPECT_EQ(model.bytes_read(), 4096u);
+  EXPECT_GT(model.write_ms(), 0.0);
+  EXPECT_GT(model.read_ms(), 0.0);
+}
+
+TEST(DiskModelTest, WriteThenContiguousReadIsSequential) {
+  DiskModel model;
+  model.OnWrite(10, 512);
+  model.OnRead(11, 512);  // head is at 11 after writing 10
+  EXPECT_EQ(model.read_seeks(), 0u);
+}
+
+TEST(DiskModelTest, ResetClearsEverythingIncludingPosition) {
+  DiskModel model;
+  model.OnRead(5, 512);
+  model.OnRead(6, 512);
+  model.Reset();
+  EXPECT_EQ(model.pages_read(), 0u);
+  EXPECT_DOUBLE_EQ(model.read_ms(), 0.0);
+  model.OnRead(7, 512);  // would be contiguous, but position was forgotten
+  EXPECT_EQ(model.read_seeks(), 1u);
+}
+
+TEST(DiskModelTest, TransferTimeMatchesParameters) {
+  DiskModel model(DiskParams{.seek_ms = 0.0, .transfer_mib_per_s = 4.0});
+  model.OnRead(1, 4 * 1024 * 1024);  // 4 MiB at 4 MiB/s = 1000 ms
+  EXPECT_NEAR(model.read_ms(), 1000.0, 1e-9);
+}
+
+TEST(DiskModelTest, DefaultsApproximatePaperTestbed) {
+  DiskParams params;
+  EXPECT_GT(params.seek_ms, 0.0);
+  EXPECT_GT(params.transfer_mib_per_s, 0.0);
+  // Sanity envelope for a 1997 SCSI disk.
+  EXPECT_LE(params.seek_ms, 20.0);
+  EXPECT_LE(params.transfer_mib_per_s, 20.0);
+}
+
+}  // namespace
+}  // namespace tilestore

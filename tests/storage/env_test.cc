@@ -1,0 +1,96 @@
+#include "storage/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace tilestore {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/env_test_" + name;
+}
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& path : created_) {
+      (void)RemoveFile(path);
+    }
+  }
+  std::string Fresh(const std::string& name) {
+    std::string path = TempPath(name);
+    (void)RemoveFile(path);
+    created_.push_back(path);
+    return path;
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(EnvTest, CreateWriteReadRoundTrip) {
+  const std::string path = Fresh("roundtrip");
+  Result<std::unique_ptr<File>> file = File::Open(path, /*create=*/true);
+  ASSERT_TRUE(file.ok()) << file.status();
+  const uint8_t data[] = {1, 2, 3, 4, 5};
+  ASSERT_TRUE((*file)->WriteAt(100, data, sizeof(data)).ok());
+  uint8_t out[5] = {0};
+  ASSERT_TRUE((*file)->ReadAt(100, 5, out).ok());
+  EXPECT_EQ(0, std::memcmp(data, out, 5));
+}
+
+TEST_F(EnvTest, CreateFailsWhenFileExists) {
+  const std::string path = Fresh("exists");
+  ASSERT_TRUE(File::Open(path, true).ok());
+  Result<std::unique_ptr<File>> again = File::Open(path, true);
+  EXPECT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsAlreadyExists());
+}
+
+TEST_F(EnvTest, OpenFailsWhenFileMissing) {
+  Result<std::unique_ptr<File>> file = File::Open(TempPath("missing"), false);
+  EXPECT_FALSE(file.ok());
+  EXPECT_TRUE(file.status().IsNotFound());
+}
+
+TEST_F(EnvTest, ReadPastEndIsIOError) {
+  const std::string path = Fresh("short");
+  Result<std::unique_ptr<File>> file = File::Open(path, true);
+  ASSERT_TRUE(file.ok());
+  const uint8_t data[] = {1, 2, 3};
+  ASSERT_TRUE((*file)->WriteAt(0, data, 3).ok());
+  uint8_t out[10];
+  Status st = (*file)->ReadAt(0, 10, out);
+  EXPECT_TRUE(st.IsIOError());
+}
+
+TEST_F(EnvTest, SizeTracksWrites) {
+  const std::string path = Fresh("size");
+  Result<std::unique_ptr<File>> file = File::Open(path, true);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->Size().value(), 0u);
+  const uint8_t byte = 0xAA;
+  ASSERT_TRUE((*file)->WriteAt(4095, &byte, 1).ok());
+  EXPECT_EQ((*file)->Size().value(), 4096u);
+}
+
+TEST_F(EnvTest, SyncSucceeds) {
+  const std::string path = Fresh("sync");
+  Result<std::unique_ptr<File>> file = File::Open(path, true);
+  ASSERT_TRUE(file.ok());
+  const uint8_t byte = 1;
+  ASSERT_TRUE((*file)->WriteAt(0, &byte, 1).ok());
+  EXPECT_TRUE((*file)->Sync().ok());
+}
+
+TEST_F(EnvTest, FileExistsAndRemove) {
+  const std::string path = Fresh("rm");
+  EXPECT_FALSE(FileExists(path));
+  ASSERT_TRUE(File::Open(path, true).ok());
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_TRUE(RemoveFile(path).ok());
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_TRUE(RemoveFile(path).ok());  // idempotent
+}
+
+}  // namespace
+}  // namespace tilestore

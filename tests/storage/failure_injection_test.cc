@@ -1,0 +1,184 @@
+// Failure injection: corrupting stored bytes must surface as Corruption /
+// IOError statuses, never as crashes or silently wrong data.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "mdd/mdd_store.h"
+#include "query/range_query.h"
+#include "storage/blob_store.h"
+#include "storage/page_file.h"
+#include "tiling/aligned.h"
+
+namespace tilestore {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/failure_injection_test.db";
+    (void)RemoveFile(path_);
+  }
+  void TearDown() override { (void)RemoveFile(path_); }
+
+  // Overwrites `n` bytes at `offset` of the store file.
+  void Clobber(uint64_t offset, const std::vector<uint8_t>& bytes) {
+    auto file = File::Open(path_, /*create=*/false).MoveValue();
+    ASSERT_TRUE(file->WriteAt(offset, bytes.data(), bytes.size()).ok());
+  }
+
+  // Truncates the file to `size` bytes.
+  void Truncate(uint64_t size) {
+    ASSERT_EQ(::truncate(path_.c_str(), static_cast<off_t>(size)), 0);
+  }
+
+  std::string path_;
+};
+
+TEST_F(FailureInjectionTest, CorruptSuperblockMagic) {
+  { auto store = MDDStore::Create(path_).MoveValue(); ASSERT_TRUE(store->Save().ok()); }
+  Clobber(0, {0xDE, 0xAD, 0xBE, 0xEF});
+  Result<std::unique_ptr<MDDStore>> reopened = MDDStore::Open(path_);
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption());
+}
+
+TEST_F(FailureInjectionTest, CorruptPageSizeField) {
+  { auto store = MDDStore::Create(path_).MoveValue(); ASSERT_TRUE(store->Save().ok()); }
+  Clobber(8, {0x03, 0x00, 0x00, 0x00});  // page_size = 3: not a power of two
+  Result<std::unique_ptr<MDDStore>> reopened = MDDStore::Open(path_);
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption());
+}
+
+TEST_F(FailureInjectionTest, TruncatedFileFailsToOpen) {
+  {
+    auto store = MDDStore::Create(path_).MoveValue();
+    MDDObject* obj = store
+                         ->CreateMDD("obj", MInterval({{0, 1023}}),
+                                     CellType::Of(CellTypeId::kUInt8))
+                         .value();
+    Array data =
+        Array::Create(MInterval({{0, 1023}}), CellType::Of(CellTypeId::kUInt8))
+            .value();
+    ASSERT_TRUE(obj->InsertTile(data).ok());
+    ASSERT_TRUE(store->Save().ok());
+  }
+  Truncate(64);  // superblock intact prefix, catalog gone
+  Result<std::unique_ptr<MDDStore>> reopened = MDDStore::Open(path_);
+  EXPECT_FALSE(reopened.ok());  // IOError (short read) or Corruption
+}
+
+TEST_F(FailureInjectionTest, CorruptBlobHeaderDetectedOnRead) {
+  BlobId blob;
+  uint64_t page_size;
+  {
+    auto store = MDDStore::Create(path_).MoveValue();
+    blob = store->blob_store()->Put(std::vector<uint8_t>(10000, 7)).value();
+    page_size = store->page_file()->page_size();
+    ASSERT_TRUE(store->Save().ok());
+  }
+  Clobber(blob * page_size, {0xFF, 0xFF, 0xFF, 0xFF});  // smash blob magic
+  {
+    auto store = MDDStore::Open(path_).MoveValue();
+    Result<std::vector<uint8_t>> data = store->blob_store()->Get(blob);
+    EXPECT_FALSE(data.ok());
+    EXPECT_TRUE(data.status().IsCorruption());
+  }
+}
+
+TEST_F(FailureInjectionTest, CorruptCatalogBytesNeverCrash) {
+  // Write a store with a couple of objects, then flip bytes throughout the
+  // catalog blob region; every variant must open cleanly or fail with a
+  // proper status.
+  uint64_t catalog_offset;
+  uint64_t catalog_pages;
+  {
+    auto store = MDDStore::Create(path_).MoveValue();
+    for (int i = 0; i < 3; ++i) {
+      MDDObject* obj =
+          store
+              ->CreateMDD("obj" + std::to_string(i),
+                          MInterval({{0, 63}, {0, 63}}),
+                          CellType::Of(CellTypeId::kUInt16))
+              .value();
+      Array data = Array::Create(MInterval({{0, 63}, {0, 63}}),
+                                 CellType::Of(CellTypeId::kUInt16))
+                       .value();
+      ASSERT_TRUE(obj->Load(data, AlignedTiling::Regular(2, 2048)).ok());
+    }
+    ASSERT_TRUE(store->Save().ok());
+    catalog_offset =
+        store->page_file()->user_root() * store->page_file()->page_size();
+    catalog_pages = 1;
+  }
+
+  Random rng(123);
+  const uint64_t page_size = 4096;
+  for (int trial = 0; trial < 50; ++trial) {
+    // Re-create pristine bytes by re-flipping the same byte back after the
+    // attempt (XOR twice).
+    const uint64_t offset =
+        catalog_offset + rng.Uniform(catalog_pages * page_size);
+    uint8_t original;
+    {
+      auto file = File::Open(path_, false).MoveValue();
+      ASSERT_TRUE(file->ReadAt(offset, 1, &original).ok());
+      const uint8_t flipped = original ^ static_cast<uint8_t>(
+                                             1u << rng.Uniform(8));
+      ASSERT_TRUE(file->WriteAt(offset, &flipped, 1).ok());
+    }
+    // Must not crash; any status outcome is acceptable. If it opens, the
+    // store must behave (list + read objects without crashing).
+    Result<std::unique_ptr<MDDStore>> reopened = MDDStore::Open(path_);
+    if (reopened.ok()) {
+      for (const std::string& name : (*reopened)->ListMDD()) {
+        Result<MDDObject*> obj = (*reopened)->GetMDD(name);
+        ASSERT_TRUE(obj.ok());
+        RangeQueryExecutor executor(reopened->get());
+        (void)executor.Execute(*obj, (*obj)->definition_domain());
+      }
+      reopened->reset();
+    }
+    {
+      auto file = File::Open(path_, false).MoveValue();
+      ASSERT_TRUE(file->WriteAt(offset, &original, 1).ok());
+    }
+  }
+  // After restoring every byte, the store opens fine again.
+  EXPECT_TRUE(MDDStore::Open(path_).ok());
+}
+
+TEST_F(FailureInjectionTest, BlobChainCycleDoesNotHang) {
+  // Hand-craft a blob whose continuation pointer loops back to itself;
+  // Get() must terminate with an error, not loop forever.
+  {
+    auto store = MDDStore::Create(path_).MoveValue();
+    const uint32_t page_size = store->page_file()->page_size();
+    BlobId blob =
+        store->blob_store()->Put(std::vector<uint8_t>(3 * page_size, 1))
+            .value();
+    ASSERT_TRUE(store->Save().ok());
+    // The header's next pointer is at offset 16 of the header page; point
+    // it back at the header itself. The chain then repeats the header page
+    // whose "next" field (interpreted at offset 0 on continuation pages)
+    // is the blob magic — a bogus page id that trips validation.
+    store.reset();
+    auto file = File::Open(path_, false).MoveValue();
+    uint64_t self = blob;
+    ASSERT_TRUE(file->WriteAt(blob * page_size + 16,
+                              reinterpret_cast<const uint8_t*>(&self), 8)
+                    .ok());
+    file.reset();
+    auto reopened = MDDStore::Open(path_).MoveValue();
+    Result<std::vector<uint8_t>> data = reopened->blob_store()->Get(blob);
+    EXPECT_FALSE(data.ok());
+  }
+}
+
+}  // namespace
+}  // namespace tilestore

@@ -1,0 +1,158 @@
+#include "storage/page_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace tilestore {
+namespace {
+
+class PageFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& path : created_) (void)RemoveFile(path);
+  }
+  std::string Fresh(const std::string& name) {
+    std::string path = ::testing::TempDir() + "/page_file_test_" + name;
+    (void)RemoveFile(path);
+    created_.push_back(path);
+    return path;
+  }
+  std::vector<uint8_t> Pattern(uint32_t page_size, uint8_t seed) {
+    std::vector<uint8_t> page(page_size);
+    for (size_t i = 0; i < page.size(); ++i) {
+      page[i] = static_cast<uint8_t>(seed + i);
+    }
+    return page;
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(PageFileTest, CreateRejectsBadPageSizes) {
+  EXPECT_FALSE(PageFile::Create(Fresh("bad1"), 100).ok());   // not pow2
+  EXPECT_FALSE(PageFile::Create(Fresh("bad2"), 256).ok());   // too small
+  EXPECT_TRUE(PageFile::Create(Fresh("good"), 512).ok());
+}
+
+TEST_F(PageFileTest, AllocateWriteReadRoundTrip) {
+  auto file = PageFile::Create(Fresh("rw"), 512).MoveValue();
+  Result<PageId> id = file->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  EXPECT_NE(*id, kInvalidPageId);
+  std::vector<uint8_t> page = Pattern(512, 7);
+  ASSERT_TRUE(file->WritePage(*id, page.data()).ok());
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(file->ReadPage(*id, out.data()).ok());
+  EXPECT_EQ(page, out);
+}
+
+TEST_F(PageFileTest, PagesAllocateSequentially) {
+  auto file = PageFile::Create(Fresh("seq"), 512).MoveValue();
+  PageId a = file->AllocatePage().value();
+  PageId b = file->AllocatePage().value();
+  PageId c = file->AllocatePage().value();
+  EXPECT_EQ(b, a + 1);
+  EXPECT_EQ(c, b + 1);
+}
+
+TEST_F(PageFileTest, FreeListReusesPages) {
+  auto file = PageFile::Create(Fresh("free"), 512).MoveValue();
+  PageId a = file->AllocatePage().value();
+  std::vector<uint8_t> page = Pattern(512, 1);
+  ASSERT_TRUE(file->WritePage(a, page.data()).ok());
+  PageId b = file->AllocatePage().value();
+  ASSERT_TRUE(file->WritePage(b, page.data()).ok());
+  EXPECT_EQ(file->free_page_count(), 0u);
+  ASSERT_TRUE(file->FreePage(a).ok());
+  ASSERT_TRUE(file->FreePage(b).ok());
+  EXPECT_EQ(file->free_page_count(), 2u);
+  // LIFO reuse: most recently freed page first.
+  EXPECT_EQ(file->AllocatePage().value(), b);
+  EXPECT_EQ(file->AllocatePage().value(), a);
+  EXPECT_EQ(file->free_page_count(), 0u);
+}
+
+TEST_F(PageFileTest, RejectsOutOfRangeAndSuperblockIds) {
+  auto file = PageFile::Create(Fresh("oob"), 512).MoveValue();
+  std::vector<uint8_t> page(512);
+  EXPECT_TRUE(file->ReadPage(0, page.data()).IsInvalidArgument());
+  EXPECT_TRUE(file->ReadPage(99, page.data()).IsInvalidArgument());
+  EXPECT_TRUE(file->WritePage(0, page.data()).IsInvalidArgument());
+  EXPECT_TRUE(file->FreePage(0).IsInvalidArgument());
+}
+
+TEST_F(PageFileTest, PersistsAcrossReopen) {
+  const std::string path = Fresh("reopen");
+  PageId id;
+  std::vector<uint8_t> page = Pattern(1024, 42);
+  {
+    auto file = PageFile::Create(path, 1024).MoveValue();
+    id = file->AllocatePage().value();
+    ASSERT_TRUE(file->WritePage(id, page.data()).ok());
+    file->set_user_root(777);
+    ASSERT_TRUE(file->Flush().ok());
+  }
+  {
+    auto file = PageFile::Open(path).MoveValue();
+    EXPECT_EQ(file->page_size(), 1024u);
+    EXPECT_EQ(file->user_root(), 777u);
+    std::vector<uint8_t> out(1024);
+    ASSERT_TRUE(file->ReadPage(id, out.data()).ok());
+    EXPECT_EQ(page, out);
+  }
+}
+
+TEST_F(PageFileTest, FreeListPersistsAcrossReopen) {
+  const std::string path = Fresh("freelist");
+  PageId freed;
+  {
+    auto file = PageFile::Create(path, 512).MoveValue();
+    std::vector<uint8_t> page(512, 1);
+    PageId a = file->AllocatePage().value();
+    ASSERT_TRUE(file->WritePage(a, page.data()).ok());
+    PageId b = file->AllocatePage().value();
+    ASSERT_TRUE(file->WritePage(b, page.data()).ok());
+    ASSERT_TRUE(file->FreePage(a).ok());
+    freed = a;
+    ASSERT_TRUE(file->Flush().ok());
+  }
+  {
+    auto file = PageFile::Open(path).MoveValue();
+    EXPECT_EQ(file->free_page_count(), 1u);
+    EXPECT_EQ(file->AllocatePage().value(), freed);
+  }
+}
+
+TEST_F(PageFileTest, OpenRejectsGarbageFile) {
+  const std::string path = Fresh("garbage");
+  {
+    auto raw = File::Open(path, true).MoveValue();
+    std::vector<uint8_t> junk(512, 0xCC);
+    ASSERT_TRUE(raw->WriteAt(0, junk.data(), junk.size()).ok());
+  }
+  Result<std::unique_ptr<PageFile>> file = PageFile::Open(path);
+  EXPECT_FALSE(file.ok());
+  EXPECT_TRUE(file.status().IsCorruption());
+}
+
+TEST_F(PageFileTest, DiskModelChargesPhysicalIO) {
+  auto file = PageFile::Create(Fresh("model"), 512).MoveValue();
+  DiskModel model;
+  file->set_disk_model(&model);
+  std::vector<uint8_t> page(512, 5);
+  PageId a = file->AllocatePage().value();
+  PageId b = file->AllocatePage().value();
+  ASSERT_TRUE(file->WritePage(a, page.data()).ok());
+  ASSERT_TRUE(file->WritePage(b, page.data()).ok());
+  EXPECT_EQ(model.pages_written(), 2u);
+  ASSERT_TRUE(file->ReadPage(a, page.data()).ok());
+  ASSERT_TRUE(file->ReadPage(b, page.data()).ok());
+  EXPECT_EQ(model.pages_read(), 2u);
+  EXPECT_EQ(model.bytes_read(), 1024u);
+  // a then b is contiguous: exactly one read seek.
+  EXPECT_EQ(model.read_seeks(), 1u);
+}
+
+}  // namespace
+}  // namespace tilestore

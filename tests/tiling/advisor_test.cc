@@ -1,0 +1,151 @@
+#include "tiling/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "tiling/validator.h"
+
+namespace tilestore {
+namespace {
+
+const MInterval kVolume({{0, 99}, {0, 199}, {0, 149}});
+
+std::vector<AccessRecord> Repeat(const MInterval& region, uint64_t count) {
+  return {AccessRecord{region, count}};
+}
+
+TEST(TilingAdvisorTest, EmptyLogFallsBackToDefaultAligned) {
+  TilingAdvisor advisor;
+  Result<TilingAdvice> advice = advisor.Advise(kVolume, {});
+  ASSERT_TRUE(advice.ok()) << advice.status();
+  EXPECT_EQ(advice->kind, WorkloadKind::kMixed);
+  ASSERT_NE(advice->strategy, nullptr);
+  TilingSpec spec = advice->strategy->ComputeTiling(kVolume, 1).value();
+  EXPECT_TRUE(
+      ValidateCompleteTiling(spec, kVolume, 1, kDefaultMaxTileBytes).ok());
+}
+
+TEST(TilingAdvisorTest, FullScansYieldRegularAlignedTiling) {
+  TilingAdvisor advisor;
+  Result<TilingAdvice> advice = advisor.Advise(kVolume, Repeat(kVolume, 10));
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->kind, WorkloadKind::kWholeObject);
+  EXPECT_DOUBLE_EQ(advice->full_scan_fraction, 1.0);
+}
+
+TEST(TilingAdvisorTest, FrameSectionsYieldStarConfiguration) {
+  // Sections thin on axis 0 and spanning axes 1 and 2 (Figure 4's frame
+  // access): the advice must star exactly axes 1 and 2.
+  std::vector<AccessRecord> log;
+  for (Coord frame : {3, 17, 42, 80}) {
+    log.push_back(
+        AccessRecord{MInterval({{frame, frame}, {0, 199}, {0, 149}}), 5});
+  }
+  TilingAdvisor advisor;
+  Result<TilingAdvice> advice = advisor.Advise(kVolume, log);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->kind, WorkloadKind::kSections);
+  // The strategy tiles into frame-shaped slabs: thin along axis 0.
+  TilingSpec spec = advice->strategy->ComputeTiling(kVolume, 1).value();
+  EXPECT_TRUE(
+      ValidateCompleteTiling(spec, kVolume, 1, kDefaultMaxTileBytes).ok());
+  for (const MInterval& tile : spec) {
+    EXPECT_LT(tile.Extent(0), 10) << tile.ToString();
+    EXPECT_GT(tile.Extent(1) * tile.Extent(2), 1000) << tile.ToString();
+  }
+  EXPECT_NE(advice->rationale.find("sections"), std::string::npos);
+}
+
+TEST(TilingAdvisorTest, RepeatedSubareasYieldAreasOfInterest) {
+  const MInterval hot({{10, 29}, {50, 89}, {20, 59}});
+  std::vector<AccessRecord> log = Repeat(hot, 8);
+  log.push_back(AccessRecord{MInterval({{70, 80}, {0, 30}, {100, 120}}), 1});
+  TilingAdvisor advisor;
+  Result<TilingAdvice> advice = advisor.Advise(kVolume, log);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->kind, WorkloadKind::kAreasOfInterest);
+  // The derived tiling must retrieve the hot area without waste.
+  TilingSpec spec = advice->strategy->ComputeTiling(kVolume, 1).value();
+  uint64_t retrieved = 0;
+  for (const MInterval& tile : spec) {
+    if (tile.Intersects(hot)) retrieved += tile.CellCountOrDie();
+  }
+  EXPECT_EQ(retrieved, hot.CellCountOrDie());
+}
+
+TEST(TilingAdvisorTest, ConflictingSectionsFallBack) {
+  // Half the sections span axes {1,2}, half span {0,1}: no dominant
+  // direction, so the advisor must not pick a star configuration.
+  std::vector<AccessRecord> log = {
+      AccessRecord{MInterval({{5, 5}, {0, 199}, {0, 149}}), 5},
+      AccessRecord{MInterval({{0, 99}, {0, 199}, {70, 70}}), 5},
+  };
+  TilingAdvisor advisor;
+  Result<TilingAdvice> advice = advisor.Advise(kVolume, log);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->kind, WorkloadKind::kMixed);
+}
+
+TEST(TilingAdvisorTest, OneOffSubareasFallBack) {
+  // Many subarea accesses but each unique and far apart: clustering finds
+  // nothing frequent enough.
+  std::vector<AccessRecord> log;
+  for (Coord base : {0, 30, 60}) {
+    log.push_back(AccessRecord{
+        MInterval({{base, base + 9}, {base, base + 19}, {base, base + 14}}),
+        1});
+  }
+  TilingAdvisor::Options options;
+  options.frequency_threshold = 3;
+  TilingAdvisor advisor(options);
+  Result<TilingAdvice> advice = advisor.Advise(kVolume, log);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->kind, WorkloadKind::kMixed);
+}
+
+TEST(TilingAdvisorTest, FractionsSumToOne) {
+  std::vector<AccessRecord> log = {
+      AccessRecord{kVolume, 2},                                      // scan
+      AccessRecord{MInterval({{5, 5}, {0, 199}, {0, 149}}), 3},      // section
+      AccessRecord{MInterval({{10, 40}, {20, 90}, {30, 70}}), 5},    // subarea
+  };
+  TilingAdvisor advisor;
+  Result<TilingAdvice> advice = advisor.Advise(kVolume, log);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_NEAR(advice->full_scan_fraction + advice->section_fraction +
+                  advice->subarea_fraction,
+              1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(advice->full_scan_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(advice->section_fraction, 0.3);
+  EXPECT_DOUBLE_EQ(advice->subarea_fraction, 0.5);
+}
+
+TEST(TilingAdvisorTest, ValidatesInputs) {
+  TilingAdvisor advisor;
+  // Unbounded domain.
+  EXPECT_FALSE(
+      advisor.Advise(MInterval::Parse("[0:*]").value(), {}).ok());
+  // Malformed access.
+  EXPECT_FALSE(advisor
+                   .Advise(kVolume, Repeat(MInterval({{0, 5}}), 1))
+                   .ok());
+}
+
+TEST(TilingAdvisorTest, AccessesOutsideDomainAreIgnored) {
+  TilingAdvisor advisor;
+  std::vector<AccessRecord> log = {
+      AccessRecord{MInterval({{500, 600}, {500, 600}, {500, 600}}), 99}};
+  Result<TilingAdvice> advice = advisor.Advise(kVolume, log);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->kind, WorkloadKind::kMixed);
+}
+
+TEST(WorkloadKindTest, Names) {
+  EXPECT_EQ(WorkloadKindToString(WorkloadKind::kWholeObject), "whole-object");
+  EXPECT_EQ(WorkloadKindToString(WorkloadKind::kSections), "sections");
+  EXPECT_EQ(WorkloadKindToString(WorkloadKind::kAreasOfInterest),
+            "areas-of-interest");
+  EXPECT_EQ(WorkloadKindToString(WorkloadKind::kMixed), "mixed");
+}
+
+}  // namespace
+}  // namespace tilestore

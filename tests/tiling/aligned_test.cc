@@ -1,0 +1,179 @@
+#include "tiling/aligned.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tiling/validator.h"
+
+namespace tilestore {
+namespace {
+
+// The sales-cube domain of Table 1.
+const MInterval kSalesCube({{1, 730}, {1, 60}, {1, 100}});
+
+TEST(AlignedTilingTest, RegularFormatFillsBudgetCubically) {
+  // 32 KiB budget, 4-byte cells -> 8192 cells -> 20x20x20 = 8000 cells.
+  AlignedTiling tiling = AlignedTiling::Regular(3, 32 * 1024);
+  Result<std::vector<Coord>> format = tiling.ComputeTileFormat(kSalesCube, 4);
+  ASSERT_TRUE(format.ok()) << format.status();
+  EXPECT_EQ(*format, (std::vector<Coord>{20, 20, 20}));
+}
+
+TEST(AlignedTilingTest, RegularTilingCoversSalesCube) {
+  const uint64_t max_bytes = 32 * 1024;
+  AlignedTiling tiling = AlignedTiling::Regular(3, max_bytes);
+  Result<TilingSpec> spec = tiling.ComputeTiling(kSalesCube, 4);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_TRUE(
+      ValidateCompleteTiling(*spec, kSalesCube, 4, max_bytes).ok());
+  // ceil(730/20) * ceil(60/20) * ceil(100/20) = 37*3*5.
+  EXPECT_EQ(spec->size(), 37u * 3u * 5u);
+}
+
+TEST(AlignedTilingTest, RelativeConfigStretchesProportionally) {
+  // Config [4,1]: tiles 4x longer along axis 0.
+  AlignedTiling tiling(TileConfig::FromRelativeSizes({4, 1}).value(),
+                       64 * 1024);
+  MInterval domain({{0, 9999}, {0, 9999}});
+  Result<std::vector<Coord>> format = tiling.ComputeTileFormat(domain, 1);
+  ASSERT_TRUE(format.ok());
+  // f = sqrt(65536/4) = 128 -> 512x128 = 65536 cells exactly.
+  EXPECT_EQ(*format, (std::vector<Coord>{512, 128}));
+}
+
+TEST(AlignedTilingTest, StarMaximizesHighestAxisFirst) {
+  // Config [1,*,*]: stars are maximized from the highest axis down
+  // (row-major adjacency), so axis 2 gets its full extent first.
+  AlignedTiling tiling(TileConfig::Parse("[1,*,*]").value(), 4096);
+  MInterval domain({{0, 99}, {0, 99}, {0, 19}});
+  Result<std::vector<Coord>> format = tiling.ComputeTileFormat(domain, 1);
+  ASSERT_TRUE(format.ok());
+  // Budget 4096 cells: axis2 = 20 (full), axis1 = 4096/20 = 204 -> capped
+  // at 100 (full extent), remaining budget 4096/(20*100) = 2 for axis 0.
+  EXPECT_EQ((*format)[2], 20);
+  EXPECT_EQ((*format)[1], 100);
+  EXPECT_EQ((*format)[0], 2);
+}
+
+TEST(AlignedTilingTest, StarBudgetExhaustionGivesLengthOneElsewhere) {
+  AlignedTiling tiling(TileConfig::Parse("[*,*,1]").value(), 1024);
+  MInterval domain({{0, 9999}, {0, 4999}, {0, 99}});
+  Result<std::vector<Coord>> format = tiling.ComputeTileFormat(domain, 1);
+  ASSERT_TRUE(format.ok());
+  // Axis 1 (highest star) takes min(5000, 1024) = 1024; budget exhausted:
+  // axis 0 and the finite axis 2 get length 1.
+  EXPECT_EQ((*format)[1], 1024);
+  EXPECT_EQ((*format)[0], 1);
+  EXPECT_EQ((*format)[2], 1);
+}
+
+TEST(AlignedTilingTest, Figure4AnimationConfig) {
+  // The animation of Table 5: [0:120,0:159,0:119], 3-byte RGB cells,
+  // accessed frame by frame along axis 0 -> config [1,*,*] gives tiles
+  // extending over full frames.
+  MInterval animation({{0, 120}, {0, 159}, {0, 119}});
+  AlignedTiling tiling(TileConfig::Parse("[1,*,*]").value(), 64 * 1024);
+  Result<std::vector<Coord>> format = tiling.ComputeTileFormat(animation, 3);
+  ASSERT_TRUE(format.ok());
+  // Budget 21845 cells; axis2 full (120), axis1 = 21845/120 = 182 -> capped
+  // at 160; remaining 21845/(120*160)=1 for axis 0: one-frame slabs.
+  EXPECT_EQ(*format, (std::vector<Coord>{1, 160, 120}));
+}
+
+TEST(AlignedTilingTest, SingleTileWhenDomainFitsBudget) {
+  MInterval domain({{0, 9}, {0, 9}});
+  AlignedTiling tiling = AlignedTiling::Regular(2, 1024 * 1024);
+  Result<TilingSpec> spec = tiling.ComputeTiling(domain, 1);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->size(), 1u);
+  EXPECT_EQ(spec->front(), domain);
+}
+
+TEST(AlignedTilingTest, BorderTilesAreClipped) {
+  MInterval domain({{0, 10}, {0, 10}});  // 11x11, not divisible by 4
+  TilingSpec spec = GridTiling(domain, {4, 4});
+  ASSERT_TRUE(CheckCoverage(spec, domain).ok());
+  EXPECT_EQ(spec.size(), 9u);
+  // The last tile is the 3x3 corner.
+  EXPECT_EQ(spec.back(), MInterval({{8, 10}, {8, 10}}));
+}
+
+TEST(AlignedTilingTest, CellLargerThanMaxTileSizeIsRejected) {
+  AlignedTiling tiling = AlignedTiling::Regular(1, 16);
+  Result<TilingSpec> spec = tiling.ComputeTiling(MInterval({{0, 9}}), 32);
+  EXPECT_FALSE(spec.ok());
+  EXPECT_TRUE(spec.status().IsInvalidArgument());
+}
+
+TEST(AlignedTilingTest, ConfigDimensionMismatchIsRejected) {
+  AlignedTiling tiling = AlignedTiling::Regular(2, 1024);
+  EXPECT_FALSE(tiling.ComputeTiling(kSalesCube, 4).ok());
+}
+
+TEST(AlignedTilingTest, UnboundedDomainIsRejected) {
+  AlignedTiling tiling = AlignedTiling::Regular(2, 1024);
+  Result<MInterval> domain = MInterval::Parse("[0:*,0:9]");
+  ASSERT_TRUE(domain.ok());
+  EXPECT_FALSE(tiling.ComputeTiling(*domain, 1).ok());
+}
+
+TEST(AlignedTilingTest, NameMentionsConfigAndBudget) {
+  AlignedTiling tiling(TileConfig::Parse("[*,1]").value(), 4096);
+  EXPECT_NE(tiling.name().find("4096"), std::string::npos);
+  EXPECT_NE(tiling.name().find("*"), std::string::npos);
+}
+
+// Property sweep: for random domains, cell sizes and budgets, the regular
+// aligned tiling is a complete tiling within the size limit.
+struct AlignedCase {
+  size_t dim;
+  uint64_t seed;
+};
+
+class AlignedTilingPropertyTest
+    : public ::testing::TestWithParam<AlignedCase> {};
+
+TEST_P(AlignedTilingPropertyTest, CompleteTilingInvariants) {
+  const AlignedCase param = GetParam();
+  Random rng(param.seed);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<Coord> lo(param.dim), hi(param.dim);
+    // Keep extents modest in high dimensions so degenerate configs (tile
+    // length 1 along many axes) stay within test-sized tile counts.
+    const Coord max_extent = param.dim >= 4 ? 6 : 25;
+    for (size_t i = 0; i < param.dim; ++i) {
+      lo[i] = rng.UniformInt(-50, 50);
+      hi[i] = lo[i] + rng.UniformInt(0, max_extent);
+    }
+    const MInterval domain = MInterval::Create(lo, hi).value();
+    const size_t cell_size = static_cast<size_t>(rng.UniformInt(1, 8));
+    const uint64_t max_bytes =
+        static_cast<uint64_t>(rng.UniformInt(64, 8192));
+    if (cell_size > max_bytes) continue;
+
+    // Random config: each axis finite (1..4) or starred.
+    TileConfig config = TileConfig::Regular(param.dim);
+    for (size_t i = 0; i < param.dim; ++i) {
+      if (rng.Bernoulli(0.3)) config.SetStar(i);
+    }
+    AlignedTiling tiling(config, max_bytes);
+    Result<TilingSpec> spec = tiling.ComputeTiling(domain, cell_size);
+    ASSERT_TRUE(spec.ok()) << spec.status() << " domain=" << domain;
+    Status st = ValidateCompleteTiling(*spec, domain, cell_size, max_bytes);
+    ASSERT_TRUE(st.ok()) << st << " domain=" << domain
+                         << " config=" << config.ToString()
+                         << " cell=" << cell_size << " max=" << max_bytes;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, AlignedTilingPropertyTest,
+    ::testing::Values(AlignedCase{1, 11}, AlignedCase{2, 22},
+                      AlignedCase{3, 33}, AlignedCase{4, 44},
+                      AlignedCase{5, 55}),
+    [](const ::testing::TestParamInfo<AlignedCase>& info) {
+      return "dim" + std::to_string(info.param.dim);
+    });
+
+}  // namespace
+}  // namespace tilestore

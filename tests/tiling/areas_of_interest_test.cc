@@ -1,0 +1,191 @@
+#include "tiling/areas_of_interest.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tiling/validator.h"
+
+namespace tilestore {
+namespace {
+
+// Table 5: the animation object and its two overlapping areas of interest
+// (head and whole body of the main character, across all frames).
+const MInterval kAnimation({{0, 120}, {0, 159}, {0, 119}});
+const MInterval kHead({{0, 120}, {80, 120}, {25, 60}});
+const MInterval kBody({{0, 120}, {70, 159}, {25, 105}});
+
+// Checks the paper's central guarantee: every tile is fully inside or
+// fully outside each area of interest.
+void ExpectIntersectCodePurity(const TilingSpec& spec,
+                               const std::vector<MInterval>& areas) {
+  for (const MInterval& tile : spec) {
+    for (const MInterval& area : areas) {
+      const bool intersects = tile.Intersects(area);
+      if (intersects) {
+        EXPECT_TRUE(area.Contains(tile))
+            << "tile " << tile.ToString() << " straddles the boundary of "
+            << area.ToString();
+      }
+    }
+  }
+}
+
+TEST(AreasOfInterestTest, AnimationTilingInvariants) {
+  const uint64_t max_bytes = 256 * 1024;  // the paper's best: AI256K
+  AreasOfInterestTiling tiling({kHead, kBody}, max_bytes);
+  Result<TilingSpec> spec = tiling.ComputeTiling(kAnimation, 3);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  Status st = ValidateCompleteTiling(*spec, kAnimation, 3, max_bytes);
+  EXPECT_TRUE(st.ok()) << st;
+  ExpectIntersectCodePurity(*spec, {kHead, kBody});
+}
+
+TEST(AreasOfInterestTest, AccessToAreaReadsOnlyAreaBytes) {
+  const uint64_t max_bytes = 256 * 1024;
+  AreasOfInterestTiling tiling({kHead, kBody}, max_bytes);
+  TilingSpec spec = tiling.ComputeTiling(kAnimation, 3).value();
+  // Sum the sizes of all tiles intersecting each area of interest: it must
+  // equal the area's own size (no extra byte is retrieved).
+  for (const MInterval& area : {kHead, kBody}) {
+    uint64_t retrieved = 0;
+    for (const MInterval& tile : spec) {
+      if (tile.Intersects(area)) retrieved += tile.CellCountOrDie();
+    }
+    EXPECT_EQ(retrieved, area.CellCountOrDie()) << area.ToString();
+  }
+}
+
+TEST(AreasOfInterestTest, SingleAreaInCorner) {
+  MInterval domain({{0, 99}, {0, 99}});
+  MInterval area({{0, 9}, {0, 9}});
+  AreasOfInterestTiling tiling({area}, 1 << 20);
+  Result<TilingSpec> spec = tiling.ComputeTiling(domain, 1);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(CheckCoverage(*spec, domain).ok());
+  ExpectIntersectCodePurity(*spec, {area});
+  // The area itself fits one tile; with merging, the background coalesces.
+  bool found_exact = false;
+  for (const MInterval& tile : *spec) {
+    if (tile == area) found_exact = true;
+  }
+  EXPECT_TRUE(found_exact);
+}
+
+TEST(AreasOfInterestTest, MergeReducesTileCount) {
+  MInterval domain({{0, 99}, {0, 99}});
+  MInterval area({{40, 59}, {40, 59}});
+  AreasOfInterestTiling merged({area}, 1 << 20);
+  AreasOfInterestTiling unmerged =
+      AreasOfInterestTiling({area}, 1 << 20).DisableMerge();
+  TilingSpec with_merge = merged.ComputeTiling(domain, 1).value();
+  TilingSpec without_merge = unmerged.ComputeTiling(domain, 1).value();
+  // The unmerged 3x3 grid has 9 blocks; merging coalesces background
+  // blocks with identical codes.
+  EXPECT_EQ(without_merge.size(), 9u);
+  EXPECT_LT(with_merge.size(), without_merge.size());
+  EXPECT_TRUE(CheckCoverage(with_merge, domain).ok());
+  EXPECT_TRUE(CheckCoverage(without_merge, domain).ok());
+  ExpectIntersectCodePurity(with_merge, {area});
+}
+
+TEST(AreasOfInterestTest, MergeRespectsMaxTileSize) {
+  MInterval domain({{0, 99}, {0, 99}});
+  MInterval area({{40, 59}, {40, 59}});
+  const uint64_t max_bytes = 500;  // background cannot merge into one tile
+  AreasOfInterestTiling tiling({area}, max_bytes);
+  Result<TilingSpec> spec = tiling.ComputeTiling(domain, 1);
+  ASSERT_TRUE(spec.ok());
+  Status st = ValidateCompleteTiling(*spec, domain, 1, max_bytes);
+  EXPECT_TRUE(st.ok()) << st;
+  ExpectIntersectCodePurity(*spec, {area});
+}
+
+TEST(AreasOfInterestTest, OverlappingAreasGetDistinctCodes) {
+  MInterval domain({{0, 29}});
+  MInterval a({{0, 14}});
+  MInterval b({{10, 24}});
+  AreasOfInterestTiling tiling({a, b}, 1 << 20);
+  Result<TilingSpec> spec = tiling.ComputeTiling(domain, 1);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(CheckCoverage(*spec, domain).ok());
+  ExpectIntersectCodePurity(*spec, {a, b});
+  // Expected pieces: [0:9] (a only), [10:14] (both), [15:24] (b only),
+  // [25:29] (background).
+  EXPECT_EQ(spec->size(), 4u);
+}
+
+TEST(AreasOfInterestTest, IntersectCodeBits) {
+  std::vector<MInterval> areas = {MInterval({{0, 4}}), MInterval({{3, 9}}),
+                                  MInterval({{20, 29}})};
+  using tiling_internal::IntersectCode;
+  EXPECT_EQ(IntersectCode(MInterval({{0, 2}}), areas), 0b001u);
+  EXPECT_EQ(IntersectCode(MInterval({{3, 4}}), areas), 0b011u);
+  EXPECT_EQ(IntersectCode(MInterval({{5, 9}}), areas), 0b010u);
+  EXPECT_EQ(IntersectCode(MInterval({{10, 19}}), areas), 0b000u);
+  EXPECT_EQ(IntersectCode(MInterval({{0, 29}}), areas), 0b111u);
+}
+
+TEST(AreasOfInterestTest, RejectsBadInputs) {
+  MInterval domain({{0, 9}});
+  // No areas.
+  EXPECT_FALSE(
+      AreasOfInterestTiling({}, 1024).ComputeTiling(domain, 1).ok());
+  // Area outside the domain.
+  EXPECT_FALSE(AreasOfInterestTiling({MInterval({{5, 12}})}, 1024)
+                   .ComputeTiling(domain, 1)
+                   .ok());
+  // Dimensionality mismatch.
+  EXPECT_FALSE(AreasOfInterestTiling({MInterval({{0, 5}, {0, 5}})}, 1024)
+                   .ComputeTiling(domain, 1)
+                   .ok());
+  // More than 64 areas.
+  std::vector<MInterval> many;
+  MInterval big_domain({{0, 999}});
+  for (int i = 0; i < 65; ++i) {
+    many.push_back(MInterval({{i * 10, i * 10 + 5}}));
+  }
+  EXPECT_FALSE(AreasOfInterestTiling(many, 1024)
+                   .ComputeTiling(big_domain, 1)
+                   .ok());
+}
+
+class AoiPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AoiPropertyTest, InvariantsUnderRandomAreas) {
+  Random rng(GetParam());
+  for (int iter = 0; iter < 10; ++iter) {
+    const size_t d = 1 + rng.Uniform(3);
+    std::vector<Coord> lo(d), hi(d);
+    for (size_t i = 0; i < d; ++i) {
+      lo[i] = rng.UniformInt(-10, 10);
+      hi[i] = lo[i] + rng.UniformInt(5, 30);
+    }
+    MInterval domain = MInterval::Create(lo, hi).value();
+
+    const size_t n_areas = 1 + rng.Uniform(4);
+    std::vector<MInterval> areas;
+    for (size_t a = 0; a < n_areas; ++a) {
+      std::vector<Coord> alo(d), ahi(d);
+      for (size_t i = 0; i < d; ++i) {
+        alo[i] = rng.UniformInt(domain.lo(i), domain.hi(i));
+        ahi[i] = rng.UniformInt(alo[i], domain.hi(i));
+      }
+      areas.push_back(MInterval::Create(alo, ahi).value());
+    }
+
+    const uint64_t max_bytes = static_cast<uint64_t>(rng.UniformInt(64, 2048));
+    AreasOfInterestTiling tiling(areas, max_bytes);
+    if (rng.Bernoulli(0.3)) tiling.DisableMerge();
+    Result<TilingSpec> spec = tiling.ComputeTiling(domain, 1);
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    Status st = ValidateCompleteTiling(*spec, domain, 1, max_bytes);
+    ASSERT_TRUE(st.ok()) << st;
+    ExpectIntersectCodePurity(*spec, areas);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AoiPropertyTest,
+                         ::testing::Values(7, 77, 777));
+
+}  // namespace
+}  // namespace tilestore

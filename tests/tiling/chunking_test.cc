@@ -1,0 +1,97 @@
+#include "tiling/chunking.h"
+
+#include <gtest/gtest.h>
+
+#include "tiling/validator.h"
+
+namespace tilestore {
+namespace {
+
+TEST(PatternOptimizedChunkingTest, CostModelMatchesHandComputation) {
+  // Access 10x1 on 5x5 chunks: ((10-1)/5 + 1) * ((1-1)/5 + 1) = 2.8.
+  std::vector<AccessShape> pattern = {{{10, 1}, 1.0}};
+  EXPECT_DOUBLE_EQ(
+      PatternOptimizedChunking::ExpectedChunksPerAccess(pattern, {5, 5}),
+      2.8);
+  // Mixture weights by probability.
+  pattern.push_back({{1, 10}, 1.0});
+  EXPECT_DOUBLE_EQ(
+      PatternOptimizedChunking::ExpectedChunksPerAccess(pattern, {5, 5}),
+      5.6);
+}
+
+TEST(PatternOptimizedChunkingTest, ElongatedAccessesYieldElongatedChunks) {
+  // Accesses are long rows: chunks should extend along axis 1.
+  PatternOptimizedChunking chunking({{{1, 256}, 1.0}}, 4096);
+  MInterval domain({{0, 255}, {0, 255}});
+  Result<std::vector<Coord>> format = chunking.ComputeChunkFormat(domain, 1);
+  ASSERT_TRUE(format.ok()) << format.status();
+  EXPECT_GT((*format)[1], (*format)[0]);
+  EXPECT_EQ((*format)[1], 256);  // full row fits the 4096-cell budget
+}
+
+TEST(PatternOptimizedChunkingTest, SquareAccessesYieldSquareChunks) {
+  PatternOptimizedChunking chunking({{{64, 64}, 1.0}}, 4096);
+  MInterval domain({{0, 1023}, {0, 1023}});
+  Result<std::vector<Coord>> format = chunking.ComputeChunkFormat(domain, 1);
+  ASSERT_TRUE(format.ok());
+  EXPECT_EQ((*format)[0], (*format)[1]);
+  EXPECT_EQ((*format)[0] * (*format)[1], 4096);
+}
+
+TEST(PatternOptimizedChunkingTest, OptimizedBeatsCubicOnItsPattern) {
+  const std::vector<AccessShape> pattern = {{{1, 200, 200}, 0.8},
+                                            {{50, 1, 200}, 0.2}};
+  PatternOptimizedChunking chunking(pattern, 32 * 1024);
+  MInterval domain({{0, 255}, {0, 255}, {0, 255}});
+  Result<std::vector<Coord>> format = chunking.ComputeChunkFormat(domain, 1);
+  ASSERT_TRUE(format.ok());
+  // 32768-cell cubic chunks: 32x32x32.
+  const double cubic = PatternOptimizedChunking::ExpectedChunksPerAccess(
+      pattern, {32, 32, 32});
+  const double optimized =
+      PatternOptimizedChunking::ExpectedChunksPerAccess(pattern, *format);
+  EXPECT_LT(optimized, cubic);
+}
+
+TEST(PatternOptimizedChunkingTest, ProducesCompleteRegularTiling) {
+  PatternOptimizedChunking chunking({{{8, 32}, 1.0}}, 1024);
+  MInterval domain({{0, 99}, {0, 99}});
+  Result<TilingSpec> spec = chunking.ComputeTiling(domain, 1);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(ValidateCompleteTiling(*spec, domain, 1, 1024).ok());
+  // Interior tiles are congruent (regular tiling).
+  EXPECT_EQ((*spec)[0].Extents(), spec->at(1).Extents());
+}
+
+TEST(PatternOptimizedChunkingTest, AxesNeverAccessedWideStayThin) {
+  // All accesses have extent 1 on axis 0: growing it cannot reduce the
+  // expected chunk count, so the budget goes to axis 1.
+  PatternOptimizedChunking chunking({{{1, 64}, 1.0}}, 256);
+  MInterval domain({{0, 63}, {0, 63}});
+  Result<std::vector<Coord>> format = chunking.ComputeChunkFormat(domain, 1);
+  ASSERT_TRUE(format.ok());
+  EXPECT_EQ((*format)[0], 1);
+  EXPECT_EQ((*format)[1], 64);
+}
+
+TEST(PatternOptimizedChunkingTest, ValidatesInputs) {
+  MInterval domain({{0, 9}, {0, 9}});
+  EXPECT_FALSE(
+      PatternOptimizedChunking({}, 1024).ComputeTiling(domain, 1).ok());
+  EXPECT_FALSE(PatternOptimizedChunking({{{5}, 1.0}}, 1024)
+                   .ComputeTiling(domain, 1)
+                   .ok());  // dim mismatch
+  EXPECT_FALSE(PatternOptimizedChunking({{{5, 0}, 1.0}}, 1024)
+                   .ComputeTiling(domain, 1)
+                   .ok());  // zero extent
+  EXPECT_FALSE(PatternOptimizedChunking({{{5, 5}, 0.0}}, 1024)
+                   .ComputeTiling(domain, 1)
+                   .ok());  // zero probability
+  EXPECT_FALSE(PatternOptimizedChunking({{{5, 5}, 1.0}}, 2)
+                   .ComputeTiling(domain, 8)
+                   .ok());  // cell bigger than budget
+}
+
+}  // namespace
+}  // namespace tilestore

@@ -1,0 +1,208 @@
+#include "tiling/directional.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "tiling/validator.h"
+
+namespace tilestore {
+namespace {
+
+// Table 1: the benchmark data cube. Dimension 1 are days partitioned into
+// months, dimension 2 products into classes, dimension 3 stores into
+// country districts.
+const MInterval kSalesCube({{1, 730}, {1, 60}, {1, 100}});
+
+std::vector<AxisPartition> SalesPartitions3P() {
+  // Months over two years (day boundaries), as "[1,31,...,730]".
+  std::vector<Coord> months;
+  const Coord month_days[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  Coord day = 1;
+  months.push_back(day);
+  for (int year = 0; year < 2; ++year) {
+    for (int m = 0; m < 12; ++m) {
+      day += month_days[m];
+      months.push_back(std::min<Coord>(day, 730));
+    }
+  }
+  months.back() = 730;
+  return {
+      AxisPartition{0, months},
+      AxisPartition{1, {1, 27, 42, 60}},
+      AxisPartition{2, {1, 27, 35, 41, 59, 73, 89, 97, 100}},
+  };
+}
+
+TEST(DirectionalTilingTest, BlocksFollowPartitionBoundaries) {
+  DirectionalTiling tiling({AxisPartition{0, {0, 4, 10}}}, 1 << 20);
+  MInterval domain({{0, 10}, {0, 4}});
+  Result<TilingSpec> blocks = tiling.ComputeBlocks(domain);
+  ASSERT_TRUE(blocks.ok()) << blocks.status();
+  ASSERT_EQ(blocks->size(), 2u);
+  // Blocks: [0,3] and [4,10] along axis 0 (last block closes at the upper
+  // bound), full span along axis 1.
+  EXPECT_EQ((*blocks)[0], MInterval({{0, 3}, {0, 4}}));
+  EXPECT_EQ((*blocks)[1], MInterval({{4, 10}, {0, 4}}));
+}
+
+TEST(DirectionalTilingTest, UnpartitionedAxesSpanWholeDomain) {
+  DirectionalTiling tiling({AxisPartition{1, {0, 5, 9}}}, 1 << 20);
+  MInterval domain({{0, 3}, {0, 9}});
+  Result<TilingSpec> blocks = tiling.ComputeBlocks(domain);
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 2u);
+  for (const MInterval& block : *blocks) {
+    EXPECT_EQ(block.lo(0), 0);
+    EXPECT_EQ(block.hi(0), 3);
+  }
+}
+
+TEST(DirectionalTilingTest, SalesCube3PBlockCount) {
+  DirectionalTiling tiling(SalesPartitions3P(), 1ull << 40);  // no splitting
+  Result<TilingSpec> blocks = tiling.ComputeBlocks(kSalesCube);
+  ASSERT_TRUE(blocks.ok()) << blocks.status();
+  // 24 months x 3 product classes x 8 districts (Table 1 categories).
+  EXPECT_EQ(blocks->size(), 24u * 3u * 8u);
+  EXPECT_TRUE(CheckCoverage(*blocks, kSalesCube).ok());
+}
+
+TEST(DirectionalTilingTest, OversizedBlocksAreSubpartitioned) {
+  const uint64_t max_bytes = 64 * 1024;
+  DirectionalTiling tiling(SalesPartitions3P(), max_bytes);
+  Result<TilingSpec> spec = tiling.ComputeTiling(kSalesCube, 4);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  Status st = ValidateCompleteTiling(*spec, kSalesCube, 4, max_bytes);
+  EXPECT_TRUE(st.ok()) << st;
+  // Every tile stays inside exactly one category block: tile boundaries
+  // never cross a partition hyperplane.
+  DirectionalTiling blocks_only(SalesPartitions3P(), 1ull << 40);
+  TilingSpec blocks = blocks_only.ComputeBlocks(kSalesCube).value();
+  for (const MInterval& tile : *spec) {
+    bool inside_one = false;
+    for (const MInterval& block : blocks) {
+      if (block.Contains(tile)) {
+        inside_one = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(inside_one) << tile.ToString();
+  }
+}
+
+TEST(DirectionalTilingTest, SmallBlocksAreKeptWhole) {
+  // All blocks below MaxTileSize: the result is exactly the block grid.
+  DirectionalTiling tiling({AxisPartition{0, {0, 2, 4, 6, 9}}}, 1 << 20);
+  MInterval domain({{0, 9}});
+  Result<TilingSpec> spec = tiling.ComputeTiling(domain, 1);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->size(), 4u);
+  EXPECT_TRUE(CheckCoverage(*spec, domain).ok());
+}
+
+TEST(DirectionalTilingTest, CustomSubConfigShapesSplitTiles) {
+  // Sub-config [*,1]: oversized blocks are cut into row slabs.
+  DirectionalTiling tiling({AxisPartition{0, {0, 99}}}, 128,
+                           TileConfig::Parse("[1,*]").value());
+  MInterval domain({{0, 99}, {0, 63}});
+  Result<TilingSpec> spec = tiling.ComputeTiling(domain, 1);
+  ASSERT_TRUE(spec.ok());
+  for (const MInterval& tile : *spec) {
+    EXPECT_EQ(tile.Extent(1), 64) << tile.ToString();  // full rows
+    EXPECT_LE(tile.CellCountOrDie(), 128u);
+  }
+}
+
+TEST(DirectionalTilingTest, RejectsBadPartitions) {
+  MInterval domain({{0, 9}, {0, 9}});
+  // Axis out of range.
+  EXPECT_FALSE(DirectionalTiling({AxisPartition{2, {0, 9}}}, 1024)
+                   .ComputeTiling(domain, 1)
+                   .ok());
+  // Duplicate axis.
+  EXPECT_FALSE(DirectionalTiling(
+                   {AxisPartition{0, {0, 9}}, AxisPartition{0, {0, 9}}}, 1024)
+                   .ComputeTiling(domain, 1)
+                   .ok());
+  // Not strictly increasing.
+  EXPECT_FALSE(DirectionalTiling({AxisPartition{0, {0, 5, 5, 9}}}, 1024)
+                   .ComputeTiling(domain, 1)
+                   .ok());
+  // Does not start at the lower bound.
+  EXPECT_FALSE(DirectionalTiling({AxisPartition{0, {1, 9}}}, 1024)
+                   .ComputeTiling(domain, 1)
+                   .ok());
+  // Does not end at the upper bound.
+  EXPECT_FALSE(DirectionalTiling({AxisPartition{0, {0, 8}}}, 1024)
+                   .ComputeTiling(domain, 1)
+                   .ok());
+  // Fewer than two bounds.
+  EXPECT_FALSE(DirectionalTiling({AxisPartition{0, {0}}}, 1024)
+                   .ComputeTiling(domain, 1)
+                   .ok());
+}
+
+TEST(DirectionalTilingTest, NoPartitionsDegeneratesToSingleBlock) {
+  DirectionalTiling tiling({}, 1 << 20);
+  MInterval domain({{0, 9}, {0, 9}});
+  Result<TilingSpec> blocks = tiling.ComputeBlocks(domain);
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 1u);
+  EXPECT_EQ(blocks->front(), domain);
+}
+
+// Property: for random partitions, directional tiling is a complete tiling
+// and every user hyperplane is respected.
+class DirectionalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DirectionalPropertyTest, CompleteAndAligned) {
+  Random rng(GetParam());
+  for (int iter = 0; iter < 15; ++iter) {
+    const size_t d = 1 + rng.Uniform(3);
+    std::vector<Coord> lo(d), hi(d);
+    for (size_t i = 0; i < d; ++i) {
+      lo[i] = rng.UniformInt(-10, 10);
+      hi[i] = lo[i] + rng.UniformInt(3, 30);
+    }
+    MInterval domain = MInterval::Create(lo, hi).value();
+
+    std::vector<AxisPartition> partitions;
+    for (size_t i = 0; i < d; ++i) {
+      if (rng.Bernoulli(0.5)) continue;  // leave some axes unpartitioned
+      std::vector<Coord> bounds = {domain.lo(i), domain.hi(i)};
+      for (int k = 0; k < 3; ++k) {
+        bounds.push_back(rng.UniformInt(domain.lo(i), domain.hi(i)));
+      }
+      std::sort(bounds.begin(), bounds.end());
+      bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+      partitions.push_back(AxisPartition{i, std::move(bounds)});
+    }
+
+    const uint64_t max_bytes = static_cast<uint64_t>(rng.UniformInt(32, 512));
+    DirectionalTiling tiling(partitions, max_bytes);
+    Result<TilingSpec> spec = tiling.ComputeTiling(domain, 1);
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    Status st = ValidateCompleteTiling(*spec, domain, 1, max_bytes);
+    ASSERT_TRUE(st.ok()) << st;
+
+    // No tile crosses a partition boundary: for every partition bound p
+    // (other than the domain bounds), no tile has lo < p <= hi.
+    for (const AxisPartition& part : partitions) {
+      for (size_t b = 1; b + 1 < part.bounds.size(); ++b) {
+        const Coord p = part.bounds[b];
+        for (const MInterval& tile : *spec) {
+          EXPECT_FALSE(tile.lo(part.axis) < p && p <= tile.hi(part.axis))
+              << "tile " << tile.ToString() << " crosses x_" << part.axis
+              << "=" << p;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectionalPropertyTest,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace tilestore

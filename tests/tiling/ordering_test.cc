@@ -1,0 +1,166 @@
+#include "tiling/ordering.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "tiling/aligned.h"
+#include "tiling/validator.h"
+
+namespace tilestore {
+namespace {
+
+TEST(HilbertIndexTest, Order1Curve) {
+  // The order-1 curve visits (0,0) -> (0,1) -> (1,1) -> (1,0).
+  EXPECT_EQ(HilbertIndex2D(1, 0, 0), 0u);
+  EXPECT_EQ(HilbertIndex2D(1, 0, 1), 1u);
+  EXPECT_EQ(HilbertIndex2D(1, 1, 1), 2u);
+  EXPECT_EQ(HilbertIndex2D(1, 1, 0), 3u);
+}
+
+TEST(HilbertIndexTest, IsABijectionOnTheGrid) {
+  const uint32_t bits = 4;  // 16x16 grid
+  std::set<uint64_t> seen;
+  for (uint64_t x = 0; x < 16; ++x) {
+    for (uint64_t y = 0; y < 16; ++y) {
+      const uint64_t d = HilbertIndex2D(bits, x, y);
+      EXPECT_LT(d, 256u);
+      EXPECT_TRUE(seen.insert(d).second) << x << "," << y;
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(HilbertIndexTest, ConsecutiveIndicesAreGridNeighbours) {
+  // The defining property of the curve: successive cells are adjacent.
+  const uint32_t bits = 5;  // 32x32
+  std::vector<std::pair<uint64_t, uint64_t>> by_index(32 * 32);
+  for (uint64_t x = 0; x < 32; ++x) {
+    for (uint64_t y = 0; y < 32; ++y) {
+      by_index[HilbertIndex2D(bits, x, y)] = {x, y};
+    }
+  }
+  for (size_t d = 1; d < by_index.size(); ++d) {
+    const auto [x1, y1] = by_index[d - 1];
+    const auto [x2, y2] = by_index[d];
+    const uint64_t manhattan = (x1 > x2 ? x1 - x2 : x2 - x1) +
+                               (y1 > y2 ? y1 - y2 : y2 - y1);
+    EXPECT_EQ(manhattan, 1u) << "jump at d=" << d;
+  }
+}
+
+TEST(OrderTilesTest, ScanlineSortsRowMajor) {
+  const MInterval domain({{0, 39}, {0, 39}});
+  TilingSpec spec = GridTiling(domain, {10, 10});
+  // Shuffle deterministically by reversing.
+  std::reverse(spec.begin(), spec.end());
+  Result<TilingSpec> ordered =
+      OrderTiles(domain, spec, TileOrder::kScanline);
+  ASSERT_TRUE(ordered.ok());
+  EXPECT_EQ(ordered->front(), MInterval({{0, 9}, {0, 9}}));
+  EXPECT_EQ(ordered->back(), MInterval({{30, 39}, {30, 39}}));
+  EXPECT_TRUE(std::is_sorted(ordered->begin(), ordered->end(),
+                             MIntervalLess()));
+}
+
+TEST(OrderTilesTest, HilbertIsAPermutationOfTheSpec) {
+  const MInterval domain({{-10, 53}, {5, 68}});  // non-zero origin
+  TilingSpec spec = GridTiling(domain, {8, 8});
+  Result<TilingSpec> ordered = OrderTiles(domain, spec, TileOrder::kHilbert);
+  ASSERT_TRUE(ordered.ok()) << ordered.status();
+  ASSERT_EQ(ordered->size(), spec.size());
+  std::set<std::string> original, reordered;
+  for (const MInterval& t : spec) original.insert(t.ToString());
+  for (const MInterval& t : *ordered) reordered.insert(t.ToString());
+  EXPECT_EQ(original, reordered);
+  EXPECT_TRUE(CheckDisjoint(*ordered).ok());
+}
+
+TEST(OrderTilesTest, HilbertImprovesLocalityOverScanline) {
+  // Measure the total center-to-center distance between consecutive tiles:
+  // the Hilbert order must be substantially more local than scanline on a
+  // wide grid.
+  const MInterval domain({{0, 1023}, {0, 1023}});
+  TilingSpec spec = GridTiling(domain, {32, 32});  // 32x32 tiles
+  auto path_length = [](const TilingSpec& s) {
+    double total = 0;
+    for (size_t i = 1; i < s.size(); ++i) {
+      const double dx = static_cast<double>(s[i].lo(0) - s[i - 1].lo(0));
+      const double dy = static_cast<double>(s[i].lo(1) - s[i - 1].lo(1));
+      total += std::abs(dx) + std::abs(dy);
+    }
+    return total;
+  };
+  TilingSpec scanline =
+      OrderTiles(domain, spec, TileOrder::kScanline).MoveValue();
+  TilingSpec hilbert =
+      OrderTiles(domain, spec, TileOrder::kHilbert).MoveValue();
+  // Scanline pays a full-width jump per row; Hilbert steps one tile at a
+  // time (ratio ~1.9 on a 32x32 grid).
+  EXPECT_LT(path_length(hilbert), path_length(scanline) * 0.6);
+}
+
+TEST(HilbertIndexNDTest, IsABijectionIn3D) {
+  const uint32_t bits = 3;  // 8x8x8 grid
+  std::set<uint64_t> seen;
+  for (uint64_t x = 0; x < 8; ++x) {
+    for (uint64_t y = 0; y < 8; ++y) {
+      for (uint64_t z = 0; z < 8; ++z) {
+        Result<uint64_t> d = HilbertIndexND(bits, {x, y, z});
+        ASSERT_TRUE(d.ok());
+        EXPECT_LT(*d, 512u);
+        EXPECT_TRUE(seen.insert(*d).second) << x << "," << y << "," << z;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 512u);
+}
+
+TEST(HilbertIndexNDTest, ConsecutiveIndicesAreGridNeighboursIn3D) {
+  const uint32_t bits = 3;
+  std::vector<std::array<uint64_t, 3>> by_index(512);
+  for (uint64_t x = 0; x < 8; ++x) {
+    for (uint64_t y = 0; y < 8; ++y) {
+      for (uint64_t z = 0; z < 8; ++z) {
+        by_index[HilbertIndexND(bits, {x, y, z}).value()] = {x, y, z};
+      }
+    }
+  }
+  for (size_t d = 1; d < by_index.size(); ++d) {
+    uint64_t manhattan = 0;
+    for (size_t i = 0; i < 3; ++i) {
+      const uint64_t a = by_index[d - 1][i], b = by_index[d][i];
+      manhattan += a > b ? a - b : b - a;
+    }
+    EXPECT_EQ(manhattan, 1u) << "jump at d=" << d;
+  }
+}
+
+TEST(HilbertIndexNDTest, ValidatesInputs) {
+  EXPECT_FALSE(HilbertIndexND(0, {0, 0}).ok());
+  EXPECT_FALSE(HilbertIndexND(3, {}).ok());
+  EXPECT_FALSE(HilbertIndexND(32, {0, 0, 0}).ok());  // 96 bits > 62
+  EXPECT_FALSE(HilbertIndexND(3, {8, 0}).ok());      // off the grid
+}
+
+TEST(OrderTilesTest, HilbertWorksIn3D) {
+  const MInterval domain({{0, 9}, {0, 9}, {0, 9}});
+  TilingSpec spec = GridTiling(domain, {5, 5, 5});
+  Result<TilingSpec> ordered = OrderTiles(domain, spec, TileOrder::kHilbert);
+  ASSERT_TRUE(ordered.ok()) << ordered.status();
+  ASSERT_EQ(ordered->size(), spec.size());
+  EXPECT_TRUE(CheckCoverage(*ordered, domain).ok());
+}
+
+TEST(OrderTilesTest, ValidatesInputs) {
+  EXPECT_FALSE(OrderTiles(MInterval::Parse("[0:*]").value(), {},
+                          TileOrder::kScanline)
+                   .ok());
+  EXPECT_FALSE(OrderTiles(MInterval({{0, 9}, {0, 9}}),
+                          {MInterval({{0, 5}})}, TileOrder::kScanline)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace tilestore

@@ -1,0 +1,140 @@
+#include "tiling/statistic.h"
+
+#include <gtest/gtest.h>
+
+#include "tiling/validator.h"
+
+namespace tilestore {
+namespace {
+
+TEST(BoxGapTest, IntersectingAndTouchingBoxesHaveZeroGap) {
+  EXPECT_EQ(BoxGap(MInterval({{0, 5}}), MInterval({{3, 9}})), 0);
+  EXPECT_EQ(BoxGap(MInterval({{0, 5}}), MInterval({{6, 9}})), 0);  // adjacent
+}
+
+TEST(BoxGapTest, GapIsLargestAxisGap) {
+  // Axis 0 gap: 10-5-1 = 4; axis 1 gap: 0 (overlap) -> Chebyshev gap 4.
+  EXPECT_EQ(BoxGap(MInterval({{0, 5}, {0, 9}}), MInterval({{10, 12}, {5, 9}})),
+            4);
+  // Symmetric.
+  EXPECT_EQ(BoxGap(MInterval({{10, 12}, {5, 9}}), MInterval({{0, 5}, {0, 9}})),
+            4);
+  // Both axes gapped: the larger one counts.
+  EXPECT_EQ(
+      BoxGap(MInterval({{0, 5}, {0, 5}}), MInterval({{8, 9}, {20, 25}})), 14);
+}
+
+TEST(StatisticTilingTest, FrequentAccessesBecomeAreasOfInterest) {
+  MInterval domain({{0, 99}, {0, 99}});
+  MInterval hot({{10, 19}, {10, 19}});
+  std::vector<AccessRecord> accesses = {
+      {hot, 1}, {hot, 1}, {hot, 1},                  // three hot accesses
+      {MInterval({{80, 89}, {80, 89}}), 1},          // one-off access
+  };
+  StatisticTiling tiling(accesses, 1 << 20, /*frequency_threshold=*/3,
+                         /*distance_threshold=*/0);
+  Result<std::vector<MInterval>> areas = tiling.DeriveAreasOfInterest(domain);
+  ASSERT_TRUE(areas.ok());
+  ASSERT_EQ(areas->size(), 1u);
+  EXPECT_EQ(areas->front(), hot);
+}
+
+TEST(StatisticTilingTest, NearbyAccessesMergeWithinDistanceThreshold) {
+  MInterval domain({{0, 99}});
+  std::vector<AccessRecord> accesses = {
+      {MInterval({{0, 9}}), 1},
+      {MInterval({{12, 19}}), 1},  // gap of 2 cells to the first
+  };
+  StatisticTiling close(accesses, 1 << 20, /*frequency_threshold=*/2,
+                        /*distance_threshold=*/2);
+  Result<std::vector<MInterval>> merged = close.DeriveAreasOfInterest(domain);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->size(), 1u);
+  EXPECT_EQ(merged->front(), MInterval({{0, 19}}));  // hull, count 2
+
+  StatisticTiling far(accesses, 1 << 20, /*frequency_threshold=*/2,
+                      /*distance_threshold=*/1);
+  Result<std::vector<MInterval>> separate = far.DeriveAreasOfInterest(domain);
+  ASSERT_TRUE(separate.ok());
+  EXPECT_TRUE(separate->empty());  // each cluster has count 1 < threshold
+}
+
+TEST(StatisticTilingTest, MergingIsTransitive) {
+  // a--b--c chained within threshold: one cluster with count 3, even
+  // though a and c alone are farther apart than the threshold.
+  MInterval domain({{0, 99}});
+  std::vector<AccessRecord> accesses = {
+      {MInterval({{0, 9}}), 1},
+      {MInterval({{30, 39}}), 1},
+      {MInterval({{15, 24}}), 1},  // bridges the two
+  };
+  StatisticTiling tiling(accesses, 1 << 20, 3, 6);
+  Result<std::vector<MInterval>> areas = tiling.DeriveAreasOfInterest(domain);
+  ASSERT_TRUE(areas.ok());
+  ASSERT_EQ(areas->size(), 1u);
+  EXPECT_EQ(areas->front(), MInterval({{0, 39}}));
+}
+
+TEST(StatisticTilingTest, AccessCountsAccumulate) {
+  MInterval domain({{0, 99}});
+  std::vector<AccessRecord> accesses = {{MInterval({{5, 9}}), 5}};
+  StatisticTiling tiling(accesses, 1 << 20, 5, 0);
+  Result<std::vector<MInterval>> areas = tiling.DeriveAreasOfInterest(domain);
+  ASSERT_TRUE(areas.ok());
+  EXPECT_EQ(areas->size(), 1u);
+}
+
+TEST(StatisticTilingTest, AccessesOutsideDomainAreClippedOrIgnored) {
+  MInterval domain({{0, 9}});
+  std::vector<AccessRecord> accesses = {
+      {MInterval({{5, 20}}), 2},    // clipped to [5:9]
+      {MInterval({{50, 60}}), 9},   // entirely outside: ignored
+  };
+  StatisticTiling tiling(accesses, 1 << 20, 2, 0);
+  Result<std::vector<MInterval>> areas = tiling.DeriveAreasOfInterest(domain);
+  ASSERT_TRUE(areas.ok());
+  ASSERT_EQ(areas->size(), 1u);
+  EXPECT_EQ(areas->front(), MInterval({{5, 9}}));
+}
+
+TEST(StatisticTilingTest, FallsBackToRegularTilingWithoutPatterns) {
+  MInterval domain({{0, 99}, {0, 99}});
+  StatisticTiling tiling({}, 4096, 2, 0);
+  Result<TilingSpec> spec = tiling.ComputeTiling(domain, 1);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(ValidateCompleteTiling(*spec, domain, 1, 4096).ok());
+  EXPECT_GT(spec->size(), 1u);  // regular grid, not a single tile
+}
+
+TEST(StatisticTilingTest, EndToEndProducesValidAoiTiling) {
+  MInterval domain({{0, 59}, {0, 59}});
+  MInterval hot1({{0, 14}, {0, 14}});
+  MInterval hot2({{40, 59}, {40, 59}});
+  std::vector<AccessRecord> accesses = {
+      {hot1, 1}, {hot1, 1}, {hot2, 1}, {hot2, 1},
+      {MInterval({{20, 25}, {20, 25}}), 1},  // infrequent: filtered out
+  };
+  const uint64_t max_bytes = 256;
+  StatisticTiling tiling(accesses, max_bytes, 2, 0);
+  Result<TilingSpec> spec = tiling.ComputeTiling(domain, 1);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_TRUE(ValidateCompleteTiling(*spec, domain, 1, max_bytes).ok());
+  // The hot areas' bytes are retrievable without waste.
+  for (const MInterval& hot : {hot1, hot2}) {
+    uint64_t retrieved = 0;
+    for (const MInterval& tile : *spec) {
+      if (tile.Intersects(hot)) retrieved += tile.CellCountOrDie();
+    }
+    EXPECT_EQ(retrieved, hot.CellCountOrDie());
+  }
+}
+
+TEST(StatisticTilingTest, MalformedAccessIsRejected) {
+  MInterval domain({{0, 9}, {0, 9}});
+  std::vector<AccessRecord> accesses = {{MInterval({{0, 5}}), 1}};  // 1-D
+  StatisticTiling tiling(accesses, 1024, 1, 0);
+  EXPECT_FALSE(tiling.ComputeTiling(domain, 1).ok());
+}
+
+}  // namespace
+}  // namespace tilestore

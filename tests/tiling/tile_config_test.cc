@@ -1,0 +1,83 @@
+#include "tiling/tile_config.h"
+
+#include <gtest/gtest.h>
+
+namespace tilestore {
+namespace {
+
+TEST(TileConfigTest, RegularIsAllOnesNoStars) {
+  TileConfig config = TileConfig::Regular(3);
+  EXPECT_EQ(config.dim(), 3u);
+  EXPECT_TRUE(config.AllFinite());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(config.is_star(i));
+    EXPECT_DOUBLE_EQ(config.relative(i), 1.0);
+  }
+}
+
+TEST(TileConfigTest, FromRelativeSizes) {
+  Result<TileConfig> config = TileConfig::FromRelativeSizes({4.0, 1.0, 2.0});
+  ASSERT_TRUE(config.ok());
+  EXPECT_DOUBLE_EQ(config->relative(0), 4.0);
+  EXPECT_DOUBLE_EQ(config->relative(2), 2.0);
+}
+
+TEST(TileConfigTest, FromRelativeSizesRejectsBadValues) {
+  EXPECT_FALSE(TileConfig::FromRelativeSizes({}).ok());
+  EXPECT_FALSE(TileConfig::FromRelativeSizes({0.5}).ok());
+  EXPECT_FALSE(TileConfig::FromRelativeSizes({1.0, -2.0}).ok());
+}
+
+TEST(TileConfigTest, ParseFigure4Config) {
+  // Figure 4: frame-wise access to an animation → config [*,1,*].
+  Result<TileConfig> config = TileConfig::Parse("[*,1,*]");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->dim(), 3u);
+  EXPECT_TRUE(config->is_star(0));
+  EXPECT_FALSE(config->is_star(1));
+  EXPECT_TRUE(config->is_star(2));
+  EXPECT_FALSE(config->AllFinite());
+}
+
+TEST(TileConfigTest, ParseSectionAccessConfig) {
+  // Section access x=c1 ∧ z=c2 → config [1,*,1] (Section 5.2).
+  Result<TileConfig> config = TileConfig::Parse("[1,*,1]");
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(config->is_star(0));
+  EXPECT_TRUE(config->is_star(1));
+  EXPECT_FALSE(config->is_star(2));
+}
+
+TEST(TileConfigTest, ParseNumericValues) {
+  Result<TileConfig> config = TileConfig::Parse("[2,1,8]");
+  ASSERT_TRUE(config.ok());
+  EXPECT_DOUBLE_EQ(config->relative(0), 2.0);
+  EXPECT_DOUBLE_EQ(config->relative(2), 8.0);
+}
+
+TEST(TileConfigTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(TileConfig::Parse("").ok());
+  EXPECT_FALSE(TileConfig::Parse("[]").ok());
+  EXPECT_FALSE(TileConfig::Parse("1,2").ok());
+  EXPECT_FALSE(TileConfig::Parse("[1,x]").ok());
+  EXPECT_FALSE(TileConfig::Parse("[0.5]").ok());
+  EXPECT_FALSE(TileConfig::Parse("[1,]").ok());
+}
+
+TEST(TileConfigTest, SetStar) {
+  TileConfig config = TileConfig::Regular(2);
+  config.SetStar(1);
+  EXPECT_FALSE(config.is_star(0));
+  EXPECT_TRUE(config.is_star(1));
+}
+
+TEST(TileConfigTest, ToStringRoundTrip) {
+  for (const char* text : {"[*,1,*]", "[1,*,1]", "[2,1,8]"}) {
+    Result<TileConfig> config = TileConfig::Parse(text);
+    ASSERT_TRUE(config.ok()) << text;
+    EXPECT_EQ(config->ToString(), text);
+  }
+}
+
+}  // namespace
+}  // namespace tilestore

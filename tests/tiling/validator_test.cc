@@ -1,0 +1,81 @@
+#include "tiling/validator.h"
+
+#include <gtest/gtest.h>
+
+namespace tilestore {
+namespace {
+
+const MInterval kDomain({{0, 9}, {0, 9}});
+
+TEST(ValidatorTest, AcceptsExactPartition) {
+  TilingSpec spec = {MInterval({{0, 4}, {0, 9}}), MInterval({{5, 9}, {0, 9}})};
+  EXPECT_TRUE(CheckDisjoint(spec).ok());
+  EXPECT_TRUE(CheckWithinDomain(spec, kDomain).ok());
+  EXPECT_TRUE(CheckCoverage(spec, kDomain).ok());
+}
+
+TEST(ValidatorTest, DetectsOverlap) {
+  TilingSpec spec = {MInterval({{0, 5}, {0, 9}}), MInterval({{5, 9}, {0, 9}})};
+  EXPECT_FALSE(CheckDisjoint(spec).ok());
+  EXPECT_FALSE(CheckCoverage(spec, kDomain).ok());
+}
+
+TEST(ValidatorTest, DetectsOverlapRegardlessOfOrder) {
+  // The sweep sorts by axis-0 lower bound; overlaps must be found in any
+  // input order.
+  TilingSpec spec = {MInterval({{5, 9}, {0, 9}}), MInterval({{0, 5}, {0, 9}})};
+  EXPECT_FALSE(CheckDisjoint(spec).ok());
+}
+
+TEST(ValidatorTest, DetectsTileOutsideDomain) {
+  TilingSpec spec = {MInterval({{0, 10}, {0, 9}})};
+  EXPECT_FALSE(CheckWithinDomain(spec, kDomain).ok());
+}
+
+TEST(ValidatorTest, DetectsDimensionMismatch) {
+  TilingSpec spec = {MInterval({{0, 9}})};
+  EXPECT_FALSE(CheckWithinDomain(spec, kDomain).ok());
+}
+
+TEST(ValidatorTest, DetectsCoverageGap) {
+  TilingSpec spec = {MInterval({{0, 4}, {0, 9}}), MInterval({{6, 9}, {0, 9}})};
+  EXPECT_TRUE(CheckDisjoint(spec).ok());
+  EXPECT_FALSE(CheckCoverage(spec, kDomain).ok());
+}
+
+TEST(ValidatorTest, PartialCoverIsValidWithoutCoverageCheck) {
+  // Partial coverage is a feature (sparse objects); only CheckCoverage
+  // demands completeness.
+  TilingSpec spec = {MInterval({{2, 3}, {4, 5}})};
+  EXPECT_TRUE(CheckDisjoint(spec).ok());
+  EXPECT_TRUE(CheckWithinDomain(spec, kDomain).ok());
+  EXPECT_FALSE(CheckCoverage(spec, kDomain).ok());
+}
+
+TEST(ValidatorTest, MaxTileSizeEnforced) {
+  TilingSpec spec = {MInterval({{0, 9}, {0, 9}})};  // 100 cells
+  EXPECT_TRUE(CheckMaxTileSize(spec, 1, 100).ok());
+  EXPECT_FALSE(CheckMaxTileSize(spec, 1, 99).ok());
+  EXPECT_FALSE(CheckMaxTileSize(spec, 4, 256).ok());
+}
+
+TEST(ValidatorTest, SingleCellTilesAreExemptFromSizeLimit) {
+  TilingSpec spec = {MInterval({{0, 0}, {0, 0}})};
+  EXPECT_TRUE(CheckMaxTileSize(spec, 1024, 16).ok());
+}
+
+TEST(ValidatorTest, EmptySpecIsTriviallyDisjoint) {
+  EXPECT_TRUE(CheckDisjoint({}).ok());
+  EXPECT_TRUE(CheckWithinDomain({}, kDomain).ok());
+  EXPECT_FALSE(CheckCoverage({}, kDomain).ok());
+}
+
+TEST(ValidatorTest, ValidateCompleteTilingCombinesAllChecks) {
+  TilingSpec good = {MInterval({{0, 4}, {0, 9}}),
+                     MInterval({{5, 9}, {0, 9}})};
+  EXPECT_TRUE(ValidateCompleteTiling(good, kDomain, 1, 50).ok());
+  EXPECT_FALSE(ValidateCompleteTiling(good, kDomain, 1, 49).ok());
+}
+
+}  // namespace
+}  // namespace tilestore

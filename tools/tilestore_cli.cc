@@ -1,0 +1,312 @@
+// tilestore_cli — command-line front end to the storage manager.
+//
+//   tilestore_cli create <db>
+//   tilestore_cli ls     <db>
+//   tilestore_cli info   <db> <object>
+//   tilestore_cli import <db> <object> <raw-file> <domain> <cell-type>
+//                        [--max-tile-kb=N] [--config=[..]] [--rle]
+//   tilestore_cli export <db> <object> <region> <out-file>
+//   tilestore_cli query  <db> "<rasql>"
+//   tilestore_cli advise <db> <object> <access-log-file>
+//   tilestore_cli stats  <db>
+//   tilestore_cli drop   <db> <object>
+//
+// <domain>/<region> use the paper notation, e.g. "[0:1023,0:767]".
+// <cell-type> is one of uint8..int64, float32/64, rgb8.
+// Import tiling: regular aligned by default; --config gives the aligned
+// tile configuration (e.g. "[*,1]"); --max-tile-kb caps the tile size;
+// --rle enables selective RLE compression.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mdd/mdd_store.h"
+#include "query/access_log.h"
+#include "query/rasql.h"
+#include "query/range_query.h"
+#include "storage/env.h"
+#include "tiling/advisor.h"
+#include "tiling/aligned.h"
+
+namespace tilestore {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: tilestore_cli <create|ls|info|import|export|query|advise|stats|drop> ...\n"
+      "  create <db>\n"
+      "  ls     <db>\n"
+      "  info   <db> <object>\n"
+      "  import <db> <object> <raw-file> <domain> <cell-type>\n"
+      "         [--max-tile-kb=N] [--config=[..]] [--rle]\n"
+      "  export <db> <object> <region> <out-file>\n"
+      "  query  <db> \"select ... from ...\"\n"
+      "  advise <db> <object> <access-log-file>\n"
+      "  stats  <db>\n"
+      "  drop   <db> <object>\n");
+  return 2;
+}
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 0; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+int CmdCreate(const std::string& db) {
+  Result<std::unique_ptr<MDDStore>> store = MDDStore::Create(db);
+  if (!store.ok()) return Fail(store.status());
+  Status st = (*store)->Save();
+  if (!st.ok()) return Fail(st);
+  std::printf("created %s\n", db.c_str());
+  return 0;
+}
+
+int CmdLs(const std::string& db) {
+  Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(db);
+  if (!store.ok()) return Fail(store.status());
+  for (const std::string& name : (*store)->ListMDD()) {
+    MDDObject* obj = (*store)->GetMDD(name).value();
+    std::printf("%-24s %-10s %6zu tiles  %s\n", name.c_str(),
+                std::string(obj->cell_type().name()).c_str(),
+                obj->tile_count(),
+                obj->definition_domain().ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdInfo(const std::string& db, const std::string& name) {
+  Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(db);
+  if (!store.ok()) return Fail(store.status());
+  Result<MDDObject*> obj = (*store)->GetMDD(name);
+  if (!obj.ok()) return Fail(obj.status());
+  std::printf("object:            %s\n", name.c_str());
+  std::printf("cell type:         %s (%zu bytes)\n",
+              std::string((*obj)->cell_type().name()).c_str(),
+              (*obj)->cell_size());
+  std::printf("definition domain: %s\n",
+              (*obj)->definition_domain().ToString().c_str());
+  std::printf("current domain:    %s\n",
+              (*obj)->current_domain().has_value()
+                  ? (*obj)->current_domain()->ToString().c_str()
+                  : "(empty)");
+  std::printf("tiles:             %zu\n", (*obj)->tile_count());
+  uint64_t cells = 0, compressed = 0;
+  for (const TileEntry& entry : (*obj)->AllTiles()) {
+    cells += entry.domain.CellCountOrDie();
+    if (entry.compression != Compression::kNone) ++compressed;
+  }
+  std::printf("cells stored:      %llu (%.1f MiB raw), %llu tiles "
+              "compressed\n",
+              static_cast<unsigned long long>(cells),
+              static_cast<double>(cells * (*obj)->cell_size()) /
+                  (1024 * 1024),
+              static_cast<unsigned long long>(compressed));
+  Status st = (*obj)->Validate();
+  std::printf("tiling invariants: %s\n", st.ok() ? "ok" : st.ToString().c_str());
+  return 0;
+}
+
+int CmdImport(const std::string& db, const std::string& name,
+              const std::string& raw_path, const std::string& domain_text,
+              const std::string& type_name, int argc, char** argv) {
+  Result<MInterval> domain = MInterval::Parse(domain_text);
+  if (!domain.ok()) return Fail(domain.status());
+  Result<CellType> cell_type = CellType::FromName(type_name);
+  if (!cell_type.ok()) return Fail(cell_type.status());
+
+  std::ifstream in(raw_path, std::ios::binary);
+  if (!in) {
+    return Fail(Status::NotFound("cannot open raw file " + raw_path));
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  Result<Array> data = Array::FromBuffer(*domain, *cell_type,
+                                         std::move(bytes));
+  if (!data.ok()) return Fail(data.status());
+
+  Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(db);
+  if (!store.ok()) return Fail(store.status());
+  Result<MDDObject*> obj = (*store)->CreateMDD(name, *domain, *cell_type);
+  if (!obj.ok()) return Fail(obj.status());
+  if (HasFlag(argc, argv, "rle")) {
+    (*obj)->SetCompression(Compression::kRle);
+  }
+
+  const char* max_kb = FlagValue(argc, argv, "max-tile-kb");
+  const uint64_t max_bytes =
+      max_kb != nullptr ? static_cast<uint64_t>(std::atoi(max_kb)) * 1024
+                        : kDefaultMaxTileBytes;
+  TileConfig config = TileConfig::Regular(domain->dim());
+  if (const char* text = FlagValue(argc, argv, "config")) {
+    Result<TileConfig> parsed = TileConfig::Parse(text);
+    if (!parsed.ok()) return Fail(parsed.status());
+    config = std::move(parsed).MoveValue();
+  }
+  Status st = (*obj)->Load(*data, AlignedTiling(config, max_bytes));
+  if (!st.ok()) return Fail(st);
+  st = (*store)->Save();
+  if (!st.ok()) return Fail(st);
+  std::printf("imported %s into '%s' (%zu tiles)\n", raw_path.c_str(),
+              name.c_str(), (*obj)->tile_count());
+  return 0;
+}
+
+int CmdExport(const std::string& db, const std::string& name,
+              const std::string& region_text, const std::string& out_path) {
+  Result<MInterval> region = MInterval::Parse(region_text);
+  if (!region.ok()) return Fail(region.status());
+  Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(db);
+  if (!store.ok()) return Fail(store.status());
+  Result<MDDObject*> obj = (*store)->GetMDD(name);
+  if (!obj.ok()) return Fail(obj.status());
+  Result<Array> data = ReadRegion(store->get(), *obj, *region);
+  if (!data.ok()) return Fail(data.status());
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) return Fail(Status::IOError("cannot open " + out_path));
+  out.write(reinterpret_cast<const char*>(data->data()),
+            static_cast<std::streamsize>(data->size_bytes()));
+  out.flush();
+  if (!out) return Fail(Status::IOError("write to " + out_path + " failed"));
+  std::printf("exported %s of '%s' (%zu bytes) to %s\n",
+              data->domain().ToString().c_str(), name.c_str(),
+              data->size_bytes(), out_path.c_str());
+  return 0;
+}
+
+int CmdQuery(const std::string& db, const std::string& text) {
+  Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(db);
+  if (!store.ok()) return Fail(store.status());
+  RasqlEngine engine(store->get());
+  QueryStats stats;
+  Result<RasqlValue> value = engine.Execute(text, &stats);
+  if (!value.ok()) return Fail(value.status());
+  if (value->is_scalar()) {
+    std::printf("%.10g\n", value->scalar);
+  } else {
+    std::printf("array %s, %llu cells, %zu bytes\n",
+                value->array->domain().ToString().c_str(),
+                static_cast<unsigned long long>(value->array->cell_count()),
+                value->array->size_bytes());
+  }
+  std::fprintf(stderr, "stats: %s\n", stats.ToString().c_str());
+  return 0;
+}
+
+int CmdAdvise(const std::string& db, const std::string& name,
+              const std::string& log_path) {
+  Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(db);
+  if (!store.ok()) return Fail(store.status());
+  Result<MDDObject*> obj = (*store)->GetMDD(name);
+  if (!obj.ok()) return Fail(obj.status());
+  Result<AccessLog> log = AccessLog::LoadFromFile(log_path);
+  if (!log.ok()) return Fail(log.status());
+
+  // Advise against the current domain (definition domains may be
+  // unbounded); an empty object cannot be advised.
+  if (!(*obj)->current_domain().has_value()) {
+    return Fail(Status::InvalidArgument("object '" + name + "' is empty"));
+  }
+  TilingAdvisor advisor;
+  Result<TilingAdvice> advice =
+      advisor.Advise(*(*obj)->current_domain(), log->ToRecords());
+  if (!advice.ok()) return Fail(advice.status());
+  std::printf("object:   %s\n", name.c_str());
+  std::printf("log:      %zu accesses\n", log->size());
+  std::printf("verdict:  %s\n",
+              std::string(WorkloadKindToString(advice->kind)).c_str());
+  std::printf("why:      %s\n", advice->rationale.c_str());
+  Result<TilingSpec> spec = advice->strategy->ComputeTiling(
+      *(*obj)->current_domain(), (*obj)->cell_size());
+  if (spec.ok()) {
+    std::printf("would produce %zu tiles (currently %zu)\n", spec->size(),
+                (*obj)->tile_count());
+  }
+  return 0;
+}
+
+int CmdStats(const std::string& db) {
+  Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(db);
+  if (!store.ok()) return Fail(store.status());
+  PageFile* file = (*store)->page_file();
+  uint64_t tiles = 0, cells = 0;
+  for (const std::string& name : (*store)->ListMDD()) {
+    MDDObject* obj = (*store)->GetMDD(name).value();
+    tiles += obj->tile_count();
+    for (const TileEntry& entry : obj->AllTiles()) {
+      cells += entry.domain.CellCountOrDie();
+    }
+  }
+  std::printf("objects:     %zu\n", (*store)->ListMDD().size());
+  std::printf("tiles:       %llu\n", static_cast<unsigned long long>(tiles));
+  std::printf("cells:       %llu\n", static_cast<unsigned long long>(cells));
+  std::printf("page size:   %u\n", file->page_size());
+  std::printf("pages:       %llu (%llu free)\n",
+              static_cast<unsigned long long>(file->page_count()),
+              static_cast<unsigned long long>(file->free_page_count()));
+  std::printf("file size:   %.1f MiB\n",
+              static_cast<double>(file->page_count()) * file->page_size() /
+                  (1024.0 * 1024.0));
+  return 0;
+}
+
+int CmdDrop(const std::string& db, const std::string& name) {
+  Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(db);
+  if (!store.ok()) return Fail(store.status());
+  Status st = (*store)->DropMDD(name);
+  if (!st.ok()) return Fail(st);
+  st = (*store)->Save();
+  if (!st.ok()) return Fail(st);
+  std::printf("dropped '%s'\n", name.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  const std::string db = argv[2];
+  if (command == "create") return CmdCreate(db);
+  if (command == "ls") return CmdLs(db);
+  if (command == "info" && argc >= 4) return CmdInfo(db, argv[3]);
+  if (command == "import" && argc >= 7) {
+    return CmdImport(db, argv[3], argv[4], argv[5], argv[6], argc - 7,
+                     argv + 7);
+  }
+  if (command == "export" && argc >= 6) {
+    return CmdExport(db, argv[3], argv[4], argv[5]);
+  }
+  if (command == "query" && argc >= 4) return CmdQuery(db, argv[3]);
+  if (command == "advise" && argc >= 5) {
+    return CmdAdvise(db, argv[3], argv[4]);
+  }
+  if (command == "stats") return CmdStats(db);
+  if (command == "drop" && argc >= 4) return CmdDrop(db, argv[3]);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tilestore
+
+int main(int argc, char** argv) { return tilestore::Main(argc, argv); }
