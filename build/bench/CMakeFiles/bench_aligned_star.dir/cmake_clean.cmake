@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aligned_star.dir/bench_aligned_star.cc.o"
+  "CMakeFiles/bench_aligned_star.dir/bench_aligned_star.cc.o.d"
+  "bench_aligned_star"
+  "bench_aligned_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aligned_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aoi.dir/bench_aoi.cc.o"
+  "CMakeFiles/bench_aoi.dir/bench_aoi.cc.o.d"
+  "bench_aoi"
+  "bench_aoi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aoi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

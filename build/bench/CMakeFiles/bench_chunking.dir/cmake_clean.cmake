@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chunking.dir/bench_chunking.cc.o"
+  "CMakeFiles/bench_chunking.dir/bench_chunking.cc.o.d"
+  "bench_chunking"
+  "bench_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_directional.dir/bench_directional.cc.o"
+  "CMakeFiles/bench_directional.dir/bench_directional.cc.o.d"
+  "bench_directional"
+  "bench_directional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_directional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

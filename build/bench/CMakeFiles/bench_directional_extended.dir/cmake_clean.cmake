@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_directional_extended.dir/bench_directional_extended.cc.o"
+  "CMakeFiles/bench_directional_extended.dir/bench_directional_extended.cc.o.d"
+  "bench_directional_extended"
+  "bench_directional_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_directional_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

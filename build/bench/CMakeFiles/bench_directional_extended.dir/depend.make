@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_directional_extended.
+# This may be replaced when dependencies are built.

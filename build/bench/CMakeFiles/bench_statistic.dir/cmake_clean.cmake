@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_statistic.dir/bench_statistic.cc.o"
+  "CMakeFiles/bench_statistic.dir/bench_statistic.cc.o.d"
+  "bench_statistic"
+  "bench_statistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_statistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tilestore_bench_util.dir/common/bench_util.cc.o"
+  "CMakeFiles/tilestore_bench_util.dir/common/bench_util.cc.o.d"
+  "libtilestore_bench_util.a"
+  "libtilestore_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tilestore_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtilestore_bench_util.a"
+)

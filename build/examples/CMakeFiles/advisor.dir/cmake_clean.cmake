@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor.dir/advisor.cpp.o"
+  "CMakeFiles/advisor.dir/advisor.cpp.o.d"
+  "advisor"
+  "advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

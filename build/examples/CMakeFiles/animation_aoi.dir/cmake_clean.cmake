@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animation_aoi.dir/animation_aoi.cpp.o"
+  "CMakeFiles/animation_aoi.dir/animation_aoi.cpp.o.d"
+  "animation_aoi"
+  "animation_aoi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animation_aoi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

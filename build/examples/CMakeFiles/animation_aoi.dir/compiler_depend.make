@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for animation_aoi.
+# This may be replaced when dependencies are built.

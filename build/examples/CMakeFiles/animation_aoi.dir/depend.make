@@ -1,0 +1,2 @@
+# Empty dependencies file for animation_aoi.
+# This may be replaced when dependencies are built.

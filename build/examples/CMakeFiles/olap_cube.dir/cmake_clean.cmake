@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_cube.dir/olap_cube.cpp.o"
+  "CMakeFiles/olap_cube.dir/olap_cube.cpp.o.d"
+  "olap_cube"
+  "olap_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for olap_cube.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statistic_autotiling.dir/statistic_autotiling.cpp.o"
+  "CMakeFiles/statistic_autotiling.dir/statistic_autotiling.cpp.o.d"
+  "statistic_autotiling"
+  "statistic_autotiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statistic_autotiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for statistic_autotiling.
+# This may be replaced when dependencies are built.

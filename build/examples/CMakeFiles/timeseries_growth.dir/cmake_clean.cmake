@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_growth.dir/timeseries_growth.cpp.o"
+  "CMakeFiles/timeseries_growth.dir/timeseries_growth.cpp.o.d"
+  "timeseries_growth"
+  "timeseries_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;tilestore_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_olap_cube "/root/repo/build/examples/olap_cube")
+set_tests_properties(example_olap_cube PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;tilestore_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_animation_aoi "/root/repo/build/examples/animation_aoi")
+set_tests_properties(example_animation_aoi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;tilestore_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_statistic_autotiling "/root/repo/build/examples/statistic_autotiling")
+set_tests_properties(example_statistic_autotiling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;tilestore_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_timeseries_growth "/root/repo/build/examples/timeseries_growth")
+set_tests_properties(example_timeseries_growth PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;tilestore_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_advisor "/root/repo/build/examples/advisor")
+set_tests_properties(example_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;tilestore_example;/root/repo/examples/CMakeLists.txt;0;")

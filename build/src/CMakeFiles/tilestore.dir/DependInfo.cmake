@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/tilestore.dir/common/random.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/tilestore.dir/common/status.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/common/status.cc.o.d"
+  "/root/repo/src/core/aggregate.cc" "src/CMakeFiles/tilestore.dir/core/aggregate.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/core/aggregate.cc.o.d"
+  "/root/repo/src/core/array.cc" "src/CMakeFiles/tilestore.dir/core/array.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/core/array.cc.o.d"
+  "/root/repo/src/core/cell_type.cc" "src/CMakeFiles/tilestore.dir/core/cell_type.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/core/cell_type.cc.o.d"
+  "/root/repo/src/core/linearizer.cc" "src/CMakeFiles/tilestore.dir/core/linearizer.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/core/linearizer.cc.o.d"
+  "/root/repo/src/core/minterval.cc" "src/CMakeFiles/tilestore.dir/core/minterval.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/core/minterval.cc.o.d"
+  "/root/repo/src/core/point.cc" "src/CMakeFiles/tilestore.dir/core/point.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/core/point.cc.o.d"
+  "/root/repo/src/core/region.cc" "src/CMakeFiles/tilestore.dir/core/region.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/core/region.cc.o.d"
+  "/root/repo/src/core/tile.cc" "src/CMakeFiles/tilestore.dir/core/tile.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/core/tile.cc.o.d"
+  "/root/repo/src/index/directory_index.cc" "src/CMakeFiles/tilestore.dir/index/directory_index.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/index/directory_index.cc.o.d"
+  "/root/repo/src/index/packed_rtree.cc" "src/CMakeFiles/tilestore.dir/index/packed_rtree.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/index/packed_rtree.cc.o.d"
+  "/root/repo/src/index/rtree_index.cc" "src/CMakeFiles/tilestore.dir/index/rtree_index.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/index/rtree_index.cc.o.d"
+  "/root/repo/src/mdd/mdd_object.cc" "src/CMakeFiles/tilestore.dir/mdd/mdd_object.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/mdd/mdd_object.cc.o.d"
+  "/root/repo/src/mdd/mdd_store.cc" "src/CMakeFiles/tilestore.dir/mdd/mdd_store.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/mdd/mdd_store.cc.o.d"
+  "/root/repo/src/query/access_log.cc" "src/CMakeFiles/tilestore.dir/query/access_log.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/query/access_log.cc.o.d"
+  "/root/repo/src/query/query_stats.cc" "src/CMakeFiles/tilestore.dir/query/query_stats.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/query/query_stats.cc.o.d"
+  "/root/repo/src/query/range_query.cc" "src/CMakeFiles/tilestore.dir/query/range_query.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/query/range_query.cc.o.d"
+  "/root/repo/src/query/rasql.cc" "src/CMakeFiles/tilestore.dir/query/rasql.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/query/rasql.cc.o.d"
+  "/root/repo/src/query/subaggregate.cc" "src/CMakeFiles/tilestore.dir/query/subaggregate.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/query/subaggregate.cc.o.d"
+  "/root/repo/src/query/tile_scan.cc" "src/CMakeFiles/tilestore.dir/query/tile_scan.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/query/tile_scan.cc.o.d"
+  "/root/repo/src/storage/blob_store.cc" "src/CMakeFiles/tilestore.dir/storage/blob_store.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/storage/blob_store.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/tilestore.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/compression.cc" "src/CMakeFiles/tilestore.dir/storage/compression.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/storage/compression.cc.o.d"
+  "/root/repo/src/storage/disk_model.cc" "src/CMakeFiles/tilestore.dir/storage/disk_model.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/storage/disk_model.cc.o.d"
+  "/root/repo/src/storage/env.cc" "src/CMakeFiles/tilestore.dir/storage/env.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/storage/env.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/CMakeFiles/tilestore.dir/storage/page_file.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/storage/page_file.cc.o.d"
+  "/root/repo/src/tiling/advisor.cc" "src/CMakeFiles/tilestore.dir/tiling/advisor.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/tiling/advisor.cc.o.d"
+  "/root/repo/src/tiling/aligned.cc" "src/CMakeFiles/tilestore.dir/tiling/aligned.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/tiling/aligned.cc.o.d"
+  "/root/repo/src/tiling/areas_of_interest.cc" "src/CMakeFiles/tilestore.dir/tiling/areas_of_interest.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/tiling/areas_of_interest.cc.o.d"
+  "/root/repo/src/tiling/chunking.cc" "src/CMakeFiles/tilestore.dir/tiling/chunking.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/tiling/chunking.cc.o.d"
+  "/root/repo/src/tiling/directional.cc" "src/CMakeFiles/tilestore.dir/tiling/directional.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/tiling/directional.cc.o.d"
+  "/root/repo/src/tiling/ordering.cc" "src/CMakeFiles/tilestore.dir/tiling/ordering.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/tiling/ordering.cc.o.d"
+  "/root/repo/src/tiling/statistic.cc" "src/CMakeFiles/tilestore.dir/tiling/statistic.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/tiling/statistic.cc.o.d"
+  "/root/repo/src/tiling/tile_config.cc" "src/CMakeFiles/tilestore.dir/tiling/tile_config.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/tiling/tile_config.cc.o.d"
+  "/root/repo/src/tiling/tiling.cc" "src/CMakeFiles/tilestore.dir/tiling/tiling.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/tiling/tiling.cc.o.d"
+  "/root/repo/src/tiling/validator.cc" "src/CMakeFiles/tilestore.dir/tiling/validator.cc.o" "gcc" "src/CMakeFiles/tilestore.dir/tiling/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tilestore_bench_tests.dir/bench/bench_util_test.cc.o"
+  "CMakeFiles/tilestore_bench_tests.dir/bench/bench_util_test.cc.o.d"
+  "tilestore_bench_tests"
+  "tilestore_bench_tests.pdb"
+  "tilestore_bench_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tilestore_bench_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tilestore_cli_tests.dir/tools/cli_test.cc.o"
+  "CMakeFiles/tilestore_cli_tests.dir/tools/cli_test.cc.o.d"
+  "tilestore_cli_tests"
+  "tilestore_cli_tests.pdb"
+  "tilestore_cli_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tilestore_cli_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/tilestore_tests.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/result_test.cc" "tests/CMakeFiles/tilestore_tests.dir/common/result_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/common/result_test.cc.o.d"
+  "/root/repo/tests/common/serde_test.cc" "tests/CMakeFiles/tilestore_tests.dir/common/serde_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/common/serde_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/tilestore_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/core/aggregate_test.cc" "tests/CMakeFiles/tilestore_tests.dir/core/aggregate_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/core/aggregate_test.cc.o.d"
+  "/root/repo/tests/core/array_test.cc" "tests/CMakeFiles/tilestore_tests.dir/core/array_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/core/array_test.cc.o.d"
+  "/root/repo/tests/core/cell_type_test.cc" "tests/CMakeFiles/tilestore_tests.dir/core/cell_type_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/core/cell_type_test.cc.o.d"
+  "/root/repo/tests/core/linearizer_test.cc" "tests/CMakeFiles/tilestore_tests.dir/core/linearizer_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/core/linearizer_test.cc.o.d"
+  "/root/repo/tests/core/minterval_property_test.cc" "tests/CMakeFiles/tilestore_tests.dir/core/minterval_property_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/core/minterval_property_test.cc.o.d"
+  "/root/repo/tests/core/minterval_test.cc" "tests/CMakeFiles/tilestore_tests.dir/core/minterval_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/core/minterval_test.cc.o.d"
+  "/root/repo/tests/core/point_test.cc" "tests/CMakeFiles/tilestore_tests.dir/core/point_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/core/point_test.cc.o.d"
+  "/root/repo/tests/core/region_test.cc" "tests/CMakeFiles/tilestore_tests.dir/core/region_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/core/region_test.cc.o.d"
+  "/root/repo/tests/core/tile_test.cc" "tests/CMakeFiles/tilestore_tests.dir/core/tile_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/core/tile_test.cc.o.d"
+  "/root/repo/tests/index/directory_index_test.cc" "tests/CMakeFiles/tilestore_tests.dir/index/directory_index_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/index/directory_index_test.cc.o.d"
+  "/root/repo/tests/index/packed_rtree_test.cc" "tests/CMakeFiles/tilestore_tests.dir/index/packed_rtree_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/index/packed_rtree_test.cc.o.d"
+  "/root/repo/tests/index/rtree_index_test.cc" "tests/CMakeFiles/tilestore_tests.dir/index/rtree_index_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/index/rtree_index_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/tilestore_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/mdd/mdd_object_test.cc" "tests/CMakeFiles/tilestore_tests.dir/mdd/mdd_object_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/mdd/mdd_object_test.cc.o.d"
+  "/root/repo/tests/mdd/mdd_store_test.cc" "tests/CMakeFiles/tilestore_tests.dir/mdd/mdd_store_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/mdd/mdd_store_test.cc.o.d"
+  "/root/repo/tests/mdd/mdd_update_test.cc" "tests/CMakeFiles/tilestore_tests.dir/mdd/mdd_update_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/mdd/mdd_update_test.cc.o.d"
+  "/root/repo/tests/mdd/streaming_load_test.cc" "tests/CMakeFiles/tilestore_tests.dir/mdd/streaming_load_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/mdd/streaming_load_test.cc.o.d"
+  "/root/repo/tests/query/access_log_test.cc" "tests/CMakeFiles/tilestore_tests.dir/query/access_log_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/query/access_log_test.cc.o.d"
+  "/root/repo/tests/query/aggregate_pushdown_test.cc" "tests/CMakeFiles/tilestore_tests.dir/query/aggregate_pushdown_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/query/aggregate_pushdown_test.cc.o.d"
+  "/root/repo/tests/query/query_stats_test.cc" "tests/CMakeFiles/tilestore_tests.dir/query/query_stats_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/query/query_stats_test.cc.o.d"
+  "/root/repo/tests/query/range_query_test.cc" "tests/CMakeFiles/tilestore_tests.dir/query/range_query_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/query/range_query_test.cc.o.d"
+  "/root/repo/tests/query/rasql_fuzz_test.cc" "tests/CMakeFiles/tilestore_tests.dir/query/rasql_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/query/rasql_fuzz_test.cc.o.d"
+  "/root/repo/tests/query/rasql_test.cc" "tests/CMakeFiles/tilestore_tests.dir/query/rasql_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/query/rasql_test.cc.o.d"
+  "/root/repo/tests/query/subaggregate_test.cc" "tests/CMakeFiles/tilestore_tests.dir/query/subaggregate_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/query/subaggregate_test.cc.o.d"
+  "/root/repo/tests/query/tile_scan_test.cc" "tests/CMakeFiles/tilestore_tests.dir/query/tile_scan_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/query/tile_scan_test.cc.o.d"
+  "/root/repo/tests/storage/blob_store_test.cc" "tests/CMakeFiles/tilestore_tests.dir/storage/blob_store_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/storage/blob_store_test.cc.o.d"
+  "/root/repo/tests/storage/buffer_pool_test.cc" "tests/CMakeFiles/tilestore_tests.dir/storage/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/storage/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/storage/compression_test.cc" "tests/CMakeFiles/tilestore_tests.dir/storage/compression_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/storage/compression_test.cc.o.d"
+  "/root/repo/tests/storage/disk_model_test.cc" "tests/CMakeFiles/tilestore_tests.dir/storage/disk_model_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/storage/disk_model_test.cc.o.d"
+  "/root/repo/tests/storage/env_test.cc" "tests/CMakeFiles/tilestore_tests.dir/storage/env_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/storage/env_test.cc.o.d"
+  "/root/repo/tests/storage/failure_injection_test.cc" "tests/CMakeFiles/tilestore_tests.dir/storage/failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/storage/failure_injection_test.cc.o.d"
+  "/root/repo/tests/storage/page_file_test.cc" "tests/CMakeFiles/tilestore_tests.dir/storage/page_file_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/storage/page_file_test.cc.o.d"
+  "/root/repo/tests/tiling/advisor_test.cc" "tests/CMakeFiles/tilestore_tests.dir/tiling/advisor_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/tiling/advisor_test.cc.o.d"
+  "/root/repo/tests/tiling/aligned_test.cc" "tests/CMakeFiles/tilestore_tests.dir/tiling/aligned_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/tiling/aligned_test.cc.o.d"
+  "/root/repo/tests/tiling/areas_of_interest_test.cc" "tests/CMakeFiles/tilestore_tests.dir/tiling/areas_of_interest_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/tiling/areas_of_interest_test.cc.o.d"
+  "/root/repo/tests/tiling/chunking_test.cc" "tests/CMakeFiles/tilestore_tests.dir/tiling/chunking_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/tiling/chunking_test.cc.o.d"
+  "/root/repo/tests/tiling/directional_test.cc" "tests/CMakeFiles/tilestore_tests.dir/tiling/directional_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/tiling/directional_test.cc.o.d"
+  "/root/repo/tests/tiling/ordering_test.cc" "tests/CMakeFiles/tilestore_tests.dir/tiling/ordering_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/tiling/ordering_test.cc.o.d"
+  "/root/repo/tests/tiling/statistic_test.cc" "tests/CMakeFiles/tilestore_tests.dir/tiling/statistic_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/tiling/statistic_test.cc.o.d"
+  "/root/repo/tests/tiling/strategy_conformance_test.cc" "tests/CMakeFiles/tilestore_tests.dir/tiling/strategy_conformance_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/tiling/strategy_conformance_test.cc.o.d"
+  "/root/repo/tests/tiling/tile_config_test.cc" "tests/CMakeFiles/tilestore_tests.dir/tiling/tile_config_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/tiling/tile_config_test.cc.o.d"
+  "/root/repo/tests/tiling/validator_test.cc" "tests/CMakeFiles/tilestore_tests.dir/tiling/validator_test.cc.o" "gcc" "tests/CMakeFiles/tilestore_tests.dir/tiling/validator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tilestore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tilestore_cli.dir/tilestore_cli.cc.o"
+  "CMakeFiles/tilestore_cli.dir/tilestore_cli.cc.o.d"
+  "tilestore_cli"
+  "tilestore_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tilestore_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
