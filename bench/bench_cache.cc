@@ -80,6 +80,37 @@ int Main(int argc, char** argv) {
       "\nexpected: with a pool larger than the working set the steady state "
       "reads zero pages (t_o -> 0); tiny pools thrash and stay disk-bound — "
       "hence the paper-style cold runs clear the pool per query.\n");
+
+  // Warm read-path throughput at parallelism 1/2/4/8 on the same AOI
+  // workload, merged into BENCH_readpath.json for the perf trajectory.
+  {
+    const std::string path = "/tmp/tilestore_bench_cache_readpath.db";
+    (void)RemoveFile(path);
+    MDDStoreOptions options;
+    options.pool_pages = 16384;
+    options.worker_threads = 8;
+    auto store = MDDStore::Create(path, options).MoveValue();
+    MDDObject* object =
+        store->CreateMDD("anim", animation.domain(), animation.cell_type())
+            .value();
+    AreasOfInterestTiling strategy(areas, 256 * 1024);
+    if (!object->Load(animation, strategy).ok()) return 1;
+
+    std::vector<ReadPathSample> samples =
+        MeasureWarmReadPath(store.get(), object, AnimationBodyArea(),
+                            {1, 2, 4, 8}, /*min_queries=*/20, "bench_cache",
+                            "warm_aoi_query");
+    store.reset();
+    (void)RemoveFile(path);
+    if (samples.empty()) return 1;
+    std::printf("\n=== warm-cache read-path throughput ===\n");
+    PrintReadPathSamples(samples);
+    if (!WriteReadPathJson("BENCH_readpath.json", "bench_cache", samples)) {
+      std::fprintf(stderr, "readpath: cannot write BENCH_readpath.json\n");
+      return 1;
+    }
+    std::printf("merged into BENCH_readpath.json\n");
+  }
   return 0;
 }
 

@@ -1,15 +1,23 @@
 // Experiment E12 (DESIGN.md): google-benchmark microbenchmarks of the hot
 // kernels — row-major offset computation, region copy (query
 // post-processing), the tiling algorithms themselves, and index search.
+//
+// The binary additionally measures warm-cache read-path throughput at
+// parallelism 1/2/4/8 and merges the result into BENCH_readpath.json
+// (pass --readpath_only to skip the google-benchmark suites).
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/bench_util.h"
 #include "common/random.h"
 #include "core/linearizer.h"
 #include "index/rtree_index.h"
+#include "storage/env.h"
 #include "tiling/aligned.h"
 #include "tiling/areas_of_interest.h"
 #include "tiling/directional.h"
@@ -116,8 +124,80 @@ void BM_RTreeInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_RTreeInsert);
 
+// ---------------------------------------------------------------------------
+// Warm-cache read-path throughput (BENCH_readpath.json).
+
+/// RLE-friendly 512x512 uint32 array: constant within 32-row bands, so the
+/// stored tiles shrink to a few runs and decode (RLE expansion + result
+/// composition) dominates the warm query — the component the parallel
+/// read path spreads over the worker pool.
+Array MakeBandedArray() {
+  const MInterval domain({{0, 511}, {0, 511}});
+  Array data = Array::Create(domain, CellType::Of(CellTypeId::kUInt32)).value();
+  ForEachPoint(domain, [&](const Point& p) {
+    data.Set<uint32_t>(p, static_cast<uint32_t>(p[0] / 32 * 7 + 1));
+  });
+  return data;
+}
+
+int MeasureReadPath() {
+  const std::string path = "/tmp/tilestore_bench_micro_readpath.db";
+  (void)RemoveFile(path);
+  MDDStoreOptions options;
+  options.pool_pages = 16384;  // entire object stays cached: warm regime
+  options.worker_threads = 8;
+  auto store = MDDStore::Create(path, options).MoveValue();
+
+  Array data = MakeBandedArray();
+  MDDObject* object =
+      store->CreateMDD("banded", data.domain(), data.cell_type()).value();
+  object->SetCompression(Compression::kRle);
+  if (!object->Load(data, AlignedTiling::Regular(2, 64 * 1024)).ok()) {
+    std::fprintf(stderr, "readpath: load failed\n");
+    return 1;
+  }
+
+  std::vector<ReadPathSample> samples =
+      MeasureWarmReadPath(store.get(), object, data.domain(), {1, 2, 4, 8},
+                          /*min_queries=*/20, "bench_micro",
+                          "warm_rle_range_query");
+  store.reset();
+  (void)RemoveFile(path);
+  if (samples.empty()) return 1;
+
+  std::printf("\n=== warm-cache read-path throughput ===\n");
+  PrintReadPathSamples(samples);
+  if (!WriteReadPathJson("BENCH_readpath.json", "bench_micro", samples)) {
+    std::fprintf(stderr, "readpath: cannot write BENCH_readpath.json\n");
+    return 1;
+  }
+  std::printf("merged into BENCH_readpath.json\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace tilestore
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool readpath_only = false;
+  int filtered_argc = 0;
+  std::vector<char*> filtered(argc);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--readpath_only") == 0) {
+      readpath_only = true;
+      continue;
+    }
+    filtered[filtered_argc++] = argv[i];
+  }
+  if (!readpath_only) {
+    benchmark::Initialize(&filtered_argc, filtered.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                               filtered.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return tilestore::bench::MeasureReadPath();
+}

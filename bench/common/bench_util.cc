@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <thread>
 
 #include "common/random.h"
 #include "storage/env.h"
@@ -342,6 +344,111 @@ double FlagDouble(int argc, char** argv, const std::string& name,
                   double def) {
   const char* value = FindFlag(argc, argv, name);
   return (value != nullptr && *value != '\0') ? std::atof(value) : def;
+}
+
+// ---------------------------------------------------------------------------
+// Read-path throughput reporting.
+
+std::vector<ReadPathSample> MeasureWarmReadPath(
+    MDDStore* store, MDDObject* object, const MInterval& region,
+    const std::vector<int>& parallelisms, int min_queries,
+    const std::string& bench, const std::string& workload) {
+  using Clock = std::chrono::steady_clock;
+  const int hardware =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  // Warm the pool (and fault in the worker pool) before timing.
+  {
+    RangeQueryExecutor warm(store);
+    if (!warm.Execute(object, region).ok()) return {};
+  }
+
+  std::vector<ReadPathSample> samples;
+  double serial_qps = 0;
+  for (int parallelism : parallelisms) {
+    RangeQueryOptions options;
+    options.parallelism = parallelism;
+    RangeQueryExecutor executor(store, options);
+
+    int queries = 0;
+    const Clock::time_point start = Clock::now();
+    double elapsed_s = 0;
+    // At least `min_queries` and at least 0.2 s, so fast levels are not
+    // measured from a handful of iterations.
+    while (queries < min_queries || elapsed_s < 0.2) {
+      Result<Array> result = executor.Execute(object, region);
+      if (!result.ok()) {
+        std::fprintf(stderr, "read-path bench query failed: %s\n",
+                     result.status().ToString().c_str());
+        return samples;
+      }
+      ++queries;
+      elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
+    }
+
+    ReadPathSample sample;
+    sample.bench = bench;
+    sample.workload = workload;
+    sample.parallelism = parallelism;
+    sample.queries_per_sec = static_cast<double>(queries) / elapsed_s;
+    sample.hardware_threads = hardware;
+    if (parallelism == 1) serial_qps = sample.queries_per_sec;
+    sample.speedup_vs_serial =
+        serial_qps > 0 ? sample.queries_per_sec / serial_qps : 1.0;
+    samples.push_back(sample);
+  }
+  return samples;
+}
+
+bool WriteReadPathJson(const std::string& path, const std::string& bench,
+                       const std::vector<ReadPathSample>& samples) {
+  // One record per line inside a JSON array, so merging is a line filter:
+  // keep other benches' records, replace this bench's.
+  std::vector<std::string> records;
+  {
+    std::ifstream in(path);
+    std::string line;
+    const std::string mine = "\"bench\": \"" + bench + "\"";
+    while (std::getline(in, line)) {
+      if (line.find("\"bench\"") == std::string::npos) continue;
+      if (line.find(mine) != std::string::npos) continue;
+      while (!line.empty() &&
+             (line.back() == ',' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      records.push_back("  " + line.substr(line.find('{')));
+    }
+  }
+  for (const ReadPathSample& s : samples) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"bench\": \"%s\", \"workload\": \"%s\", "
+                  "\"parallelism\": %d, \"queries_per_sec\": %.3f, "
+                  "\"speedup_vs_serial\": %.3f, \"hardware_threads\": %d}",
+                  s.bench.c_str(), s.workload.c_str(), s.parallelism,
+                  s.queries_per_sec, s.speedup_vs_serial,
+                  s.hardware_threads);
+    records.push_back(buf);
+  }
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    out << records[i] << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return static_cast<bool>(out);
+}
+
+void PrintReadPathSamples(const std::vector<ReadPathSample>& samples) {
+  std::printf("%-12s %-24s %12s %14s %10s\n", "bench", "workload",
+              "parallelism", "queries/sec", "speedup");
+  for (const ReadPathSample& s : samples) {
+    std::printf("%-12s %-24s %12d %14.1f %9.2fx\n", s.bench.c_str(),
+                s.workload.c_str(), s.parallelism, s.queries_per_sec,
+                s.speedup_vs_serial);
+  }
 }
 
 }  // namespace bench

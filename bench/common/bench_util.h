@@ -131,6 +131,39 @@ int FlagInt(int argc, char** argv, const std::string& name, int def);
 bool FlagBool(int argc, char** argv, const std::string& name);
 double FlagDouble(int argc, char** argv, const std::string& name, double def);
 
+// ---------------------------------------------------------------------------
+// Read-path throughput reporting (BENCH_readpath.json).
+
+/// One measured point of the concurrent read path.
+struct ReadPathSample {
+  std::string bench;     // e.g. "bench_micro"
+  std::string workload;  // e.g. "warm_rle_range_query"
+  int parallelism = 1;
+  double queries_per_sec = 0;
+  double speedup_vs_serial = 1.0;
+  /// std::thread::hardware_concurrency() at measurement time — scaling is
+  /// only expected when this exceeds the parallelism level.
+  int hardware_threads = 1;
+};
+
+/// Times warm (fully cached) range queries over `region` at each level of
+/// `parallelisms`, at least `min_queries` queries and 0.2 s per level.
+/// The level `1` entry is the speedup baseline. The pool is warmed with
+/// one serial query first.
+std::vector<ReadPathSample> MeasureWarmReadPath(
+    MDDStore* store, MDDObject* object, const MInterval& region,
+    const std::vector<int>& parallelisms, int min_queries,
+    const std::string& bench, const std::string& workload);
+
+/// Merges `samples` into the JSON report at `path`: the file is a JSON
+/// array with one record per line; existing records of the same bench are
+/// replaced, records of other benches are kept.
+bool WriteReadPathJson(const std::string& path, const std::string& bench,
+                       const std::vector<ReadPathSample>& samples);
+
+/// Prints the samples as a small human-readable table to stdout.
+void PrintReadPathSamples(const std::vector<ReadPathSample>& samples);
+
 }  // namespace bench
 }  // namespace tilestore
 

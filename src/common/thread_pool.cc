@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tilestore {
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<size_t>(hw, 1, 16);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(num_threads, 1);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, fn = std::move(fn)] {
+    fn();
+    // Notify under the lock: Wait() (and hence the group's destruction)
+    // cannot proceed until this worker has released the mutex, so the
+    // condition variable is guaranteed to outlive the notification.
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_;
+    cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace tilestore

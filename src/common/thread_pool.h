@@ -1,0 +1,82 @@
+#ifndef TILESTORE_COMMON_THREAD_POOL_H_
+#define TILESTORE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tilestore {
+
+/// \brief Fixed-size worker pool backing the concurrent read path.
+///
+/// Workers pull tasks from a FIFO queue, so tasks submitted in physical
+/// page order start in (roughly) physical page order — the property the
+/// `TileIOScheduler` relies on to keep batched retrieval sequential-ish on
+/// the modelled disk. The pool is intentionally minimal: no priorities, no
+/// resizing, no futures (callers wanting completion tracking use
+/// `TaskGroup`).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe to call from any thread, including workers.
+  void Submit(std::function<void()> task);
+
+  size_t size() const { return threads_.size(); }
+
+  /// A sensible default worker count for this machine (hardware
+  /// concurrency clamped to [1, 16]).
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// \brief Tracks a batch of tasks submitted to a `ThreadPool` so the
+/// submitter can wait for all of them — the join point of every batched
+/// fetch. With a null pool, `Run` executes inline on the calling thread,
+/// which is exactly the serial (`parallelism = 1`) execution mode.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  /// Not copyable; outstanding tasks hold `this`.
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Waits for stragglers so tasks never outlive the group.
+  ~TaskGroup() { Wait(); }
+
+  /// Schedules `fn` on the pool (or runs it inline without a pool).
+  void Run(std::function<void()> fn);
+
+  /// Blocks until every task passed to `Run` has finished.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_COMMON_THREAD_POOL_H_

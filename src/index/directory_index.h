@@ -1,6 +1,7 @@
 #ifndef TILESTORE_INDEX_DIRECTORY_INDEX_H_
 #define TILESTORE_INDEX_DIRECTORY_INDEX_H_
 
+#include <atomic>
 #include <vector>
 
 #include "index/tile_index.h"
@@ -24,13 +25,17 @@ class DirectoryIndex : public TileIndex {
   Status Insert(const TileEntry& entry) override;
   Status Remove(const MInterval& domain) override;
   std::vector<TileEntry> Search(const MInterval& region) const override;
-  uint64_t last_nodes_visited() const override { return last_nodes_visited_; }
+  uint64_t last_nodes_visited() const override {
+    return last_nodes_visited_.load(std::memory_order_relaxed);
+  }
   size_t size() const override { return entries_.size(); }
   void GetAll(std::vector<TileEntry>* out) const override;
 
  private:
   std::vector<TileEntry> entries_;
-  mutable uint64_t last_nodes_visited_ = 0;
+  // Relaxed atomic: concurrent Search calls may interleave, in which
+  // case the "last" count is whichever search finished last.
+  mutable std::atomic<uint64_t> last_nodes_visited_{0};
 };
 
 }  // namespace tilestore

@@ -233,11 +233,12 @@ Status PackedRTree::Remove(const MInterval& domain) {
 
 std::vector<TileEntry> PackedRTree::Search(const MInterval& region) const {
   std::vector<TileEntry> out;
-  last_nodes_visited_ = 0;
+  uint64_t visited = 0;
+  last_nodes_visited_.store(0, std::memory_order_relaxed);
   if (nodes_.empty()) return out;
 
   if (!nodes_[0].box.Intersects(region) && nodes_[0].count > 0) {
-    last_nodes_visited_ = 1;
+    last_nodes_visited_.store(1, std::memory_order_relaxed);
     return out;
   }
   // Like the dynamic tree, a node counts as visited when its contents are
@@ -246,7 +247,7 @@ std::vector<TileEntry> PackedRTree::Search(const MInterval& region) const {
   while (!stack.empty()) {
     const PackedNode& node = nodes_[stack.back()];
     stack.pop_back();
-    ++last_nodes_visited_;
+    ++visited;
     if (node.leaf) {
       for (uint32_t i = node.first; i < node.first + node.count; ++i) {
         if (entries_[i].domain.Intersects(region)) {
@@ -259,6 +260,7 @@ std::vector<TileEntry> PackedRTree::Search(const MInterval& region) const {
       }
     }
   }
+  last_nodes_visited_.store(visited, std::memory_order_relaxed);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef TILESTORE_INDEX_PACKED_RTREE_H_
 #define TILESTORE_INDEX_PACKED_RTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -40,7 +41,9 @@ class PackedRTree : public TileIndex {
   Status Insert(const TileEntry& entry) override;
   Status Remove(const MInterval& domain) override;
   std::vector<TileEntry> Search(const MInterval& region) const override;
-  uint64_t last_nodes_visited() const override { return last_nodes_visited_; }
+  uint64_t last_nodes_visited() const override {
+    return last_nodes_visited_.load(std::memory_order_relaxed);
+  }
   size_t size() const override { return entries_.size(); }
   void GetAll(std::vector<TileEntry>* out) const override;
 
@@ -58,7 +61,9 @@ class PackedRTree : public TileIndex {
 
   std::vector<PackedNode> nodes_;   // nodes_[0] is the root (if any)
   std::vector<TileEntry> entries_;  // leaf payloads, in packed order
-  mutable uint64_t last_nodes_visited_ = 0;
+  // Relaxed atomic: concurrent Search calls may interleave, in which
+  // case the "last" count is whichever search finished last.
+  mutable std::atomic<uint64_t> last_nodes_visited_{0};
 };
 
 }  // namespace tilestore

@@ -1,6 +1,7 @@
 #ifndef TILESTORE_INDEX_RTREE_INDEX_H_
 #define TILESTORE_INDEX_RTREE_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -35,7 +36,9 @@ class RTreeIndex : public TileIndex {
   Status Insert(const TileEntry& entry) override;
   Status Remove(const MInterval& domain) override;
   std::vector<TileEntry> Search(const MInterval& region) const override;
-  uint64_t last_nodes_visited() const override { return last_nodes_visited_; }
+  uint64_t last_nodes_visited() const override {
+    return last_nodes_visited_.load(std::memory_order_relaxed);
+  }
   size_t size() const override { return size_; }
   void GetAll(std::vector<TileEntry>* out) const override;
 
@@ -53,7 +56,9 @@ class RTreeIndex : public TileIndex {
   size_t min_entries_;
   std::unique_ptr<Node> root_;
   size_t size_ = 0;
-  mutable uint64_t last_nodes_visited_ = 0;
+  // Relaxed atomic: concurrent Search calls may interleave, in which
+  // case the "last" count is whichever search finished last.
+  mutable std::atomic<uint64_t> last_nodes_visited_{0};
 };
 
 }  // namespace tilestore

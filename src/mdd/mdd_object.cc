@@ -3,6 +3,7 @@
 #include "core/region.h"
 #include "index/directory_index.h"
 #include "index/rtree_index.h"
+#include "storage/io_scheduler.h"
 #include "tiling/aligned.h"
 #include "tiling/validator.h"
 
@@ -266,14 +267,9 @@ Status MDDObject::WriteRegion(const Array& data) {
 }
 
 Result<Tile> MDDObject::FetchTile(const TileEntry& entry) const {
-  Result<std::vector<uint8_t>> data = blobs_->Get(entry.blob);
-  if (!data.ok()) return data.status();
-  const size_t raw_size = entry.domain.CellCountOrDie() * cell_size();
-  Result<std::vector<uint8_t>> cells =
-      Decompress(entry.compression, data.value(), raw_size);
-  if (!cells.ok()) return cells.status();
-  return Tile::FromBuffer(entry.domain, cell_type_,
-                          std::move(cells).MoveValue());
+  // One tile through the shared decode pipeline, serial paper-exact mode.
+  TileIOScheduler scheduler(blobs_);
+  return scheduler.FetchOne(entry, cell_type_, /*coalesce=*/false, nullptr);
 }
 
 std::vector<TileEntry> MDDObject::AllTiles() const {

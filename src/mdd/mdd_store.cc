@@ -52,9 +52,38 @@ MDDStore::MDDStore(std::unique_ptr<PageFile> file, MDDStoreOptions options)
   file_->set_disk_model(&disk_model_);
   pool_ = std::make_unique<BufferPool>(file_.get(), options_.pool_pages);
   blobs_ = std::make_unique<BlobStore>(pool_.get());
+  scheduler_ = std::make_unique<TileIOScheduler>(blobs_.get());
 }
 
 MDDStore::~MDDStore() = default;
+
+ThreadPool* MDDStore::thread_pool() {
+  std::call_once(workers_once_, [this] {
+    const size_t n = options_.worker_threads != 0
+                         ? options_.worker_threads
+                         : ThreadPool::DefaultThreadCount();
+    workers_ = std::make_unique<ThreadPool>(n);
+  });
+  return workers_.get();
+}
+
+Result<std::vector<Tile>> MDDStore::FetchTiles(
+    const MDDObject& object, std::span<const TileEntry> entries,
+    int parallelism, TileIOStats* stats) {
+  std::vector<Tile> tiles(entries.size());
+  TileIOOptions io;
+  io.parallelism = parallelism;
+  io.pool = parallelism > 1 ? thread_pool() : nullptr;
+  Status st = scheduler_->FetchBatch(
+      entries, object.cell_type(), io,
+      [&tiles](size_t i, Tile&& tile) {
+        tiles[i] = std::move(tile);
+        return Status::OK();
+      },
+      stats);
+  if (!st.ok()) return st;
+  return tiles;
+}
 
 Result<std::unique_ptr<MDDStore>> MDDStore::Create(const std::string& path,
                                                    MDDStoreOptions options) {

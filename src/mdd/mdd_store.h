@@ -3,15 +3,19 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "mdd/mdd_object.h"
 #include "storage/blob_store.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
+#include "storage/io_scheduler.h"
 #include "storage/page_file.h"
 
 namespace tilestore {
@@ -25,6 +29,10 @@ struct MDDStoreOptions {
   IndexKind index_kind = IndexKind::kRTree;
   /// Disk cost model parameters (attached to the page file).
   DiskParams disk_params;
+  /// Fixed worker-pool size for the concurrent read path; 0 picks a
+  /// machine default (hardware concurrency, clamped to 16). The pool is
+  /// created lazily on first parallel fetch.
+  size_t worker_threads = 0;
 };
 
 /// \brief The database of MDD objects: one page file holding tile BLOBs
@@ -63,6 +71,21 @@ class MDDStore {
   /// Persists the catalog and flushes the page file.
   Status Save();
 
+  /// Batched tile retrieval through the `TileIOScheduler`: fetches every
+  /// entry (typically an index probe's hits) and returns the decoded tiles
+  /// in the same order as `entries`. `parallelism = 1` runs the exact
+  /// serial tile-at-a-time path; higher values coalesce page runs and
+  /// spread decode over the worker pool. The read path is thread-safe, so
+  /// concurrent callers may overlap.
+  Result<std::vector<Tile>> FetchTiles(const MDDObject& object,
+                                       std::span<const TileEntry> entries,
+                                       int parallelism = 1,
+                                       TileIOStats* stats = nullptr);
+
+  /// The worker pool behind parallel fetches (created on first use).
+  ThreadPool* thread_pool();
+
+  TileIOScheduler* io_scheduler() { return scheduler_.get(); }
   BlobStore* blob_store() { return blobs_.get(); }
   BufferPool* buffer_pool() { return pool_.get(); }
   PageFile* page_file() { return file_.get(); }
@@ -81,6 +104,9 @@ class MDDStore {
   std::unique_ptr<PageFile> file_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BlobStore> blobs_;
+  std::unique_ptr<TileIOScheduler> scheduler_;
+  std::once_flag workers_once_;
+  std::unique_ptr<ThreadPool> workers_;
   std::map<std::string, std::unique_ptr<MDDObject>> objects_;
 };
 

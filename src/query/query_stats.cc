@@ -13,12 +13,17 @@ void QueryStats::Add(const QueryStats& other) {
   result_cells += other.result_cells;
   result_bytes += other.result_bytes;
   useful_bytes += other.useful_bytes;
+  parallelism = parallelism > other.parallelism ? parallelism
+                                                : other.parallelism;
+  io_runs += other.io_runs;
+  prefetch_hits += other.prefetch_hits;
   t_ix_model_ms += other.t_ix_model_ms;
   t_o_model_ms += other.t_o_model_ms;
   t_cpu_model_ms += other.t_cpu_model_ms;
   t_ix_measured_ms += other.t_ix_measured_ms;
   t_o_measured_ms += other.t_o_measured_ms;
   t_cpu_measured_ms += other.t_cpu_measured_ms;
+  t_o_wall_ms += other.t_o_wall_ms;
 }
 
 void QueryStats::DivideBy(uint64_t n) {
@@ -31,6 +36,8 @@ void QueryStats::DivideBy(uint64_t n) {
   result_cells /= n;
   result_bytes /= n;
   useful_bytes /= n;
+  io_runs /= n;
+  prefetch_hits /= n;
   const double dn = static_cast<double>(n);
   t_ix_model_ms /= dn;
   t_o_model_ms /= dn;
@@ -38,6 +45,7 @@ void QueryStats::DivideBy(uint64_t n) {
   t_ix_measured_ms /= dn;
   t_o_measured_ms /= dn;
   t_cpu_measured_ms /= dn;
+  t_o_wall_ms /= dn;
 }
 
 std::string QueryStats::ToString() const {

@@ -46,6 +46,17 @@ struct QueryStats {
   /// tiling minimizes.
   uint64_t useful_bytes = 0;
 
+  // Concurrent read-path breakdown.
+  /// Worker parallelism used for tile retrieval (1 = the serial
+  /// paper-exact path).
+  uint64_t parallelism = 1;
+  /// Coalesced physical read runs issued by the `TileIOScheduler`; 0 on
+  /// the serial path, which reads page by page.
+  uint64_t io_runs = 0;
+  /// TileScan only: `Next()` calls whose tile had already been fetched by
+  /// the prefetch window when the cursor arrived.
+  uint64_t prefetch_hits = 0;
+
   // Model times (ms).
   double t_ix_model_ms = 0;
   double t_o_model_ms = 0;
@@ -59,6 +70,11 @@ struct QueryStats {
   double t_ix_measured_ms = 0;
   double t_o_measured_ms = 0;
   double t_cpu_measured_ms = 0;
+  /// Wall clock of the whole retrieval phase. Equals `t_o_measured_ms` on
+  /// the serial path; under parallelism the summed per-tile time
+  /// (`t_o_measured_ms`) exceeds this — their ratio is the effective
+  /// retrieval overlap.
+  double t_o_wall_ms = 0;
   double total_access_measured_ms() const {
     return t_ix_measured_ms + t_o_measured_ms;
   }

@@ -1,8 +1,13 @@
 #include "query/range_query.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <limits>
+#include <optional>
+
+#include "core/region.h"
+#include "storage/io_scheduler.h"
 
 namespace tilestore {
 
@@ -74,6 +79,8 @@ Result<Array> RangeQueryExecutor::Execute(MDDObject* object,
   const uint64_t seeks_before = disk->read_seeks();
 
   QueryStats local;
+  const int parallelism = std::max(options_.parallelism, 1);
+  local.parallelism = static_cast<uint64_t>(parallelism);
 
   // Phase 1 (t_ix): probe the tile index.
   const Clock::time_point ix_start = Clock::now();
@@ -90,47 +97,119 @@ Result<Array> RangeQueryExecutor::Execute(MDDObject* object,
             [](const TileEntry& a, const TileEntry& b) {
               return a.blob < b.blob;
             });
-  const Clock::time_point o_start = Clock::now();
-  std::vector<Tile> tiles;
-  tiles.reserve(hits.size());
-  for (const TileEntry& entry : hits) {
-    Result<Tile> tile = object->FetchTile(entry);
-    if (!tile.ok()) return tile.status();
-    tiles.push_back(std::move(tile).MoveValue());
-  }
-  local.t_o_measured_ms = ElapsedMs(o_start);
-  local.t_o_model_ms = disk->read_ms() - disk_ms_before;
-  local.pages_read = disk->pages_read() - pages_before;
-  local.seeks = disk->read_seeks() - seeks_before;
-  local.tiles_accessed = tiles.size();
-  for (const Tile& tile : tiles) {
-    local.tile_bytes_read += tile.size_bytes();
+
+  TileIOStats io;
+  if (parallelism <= 1) {
+    // Serial path: fetch everything, then compose — the paper's pipeline,
+    // bit-identical in storage behavior and model cost to the original
+    // tile-at-a-time loop.
+    const Clock::time_point o_start = Clock::now();
+    Result<std::vector<Tile>> tiles_or =
+        store_->FetchTiles(*object, hits, /*parallelism=*/1, &io);
+    if (!tiles_or.ok()) return tiles_or.status();
+    const std::vector<Tile>& tiles = tiles_or.value();
+    local.t_o_measured_ms = ElapsedMs(o_start);
+    local.t_o_wall_ms = local.t_o_measured_ms;
+    local.t_o_model_ms = disk->read_ms() - disk_ms_before;
+    local.pages_read = disk->pages_read() - pages_before;
+    local.seeks = disk->read_seeks() - seeks_before;
+    local.io_runs = io.coalesced_runs;
+    local.tiles_accessed = tiles.size();
+    for (const Tile& tile : tiles) {
+      local.tile_bytes_read += tile.size_bytes();
+    }
+
+    // Phase 3 (t_cpu): compose the tile parts into the result array.
+    const Clock::time_point cpu_start = Clock::now();
+    Result<Array> result_or = Array::Create(resolved, object->cell_type());
+    if (!result_or.ok()) return result_or.status();
+    Array result = std::move(result_or).MoveValue();
+    // Start from the default value; covered parts are overwritten below.
+    // (Cheap relative to the copies; covered-only fill would complicate
+    // the kernel for no measurable gain at tile granularity.)
+    Status st = result.Fill(resolved, object->default_cell().data());
+    if (!st.ok()) return st;
+    for (const Tile& tile : tiles) {
+      const std::optional<MInterval> part =
+          tile.domain().Intersection(resolved);
+      if (!part.has_value()) continue;  // cannot happen for index hits
+      st = result.CopyFrom(tile, *part);
+      if (!st.ok()) return st;
+      local.useful_bytes += part->CellCountOrDie() * object->cell_size();
+    }
+    local.t_cpu_measured_ms = ElapsedMs(cpu_start);
+
+    local.result_cells = resolved.CellCountOrDie();
+    local.result_bytes = local.result_cells * object->cell_size();
+    // t_cpu model: every retrieved byte passes through the composition
+    // layer once, plus a fixed dispatch overhead per tile.
+    local.t_cpu_model_ms =
+        static_cast<double>(local.tile_bytes_read) /
+            (options_.cost.cpu_process_mib_per_s * 1024.0 * 1024.0) * 1000.0 +
+        static_cast<double>(local.tiles_accessed) *
+            options_.cost.per_tile_cpu_ms;
+
+    if (stats != nullptr) *stats = local;
+    return result;
   }
 
-  // Phase 3 (t_cpu): compose the tile parts into the result array.
-  const Clock::time_point cpu_start = Clock::now();
+  // Parallel path: allocate the result up front and default-fill only the
+  // pieces no tile covers (the serial path fills everything and then
+  // overwrites the covered parts — same bytes, more traffic), then fuse
+  // fetch + decode + composition in the scheduler's consume callback.
+  // Tiles are disjoint, so workers compose into disjoint cell ranges of
+  // the result buffer; the result is byte-identical to the serial path.
+  const Clock::time_point prep_start = Clock::now();
   Result<Array> result_or = Array::Create(resolved, object->cell_type());
   if (!result_or.ok()) return result_or.status();
   Array result = std::move(result_or).MoveValue();
-  // Start from the default value; covered parts are overwritten below.
-  // (Cheap relative to the copies; covered-only fill would complicate the
-  // kernel for no measurable gain at tile granularity.)
-  Status st = result.Fill(resolved, object->default_cell().data());
-  if (!st.ok()) return st;
-  for (const Tile& tile : tiles) {
+  std::vector<MInterval> covered;
+  covered.reserve(hits.size());
+  for (const TileEntry& entry : hits) {
     const std::optional<MInterval> part =
-        tile.domain().Intersection(resolved);
-    if (!part.has_value()) continue;  // cannot happen for index hits
-    st = result.CopyFrom(tile, *part);
-    if (!st.ok()) return st;
-    local.useful_bytes += part->CellCountOrDie() * object->cell_size();
+        entry.domain.Intersection(resolved);
+    if (part.has_value()) covered.push_back(*part);
   }
-  local.t_cpu_measured_ms = ElapsedMs(cpu_start);
+  Status st = Status::OK();
+  for (const MInterval& piece : Subtract(resolved, covered)) {
+    st = result.Fill(piece, object->default_cell().data());
+    if (!st.ok()) return st;
+  }
+  const double prep_ms = ElapsedMs(prep_start);
+
+  std::atomic<uint64_t> useful_bytes{0};
+  const size_t cell_size = object->cell_size();
+  TileIOOptions io_options;
+  io_options.parallelism = parallelism;
+  io_options.pool = store_->thread_pool();
+  st = store_->io_scheduler()->FetchBatch(
+      hits, object->cell_type(), io_options,
+      [&](size_t, Tile&& tile) -> Status {
+        const std::optional<MInterval> part =
+            tile.domain().Intersection(resolved);
+        if (!part.has_value()) return Status::OK();
+        Status copy = result.CopyFrom(tile, *part);
+        if (!copy.ok()) return copy;
+        useful_bytes.fetch_add(part->CellCountOrDie() * cell_size,
+                               std::memory_order_relaxed);
+        return Status::OK();
+      },
+      &io);
+  if (!st.ok()) return st;
+
+  local.t_o_measured_ms = io.io_summed_ms;
+  local.t_o_wall_ms = io.wall_ms;
+  local.t_cpu_measured_ms = prep_ms + io.decode_summed_ms;
+  local.t_o_model_ms = disk->read_ms() - disk_ms_before;
+  local.pages_read = disk->pages_read() - pages_before;
+  local.seeks = disk->read_seeks() - seeks_before;
+  local.io_runs = io.coalesced_runs;
+  local.tiles_accessed = io.tiles;
+  local.tile_bytes_read = io.tile_bytes;
+  local.useful_bytes = useful_bytes.load(std::memory_order_relaxed);
 
   local.result_cells = resolved.CellCountOrDie();
   local.result_bytes = local.result_cells * object->cell_size();
-  // t_cpu model: every retrieved byte passes through the composition layer
-  // once, plus a fixed dispatch overhead per tile.
   local.t_cpu_model_ms =
       static_cast<double>(local.tile_bytes_read) /
           (options_.cost.cpu_process_mib_per_s * 1024.0 * 1024.0) * 1000.0 +
@@ -161,6 +240,8 @@ Result<double> RangeQueryExecutor::ExecuteAggregate(MDDObject* object,
   const uint64_t seeks_before = disk->read_seeks();
 
   QueryStats local;
+  const int parallelism = std::max(options_.parallelism, 1);
+  local.parallelism = static_cast<uint64_t>(parallelism);
 
   // Phase 1 (t_ix): probe the tile index.
   const Clock::time_point ix_start = Clock::now();
@@ -175,55 +256,75 @@ Result<double> RangeQueryExecutor::ExecuteAggregate(MDDObject* object,
               return a.blob < b.blob;
             });
 
-  // Phases 2+3 interleaved: fetch each tile (t_o), fold its intersecting
-  // part into the running aggregate (t_cpu), then discard it.
+  // Phases 2+3 fused in the scheduler's consume callback: each tile is
+  // fetched (t_o), its intersecting part condensed into a per-tile partial
+  // (t_cpu), then discarded — peak memory stays at `parallelism` tiles.
+  // Partials are folded serially afterwards in ascending BLOB-id order, so
+  // the floating-point accumulation order — and hence the result — is
+  // identical at every parallelism.
+  struct TilePartial {
+    double value = 0;
+    uint64_t cells = 0;
+  };
+  std::vector<TilePartial> partials(hits.size());
+  const AggregateOp tile_op =
+      op == AggregateOp::kAvg ? AggregateOp::kSum : op;
+
+  TileIOStats io;
+  TileIOOptions io_options;
+  io_options.parallelism = parallelism;
+  io_options.pool = parallelism > 1 ? store_->thread_pool() : nullptr;
+  Status st = store_->io_scheduler()->FetchBatch(
+      hits, object->cell_type(), io_options,
+      [&](size_t i, Tile&& tile) -> Status {
+        const std::optional<MInterval> part =
+            tile.domain().Intersection(resolved);
+        Result<Array> slice = tile.Slice(*part);
+        if (!slice.ok()) return slice.status();
+        // Condense via the primitive reductions; kAvg folds as a running
+        // sum.
+        Result<double> value = AggregateCells(*slice, tile_op);
+        if (!value.ok()) return value.status();
+        partials[i] = TilePartial{*value, part->CellCountOrDie()};
+        return Status::OK();
+      },
+      &io);
+  if (!st.ok()) return st;
+
+  local.t_o_measured_ms = io.io_summed_ms;
+  local.t_o_wall_ms = io.wall_ms;
+  local.t_o_model_ms = disk->read_ms() - disk_ms_before;
+  local.pages_read = disk->pages_read() - pages_before;
+  local.seeks = disk->read_seeks() - seeks_before;
+  local.io_runs = io.coalesced_runs;
+  local.tiles_accessed = io.tiles;
+  local.tile_bytes_read = io.tile_bytes;
+
+  const Clock::time_point fold_start = Clock::now();
   double sum = 0;
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
   double nonzero = 0;
   uint64_t covered_cells = 0;
-
-  for (const TileEntry& entry : hits) {
-    const Clock::time_point o_start = Clock::now();
-    Result<Tile> tile = object->FetchTile(entry);
-    if (!tile.ok()) return tile.status();
-    local.t_o_measured_ms += ElapsedMs(o_start);
-    local.tile_bytes_read += tile->size_bytes();
-    ++local.tiles_accessed;
-
-    const Clock::time_point cpu_start = Clock::now();
-    const std::optional<MInterval> part =
-        tile->domain().Intersection(resolved);
-    Result<Array> slice = tile->Slice(*part);
-    if (!slice.ok()) return slice.status();
-    const uint64_t cells = part->CellCountOrDie();
-    covered_cells += cells;
-    local.useful_bytes += cells * object->cell_size();
-
-    // Fold via the primitive reductions; kAvg folds as a running sum.
-    Result<double> value = AggregateCells(
-        *slice, op == AggregateOp::kAvg ? AggregateOp::kSum : op);
-    if (!value.ok()) return value.status();
+  for (const TilePartial& partial : partials) {
+    covered_cells += partial.cells;
+    local.useful_bytes += partial.cells * object->cell_size();
     switch (op) {
       case AggregateOp::kSum:
       case AggregateOp::kAvg:
-        sum += *value;
+        sum += partial.value;
         break;
       case AggregateOp::kMin:
-        min = std::min(min, *value);
+        min = std::min(min, partial.value);
         break;
       case AggregateOp::kMax:
-        max = std::max(max, *value);
+        max = std::max(max, partial.value);
         break;
       case AggregateOp::kCount:
-        nonzero += *value;
+        nonzero += partial.value;
         break;
     }
-    local.t_cpu_measured_ms += ElapsedMs(cpu_start);
   }
-  local.t_o_model_ms = disk->read_ms() - disk_ms_before;
-  local.pages_read = disk->pages_read() - pages_before;
-  local.seeks = disk->read_seeks() - seeks_before;
 
   // Fold uncovered cells (the default value).
   const uint64_t total_cells = resolved.CellCountOrDie();
@@ -250,6 +351,7 @@ Result<double> RangeQueryExecutor::ExecuteAggregate(MDDObject* object,
         break;
     }
   }
+  local.t_cpu_measured_ms = io.decode_summed_ms + ElapsedMs(fold_start);
 
   local.result_cells = total_cells;
   local.result_bytes = sizeof(double);  // a scalar comes back

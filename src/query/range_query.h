@@ -18,6 +18,14 @@ struct RangeQueryOptions {
   /// executing, so t_o reflects physical retrieval — the regime the paper
   /// measures. Warm runs (default) use whatever is cached.
   bool cold = false;
+  /// Tile retrieval parallelism. 1 (default) is the serial tile-at-a-time
+  /// path whose results, counters, and model costs are bit-identical to
+  /// the pre-scheduler implementation. Higher values fetch through the
+  /// `TileIOScheduler`: page runs are coalesced and decode/composition
+  /// spread over the store's worker pool. Results are byte-identical at
+  /// any parallelism; only wall-clock (and, for cold runs, the seek
+  /// interleaving recorded by the shared disk model) varies.
+  int parallelism = 1;
   /// Cost model parameters for t_ix / t_cpu (see CostParams).
   CostParams cost;
   /// Optional access log: every executed query region is recorded, to be
@@ -47,10 +55,12 @@ class RangeQueryExecutor {
                         QueryStats* stats = nullptr);
 
   /// Aggregation push-down: condenses `region` with `op` without ever
-  /// materializing the result array — tiles are fetched one at a time (in
-  /// physical order) and folded immediately, so peak memory is one tile
-  /// regardless of the region size. Uncovered cells contribute the
-  /// object's default value. Numeric cell types only.
+  /// materializing the result array — tiles are fetched in physical order
+  /// and condensed into per-tile partials immediately, so peak memory is
+  /// `parallelism` tiles regardless of the region size. Partials are
+  /// folded serially in fetch order, so the result is bit-identical at
+  /// every parallelism. Uncovered cells contribute the object's default
+  /// value. Numeric cell types only.
   Result<double> ExecuteAggregate(MDDObject* object, const MInterval& region,
                                   AggregateOp op,
                                   QueryStats* stats = nullptr);

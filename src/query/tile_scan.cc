@@ -1,8 +1,11 @@
 #include "query/tile_scan.h"
 
 #include <algorithm>
+#include <chrono>
+#include <utility>
 
 #include "query/range_query.h"
+#include "storage/io_scheduler.h"
 
 namespace tilestore {
 
@@ -19,8 +22,23 @@ Status TileScan::Begin(const MInterval& region) {
               return a.blob < b.blob;
             });
   next_ = 0;
+  issued_ = 0;
+  prefetch_hits_ = 0;
+  // Abandoned futures are safe: each worker owns its promise and simply
+  // completes a result nobody reads.
+  window_.clear();
   begun_ = true;
+  FillWindow();
   return Status::OK();
+}
+
+void TileScan::FillWindow() {
+  if (options_.prefetch == 0) return;
+  while (window_.size() < options_.prefetch && issued_ < hits_.size()) {
+    window_.push_back(store_->io_scheduler()->FetchAsync(
+        hits_[issued_], object_->cell_type(), store_->thread_pool()));
+    ++issued_;
+  }
 }
 
 Result<bool> TileScan::Next() {
@@ -28,11 +46,29 @@ Result<bool> TileScan::Next() {
     return Status::InvalidArgument("TileScan::Next called before Begin");
   }
   if (next_ >= hits_.size()) return false;
-  const TileEntry& entry = hits_[next_++];
-  Result<Tile> tile = object_->FetchTile(entry);
+
+  if (options_.prefetch == 0) {
+    // Serial paper-exact path: on-demand fetch by the calling thread.
+    const TileEntry& entry = hits_[next_++];
+    Result<Tile> tile = object_->FetchTile(entry);
+    if (!tile.ok()) return tile.status();
+    tile_ = std::move(tile).MoveValue();
+    // Index hits always intersect the region.
+    part_ = *tile_.domain().Intersection(region_);
+    return true;
+  }
+
+  std::future<Result<Tile>> front = std::move(window_.front());
+  window_.pop_front();
+  if (front.wait_for(std::chrono::seconds(0)) ==
+      std::future_status::ready) {
+    ++prefetch_hits_;
+  }
+  Result<Tile> tile = front.get();
   if (!tile.ok()) return tile.status();
+  ++next_;
+  FillWindow();
   tile_ = std::move(tile).MoveValue();
-  // Index hits always intersect the region.
   part_ = *tile_.domain().Intersection(region_);
   return true;
 }

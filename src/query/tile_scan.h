@@ -1,6 +1,9 @@
 #ifndef TILESTORE_QUERY_TILE_SCAN_H_
 #define TILESTORE_QUERY_TILE_SCAN_H_
 
+#include <cstdint>
+#include <deque>
+#include <future>
 #include <vector>
 
 #include "common/result.h"
@@ -10,6 +13,17 @@
 
 namespace tilestore {
 
+/// Execution options for a tile scan.
+struct TileScanOptions {
+  /// Tiles fetched ahead of the cursor on the store's worker pool. 0
+  /// (default) is the serial paper-exact path: each tile is read on demand
+  /// by the calling thread, with storage behavior and model cost identical
+  /// to the pre-scheduler implementation. With K > 0, up to K decoded
+  /// tiles are kept in flight behind the cursor, so consumer processing
+  /// overlaps retrieval.
+  size_t prefetch = 0;
+};
+
 /// \brief Streaming cursor over the tiles a range query touches.
 ///
 /// For workloads that process tiles one at a time (user-defined
@@ -18,7 +32,7 @@ namespace tilestore {
 /// as `RangeQueryExecutor` — resolve the region, probe the index, fetch
 /// BLOBs in physical order — but hands each tile (and its intersection
 /// with the region) to the caller as soon as it is read, keeping peak
-/// memory at one tile:
+/// memory at one tile (1 + `prefetch` tiles when prefetching):
 ///
 ///   TileScan scan(store, object);
 ///   TILESTORE_RETURN_IF_ERROR(scan.Begin(region));
@@ -33,11 +47,13 @@ namespace tilestore {
 /// (`Subtract` in core/region.h) and use the object's default cell value.
 class TileScan {
  public:
-  TileScan(MDDStore* store, MDDObject* object)
-      : store_(store), object_(object) {}
+  TileScan(MDDStore* store, MDDObject* object,
+           TileScanOptions options = TileScanOptions())
+      : store_(store), object_(object), options_(options) {}
 
   /// Resolves `region` ('*' bounds allowed) and probes the index. May be
-  /// called again to restart with a new region.
+  /// called again to restart with a new region (any in-flight prefetches
+  /// of the previous scan are abandoned).
   Status Begin(const MInterval& region);
 
   /// Fetches the next intersecting tile. Returns false when the scan is
@@ -52,16 +68,28 @@ class TileScan {
   const MInterval& region() const { return region_; }
   /// Tiles remaining to fetch (including the current position).
   size_t remaining() const { return hits_.size() - next_; }
+  /// Next() calls whose tile the prefetch window had already decoded when
+  /// the cursor arrived (0 on the serial path).
+  uint64_t prefetch_hits() const { return prefetch_hits_; }
 
  private:
+  /// Tops the window up to `options_.prefetch` in-flight fetches.
+  void FillWindow();
+
   MDDStore* store_;
   MDDObject* object_;
+  TileScanOptions options_;
   MInterval region_;
   std::vector<TileEntry> hits_;
   size_t next_ = 0;
   Tile tile_;
   MInterval part_;
   bool begun_ = false;
+  /// Prefetch window: futures for hits_[next_ .. next_ + window_.size()).
+  std::deque<std::future<Result<Tile>>> window_;
+  /// Index of the first hit not yet handed to the window.
+  size_t issued_ = 0;
+  uint64_t prefetch_hits_ = 0;
 };
 
 }  // namespace tilestore

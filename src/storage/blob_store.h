@@ -15,6 +15,17 @@ namespace tilestore {
 using BlobId = uint64_t;
 inline constexpr BlobId kInvalidBlobId = 0;
 
+/// Read-path accounting for one BLOB retrieval (see `GetCoalesced`).
+struct BlobReadStats {
+  /// Coalesced physical reads issued (cache hits issue none).
+  uint64_t physical_runs = 0;
+  /// Chain pages touched (cached or physical).
+  uint64_t pages = 0;
+  /// True when the page chain was not consecutive and the read fell back
+  /// to pointer walking for the tail.
+  bool fell_back = false;
+};
+
 /// \brief Variable-length BLOBs on top of the page file — the storage
 /// abstraction the paper assumes ("cells of each tile are stored in a
 /// separate BLOB", Section 5).
@@ -26,7 +37,9 @@ inline constexpr BlobId kInvalidBlobId = 0;
 /// reads back with one seek plus sequential transfer — the behaviour the
 /// disk model is calibrated for.
 ///
-/// All I/O goes through the `BufferPool` handed to the constructor.
+/// All I/O goes through the `BufferPool` handed to the constructor. `Get`
+/// and `GetCoalesced` are thread-safe (they only read); `Put` and `Delete`
+/// belong to the single-writer load/update path.
 class BlobStore {
  public:
   explicit BlobStore(BufferPool* pool);
@@ -35,8 +48,20 @@ class BlobStore {
   Result<BlobId> Put(const std::vector<uint8_t>& data);
   Result<BlobId> Put(const uint8_t* data, size_t size);
 
-  /// Reads a BLOB back in full.
+  /// Reads a BLOB back in full, one page at a time (the paper-exact cost
+  /// path: every chain page is a separate pool access).
   Result<std::vector<uint8_t>> Get(BlobId id);
+
+  /// Reads a BLOB back in full, speculating that its chain occupies
+  /// consecutive pages (true for freshly `Put` BLOBs): all continuation
+  /// pages are fetched with one coalesced `BufferPool::ReadRun`, then the
+  /// chain pointers are verified. On a chain jump the tail is re-walked
+  /// pointer by pointer — correctness never depends on the speculation,
+  /// only the run count does. Total disk-model cost equals `Get` for
+  /// consecutive chains; fragmented chains may charge extra for the
+  /// speculatively read pages.
+  Result<std::vector<uint8_t>> GetCoalesced(BlobId id,
+                                            BlobReadStats* stats = nullptr);
 
   /// Payload size of a BLOB without reading the payload.
   Result<uint64_t> Size(BlobId id);
@@ -49,6 +74,9 @@ class BlobStore {
   size_t continuation_capacity() const;
 
  private:
+  Result<std::vector<uint8_t>> GetImpl(BlobId id, bool coalesce,
+                                       BlobReadStats* stats);
+
   BufferPool* pool_;
 };
 

@@ -4,62 +4,148 @@
 
 namespace tilestore {
 
-BufferPool::BufferPool(PageFile* file, size_t capacity_pages)
-    : file_(file), capacity_(capacity_pages) {}
+namespace {
 
-void BufferPool::Touch(LruList::iterator it) {
-  lru_.splice(lru_.begin(), lru_, it);
+// Pools with at least kStripeThreshold pages get kMaxShards stripes;
+// smaller pools use one shard so per-shard capacities stay meaningful and
+// eviction order matches the classic single-LRU semantics exactly.
+constexpr size_t kMaxShards = 8;
+constexpr size_t kStripeThreshold = 256;
+
+}  // namespace
+
+BufferPool::BufferPool(PageFile* file, size_t capacity_pages)
+    : file_(file), capacity_(capacity_pages) {
+  const size_t shards = capacity_ >= kStripeThreshold ? kMaxShards : 1;
+  shard_capacity_ = capacity_ / shards;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool BufferPool::TryReadCached(PageId id, uint8_t* out) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(id);
+  if (it == shard.map.end()) return false;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  std::memcpy(out, it->second->data.data(), file_->page_size());
+  return true;
 }
 
 void BufferPool::InsertEntry(PageId id, const uint8_t* data) {
   if (capacity_ == 0) return;
-  while (lru_.size() >= capacity_) {
-    map_.erase(lru_.back().id);
-    lru_.pop_back();
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(id);
+  if (it != shard.map.end()) {
+    std::memcpy(it->second->data.data(), data, file_->page_size());
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
   }
-  lru_.push_front(Entry{id, std::vector<uint8_t>(
-                                data, data + file_->page_size())});
-  map_[id] = lru_.begin();
+  while (shard.lru.size() >= shard_capacity_ && !shard.lru.empty()) {
+    shard.map.erase(shard.lru.back().id);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (shard_capacity_ == 0) return;
+  shard.lru.push_front(Entry{
+      id, std::vector<uint8_t>(data, data + file_->page_size())});
+  shard.map[id] = shard.lru.begin();
 }
 
 Status BufferPool::ReadPage(PageId id, uint8_t* out) {
-  auto it = map_.find(id);
-  if (it != map_.end()) {
-    ++hits_;
-    Touch(it->second);
-    std::memcpy(out, it->second->data.data(), file_->page_size());
-    return Status::OK();
-  }
-  ++misses_;
+  if (TryReadCached(id, out)) return Status::OK();
+  misses_.fetch_add(1, std::memory_order_relaxed);
   Status st = file_->ReadPage(id, out);
   if (!st.ok()) return st;
   InsertEntry(id, out);
   return Status::OK();
 }
 
+Status BufferPool::ReadRun(PageId first, uint64_t count, uint8_t* out,
+                           uint64_t* physical_runs) {
+  const size_t page_size = file_->page_size();
+  uint64_t runs = 0;
+  // Pending span of consecutive cache misses, flushed as one physical read.
+  uint64_t span_begin = 0;
+  uint64_t span_len = 0;
+  auto flush_span = [&]() -> Status {
+    if (span_len == 0) return Status::OK();
+    uint8_t* dst = out + span_begin * page_size;
+    Status st = file_->ReadRun(first + span_begin, span_len, dst);
+    if (!st.ok()) return st;
+    misses_.fetch_add(span_len, std::memory_order_relaxed);
+    for (uint64_t i = 0; i < span_len; ++i) {
+      InsertEntry(first + span_begin + i, dst + i * page_size);
+    }
+    ++runs;
+    span_len = 0;
+    return Status::OK();
+  };
+
+  for (uint64_t i = 0; i < count; ++i) {
+    if (TryReadCached(first + i, out + i * page_size)) {
+      Status st = flush_span();
+      if (!st.ok()) return st;
+      continue;
+    }
+    if (span_len == 0) span_begin = i;
+    ++span_len;
+  }
+  Status st = flush_span();
+  if (!st.ok()) return st;
+  if (physical_runs != nullptr) *physical_runs += runs;
+  return Status::OK();
+}
+
 Status BufferPool::WritePage(PageId id, const uint8_t* data) {
   Status st = file_->WritePage(id, data);
   if (!st.ok()) return st;
-  auto it = map_.find(id);
-  if (it != map_.end()) {
-    std::memcpy(it->second->data.data(), data, file_->page_size());
-    Touch(it->second);
-  } else {
-    InsertEntry(id, data);
-  }
+  InsertEntry(id, data);
   return Status::OK();
 }
 
 void BufferPool::Invalidate(PageId id) {
-  auto it = map_.find(id);
-  if (it == map_.end()) return;
-  lru_.erase(it->second);
-  map_.erase(it);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(id);
+  if (it == shard.map.end()) return;
+  shard.lru.erase(it->second);
+  shard.map.erase(it);
 }
 
 void BufferPool::Clear() {
-  lru_.clear();
-  map_.clear();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+  }
+}
+
+void BufferPool::ResetCounters() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.hits = hits();
+  s.misses = misses();
+  s.evictions = evictions();
+  return s;
+}
+
+size_t BufferPool::cached_pages() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
 }
 
 }  // namespace tilestore

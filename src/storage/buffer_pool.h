@@ -1,8 +1,11 @@
 #ifndef TILESTORE_STORAGE_BUFFER_POOL_H_
 #define TILESTORE_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -18,14 +21,35 @@ namespace tilestore {
 /// repeated tile accesses. Benchmarks call `Clear()` between queries to
 /// measure the cold (disk-bound) regime the paper reports.
 ///
-/// Not thread-safe, like the rest of the storage layer.
+/// Concurrency: the pool is thread-safe. The LRU is striped — page ids
+/// hash to one of several shards, each with its own mutex, list, and map —
+/// so concurrent readers on different pages rarely contend. Small pools
+/// (and the pools unit tests use) collapse to a single shard, preserving
+/// the exact global-LRU eviction order of the serial implementation.
+/// Hit/miss/eviction counters are atomic.
 class BufferPool {
  public:
+  /// Counter snapshot; see `stats()`.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
   /// `capacity_pages` of zero disables caching (all calls pass through).
   BufferPool(PageFile* file, size_t capacity_pages);
 
   /// Reads a page through the cache.
   Status ReadPage(PageId id, uint8_t* out);
+
+  /// Reads `count` consecutive pages starting at `first` into `out`
+  /// (count * page_size bytes). Cached pages are served from the pool;
+  /// maximal spans of misses are coalesced into single `PageFile::ReadRun`
+  /// calls — charged to the disk model once per span — and inserted into
+  /// the cache page by page. `physical_runs`, when non-null, receives the
+  /// number of coalesced physical reads issued.
+  Status ReadRun(PageId first, uint64_t count, uint8_t* out,
+                 uint64_t* physical_runs = nullptr);
 
   /// Writes a page through to the file and refreshes any cached copy.
   Status WritePage(PageId id, const uint8_t* data);
@@ -34,13 +58,23 @@ class BufferPool {
   void Invalidate(PageId id);
 
   /// Drops all cached pages. Hit/miss counters are cumulative and are not
-  /// reset.
+  /// reset; use `ResetCounters()` for that.
   void Clear();
 
+  /// Zeroes the hit/miss/eviction counters (cached pages are kept).
+  void ResetCounters();
+
+  /// Consistent snapshot of the cumulative counters.
+  Stats stats() const;
+
   size_t capacity_pages() const { return capacity_; }
-  size_t cached_pages() const { return lru_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t cached_pages() const;
+  size_t shard_count() const { return shards_.size(); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
   PageFile* page_file() const { return file_; }
 
@@ -51,15 +85,27 @@ class BufferPool {
   };
   using LruList = std::list<Entry>;
 
-  void Touch(LruList::iterator it);
+  struct Shard {
+    std::mutex mu;
+    LruList lru;  // front = most recently used
+    std::unordered_map<PageId, LruList::iterator> map;
+  };
+
+  Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }
+
+  /// Copies the page out of the cache if present (counts a hit).
+  bool TryReadCached(PageId id, uint8_t* out);
+
+  /// Inserts or refreshes `id`; caller must NOT hold the shard mutex.
   void InsertEntry(PageId id, const uint8_t* data);
 
   PageFile* file_;
   size_t capacity_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<PageId, LruList::iterator> map_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace tilestore

@@ -3,17 +3,23 @@
 namespace tilestore {
 
 void DiskModel::OnRead(uint64_t page_id, size_t bytes) {
-  if (page_id != expected_next_) {
+  OnReadRun(page_id, 1, bytes);
+}
+
+void DiskModel::OnReadRun(uint64_t first_page, uint64_t pages, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_page != expected_next_) {
     ++read_seeks_;
     read_ms_ += params_.seek_ms;
   }
   read_ms_ += TransferMs(bytes);
-  ++pages_read_;
+  pages_read_ += pages;
   bytes_read_ += bytes;
-  expected_next_ = page_id + 1;
+  expected_next_ = first_page + pages;
 }
 
 void DiskModel::OnWrite(uint64_t page_id, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (page_id != expected_next_) {
     ++write_seeks_;
     write_ms_ += params_.seek_ms;
@@ -25,6 +31,7 @@ void DiskModel::OnWrite(uint64_t page_id, size_t bytes) {
 }
 
 void DiskModel::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   expected_next_ = UINT64_MAX;
   read_ms_ = 0;
   write_ms_ = 0;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 
 namespace tilestore {
 
@@ -24,12 +25,28 @@ struct DiskParams {
 /// contiguously, plus transfer time proportional to bytes moved. Reads and
 /// writes are tracked separately so benchmarks can report retrieval cost
 /// (the paper's t_o) without load-time noise.
+///
+/// Accounting is internally synchronized (one mutex guards the position
+/// and every counter), so concurrent readers may report accesses safely.
+/// Note that with concurrent reporters the *seek* attribution depends on
+/// the interleaving of accesses — single-stream determinism holds only
+/// when one thread at a time drives the model (the `parallelism = 1`
+/// query path).
 class DiskModel {
  public:
   explicit DiskModel(DiskParams params = DiskParams()) : params_(params) {}
 
+  DiskModel(const DiskModel&) = delete;
+  DiskModel& operator=(const DiskModel&) = delete;
+
   /// Records a physical read of `bytes` at page `page_id`.
   void OnRead(uint64_t page_id, size_t bytes);
+
+  /// Records one coalesced physical read run of `pages` consecutive pages
+  /// starting at `first_page`, `bytes` in total. Charges at most one seek
+  /// for the whole run — the same total cost as reporting the pages one at
+  /// a time in ascending order.
+  void OnReadRun(uint64_t first_page, uint64_t pages, size_t bytes);
 
   /// Records a physical write of `bytes` at page `page_id`.
   void OnWrite(uint64_t page_id, size_t bytes);
@@ -38,14 +55,14 @@ class DiskModel {
   /// position is also forgotten, so the next access charges a seek.
   void Reset();
 
-  double read_ms() const { return read_ms_; }
-  double write_ms() const { return write_ms_; }
-  uint64_t pages_read() const { return pages_read_; }
-  uint64_t pages_written() const { return pages_written_; }
-  uint64_t bytes_read() const { return bytes_read_; }
-  uint64_t bytes_written() const { return bytes_written_; }
-  uint64_t read_seeks() const { return read_seeks_; }
-  uint64_t write_seeks() const { return write_seeks_; }
+  double read_ms() const { return Locked(read_ms_); }
+  double write_ms() const { return Locked(write_ms_); }
+  uint64_t pages_read() const { return Locked(pages_read_); }
+  uint64_t pages_written() const { return Locked(pages_written_); }
+  uint64_t bytes_read() const { return Locked(bytes_read_); }
+  uint64_t bytes_written() const { return Locked(bytes_written_); }
+  uint64_t read_seeks() const { return Locked(read_seeks_); }
+  uint64_t write_seeks() const { return Locked(write_seeks_); }
 
   const DiskParams& params() const { return params_; }
 
@@ -55,7 +72,15 @@ class DiskModel {
            (params_.transfer_mib_per_s * 1024.0 * 1024.0) * 1000.0;
   }
 
-  DiskParams params_;
+  template <typename T>
+  T Locked(const T& field) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return field;
+  }
+
+  const DiskParams params_;
+
+  mutable std::mutex mu_;
   // Next page id that would continue the current arm position without a
   // seek; UINT64_MAX means "unknown position".
   uint64_t expected_next_ = UINT64_MAX;

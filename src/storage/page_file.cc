@@ -63,14 +63,15 @@ PageFile::~PageFile() {
 }
 
 Status PageFile::WriteSuperblock() {
+  std::lock_guard<std::mutex> lock(meta_mu_);
   uint8_t buf[kSuperblockBytes];
   PutU32(buf + 0, kMagic);
   PutU32(buf + 4, kVersion);
   PutU32(buf + 8, page_size_);
   PutU32(buf + 12, 0);
-  PutU64(buf + 16, page_count_);
+  PutU64(buf + 16, page_count_.load(std::memory_order_relaxed));
   PutU64(buf + 24, free_head_);
-  PutU64(buf + 32, free_count_);
+  PutU64(buf + 32, free_count_.load(std::memory_order_relaxed));
   PutU64(buf + 40, user_root_);
   return file_->WriteAt(0, buf, sizeof(buf));
 }
@@ -90,47 +91,60 @@ Status PageFile::ReadSuperblock() {
   if (page_size_ < kMinPageSize || (page_size_ & (page_size_ - 1)) != 0) {
     return Status::Corruption("corrupt page size in " + file_->path());
   }
-  page_count_ = GetU64(buf + 16);
+  page_count_.store(GetU64(buf + 16), std::memory_order_release);
   free_head_ = GetU64(buf + 24);
-  free_count_ = GetU64(buf + 32);
+  free_count_.store(GetU64(buf + 32), std::memory_order_release);
   user_root_ = GetU64(buf + 40);
-  if (page_count_ == 0) {
+  if (page_count_.load(std::memory_order_relaxed) == 0) {
     return Status::Corruption("corrupt page count in " + file_->path());
   }
   return Status::OK();
 }
 
 Status PageFile::ValidatePageId(PageId id) const {
-  if (id == kInvalidPageId || id >= page_count_) {
+  if (id == kInvalidPageId || id >= page_count()) {
     return Status::InvalidArgument("page id " + std::to_string(id) +
                                    " out of range (page count " +
-                                   std::to_string(page_count_) + ")");
+                                   std::to_string(page_count()) + ")");
+  }
+  return Status::OK();
+}
+
+Status PageFile::ValidatePageRun(PageId first, uint64_t count) const {
+  if (count == 0) return Status::InvalidArgument("empty page run");
+  if (first == kInvalidPageId || first + count > page_count()) {
+    return Status::InvalidArgument(
+        "page run [" + std::to_string(first) + ", " +
+        std::to_string(first + count) + ") out of range (page count " +
+        std::to_string(page_count()) + ")");
   }
   return Status::OK();
 }
 
 Result<PageId> PageFile::AllocatePage() {
+  std::lock_guard<std::mutex> lock(meta_mu_);
   if (free_head_ != kInvalidPageId) {
     const PageId id = free_head_;
     uint8_t next[8];
     Status st = file_->ReadAt(id * page_size_, sizeof(next), next);
     if (!st.ok()) return st;
     free_head_ = GetU64(next);
-    --free_count_;
+    free_count_.fetch_sub(1, std::memory_order_acq_rel);
     return id;
   }
-  return page_count_++;
+  return page_count_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 Status PageFile::FreePage(PageId id) {
   Status st = ValidatePageId(id);
   if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(meta_mu_);
   uint8_t next[8];
   PutU64(next, free_head_);
   st = file_->WriteAt(id * page_size_, next, sizeof(next));
   if (!st.ok()) return st;
   free_head_ = id;
-  ++free_count_;
+  free_count_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -140,6 +154,19 @@ Status PageFile::ReadPage(PageId id, uint8_t* out) {
   st = file_->ReadAt(id * page_size_, page_size_, out);
   if (!st.ok()) return st;
   if (disk_model_ != nullptr) disk_model_->OnRead(id, page_size_);
+  return Status::OK();
+}
+
+Status PageFile::ReadRun(PageId first, uint64_t count, uint8_t* out) {
+  Status st = ValidatePageRun(first, count);
+  if (!st.ok()) return st;
+  st = file_->ReadAt(first * page_size_,
+                     static_cast<size_t>(count) * page_size_, out);
+  if (!st.ok()) return st;
+  if (disk_model_ != nullptr) {
+    disk_model_->OnReadRun(first, count,
+                           static_cast<size_t>(count) * page_size_);
+  }
   return Status::OK();
 }
 

@@ -1,8 +1,10 @@
 #ifndef TILESTORE_STORAGE_PAGE_FILE_H_
 #define TILESTORE_STORAGE_PAGE_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/result.h"
@@ -35,7 +37,12 @@ inline constexpr uint32_t kDefaultPageSize = 4096;
 /// and free-list maintenance is metadata traffic and is deliberately not
 /// charged.
 ///
-/// Not thread-safe; the storage manager is single-threaded by design.
+/// Concurrency: the read path (`ReadPage`, `ReadRun`) is thread-safe —
+/// reads go through positional `pread` and never touch shared mutable
+/// state beyond the (synchronized) disk model. Allocation, freeing, and
+/// superblock maintenance are serialized by an internal mutex but assume a
+/// single logical writer (the MDD load/update path); concurrent writers
+/// racing readers of the *same* page get no atomicity guarantee.
 class PageFile {
  public:
   /// Creates a new page file at `path` (fails with AlreadyExists).
@@ -56,8 +63,13 @@ class PageFile {
   /// Returns `id` to the free list.
   Status FreePage(PageId id);
 
-  /// Reads page `id` into `out` (page_size() bytes).
+  /// Reads page `id` into `out` (page_size() bytes). Thread-safe.
   Status ReadPage(PageId id, uint8_t* out);
+
+  /// Reads `count` consecutive pages starting at `first` into `out`
+  /// (count * page_size() bytes) with one positional read, charging the
+  /// disk model once for the whole run. Thread-safe.
+  Status ReadRun(PageId first, uint64_t count, uint8_t* out);
 
   /// Writes page `id` from `data` (page_size() bytes).
   Status WritePage(PageId id, const uint8_t* data);
@@ -67,15 +79,20 @@ class PageFile {
 
   uint32_t page_size() const { return page_size_; }
   /// Total pages including the superblock.
-  uint64_t page_count() const { return page_count_; }
-  uint64_t free_page_count() const { return free_count_; }
+  uint64_t page_count() const {
+    return page_count_.load(std::memory_order_acquire);
+  }
+  uint64_t free_page_count() const {
+    return free_count_.load(std::memory_order_acquire);
+  }
 
   /// User-root slot: an opaque value (e.g. the catalog blob id) persisted
-  /// in the superblock.
+  /// in the superblock. Single-writer, like the rest of the metadata.
   uint64_t user_root() const { return user_root_; }
   void set_user_root(uint64_t root) { user_root_ = root; }
 
-  /// Attaches a disk cost model; pass nullptr to detach.
+  /// Attaches a disk cost model; pass nullptr to detach. Not synchronized
+  /// with in-flight I/O — attach before sharing the file across threads.
   void set_disk_model(DiskModel* model) { disk_model_ = model; }
   DiskModel* disk_model() const { return disk_model_; }
 
@@ -84,14 +101,17 @@ class PageFile {
       : file_(std::move(file)), page_size_(page_size) {}
 
   Status ValidatePageId(PageId id) const;
+  Status ValidatePageRun(PageId first, uint64_t count) const;
   Status WriteSuperblock();
   Status ReadSuperblock();
 
   std::unique_ptr<File> file_;
   uint32_t page_size_;
-  uint64_t page_count_ = 1;  // superblock
+  std::atomic<uint64_t> page_count_{1};  // superblock
+  // Guards allocation / free-list / superblock metadata.
+  std::mutex meta_mu_;
   PageId free_head_ = kInvalidPageId;
-  uint64_t free_count_ = 0;
+  std::atomic<uint64_t> free_count_{0};
   uint64_t user_root_ = 0;
   DiskModel* disk_model_ = nullptr;
 };

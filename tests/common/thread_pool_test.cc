@@ -1,0 +1,86 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace tilestore {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Run([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // ~ThreadPool waits for the queue to drain
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksActuallyRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    group.Run([&] {
+      const int now = in_flight.fetch_add(1) + 1;
+      int seen = max_in_flight.load();
+      while (seen < now && !max_in_flight.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      in_flight.fetch_sub(1);
+    });
+  }
+  group.Wait();
+  EXPECT_GE(max_in_flight.load(), 2);
+}
+
+TEST(TaskGroupTest, NullPoolRunsInline) {
+  std::atomic<int> counter{0};
+  TaskGroup group(nullptr);
+  group.Run([&counter] { counter.fetch_add(1); });
+  // Inline execution completes before Run returns.
+  EXPECT_EQ(counter.load(), 1);
+  group.Wait();
+}
+
+TEST(TaskGroupTest, WaitBlocksUntilAllTasksFinish) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 10; ++i) {
+    group.Run([&counter] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      counter.fetch_add(1);
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositiveAndBounded) {
+  const size_t n = ThreadPool::DefaultThreadCount();
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 16u);
+}
+
+}  // namespace
+}  // namespace tilestore

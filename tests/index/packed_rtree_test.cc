@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include <set>
 
 #include "common/random.h"
@@ -164,7 +166,7 @@ TEST(PackedRTreeTest, ParseRejectsCorruptImages) {
 
 TEST(PackedRTreeTest, StoreReopensWithPackedIndexAndUpgradesOnWrite) {
   const std::string path =
-      ::testing::TempDir() + "/packed_rtree_store_test.db";
+      UniqueTestPath("packed_rtree_store_test.db");
   (void)RemoveFile(path);
   const MInterval domain({{0, 63}, {0, 63}});
   Array data =

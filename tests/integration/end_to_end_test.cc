@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include <memory>
 
 #include "common/random.h"
@@ -28,7 +30,7 @@ struct EndToEndCase {
 class EndToEndTest : public ::testing::TestWithParam<EndToEndCase> {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/end_to_end_" +
+    path_ = UniqueTestPath("end_to_end_") +
             std::string(GetParam().name) + ".db";
     (void)RemoveFile(path_);
   }

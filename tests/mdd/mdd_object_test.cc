@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "mdd/mdd_store.h"
 #include "tiling/aligned.h"
 #include "tiling/directional.h"
@@ -12,7 +14,7 @@ namespace {
 class MDDObjectTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/mdd_object_test.db";
+    path_ = UniqueTestPath("mdd_object_test.db");
     (void)RemoveFile(path_);
     MDDStoreOptions options;
     options.page_size = 512;
@@ -178,7 +180,7 @@ TEST_F(MDDObjectTest, DirectoryIndexVariantBehavesIdentically) {
   MDDStoreOptions options;
   options.page_size = 512;
   options.index_kind = IndexKind::kDirectory;
-  const std::string path2 = ::testing::TempDir() + "/mdd_object_dir.db";
+  const std::string path2 = UniqueTestPath("mdd_object_dir.db");
   (void)RemoveFile(path2);
   auto store2 = MDDStore::Create(path2, options).MoveValue();
   MDDObject* obj = store2

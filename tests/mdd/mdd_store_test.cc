@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "query/range_query.h"
 #include "tiling/aligned.h"
 
@@ -11,7 +13,7 @@ namespace {
 class MDDStoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/mdd_store_test.db";
+    path_ = UniqueTestPath("mdd_store_test.db");
     (void)RemoveFile(path_);
   }
   void TearDown() override { (void)RemoveFile(path_); }

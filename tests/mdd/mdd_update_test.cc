@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "common/random.h"
 #include "mdd/mdd_store.h"
 #include "query/range_query.h"
@@ -14,7 +16,7 @@ namespace {
 class MDDUpdateTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/mdd_update_test.db";
+    path_ = UniqueTestPath("mdd_update_test.db");
     (void)RemoveFile(path_);
     MDDStoreOptions options;
     options.page_size = 512;

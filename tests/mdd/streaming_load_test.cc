@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "mdd/mdd_store.h"
 #include "query/range_query.h"
 #include "tiling/aligned.h"
@@ -13,7 +15,7 @@ namespace {
 class StreamingLoadTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/streaming_load_test.db";
+    path_ = UniqueTestPath("streaming_load_test.db");
     (void)RemoveFile(path_);
     MDDStoreOptions options;
     options.page_size = 512;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include <fstream>
 
 #include "storage/env.h"
@@ -28,7 +30,7 @@ TEST(AccessLogTest, ClearEmptiesLog) {
 }
 
 TEST(AccessLogTest, FileRoundTrip) {
-  const std::string path = ::testing::TempDir() + "/access_log_test.txt";
+  const std::string path = UniqueTestPath("access_log_test.txt");
   (void)RemoveFile(path);
   AccessLog log;
   log.Record(MInterval({{0, 9}, {10, 19}}));
@@ -44,13 +46,13 @@ TEST(AccessLogTest, FileRoundTrip) {
 
 TEST(AccessLogTest, LoadMissingFileIsNotFound) {
   Result<AccessLog> log =
-      AccessLog::LoadFromFile(::testing::TempDir() + "/nonexistent_log.txt");
+      AccessLog::LoadFromFile(UniqueTestPath("nonexistent_log.txt"));
   EXPECT_FALSE(log.ok());
   EXPECT_TRUE(log.status().IsNotFound());
 }
 
 TEST(AccessLogTest, LoadRejectsGarbageLines) {
-  const std::string path = ::testing::TempDir() + "/access_log_bad.txt";
+  const std::string path = UniqueTestPath("access_log_bad.txt");
   {
     std::ofstream out(path);
     out << "[0:9]\nnot an interval\n";

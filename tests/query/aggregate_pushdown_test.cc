@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "common/random.h"
 #include "query/range_query.h"
 #include "tiling/aligned.h"
@@ -15,7 +17,7 @@ namespace {
 class AggregatePushdownTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/aggregate_pushdown_test.db";
+    path_ = UniqueTestPath("aggregate_pushdown_test.db");
     (void)RemoveFile(path_);
     MDDStoreOptions options;
     options.page_size = 512;

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "test_paths.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "query/range_query.h"
+#include "query/tile_scan.h"
+#include "tiling/aligned.h"
+
+namespace tilestore {
+namespace {
+
+/// Concurrency coverage for the batched read path: overlapping queries
+/// from many threads against one store (the TSan target), plus the
+/// determinism contracts — parallel results byte-identical to serial, and
+/// the `parallelism = 1` scheduler path cost-identical to the legacy
+/// tile-at-a-time loop.
+class ConcurrentQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = UniqueTestPath("concurrent_query_test.db");
+    (void)RemoveFile(path_);
+    MDDStoreOptions options;
+    options.page_size = 512;
+    options.worker_threads = 4;
+    store_ = MDDStore::Create(path_, options).MoveValue();
+
+    const MInterval domain({{0, 59}, {0, 59}});
+    data_ = Array::Create(domain, CellType::Of(CellTypeId::kUInt32)).value();
+    uint32_t v = 1;
+    ForEachPoint(domain, [&](const Point& p) {
+      data_.Set<uint32_t>(p, v += 2654435761u);
+    });
+    object_ = store_->CreateMDD("obj", domain, data_.cell_type()).value();
+    ASSERT_TRUE(object_->Load(data_, AlignedTiling::Regular(2, 2048)).ok());
+  }
+  void TearDown() override {
+    store_.reset();
+    (void)RemoveFile(path_);
+  }
+
+  std::string path_;
+  std::unique_ptr<MDDStore> store_;
+  Array data_;
+  MDDObject* object_ = nullptr;
+};
+
+TEST_F(ConcurrentQueryTest, OverlappingQueriesFromManyThreads) {
+  // Warm queries from 8 threads over overlapping regions, mixing serial
+  // and parallel executors. Exercises the striped buffer pool, concurrent
+  // page-file reads, atomic disk accounting, and the shared worker pool
+  // under TSan.
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      RangeQueryOptions options;
+      options.parallelism = (t % 2 == 0) ? 1 : 4;
+      RangeQueryExecutor executor(store_.get(), options);
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        const Coord lo = (t * 5 + q * 3) % 30;
+        const MInterval region({{lo, lo + 29}, {q * 7 % 25, q * 7 % 25 + 34}});
+        Result<Array> result = executor.Execute(object_, region);
+        if (!result.ok() ||
+            !result->Equals(data_.Slice(region).value())) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ConcurrentQueryTest, ParallelExecuteIsByteIdenticalToSerial) {
+  const MInterval region({{5, 52}, {11, 47}});
+  RangeQueryExecutor serial(store_.get());
+  Result<Array> expected = serial.Execute(object_, region);
+  ASSERT_TRUE(expected.ok());
+
+  for (int parallelism : {2, 4, 8}) {
+    RangeQueryOptions options;
+    options.parallelism = parallelism;
+    RangeQueryExecutor parallel(store_.get(), options);
+    QueryStats stats;
+    Result<Array> result = parallel.Execute(object_, region, &stats);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_EQ(result->size_bytes(), expected->size_bytes());
+    EXPECT_EQ(std::memcmp(result->data(), expected->data(),
+                          expected->size_bytes()),
+              0)
+        << "parallelism " << parallelism;
+    EXPECT_GT(stats.parallelism, 1u);
+    EXPECT_GT(stats.tiles_accessed, 0u);
+    EXPECT_GT(stats.tile_bytes_read, 0u);
+  }
+}
+
+TEST_F(ConcurrentQueryTest, ParallelAggregateIsBitIdenticalToSerial) {
+  const MInterval region({{3, 55}, {8, 51}});
+  RangeQueryExecutor serial(store_.get());
+  for (AggregateOp op : {AggregateOp::kSum, AggregateOp::kAvg,
+                         AggregateOp::kMin, AggregateOp::kMax,
+                         AggregateOp::kCount}) {
+    Result<double> expected = serial.ExecuteAggregate(object_, region, op);
+    ASSERT_TRUE(expected.ok());
+    for (int parallelism : {2, 4}) {
+      RangeQueryOptions options;
+      options.parallelism = parallelism;
+      RangeQueryExecutor parallel(store_.get(), options);
+      Result<double> result =
+          parallel.ExecuteAggregate(object_, region, op);
+      ASSERT_TRUE(result.ok());
+      // Partials are folded serially in fetch order, so this is exact
+      // floating-point equality, not a tolerance check.
+      EXPECT_EQ(result.value(), expected.value())
+          << "op " << static_cast<int>(op) << " parallelism " << parallelism;
+    }
+  }
+}
+
+TEST_F(ConcurrentQueryTest, SerialSchedulerPathCostMatchesLegacyLoop) {
+  // Replay the pre-scheduler fetch loop by hand and compare the disk-model
+  // charges against a cold `parallelism = 1` Execute: the refactor must
+  // reproduce the paper's cost numbers exactly.
+  const MInterval region({{10, 49}, {20, 44}});
+  DiskModel* disk = store_->disk_model();
+
+  store_->buffer_pool()->Clear();
+  disk->Reset();
+  std::vector<TileEntry> hits = object_->FindTiles(region);
+  std::sort(hits.begin(), hits.end(),
+            [](const TileEntry& a, const TileEntry& b) {
+              return a.blob < b.blob;
+            });
+  for (const TileEntry& entry : hits) {
+    ASSERT_TRUE(object_->FetchTile(entry).ok());
+  }
+  const double legacy_read_ms = disk->read_ms();
+  const uint64_t legacy_pages = disk->pages_read();
+  const uint64_t legacy_seeks = disk->read_seeks();
+
+  RangeQueryOptions options;
+  options.cold = true;
+  RangeQueryExecutor executor(store_.get(), options);
+  QueryStats stats;
+  ASSERT_TRUE(executor.Execute(object_, region, &stats).ok());
+  EXPECT_EQ(stats.t_o_model_ms, legacy_read_ms);  // exact, not approximate
+  EXPECT_EQ(stats.pages_read, legacy_pages);
+  EXPECT_EQ(stats.seeks, legacy_seeks);
+  EXPECT_EQ(stats.parallelism, 1u);
+  EXPECT_EQ(stats.io_runs, 0u);  // serial path reads page by page
+}
+
+TEST_F(ConcurrentQueryTest, ParallelColdQueryTotalsMatchSerialTransfer) {
+  // Coalescing must charge the same transfer volume (pages and bytes) as
+  // the serial path; only seek interleaving may differ under concurrency.
+  const MInterval region({{0, 59}, {0, 59}});
+  DiskModel* disk = store_->disk_model();
+
+  RangeQueryOptions serial_options;
+  serial_options.cold = true;
+  RangeQueryExecutor serial(store_.get(), serial_options);
+  QueryStats serial_stats;
+  ASSERT_TRUE(serial.Execute(object_, region, &serial_stats).ok());
+  const uint64_t serial_bytes = disk->bytes_read();
+
+  RangeQueryOptions parallel_options;
+  parallel_options.cold = true;
+  parallel_options.parallelism = 4;
+  RangeQueryExecutor parallel(store_.get(), parallel_options);
+  QueryStats parallel_stats;
+  ASSERT_TRUE(parallel.Execute(object_, region, &parallel_stats).ok());
+
+  EXPECT_EQ(parallel_stats.pages_read, serial_stats.pages_read);
+  EXPECT_EQ(disk->bytes_read(), serial_bytes);
+  EXPECT_EQ(parallel_stats.tile_bytes_read, serial_stats.tile_bytes_read);
+  EXPECT_EQ(parallel_stats.useful_bytes, serial_stats.useful_bytes);
+  EXPECT_LE(parallel_stats.seeks, serial_stats.seeks);
+}
+
+TEST_F(ConcurrentQueryTest, PrefetchingTileScanVisitsSameTilesAsSerial) {
+  const MInterval region({{7, 50}, {9, 44}});
+
+  TileScan serial_scan(store_.get(), object_);
+  ASSERT_TRUE(serial_scan.Begin(region).ok());
+  std::vector<MInterval> serial_parts;
+  std::vector<std::vector<uint8_t>> serial_cells;
+  while (true) {
+    Result<bool> more = serial_scan.Next();
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) break;
+    serial_parts.push_back(serial_scan.part());
+    const Tile& tile = serial_scan.tile();
+    serial_cells.emplace_back(tile.data(), tile.data() + tile.size_bytes());
+  }
+  ASSERT_FALSE(serial_parts.empty());
+
+  TileScanOptions options;
+  options.prefetch = 3;
+  TileScan prefetch_scan(store_.get(), object_, options);
+  ASSERT_TRUE(prefetch_scan.Begin(region).ok());
+  size_t i = 0;
+  while (true) {
+    Result<bool> more = prefetch_scan.Next();
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) break;
+    ASSERT_LT(i, serial_parts.size());
+    EXPECT_EQ(prefetch_scan.part(), serial_parts[i]);
+    const Tile& tile = prefetch_scan.tile();
+    ASSERT_EQ(tile.size_bytes(), serial_cells[i].size());
+    EXPECT_EQ(std::memcmp(tile.data(), serial_cells[i].data(),
+                          serial_cells[i].size()),
+              0);
+    ++i;
+  }
+  EXPECT_EQ(i, serial_parts.size());
+  EXPECT_LE(prefetch_scan.prefetch_hits(), serial_parts.size());
+}
+
+TEST_F(ConcurrentQueryTest, BatchedFetchTilesMatchesIndividualFetches) {
+  const MInterval region({{0, 39}, {0, 39}});
+  std::vector<TileEntry> hits = object_->FindTiles(region);
+  ASSERT_FALSE(hits.empty());
+
+  std::vector<Tile> expected;
+  expected.reserve(hits.size());
+  for (const TileEntry& entry : hits) {
+    Result<Tile> tile = object_->FetchTile(entry);
+    ASSERT_TRUE(tile.ok());
+    expected.push_back(std::move(tile).MoveValue());
+  }
+
+  for (int parallelism : {1, 4}) {
+    TileIOStats io;
+    Result<std::vector<Tile>> tiles =
+        store_->FetchTiles(*object_, hits, parallelism, &io);
+    ASSERT_TRUE(tiles.ok()) << tiles.status();
+    ASSERT_EQ(tiles->size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ((*tiles)[i].domain(), expected[i].domain());
+      ASSERT_EQ((*tiles)[i].size_bytes(), expected[i].size_bytes());
+      EXPECT_EQ(std::memcmp((*tiles)[i].data(), expected[i].data(),
+                            expected[i].size_bytes()),
+                0);
+    }
+    EXPECT_EQ(io.tiles, hits.size());
+  }
+}
+
+}  // namespace
+}  // namespace tilestore

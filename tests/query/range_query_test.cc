@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include <memory>
 
 #include "common/random.h"
@@ -15,7 +17,7 @@ namespace {
 class RangeQueryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/range_query_test.db";
+    path_ = UniqueTestPath("range_query_test.db");
     (void)RemoveFile(path_);
     MDDStoreOptions options;
     options.page_size = 512;

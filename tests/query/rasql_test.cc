@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "tiling/aligned.h"
 
 namespace tilestore {
@@ -68,7 +70,7 @@ TEST(RasqlParseTest, FromInsideBracketsIsNotAKeyword) {
 class RasqlEngineTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/rasql_test.db";
+    path_ = UniqueTestPath("rasql_test.db");
     (void)RemoveFile(path_);
     MDDStoreOptions options;
     options.page_size = 512;

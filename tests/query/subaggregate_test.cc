@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "query/range_query.h"
 #include "tiling/aligned.h"
 
@@ -11,7 +13,7 @@ namespace {
 class SubAggregateTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/subaggregate_test.db";
+    path_ = UniqueTestPath("subaggregate_test.db");
     (void)RemoveFile(path_);
     MDDStoreOptions options;
     options.page_size = 512;

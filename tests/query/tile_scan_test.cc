@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "core/region.h"
 #include "query/range_query.h"
 #include "tiling/aligned.h"
@@ -13,7 +15,7 @@ namespace {
 class TileScanTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/tile_scan_test.db";
+    path_ = UniqueTestPath("tile_scan_test.db");
     (void)RemoveFile(path_);
     MDDStoreOptions options;
     options.page_size = 512;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "common/random.h"
 
 namespace tilestore {
@@ -10,7 +12,7 @@ namespace {
 class BlobStoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/blob_store_test.db";
+    path_ = UniqueTestPath("blob_store_test.db");
     (void)RemoveFile(path_);
     file_ = PageFile::Create(path_, 512).MoveValue();
     file_->set_disk_model(&model_);

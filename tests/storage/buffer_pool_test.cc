@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include <vector>
 
 namespace tilestore {
@@ -10,7 +12,7 @@ namespace {
 class BufferPoolTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/buffer_pool_test.db";
+    path_ = UniqueTestPath("buffer_pool_test.db");
     (void)RemoveFile(path_);
     file_ = PageFile::Create(path_, 512).MoveValue();
     file_->set_disk_model(&model_);
@@ -121,6 +123,107 @@ TEST_F(BufferPoolTest, ZeroCapacityDisablesCaching) {
   ASSERT_TRUE(pool.ReadPage(id, out.data()).ok());
   EXPECT_EQ(model_.pages_read(), 2u);
   EXPECT_EQ(pool.cached_pages(), 0u);
+}
+
+TEST_F(BufferPoolTest, StatsSnapshotTracksHitsMissesEvictions) {
+  BufferPool pool(file_.get(), 2);
+  PageId a = WritePageVia(&pool, 1);
+  PageId b = WritePageVia(&pool, 2);
+  PageId c = WritePageVia(&pool, 3);  // evicts a
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(pool.ReadPage(b, out.data()).ok());  // hit
+  ASSERT_TRUE(pool.ReadPage(a, out.data()).ok());  // miss (+1 eviction)
+  BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  // Inserting c evicted a; re-reading a evicted the next LRU victim.
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.hits, pool.hits());
+  EXPECT_EQ(stats.misses, pool.misses());
+  EXPECT_EQ(stats.evictions, pool.evictions());
+  (void)c;
+}
+
+TEST_F(BufferPoolTest, ResetCountersKeepsCachedPages) {
+  BufferPool pool(file_.get(), 16);
+  PageId id = WritePageVia(&pool, 4);
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(pool.ReadPage(id, out.data()).ok());  // hit
+  ASSERT_GT(pool.hits(), 0u);
+  pool.ResetCounters();
+  BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  // The cache itself is untouched: the next read is still a hit.
+  model_.Reset();
+  ASSERT_TRUE(pool.ReadPage(id, out.data()).ok());
+  EXPECT_EQ(model_.pages_read(), 0u);
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST_F(BufferPoolTest, ClearKeepsCumulativeCounters) {
+  BufferPool pool(file_.get(), 16);
+  PageId id = WritePageVia(&pool, 4);
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(pool.ReadPage(id, out.data()).ok());  // hit
+  pool.Clear();
+  ASSERT_TRUE(pool.ReadPage(id, out.data()).ok());  // miss
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST_F(BufferPoolTest, ReadRunCoalescesMissSpanIntoOnePhysicalRead) {
+  BufferPool pool(file_.get(), 16);
+  PageId first = WritePageVia(&pool, 10);
+  WritePageVia(&pool, 11);
+  WritePageVia(&pool, 12);
+  pool.Clear();
+  model_.Reset();
+  std::vector<uint8_t> out(3 * 512);
+  uint64_t runs = 0;
+  ASSERT_TRUE(pool.ReadRun(first, 3, out.data(), &runs).ok());
+  EXPECT_EQ(out[0], 10);
+  EXPECT_EQ(out[512], 11);
+  EXPECT_EQ(out[1024], 12);
+  EXPECT_EQ(runs, 1u);                  // one coalesced physical read
+  EXPECT_EQ(model_.pages_read(), 3u);   // which still transfers 3 pages
+  EXPECT_EQ(model_.read_seeks(), 1u);   // but seeks once
+  // All three pages were inserted into the cache.
+  model_.Reset();
+  ASSERT_TRUE(pool.ReadRun(first, 3, out.data(), &runs).ok());
+  EXPECT_EQ(model_.pages_read(), 0u);
+}
+
+TEST_F(BufferPoolTest, ReadRunServesCachedPagesAndSplitsRuns) {
+  BufferPool pool(file_.get(), 16);
+  PageId first = WritePageVia(&pool, 20);
+  PageId mid = WritePageVia(&pool, 21);
+  WritePageVia(&pool, 22);
+  pool.Clear();
+  // Re-cache only the middle page: the run must split into two physical
+  // reads around it.
+  std::vector<uint8_t> page(512);
+  ASSERT_TRUE(pool.ReadPage(mid, page.data()).ok());
+  model_.Reset();
+  pool.ResetCounters();
+  std::vector<uint8_t> out(3 * 512);
+  uint64_t runs = 0;
+  ASSERT_TRUE(pool.ReadRun(first, 3, out.data(), &runs).ok());
+  EXPECT_EQ(out[0], 20);
+  EXPECT_EQ(out[512], 21);
+  EXPECT_EQ(out[1024], 22);
+  EXPECT_EQ(runs, 2u);
+  EXPECT_EQ(model_.pages_read(), 2u);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 2u);
+}
+
+TEST_F(BufferPoolTest, SmallPoolsUseOneShardLargeOnesStripe) {
+  BufferPool small(file_.get(), 16);
+  EXPECT_EQ(small.shard_count(), 1u);
+  BufferPool large(file_.get(), 4096);
+  EXPECT_GT(large.shard_count(), 1u);
 }
 
 }  // namespace

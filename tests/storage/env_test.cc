@@ -2,13 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include <cstring>
 
 namespace tilestore {
 namespace {
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/env_test_" + name;
+  return UniqueTestPath("env_test_") + name;
 }
 
 class EnvTest : public ::testing::Test {

@@ -2,6 +2,8 @@
 // IOError statuses, never as crashes or silently wrong data.
 
 #include <gtest/gtest.h>
+
+#include "test_paths.h"
 #include <unistd.h>
 
 #include <cstring>
@@ -20,7 +22,7 @@ namespace {
 class FailureInjectionTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/failure_injection_test.db";
+    path_ = UniqueTestPath("failure_injection_test.db");
     (void)RemoveFile(path_);
   }
   void TearDown() override { (void)RemoveFile(path_); }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include <cstring>
 #include <vector>
 
@@ -14,7 +16,7 @@ class PageFileTest : public ::testing::Test {
     for (const std::string& path : created_) (void)RemoveFile(path);
   }
   std::string Fresh(const std::string& name) {
-    std::string path = ::testing::TempDir() + "/page_file_test_" + name;
+    std::string path = UniqueTestPath("page_file_test_") + name;
     (void)RemoveFile(path);
     created_.push_back(path);
     return path;

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include <functional>
 #include <memory>
 
@@ -144,7 +146,7 @@ TEST_P(StrategyConformanceTest, CompleteDeterministicAndQueryable) {
   }
 
   // (4): end-to-end round trip through the storage manager.
-  const std::string path = ::testing::TempDir() + "/conformance.db";
+  const std::string path = UniqueTestPath("conformance.db");
   (void)RemoveFile(path);
   MDDStoreOptions options;
   options.page_size = 512;

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include <array>
 #include <cstdio>
 #include <fstream>
@@ -41,9 +43,9 @@ CommandResult RunCli(const std::string& args) {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    db_ = ::testing::TempDir() + "/cli_test.db";
-    raw_ = ::testing::TempDir() + "/cli_test_raw.bin";
-    out_ = ::testing::TempDir() + "/cli_test_out.bin";
+    db_ = UniqueTestPath("cli_test.db");
+    raw_ = UniqueTestPath("cli_test_raw.bin");
+    out_ = UniqueTestPath("cli_test_out.bin");
     (void)RemoveFile(db_);
     (void)RemoveFile(raw_);
     (void)RemoveFile(out_);
@@ -110,7 +112,7 @@ TEST_F(CliTest, FullLifecycle) {
   EXPECT_NE(r.output.find("cells:       4096"), std::string::npos);
 
   // Advise from a hand-written access log.
-  const std::string log_path = ::testing::TempDir() + "/cli_test.log";
+  const std::string log_path = UniqueTestPath("cli_test.log");
   {
     std::ofstream log(log_path);
     for (int i = 0; i < 6; ++i) log << "[3:3,0:63]\n";
