@@ -1,0 +1,17 @@
+#ifndef TILESTORE_COMMON_CHECKSUM_H_
+#define TILESTORE_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tilestore {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41 reflected) over `data`.
+/// Software slicing-by-8 implementation; used for superblock, WAL record,
+/// and per-page checksums. `seed` allows incremental computation:
+/// Crc32c(b, n2, Crc32c(a, n1)) == Crc32c(concat(a, b), n1 + n2).
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_COMMON_CHECKSUM_H_

@@ -3,7 +3,9 @@
 #include "core/region.h"
 #include "index/directory_index.h"
 #include "index/rtree_index.h"
+#include "mdd/mdd_store.h"
 #include "storage/io_scheduler.h"
+#include "storage/txn.h"
 #include "tiling/aligned.h"
 #include "tiling/validator.h"
 
@@ -25,14 +27,23 @@ std::unique_ptr<TileIndex> MakeIndex(IndexKind kind) {
 
 MDDObject::MDDObject(std::string name, MInterval definition_domain,
                      CellType cell_type, BlobStore* blobs,
-                     IndexKind index_kind)
-    : name_(std::move(name)),
+                     IndexKind index_kind, MDDStore* store)
+    : store_(store),
+      name_(std::move(name)),
       definition_domain_(std::move(definition_domain)),
       cell_type_(cell_type),
       default_cell_(cell_type.size(), 0),
       blobs_(blobs),
       index_kind_(index_kind),
       index_(MakeIndex(index_kind)) {}
+
+TxnManager* MDDObject::txn_manager() const {
+  return store_ != nullptr ? store_->txn_manager() : nullptr;
+}
+
+void MDDObject::MarkStoreDirty() const {
+  if (store_ != nullptr) store_->MarkCatalogDirty();
+}
 
 Status MDDObject::SetDefaultCell(std::vector<uint8_t> value) {
   if (value.size() != cell_size()) {
@@ -41,6 +52,7 @@ Status MDDObject::SetDefaultCell(std::vector<uint8_t> value) {
         " bytes, got " + std::to_string(value.size()));
   }
   default_cell_ = std::move(value);
+  MarkStoreDirty();
   return Status::OK();
 }
 
@@ -91,6 +103,11 @@ Status MDDObject::EnsureMutableIndex() {
 }
 
 Status MDDObject::InsertTile(const Tile& tile) {
+  // Autocommit: the BLOB write stages into a transaction (or joins an
+  // explicit one); on any failure the guard's abort discards the staged
+  // pages and we unwind the in-memory index below.
+  ScopedTxn txn(txn_manager());
+  if (!txn.begin_status().ok()) return txn.begin_status();
   Status st = EnsureMutableIndex();
   if (!st.ok()) return st;
   st = CheckInsertable(tile.domain(), tile.cell_size());
@@ -104,10 +121,17 @@ Status MDDObject::InsertTile(const Tile& tile) {
   if (!blob.ok()) return blob.status();
   st = index_->Insert(TileEntry{tile.domain(), blob.value(), used});
   if (!st.ok()) return st;
+  const std::optional<MInterval> saved_domain = current_domain_;
   current_domain_ = current_domain_.has_value()
                         ? current_domain_->Hull(tile.domain())
                         : tile.domain();
-  return Status::OK();
+  MarkStoreDirty();
+  Status commit = txn.Commit();
+  if (!commit.ok()) {
+    (void)index_->Remove(tile.domain());
+    current_domain_ = saved_domain;
+  }
+  return commit;
 }
 
 Status MDDObject::Load(const Array& data, const TilingStrategy& strategy) {
@@ -118,20 +142,41 @@ Status MDDObject::Load(const Array& data, const TilingStrategy& strategy) {
 }
 
 Status MDDObject::Load(const Array& data, const TilingSpec& spec) {
+  // One transaction for the whole load: either every tile of the array is
+  // durably inserted or none is.
+  ScopedTxn txn(txn_manager());
+  if (!txn.begin_status().ok()) return txn.begin_status();
+  const std::optional<MInterval> saved_domain = current_domain_;
+  std::vector<MInterval> inserted;
+  inserted.reserve(spec.size());
+  auto unwind = [&] {
+    for (const MInterval& domain : inserted) (void)index_->Remove(domain);
+    current_domain_ = saved_domain;
+  };
   // Cut tile by tile rather than materializing all tiles at once, so load
   // memory stays bounded by one tile.
   for (const MInterval& domain : spec) {
     if (!data.domain().Contains(domain)) {
+      unwind();
       return Status::InvalidArgument("tile domain " + domain.ToString() +
                                      " outside loaded array domain " +
                                      data.domain().ToString());
     }
     Result<Tile> tile = data.Slice(domain);
-    if (!tile.ok()) return tile.status();
+    if (!tile.ok()) {
+      unwind();
+      return tile.status();
+    }
     Status st = InsertTile(tile.value());
-    if (!st.ok()) return st;
+    if (!st.ok()) {
+      unwind();
+      return st;
+    }
+    inserted.push_back(domain);
   }
-  return Status::OK();
+  Status commit = txn.Commit();
+  if (!commit.ok()) unwind();
+  return commit;
 }
 
 Status MDDObject::Load(const Array& data) {
@@ -142,25 +187,48 @@ Status MDDObject::Load(const Array& data) {
 Status MDDObject::LoadFrom(
     const TilingSpec& spec,
     const std::function<Result<Tile>(const MInterval&)>& producer) {
+  // Like Load: one transaction spanning the whole streamed ingest.
+  ScopedTxn txn(txn_manager());
+  if (!txn.begin_status().ok()) return txn.begin_status();
+  const std::optional<MInterval> saved_domain = current_domain_;
+  std::vector<MInterval> inserted;
+  inserted.reserve(spec.size());
+  auto unwind = [&] {
+    for (const MInterval& domain : inserted) (void)index_->Remove(domain);
+    current_domain_ = saved_domain;
+  };
   for (const MInterval& domain : spec) {
     Result<Tile> tile = producer(domain);
-    if (!tile.ok()) return tile.status();
+    if (!tile.ok()) {
+      unwind();
+      return tile.status();
+    }
     if (tile->domain() != domain) {
+      unwind();
       return Status::InvalidArgument(
           "producer returned tile " + tile->domain().ToString() +
           " for requested domain " + domain.ToString());
     }
     if (tile->cell_type() != cell_type_) {
+      unwind();
       return Status::InvalidArgument(
           "producer returned wrong cell type for tile " + domain.ToString());
     }
     Status st = InsertTile(tile.value());
-    if (!st.ok()) return st;
+    if (!st.ok()) {
+      unwind();
+      return st;
+    }
+    inserted.push_back(domain);
   }
-  return Status::OK();
+  Status commit = txn.Commit();
+  if (!commit.ok()) unwind();
+  return commit;
 }
 
 Status MDDObject::RemoveTile(const MInterval& domain) {
+  ScopedTxn txn(txn_manager());
+  if (!txn.begin_status().ok()) return txn.begin_status();
   Status mut = EnsureMutableIndex();
   if (!mut.ok()) return mut;
   std::vector<TileEntry> hits = index_->Search(domain);
@@ -175,10 +243,22 @@ Status MDDObject::RemoveTile(const MInterval& domain) {
     return Status::NotFound("no tile with domain " + domain.ToString() +
                             " in '" + name_ + "'");
   }
-  Status st = blobs_->Delete(exact->blob);
+  const TileEntry removed = *exact;  // survives the index mutation below
+  const std::optional<MInterval> saved_domain = current_domain_;
+  Status st = index_->Remove(domain);
   if (!st.ok()) return st;
-  st = index_->Remove(domain);
-  if (!st.ok()) return st;
+  if (store_ != nullptr) {
+    // The persisted catalog may still reference this BLOB; its pages are
+    // released with the next catalog write, atomically with the tile
+    // table that stops pointing at them.
+    store_->DeferBlobFree(removed.blob);
+  } else {
+    st = blobs_->Delete(removed.blob);
+    if (!st.ok()) {
+      (void)index_->Insert(removed);
+      return st;
+    }
+  }
 
   // Shrink the current domain to the hull of the remaining tiles.
   std::vector<TileEntry> remaining;
@@ -192,10 +272,21 @@ Status MDDObject::RemoveTile(const MInterval& domain) {
     }
     current_domain_ = hull;
   }
-  return Status::OK();
+  MarkStoreDirty();
+  Status commit = txn.Commit();
+  if (!commit.ok()) {
+    if (store_ != nullptr) store_->UndeferBlobFree(removed.blob);
+    (void)index_->Insert(removed);
+    current_domain_ = saved_domain;
+  }
+  return commit;
 }
 
 Status MDDObject::WriteRegion(const Array& data) {
+  // One transaction for the whole region write: the read-modify-write of
+  // covered tiles and the insertion of growth tiles commit together.
+  ScopedTxn txn(txn_manager());
+  if (!txn.begin_status().ok()) return txn.begin_status();
   Status mut = EnsureMutableIndex();
   if (!mut.ok()) return mut;
   const MInterval& region = data.domain();
@@ -212,6 +303,20 @@ Status MDDObject::WriteRegion(const Array& data) {
                               definition_domain_.ToString());
   }
 
+  const std::optional<MInterval> saved_domain = current_domain_;
+  std::vector<TileEntry> replaced;   // original entries of rewritten tiles
+  std::vector<MInterval> inserted;   // domains of brand-new growth tiles
+  std::vector<BlobId> deferred;      // old BLOBs queued for deferred free
+  auto unwind = [&] {
+    for (BlobId blob : deferred) store_->UndeferBlobFree(blob);
+    for (const MInterval& domain : inserted) (void)index_->Remove(domain);
+    for (const TileEntry& entry : replaced) {
+      (void)index_->Remove(entry.domain);
+      (void)index_->Insert(entry);
+    }
+    current_domain_ = saved_domain;
+  };
+
   // Update the covered parts tile by tile (read-modify-write).
   const std::vector<TileEntry> hits = index_->Search(region);
   std::vector<MInterval> covered;
@@ -219,25 +324,54 @@ Status MDDObject::WriteRegion(const Array& data) {
   for (const TileEntry& entry : hits) {
     covered.push_back(entry.domain);
     Result<Tile> tile = FetchTile(entry);
-    if (!tile.ok()) return tile.status();
+    if (!tile.ok()) {
+      unwind();
+      return tile.status();
+    }
     const std::optional<MInterval> overlap =
         entry.domain.Intersection(region);
     Status st = tile->CopyFrom(data, *overlap);
-    if (!st.ok()) return st;
+    if (!st.ok()) {
+      unwind();
+      return st;
+    }
 
     // Rewrite the BLOB (the codec choice is re-evaluated selectively).
-    st = blobs_->Delete(entry.blob);
-    if (!st.ok()) return st;
+    // The old BLOB is freed with the next catalog write, not here: the
+    // persisted tile table still points at it, and a crash after this
+    // commit must leave that table readable.
+    if (store_ != nullptr) {
+      store_->DeferBlobFree(entry.blob);
+      deferred.push_back(entry.blob);
+    } else {
+      st = blobs_->Delete(entry.blob);
+      if (!st.ok()) {
+        unwind();
+        return st;
+      }
+    }
     std::vector<uint8_t> stored;
     const std::vector<uint8_t> raw(tile->data(),
                                    tile->data() + tile->size_bytes());
     const Compression used = CompressIfSmaller(compression_, raw, &stored);
     Result<BlobId> blob = blobs_->Put(stored);
-    if (!blob.ok()) return blob.status();
+    if (!blob.ok()) {
+      unwind();
+      return blob.status();
+    }
+    // From here the index swap is in flight; record the original so the
+    // unwind can restore it whether or not the swap completed.
+    replaced.push_back(entry);
     st = index_->Remove(entry.domain);
-    if (!st.ok()) return st;
+    if (!st.ok()) {
+      unwind();
+      return st;
+    }
     st = index_->Insert(TileEntry{entry.domain, blob.value(), used});
-    if (!st.ok()) return st;
+    if (!st.ok()) {
+      unwind();
+      return st;
+    }
   }
 
   // Uncovered parts become new tiles (growth), split to the default
@@ -248,22 +382,35 @@ Status MDDObject::WriteRegion(const Array& data) {
     TilingSpec spec;
     if (piece.CellCountOrDie() * cell_size() > kDefaultMaxTileBytes) {
       Result<TilingSpec> sub = splitter.ComputeTiling(piece, cell_size());
-      if (!sub.ok()) return sub.status();
+      if (!sub.ok()) {
+        unwind();
+        return sub.status();
+      }
       spec = std::move(sub).MoveValue();
     } else {
       spec.push_back(piece);
     }
     for (const MInterval& tile_domain : spec) {
       Result<Tile> tile = data.Slice(tile_domain);
-      if (!tile.ok()) return tile.status();
+      if (!tile.ok()) {
+        unwind();
+        return tile.status();
+      }
       Status st = InsertTile(tile.value());
-      if (!st.ok()) return st;
+      if (!st.ok()) {
+        unwind();
+        return st;
+      }
+      inserted.push_back(tile_domain);
     }
   }
   current_domain_ = current_domain_.has_value()
                         ? current_domain_->Hull(region)
                         : region;
-  return Status::OK();
+  MarkStoreDirty();
+  Status commit = txn.Commit();
+  if (!commit.ok()) unwind();
+  return commit;
 }
 
 Result<Tile> MDDObject::FetchTile(const TileEntry& entry) const {

@@ -19,6 +19,9 @@
 
 namespace tilestore {
 
+class MDDStore;
+class TxnManager;
+
 /// Which index implementation an MDD object uses for its tiles.
 enum class IndexKind {
   kRTree,
@@ -36,11 +39,19 @@ enum class IndexKind {
 ///
 /// Instances are owned by their `MDDStore`; pointers returned by the store
 /// stay valid until the object is dropped or the store is destroyed.
+///
+/// Durability: when the owning store runs in WAL mode, each mutating call
+/// (`InsertTile`, `Load`, `LoadFrom`, `RemoveTile`, `WriteRegion`) is an
+/// atomic autocommitted transaction — it either applies completely or, on
+/// any error, leaves both the file and this object's in-memory index
+/// exactly as they were. Calls made between `MDDStore::Begin()` and
+/// `Commit()` join that explicit transaction instead.
 class MDDObject {
  public:
-  /// Constructed by MDDStore; not for direct use.
+  /// Constructed by MDDStore; not for direct use. `store` may be null for
+  /// standalone (test) objects — mutations then write through unlogged.
   MDDObject(std::string name, MInterval definition_domain, CellType cell_type,
-            BlobStore* blobs, IndexKind index_kind);
+            BlobStore* blobs, IndexKind index_kind, MDDStore* store = nullptr);
 
   MDDObject(const MDDObject&) = delete;
   MDDObject& operator=(const MDDObject&) = delete;
@@ -148,6 +159,14 @@ class MDDObject {
   // mutation.
   Status EnsureMutableIndex();
 
+  // The owning store's transaction manager; null when standalone or the
+  // store is unlogged.
+  TxnManager* txn_manager() const;
+
+  // Tells the owning store its persisted catalog is now stale.
+  void MarkStoreDirty() const;
+
+  MDDStore* store_ = nullptr;
   std::string name_;
   MInterval definition_domain_;
   std::optional<MInterval> current_domain_;

@@ -55,7 +55,50 @@ MDDStore::MDDStore(std::unique_ptr<PageFile> file, MDDStoreOptions options)
   scheduler_ = std::make_unique<TileIOScheduler>(blobs_.get());
 }
 
-MDDStore::~MDDStore() = default;
+MDDStore::~MDDStore() {
+  if (txns_ != nullptr) {
+    // Clean shutdown: discard any open transaction, then checkpoint so the
+    // superblock catches up with the log and the next Open needs no replay.
+    if (txns_->in_txn()) (void)txns_->Abort();
+    if (!txns_->poisoned() && wal_ != nullptr && wal_->size_bytes() > 0) {
+      (void)txns_->CheckpointNow();
+    }
+    file_->set_txn_manager(nullptr);
+    pool_->set_txn_manager(nullptr);
+  }
+}
+
+Status MDDStore::InitWal(bool recover) {
+  if (!options_.wal_enabled) return Status::OK();
+  Result<std::unique_ptr<WriteAheadLog>> wal =
+      WriteAheadLog::Open(file_->path() + ".wal", &disk_model_);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(wal).MoveValue();
+  if (!recover) {
+    // A fresh store: any log at this path belongs to a predecessor file.
+    Status st = wal_->Reset();
+    if (!st.ok()) return st;
+  } else {
+    uint64_t max_lsn = 0;
+    Result<uint64_t> replayed =
+        RecoverFromWal(file_.get(), wal_->path(), &max_lsn);
+    if (!replayed.ok()) return replayed.status();
+    if (max_lsn >= wal_->next_lsn()) wal_->set_next_lsn(max_lsn + 1);
+    if (wal_->size_bytes() > 0) {
+      // Fold the replayed state into the superblock, then start an empty
+      // log: recovery is not repeated on the next Open.
+      Status st = file_->Checkpoint(max_lsn);
+      if (!st.ok()) return st;
+      st = wal_->Reset();
+      if (!st.ok()) return st;
+    }
+  }
+  txns_ = std::make_unique<TxnManager>(file_.get(), pool_.get(), wal_.get(),
+                                       options_.wal_checkpoint_bytes);
+  file_->set_txn_manager(txns_.get());
+  pool_->set_txn_manager(txns_.get());
+  return Status::OK();
+}
 
 ThreadPool* MDDStore::thread_pool() {
   std::call_once(workers_once_, [this] {
@@ -92,6 +135,8 @@ Result<std::unique_ptr<MDDStore>> MDDStore::Create(const std::string& path,
   if (!file.ok()) return file.status();
   std::unique_ptr<MDDStore> store(
       new MDDStore(std::move(file).MoveValue(), options));
+  Status st = store->InitWal(/*recover=*/false);
+  if (!st.ok()) return st;
   return store;
 }
 
@@ -101,7 +146,11 @@ Result<std::unique_ptr<MDDStore>> MDDStore::Open(const std::string& path,
   if (!file.ok()) return file.status();
   std::unique_ptr<MDDStore> store(
       new MDDStore(std::move(file).MoveValue(), options));
-  Status st = store->LoadCatalog();
+  // Replay the WAL before touching the catalog: the committed tail may
+  // contain the very pages the catalog lives in.
+  Status st = store->InitWal(/*recover=*/true);
+  if (!st.ok()) return st;
+  st = store->LoadCatalog();
   if (!st.ok()) return st;
   return store;
 }
@@ -118,10 +167,12 @@ Result<MDDObject*> MDDStore::CreateMDD(const std::string& name,
   if (definition_domain.dim() == 0) {
     return Status::InvalidArgument("definition domain must have dim >= 1");
   }
-  auto object = std::make_unique<MDDObject>(
-      name, definition_domain, cell_type, blobs_.get(), options_.index_kind);
+  auto object = std::make_unique<MDDObject>(name, definition_domain, cell_type,
+                                            blobs_.get(), options_.index_kind,
+                                            this);
   MDDObject* raw = object.get();
   objects_[name] = std::move(object);
+  catalog_dirty_ = true;
   return raw;
 }
 
@@ -138,20 +189,33 @@ Status MDDStore::DropMDD(const std::string& name) {
   if (it == objects_.end()) {
     return Status::NotFound("no MDD object named '" + name + "'");
   }
+  // Defer every free to the next catalog write: until the catalog stops
+  // referencing these BLOBs, freeing them would let a crash leave the
+  // persisted tile table pointing into reused pages. The deferral also
+  // closes the historical index-image leak window between DropMDD and Save.
   for (const TileEntry& entry : it->second->AllTiles()) {
-    Status st = blobs_->Delete(entry.blob);
-    if (!st.ok()) return st;
+    pending_free_blobs_.push_back(entry.blob);
   }
   auto blob_it = index_blobs_.find(name);
   if (blob_it != index_blobs_.end()) {
     if (blob_it->second != kInvalidBlobId) {
-      Status st = blobs_->Delete(blob_it->second);
-      if (!st.ok()) return st;
+      pending_free_blobs_.push_back(blob_it->second);
     }
     index_blobs_.erase(blob_it);
   }
   objects_.erase(it);
+  catalog_dirty_ = true;
   return Status::OK();
+}
+
+void MDDStore::UndeferBlobFree(BlobId blob) {
+  for (auto it = pending_free_blobs_.rbegin(); it != pending_free_blobs_.rend();
+       ++it) {
+    if (*it == blob) {
+      pending_free_blobs_.erase(std::next(it).base());
+      return;
+    }
+  }
 }
 
 std::vector<std::string> MDDStore::ListMDD() const {
@@ -161,7 +225,7 @@ std::vector<std::string> MDDStore::ListMDD() const {
   return names;
 }
 
-Status MDDStore::Save() {
+Status MDDStore::StageCatalog() {
   // Phase 1: persist each object's packed index image.
   std::map<std::string, BlobId> new_index_blobs;
   for (const auto& [name, object] : objects_) {
@@ -204,6 +268,121 @@ Status MDDStore::Save() {
     if (!st.ok()) return st;
   }
   index_blobs_ = std::move(new_index_blobs);
+
+  // Deferred frees from DropMDD: safe now, the new catalog no longer
+  // references these BLOBs.
+  for (BlobId blob : pending_free_blobs_) {
+    Status st = blobs_->Delete(blob);
+    if (!st.ok()) return st;
+  }
+  pending_free_blobs_.clear();
+  catalog_dirty_ = false;
+  return Status::OK();
+}
+
+Status MDDStore::Save() {
+  if (txns_ != nullptr) {
+    // Transactional: the catalog write and its deferred frees commit as one
+    // WAL-logged unit (joining an explicit transaction when one is open).
+    ScopedTxn txn(txns_.get());
+    if (!txn.begin_status().ok()) return txn.begin_status();
+    Status st = StageCatalog();
+    if (!st.ok()) return st;
+    return txn.Commit();
+  }
+  Status st = StageCatalog();
+  if (!st.ok()) return st;
+  return file_->Flush();
+}
+
+Status MDDStore::Begin() {
+  if (txns_ == nullptr) {
+    return Status::InvalidArgument(
+        "explicit transactions need wal_enabled = true");
+  }
+  Status st = txns_->Begin();
+  if (!st.ok()) return st;
+  // Capture the logical catalog so Abort can restore the in-memory side to
+  // match the disk rollback.
+  txn_snapshot_.clear();
+  txn_snapshot_.reserve(objects_.size());
+  for (const auto& [name, object] : objects_) {
+    txn_snapshot_.push_back(ObjectSnapshot{
+        name, object->definition_domain(), object->cell_type(),
+        object->index_kind(), object->default_cell(), object->compression(),
+        object->AllTiles()});
+  }
+  txn_index_blobs_snapshot_ = index_blobs_;
+  txn_pending_frees_snapshot_ = pending_free_blobs_;
+  txn_catalog_dirty_snapshot_ = catalog_dirty_;
+  return Status::OK();
+}
+
+Status MDDStore::Commit() {
+  if (txns_ == nullptr) {
+    return Status::InvalidArgument(
+        "explicit transactions need wal_enabled = true");
+  }
+  if (!txns_->in_txn()) {
+    return Status::InvalidArgument("no active transaction to commit");
+  }
+  if (catalog_dirty_ || !pending_free_blobs_.empty()) {
+    Status st = StageCatalog();
+    if (!st.ok()) {
+      // Leave the transaction open; the caller decides (typically Abort).
+      return st;
+    }
+  }
+  Status st = txns_->Commit();
+  if (!st.ok()) {
+    // The disk side rolled back (or poisoned); realign the memory side.
+    Status restore = RestoreSnapshot();
+    if (!restore.ok()) return restore;
+    return st;
+  }
+  txn_snapshot_.clear();
+  txn_index_blobs_snapshot_.clear();
+  txn_pending_frees_snapshot_.clear();
+  return Status::OK();
+}
+
+Status MDDStore::Abort() {
+  if (txns_ == nullptr) {
+    return Status::InvalidArgument(
+        "explicit transactions need wal_enabled = true");
+  }
+  Status st = txns_->Abort();
+  if (!st.ok()) return st;
+  return RestoreSnapshot();
+}
+
+Status MDDStore::RestoreSnapshot() {
+  objects_.clear();
+  index_blobs_ = std::move(txn_index_blobs_snapshot_);
+  pending_free_blobs_ = std::move(txn_pending_frees_snapshot_);
+  catalog_dirty_ = txn_catalog_dirty_snapshot_;
+  for (ObjectSnapshot& snap : txn_snapshot_) {
+    auto object = std::make_unique<MDDObject>(
+        snap.name, snap.definition_domain, snap.cell_type, blobs_.get(),
+        snap.index_kind, this);
+    Status st = object->SetDefaultCell(std::move(snap.default_cell));
+    if (!st.ok()) return st;
+    object->SetCompression(snap.compression);
+    st = object->RestoreTiles(std::move(snap.entries));
+    if (!st.ok()) return st;
+    objects_[snap.name] = std::move(object);
+  }
+  txn_snapshot_.clear();
+  txn_index_blobs_snapshot_.clear();
+  txn_pending_frees_snapshot_.clear();
+  // Restoring marked the catalog dirty through SetDefaultCell; the
+  // snapshot value is authoritative.
+  catalog_dirty_ = txn_catalog_dirty_snapshot_;
+  return Status::OK();
+}
+
+Status MDDStore::Checkpoint() {
+  if (txns_ != nullptr) return txns_->CheckpointNow();
   return file_->Flush();
 }
 
@@ -264,7 +443,8 @@ Status MDDStore::LoadCatalog() {
     const IndexKind kind =
         index_kind_raw == 0 ? IndexKind::kRTree : IndexKind::kDirectory;
     auto object = std::make_unique<MDDObject>(name, definition_domain,
-                                              cell_type, blobs_.get(), kind);
+                                              cell_type, blobs_.get(), kind,
+                                              this);
     st = object->SetDefaultCell(std::move(default_cell));
     if (!st.ok()) return st;
 
@@ -289,6 +469,8 @@ Status MDDStore::LoadCatalog() {
   if (!r.AtEnd()) {
     return Status::Corruption("trailing bytes after catalog");
   }
+  // The loaded catalog is the persisted one by definition.
+  catalog_dirty_ = false;
   return Status::OK();
 }
 

@@ -17,6 +17,8 @@
 #include "storage/disk_model.h"
 #include "storage/io_scheduler.h"
 #include "storage/page_file.h"
+#include "storage/txn.h"
+#include "storage/wal.h"
 
 namespace tilestore {
 
@@ -33,6 +35,16 @@ struct MDDStoreOptions {
   /// machine default (hardware concurrency, clamped to 16). The pool is
   /// created lazily on first parallel fetch.
   size_t worker_threads = 0;
+  /// Durable write path: every mutation runs inside a transaction whose
+  /// effects are WAL-logged (to `<path>.wal`) and fsynced before they
+  /// reach the page file, and `Open` replays the log after a crash. When
+  /// false the store behaves like the historical write-through
+  /// implementation — faster bulk loads, no crash safety.
+  bool wal_enabled = true;
+  /// WAL size after which a commit triggers an automatic checkpoint
+  /// (superblock flip + log truncation). 0 disables automatic
+  /// checkpoints; `Checkpoint()` can always be called manually.
+  uint64_t wal_checkpoint_bytes = 4ull << 20;
 };
 
 /// \brief The database of MDD objects: one page file holding tile BLOBs
@@ -42,6 +54,16 @@ struct MDDStoreOptions {
 /// objects in it, load arrays through tiling strategies, and run range
 /// queries via `RangeQueryExecutor`. `Save()` persists the catalog; `Open`
 /// restores all objects and rebuilds their tile indexes by bulk load.
+///
+/// Transactions (WAL mode): every mutating call autocommits — it stages
+/// its page writes in a transaction, logs them, fsyncs, and applies them,
+/// so a crash never tears a tile. `Begin()`/`Commit()`/`Abort()` batch
+/// many mutations into one atomic, fsynced unit; `Commit` also persists
+/// the catalog, so committed changes are visible after reopen. Autocommit
+/// protects physical integrity only — visibility across reopen still
+/// requires `Save()` or an explicit `Commit()`, exactly like the
+/// historical contract. `Abort` restores both disk and in-memory state to
+/// the `Begin` snapshot (invalidating `MDDObject*` pointers).
 class MDDStore {
  public:
   static Result<std::unique_ptr<MDDStore>> Create(
@@ -63,13 +85,37 @@ class MDDStore {
   /// Looks an object up by name.
   Result<MDDObject*> GetMDD(const std::string& name);
 
-  /// Drops an object, freeing all of its tile BLOBs.
+  /// Drops an object. Its tile BLOBs and persisted index image are freed
+  /// atomically with the next catalog write (`Save`/`Commit`), so a crash
+  /// in between cannot leave the persisted catalog pointing at freed
+  /// pages — the drop simply has not happened yet after recovery.
   Status DropMDD(const std::string& name);
 
   std::vector<std::string> ListMDD() const;
 
-  /// Persists the catalog and flushes the page file.
+  /// Persists the catalog. In WAL mode this is a transactional, fsynced
+  /// commit (joining the active transaction if one is open — durability
+  /// then arrives at that transaction's commit); in unlogged mode it
+  /// writes through and flushes the page file.
   Status Save();
+
+  /// Opens an explicit transaction: subsequent mutations stage into it
+  /// and nothing reaches the data file until `Commit`. Fails if the store
+  /// is unlogged or a transaction is already active.
+  Status Begin();
+
+  /// Persists the catalog and atomically commits everything staged since
+  /// `Begin` with one group-commit fsync.
+  Status Commit();
+
+  /// Discards everything staged since `Begin` and restores the in-memory
+  /// catalog to the `Begin` snapshot. `MDDObject*` pointers obtained
+  /// before the abort are invalidated.
+  Status Abort();
+
+  /// Forces a checkpoint: data fsynced, superblock flipped, WAL truncated.
+  /// In unlogged mode this is a plain `PageFile::Flush`.
+  Status Checkpoint();
 
   /// Batched tile retrieval through the `TileIOScheduler`: fetches every
   /// entry (typically an index probe's hits) and returns the decoded tiles
@@ -85,16 +131,56 @@ class MDDStore {
   /// The worker pool behind parallel fetches (created on first use).
   ThreadPool* thread_pool();
 
+  /// Marks the in-memory catalog as diverged from the persisted one
+  /// (called by MDDObject mutations; `Commit` uses it to decide whether
+  /// the catalog must be re-staged).
+  void MarkCatalogDirty() { catalog_dirty_ = true; }
+
+  /// Defers freeing a BLOB the *persisted* catalog may still reference
+  /// (tile updates and drops): the pages are released inside the next
+  /// catalog-writing transaction, atomically with the catalog that stops
+  /// referencing them, so a crash in between leaves the old catalog
+  /// readable.
+  void DeferBlobFree(BlobId blob) { pending_free_blobs_.push_back(blob); }
+
+  /// Removes the most recent deferred free of `blob` (mutation unwind
+  /// after a failed commit).
+  void UndeferBlobFree(BlobId blob);
+
   TileIOScheduler* io_scheduler() { return scheduler_.get(); }
   BlobStore* blob_store() { return blobs_.get(); }
   BufferPool* buffer_pool() { return pool_.get(); }
   PageFile* page_file() { return file_.get(); }
   DiskModel* disk_model() { return &disk_model_; }
+  /// Null when the store is unlogged.
+  TxnManager* txn_manager() { return txns_.get(); }
+  /// Null when the store is unlogged.
+  WriteAheadLog* wal() { return wal_.get(); }
 
  private:
+  /// Logical state of one object, captured at `Begin` for `Abort`.
+  struct ObjectSnapshot {
+    std::string name;
+    MInterval definition_domain;
+    CellType cell_type;
+    IndexKind index_kind;
+    std::vector<uint8_t> default_cell;
+    Compression compression;
+    std::vector<TileEntry> entries;
+  };
+
   MDDStore(std::unique_ptr<PageFile> file, MDDStoreOptions options);
 
   Status LoadCatalog();
+  /// Opens the sidecar WAL, replays it when `recover` is set, and
+  /// installs the transaction manager.
+  Status InitWal(bool recover);
+  /// Writes the catalog + index images (phases 1-3 of the historical
+  /// Save) and releases deferred frees; does not flush or commit.
+  Status StageCatalog();
+  /// Rebuilds the in-memory catalog from the `Begin` snapshot (Abort and
+  /// failed-Commit path).
+  Status RestoreSnapshot();
 
   MDDStoreOptions options_;
   DiskModel disk_model_;
@@ -105,6 +191,17 @@ class MDDStore {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BlobStore> blobs_;
   std::unique_ptr<TileIOScheduler> scheduler_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::unique_ptr<TxnManager> txns_;
+  // BLOBs whose pages are still referenced by the persisted catalog;
+  // freed inside the next catalog-writing transaction.
+  std::vector<BlobId> pending_free_blobs_;
+  bool catalog_dirty_ = false;
+  // Captured at Begin; used by Abort to restore the in-memory catalog.
+  std::vector<ObjectSnapshot> txn_snapshot_;
+  std::map<std::string, BlobId> txn_index_blobs_snapshot_;
+  std::vector<BlobId> txn_pending_frees_snapshot_;
+  bool txn_catalog_dirty_snapshot_ = false;
   std::once_flag workers_once_;
   std::unique_ptr<ThreadPool> workers_;
   std::map<std::string, std::unique_ptr<MDDObject>> objects_;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "storage/txn.h"
+
 namespace tilestore {
 
 namespace {
@@ -56,7 +58,17 @@ void BufferPool::InsertEntry(PageId id, const uint8_t* data) {
   shard.map[id] = shard.lru.begin();
 }
 
+TransactionContext* BufferPool::ActiveTxn() const {
+  return txns_ != nullptr ? txns_->active() : nullptr;
+}
+
 Status BufferPool::ReadPage(PageId id, uint8_t* out) {
+  // Read-your-writes: pages staged by the active transaction shadow both
+  // the cache and the file. Not counted as hits or misses — the page has
+  // no physical existence yet.
+  if (TransactionContext* txn = ActiveTxn(); txn != nullptr) {
+    if (txn->ReadStagedPage(id, out)) return Status::OK();
+  }
   if (TryReadCached(id, out)) return Status::OK();
   misses_.fetch_add(1, std::memory_order_relaxed);
   Status st = file_->ReadPage(id, out);
@@ -68,6 +80,17 @@ Status BufferPool::ReadPage(PageId id, uint8_t* out) {
 Status BufferPool::ReadRun(PageId first, uint64_t count, uint8_t* out,
                            uint64_t* physical_runs) {
   const size_t page_size = file_->page_size();
+  // If any page of the run is staged in the active transaction, fall back
+  // to page-at-a-time reads so the overlay is honored (runs mixing staged
+  // and committed pages only occur on the single-writer mutation path).
+  if (TransactionContext* txn = ActiveTxn();
+      txn != nullptr && txn->HasStagedInRange(first, count)) {
+    for (uint64_t i = 0; i < count; ++i) {
+      Status st = ReadPage(first + i, out + i * page_size);
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  }
   uint64_t runs = 0;
   // Pending span of consecutive cache misses, flushed as one physical read.
   uint64_t span_begin = 0;
@@ -102,6 +125,15 @@ Status BufferPool::ReadRun(PageId first, uint64_t count, uint8_t* out,
 }
 
 Status BufferPool::WritePage(PageId id, const uint8_t* data) {
+  // No-steal: inside a transaction nothing reaches the file until commit.
+  if (TransactionContext* txn = ActiveTxn(); txn != nullptr) {
+    txn->StagePageImage(id, data, file_->page_size());
+    return Status::OK();
+  }
+  return ApplyCommitted(id, data);
+}
+
+Status BufferPool::ApplyCommitted(PageId id, const uint8_t* data) {
   Status st = file_->WritePage(id, data);
   if (!st.ok()) return st;
   InsertEntry(id, data);

@@ -14,12 +14,20 @@
 
 namespace tilestore {
 
+class TxnManager;
+
 /// \brief Write-through LRU page cache in front of a `PageFile`.
 ///
 /// Reads served from the pool do not touch the page file and therefore do
 /// not accrue disk-model cost — exactly like a database buffer pool hiding
 /// repeated tile accesses. Benchmarks call `Clear()` between queries to
 /// measure the cold (disk-bound) regime the paper reports.
+///
+/// With a `TxnManager` attached, writes inside an active transaction are
+/// *staged* in the transaction instead of written through (no-steal), and
+/// reads consult the staged overlay first (read-your-writes). The commit
+/// path re-enters via `ApplyCommitted`, which writes through and warms
+/// the cache exactly as the unlogged path would have.
 ///
 /// Concurrency: the pool is thread-safe. The LRU is striped — page ids
 /// hash to one of several shards, each with its own mutex, list, and map —
@@ -51,8 +59,18 @@ class BufferPool {
   Status ReadRun(PageId first, uint64_t count, uint8_t* out,
                  uint64_t* physical_runs = nullptr);
 
-  /// Writes a page through to the file and refreshes any cached copy.
+  /// Writes a page. Outside a transaction: through to the file, refreshing
+  /// any cached copy. Inside one: staged in the transaction only.
   Status WritePage(PageId id, const uint8_t* data);
+
+  /// Commit-path write-through: bypasses transaction staging, writes the
+  /// page to the file and refreshes the cache.
+  Status ApplyCommitted(PageId id, const uint8_t* data);
+
+  /// Attaches the transaction manager consulted for staging/overlay reads;
+  /// nullptr detaches (plain write-through). Attach before sharing the
+  /// pool across threads.
+  void set_txn_manager(TxnManager* txns) { txns_ = txns; }
 
   /// Drops a page from the cache (e.g. when it is freed).
   void Invalidate(PageId id);
@@ -99,7 +117,11 @@ class BufferPool {
   /// Inserts or refreshes `id`; caller must NOT hold the shard mutex.
   void InsertEntry(PageId id, const uint8_t* data);
 
+  /// The active transaction, or nullptr.
+  TransactionContext* ActiveTxn() const;
+
   PageFile* file_;
+  TxnManager* txns_ = nullptr;
   size_t capacity_;
   size_t shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;

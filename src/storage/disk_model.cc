@@ -16,6 +16,7 @@ void DiskModel::OnReadRun(uint64_t first_page, uint64_t pages, size_t bytes) {
   pages_read_ += pages;
   bytes_read_ += bytes;
   expected_next_ = first_page + pages;
+  wal_expected_offset_ = UINT64_MAX;
 }
 
 void DiskModel::OnWrite(uint64_t page_id, size_t bytes) {
@@ -28,11 +29,31 @@ void DiskModel::OnWrite(uint64_t page_id, size_t bytes) {
   ++pages_written_;
   bytes_written_ += bytes;
   expected_next_ = page_id + 1;
+  wal_expected_offset_ = UINT64_MAX;
+}
+
+void DiskModel::OnWalAppend(uint64_t offset, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (offset != wal_expected_offset_) {
+    wal_ms_ += params_.seek_ms;
+  }
+  wal_ms_ += TransferMs(bytes);
+  ++wal_appends_;
+  wal_bytes_ += bytes;
+  wal_expected_offset_ = offset + bytes;
+  expected_next_ = UINT64_MAX;
+}
+
+void DiskModel::OnFsync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fsync_ms_ += params_.seek_ms;
+  ++fsyncs_;
 }
 
 void DiskModel::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   expected_next_ = UINT64_MAX;
+  wal_expected_offset_ = UINT64_MAX;
   read_ms_ = 0;
   write_ms_ = 0;
   pages_read_ = 0;
@@ -41,6 +62,11 @@ void DiskModel::Reset() {
   bytes_written_ = 0;
   read_seeks_ = 0;
   write_seeks_ = 0;
+  wal_ms_ = 0;
+  wal_appends_ = 0;
+  wal_bytes_ = 0;
+  fsync_ms_ = 0;
+  fsyncs_ = 0;
 }
 
 }  // namespace tilestore

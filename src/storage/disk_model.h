@@ -51,6 +51,16 @@ class DiskModel {
   /// Records a physical write of `bytes` at page `page_id`.
   void OnWrite(uint64_t page_id, size_t bytes);
 
+  /// Records a WAL append of `bytes` at byte `offset` of the log file.
+  /// Appends that continue the previous one are sequential; anything else
+  /// (including interleaved data-page I/O, which moves the single modelled
+  /// arm) charges a seek.
+  void OnWalAppend(uint64_t offset, size_t bytes);
+
+  /// Records one fsync (WAL group commit or checkpoint): a rotational
+  /// latency charge of one seek, no transfer.
+  void OnFsync();
+
   /// Clears counters (typically between benchmark queries). The head
   /// position is also forgotten, so the next access charges a seek.
   void Reset();
@@ -63,6 +73,11 @@ class DiskModel {
   uint64_t bytes_written() const { return Locked(bytes_written_); }
   uint64_t read_seeks() const { return Locked(read_seeks_); }
   uint64_t write_seeks() const { return Locked(write_seeks_); }
+  double wal_ms() const { return Locked(wal_ms_); }
+  uint64_t wal_appends() const { return Locked(wal_appends_); }
+  uint64_t wal_bytes() const { return Locked(wal_bytes_); }
+  double fsync_ms() const { return Locked(fsync_ms_); }
+  uint64_t fsyncs() const { return Locked(fsyncs_); }
 
   const DiskParams& params() const { return params_; }
 
@@ -82,8 +97,12 @@ class DiskModel {
 
   mutable std::mutex mu_;
   // Next page id that would continue the current arm position without a
-  // seek; UINT64_MAX means "unknown position".
+  // seek; UINT64_MAX means "unknown position". The model has a single arm:
+  // a WAL append invalidates this, and a page access invalidates
+  // `wal_expected_offset_`.
   uint64_t expected_next_ = UINT64_MAX;
+  // Next WAL byte offset that would continue sequentially.
+  uint64_t wal_expected_offset_ = UINT64_MAX;
 
   double read_ms_ = 0;
   double write_ms_ = 0;
@@ -93,6 +112,11 @@ class DiskModel {
   uint64_t bytes_written_ = 0;
   uint64_t read_seeks_ = 0;
   uint64_t write_seeks_ = 0;
+  double wal_ms_ = 0;
+  uint64_t wal_appends_ = 0;
+  uint64_t wal_bytes_ = 0;
+  double fsync_ms_ = 0;
+  uint64_t fsyncs_ = 0;
 };
 
 }  // namespace tilestore

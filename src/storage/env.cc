@@ -3,16 +3,129 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
 namespace tilestore {
 
 namespace {
+
 std::string ErrnoMessage(const std::string& context) {
   return context + ": " + std::strerror(errno);
 }
+
+std::atomic<FaultInjector*> g_fault_injector{nullptr};
+
+Status PwriteFully(int fd, const std::string& path, uint64_t offset,
+                   const uint8_t* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::pwrite(fd, data + done, n - done,
+                                 static_cast<off_t>(offset + done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("pwrite " + path));
+    }
+    done += static_cast<size_t>(put);
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+void SetFaultInjector(FaultInjector* injector) {
+  g_fault_injector.store(injector, std::memory_order_release);
+}
+
+FaultInjector* ActiveFaultInjector() {
+  return g_fault_injector.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------------
+// ScriptedFaultInjector
+
+void ScriptedFaultInjector::set_path_filter(std::string substr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  filter_ = std::move(substr);
+}
+
+void ScriptedFaultInjector::FailWritesAfter(uint64_t budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_budget_ = budget;
+}
+
+void ScriptedFaultInjector::FailSyncAt(uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_sync_at_ = nth;
+}
+
+void ScriptedFaultInjector::FailAllSyncs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_all_syncs_ = true;
+}
+
+std::vector<ScriptedFaultInjector::WriteEvent> ScriptedFaultInjector::writes()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+uint64_t ScriptedFaultInjector::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+uint64_t ScriptedFaultInjector::syncs_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return syncs_;
+}
+
+bool ScriptedFaultInjector::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+bool ScriptedFaultInjector::Matches(const std::string& path) const {
+  return filter_.empty() || path.find(filter_) != std::string::npos;
+}
+
+FaultInjector::WriteDecision ScriptedFaultInjector::OnWriteAt(
+    const std::string& path, uint64_t offset, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!Matches(path)) return {n, false};
+  if (crashed_) return {0, true};
+  if (bytes_ + n > write_budget_) {
+    const size_t allowed = static_cast<size_t>(write_budget_ - bytes_);
+    bytes_ = write_budget_;
+    crashed_ = true;
+    return {allowed, true};
+  }
+  bytes_ += n;
+  events_.push_back(WriteEvent{path, offset, n});
+  return {n, false};
+}
+
+bool ScriptedFaultInjector::OnSync(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!Matches(path)) return false;
+  if (crashed_) return true;
+  ++syncs_;
+  if (fail_all_syncs_) return true;
+  if (fail_sync_at_ != 0 && syncs_ >= fail_sync_at_) {
+    crashed_ = true;
+    return true;
+  }
+  return false;
+}
+
+bool ScriptedFaultInjector::OnTruncate(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Matches(path) && crashed_;
+}
+
+// ---------------------------------------------------------------------------
+// File
 
 Result<std::unique_ptr<File>> File::Open(const std::string& path,
                                          bool create) {
@@ -54,22 +167,37 @@ Status File::ReadAt(uint64_t offset, size_t n, uint8_t* out) const {
 }
 
 Status File::WriteAt(uint64_t offset, const uint8_t* data, size_t n) {
-  size_t done = 0;
-  while (done < n) {
-    const ssize_t put = ::pwrite(fd_, data + done, n - done,
-                                 static_cast<off_t>(offset + done));
-    if (put < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(ErrnoMessage("pwrite " + path_));
+  if (FaultInjector* injector = ActiveFaultInjector()) {
+    const FaultInjector::WriteDecision d = injector->OnWriteAt(path_, offset, n);
+    if (d.fail) {
+      // Torn write: persist the allowed prefix, then fail as a crash would.
+      if (d.allowed > 0) (void)PwriteFully(fd_, path_, offset, data, d.allowed);
+      return Status::IOError("injected write failure on " + path_);
     }
-    done += static_cast<size_t>(put);
+  }
+  return PwriteFully(fd_, path_, offset, data, n);
+}
+
+Status File::Sync() {
+  if (FaultInjector* injector = ActiveFaultInjector()) {
+    if (injector->OnSync(path_)) {
+      return Status::IOError("injected fsync failure on " + path_);
+    }
+  }
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(ErrnoMessage("fdatasync " + path_));
   }
   return Status::OK();
 }
 
-Status File::Sync() {
-  if (::fdatasync(fd_) != 0) {
-    return Status::IOError(ErrnoMessage("fdatasync " + path_));
+Status File::Truncate(uint64_t size) {
+  if (FaultInjector* injector = ActiveFaultInjector()) {
+    if (injector->OnTruncate(path_)) {
+      return Status::IOError("injected truncate failure on " + path_);
+    }
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IOError(ErrnoMessage("ftruncate " + path_));
   }
   return Status::OK();
 }

@@ -1,0 +1,60 @@
+#ifndef TILESTORE_STORAGE_FSCK_H_
+#define TILESTORE_STORAGE_FSCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tilestore {
+
+/// \brief Outcome of an offline consistency check (see `FsckStore`).
+///
+/// `errors` are integrity violations (corrupt superblock, broken free
+/// list, page checksum mismatches); `warnings` are survivable oddities
+/// (torn WAL tail, unverifiable checksum table). A store that merely
+/// crashed is *not* an error: its committed WAL suffix shows up as
+/// `needs_recovery` and the next `MDDStore::Open` replays it.
+struct FsckReport {
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;
+
+  uint32_t page_size = 0;
+  uint64_t page_count = 0;
+  uint64_t free_pages = 0;
+  uint64_t epoch = 0;
+  uint64_t checkpoint_lsn = 0;
+
+  uint64_t wal_records = 0;
+  uint64_t wal_committed_txns = 0;
+  bool wal_torn_tail = false;
+  /// Committed transactions in the WAL past the checkpoint LSN: Open will
+  /// replay them.
+  bool needs_recovery = false;
+
+  uint64_t pages_checksummed = 0;
+  uint64_t checksum_mismatches = 0;
+
+  bool clean() const { return errors.empty(); }
+};
+
+/// Offline integrity check of the page file at `db_path` and its sidecar
+/// WAL (`<db_path>.wal`). Read-only; safe on a crashed store. Verifies:
+///   - both superblock copies (at least one must parse),
+///   - the free-list chain (bounds, length, cycles),
+///   - the WAL record chain,
+///   - per-page CRC32C against the persisted checksum table — only when
+///     the store needs no recovery, since replay legitimately changes
+///     pages.
+/// Fails (the Result) only when the file cannot be read at all; integrity
+/// problems are reported inside the FsckReport.
+Result<FsckReport> FsckStore(const std::string& db_path);
+
+/// Renders the report in a human-readable form for the CLI tool.
+std::string FormatFsckReport(const FsckReport& report);
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_STORAGE_FSCK_H_

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -13,6 +14,9 @@
 #include "storage/env.h"
 
 namespace tilestore {
+
+class TransactionContext;
+class TxnManager;
 
 /// Identifier of a page within a page file. Page 0 is the superblock;
 /// 0 therefore doubles as the invalid/"null" page id in chains.
@@ -24,18 +28,49 @@ inline constexpr PageId kInvalidPageId = 0;
 /// (32 KiB .. 256 KiB) are intended to be integral multiples of it.
 inline constexpr uint32_t kDefaultPageSize = 4096;
 
+/// Snapshot of the page file's allocation metadata. Transactions capture
+/// one at Begin so Abort can roll the free list / page count / user root
+/// back, and commit records carry one so recovery can re-apply it.
+struct PageFileMeta {
+  uint64_t page_count = 1;  // includes the superblock
+  PageId free_head = kInvalidPageId;
+  uint64_t free_count = 0;
+  uint64_t user_root = 0;
+};
+
+/// Decoded superblock copy, as read from disk (see `ParseSuperblockAt`).
+/// Used by `tilestore_fsck` to inspect both copies independently.
+struct SuperblockImage {
+  uint32_t page_size = 0;
+  PageFileMeta meta;
+  uint64_t epoch = 0;
+  uint64_t checkpoint_lsn = 0;
+  /// First page of the persisted per-page checksum table (0 = none).
+  uint64_t crc_table_offset_pages = 0;
+};
+
 /// \brief A file of fixed-size pages with a free list — the lowest layer
 /// of the storage manager.
 ///
-/// Layout: page 0 is the superblock (magic, page size, page count, free
-/// list head, and one user-root slot the catalog layer uses to find its
-/// metadata). Pages are allocated from the free list or by extending the
-/// file; freed pages are chained through their first 8 bytes.
+/// Layout: page 0 holds two checksummed superblock copies (primary at
+/// byte 0, backup at byte `kBackupSuperblockOffset`), each carrying the
+/// magic, page size, page count, free-list head, one user-root slot, a
+/// monotonically increasing epoch, and the WAL checkpoint LSN. Updates
+/// alternate backup-then-primary with an fsync between, so at least one
+/// copy is always intact; `Open` picks the valid copy with the highest
+/// epoch. Pages are allocated from the free list or by extending the
+/// file; freed pages are chained through their *last* 8 bytes, so freeing
+/// never clobbers BLOB headers or chain pointers of stale data.
+///
+/// A CRC32C per data page is kept in memory and persisted past the last
+/// page at each checkpoint; it is verified by `tilestore_fsck` only —
+/// never on the normal read path, which stays byte-for-byte identical in
+/// cost to the unchecksummed implementation.
 ///
 /// Every physical page read/write is reported to the attached `DiskModel`
 /// (if any), which is how benchmarks obtain the paper's t_o. Superblock
 /// and free-list maintenance is metadata traffic and is deliberately not
-/// charged.
+/// charged; fsyncs are charged via `DiskModel::OnFsync`.
 ///
 /// Concurrency: the read path (`ReadPage`, `ReadRun`) is thread-safe —
 /// reads go through positional `pread` and never touch shared mutable
@@ -43,14 +78,27 @@ inline constexpr uint32_t kDefaultPageSize = 4096;
 /// superblock maintenance are serialized by an internal mutex but assume a
 /// single logical writer (the MDD load/update path); concurrent writers
 /// racing readers of the *same* page get no atomicity guarantee.
+///
+/// When a `TxnManager` is attached (`set_txn_manager`), free-list links
+/// are journaled: `FreePage` stages the link in the active transaction
+/// instead of writing it, and the commit path writes it through
+/// `ApplyFreeLink` after the WAL records are durable.
 class PageFile {
  public:
+  /// Byte offset of the backup superblock copy inside page 0.
+  static constexpr uint64_t kBackupSuperblockOffset = 256;
+
   /// Creates a new page file at `path` (fails with AlreadyExists).
   static Result<std::unique_ptr<PageFile>> Create(
       const std::string& path, uint32_t page_size = kDefaultPageSize);
 
-  /// Opens an existing page file, validating the superblock.
+  /// Opens an existing page file, validating the superblock copies.
   static Result<std::unique_ptr<PageFile>> Open(const std::string& path);
+
+  /// Decodes one superblock copy at byte `offset`, verifying magic,
+  /// version, and CRC. Used by `Open` and by `tilestore_fsck`.
+  static Result<SuperblockImage> ParseSuperblockAt(const File& file,
+                                                   uint64_t offset);
 
   ~PageFile();
   PageFile(const PageFile&) = delete;
@@ -60,7 +108,8 @@ class PageFile {
   /// the page before reading it back.
   Result<PageId> AllocatePage();
 
-  /// Returns `id` to the free list.
+  /// Returns `id` to the free list. Inside a transaction the link write is
+  /// staged; outside it is written through immediately.
   Status FreePage(PageId id);
 
   /// Reads page `id` into `out` (page_size() bytes). Thread-safe.
@@ -74,8 +123,31 @@ class PageFile {
   /// Writes page `id` from `data` (page_size() bytes).
   Status WritePage(PageId id, const uint8_t* data);
 
-  /// Persists the superblock and syncs file contents.
+  /// Writes the free-list link of `id` (its last 8 bytes) directly,
+  /// bypassing transaction staging. Called by the commit/recovery path
+  /// after the corresponding WAL record is durable.
+  Status ApplyFreeLink(PageId id, PageId next);
+
+  /// Reads the free-list link stored in the last 8 bytes of `id`.
+  Result<PageId> ReadFreeLink(PageId id);
+
+  /// Replaces the allocation metadata wholesale: Abort rolls back to the
+  /// Begin-time snapshot; recovery applies the snapshot carried by each
+  /// committed WAL record.
+  void RestoreMeta(const PageFileMeta& meta);
+
+  /// Consistent snapshot of the allocation metadata.
+  PageFileMeta meta() const;
+
+  /// Durability point of the unlogged path: persists the checksum table
+  /// and both superblock copies (bumping the epoch), then syncs once.
   Status Flush();
+
+  /// Checkpoint with torn-write protection, recording `checkpoint_lsn`:
+  /// syncs data, persists the checksum table + backup superblock, syncs,
+  /// then the primary superblock, and syncs again. After it returns, WAL
+  /// records with LSN <= `checkpoint_lsn` are no longer needed.
+  Status Checkpoint(uint64_t checkpoint_lsn);
 
   uint32_t page_size() const { return page_size_; }
   /// Total pages including the superblock.
@@ -91,10 +163,25 @@ class PageFile {
   uint64_t user_root() const { return user_root_; }
   void set_user_root(uint64_t root) { user_root_ = root; }
 
+  /// Superblock epoch (bumped by Flush/Checkpoint) and the LSN up to
+  /// which the WAL had been applied at the last checkpoint.
+  uint64_t epoch() const;
+  uint64_t checkpoint_lsn() const;
+
+  /// In-memory CRC32C of page `id`'s last written content; 0 means free
+  /// or not written since the table was (re)built.
+  uint32_t page_crc(PageId id) const;
+
   /// Attaches a disk cost model; pass nullptr to detach. Not synchronized
   /// with in-flight I/O — attach before sharing the file across threads.
   void set_disk_model(DiskModel* model) { disk_model_ = model; }
   DiskModel* disk_model() const { return disk_model_; }
+
+  /// Attaches the transaction manager that journals free-list updates;
+  /// pass nullptr to detach (restoring unlogged write-through behavior).
+  void set_txn_manager(TxnManager* txns) { txns_ = txns; }
+
+  const std::string& path() const { return file_->path(); }
 
  private:
   PageFile(std::unique_ptr<File> file, uint32_t page_size)
@@ -102,18 +189,31 @@ class PageFile {
 
   Status ValidatePageId(PageId id) const;
   Status ValidatePageRun(PageId first, uint64_t count) const;
-  Status WriteSuperblock();
+  TransactionContext* ActiveTxn() const;
+
+  // All *Locked helpers require meta_mu_ to be held.
+  Status WriteSuperblockAtLocked(uint64_t offset);
+  Status SyncLocked();
+  Status PersistChecksumTableLocked();
   Status ReadSuperblock();
+  void RebuildChecksumTable();
 
   std::unique_ptr<File> file_;
   uint32_t page_size_;
   std::atomic<uint64_t> page_count_{1};  // superblock
-  // Guards allocation / free-list / superblock metadata.
-  std::mutex meta_mu_;
+  // Guards allocation / free-list / superblock metadata and the crc table.
+  mutable std::mutex meta_mu_;
   PageId free_head_ = kInvalidPageId;
   std::atomic<uint64_t> free_count_{0};
   uint64_t user_root_ = 0;
+  uint64_t epoch_ = 1;
+  uint64_t checkpoint_lsn_ = 0;
+  uint64_t crc_table_offset_pages_ = 0;
+  // crcs_[id] = CRC32C of page id's content; 0 = free/unknown. Indexed up
+  // to page_count (extended lazily on write).
+  std::vector<uint32_t> crcs_;
   DiskModel* disk_model_ = nullptr;
+  TxnManager* txns_ = nullptr;
 };
 
 }  // namespace tilestore

@@ -1,0 +1,241 @@
+#include "storage/txn.h"
+
+#include <cstring>
+
+#include "storage/buffer_pool.h"
+
+namespace tilestore {
+
+// ---------------------------------------------------------------------------
+// TransactionContext
+
+void TransactionContext::StagePageImage(PageId page, const uint8_t* data,
+                                        size_t n) {
+  // Always append rather than overwrite in place: a free-link record for
+  // the same page may sit between two images of it, and apply/replay
+  // depend on operation order (the link write clobbers the image's last
+  // 8 bytes, so it must not move after a newer image).
+  ops_.push_back(Op{WalRecordType::kPageImage, page, kInvalidPageId,
+                    std::vector<uint8_t>(data, data + n)});
+  latest_image_[page] = ops_.size() - 1;
+}
+
+bool TransactionContext::ReadStagedPage(PageId page, uint8_t* out) const {
+  auto it = latest_image_.find(page);
+  if (it == latest_image_.end()) return false;
+  const std::vector<uint8_t>& image = ops_[it->second].image;
+  std::memcpy(out, image.data(), image.size());
+  return true;
+}
+
+bool TransactionContext::HasStagedInRange(PageId first, uint64_t count) const {
+  if (latest_image_.empty()) return false;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (latest_image_.count(first + i) > 0) return true;
+  }
+  return false;
+}
+
+void TransactionContext::StageFreeLink(PageId page, PageId next) {
+  ops_.push_back(Op{WalRecordType::kFreeLink, page, next, {}});
+  free_links_[page] = next;
+}
+
+bool TransactionContext::StagedFreeLink(PageId page, PageId* next) const {
+  auto it = free_links_.find(page);
+  if (it == free_links_.end()) return false;
+  *next = it->second;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// TxnManager
+
+TxnManager::TxnManager(PageFile* file, BufferPool* pool, WriteAheadLog* wal,
+                       uint64_t checkpoint_threshold_bytes)
+    : file_(file),
+      pool_(pool),
+      wal_(wal),
+      checkpoint_threshold_(checkpoint_threshold_bytes),
+      last_durable_lsn_(wal != nullptr && wal->next_lsn() > 0
+                            ? wal->next_lsn() - 1
+                            : 0) {}
+
+Status TxnManager::Begin() {
+  if (poisoned_) {
+    return Status::IOError(
+        "transaction manager poisoned by a half-applied commit; reopen the "
+        "store to recover");
+  }
+  if (active_ != nullptr) {
+    return Status::InvalidArgument("a transaction is already active");
+  }
+  active_ = std::make_unique<TransactionContext>(next_txn_id_++,
+                                                 file_->meta());
+  active_raw_.store(active_.get(), std::memory_order_release);
+  return Status::OK();
+}
+
+Status TxnManager::ApplyOps(const std::vector<TransactionContext::Op>& ops) {
+  for (const TransactionContext::Op& op : ops) {
+    Status st = op.kind == WalRecordType::kPageImage
+                    ? pool_->ApplyCommitted(op.page, op.image.data())
+                    : file_->ApplyFreeLink(op.page, op.next);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status TxnManager::Commit() {
+  if (active_ == nullptr) {
+    return Status::InvalidArgument("no active transaction to commit");
+  }
+  std::unique_ptr<TransactionContext> txn = std::move(active_);
+  // Readers may no longer see the staging overlay once apply starts; the
+  // applied pages carry the same bytes.
+  active_raw_.store(nullptr, std::memory_order_release);
+
+  if (txn->ops().empty()) return Status::OK();  // e.g. metadata-only no-op
+
+  const uint64_t wal_end_at_begin = wal_->size_bytes();
+
+  // 1. Log: Begin, every staged op in order, then the commit record with
+  //    the post-transaction allocation metadata.
+  Status st = wal_->AppendBegin(txn->id());
+  for (const TransactionContext::Op& op : txn->ops()) {
+    if (!st.ok()) break;
+    st = op.kind == WalRecordType::kPageImage
+             ? wal_->AppendPageImage(txn->id(), op.page, op.image.data(),
+                                     op.image.size())
+             : wal_->AppendFreeLink(txn->id(), op.page, op.next);
+  }
+  if (st.ok()) st = wal_->AppendCommit(txn->id(), file_->meta());
+  // 2. The group-commit fsync: the transaction is durable after this.
+  if (st.ok()) st = wal_->Sync();
+  if (!st.ok()) {
+    // Not durable and nothing applied: roll back as a plain abort. The
+    // record bytes may nonetheless have reached the log (e.g. the fsync
+    // failed after successful appends), so cut them back out — a
+    // transaction reported as failed must not replay on reopen. If even
+    // the truncation cannot be made durable, the log's contents are
+    // unknowable and only a reopen (which re-scans it) is safe.
+    if (!wal_->TruncateTo(wal_end_at_begin).ok()) poisoned_ = true;
+    file_->RestoreMeta(txn->meta_at_begin());
+    return st;
+  }
+  last_durable_lsn_ = wal_->next_lsn() - 1;
+
+  // 3. Apply to the data file, through the pool so the cache warms exactly
+  //    as write-through would have.
+  st = ApplyOps(txn->ops());
+  if (!st.ok()) {
+    // Durable but half-applied: only recovery replay can finish the job.
+    poisoned_ = true;
+    return st;
+  }
+  ++commits_;
+
+  if (checkpoint_threshold_ != 0 &&
+      wal_->size_bytes() >= checkpoint_threshold_) {
+    // Best effort: a failed checkpoint leaves a longer log, not a broken
+    // store.
+    (void)CheckpointNow();
+  }
+  return Status::OK();
+}
+
+Status TxnManager::Abort() {
+  if (active_ == nullptr) {
+    return Status::InvalidArgument("no active transaction to abort");
+  }
+  std::unique_ptr<TransactionContext> txn = std::move(active_);
+  active_raw_.store(nullptr, std::memory_order_release);
+  file_->RestoreMeta(txn->meta_at_begin());
+  return Status::OK();
+}
+
+Status TxnManager::CheckpointNow() {
+  if (active_ != nullptr) {
+    return Status::InvalidArgument("cannot checkpoint inside a transaction");
+  }
+  if (poisoned_) {
+    return Status::IOError("transaction manager poisoned; reopen to recover");
+  }
+  Status st = file_->Checkpoint(last_durable_lsn_);
+  if (!st.ok()) return st;
+  st = wal_->Reset();
+  if (!st.ok()) return st;
+  ++checkpoints_;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ScopedTxn
+
+ScopedTxn::ScopedTxn(TxnManager* txns) : txns_(txns) {
+  if (txns_ != nullptr && !txns_->in_txn()) {
+    begin_status_ = txns_->Begin();
+    owner_ = begin_status_.ok();
+  }
+}
+
+ScopedTxn::~ScopedTxn() {
+  if (owner_ && !done_) (void)txns_->Abort();
+}
+
+Status ScopedTxn::Commit() {
+  done_ = true;
+  if (!owner_) return Status::OK();
+  return txns_->Commit();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+Result<uint64_t> RecoverFromWal(PageFile* file, const std::string& wal_path,
+                                uint64_t* max_lsn) {
+  if (max_lsn != nullptr) *max_lsn = 0;
+  std::vector<WalRecord> records;
+  Status st = WriteAheadLog::ScanFile(wal_path, &records);
+  if (!st.ok()) return st;
+  const uint64_t checkpoint_lsn = file->checkpoint_lsn();
+
+  uint64_t applied_txns = 0;
+  // Gather each transaction's ops; apply them only when its commit record
+  // is present (uncommitted tails are discarded wholesale).
+  uint64_t open_txn = 0;
+  std::vector<const WalRecord*> pending;
+  for (const WalRecord& r : records) {
+    if (max_lsn != nullptr && r.lsn > *max_lsn) *max_lsn = r.lsn;
+    if (r.lsn <= checkpoint_lsn) continue;  // already checkpointed
+    switch (r.type) {
+      case WalRecordType::kBegin:
+        open_txn = r.txn_id;
+        pending.clear();
+        break;
+      case WalRecordType::kPageImage:
+      case WalRecordType::kFreeLink:
+        if (r.txn_id == open_txn) pending.push_back(&r);
+        break;
+      case WalRecordType::kCommit: {
+        if (r.txn_id != open_txn) break;
+        // The commit snapshot first: it extends page_count so the
+        // physical redo below passes validation.
+        file->RestoreMeta(r.meta);
+        for (const WalRecord* op : pending) {
+          st = op->type == WalRecordType::kPageImage
+                   ? file->WritePage(op->page, op->image.data())
+                   : file->ApplyFreeLink(op->page, op->next);
+          if (!st.ok()) return st;
+        }
+        pending.clear();
+        open_txn = 0;
+        ++applied_txns;
+        break;
+      }
+    }
+  }
+  return applied_txns;
+}
+
+}  // namespace tilestore

@@ -1,0 +1,206 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "common/checksum.h"
+#include "common/serde.h"
+
+namespace tilestore {
+
+namespace {
+
+// Bytes before the CRC-covered region: u32 crc + u32 len.
+constexpr size_t kRecordHeaderBytes = 8;
+// CRC-covered fixed prefix: u64 lsn + u8 type + u64 txn_id.
+constexpr size_t kRecordFixedBytes = 8 + 1 + 8;
+// Upper bound used to reject garbage length fields while scanning.
+constexpr uint64_t kMaxRecordBytes = 64u << 20;
+
+bool ValidType(uint8_t t) {
+  return t >= static_cast<uint8_t>(WalRecordType::kBegin) &&
+         t <= static_cast<uint8_t>(WalRecordType::kCommit);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path, DiskModel* model) {
+  Result<std::unique_ptr<File>> file = File::Open(path, /*create=*/false);
+  if (!file.ok()) {
+    if (!file.status().IsNotFound()) return file.status();
+    file = File::Open(path, /*create=*/true);
+    if (!file.ok()) return file.status();
+  }
+  std::unique_ptr<WriteAheadLog> wal(
+      new WriteAheadLog(std::move(file).MoveValue(), model));
+  Result<uint64_t> size = wal->file_->Size();
+  if (!size.ok()) return size.status();
+  wal->end_ = size.value();
+  if (wal->end_ != 0) {
+    std::vector<WalRecord> records;
+    Status st = ScanFile(path, &records);
+    if (!st.ok()) return st;
+    for (const WalRecord& r : records) {
+      if (r.lsn >= wal->next_lsn_) wal->next_lsn_ = r.lsn + 1;
+    }
+  }
+  return wal;
+}
+
+Status WriteAheadLog::ScanFile(const std::string& path,
+                               std::vector<WalRecord>* out, bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  Result<std::unique_ptr<File>> file = File::Open(path, /*create=*/false);
+  if (!file.ok()) {
+    if (file.status().IsNotFound()) return Status::OK();
+    return file.status();
+  }
+  Result<uint64_t> size = file.value()->Size();
+  if (!size.ok()) return size.status();
+  std::vector<uint8_t> raw(size.value());
+  if (!raw.empty()) {
+    Status st = file.value()->ReadAt(0, raw.size(), raw.data());
+    if (!st.ok()) return st;
+  }
+
+  size_t pos = 0;
+  uint64_t prev_lsn = 0;
+  const auto torn = [&]() {
+    if (truncated != nullptr) *truncated = pos < raw.size();
+    return Status::OK();
+  };
+  while (raw.size() - pos >= kRecordHeaderBytes + kRecordFixedBytes) {
+    uint32_t crc;
+    uint32_t len;
+    std::memcpy(&crc, raw.data() + pos, 4);
+    std::memcpy(&len, raw.data() + pos + 4, 4);
+    if (len < kRecordFixedBytes || len > kMaxRecordBytes ||
+        raw.size() - pos - kRecordHeaderBytes < len) {
+      return torn();
+    }
+    const uint8_t* body = raw.data() + pos + kRecordHeaderBytes;
+    if (Crc32c(body, len) != crc) return torn();
+
+    WalRecord record;
+    std::memcpy(&record.lsn, body, 8);
+    const uint8_t type = body[8];
+    std::memcpy(&record.txn_id, body + 9, 8);
+    if (!ValidType(type) || record.lsn <= prev_lsn) return torn();
+    record.type = static_cast<WalRecordType>(type);
+
+    const std::vector<uint8_t> payload(body + kRecordFixedBytes, body + len);
+    ByteReader r(payload);
+    Status st = Status::OK();
+    switch (record.type) {
+      case WalRecordType::kBegin:
+        break;
+      case WalRecordType::kPageImage: {
+        st = r.U64(&record.page);
+        if (st.ok()) {
+          record.image.assign(payload.begin() + r.position(), payload.end());
+        }
+        break;
+      }
+      case WalRecordType::kFreeLink: {
+        st = r.U64(&record.page);
+        if (st.ok()) st = r.U64(&record.next);
+        break;
+      }
+      case WalRecordType::kCommit: {
+        st = r.U64(&record.meta.page_count);
+        if (st.ok()) st = r.U64(&record.meta.free_head);
+        if (st.ok()) st = r.U64(&record.meta.free_count);
+        if (st.ok()) st = r.U64(&record.meta.user_root);
+        break;
+      }
+    }
+    if (!st.ok()) return torn();
+    prev_lsn = record.lsn;
+    out->push_back(std::move(record));
+    pos += kRecordHeaderBytes + len;
+  }
+  return torn();
+}
+
+Status WriteAheadLog::Append(WalRecordType type, uint64_t txn_id,
+                             const std::vector<uint8_t>& payload) {
+  const uint32_t len = static_cast<uint32_t>(kRecordFixedBytes +
+                                             payload.size());
+  std::vector<uint8_t> buf(kRecordHeaderBytes + len);
+  const uint64_t lsn = next_lsn_;
+  std::memcpy(buf.data() + 8, &lsn, 8);
+  buf[16] = static_cast<uint8_t>(type);
+  std::memcpy(buf.data() + 17, &txn_id, 8);
+  if (!payload.empty()) {
+    std::memcpy(buf.data() + kRecordHeaderBytes + kRecordFixedBytes,
+                payload.data(), payload.size());
+  }
+  const uint32_t crc = Crc32c(buf.data() + kRecordHeaderBytes, len);
+  std::memcpy(buf.data(), &crc, 4);
+  std::memcpy(buf.data() + 4, &len, 4);
+
+  Status st = file_->WriteAt(end_, buf.data(), buf.size());
+  if (!st.ok()) return st;
+  if (model_ != nullptr) model_->OnWalAppend(end_, buf.size());
+  end_ += buf.size();
+  next_lsn_ = lsn + 1;
+  return Status::OK();
+}
+
+Status WriteAheadLog::AppendBegin(uint64_t txn_id) {
+  return Append(WalRecordType::kBegin, txn_id, {});
+}
+
+Status WriteAheadLog::AppendPageImage(uint64_t txn_id, PageId page,
+                                      const uint8_t* data, size_t n) {
+  ByteWriter w;
+  w.U64(page);
+  w.Bytes(data, n);
+  return Append(WalRecordType::kPageImage, txn_id, w.Take());
+}
+
+Status WriteAheadLog::AppendFreeLink(uint64_t txn_id, PageId page,
+                                     PageId next) {
+  ByteWriter w;
+  w.U64(page);
+  w.U64(next);
+  return Append(WalRecordType::kFreeLink, txn_id, w.Take());
+}
+
+Status WriteAheadLog::AppendCommit(uint64_t txn_id, const PageFileMeta& meta) {
+  ByteWriter w;
+  w.U64(meta.page_count);
+  w.U64(meta.free_head);
+  w.U64(meta.free_count);
+  w.U64(meta.user_root);
+  return Append(WalRecordType::kCommit, txn_id, w.Take());
+}
+
+Status WriteAheadLog::Sync() {
+  Status st = file_->Sync();
+  if (!st.ok()) return st;
+  if (model_ != nullptr) model_->OnFsync();
+  return Status::OK();
+}
+
+Status WriteAheadLog::Reset() {
+  Status st = file_->Truncate(0);
+  if (!st.ok()) return st;
+  end_ = 0;
+  return Sync();
+}
+
+Status WriteAheadLog::TruncateTo(uint64_t size) {
+  if (size > end_) {
+    return Status::InvalidArgument("WAL TruncateTo beyond the log end");
+  }
+  // This also cuts off any torn bytes a failed append left past end_.
+  Status st = file_->Truncate(size);
+  if (!st.ok()) return st;
+  end_ = size;
+  // The truncation itself must be durable: if it is not, a crash could
+  // resurrect the records that were just cut off.
+  return Sync();
+}
+
+}  // namespace tilestore

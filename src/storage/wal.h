@@ -1,0 +1,113 @@
+#ifndef TILESTORE_STORAGE_WAL_H_
+#define TILESTORE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_model.h"
+#include "storage/env.h"
+#include "storage/page_file.h"
+
+namespace tilestore {
+
+/// WAL record types. Records are physical-logical: page images carry the
+/// full post-write content of one page, free-link records the logical
+/// free-list chain update, and commit records the post-transaction
+/// allocation metadata snapshot.
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kPageImage = 2,
+  kFreeLink = 3,
+  kCommit = 4,
+};
+
+/// One decoded WAL record (see `WriteAheadLog::ScanFile`).
+struct WalRecord {
+  WalRecordType type = WalRecordType::kBegin;
+  uint64_t lsn = 0;
+  uint64_t txn_id = 0;
+  PageId page = kInvalidPageId;       // kPageImage, kFreeLink
+  PageId next = kInvalidPageId;       // kFreeLink
+  std::vector<uint8_t> image;         // kPageImage
+  PageFileMeta meta;                  // kCommit
+};
+
+/// \brief Sidecar write-ahead log of a page file (`<store>.wal`).
+///
+/// On-disk format: a sequence of records, each
+///   u32 crc32c | u32 len | u64 lsn | u8 type | u64 txn_id | payload
+/// where `len` counts everything after the first 8 bytes and the CRC
+/// covers those `len` bytes. LSNs increase strictly; a scan stops at the
+/// first record whose header, CRC, or LSN is wrong — by construction that
+/// is the torn tail of a crashed append, never a gap (records are
+/// appended strictly in order and the file is truncated, not rewritten).
+///
+/// Appends are buffered only in the OS; `Sync` is the group-commit
+/// boundary. Appends and syncs are charged to the attached `DiskModel` as
+/// WAL traffic (`OnWalAppend`/`OnFsync`), keeping write benchmarks honest
+/// without touching read-path accounting.
+class WriteAheadLog {
+ public:
+  /// Opens (or creates) the log at `path`. The next LSN starts after the
+  /// highest LSN found in the existing log.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path,
+                                                     DiskModel* model);
+
+  /// Decodes every well-formed record of the log at `path` in order,
+  /// stopping silently at a torn tail. A missing file yields no records.
+  /// `truncated`, when non-null, reports whether undecodable bytes
+  /// followed the last good record.
+  static Status ScanFile(const std::string& path, std::vector<WalRecord>* out,
+                         bool* truncated = nullptr);
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  Status AppendBegin(uint64_t txn_id);
+  Status AppendPageImage(uint64_t txn_id, PageId page, const uint8_t* data,
+                         size_t n);
+  Status AppendFreeLink(uint64_t txn_id, PageId page, PageId next);
+  Status AppendCommit(uint64_t txn_id, const PageFileMeta& meta);
+
+  /// Group-commit boundary: makes every append so far durable.
+  Status Sync();
+
+  /// Truncates the log to empty (after a checkpoint) and syncs. LSNs keep
+  /// increasing across resets.
+  Status Reset();
+
+  /// Truncates the log back to `size` bytes (a prior `size_bytes()` value)
+  /// and syncs. The commit path uses this to cut a transaction's records
+  /// back out of the log when the group-commit fsync fails: a transaction
+  /// reported as failed must not be replayable.
+  Status TruncateTo(uint64_t size);
+
+  /// Bytes currently in the log.
+  uint64_t size_bytes() const { return end_; }
+  /// LSN the next append will use.
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// Raises the next LSN (recovery aligns it past the replayed records).
+  void set_next_lsn(uint64_t lsn) { next_lsn_ = lsn; }
+
+  const std::string& path() const { return file_->path(); }
+
+ private:
+  WriteAheadLog(std::unique_ptr<File> file, DiskModel* model)
+      : file_(std::move(file)), model_(model) {}
+
+  Status Append(WalRecordType type, uint64_t txn_id,
+                const std::vector<uint8_t>& payload);
+
+  std::unique_ptr<File> file_;
+  DiskModel* model_;
+  uint64_t end_ = 0;
+  uint64_t next_lsn_ = 1;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_STORAGE_WAL_H_

@@ -1,0 +1,59 @@
+#include "common/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tilestore {
+namespace {
+
+TEST(ChecksumTest, KnownVectors) {
+  // CRC-32C check value (ITU/iSCSI test vector).
+  const char* digits = "123456789";
+  EXPECT_EQ(Crc32c(digits, 9), 0xE3069283u);
+
+  // RFC 3720 B.4: 32 bytes of zeros.
+  std::vector<uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+
+  // RFC 3720 B.4: 32 bytes of 0xFF.
+  std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+
+  // RFC 3720 B.4: 32 incrementing bytes 0x00..0x1F.
+  std::vector<uint8_t> inc(32);
+  for (size_t i = 0; i < inc.size(); ++i) inc[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(Crc32c(inc.data(), inc.size()), 0x46DD794Eu);
+}
+
+TEST(ChecksumTest, EmptyInputIsZero) {
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+  EXPECT_EQ(Crc32c("x", 0), 0u);
+}
+
+TEST(ChecksumTest, IncrementalMatchesOneShot) {
+  const std::string data =
+      "the quick brown fox jumps over the lazy dog 0123456789";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  // Every split point must agree with the one-shot value.
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t head = Crc32c(data.data(), split);
+    const uint32_t crc = Crc32c(data.data() + split, data.size() - split, head);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(ChecksumTest, SensitiveToEveryByte) {
+  std::vector<uint8_t> buf(64, 0x5A);
+  const uint32_t base = Crc32c(buf.data(), buf.size());
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] ^= 0x01;
+    EXPECT_NE(Crc32c(buf.data(), buf.size()), base) << "flip at " << i;
+    buf[i] ^= 0x01;
+  }
+}
+
+}  // namespace
+}  // namespace tilestore

@@ -1,0 +1,29 @@
+// tilestore_fsck — offline consistency checker for a tilestore database.
+//
+//   tilestore_fsck <db>
+//
+// Reads the database (and its .wal sidecar, if present) without opening
+// it through MDDStore, so it can be pointed at a crashed store before
+// recovery runs. Prints the report from FsckStore and exits 0 iff the
+// store is clean (a pending WAL recovery is clean: reopening the store
+// completes it).
+
+#include <cstdio>
+#include <string>
+
+#include "storage/fsck.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: tilestore_fsck <db>\n");
+    return 2;
+  }
+  tilestore::Result<tilestore::FsckReport> report =
+      tilestore::FsckStore(argv[1]);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  std::fputs(tilestore::FormatFsckReport(*report).c_str(), stdout);
+  return report->clean() ? 0 : 1;
+}
