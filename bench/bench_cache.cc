@@ -9,6 +9,8 @@
 // steady state, and the corresponding model t_o.
 //
 // Flags: --repeats=N passes over the query pair (default 4).
+//        --smoke     reduced workload for CI: fewer pool sizes, fewer
+//                    passes, shorter read-path measurement.
 
 #include <cstdio>
 #include <memory>
@@ -21,7 +23,8 @@ namespace bench {
 namespace {
 
 int Main(int argc, char** argv) {
-  const int repeats = FlagInt(argc, argv, "repeats", 4);
+  const bool smoke = FlagBool(argc, argv, "smoke");
+  const int repeats = FlagInt(argc, argv, "repeats", smoke ? 2 : 4);
 
   std::fprintf(stderr, "building animation (6.8 MiB)...\n");
   Array animation = MakeAnimation();
@@ -33,8 +36,10 @@ int Main(int argc, char** argv) {
   std::printf("%12s %14s %16s %14s %16s\n", "pool_pages", "pages_pass1",
               "pages_steady", "t_o_pass1_ms", "t_o_steady_ms");
 
-  for (size_t pool_pages : {size_t{0}, size_t{64}, size_t{512}, size_t{4096},
-                            size_t{16384}}) {
+  const std::vector<size_t> pool_sizes =
+      smoke ? std::vector<size_t>{0, 512, 16384}
+            : std::vector<size_t>{0, 64, 512, 4096, 16384};
+  for (size_t pool_pages : pool_sizes) {
     const std::string path = "/tmp/tilestore_bench_cache.db";
     (void)RemoveFile(path);
     MDDStoreOptions options;
@@ -96,10 +101,13 @@ int Main(int argc, char** argv) {
     AreasOfInterestTiling strategy(areas, 256 * 1024);
     if (!object->Load(animation, strategy).ok()) return 1;
 
-    std::vector<ReadPathSample> samples =
-        MeasureWarmReadPath(store.get(), object, AnimationBodyArea(),
-                            {1, 2, 4, 8}, /*min_queries=*/20, "bench_cache",
-                            "warm_aoi_query");
+    std::vector<ReadPathSample> samples = MeasureWarmReadPath(
+        store.get(), object, AnimationBodyArea(),
+        smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8},
+        /*min_queries=*/smoke ? 5 : 20, "bench_cache", "warm_aoi_query");
+    // Snapshot the registry while the store is still alive: the record
+    // captures the whole process's load + query activity on this store.
+    const obs::MetricsSnapshot snapshot = store->metrics()->Snapshot();
     store.reset();
     (void)RemoveFile(path);
     if (samples.empty()) return 1;
@@ -107,6 +115,11 @@ int Main(int argc, char** argv) {
     PrintReadPathSamples(samples);
     if (!WriteReadPathJson("BENCH_readpath.json", "bench_cache", samples)) {
       std::fprintf(stderr, "readpath: cannot write BENCH_readpath.json\n");
+      return 1;
+    }
+    if (!WriteMetricsSnapshotJson("BENCH_readpath.json", "bench_cache",
+                                  "metrics_snapshot", snapshot)) {
+      std::fprintf(stderr, "readpath: cannot merge metrics snapshot\n");
       return 1;
     }
     std::printf("merged into BENCH_readpath.json\n");

@@ -140,7 +140,7 @@ Array MakeBandedArray() {
   return data;
 }
 
-int MeasureReadPath() {
+int MeasureReadPath(bool smoke) {
   const std::string path = "/tmp/tilestore_bench_micro_readpath.db";
   (void)RemoveFile(path);
   MDDStoreOptions options;
@@ -157,10 +157,11 @@ int MeasureReadPath() {
     return 1;
   }
 
-  std::vector<ReadPathSample> samples =
-      MeasureWarmReadPath(store.get(), object, data.domain(), {1, 2, 4, 8},
-                          /*min_queries=*/20, "bench_micro",
-                          "warm_rle_range_query");
+  std::vector<ReadPathSample> samples = MeasureWarmReadPath(
+      store.get(), object, data.domain(),
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8},
+      /*min_queries=*/smoke ? 5 : 20, "bench_micro", "warm_rle_range_query");
+  const obs::MetricsSnapshot snapshot = store->metrics()->Snapshot();
   store.reset();
   (void)RemoveFile(path);
   if (samples.empty()) return 1;
@@ -169,6 +170,11 @@ int MeasureReadPath() {
   PrintReadPathSamples(samples);
   if (!WriteReadPathJson("BENCH_readpath.json", "bench_micro", samples)) {
     std::fprintf(stderr, "readpath: cannot write BENCH_readpath.json\n");
+    return 1;
+  }
+  if (!WriteMetricsSnapshotJson("BENCH_readpath.json", "bench_micro",
+                                "metrics_snapshot", snapshot)) {
+    std::fprintf(stderr, "readpath: cannot merge metrics snapshot\n");
     return 1;
   }
   std::printf("merged into BENCH_readpath.json\n");
@@ -181,11 +187,17 @@ int MeasureReadPath() {
 
 int main(int argc, char** argv) {
   bool readpath_only = false;
+  bool smoke = false;
   int filtered_argc = 0;
   std::vector<char*> filtered(argc);
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--readpath_only") == 0) {
       readpath_only = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      readpath_only = true;  // CI smoke skips the google-benchmark suite
       continue;
     }
     filtered[filtered_argc++] = argv[i];
@@ -199,5 +211,5 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
   }
-  return tilestore::bench::MeasureReadPath();
+  return tilestore::bench::MeasureReadPath(smoke);
 }

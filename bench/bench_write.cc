@@ -12,6 +12,7 @@
 //
 // Flags: --tiles=N   tiles inserted per configuration (default 512)
 //        --cells=N   uint16 cells per tile               (default 4096)
+//        --smoke     reduced workload for CI (64 tiles x 1024 cells)
 //
 // Results merge into BENCH_writepath.json (one record per line, same
 // merge discipline as BENCH_readpath.json).
@@ -86,8 +87,9 @@ bool WriteWritePathJson(const std::string& path,
 }
 
 int Main(int argc, char** argv) {
-  const int tiles = FlagInt(argc, argv, "tiles", 512);
-  const int cells = FlagInt(argc, argv, "cells", 4096);
+  const bool smoke = FlagBool(argc, argv, "smoke");
+  const int tiles = FlagInt(argc, argv, "tiles", smoke ? 64 : 512);
+  const int cells = FlagInt(argc, argv, "cells", smoke ? 1024 : 4096);
 
   struct Config {
     const char* name;
@@ -108,6 +110,7 @@ int Main(int argc, char** argv) {
               "fsyncs");
 
   std::vector<WriteSample> samples;
+  obs::MetricsSnapshot last_snapshot;
   for (const Config& config : configs) {
     const std::string path = "/tmp/tilestore_bench_write.db";
     (void)RemoveFile(path);
@@ -169,6 +172,9 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.fsyncs));
 
     if (!store->Save().ok()) return 1;
+    // Keep the last (most instrumented) configuration's registry snapshot
+    // for the JSON report.
+    last_snapshot = store->metrics()->Snapshot();
     store.reset();
     (void)RemoveFile(path);
     (void)RemoveFile(path + ".wal");
@@ -181,6 +187,11 @@ int Main(int argc, char** argv) {
 
   if (!WriteWritePathJson("BENCH_writepath.json", samples)) {
     std::fprintf(stderr, "cannot write BENCH_writepath.json\n");
+    return 1;
+  }
+  if (!WriteMetricsSnapshotJson("BENCH_writepath.json", "bench_write",
+                                "metrics_snapshot", last_snapshot)) {
+    std::fprintf(stderr, "cannot merge metrics snapshot\n");
     return 1;
   }
   std::printf("merged into BENCH_writepath.json\n");

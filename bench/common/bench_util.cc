@@ -441,6 +441,42 @@ bool WriteReadPathJson(const std::string& path, const std::string& bench,
   return static_cast<bool>(out);
 }
 
+bool WriteMetricsSnapshotJson(const std::string& path,
+                              const std::string& bench,
+                              const std::string& workload,
+                              const obs::MetricsSnapshot& snapshot) {
+  std::vector<std::string> records;
+  {
+    std::ifstream in(path);
+    std::string line;
+    const std::string my_bench = "\"bench\": \"" + bench + "\"";
+    const std::string my_workload = "\"workload\": \"" + workload + "\"";
+    while (std::getline(in, line)) {
+      if (line.find("\"bench\"") == std::string::npos) continue;
+      if (line.find(my_bench) != std::string::npos &&
+          line.find(my_workload) != std::string::npos) {
+        continue;
+      }
+      while (!line.empty() &&
+             (line.back() == ',' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      records.push_back("  " + line.substr(line.find('{')));
+    }
+  }
+  records.push_back("  {\"bench\": \"" + bench + "\", \"workload\": \"" +
+                    workload + "\", \"metrics\": " + snapshot.ToJson() + "}");
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    out << records[i] << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return static_cast<bool>(out);
+}
+
 void PrintReadPathSamples(const std::vector<ReadPathSample>& samples) {
   std::printf("%-12s %-24s %12s %14s %10s\n", "bench", "workload",
               "parallelism", "queries/sec", "speedup");

@@ -7,6 +7,7 @@
 
 #include "core/array.h"
 #include "mdd/mdd_store.h"
+#include "obs/metrics.h"
 #include "query/query_stats.h"
 #include "query/range_query.h"
 #include "storage/compression.h"
@@ -163,6 +164,16 @@ bool WriteReadPathJson(const std::string& path, const std::string& bench,
 
 /// Prints the samples as a small human-readable table to stdout.
 void PrintReadPathSamples(const std::vector<ReadPathSample>& samples);
+
+/// Merges one `{"bench":..., "workload":..., "metrics": {...}}` record
+/// into the JSON report at `path`, embedding the registry snapshot's
+/// single-line JSON. Same merge discipline as WriteReadPathJson: an
+/// existing record with the same bench and workload is replaced, all
+/// other records are kept.
+bool WriteMetricsSnapshotJson(const std::string& path,
+                              const std::string& bench,
+                              const std::string& workload,
+                              const obs::MetricsSnapshot& snapshot);
 
 }  // namespace bench
 }  // namespace tilestore

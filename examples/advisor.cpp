@@ -6,10 +6,7 @@
 
 #include <cstdio>
 
-#include "mdd/mdd_store.h"
-#include "query/access_log.h"
-#include "storage/env.h"
-#include "tiling/advisor.h"
+#include "tilestore.h"
 
 using namespace tilestore;
 

@@ -7,11 +7,7 @@
 
 #include <cstdio>
 
-#include "mdd/mdd_store.h"
-#include "query/range_query.h"
-#include "storage/env.h"
-#include "tiling/aligned.h"
-#include "tiling/areas_of_interest.h"
+#include "tilestore.h"
 
 using namespace tilestore;
 

@@ -11,11 +11,7 @@
 
 #include <cstdio>
 
-#include "mdd/mdd_store.h"
-#include "query/subaggregate.h"
-#include "storage/env.h"
-#include "tiling/aligned.h"
-#include "tiling/directional.h"
+#include "tilestore.h"
 
 using namespace tilestore;
 

@@ -8,10 +8,7 @@
 
 #include <cstdio>
 
-#include "mdd/mdd_store.h"
-#include "query/range_query.h"
-#include "storage/env.h"
-#include "tiling/aligned.h"
+#include "tilestore.h"
 
 using namespace tilestore;
 

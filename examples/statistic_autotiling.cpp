@@ -8,13 +8,7 @@
 
 #include <cstdio>
 
-#include "common/random.h"
-#include "mdd/mdd_store.h"
-#include "query/access_log.h"
-#include "query/range_query.h"
-#include "storage/env.h"
-#include "tiling/aligned.h"
-#include "tiling/statistic.h"
+#include "tilestore.h"
 
 using namespace tilestore;
 

@@ -7,10 +7,7 @@
 
 #include <cstdio>
 
-#include "common/random.h"
-#include "mdd/mdd_store.h"
-#include "query/range_query.h"
-#include "storage/env.h"
+#include "tilestore.h"
 
 using namespace tilestore;
 

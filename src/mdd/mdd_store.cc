@@ -47,12 +47,15 @@ Status ReadInterval(ByteReader* r, MInterval* out) {
 
 MDDStore::MDDStore(std::unique_ptr<PageFile> file, MDDStoreOptions options)
     : options_(options),
-      disk_model_(options.disk_params),
+      disk_model_(options.disk_params, &metrics_),
       file_(std::move(file)) {
   file_->set_disk_model(&disk_model_);
-  pool_ = std::make_unique<BufferPool>(file_.get(), options_.pool_pages);
+  file_->set_metrics(&metrics_);
+  pool_ = std::make_unique<BufferPool>(file_.get(), options_.pool_pages,
+                                       &metrics_);
   blobs_ = std::make_unique<BlobStore>(pool_.get());
   scheduler_ = std::make_unique<TileIOScheduler>(blobs_.get());
+  scheduler_->set_metrics(&metrics_);
 }
 
 MDDStore::~MDDStore() {
@@ -74,6 +77,7 @@ Status MDDStore::InitWal(bool recover) {
       WriteAheadLog::Open(file_->path() + ".wal", &disk_model_);
   if (!wal.ok()) return wal.status();
   wal_ = std::move(wal).MoveValue();
+  wal_->set_metrics(&metrics_);
   if (!recover) {
     // A fresh store: any log at this path belongs to a predecessor file.
     Status st = wal_->Reset();
@@ -94,7 +98,8 @@ Status MDDStore::InitWal(bool recover) {
     }
   }
   txns_ = std::make_unique<TxnManager>(file_.get(), pool_.get(), wal_.get(),
-                                       options_.wal_checkpoint_bytes);
+                                       options_.wal_checkpoint_bytes,
+                                       &metrics_);
   file_->set_txn_manager(txns_.get());
   pool_->set_txn_manager(txns_.get());
   return Status::OK();
@@ -112,11 +117,13 @@ ThreadPool* MDDStore::thread_pool() {
 
 Result<std::vector<Tile>> MDDStore::FetchTiles(
     const MDDObject& object, std::span<const TileEntry> entries,
-    int parallelism, TileIOStats* stats) {
+    int parallelism, TileIOStats* stats, uint64_t trace_id) {
   std::vector<Tile> tiles(entries.size());
   TileIOOptions io;
   io.parallelism = parallelism;
   io.pool = parallelism > 1 ? thread_pool() : nullptr;
+  io.trace = trace_id != 0 ? &trace_ : nullptr;
+  io.trace_id = trace_id;
   Status st = scheduler_->FetchBatch(
       entries, object.cell_type(), io,
       [&tiles](size_t i, Tile&& tile) {

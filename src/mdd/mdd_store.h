@@ -12,6 +12,8 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "mdd/mdd_object.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/blob_store.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
@@ -123,10 +125,13 @@ class MDDStore {
   /// serial tile-at-a-time path; higher values coalesce page runs and
   /// spread decode over the worker pool. The read path is thread-safe, so
   /// concurrent callers may overlap.
+  /// `trace_id`, when nonzero, groups the batch's per-tile spans into the
+  /// store's trace ring under that query id.
   Result<std::vector<Tile>> FetchTiles(const MDDObject& object,
                                        std::span<const TileEntry> entries,
                                        int parallelism = 1,
-                                       TileIOStats* stats = nullptr);
+                                       TileIOStats* stats = nullptr,
+                                       uint64_t trace_id = 0);
 
   /// The worker pool behind parallel fetches (created on first use).
   ThreadPool* thread_pool();
@@ -152,6 +157,17 @@ class MDDStore {
   BufferPool* buffer_pool() { return pool_.get(); }
   PageFile* page_file() { return file_.get(); }
   DiskModel* disk_model() { return &disk_model_; }
+
+  /// The store-wide metrics registry every layer reports into (`disk.*`,
+  /// `pagefile.*`, `bufferpool.*`, `scheduler.*`, `wal.*`, `txn.*`,
+  /// `index.*`, `query.*`). Snapshot it with
+  /// `metrics()->Snapshot()`; see `MetricsSnapshot::ToJson()` and
+  /// `ToPrometheusText()` for export.
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+
+  /// The store-wide trace ring query spans are emitted into; drain with
+  /// `trace()->DrainJson()`.
+  obs::TraceRing* trace() { return &trace_; }
   /// Null when the store is unlogged.
   TxnManager* txn_manager() { return txns_.get(); }
   /// Null when the store is unlogged.
@@ -183,6 +199,10 @@ class MDDStore {
   Status RestoreSnapshot();
 
   MDDStoreOptions options_;
+  // The registry and trace ring outlive (and are resolved by) every other
+  // member, so they must be declared first.
+  obs::MetricsRegistry metrics_;
+  obs::TraceRing trace_;
   DiskModel disk_model_;
   // BLOB holding each object's packed index image (kInvalidBlobId until
   // first Save).

@@ -1,0 +1,277 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+namespace tilestore {
+namespace obs {
+
+namespace {
+
+// Round-robin thread-slot assignment: each thread gets a fixed stripe for
+// its lifetime, spreading concurrent writers over the counter's slots.
+std::atomic<size_t> g_next_thread_slot{0};
+
+thread_local size_t t_thread_slot =
+    g_next_thread_slot.fetch_add(1, std::memory_order_relaxed);
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<size_t>(n, sizeof(buf) - 1));
+}
+
+// Shortest round-trippable formatting for doubles in exports.
+void AppendDouble(std::string* out, double v) { AppendF(out, "%.17g", v); }
+
+std::string PromName(const std::string& name) {
+  std::string p = name;
+  for (char& c : p) {
+    if (!((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+          (c >= '0' && c <= '9') || c == '_' || c == ':')) {
+      c = '_';
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+size_t Counter::SlotIndex() { return t_thread_slot % kSlots; }
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+const std::vector<double>& Histogram::DefaultLatencyBoundsMs() {
+  static const std::vector<double> kBounds = {
+      0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250,
+      500, 1000};
+  return kBounds;
+}
+
+const std::vector<double>& Histogram::DefaultSizeBounds() {
+  static const std::vector<double> kBounds = {1,  2,   4,   8,   16,  32,
+                                              64, 128, 256, 512, 1024};
+  return kBounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    double old_sum;
+    std::memcpy(&old_sum, &old_bits, sizeof(old_sum));
+    const double new_sum = old_sum + value;
+    uint64_t new_bits;
+    std::memcpy(&new_bits, &new_sum, sizeof(new_bits));
+    if (sum_bits_.compare_exchange_weak(old_bits, new_bits,
+                                        std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double Histogram::sum() const {
+  const uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (std::atomic<uint64_t>& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+
+uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it != counters.end() ? it->second : 0;
+}
+
+int64_t MetricsSnapshot::gauge(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it != gauges.end() ? it->second : 0;
+}
+
+double MetricsSnapshot::double_gauge(const std::string& name) const {
+  const auto it = double_gauges.find(name);
+  return it != double_gauges.end() ? it->second : 0.0;
+}
+
+uint64_t MetricsSnapshot::CounterDelta(const MetricsSnapshot& earlier,
+                                       const std::string& name) const {
+  const uint64_t now = counter(name);
+  const uint64_t then = earlier.counter(name);
+  return now >= then ? now - then : 0;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    AppendF(&out, "%s\"%s\":%" PRIu64, first ? "" : ",", name.c_str(), value);
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    AppendF(&out, "%s\"%s\":%" PRId64, first ? "" : ",", name.c_str(), value);
+    first = false;
+  }
+  out += "},\"double_gauges\":{";
+  first = true;
+  for (const auto& [name, value] : double_gauges) {
+    AppendF(&out, "%s\"%s\":", first ? "" : ",", name.c_str());
+    AppendDouble(&out, value);
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    AppendF(&out, "%s\"%s\":{\"count\":%" PRIu64 ",\"sum\":",
+            first ? "" : ",", name.c_str(), h.count);
+    AppendDouble(&out, h.sum);
+    out += ",\"bounds\":[";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ",";
+      AppendDouble(&out, h.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      AppendF(&out, "%s%" PRIu64, i > 0 ? "," : "", h.buckets[i]);
+    }
+    out += "]}";
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string p = PromName(name);
+    AppendF(&out, "# TYPE %s counter\n%s %" PRIu64 "\n", p.c_str(), p.c_str(),
+            value);
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string p = PromName(name);
+    AppendF(&out, "# TYPE %s gauge\n%s %" PRId64 "\n", p.c_str(), p.c_str(),
+            value);
+  }
+  for (const auto& [name, value] : double_gauges) {
+    const std::string p = PromName(name);
+    AppendF(&out, "# TYPE %s gauge\n%s ", p.c_str(), p.c_str());
+    AppendDouble(&out, value);
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string p = PromName(name);
+    AppendF(&out, "# TYPE %s histogram\n", p.c_str());
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      AppendF(&out, "%s_bucket{le=\"", p.c_str());
+      AppendDouble(&out, h.bounds[i]);
+      AppendF(&out, "\"} %" PRIu64 "\n", cumulative);
+    }
+    cumulative += h.buckets.empty() ? 0 : h.buckets.back();
+    AppendF(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", p.c_str(),
+            cumulative);
+    AppendF(&out, "%s_sum ", p.c_str());
+    AppendDouble(&out, h.sum);
+    AppendF(&out, "\n%s_count %" PRIu64 "\n", p.c_str(), h.count);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+DoubleGauge* MetricsRegistry::double_gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<DoubleGauge>& slot = double_gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<DoubleGauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, g] : double_gauges_) {
+    snap.double_gauges[name] = g->Value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.buckets = h->BucketCounts();
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->Reset();
+  for (const auto& [name, g] : gauges_) g->Reset();
+  for (const auto& [name, g] : double_gauges_) g->Reset();
+  for (const auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace obs
+}  // namespace tilestore

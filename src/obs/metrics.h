@@ -1,0 +1,201 @@
+#ifndef TILESTORE_OBS_METRICS_H_
+#define TILESTORE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tilestore {
+namespace obs {
+
+/// \brief Lock-cheap instrumentation registry — the one surface behind
+/// every stats API of the store (see DESIGN.md §8).
+///
+/// Contract:
+///  - *Registration* (`counter()`/`gauge()`/...) takes a mutex and is
+///    idempotent: the same name always yields the same object, whose
+///    address is stable for the registry's lifetime. Components resolve
+///    their metric pointers once, at construction/attach time.
+///  - *Updates* are wait-free atomic operations on those pointers; the
+///    hot path never touches the registry itself. Counters stripe their
+///    adds over cache-line-padded slots keyed by thread, so concurrent
+///    writers do not ping-pong one cache line.
+///  - *Snapshot* (`Snapshot()`) is a point-in-time read: each metric is
+///    read atomically, but the set is not globally atomic — concurrent
+///    updates may land between two metrics of one snapshot. Interval
+///    measurements are the difference of two snapshots
+///    (`MetricsSnapshot::CounterDelta`).
+///  - *Reset* zeroes values but never unregisters: `ResetAll()` zeroes
+///    the whole registry; individual metrics expose `Reset()` so a
+///    component can zero its own slice (e.g. `DiskModel::Reset()`
+///    between benchmark queries) without touching its neighbours'.
+
+/// Monotonic counter, sharded over padded atomic slots.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    slots_[SlotIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Slot& s : slots_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void Reset() {
+    for (Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> v{0};
+  };
+  static constexpr size_t kSlots = 8;
+  static size_t SlotIndex();
+
+  std::array<Slot, kSlots> slots_;
+};
+
+/// Point-in-time signed value (queue depths, cached pages).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Point-in-time double (the disk model's bit-exact accumulated ms).
+/// Set-only: the owner accumulates under its own synchronization and
+/// publishes the exact double here, so snapshots carry the same bits the
+/// legacy accessors return.
+class DoubleGauge {
+ public:
+  void Set(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+  double Value() const {
+    const uint64_t bits = bits_.load(std::memory_order_relaxed);
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram. Bucket `i` counts observations `<= bounds[i]`;
+/// one implicit overflow bucket counts the rest. Buckets are cumulative
+/// only in the Prometheus export; internally they are disjoint.
+class Histogram {
+ public:
+  /// Default bounds suit latencies in milliseconds (10 µs .. 1 s).
+  static const std::vector<double>& DefaultLatencyBoundsMs();
+  /// Bounds for small integer sizes (batch sizes, run lengths).
+  static const std::vector<double>& DefaultSizeBounds();
+
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Disjoint per-bucket counts; size is bounds().size() + 1 (overflow).
+  std::vector<uint64_t> BucketCounts() const;
+  void Reset();
+
+ private:
+  const std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  // Sum of observed values, accumulated with a CAS loop on the bit
+  // pattern (atomic<double>::fetch_add is not universally lock-free).
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+/// One histogram's decoded state inside a snapshot.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;  // disjoint; bounds.size() + 1 entries
+  uint64_t count = 0;
+  double sum = 0;
+};
+
+/// Point-in-time copy of a registry. Maps are ordered so exports are
+/// deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, double> double_gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counter value, 0 when absent.
+  uint64_t counter(const std::string& name) const;
+  int64_t gauge(const std::string& name) const;
+  double double_gauge(const std::string& name) const;
+
+  /// this[name] - earlier[name], saturating at 0 (a Reset between the two
+  /// snapshots yields 0, not a wrapped difference).
+  uint64_t CounterDelta(const MetricsSnapshot& earlier,
+                        const std::string& name) const;
+
+  /// Single-line JSON object: {"counters":{...},"gauges":{...},
+  /// "double_gauges":{...},"histograms":{...}}. One line so bench JSON
+  /// reports can embed it as a record field.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format. Metric names have '.' mapped to
+  /// '_'; histograms export cumulative `_bucket{le=...}`, `_sum`,
+  /// `_count` series.
+  std::string ToPrometheusText() const;
+};
+
+/// The registry. Thread-safe; see the contract above.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Idempotent registration; names are dotted paths ("disk.pages_read").
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  DoubleGauge* double_gauge(const std::string& name);
+  /// Registers with `bounds` on first call; later calls ignore `bounds`.
+  Histogram* histogram(const std::string& name, std::vector<double> bounds);
+  Histogram* latency_histogram(const std::string& name) {
+    return histogram(name, Histogram::DefaultLatencyBoundsMs());
+  }
+  Histogram* size_histogram(const std::string& name) {
+    return histogram(name, Histogram::DefaultSizeBounds());
+  }
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every metric (values, not registrations).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<DoubleGauge>> double_gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace tilestore
+
+#endif  // TILESTORE_OBS_METRICS_H_

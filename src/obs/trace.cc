@@ -1,0 +1,79 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace tilestore {
+namespace obs {
+
+namespace {
+
+std::atomic<uint32_t> g_next_thread_id{0};
+
+thread_local uint32_t t_thread_id =
+    g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+
+}  // namespace
+
+uint32_t TraceRing::CurrentThreadId() { return t_thread_id; }
+
+TraceRing::TraceRing(size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      ring_(capacity > 0 ? capacity : 1) {}
+
+void TraceRing::Emit(uint64_t trace_id, const char* name, bool begin) {
+  TraceEvent event;
+  event.trace_id = trace_id;
+  event.name = name;
+  event.begin = begin;
+  event.thread_id = CurrentThreadId();
+  event.t_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == ring_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ++count_;
+  }
+  ring_[next_] = event;
+  next_ = (next_ + 1) % ring_.size();
+}
+
+std::vector<TraceEvent> TraceRing::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  // Oldest event first: with a full ring the oldest sits at next_.
+  const size_t start = (next_ + ring_.size() - count_) % ring_.size();
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  count_ = 0;
+  next_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
+  return out;
+}
+
+std::string TraceRing::DrainJson() {
+  const std::vector<TraceEvent> events = Drain();
+  std::string out = "[";
+  char buf[192];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"trace\":%" PRIu64
+                  ",\"name\":\"%s\",\"ph\":\"%s\",\"tid\":%u,\"t_us\":%" PRIu64
+                  "}",
+                  i > 0 ? "," : "", e.trace_id, e.name, e.begin ? "B" : "E",
+                  e.thread_id, e.t_us);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace tilestore

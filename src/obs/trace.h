@@ -1,0 +1,96 @@
+#ifndef TILESTORE_OBS_TRACE_H_
+#define TILESTORE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tilestore {
+namespace obs {
+
+/// One begin/end event of a span. `name` must be a string literal (events
+/// store the pointer, not a copy — the ring stays allocation-free after
+/// construction).
+struct TraceEvent {
+  uint64_t trace_id = 0;  // groups all spans of one query
+  const char* name = "";  // static literal, e.g. "index_probe"
+  bool begin = true;
+  uint32_t thread_id = 0;  // small per-process id, stable per thread
+  uint64_t t_us = 0;       // microseconds since the ring was created
+};
+
+/// \brief Bounded ring buffer of trace events.
+///
+/// Spans are cheap but not free (one mutex acquisition per event); they
+/// mark phase boundaries — index probe, tile fetch, decode, compose —
+/// not per-cell work, so a query emits tens of events, not millions.
+/// When the ring is full the oldest events are overwritten; `dropped()`
+/// counts the overwritten ones so a drain can tell it is looking at a
+/// suffix of the history.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 8192);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Fresh id for one query's spans.
+  uint64_t NextTraceId() {
+    return next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  void Emit(uint64_t trace_id, const char* name, bool begin);
+
+  /// Copies out every buffered event in emission order and clears the
+  /// ring. `dropped()` is reset too.
+  std::vector<TraceEvent> Drain();
+
+  /// Drains as a JSON array (one object per event):
+  ///   [{"trace":1,"name":"query","ph":"B","tid":0,"t_us":12}, ...]
+  /// "ph" is "B"/"E" begin/end, Chrome-trace style.
+  std::string DrainJson();
+
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return ring_.size(); }
+
+  /// Small stable id of the calling thread (also used by tests to check
+  /// per-thread span nesting).
+  static uint32_t CurrentThreadId();
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;   // ring slot of the next emit
+  size_t count_ = 0;  // valid events, <= ring_.size()
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> next_trace_id_{0};
+};
+
+/// RAII span: emits a begin event on construction and the matching end
+/// event on destruction. A null ring disables the span entirely.
+class TraceScope {
+ public:
+  TraceScope(TraceRing* ring, uint64_t trace_id, const char* name)
+      : ring_(ring), trace_id_(trace_id), name_(name) {
+    if (ring_ != nullptr) ring_->Emit(trace_id_, name_, /*begin=*/true);
+  }
+  ~TraceScope() {
+    if (ring_ != nullptr) ring_->Emit(trace_id_, name_, /*begin=*/false);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceRing* ring_;
+  uint64_t trace_id_;
+  const char* name_;
+};
+
+}  // namespace obs
+}  // namespace tilestore
+
+#endif  // TILESTORE_OBS_TRACE_H_

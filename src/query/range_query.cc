@@ -24,7 +24,12 @@ double ElapsedMs(Clock::time_point start) {
 
 RangeQueryExecutor::RangeQueryExecutor(MDDStore* store,
                                        RangeQueryOptions options)
-    : store_(store), options_(options) {}
+    : store_(store), options_(options) {
+  obs::MetricsRegistry* metrics = store_->metrics();
+  queries_ = metrics->counter("query.executed");
+  index_probes_ = metrics->counter("index.probes");
+  index_nodes_visited_ = metrics->counter("index.nodes_visited");
+}
 
 Result<MInterval> RangeQueryExecutor::ResolveRegion(const MDDObject& object,
                                                     const MInterval& region) {
@@ -78,17 +83,27 @@ Result<Array> RangeQueryExecutor::Execute(MDDObject* object,
   const uint64_t pages_before = disk->pages_read();
   const uint64_t seeks_before = disk->read_seeks();
 
+  obs::TraceRing* trace = store_->trace();
+  const uint64_t trace_id = trace->NextTraceId();
+  obs::TraceScope query_span(trace, trace_id, "query");
+  queries_->Add(1);
+
   QueryStats local;
   const int parallelism = std::max(options_.parallelism, 1);
   local.parallelism = static_cast<uint64_t>(parallelism);
 
   // Phase 1 (t_ix): probe the tile index.
   const Clock::time_point ix_start = Clock::now();
-  std::vector<TileEntry> hits = object->FindTiles(resolved);
+  std::vector<TileEntry> hits = [&] {
+    obs::TraceScope span(trace, trace_id, "index_probe");
+    return object->FindTiles(resolved);
+  }();
   local.t_ix_measured_ms = ElapsedMs(ix_start);
   local.index_nodes_visited = object->index()->last_nodes_visited();
   local.t_ix_model_ms = static_cast<double>(local.index_nodes_visited) *
                         options_.cost.index_node_ms;
+  index_probes_->Add(1);
+  index_nodes_visited_->Add(local.index_nodes_visited);
 
   // Phase 2 (t_o): retrieve the intersected tiles from the storage system,
   // in physical order (ascending BLOB id = ascending page position) so
@@ -104,8 +119,11 @@ Result<Array> RangeQueryExecutor::Execute(MDDObject* object,
     // bit-identical in storage behavior and model cost to the original
     // tile-at-a-time loop.
     const Clock::time_point o_start = Clock::now();
-    Result<std::vector<Tile>> tiles_or =
-        store_->FetchTiles(*object, hits, /*parallelism=*/1, &io);
+    Result<std::vector<Tile>> tiles_or = [&] {
+      obs::TraceScope span(trace, trace_id, "fetch");
+      return store_->FetchTiles(*object, hits, /*parallelism=*/1, &io,
+                                trace_id);
+    }();
     if (!tiles_or.ok()) return tiles_or.status();
     const std::vector<Tile>& tiles = tiles_or.value();
     local.t_o_measured_ms = ElapsedMs(o_start);
@@ -121,6 +139,7 @@ Result<Array> RangeQueryExecutor::Execute(MDDObject* object,
 
     // Phase 3 (t_cpu): compose the tile parts into the result array.
     const Clock::time_point cpu_start = Clock::now();
+    obs::TraceScope compose_span(trace, trace_id, "compose");
     Result<Array> result_or = Array::Create(resolved, object->cell_type());
     if (!result_or.ok()) return result_or.status();
     Array result = std::move(result_or).MoveValue();
@@ -163,17 +182,19 @@ Result<Array> RangeQueryExecutor::Execute(MDDObject* object,
   Result<Array> result_or = Array::Create(resolved, object->cell_type());
   if (!result_or.ok()) return result_or.status();
   Array result = std::move(result_or).MoveValue();
-  std::vector<MInterval> covered;
-  covered.reserve(hits.size());
-  for (const TileEntry& entry : hits) {
-    const std::optional<MInterval> part =
-        entry.domain.Intersection(resolved);
-    if (part.has_value()) covered.push_back(*part);
-  }
-  Status st = Status::OK();
-  for (const MInterval& piece : Subtract(resolved, covered)) {
-    st = result.Fill(piece, object->default_cell().data());
-    if (!st.ok()) return st;
+  {
+    obs::TraceScope compose_span(trace, trace_id, "compose");
+    std::vector<MInterval> covered;
+    covered.reserve(hits.size());
+    for (const TileEntry& entry : hits) {
+      const std::optional<MInterval> part =
+          entry.domain.Intersection(resolved);
+      if (part.has_value()) covered.push_back(*part);
+    }
+    for (const MInterval& piece : Subtract(resolved, covered)) {
+      Status st = result.Fill(piece, object->default_cell().data());
+      if (!st.ok()) return st;
+    }
   }
   const double prep_ms = ElapsedMs(prep_start);
 
@@ -182,19 +203,25 @@ Result<Array> RangeQueryExecutor::Execute(MDDObject* object,
   TileIOOptions io_options;
   io_options.parallelism = parallelism;
   io_options.pool = store_->thread_pool();
-  st = store_->io_scheduler()->FetchBatch(
-      hits, object->cell_type(), io_options,
-      [&](size_t, Tile&& tile) -> Status {
-        const std::optional<MInterval> part =
-            tile.domain().Intersection(resolved);
-        if (!part.has_value()) return Status::OK();
-        Status copy = result.CopyFrom(tile, *part);
-        if (!copy.ok()) return copy;
-        useful_bytes.fetch_add(part->CellCountOrDie() * cell_size,
-                               std::memory_order_relaxed);
-        return Status::OK();
-      },
-      &io);
+  io_options.trace = trace;
+  io_options.trace_id = trace_id;
+  Status st = Status::OK();
+  {
+    obs::TraceScope fetch_span(trace, trace_id, "fetch");
+    st = store_->io_scheduler()->FetchBatch(
+        hits, object->cell_type(), io_options,
+        [&](size_t, Tile&& tile) -> Status {
+          const std::optional<MInterval> part =
+              tile.domain().Intersection(resolved);
+          if (!part.has_value()) return Status::OK();
+          Status copy = result.CopyFrom(tile, *part);
+          if (!copy.ok()) return copy;
+          useful_bytes.fetch_add(part->CellCountOrDie() * cell_size,
+                                 std::memory_order_relaxed);
+          return Status::OK();
+        },
+        &io);
+  }
   if (!st.ok()) return st;
 
   local.t_o_measured_ms = io.io_summed_ms;
@@ -239,17 +266,27 @@ Result<double> RangeQueryExecutor::ExecuteAggregate(MDDObject* object,
   const uint64_t pages_before = disk->pages_read();
   const uint64_t seeks_before = disk->read_seeks();
 
+  obs::TraceRing* trace = store_->trace();
+  const uint64_t trace_id = trace->NextTraceId();
+  obs::TraceScope query_span(trace, trace_id, "query");
+  queries_->Add(1);
+
   QueryStats local;
   const int parallelism = std::max(options_.parallelism, 1);
   local.parallelism = static_cast<uint64_t>(parallelism);
 
   // Phase 1 (t_ix): probe the tile index.
   const Clock::time_point ix_start = Clock::now();
-  std::vector<TileEntry> hits = object->FindTiles(resolved);
+  std::vector<TileEntry> hits = [&] {
+    obs::TraceScope span(trace, trace_id, "index_probe");
+    return object->FindTiles(resolved);
+  }();
   local.t_ix_measured_ms = ElapsedMs(ix_start);
   local.index_nodes_visited = object->index()->last_nodes_visited();
   local.t_ix_model_ms = static_cast<double>(local.index_nodes_visited) *
                         options_.cost.index_node_ms;
+  index_probes_->Add(1);
+  index_nodes_visited_->Add(local.index_nodes_visited);
 
   std::sort(hits.begin(), hits.end(),
             [](const TileEntry& a, const TileEntry& b) {
@@ -274,21 +311,27 @@ Result<double> RangeQueryExecutor::ExecuteAggregate(MDDObject* object,
   TileIOOptions io_options;
   io_options.parallelism = parallelism;
   io_options.pool = parallelism > 1 ? store_->thread_pool() : nullptr;
-  Status st = store_->io_scheduler()->FetchBatch(
-      hits, object->cell_type(), io_options,
-      [&](size_t i, Tile&& tile) -> Status {
-        const std::optional<MInterval> part =
-            tile.domain().Intersection(resolved);
-        Result<Array> slice = tile.Slice(*part);
-        if (!slice.ok()) return slice.status();
-        // Condense via the primitive reductions; kAvg folds as a running
-        // sum.
-        Result<double> value = AggregateCells(*slice, tile_op);
-        if (!value.ok()) return value.status();
-        partials[i] = TilePartial{*value, part->CellCountOrDie()};
-        return Status::OK();
-      },
-      &io);
+  io_options.trace = trace;
+  io_options.trace_id = trace_id;
+  Status st = Status::OK();
+  {
+    obs::TraceScope fetch_span(trace, trace_id, "fetch");
+    st = store_->io_scheduler()->FetchBatch(
+        hits, object->cell_type(), io_options,
+        [&](size_t i, Tile&& tile) -> Status {
+          const std::optional<MInterval> part =
+              tile.domain().Intersection(resolved);
+          Result<Array> slice = tile.Slice(*part);
+          if (!slice.ok()) return slice.status();
+          // Condense via the primitive reductions; kAvg folds as a running
+          // sum.
+          Result<double> value = AggregateCells(*slice, tile_op);
+          if (!value.ok()) return value.status();
+          partials[i] = TilePartial{*value, part->CellCountOrDie()};
+          return Status::OK();
+        },
+        &io);
+  }
   if (!st.ok()) return st;
 
   local.t_o_measured_ms = io.io_summed_ms;
@@ -301,6 +344,7 @@ Result<double> RangeQueryExecutor::ExecuteAggregate(MDDObject* object,
   local.tile_bytes_read = io.tile_bytes;
 
   const Clock::time_point fold_start = Clock::now();
+  obs::TraceScope compose_span(trace, trace_id, "compose");
   double sum = 0;
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();

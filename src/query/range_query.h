@@ -42,6 +42,15 @@ struct RangeQueryOptions {
 /// tiles' BLOBs from the storage system (t_o); (3) compose the intersected
 /// tile parts into the result array (t_cpu). Cells of the region covered
 /// by no tile are filled with the object's default value.
+///
+/// Observability: each query gets a fresh trace id and emits nested
+/// "query" / "index_probe" / "fetch" / "compose" spans into the store's
+/// trace ring (the scheduler adds per-tile "tile_fetch"/"tile_decode"
+/// spans on worker threads). Query and index-probe counts go to the
+/// store registry under `query.*` / `index.*`, and the `QueryStats`
+/// storage counters (`pages_read`, `seeks`, `index_nodes_visited`) are
+/// deltas of the same registry counters the store exports — a snapshot
+/// taken around a cold query reconciles exactly with its `QueryStats`.
 class RangeQueryExecutor {
  public:
   explicit RangeQueryExecutor(MDDStore* store,
@@ -75,6 +84,10 @@ class RangeQueryExecutor {
  private:
   MDDStore* store_;
   RangeQueryOptions options_;
+  // Store-registry counters, resolved once at construction.
+  obs::Counter* queries_;
+  obs::Counter* index_probes_;
+  obs::Counter* index_nodes_visited_;
 };
 
 /// Convenience wrapper: executes one warm query with default options.

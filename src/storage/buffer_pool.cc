@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <cstring>
+#include <string>
 
 #include "storage/txn.h"
 
@@ -16,13 +17,24 @@ constexpr size_t kStripeThreshold = 256;
 
 }  // namespace
 
-BufferPool::BufferPool(PageFile* file, size_t capacity_pages)
+BufferPool::BufferPool(PageFile* file, size_t capacity_pages,
+                       obs::MetricsRegistry* metrics)
     : file_(file), capacity_(capacity_pages) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  miss_run_pages_ = metrics->size_histogram("bufferpool.miss_run_pages");
   const size_t shards = capacity_ >= kStripeThreshold ? kMaxShards : 1;
   shard_capacity_ = capacity_ / shards;
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    auto shard = std::make_unique<Shard>();
+    const std::string prefix = "bufferpool.shard" + std::to_string(i);
+    shard->hits = metrics->counter(prefix + ".hits");
+    shard->misses = metrics->counter(prefix + ".misses");
+    shard->evictions = metrics->counter(prefix + ".evictions");
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -31,7 +43,7 @@ bool BufferPool::TryReadCached(PageId id, uint8_t* out) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(id);
   if (it == shard.map.end()) return false;
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.hits->Add(1);
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   std::memcpy(out, it->second->data.data(), file_->page_size());
   return true;
@@ -50,7 +62,7 @@ void BufferPool::InsertEntry(PageId id, const uint8_t* data) {
   while (shard.lru.size() >= shard_capacity_ && !shard.lru.empty()) {
     shard.map.erase(shard.lru.back().id);
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard.evictions->Add(1);
   }
   if (shard_capacity_ == 0) return;
   shard.lru.push_front(Entry{
@@ -70,7 +82,7 @@ Status BufferPool::ReadPage(PageId id, uint8_t* out) {
     if (txn->ReadStagedPage(id, out)) return Status::OK();
   }
   if (TryReadCached(id, out)) return Status::OK();
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  ShardFor(id).misses->Add(1);
   Status st = file_->ReadPage(id, out);
   if (!st.ok()) return st;
   InsertEntry(id, out);
@@ -100,10 +112,12 @@ Status BufferPool::ReadRun(PageId first, uint64_t count, uint8_t* out,
     uint8_t* dst = out + span_begin * page_size;
     Status st = file_->ReadRun(first + span_begin, span_len, dst);
     if (!st.ok()) return st;
-    misses_.fetch_add(span_len, std::memory_order_relaxed);
     for (uint64_t i = 0; i < span_len; ++i) {
-      InsertEntry(first + span_begin + i, dst + i * page_size);
+      const PageId id = first + span_begin + i;
+      ShardFor(id).misses->Add(1);
+      InsertEntry(id, dst + i * page_size);
     }
+    miss_run_pages_->Observe(static_cast<double>(span_len));
     ++runs;
     span_len = 0;
     return Status::OK();
@@ -158,9 +172,12 @@ void BufferPool::Clear() {
 }
 
 void BufferPool::ResetCounters() {
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
-  evictions_.store(0, std::memory_order_relaxed);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->hits->Reset();
+    shard->misses->Reset();
+    shard->evictions->Reset();
+  }
+  miss_run_pages_->Reset();
 }
 
 BufferPool::Stats BufferPool::stats() const {
@@ -169,6 +186,30 @@ BufferPool::Stats BufferPool::stats() const {
   s.misses = misses();
   s.evictions = evictions();
   return s;
+}
+
+uint64_t BufferPool::hits() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += shard->hits->Value();
+  }
+  return total;
+}
+
+uint64_t BufferPool::misses() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += shard->misses->Value();
+  }
+  return total;
+}
+
+uint64_t BufferPool::evictions() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += shard->evictions->Value();
+  }
+  return total;
 }
 
 size_t BufferPool::cached_pages() const {

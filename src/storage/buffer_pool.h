@@ -1,7 +1,6 @@
 #ifndef TILESTORE_STORAGE_BUFFER_POOL_H_
 #define TILESTORE_STORAGE_BUFFER_POOL_H_
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -10,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/page_file.h"
 
 namespace tilestore {
@@ -34,10 +34,18 @@ class TxnManager;
 /// so concurrent readers on different pages rarely contend. Small pools
 /// (and the pools unit tests use) collapse to a single shard, preserving
 /// the exact global-LRU eviction order of the serial implementation.
-/// Hit/miss/eviction counters are atomic.
+///
+/// Observability: hit/miss/eviction counts live per stripe in the attached
+/// `obs::MetricsRegistry` (`bufferpool.shard<i>.hits` etc.), plus a
+/// `bufferpool.miss_run_pages` histogram of the coalesced miss-run sizes
+/// `ReadRun` turns into physical reads. The legacy `stats()` / `hits()` /
+/// `misses()` / `evictions()` accessors are shims summing the per-stripe
+/// registry counters; without an attached registry the pool owns a private
+/// one, so standalone pools behave identically.
 class BufferPool {
  public:
-  /// Counter snapshot; see `stats()`.
+  /// Counter snapshot; see `stats()`. Deprecated shim over the registry —
+  /// new code should read `bufferpool.*` from `MDDStore::metrics()`.
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
@@ -45,7 +53,8 @@ class BufferPool {
   };
 
   /// `capacity_pages` of zero disables caching (all calls pass through).
-  BufferPool(PageFile* file, size_t capacity_pages);
+  BufferPool(PageFile* file, size_t capacity_pages,
+             obs::MetricsRegistry* metrics = nullptr);
 
   /// Reads a page through the cache.
   Status ReadPage(PageId id, uint8_t* out);
@@ -79,20 +88,19 @@ class BufferPool {
   /// reset; use `ResetCounters()` for that.
   void Clear();
 
-  /// Zeroes the hit/miss/eviction counters (cached pages are kept).
+  /// Zeroes this pool's hit/miss/eviction counters (cached pages are
+  /// kept). Other metrics in a shared registry are untouched.
   void ResetCounters();
 
-  /// Consistent snapshot of the cumulative counters.
+  /// Consistent snapshot of the cumulative counters (registry shim).
   Stats stats() const;
 
   size_t capacity_pages() const { return capacity_; }
   size_t cached_pages() const;
   size_t shard_count() const { return shards_.size(); }
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  uint64_t evictions() const {
-    return evictions_.load(std::memory_order_relaxed);
-  }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
 
   PageFile* page_file() const { return file_; }
 
@@ -107,9 +115,16 @@ class BufferPool {
     std::mutex mu;
     LruList lru;  // front = most recently used
     std::unordered_map<PageId, LruList::iterator> map;
+    // Per-stripe registry counters (resolved at pool construction).
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* evictions = nullptr;
   };
 
   Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }
+  const Shard& ShardFor(PageId id) const {
+    return *shards_[id % shards_.size()];
+  }
 
   /// Copies the page out of the cache if present (counts a hit).
   bool TryReadCached(PageId id, uint8_t* out);
@@ -124,10 +139,10 @@ class BufferPool {
   TxnManager* txns_ = nullptr;
   size_t capacity_;
   size_t shard_capacity_;
+  // Private fallback when no registry is attached at construction.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Histogram* miss_run_pages_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace tilestore

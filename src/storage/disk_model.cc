@@ -2,6 +2,34 @@
 
 namespace tilestore {
 
+DiskModel::DiskModel(DiskParams params, obs::MetricsRegistry* metrics)
+    : params_(params) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  pages_read_ = metrics->counter("disk.pages_read");
+  pages_written_ = metrics->counter("disk.pages_written");
+  bytes_read_ = metrics->counter("disk.bytes_read");
+  bytes_written_ = metrics->counter("disk.bytes_written");
+  read_seeks_ = metrics->counter("disk.read_seeks");
+  write_seeks_ = metrics->counter("disk.write_seeks");
+  wal_appends_ = metrics->counter("disk.wal_appends");
+  wal_bytes_ = metrics->counter("disk.wal_bytes");
+  fsyncs_ = metrics->counter("disk.fsyncs");
+  read_ms_gauge_ = metrics->double_gauge("disk.read_ms");
+  write_ms_gauge_ = metrics->double_gauge("disk.write_ms");
+  wal_ms_gauge_ = metrics->double_gauge("disk.wal_ms");
+  fsync_ms_gauge_ = metrics->double_gauge("disk.fsync_ms");
+}
+
+void DiskModel::PublishMsLocked() {
+  read_ms_gauge_->Set(read_ms_);
+  write_ms_gauge_->Set(write_ms_);
+  wal_ms_gauge_->Set(wal_ms_);
+  fsync_ms_gauge_->Set(fsync_ms_);
+}
+
 void DiskModel::OnRead(uint64_t page_id, size_t bytes) {
   OnReadRun(page_id, 1, bytes);
 }
@@ -9,27 +37,29 @@ void DiskModel::OnRead(uint64_t page_id, size_t bytes) {
 void DiskModel::OnReadRun(uint64_t first_page, uint64_t pages, size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   if (first_page != expected_next_) {
-    ++read_seeks_;
+    read_seeks_->Add(1);
     read_ms_ += params_.seek_ms;
   }
   read_ms_ += TransferMs(bytes);
-  pages_read_ += pages;
-  bytes_read_ += bytes;
+  pages_read_->Add(pages);
+  bytes_read_->Add(bytes);
   expected_next_ = first_page + pages;
   wal_expected_offset_ = UINT64_MAX;
+  PublishMsLocked();
 }
 
 void DiskModel::OnWrite(uint64_t page_id, size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   if (page_id != expected_next_) {
-    ++write_seeks_;
+    write_seeks_->Add(1);
     write_ms_ += params_.seek_ms;
   }
   write_ms_ += TransferMs(bytes);
-  ++pages_written_;
-  bytes_written_ += bytes;
+  pages_written_->Add(1);
+  bytes_written_->Add(bytes);
   expected_next_ = page_id + 1;
   wal_expected_offset_ = UINT64_MAX;
+  PublishMsLocked();
 }
 
 void DiskModel::OnWalAppend(uint64_t offset, size_t bytes) {
@@ -38,16 +68,18 @@ void DiskModel::OnWalAppend(uint64_t offset, size_t bytes) {
     wal_ms_ += params_.seek_ms;
   }
   wal_ms_ += TransferMs(bytes);
-  ++wal_appends_;
-  wal_bytes_ += bytes;
+  wal_appends_->Add(1);
+  wal_bytes_->Add(bytes);
   wal_expected_offset_ = offset + bytes;
   expected_next_ = UINT64_MAX;
+  PublishMsLocked();
 }
 
 void DiskModel::OnFsync() {
   std::lock_guard<std::mutex> lock(mu_);
   fsync_ms_ += params_.seek_ms;
-  ++fsyncs_;
+  fsyncs_->Add(1);
+  PublishMsLocked();
 }
 
 void DiskModel::Reset() {
@@ -56,17 +88,18 @@ void DiskModel::Reset() {
   wal_expected_offset_ = UINT64_MAX;
   read_ms_ = 0;
   write_ms_ = 0;
-  pages_read_ = 0;
-  pages_written_ = 0;
-  bytes_read_ = 0;
-  bytes_written_ = 0;
-  read_seeks_ = 0;
-  write_seeks_ = 0;
   wal_ms_ = 0;
-  wal_appends_ = 0;
-  wal_bytes_ = 0;
   fsync_ms_ = 0;
-  fsyncs_ = 0;
+  pages_read_->Reset();
+  pages_written_->Reset();
+  bytes_read_->Reset();
+  bytes_written_->Reset();
+  read_seeks_->Reset();
+  write_seeks_->Reset();
+  wal_appends_->Reset();
+  wal_bytes_->Reset();
+  fsyncs_->Reset();
+  PublishMsLocked();
 }
 
 }  // namespace tilestore

@@ -3,7 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+
+#include "obs/metrics.h"
 
 namespace tilestore {
 
@@ -27,14 +30,23 @@ struct DiskParams {
 /// (the paper's t_o) without load-time noise.
 ///
 /// Accounting is internally synchronized (one mutex guards the position
-/// and every counter), so concurrent readers may report accesses safely.
-/// Note that with concurrent reporters the *seek* attribution depends on
-/// the interleaving of accesses — single-stream determinism holds only
-/// when one thread at a time drives the model (the `parallelism = 1`
-/// query path).
+/// and the model-time accumulators), so concurrent readers may report
+/// accesses safely. Note that with concurrent reporters the *seek*
+/// attribution depends on the interleaving of accesses — single-stream
+/// determinism holds only when one thread at a time drives the model (the
+/// `parallelism = 1` query path).
+///
+/// Observability: every integer counter lives in the attached
+/// `obs::MetricsRegistry` under `disk.*` (the legacy accessors below are
+/// shims reading those registry counters), and the accumulated model
+/// milliseconds are mirrored bit-exactly into `disk.*_ms` double gauges
+/// after each event. Without an attached registry the model owns a
+/// private one, so the accessors behave identically either way. `Reset()`
+/// zeroes only the model's own metrics, never its registry neighbours'.
 class DiskModel {
  public:
-  explicit DiskModel(DiskParams params = DiskParams()) : params_(params) {}
+  explicit DiskModel(DiskParams params = DiskParams(),
+                     obs::MetricsRegistry* metrics = nullptr);
 
   DiskModel(const DiskModel&) = delete;
   DiskModel& operator=(const DiskModel&) = delete;
@@ -61,23 +73,25 @@ class DiskModel {
   /// latency charge of one seek, no transfer.
   void OnFsync();
 
-  /// Clears counters (typically between benchmark queries). The head
-  /// position is also forgotten, so the next access charges a seek.
+  /// Clears this model's counters and model times (typically between
+  /// benchmark queries). The head position is also forgotten, so the next
+  /// access charges a seek. Other metrics in a shared registry are
+  /// untouched.
   void Reset();
 
-  double read_ms() const { return Locked(read_ms_); }
-  double write_ms() const { return Locked(write_ms_); }
-  uint64_t pages_read() const { return Locked(pages_read_); }
-  uint64_t pages_written() const { return Locked(pages_written_); }
-  uint64_t bytes_read() const { return Locked(bytes_read_); }
-  uint64_t bytes_written() const { return Locked(bytes_written_); }
-  uint64_t read_seeks() const { return Locked(read_seeks_); }
-  uint64_t write_seeks() const { return Locked(write_seeks_); }
-  double wal_ms() const { return Locked(wal_ms_); }
-  uint64_t wal_appends() const { return Locked(wal_appends_); }
-  uint64_t wal_bytes() const { return Locked(wal_bytes_); }
-  double fsync_ms() const { return Locked(fsync_ms_); }
-  uint64_t fsyncs() const { return Locked(fsyncs_); }
+  double read_ms() const { return LockedMs(read_ms_); }
+  double write_ms() const { return LockedMs(write_ms_); }
+  uint64_t pages_read() const { return pages_read_->Value(); }
+  uint64_t pages_written() const { return pages_written_->Value(); }
+  uint64_t bytes_read() const { return bytes_read_->Value(); }
+  uint64_t bytes_written() const { return bytes_written_->Value(); }
+  uint64_t read_seeks() const { return read_seeks_->Value(); }
+  uint64_t write_seeks() const { return write_seeks_->Value(); }
+  double wal_ms() const { return LockedMs(wal_ms_); }
+  uint64_t wal_appends() const { return wal_appends_->Value(); }
+  uint64_t wal_bytes() const { return wal_bytes_->Value(); }
+  double fsync_ms() const { return LockedMs(fsync_ms_); }
+  uint64_t fsyncs() const { return fsyncs_->Value(); }
 
   const DiskParams& params() const { return params_; }
 
@@ -87,13 +101,34 @@ class DiskModel {
            (params_.transfer_mib_per_s * 1024.0 * 1024.0) * 1000.0;
   }
 
-  template <typename T>
-  T Locked(const T& field) const {
+  double LockedMs(const double& field) const {
     std::lock_guard<std::mutex> lock(mu_);
     return field;
   }
 
+  /// Publishes the four ms accumulators into their double gauges; caller
+  /// holds mu_, so the published bits are exactly the accumulated bits.
+  void PublishMsLocked();
+
   const DiskParams params_;
+
+  // Private fallback when no registry is attached at construction.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+
+  // Registry-backed counters (resolved once; see `disk.*`).
+  obs::Counter* pages_read_;
+  obs::Counter* pages_written_;
+  obs::Counter* bytes_read_;
+  obs::Counter* bytes_written_;
+  obs::Counter* read_seeks_;
+  obs::Counter* write_seeks_;
+  obs::Counter* wal_appends_;
+  obs::Counter* wal_bytes_;
+  obs::Counter* fsyncs_;
+  obs::DoubleGauge* read_ms_gauge_;
+  obs::DoubleGauge* write_ms_gauge_;
+  obs::DoubleGauge* wal_ms_gauge_;
+  obs::DoubleGauge* fsync_ms_gauge_;
 
   mutable std::mutex mu_;
   // Next page id that would continue the current arm position without a
@@ -104,19 +139,13 @@ class DiskModel {
   // Next WAL byte offset that would continue sequentially.
   uint64_t wal_expected_offset_ = UINT64_MAX;
 
+  // Model-time accumulators: doubles summed under mu_ in event order, so
+  // the paper's deterministic cost numbers stay bit-identical regardless
+  // of the metrics plumbing.
   double read_ms_ = 0;
   double write_ms_ = 0;
-  uint64_t pages_read_ = 0;
-  uint64_t pages_written_ = 0;
-  uint64_t bytes_read_ = 0;
-  uint64_t bytes_written_ = 0;
-  uint64_t read_seeks_ = 0;
-  uint64_t write_seeks_ = 0;
   double wal_ms_ = 0;
-  uint64_t wal_appends_ = 0;
-  uint64_t wal_bytes_ = 0;
   double fsync_ms_ = 0;
-  uint64_t fsyncs_ = 0;
 };
 
 }  // namespace tilestore

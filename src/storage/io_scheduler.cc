@@ -22,6 +22,20 @@ double ElapsedMs(Clock::time_point start) {
 
 }  // namespace
 
+void TileIOScheduler::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = {};
+    return;
+  }
+  metrics_.batches = registry->counter("scheduler.batches");
+  metrics_.tiles = registry->counter("scheduler.tiles");
+  metrics_.coalesced_runs = registry->counter("scheduler.coalesced_runs");
+  metrics_.chain_fallbacks = registry->counter("scheduler.chain_fallbacks");
+  metrics_.queue_depth = registry->gauge("scheduler.queue_depth");
+  metrics_.batch_tiles = registry->size_histogram("scheduler.batch_tiles");
+  metrics_.fetch_ms = registry->latency_histogram("scheduler.fetch_ms");
+}
+
 void TileIOStats::Add(const TileIOStats& other) {
   tiles += other.tiles;
   tile_bytes += other.tile_bytes;
@@ -90,22 +104,59 @@ Status TileIOScheduler::FetchBatch(
                           static_cast<int>(options.pool->size()))
           : 1;
 
+  if (metrics_.batches != nullptr) {
+    metrics_.batches->Add(1);
+    metrics_.batch_tiles->Observe(static_cast<double>(entries.size()));
+    metrics_.queue_depth->Add(static_cast<int64_t>(entries.size()));
+  }
+  // The queue-depth gauge must come back down on every exit path,
+  // including errors, by whatever is still outstanding.
+  uint64_t completed = 0;
+  auto settle_queue = [&]() {
+    if (metrics_.queue_depth != nullptr) {
+      metrics_.queue_depth->Add(-static_cast<int64_t>(entries.size() -
+                                                      completed));
+    }
+  };
+
   if (parallelism <= 1) {
     // Serial mode: byte-for-byte the original tile-at-a-time loop — page
     // by page through the pool, no speculative reads — so the paper's
     // deterministic cost numbers are reproduced exactly.
     TileIOStats local;
     for (size_t idx : order) {
-      Result<Tile> tile =
-          FetchOne(entries[idx], cell_type, /*coalesce=*/false, &local);
-      if (!tile.ok()) return tile.status();
+      const Clock::time_point fetch_start = Clock::now();
+      Result<Tile> tile = [&] {
+        obs::TraceScope span(options.trace, options.trace_id, "tile_fetch");
+        return FetchOne(entries[idx], cell_type, /*coalesce=*/false, &local);
+      }();
+      if (metrics_.fetch_ms != nullptr) {
+        metrics_.fetch_ms->Observe(ElapsedMs(fetch_start));
+      }
+      if (!tile.ok()) {
+        settle_queue();
+        return tile.status();
+      }
       const Clock::time_point consume_start = Clock::now();
-      Status st = consume(idx, std::move(tile).MoveValue());
-      if (!st.ok()) return st;
+      Status st = [&] {
+        obs::TraceScope span(options.trace, options.trace_id, "tile_decode");
+        return consume(idx, std::move(tile).MoveValue());
+      }();
+      if (!st.ok()) {
+        settle_queue();
+        return st;
+      }
       local.decode_summed_ms += ElapsedMs(consume_start);
+      ++completed;
+      if (metrics_.queue_depth != nullptr) metrics_.queue_depth->Add(-1);
     }
     local.wall_ms = ElapsedMs(wall_start);
     if (stats != nullptr) stats->Add(local);
+    if (metrics_.tiles != nullptr) {
+      metrics_.tiles->Add(local.tiles);
+      metrics_.coalesced_runs->Add(local.coalesced_runs);
+      metrics_.chain_fallbacks->Add(local.chain_fallbacks);
+    }
     return Status::OK();
   }
 
@@ -113,6 +164,7 @@ Status TileIOScheduler::FetchBatch(
   // shared cursor, so retrieval is issued in (approximately) physical page
   // order while decode and composition overlap across tiles.
   std::atomic<size_t> cursor{0};
+  std::atomic<uint64_t> done{0};
   std::atomic<bool> failed{false};
   std::mutex result_mu;
   Status first_error;
@@ -127,10 +179,19 @@ Status TileIOScheduler::FetchBatch(
              (i = cursor.fetch_add(1, std::memory_order_relaxed)) <
                  order.size()) {
         const size_t idx = order[i];
-        Result<Tile> tile =
-            FetchOne(entries[idx], cell_type, /*coalesce=*/true, &local);
+        const Clock::time_point fetch_start = Clock::now();
+        Result<Tile> tile = [&] {
+          obs::TraceScope span(options.trace, options.trace_id, "tile_fetch");
+          return FetchOne(entries[idx], cell_type, /*coalesce=*/true, &local);
+        }();
+        if (metrics_.fetch_ms != nullptr) {
+          metrics_.fetch_ms->Observe(ElapsedMs(fetch_start));
+        }
         Status st = tile.ok()
                         ? [&] {
+                            obs::TraceScope span(options.trace,
+                                                 options.trace_id,
+                                                 "tile_decode");
                             const Clock::time_point consume_start =
                                 Clock::now();
                             Status cs =
@@ -145,13 +206,22 @@ Status TileIOScheduler::FetchBatch(
           if (first_error.ok()) first_error = st;
           break;
         }
+        done.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_.queue_depth != nullptr) metrics_.queue_depth->Add(-1);
       }
       std::lock_guard<std::mutex> lock(result_mu);
       merged.Add(local);
     });
   }
   group.Wait();
+  completed = done.load(std::memory_order_relaxed);
 
+  if (metrics_.tiles != nullptr) {
+    metrics_.tiles->Add(merged.tiles);
+    metrics_.coalesced_runs->Add(merged.coalesced_runs);
+    metrics_.chain_fallbacks->Add(merged.chain_fallbacks);
+  }
+  settle_queue();
   if (!first_error.ok()) return first_error;
   merged.wall_ms = ElapsedMs(wall_start);
   if (stats != nullptr) stats->Add(merged);

@@ -12,6 +12,8 @@
 #include "core/cell_type.h"
 #include "core/tile.h"
 #include "index/tile_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/blob_store.h"
 
 namespace tilestore {
@@ -25,6 +27,11 @@ struct TileIOOptions {
   /// Worker pool for parallel decode/composition; ignored at
   /// `parallelism = 1`.
   ThreadPool* pool = nullptr;
+  /// Trace sink for per-tile "tile_fetch"/"tile_decode" spans (emitted on
+  /// whichever thread processes the tile). Null disables tracing.
+  obs::TraceRing* trace = nullptr;
+  /// Trace id grouping this batch's spans with the enclosing query.
+  uint64_t trace_id = 0;
 };
 
 /// Accounting for one batched fetch, feeding the `QueryStats` breakdown of
@@ -60,9 +67,19 @@ struct TileIOStats {
 /// over a fixed worker pool. At `parallelism = 1` the scheduler degrades
 /// to the exact tile-at-a-time loop of the original implementation, which
 /// keeps the paper's t_o/t_cpu cost tables reproducible.
+/// Observability: with an attached registry (`set_metrics`), batches and
+/// tiles are counted under `scheduler.*`, the `scheduler.queue_depth`
+/// gauge tracks tiles admitted but not yet consumed, and histograms record
+/// tiles per batch (`scheduler.batch_tiles`) and measured per-tile fetch
+/// latency (`scheduler.fetch_ms`). Tracing is per batch via
+/// `TileIOOptions::trace`.
 class TileIOScheduler {
  public:
   explicit TileIOScheduler(BlobStore* blobs) : blobs_(blobs) {}
+
+  /// Attaches a metrics registry (`scheduler.*`); nullptr detaches.
+  /// Attach before sharing the scheduler across threads.
+  void set_metrics(obs::MetricsRegistry* registry);
 
   /// Fetches and decodes every entry of the batch, handing each tile to
   /// `consume(i, tile)` where `i` indexes into `entries`. Tiles are
@@ -90,6 +107,17 @@ class TileIOScheduler {
 
  private:
   BlobStore* blobs_;
+
+  // Registry metrics (null when no registry is attached).
+  struct {
+    obs::Counter* batches = nullptr;
+    obs::Counter* tiles = nullptr;
+    obs::Counter* coalesced_runs = nullptr;
+    obs::Counter* chain_fallbacks = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* batch_tiles = nullptr;
+    obs::Histogram* fetch_ms = nullptr;
+  } metrics_;
 };
 
 }  // namespace tilestore

@@ -228,7 +228,29 @@ Status PageFile::SyncLocked() {
   Status st = file_->Sync();
   if (!st.ok()) return st;
   if (disk_model_ != nullptr) disk_model_->OnFsync();
+  if (metrics_.fsyncs != nullptr) metrics_.fsyncs->Add(1);
   return Status::OK();
+}
+
+void PageFile::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = {};
+    return;
+  }
+  metrics_.reads = registry->counter("pagefile.reads");
+  metrics_.read_runs = registry->counter("pagefile.read_runs");
+  metrics_.writes = registry->counter("pagefile.writes");
+  metrics_.fsyncs = registry->counter("pagefile.fsyncs");
+  metrics_.bytes_read = registry->counter("pagefile.bytes_read");
+  metrics_.bytes_written = registry->counter("pagefile.bytes_written");
+  metrics_.seeks = registry->counter("pagefile.seeks");
+}
+
+void PageFile::NoteAccess(PageId first, uint64_t count) {
+  if (metrics_.seeks == nullptr) return;
+  const uint64_t prev = metrics_expected_next_.exchange(
+      first + count, std::memory_order_relaxed);
+  if (prev != first) metrics_.seeks->Add(1);
 }
 
 Status PageFile::ValidatePageId(PageId id) const {
@@ -355,6 +377,11 @@ Status PageFile::ReadPage(PageId id, uint8_t* out) {
   st = file_->ReadAt(id * page_size_, page_size_, out);
   if (!st.ok()) return st;
   if (disk_model_ != nullptr) disk_model_->OnRead(id, page_size_);
+  NoteAccess(id, 1);
+  if (metrics_.reads != nullptr) {
+    metrics_.reads->Add(1);
+    metrics_.bytes_read->Add(page_size_);
+  }
   return Status::OK();
 }
 
@@ -368,6 +395,12 @@ Status PageFile::ReadRun(PageId first, uint64_t count, uint8_t* out) {
     disk_model_->OnReadRun(first, count,
                            static_cast<size_t>(count) * page_size_);
   }
+  NoteAccess(first, count);
+  if (metrics_.reads != nullptr) {
+    metrics_.reads->Add(count);
+    metrics_.read_runs->Add(1);
+    metrics_.bytes_read->Add(static_cast<size_t>(count) * page_size_);
+  }
   return Status::OK();
 }
 
@@ -377,6 +410,11 @@ Status PageFile::WritePage(PageId id, const uint8_t* data) {
   st = file_->WriteAt(id * page_size_, data, page_size_);
   if (!st.ok()) return st;
   if (disk_model_ != nullptr) disk_model_->OnWrite(id, page_size_);
+  NoteAccess(id, 1);
+  if (metrics_.writes != nullptr) {
+    metrics_.writes->Add(1);
+    metrics_.bytes_written->Add(page_size_);
+  }
   std::lock_guard<std::mutex> lock(meta_mu_);
   if (crcs_.size() <= id) crcs_.resize(id + 1, 0);
   crcs_[id] = Crc32c(data, page_size_);

@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/disk_model.h"
 #include "storage/env.h"
 
@@ -177,6 +178,13 @@ class PageFile {
   void set_disk_model(DiskModel* model) { disk_model_ = model; }
   DiskModel* disk_model() const { return disk_model_; }
 
+  /// Attaches a metrics registry: physical I/O is counted under
+  /// `pagefile.*` (reads, read_runs, writes, fsyncs, bytes, and a seek
+  /// count driven by the same continue-the-previous-access rule as the
+  /// disk model). Pass nullptr to detach. Attach before sharing the file
+  /// across threads, like `set_disk_model`.
+  void set_metrics(obs::MetricsRegistry* registry);
+
   /// Attaches the transaction manager that journals free-list updates;
   /// pass nullptr to detach (restoring unlogged write-through behavior).
   void set_txn_manager(TxnManager* txns) { txns_ = txns; }
@@ -190,6 +198,10 @@ class PageFile {
   Status ValidatePageId(PageId id) const;
   Status ValidatePageRun(PageId first, uint64_t count) const;
   TransactionContext* ActiveTxn() const;
+
+  /// Counts a `pagefile.seeks` increment when the access at `first` does
+  /// not continue the previous physical access. No-op without metrics.
+  void NoteAccess(PageId first, uint64_t count);
 
   // All *Locked helpers require meta_mu_ to be held.
   Status WriteSuperblockAtLocked(uint64_t offset);
@@ -214,6 +226,20 @@ class PageFile {
   std::vector<uint32_t> crcs_;
   DiskModel* disk_model_ = nullptr;
   TxnManager* txns_ = nullptr;
+
+  // Registry counters (null when no registry is attached).
+  struct {
+    obs::Counter* reads = nullptr;
+    obs::Counter* read_runs = nullptr;
+    obs::Counter* writes = nullptr;
+    obs::Counter* fsyncs = nullptr;
+    obs::Counter* bytes_read = nullptr;
+    obs::Counter* bytes_written = nullptr;
+    obs::Counter* seeks = nullptr;
+  } metrics_;
+  // Page that would continue the previous access without a seek; only
+  // consulted for the `pagefile.seeks` counter, never for model cost.
+  std::atomic<uint64_t> metrics_expected_next_{UINT64_MAX};
 };
 
 }  // namespace tilestore

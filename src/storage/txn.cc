@@ -1,5 +1,6 @@
 #include "storage/txn.h"
 
+#include <chrono>
 #include <cstring>
 
 #include "storage/buffer_pool.h"
@@ -52,14 +53,25 @@ bool TransactionContext::StagedFreeLink(PageId page, PageId* next) const {
 // TxnManager
 
 TxnManager::TxnManager(PageFile* file, BufferPool* pool, WriteAheadLog* wal,
-                       uint64_t checkpoint_threshold_bytes)
+                       uint64_t checkpoint_threshold_bytes,
+                       obs::MetricsRegistry* metrics)
     : file_(file),
       pool_(pool),
       wal_(wal),
       checkpoint_threshold_(checkpoint_threshold_bytes),
       last_durable_lsn_(wal != nullptr && wal->next_lsn() > 0
                             ? wal->next_lsn() - 1
-                            : 0) {}
+                            : 0) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  commits_ = metrics->counter("txn.commits");
+  aborts_ = metrics->counter("txn.aborts");
+  checkpoints_ = metrics->counter("txn.checkpoints");
+  commit_ops_ = metrics->size_histogram("txn.commit_ops");
+  checkpoint_ms_ = metrics->latency_histogram("txn.checkpoint_ms");
+}
 
 Status TxnManager::Begin() {
   if (poisoned_) {
@@ -133,7 +145,8 @@ Status TxnManager::Commit() {
     poisoned_ = true;
     return st;
   }
-  ++commits_;
+  commits_->Add(1);
+  commit_ops_->Observe(static_cast<double>(txn->ops().size()));
 
   if (checkpoint_threshold_ != 0 &&
       wal_->size_bytes() >= checkpoint_threshold_) {
@@ -151,6 +164,7 @@ Status TxnManager::Abort() {
   std::unique_ptr<TransactionContext> txn = std::move(active_);
   active_raw_.store(nullptr, std::memory_order_release);
   file_->RestoreMeta(txn->meta_at_begin());
+  aborts_->Add(1);
   return Status::OK();
 }
 
@@ -161,11 +175,15 @@ Status TxnManager::CheckpointNow() {
   if (poisoned_) {
     return Status::IOError("transaction manager poisoned; reopen to recover");
   }
+  const auto start = std::chrono::steady_clock::now();
   Status st = file_->Checkpoint(last_durable_lsn_);
   if (!st.ok()) return st;
   st = wal_->Reset();
   if (!st.ok()) return st;
-  ++checkpoints_;
+  checkpoints_->Add(1);
+  checkpoint_ms_->Observe(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
   return Status::OK();
 }
 

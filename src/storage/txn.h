@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/page_file.h"
 #include "storage/wal.h"
 
@@ -86,12 +87,21 @@ class TransactionContext {
 /// If applying a durably committed transaction fails half-way the manager
 /// poisons itself: further Begins are refused and the store must be
 /// reopened, which replays the WAL and completes the commit.
+///
+/// Observability: commit/abort/checkpoint counts live in the attached
+/// `obs::MetricsRegistry` under `txn.*` (the `commits()`/`checkpoints()`
+/// accessors are shims reading those counters), plus a `txn.commit_ops`
+/// histogram of staged operations per commit (the group-commit batch
+/// size) and a `txn.checkpoint_ms` histogram of measured checkpoint
+/// durations. Without an attached registry the manager owns a private
+/// one, so standalone managers behave identically.
 class TxnManager {
  public:
   /// `checkpoint_threshold_bytes`: WAL size after which Commit triggers an
   /// automatic checkpoint (0 disables automatic checkpoints).
   TxnManager(PageFile* file, BufferPool* pool, WriteAheadLog* wal,
-             uint64_t checkpoint_threshold_bytes);
+             uint64_t checkpoint_threshold_bytes,
+             obs::MetricsRegistry* metrics = nullptr);
 
   TxnManager(const TxnManager&) = delete;
   TxnManager& operator=(const TxnManager&) = delete;
@@ -113,8 +123,9 @@ class TxnManager {
   Status CheckpointNow();
 
   WriteAheadLog* wal() const { return wal_; }
-  uint64_t commits() const { return commits_; }
-  uint64_t checkpoints() const { return checkpoints_; }
+  uint64_t commits() const { return commits_->Value(); }
+  uint64_t checkpoints() const { return checkpoints_->Value(); }
+  uint64_t aborts() const { return aborts_->Value(); }
 
  private:
   Status ApplyOps(const std::vector<TransactionContext::Op>& ops);
@@ -123,12 +134,17 @@ class TxnManager {
   BufferPool* pool_;
   WriteAheadLog* wal_;
   uint64_t checkpoint_threshold_;
+  // Private fallback when no registry is attached at construction.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* commits_;
+  obs::Counter* aborts_;
+  obs::Counter* checkpoints_;
+  obs::Histogram* commit_ops_;
+  obs::Histogram* checkpoint_ms_;
   std::unique_ptr<TransactionContext> active_;
   std::atomic<TransactionContext*> active_raw_{nullptr};
   uint64_t next_txn_id_ = 1;
   uint64_t last_durable_lsn_ = 0;
-  uint64_t commits_ = 0;
-  uint64_t checkpoints_ = 0;
   bool poisoned_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "storage/wal.h"
 
+#include <chrono>
 #include <cstring>
 
 #include "common/checksum.h"
@@ -142,9 +143,24 @@ Status WriteAheadLog::Append(WalRecordType type, uint64_t txn_id,
   Status st = file_->WriteAt(end_, buf.data(), buf.size());
   if (!st.ok()) return st;
   if (model_ != nullptr) model_->OnWalAppend(end_, buf.size());
+  if (metrics_.appends != nullptr) {
+    metrics_.appends->Add(1);
+    metrics_.bytes->Add(buf.size());
+  }
   end_ += buf.size();
   next_lsn_ = lsn + 1;
   return Status::OK();
+}
+
+void WriteAheadLog::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = {};
+    return;
+  }
+  metrics_.appends = registry->counter("wal.appends");
+  metrics_.bytes = registry->counter("wal.bytes");
+  metrics_.syncs = registry->counter("wal.syncs");
+  metrics_.fsync_ms = registry->latency_histogram("wal.fsync_ms");
 }
 
 Status WriteAheadLog::AppendBegin(uint64_t txn_id) {
@@ -177,9 +193,17 @@ Status WriteAheadLog::AppendCommit(uint64_t txn_id, const PageFileMeta& meta) {
 }
 
 Status WriteAheadLog::Sync() {
+  const auto start = std::chrono::steady_clock::now();
   Status st = file_->Sync();
   if (!st.ok()) return st;
   if (model_ != nullptr) model_->OnFsync();
+  if (metrics_.syncs != nullptr) {
+    metrics_.syncs->Add(1);
+    metrics_.fsync_ms->Observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/disk_model.h"
 #include "storage/env.h"
 #include "storage/page_file.h"
@@ -93,6 +94,13 @@ class WriteAheadLog {
   /// Raises the next LSN (recovery aligns it past the replayed records).
   void set_next_lsn(uint64_t lsn) { next_lsn_ = lsn; }
 
+  /// Attaches a metrics registry: appends and syncs are counted under
+  /// `wal.*` (appends, bytes, syncs) and each group-commit fsync's real
+  /// wall-clock latency is observed into the `wal.fsync_ms` histogram —
+  /// the one place where measured time, not model time, is recorded.
+  /// Pass nullptr to detach.
+  void set_metrics(obs::MetricsRegistry* registry);
+
   const std::string& path() const { return file_->path(); }
 
  private:
@@ -106,6 +114,14 @@ class WriteAheadLog {
   DiskModel* model_;
   uint64_t end_ = 0;
   uint64_t next_lsn_ = 1;
+
+  // Registry metrics (null when no registry is attached).
+  struct {
+    obs::Counter* appends = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* syncs = nullptr;
+    obs::Histogram* fsync_ms = nullptr;
+  } metrics_;
 };
 
 }  // namespace tilestore

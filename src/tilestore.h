@@ -1,0 +1,51 @@
+#ifndef TILESTORE_TILESTORE_H_
+#define TILESTORE_TILESTORE_H_
+
+/// \file
+/// \brief Umbrella public header of the tilestore library.
+///
+/// Applications (and this repo's examples and tools) include this single
+/// header instead of reaching into layer-private ones. It pulls in the
+/// public surface:
+///
+///  - `MDDStore` / `MDDStoreOptions` / `MDDObject`   (mdd/)
+///  - `RangeQueryExecutor` / `RangeQueryOptions` / `QueryStats`,
+///    `SubaggregateExecutor`, `TileScan`, rasQL parsing, `AccessLog`
+///    (query/)
+///  - the tiling strategies and the tiling advisor   (tiling/)
+///  - `obs::MetricsRegistry` / `MetricsSnapshot` / `obs::TraceRing`
+///    (obs/ — reachable as `store->metrics()` / `store->trace()`)
+///  - filesystem helpers (`RemoveFileIfExists`, ...) and the offline
+///    checker entry point (storage/env.h, storage/fsck.h)
+///
+/// Layer-private headers (buffer_pool.h, wal.h, txn.h, ...) remain
+/// includable for tests and embedders that need the internals, but are
+/// not part of the stable surface this header defines.
+
+#include "common/random.h"
+#include "core/array.h"
+#include "core/cell_type.h"
+#include "core/minterval.h"
+#include "core/tile.h"
+#include "mdd/mdd_object.h"
+#include "mdd/mdd_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/access_log.h"
+#include "query/query_stats.h"
+#include "query/range_query.h"
+#include "query/rasql.h"
+#include "query/subaggregate.h"
+#include "query/tile_scan.h"
+#include "storage/env.h"
+#include "storage/fsck.h"
+#include "tiling/advisor.h"
+#include "tiling/aligned.h"
+#include "tiling/areas_of_interest.h"
+#include "tiling/chunking.h"
+#include "tiling/directional.h"
+#include "tiling/ordering.h"
+#include "tiling/statistic.h"
+#include "tiling/tiling.h"
+
+#endif  // TILESTORE_TILESTORE_H_

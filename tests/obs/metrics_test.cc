@@ -1,0 +1,196 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace tilestore {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddValueReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  // Exercised under TSan in CI: adds stripe over padded slots, so the
+  // total must be exact with many concurrent writers.
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge g;
+  g.Set(7);
+  g.Add(-10);
+  EXPECT_EQ(g.Value(), -3);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(DoubleGaugeTest, RoundTripsExactBits) {
+  // The disk model publishes accumulated doubles here; snapshots must see
+  // the identical bit pattern, not a re-rounded value.
+  DoubleGauge g;
+  double accumulated = 0;
+  for (int i = 0; i < 1000; ++i) accumulated += 0.1;
+  g.Set(accumulated);
+  const double out = g.Value();
+  EXPECT_EQ(std::memcmp(&accumulated, &out, sizeof(double)), 0);
+}
+
+TEST(HistogramTest, BucketsAreDisjointAndCountOverflow) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket 0 (<= 1)
+  h.Observe(1.0);    // bucket 0 (boundary is inclusive)
+  h.Observe(5.0);    // bucket 1
+  h.Observe(100.0);  // bucket 2
+  h.Observe(1e6);    // overflow bucket
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+  const std::vector<uint64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentObservesSumExactly) {
+  Histogram h(Histogram::DefaultSizeBounds());
+  constexpr int kThreads = 4;
+  constexpr int kObsPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kObsPerThread; ++i) h.Observe(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kObsPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads) * kObsPerThread);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentWithStableAddresses) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("x.count");
+  Counter* b = registry.counter("x.count");
+  EXPECT_EQ(a, b);
+  // Kinds are separate namespaces: the same name can exist as a gauge.
+  EXPECT_NE(static_cast<void*>(registry.gauge("x.count")),
+            static_cast<void*>(a));
+  Histogram* h1 = registry.latency_histogram("x.lat");
+  Histogram* h2 = registry.histogram("x.lat", {99.0});  // bounds ignored
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->bounds(), Histogram::DefaultLatencyBoundsMs());
+}
+
+TEST(MetricsRegistryTest, SnapshotReadsPointInTimeValues) {
+  MetricsRegistry registry;
+  registry.counter("c")->Add(3);
+  registry.gauge("g")->Set(-5);
+  registry.double_gauge("d")->Set(1.5);
+  registry.latency_histogram("h")->Observe(2.0);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("c"), 3u);
+  EXPECT_EQ(snap.gauge("g"), -5);
+  EXPECT_DOUBLE_EQ(snap.double_gauge("d"), 1.5);
+  ASSERT_EQ(snap.histograms.count("h"), 1u);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+  // Absent names default to zero instead of inserting.
+  EXPECT_EQ(snap.counter("missing"), 0u);
+  EXPECT_EQ(snap.gauge("missing"), 0);
+
+  // The snapshot is a copy: later updates do not change it.
+  registry.counter("c")->Add(100);
+  EXPECT_EQ(snap.counter("c"), 3u);
+}
+
+TEST(MetricsRegistryTest, CounterDeltaSaturatesAfterReset) {
+  MetricsRegistry registry;
+  registry.counter("c")->Add(10);
+  const MetricsSnapshot before = registry.Snapshot();
+  registry.counter("c")->Add(5);
+  const MetricsSnapshot after = registry.Snapshot();
+  EXPECT_EQ(after.CounterDelta(before, "c"), 5u);
+
+  registry.ResetAll();
+  const MetricsSnapshot reset = registry.Snapshot();
+  // A reset between the snapshots yields 0, not a wrapped difference.
+  EXPECT_EQ(reset.CounterDelta(before, "c"), 0u);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesEveryKind) {
+  MetricsRegistry registry;
+  registry.counter("c")->Add(1);
+  registry.gauge("g")->Set(2);
+  registry.double_gauge("d")->Set(3.0);
+  registry.latency_histogram("h")->Observe(4.0);
+  registry.ResetAll();
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("c"), 0u);
+  EXPECT_EQ(snap.gauge("g"), 0);
+  EXPECT_DOUBLE_EQ(snap.double_gauge("d"), 0.0);
+  EXPECT_EQ(snap.histograms.at("h").count, 0u);
+}
+
+TEST(MetricsSnapshotTest, ToJsonIsOneLineWithAllSections) {
+  MetricsRegistry registry;
+  registry.counter("a.count")->Add(7);
+  registry.gauge("a.depth")->Set(-2);
+  registry.double_gauge("a.ms")->Set(0.25);
+  registry.histogram("a.hist", {1.0, 2.0})->Observe(1.5);
+  const std::string json = registry.Snapshot().ToJson();
+  // Single line, so bench reports can embed it as one record field.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.depth\":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"double_gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.hist\""), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, PrometheusTextManglesNamesAndCumulatesBuckets) {
+  MetricsRegistry registry;
+  registry.counter("disk.pages_read")->Add(9);
+  Histogram* h = registry.histogram("io.lat", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(50.0);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE disk_pages_read counter"), std::string::npos);
+  EXPECT_NE(text.find("disk_pages_read 9"), std::string::npos);
+  // Histogram buckets are cumulative in the export and end at +Inf.
+  EXPECT_NE(text.find("io_lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("io_lat_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("io_lat_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("io_lat_count 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tilestore

@@ -23,13 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "mdd/mdd_store.h"
-#include "query/access_log.h"
-#include "query/rasql.h"
-#include "query/range_query.h"
-#include "storage/env.h"
-#include "tiling/advisor.h"
-#include "tiling/aligned.h"
+#include "tilestore.h"
 
 namespace tilestore {
 namespace {

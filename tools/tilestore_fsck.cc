@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <string>
 
-#include "storage/fsck.h"
+#include "tilestore.h"
 
 int main(int argc, char** argv) {
   if (argc != 2) {

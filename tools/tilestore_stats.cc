@@ -1,0 +1,118 @@
+// tilestore_stats — observability front end to the storage manager.
+//
+//   tilestore_stats <db> [--format=json|prom] [--query=<object>[:<region>]]
+//                        [--parallelism=N] [--trace]
+//
+// Opens the store, optionally executes one range query to exercise the
+// read path, and dumps the store's metrics-registry snapshot. Metrics are
+// in-memory only (see FORMAT.md), so what this prints reflects the work
+// this process performed: opening the store (catalog reads) plus the
+// optional query. `--query=obj` reads the object's full current domain;
+// `--query=obj:[a:b,...]` reads the given region. `--format=prom` emits
+// Prometheus text exposition instead of JSON; `--trace` additionally
+// dumps the query's trace spans as a JSON array on stderr.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "tilestore.h"
+
+namespace tilestore {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tilestore_stats <db> [--format=json|prom]\n"
+               "                       [--query=<object>[:<region>]]\n"
+               "                       [--parallelism=N] [--trace]\n");
+  return 2;
+}
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 0; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string db = argv[1];
+
+  std::string format = "json";
+  if (const char* f = FlagValue(argc, argv, "format")) format = f;
+  if (format != "json" && format != "prom") return Usage();
+
+  Result<std::unique_ptr<MDDStore>> store_or = MDDStore::Open(db);
+  if (!store_or.ok()) return Fail(store_or.status());
+  MDDStore* store = store_or->get();
+
+  if (const char* spec = FlagValue(argc, argv, "query")) {
+    std::string object_name = spec;
+    std::string region_text;
+    if (const char* colon = std::strchr(spec, ':')) {
+      object_name.assign(spec, colon - spec);
+      region_text = colon + 1;
+    }
+    Result<MDDObject*> object = store->GetMDD(object_name);
+    if (!object.ok()) return Fail(object.status());
+
+    MInterval region;
+    if (!region_text.empty()) {
+      Result<MInterval> parsed = MInterval::Parse(region_text);
+      if (!parsed.ok()) return Fail(parsed.status());
+      region = std::move(parsed).value();
+    } else {
+      if (!(*object)->current_domain().has_value()) {
+        return Fail(Status::InvalidArgument("object '" + object_name +
+                                            "' is empty"));
+      }
+      region = *(*object)->current_domain();
+    }
+
+    RangeQueryOptions options;
+    options.cold = true;  // exercise physical retrieval, the paper's regime
+    if (const char* p = FlagValue(argc, argv, "parallelism")) {
+      options.parallelism = std::atoi(p);
+    }
+    RangeQueryExecutor executor(store, options);
+    QueryStats stats;
+    Result<Array> result = executor.Execute(*object, region, &stats);
+    if (!result.ok()) return Fail(result.status());
+    std::fprintf(stderr, "query stats: %s\n", stats.ToString().c_str());
+  }
+
+  const obs::MetricsSnapshot snapshot = store->metrics()->Snapshot();
+  if (format == "prom") {
+    std::fputs(snapshot.ToPrometheusText().c_str(), stdout);
+  } else {
+    std::printf("%s\n", snapshot.ToJson().c_str());
+  }
+
+  if (HasFlag(argc, argv, "trace")) {
+    std::fprintf(stderr, "%s\n", store->trace()->DrainJson().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilestore
+
+int main(int argc, char** argv) { return tilestore::Main(argc, argv); }
