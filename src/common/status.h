@@ -25,6 +25,12 @@ enum class StatusCode : uint8_t {
   kResourceExhausted = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  /// The resource exists but cannot serve right now (another process holds
+  /// the database lock, a server is overloaded or shutting down). Retrying
+  /// later may succeed.
+  kUnavailable = 10,
+  /// An operation's deadline expired before it completed.
+  kDeadlineExceeded = 11,
 };
 
 /// \brief Returns the canonical name of a status code (e.g. "IOError").
@@ -75,6 +81,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -93,6 +105,10 @@ class Status {
   }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// Renders "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -137,11 +137,19 @@ Result<std::vector<Tile>> MDDStore::FetchTiles(
 
 Result<std::unique_ptr<MDDStore>> MDDStore::Create(const std::string& path,
                                                    MDDStoreOptions options) {
+  // Existence is checked before the advisory lock so creating over a live
+  // (locked) store still reports AlreadyExists, not lock contention.
+  if (FileExists(path)) {
+    return Status::AlreadyExists("database already exists: " + path);
+  }
+  Result<std::unique_ptr<FileLock>> lock = FileLock::Acquire(path + ".lock");
+  if (!lock.ok()) return lock.status();
   Result<std::unique_ptr<PageFile>> file =
       PageFile::Create(path, options.page_size);
   if (!file.ok()) return file.status();
   std::unique_ptr<MDDStore> store(
       new MDDStore(std::move(file).MoveValue(), options));
+  store->lock_ = std::move(lock).MoveValue();
   Status st = store->InitWal(/*recover=*/false);
   if (!st.ok()) return st;
   return store;
@@ -149,10 +157,13 @@ Result<std::unique_ptr<MDDStore>> MDDStore::Create(const std::string& path,
 
 Result<std::unique_ptr<MDDStore>> MDDStore::Open(const std::string& path,
                                                  MDDStoreOptions options) {
+  Result<std::unique_ptr<FileLock>> lock = FileLock::Acquire(path + ".lock");
+  if (!lock.ok()) return lock.status();
   Result<std::unique_ptr<PageFile>> file = PageFile::Open(path);
   if (!file.ok()) return file.status();
   std::unique_ptr<MDDStore> store(
       new MDDStore(std::move(file).MoveValue(), options));
+  store->lock_ = std::move(lock).MoveValue();
   // Replay the WAL before touching the catalog: the committed tail may
   // contain the very pages the catalog lives in.
   Status st = store->InitWal(/*recover=*/true);

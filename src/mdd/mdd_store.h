@@ -17,6 +17,7 @@
 #include "storage/blob_store.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
+#include "storage/env.h"
 #include "storage/io_scheduler.h"
 #include "storage/page_file.h"
 #include "storage/txn.h"
@@ -199,6 +200,11 @@ class MDDStore {
   Status RestoreSnapshot();
 
   MDDStoreOptions options_;
+  // Advisory exclusive lock on `<path>.lock`, held for the store's
+  // lifetime so a second opener fails with Unavailable instead of
+  // corrupting the file. Declared before the page file so it is released
+  // only after the file is closed.
+  std::unique_ptr<FileLock> lock_;
   // The registry and trace ring outlive (and are resolved by) every other
   // member, so they must be declared first.
   obs::MetricsRegistry metrics_;

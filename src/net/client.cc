@@ -1,0 +1,220 @@
+#include "net/client.h"
+
+#include <thread>
+
+namespace tilestore {
+namespace net {
+
+Result<std::unique_ptr<TileClient>> TileClient::Connect(
+    const std::string& host, uint16_t port, TileClientOptions options) {
+  const int attempts = std::max(options.connect_attempts, 1);
+  Status last = Status::IOError("connect never attempted");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.retry_backoff_ms * attempt));
+    }
+    Result<Socket> sock =
+        Socket::ConnectTcp(host, port, options.connect_timeout_ms);
+    if (sock.ok()) {
+      return std::unique_ptr<TileClient>(
+          new TileClient(std::move(sock).MoveValue(), options));
+    }
+    last = sock.status();
+  }
+  return last;
+}
+
+Status TileClient::RoundTrip(WireOp op, const std::vector<uint8_t>& request,
+                             std::vector<uint8_t>* response) {
+  if (!healthy_ || !socket_.valid()) {
+    return Status::Unavailable("connection is closed or poisoned");
+  }
+  if (request.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument("request exceeds the wire message bound");
+  }
+  const uint64_t id = next_request_id_++;
+  const Deadline deadline = DeadlineAfterMs(options_.request_timeout_ms);
+  const std::vector<uint8_t> frame =
+      EncodeFrame(op, /*response=*/false, id, request);
+  Status st = socket_.SendAll(frame.data(), frame.size(), deadline);
+  if (!st.ok()) {
+    healthy_ = false;
+    return st;
+  }
+  uint8_t header_buf[kHeaderBytes];
+  st = socket_.RecvAll(header_buf, kHeaderBytes, deadline);
+  if (!st.ok()) {
+    healthy_ = false;
+    if (st.IsNotFound()) {
+      return Status::Unavailable("server closed the connection");
+    }
+    return st;
+  }
+  FrameHeader header;
+  st = DecodeHeader(header_buf, &header);
+  if (st.ok() && (!header.response || header.op != op ||
+                  header.request_id != id)) {
+    st = Status::Corruption("response does not match the request");
+  }
+  if (!st.ok()) {
+    healthy_ = false;
+    return st;
+  }
+  response->resize(header.payload_len);
+  st = socket_.RecvAll(response->data(), response->size(), deadline);
+  if (st.ok()) st = VerifyPayload(header, *response);
+  if (!st.ok()) {
+    healthy_ = false;
+    return st;
+  }
+  return Status::OK();
+}
+
+Status TileClient::Ping() {
+  std::vector<uint8_t> payload;
+  Status st = RoundTrip(WireOp::kPing, {}, &payload);
+  if (!st.ok()) return st;
+  Status server;
+  st = DecodePingResponse(payload, &server);
+  if (!st.ok()) {
+    healthy_ = false;
+    return st;
+  }
+  return server;
+}
+
+Result<RemoteMDDInfo> TileClient::OpenMDD(const std::string& name) {
+  OpenMDDRequest req;
+  req.name = name;
+  std::vector<uint8_t> payload;
+  Status st = RoundTrip(WireOp::kOpenMDD, EncodeOpenMDDRequest(req), &payload);
+  if (!st.ok()) return st;
+  Status server;
+  OpenMDDResponse resp;
+  st = DecodeOpenMDDResponse(payload, &server, &resp);
+  if (!st.ok()) {
+    healthy_ = false;
+    return st;
+  }
+  if (!server.ok()) return server;
+  if (resp.cell_type_id > static_cast<uint8_t>(CellTypeId::kRGB8)) {
+    healthy_ = false;
+    return Status::Corruption("unknown cell type id in response");
+  }
+  RemoteMDDInfo info;
+  info.definition_domain = std::move(resp.definition_domain);
+  if (resp.has_current_domain) {
+    info.current_domain = std::move(resp.current_domain);
+  }
+  info.cell_type = CellType::Of(static_cast<CellTypeId>(resp.cell_type_id));
+  info.tile_count = resp.tile_count;
+  return info;
+}
+
+Result<Array> TileClient::RangeQuery(const std::string& name,
+                                     const MInterval& region) {
+  RangeQueryRequest req;
+  req.name = name;
+  req.region = region;
+  std::vector<uint8_t> payload;
+  Status st =
+      RoundTrip(WireOp::kRangeQuery, EncodeRangeQueryRequest(req), &payload);
+  if (!st.ok()) return st;
+  Status server;
+  RangeQueryResponse resp;
+  st = DecodeRangeQueryResponse(payload, &server, &resp);
+  if (!st.ok()) {
+    healthy_ = false;
+    return st;
+  }
+  if (!server.ok()) return server;
+  if (resp.cell_type_id > static_cast<uint8_t>(CellTypeId::kRGB8)) {
+    healthy_ = false;
+    return Status::Corruption("unknown cell type id in response");
+  }
+  Result<Array> array = Array::FromBuffer(
+      resp.domain, CellType::Of(static_cast<CellTypeId>(resp.cell_type_id)),
+      std::move(resp.cells));
+  if (!array.ok()) {
+    healthy_ = false;
+    return Status::Corruption("malformed query result: " +
+                              array.status().message());
+  }
+  return array;
+}
+
+Result<double> TileClient::Aggregate(const std::string& name,
+                                     const MInterval& region,
+                                     AggregateOp op) {
+  AggregateRequest req;
+  req.name = name;
+  req.region = region;
+  req.op = static_cast<uint8_t>(op);
+  std::vector<uint8_t> payload;
+  Status st =
+      RoundTrip(WireOp::kAggregate, EncodeAggregateRequest(req), &payload);
+  if (!st.ok()) return st;
+  Status server;
+  AggregateResponse resp;
+  st = DecodeAggregateResponse(payload, &server, &resp);
+  if (!st.ok()) {
+    healthy_ = false;
+    return st;
+  }
+  if (!server.ok()) return server;
+  return resp.value;
+}
+
+Status TileClient::InsertTiles(const std::string& name,
+                               std::span<const Array> tiles,
+                               bool create_if_missing,
+                               const MInterval& definition_domain,
+                               CellType cell_type) {
+  InsertTilesRequest req;
+  req.name = name;
+  req.create_if_missing = create_if_missing;
+  if (create_if_missing) {
+    req.definition_domain = definition_domain;
+    req.cell_type_id = static_cast<uint8_t>(cell_type.id());
+  }
+  req.tiles.reserve(tiles.size());
+  for (const Array& tile : tiles) {
+    WireTile wire_tile;
+    wire_tile.domain = tile.domain();
+    wire_tile.cells.assign(tile.data(), tile.data() + tile.size_bytes());
+    req.tiles.push_back(std::move(wire_tile));
+  }
+  std::vector<uint8_t> payload;
+  Status st = RoundTrip(WireOp::kInsertTiles, EncodeInsertTilesRequest(req),
+                        &payload);
+  if (!st.ok()) return st;
+  Status server;
+  InsertTilesResponse resp;
+  st = DecodeInsertTilesResponse(payload, &server, &resp);
+  if (!st.ok()) {
+    healthy_ = false;
+    return st;
+  }
+  return server;
+}
+
+Result<std::string> TileClient::Stats(uint8_t format) {
+  StatsRequest req;
+  req.format = format;
+  std::vector<uint8_t> payload;
+  Status st = RoundTrip(WireOp::kStats, EncodeStatsRequest(req), &payload);
+  if (!st.ok()) return st;
+  Status server;
+  StatsResponse resp;
+  st = DecodeStatsResponse(payload, &server, &resp);
+  if (!st.ok()) {
+    healthy_ = false;
+    return st;
+  }
+  if (!server.ok()) return server;
+  return std::move(resp.text);
+}
+
+}  // namespace net
+}  // namespace tilestore

@@ -1,0 +1,88 @@
+#ifndef TILESTORE_NET_CLIENT_H_
+#define TILESTORE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/aggregate.h"
+#include "core/array.h"
+#include "core/minterval.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace tilestore {
+namespace net {
+
+struct TileClientOptions {
+  /// Per-attempt connect timeout.
+  int connect_timeout_ms = 5000;
+  /// Total connect attempts (>= 1); refused/odd connections are retried
+  /// with linear backoff — covers the races of a server still binding.
+  int connect_attempts = 5;
+  int retry_backoff_ms = 100;
+  /// Per-request deadline covering send + server execution + response
+  /// read. Expiry poisons the connection (the stream may hold a stale
+  /// response), so the next call fails until `Connect` is used again.
+  int request_timeout_ms = 10000;
+};
+
+/// Remote object metadata, the response of `OpenMDD`.
+struct RemoteMDDInfo {
+  MInterval definition_domain;
+  std::optional<MInterval> current_domain;
+  CellType cell_type;
+  uint64_t tile_count = 0;
+};
+
+/// \brief Client side of the tilestore wire protocol: one TCP connection,
+/// synchronous request/response. Not thread-safe — use one `TileClient`
+/// per thread (the loadgen does exactly that).
+class TileClient {
+ public:
+  static Result<std::unique_ptr<TileClient>> Connect(
+      const std::string& host, uint16_t port,
+      TileClientOptions options = TileClientOptions());
+
+  Status Ping();
+  Result<RemoteMDDInfo> OpenMDD(const std::string& name);
+  /// Executes a range query remotely; the returned array is byte-identical
+  /// to in-process `RangeQueryExecutor::Execute` on the same store.
+  Result<Array> RangeQuery(const std::string& name, const MInterval& region);
+  Result<double> Aggregate(const std::string& name, const MInterval& region,
+                           AggregateOp op);
+  /// Inserts tiles (uncompressed cell buffers); with `create_if_missing`
+  /// the object is created first with `definition_domain`/`cell_type`.
+  Status InsertTiles(const std::string& name, std::span<const Array> tiles,
+                     bool create_if_missing = false,
+                     const MInterval& definition_domain = MInterval(),
+                     CellType cell_type = CellType());
+  /// Server-side obs snapshot. format 0 = metrics JSON, 1 = Prometheus
+  /// text, 2 = drained trace JSON.
+  Result<std::string> Stats(uint8_t format = 0);
+
+  /// True until an I/O or protocol error poisoned the connection.
+  bool healthy() const { return healthy_; }
+  void Close() { socket_.Close(); healthy_ = false; }
+
+ private:
+  TileClient(Socket socket, TileClientOptions options)
+      : socket_(std::move(socket)), options_(options) {}
+
+  /// Sends one request frame and reads the matching response payload.
+  /// Protocol/transport errors poison the connection; server-side errors
+  /// (in the response status byte) do not.
+  Status RoundTrip(WireOp op, const std::vector<uint8_t>& request,
+                   std::vector<uint8_t>* response);
+
+  Socket socket_;
+  TileClientOptions options_;
+  uint64_t next_request_id_ = 1;
+  bool healthy_ = true;
+};
+
+}  // namespace net
+}  // namespace tilestore
+
+#endif  // TILESTORE_NET_CLIENT_H_

@@ -1,0 +1,421 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/aggregate.h"
+#include "obs/trace.h"
+#include "query/range_query.h"
+
+namespace tilestore {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+bool TileServer::Admission::Acquire(int wait_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (inflight_ < capacity_) {
+    ++inflight_;
+    return true;
+  }
+  if (waiting_ >= queue_limit_) return false;
+  ++waiting_;
+  const bool got = cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
+                                [this] { return inflight_ < capacity_; });
+  --waiting_;
+  if (!got) return false;
+  ++inflight_;
+  return true;
+}
+
+void TileServer::Admission::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+  }
+  cv_.notify_one();
+}
+
+TileServer::TileServer(MDDStore* store, TileServerOptions options)
+    : store_(store),
+      options_(options),
+      admission_(std::max<size_t>(options.max_inflight_requests, 1),
+                 options.admission_queue_limit) {
+  obs::MetricsRegistry* m = store_->metrics();
+  accepted_ = m->counter("net.connections_accepted");
+  refused_ = m->counter("net.connections_refused");
+  conns_gauge_ = m->gauge("net.connections_active");
+  requests_ = m->counter("net.requests");
+  inflight_gauge_ = m->gauge("net.requests_inflight");
+  rejected_overload_ = m->counter("net.rejected_overload");
+  request_timeouts_ = m->counter("net.request_timeouts");
+  frame_errors_ = m->counter("net.frame_errors");
+  idle_disconnects_ = m->counter("net.idle_disconnects");
+  bytes_received_ = m->counter("net.bytes_received");
+  bytes_sent_ = m->counter("net.bytes_sent");
+  op_latency_ms_.resize(static_cast<size_t>(WireOp::kStats) + 1, nullptr);
+  for (uint16_t op = static_cast<uint16_t>(WireOp::kPing);
+       op <= static_cast<uint16_t>(WireOp::kStats); ++op) {
+    const std::string name =
+        "net.op." +
+        std::string(WireOpName(static_cast<WireOp>(op))) + "_ms";
+    op_latency_ms_[op] = m->latency_histogram(name);
+  }
+}
+
+TileServer::~TileServer() { Stop(); }
+
+Status TileServer::Start() {
+  if (running_.load(std::memory_order_acquire) ||
+      stopping_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already started");
+  }
+  Result<Listener> listener =
+      Listener::Bind(options_.port, options_.backlog, options_.loopback_only);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).MoveValue();
+  port_ = listener_.port();
+  pool_ =
+      std::make_unique<ThreadPool>(std::max<size_t>(options_.max_connections,
+                                                    1));
+  running_.store(true, std::memory_order_release);
+  listen_thread_ = std::thread([this] { ListenLoop(); });
+  return Status::OK();
+}
+
+void TileServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (listen_thread_.joinable()) listen_thread_.join();
+  listener_.Close();
+
+  // Grace period: connections notice `stopping_` within one poll slice,
+  // finish (and answer) their in-flight request, then close themselves.
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait_for(lock,
+                       std::chrono::milliseconds(options_.drain_timeout_ms),
+                       [this] { return active_conns_ == 0; });
+  }
+  // Anything still alive is blocked on a dead peer: force it shut.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (Socket* sock : conns_) sock->ShutdownBoth();
+  }
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock, [this] { return active_conns_ == 0; });
+  }
+  pool_.reset();
+}
+
+void TileServer::ListenLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Result<Socket> accepted = listener_.Accept(/*timeout_ms=*/100);
+    if (!accepted.ok()) {
+      if (accepted.status().IsDeadlineExceeded()) continue;
+      if (stopping_.load(std::memory_order_acquire)) break;
+      // Listener broke (fd closed, FD exhaustion burst): brief pause, try
+      // again rather than spinning.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    bool admit = false;
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      if (active_conns_ < options_.max_connections &&
+          !stopping_.load(std::memory_order_acquire)) {
+        ++active_conns_;
+        admit = true;
+      }
+    }
+    if (!admit) {
+      refused_->Add(1);
+      continue;  // RAII-closes the socket: explicit refusal, no queue
+    }
+    accepted_->Add(1);
+    auto sock = std::make_shared<Socket>(std::move(accepted).MoveValue());
+    pool_->Submit([this, sock] { ServeConnection(sock); });
+  }
+}
+
+void TileServer::ServeConnection(std::shared_ptr<Socket> sock) {
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.insert(sock.get());
+  }
+  conns_gauge_->Add(1);
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Wait for the next request header, bounded by the idle timeout.
+    uint8_t header_buf[kHeaderBytes];
+    Status st = sock->RecvAll(header_buf, kHeaderBytes,
+                              DeadlineAfterMs(options_.idle_timeout_ms),
+                              &stopping_);
+    if (!st.ok()) {
+      if (st.IsDeadlineExceeded()) idle_disconnects_->Add(1);
+      // NotFound("eof") is the peer hanging up cleanly; Unavailable is our
+      // own shutdown; both close quietly.
+      break;
+    }
+    const Clock::time_point start = Clock::now();
+    const Deadline deadline = DeadlineAfterMs(options_.request_timeout_ms);
+
+    FrameHeader header;
+    st = DecodeHeader(header_buf, &header);
+    if (st.ok() && header.response) {
+      st = Status::Corruption("unexpected response frame from client");
+    }
+    if (!st.ok()) {
+      // Without a trusted header there is no request to answer; the
+      // stream is unsynchronized, so drop the connection.
+      frame_errors_->Add(1);
+      break;
+    }
+    std::vector<uint8_t> payload(header.payload_len);
+    st = sock->RecvAll(payload.data(), payload.size(), deadline, &stopping_);
+    if (st.ok()) st = VerifyPayload(header, payload);
+    if (!st.ok()) {
+      frame_errors_->Add(1);
+      break;
+    }
+    bytes_received_->Add(kHeaderBytes + payload.size());
+    requests_->Add(1);
+
+    // Admission control: bounded queue, explicit rejection.
+    std::vector<uint8_t> response_payload;
+    bool close_after_send = false;
+    if (!admission_.Acquire(options_.admission_wait_ms)) {
+      rejected_overload_->Add(1);
+      response_payload = EncodeErrorResponse(Status::Unavailable(
+          "overloaded: in-flight request limit reached"));
+    } else {
+      inflight_gauge_->Add(1);
+      const uint64_t trace_id = store_->trace()->NextTraceId();
+      {
+        obs::TraceScope span(store_->trace(), trace_id,
+                             WireOpName(header.op).data());
+        if (options_.debug_handler_delay_ms > 0) {
+          // Sliced so shutdown is never held up by the debug delay.
+          const Deadline wake =
+              DeadlineAfterMs(options_.debug_handler_delay_ms);
+          while (Clock::now() < wake &&
+                 !stopping_.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          }
+        }
+        response_payload = Dispatch(header.op, payload, trace_id);
+      }
+      inflight_gauge_->Add(-1);
+      admission_.Release();
+      op_latency_ms_[static_cast<size_t>(header.op)]->Observe(
+          ElapsedMs(start));
+      if (Clock::now() > deadline) {
+        // The work finished after its deadline: the client has likely
+        // given up; answer with a timeout status and drop the connection.
+        request_timeouts_->Add(1);
+        response_payload = EncodeErrorResponse(Status::DeadlineExceeded(
+            "request deadline expired on the server"));
+        close_after_send = true;
+      }
+    }
+
+    const std::vector<uint8_t> frame = EncodeFrame(
+        header.op, /*response=*/true, header.request_id, response_payload);
+    // Responses flush even during shutdown (no cancel flag): a drain must
+    // not swallow the answer of a request it admitted. A timeout answer
+    // gets a fresh grace deadline — the request's own has already expired.
+    const Deadline send_deadline =
+        close_after_send ? DeadlineAfterMs(options_.request_timeout_ms)
+                         : deadline;
+    st = sock->SendAll(frame.data(), frame.size(), send_deadline, nullptr);
+    if (!st.ok()) break;
+    bytes_sent_->Add(frame.size());
+    if (close_after_send) break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(sock.get());
+  }
+  sock->Close();
+  conns_gauge_->Add(-1);
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    --active_conns_;
+  }
+  drain_cv_.notify_all();
+}
+
+std::vector<uint8_t> TileServer::Dispatch(WireOp op,
+                                          const std::vector<uint8_t>& payload,
+                                          uint64_t trace_id) {
+  switch (op) {
+    case WireOp::kPing:
+      return EncodePingResponse();
+    case WireOp::kOpenMDD:
+      return HandleOpenMDD(payload);
+    case WireOp::kRangeQuery:
+      return HandleRangeQuery(payload, trace_id);
+    case WireOp::kAggregate:
+      return HandleAggregate(payload, trace_id);
+    case WireOp::kInsertTiles:
+      return HandleInsertTiles(payload);
+    case WireOp::kStats:
+      return HandleStats(payload);
+  }
+  return EncodeErrorResponse(Status::Unimplemented("unknown op"));
+}
+
+std::vector<uint8_t> TileServer::HandleOpenMDD(
+    const std::vector<uint8_t>& payload) {
+  OpenMDDRequest req;
+  Status st = DecodeOpenMDDRequest(payload, &req);
+  if (!st.ok()) return EncodeErrorResponse(st);
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  Result<MDDObject*> obj = store_->GetMDD(req.name);
+  if (!obj.ok()) return EncodeErrorResponse(obj.status());
+  OpenMDDResponse resp;
+  resp.definition_domain = (*obj)->definition_domain();
+  resp.has_current_domain = (*obj)->current_domain().has_value();
+  if (resp.has_current_domain) {
+    resp.current_domain = *(*obj)->current_domain();
+  }
+  resp.cell_type_id = static_cast<uint8_t>((*obj)->cell_type().id());
+  resp.tile_count = (*obj)->tile_count();
+  return EncodeOpenMDDResponse(resp);
+}
+
+std::vector<uint8_t> TileServer::HandleRangeQuery(
+    const std::vector<uint8_t>& payload, uint64_t trace_id) {
+  (void)trace_id;  // spans are emitted by the executor under its own id
+  RangeQueryRequest req;
+  Status st = DecodeRangeQueryRequest(payload, &req);
+  if (!st.ok()) return EncodeErrorResponse(st);
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  Result<MDDObject*> obj = store_->GetMDD(req.name);
+  if (!obj.ok()) return EncodeErrorResponse(obj.status());
+  RangeQueryOptions options;
+  options.parallelism = options_.query_parallelism;
+  RangeQueryExecutor executor(store_, options);
+  Result<Array> array = executor.Execute(*obj, req.region);
+  if (!array.ok()) return EncodeErrorResponse(array.status());
+  RangeQueryResponse resp;
+  resp.domain = array->domain();
+  resp.cell_type_id = static_cast<uint8_t>(array->cell_type().id());
+  resp.cells = std::move(*array).TakeBuffer();
+  if (resp.cells.size() + 64 > kMaxPayloadBytes) {
+    return EncodeErrorResponse(Status::OutOfRange(
+        "query result exceeds the wire message bound; split the region"));
+  }
+  return EncodeRangeQueryResponse(resp);
+}
+
+std::vector<uint8_t> TileServer::HandleAggregate(
+    const std::vector<uint8_t>& payload, uint64_t trace_id) {
+  (void)trace_id;
+  AggregateRequest req;
+  Status st = DecodeAggregateRequest(payload, &req);
+  if (!st.ok()) return EncodeErrorResponse(st);
+  if (req.op > static_cast<uint8_t>(AggregateOp::kCount)) {
+    return EncodeErrorResponse(
+        Status::InvalidArgument("unknown aggregate op"));
+  }
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  Result<MDDObject*> obj = store_->GetMDD(req.name);
+  if (!obj.ok()) return EncodeErrorResponse(obj.status());
+  RangeQueryOptions options;
+  options.parallelism = options_.query_parallelism;
+  RangeQueryExecutor executor(store_, options);
+  Result<double> value = executor.ExecuteAggregate(
+      *obj, req.region, static_cast<AggregateOp>(req.op));
+  if (!value.ok()) return EncodeErrorResponse(value.status());
+  AggregateResponse resp;
+  resp.value = *value;
+  return EncodeAggregateResponse(resp);
+}
+
+std::vector<uint8_t> TileServer::HandleInsertTiles(
+    const std::vector<uint8_t>& payload) {
+  InsertTilesRequest req;
+  Status st = DecodeInsertTilesRequest(payload, &req);
+  if (!st.ok()) return EncodeErrorResponse(st);
+
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  Result<MDDObject*> obj = store_->GetMDD(req.name);
+  if (!obj.ok() && obj.status().IsNotFound() && req.create_if_missing) {
+    // Validate the wire byte before CellType::Of, which asserts on
+    // non-builtin ids (opaque cells have no wire-expressible size).
+    if (req.cell_type_id > static_cast<uint8_t>(CellTypeId::kRGB8)) {
+      return EncodeErrorResponse(
+          Status::InvalidArgument("unknown cell type id on wire"));
+    }
+    obj = store_->CreateMDD(
+        req.name, req.definition_domain,
+        CellType::Of(static_cast<CellTypeId>(req.cell_type_id)));
+  }
+  if (!obj.ok()) return EncodeErrorResponse(obj.status());
+  MDDObject* object = *obj;
+
+  // WAL mode: the whole batch is one atomic transaction; a failed insert
+  // aborts everything, including a just-created object.
+  const bool txn = store_->txn_manager() != nullptr;
+  if (txn) {
+    st = store_->Begin();
+    if (!st.ok()) return EncodeErrorResponse(st);
+  }
+  InsertTilesResponse resp;
+  for (const WireTile& wire_tile : req.tiles) {
+    Result<Array> tile = Array::FromBuffer(
+        wire_tile.domain, object->cell_type(),
+        std::vector<uint8_t>(wire_tile.cells));
+    if (tile.ok()) st = object->InsertTile(*tile);
+    if (!tile.ok() || !st.ok()) {
+      const Status failure = tile.ok() ? st : tile.status();
+      if (txn) (void)store_->Abort();
+      return EncodeErrorResponse(failure);
+    }
+    ++resp.tiles_inserted;
+  }
+  st = txn ? store_->Commit() : store_->Save();
+  if (!st.ok()) {
+    if (txn) (void)store_->Abort();
+    return EncodeErrorResponse(st);
+  }
+  return EncodeInsertTilesResponse(resp);
+}
+
+std::vector<uint8_t> TileServer::HandleStats(
+    const std::vector<uint8_t>& payload) {
+  StatsRequest req;
+  Status st = DecodeStatsRequest(payload, &req);
+  if (!st.ok()) return EncodeErrorResponse(st);
+  StatsResponse resp;
+  switch (req.format) {
+    case 0:
+      resp.text = store_->metrics()->Snapshot().ToJson();
+      break;
+    case 1:
+      resp.text = store_->metrics()->Snapshot().ToPrometheusText();
+      break;
+    case 2:
+      resp.text = store_->trace()->DrainJson();
+      break;
+    default:
+      return EncodeErrorResponse(
+          Status::InvalidArgument("unknown stats format"));
+  }
+  return EncodeStatsResponse(resp);
+}
+
+}  // namespace net
+}  // namespace tilestore

@@ -1,0 +1,180 @@
+#ifndef TILESTORE_NET_SERVER_H_
+#define TILESTORE_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "mdd/mdd_store.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace tilestore {
+namespace net {
+
+/// Server tuning knobs. The defaults suit a loopback development server;
+/// `tilestore_cli serve` exposes the interesting ones as flags.
+struct TileServerOptions {
+  /// TCP port; 0 binds an ephemeral port (read it back via `port()`).
+  uint16_t port = 0;
+  /// Bind 127.0.0.1 only (the default) or all interfaces.
+  bool loopback_only = true;
+  int backlog = 64;
+  /// Connection workers == maximum concurrent connections: the server is
+  /// thread-per-connection over one `ThreadPool`; connections beyond this
+  /// are refused at accept (counted, never queued invisibly).
+  size_t max_connections = 32;
+  /// Admission control: at most this many requests execute at once.
+  size_t max_inflight_requests = 16;
+  /// Requests beyond the in-flight limit wait in a bounded queue of this
+  /// size; a request arriving with the queue full is rejected immediately
+  /// with `Unavailable` ("overloaded").
+  size_t admission_queue_limit = 16;
+  /// How long an admitted-queue request waits for a slot before it too is
+  /// rejected as overloaded.
+  int admission_wait_ms = 1000;
+  /// Connections idle longer than this are closed.
+  int idle_timeout_ms = 30000;
+  /// Per-request deadline: payload read, execution, and response write
+  /// must finish within it; expiry answers with `DeadlineExceeded` and
+  /// closes the connection.
+  int request_timeout_ms = 10000;
+  /// How long `Stop` waits for in-flight requests to finish before
+  /// forcing connections shut.
+  int drain_timeout_ms = 5000;
+  /// Tile-retrieval parallelism used for query execution (see
+  /// `RangeQueryOptions::parallelism`). Results are byte-identical at any
+  /// value.
+  int query_parallelism = 4;
+  /// Test/bench aid: holds every admitted request for this long before
+  /// executing, making overload and deadline behaviour deterministic to
+  /// test. 0 in production.
+  int debug_handler_delay_ms = 0;
+};
+
+/// \brief TCP front end for one `MDDStore` (DESIGN.md §9).
+///
+/// One listener thread accepts connections and hands each to a worker of
+/// an owned `ThreadPool` (thread-per-connection). Read requests execute
+/// concurrently through the store's thread-safe read path; `InsertTiles`
+/// takes an exclusive lock (one writer, no concurrent readers), and is
+/// applied as one atomic store transaction when the store runs in WAL
+/// mode. Every event is reported to the store's `obs` registry under
+/// `net.*` and each request emits trace spans into the store's ring.
+///
+/// Overload is explicit: beyond `max_inflight_requests` executing plus
+/// `admission_queue_limit` waiting, requests are answered immediately with
+/// `Unavailable` ("overloaded"), never silently stalled. `Stop` drains
+/// gracefully: in-flight requests finish and their responses flush before
+/// connections close.
+class TileServer {
+ public:
+  explicit TileServer(MDDStore* store,
+                      TileServerOptions options = TileServerOptions());
+  ~TileServer();
+
+  TileServer(const TileServer&) = delete;
+  TileServer& operator=(const TileServer&) = delete;
+
+  /// Binds the listener and starts serving. Fails if the port is taken or
+  /// the server was already started.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, let in-flight requests finish
+  /// (bounded by `drain_timeout_ms`), close all connections, join all
+  /// threads. Idempotent; a stopped server cannot be restarted.
+  void Stop();
+
+  /// The bound port (valid after a successful `Start`).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  /// Counting semaphore with a bounded wait queue; the server's admission
+  /// controller.
+  class Admission {
+   public:
+    Admission(size_t capacity, size_t queue_limit)
+        : capacity_(capacity), queue_limit_(queue_limit) {}
+
+    /// Acquires an execution slot, waiting at most `wait_ms` in the
+    /// bounded queue. False means "reject as overloaded".
+    bool Acquire(int wait_ms);
+    void Release();
+
+   private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    const size_t capacity_;
+    const size_t queue_limit_;
+    size_t inflight_ = 0;
+    size_t waiting_ = 0;
+  };
+
+  void ListenLoop();
+  void ServeConnection(std::shared_ptr<Socket> sock);
+  /// Decodes and executes one request; returns the response payload.
+  std::vector<uint8_t> Dispatch(WireOp op,
+                                const std::vector<uint8_t>& payload,
+                                uint64_t trace_id);
+  std::vector<uint8_t> HandleOpenMDD(const std::vector<uint8_t>& payload);
+  std::vector<uint8_t> HandleRangeQuery(const std::vector<uint8_t>& payload,
+                                        uint64_t trace_id);
+  std::vector<uint8_t> HandleAggregate(const std::vector<uint8_t>& payload,
+                                       uint64_t trace_id);
+  std::vector<uint8_t> HandleInsertTiles(const std::vector<uint8_t>& payload);
+  std::vector<uint8_t> HandleStats(const std::vector<uint8_t>& payload);
+
+  MDDStore* store_;
+  const TileServerOptions options_;
+
+  // Catalog guard: read ops share, InsertTiles is exclusive. The store's
+  // tile read path is thread-safe; catalog mutation is not.
+  std::shared_mutex catalog_mu_;
+
+  Admission admission_;
+  Listener listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread listen_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  // Live connection registry, for forced shutdown after the drain grace
+  // period. Connections deregister (under the mutex) before closing.
+  std::mutex conns_mu_;
+  std::set<Socket*> conns_;
+
+  // Drain bookkeeping: connections still running their loop.
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  size_t active_conns_ = 0;
+
+  // net.* metrics, resolved once at construction.
+  obs::Counter* accepted_;
+  obs::Counter* refused_;
+  obs::Gauge* conns_gauge_;
+  obs::Counter* requests_;
+  obs::Gauge* inflight_gauge_;
+  obs::Counter* rejected_overload_;
+  obs::Counter* request_timeouts_;
+  obs::Counter* frame_errors_;
+  obs::Counter* idle_disconnects_;
+  obs::Counter* bytes_received_;
+  obs::Counter* bytes_sent_;
+  // Indexed by WireOp value (1..6); [0] unused.
+  std::vector<obs::Histogram*> op_latency_ms_;
+};
+
+}  // namespace net
+}  // namespace tilestore
+
+#endif  // TILESTORE_NET_SERVER_H_

@@ -1,0 +1,435 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/checksum.h"
+
+namespace tilestore {
+namespace net {
+
+namespace {
+
+// Little-endian u16/u32/u64 into a raw header buffer.
+void PutU16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, 2); }
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
+uint16_t GetU16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+Status CorruptPayload(const char* what) {
+  return Status::Corruption(std::string("wire payload: ") + what);
+}
+
+}  // namespace
+
+std::string_view WireOpName(WireOp op) {
+  switch (op) {
+    case WireOp::kPing:
+      return "ping";
+    case WireOp::kOpenMDD:
+      return "open_mdd";
+    case WireOp::kRangeQuery:
+      return "range_query";
+    case WireOp::kAggregate:
+      return "aggregate";
+    case WireOp::kInsertTiles:
+      return "insert_tiles";
+    case WireOp::kStats:
+      return "stats";
+  }
+  return "unknown";
+}
+
+bool WireOpValid(uint16_t raw) {
+  return raw >= static_cast<uint16_t>(WireOp::kPing) &&
+         raw <= static_cast<uint16_t>(WireOp::kStats);
+}
+
+std::vector<uint8_t> EncodeFrame(WireOp op, bool response,
+                                 uint64_t request_id,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame(kHeaderBytes + payload.size());
+  uint8_t* h = frame.data();
+  PutU32(h, kWireMagic);
+  PutU16(h + 4, kWireVersion);
+  const uint16_t op_raw =
+      static_cast<uint16_t>(op) | (response ? kResponseFlag : 0);
+  PutU16(h + 6, op_raw);
+  PutU64(h + 8, request_id);
+  PutU32(h + 16, static_cast<uint32_t>(payload.size()));
+  PutU32(h + 20, Crc32c(payload.data(), payload.size()));
+  PutU32(h + 24, Crc32c(h, 24));
+  std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
+  return frame;
+}
+
+Status DecodeHeader(const uint8_t* buf, FrameHeader* out) {
+  if (GetU32(buf + 24) != Crc32c(buf, 24)) {
+    return Status::Corruption("wire header CRC mismatch");
+  }
+  if (GetU32(buf) != kWireMagic) {
+    return Status::Corruption("bad wire magic");
+  }
+  const uint16_t version = GetU16(buf + 4);
+  if (version != kWireVersion) {
+    return Status::Unimplemented("unsupported wire version " +
+                                 std::to_string(version) + " (speaking " +
+                                 std::to_string(kWireVersion) + ")");
+  }
+  const uint16_t op_raw = GetU16(buf + 6);
+  const uint16_t op_code = op_raw & static_cast<uint16_t>(~kResponseFlag);
+  if (!WireOpValid(op_code)) {
+    return Status::Corruption("unknown wire op " + std::to_string(op_code));
+  }
+  const uint32_t payload_len = GetU32(buf + 16);
+  if (payload_len > kMaxPayloadBytes) {
+    return Status::Corruption("wire payload length " +
+                              std::to_string(payload_len) +
+                              " exceeds the protocol bound");
+  }
+  out->version = version;
+  out->op = static_cast<WireOp>(op_code);
+  out->response = (op_raw & kResponseFlag) != 0;
+  out->request_id = GetU64(buf + 8);
+  out->payload_len = payload_len;
+  out->payload_crc = GetU32(buf + 20);
+  return Status::OK();
+}
+
+Status VerifyPayload(const FrameHeader& header,
+                     const std::vector<uint8_t>& payload) {
+  if (payload.size() != header.payload_len) {
+    return Status::Corruption("wire payload length mismatch");
+  }
+  if (Crc32c(payload.data(), payload.size()) != header.payload_crc) {
+    return Status::Corruption("wire payload CRC mismatch");
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// Interval serde. Unbounded ('*') bounds travel as their sentinel values.
+
+void WriteIntervalWire(ByteWriter* w, const MInterval& iv) {
+  w->U8(static_cast<uint8_t>(iv.dim()));
+  for (size_t i = 0; i < iv.dim(); ++i) {
+    w->I64(iv.lo(i));
+    w->I64(iv.hi(i));
+  }
+}
+
+Status ReadIntervalWire(ByteReader* r, MInterval* out) {
+  uint8_t dim = 0;
+  Status st = r->U8(&dim);
+  if (!st.ok()) return st;
+  if (dim == 0) return CorruptPayload("zero-dimensional interval");
+  std::vector<Coord> lo(dim), hi(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    st = r->I64(&lo[i]);
+    if (!st.ok()) return st;
+    st = r->I64(&hi[i]);
+    if (!st.ok()) return st;
+  }
+  Result<MInterval> iv = MInterval::Create(std::move(lo), std::move(hi));
+  if (!iv.ok()) {
+    return CorruptPayload("invalid interval bounds");
+  }
+  *out = std::move(iv).MoveValue();
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// Requests.
+
+std::vector<uint8_t> EncodeOpenMDDRequest(const OpenMDDRequest& req) {
+  ByteWriter w;
+  w.Str(req.name);
+  return w.Take();
+}
+
+Status DecodeOpenMDDRequest(const std::vector<uint8_t>& payload,
+                            OpenMDDRequest* out) {
+  ByteReader r(payload);
+  Status st = r.Str(&out->name);
+  if (!st.ok()) return st;
+  if (!r.AtEnd()) return CorruptPayload("trailing bytes in open_mdd");
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeRangeQueryRequest(const RangeQueryRequest& req) {
+  ByteWriter w;
+  w.Str(req.name);
+  WriteIntervalWire(&w, req.region);
+  return w.Take();
+}
+
+Status DecodeRangeQueryRequest(const std::vector<uint8_t>& payload,
+                               RangeQueryRequest* out) {
+  ByteReader r(payload);
+  Status st = r.Str(&out->name);
+  if (!st.ok()) return st;
+  st = ReadIntervalWire(&r, &out->region);
+  if (!st.ok()) return st;
+  if (!r.AtEnd()) return CorruptPayload("trailing bytes in range_query");
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeAggregateRequest(const AggregateRequest& req) {
+  ByteWriter w;
+  w.Str(req.name);
+  WriteIntervalWire(&w, req.region);
+  w.U8(req.op);
+  return w.Take();
+}
+
+Status DecodeAggregateRequest(const std::vector<uint8_t>& payload,
+                              AggregateRequest* out) {
+  ByteReader r(payload);
+  Status st = r.Str(&out->name);
+  if (!st.ok()) return st;
+  st = ReadIntervalWire(&r, &out->region);
+  if (!st.ok()) return st;
+  st = r.U8(&out->op);
+  if (!st.ok()) return st;
+  if (!r.AtEnd()) return CorruptPayload("trailing bytes in aggregate");
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeInsertTilesRequest(const InsertTilesRequest& req) {
+  ByteWriter w;
+  w.Str(req.name);
+  w.U8(req.create_if_missing ? 1 : 0);
+  if (req.create_if_missing) {
+    WriteIntervalWire(&w, req.definition_domain);
+    w.U8(req.cell_type_id);
+  }
+  w.U32(static_cast<uint32_t>(req.tiles.size()));
+  for (const WireTile& tile : req.tiles) {
+    WriteIntervalWire(&w, tile.domain);
+    w.U64(tile.cells.size());
+    w.Bytes(tile.cells.data(), tile.cells.size());
+  }
+  return w.Take();
+}
+
+Status DecodeInsertTilesRequest(const std::vector<uint8_t>& payload,
+                                InsertTilesRequest* out) {
+  ByteReader r(payload);
+  Status st = r.Str(&out->name);
+  if (!st.ok()) return st;
+  uint8_t create = 0;
+  st = r.U8(&create);
+  if (!st.ok()) return st;
+  out->create_if_missing = create != 0;
+  if (out->create_if_missing) {
+    st = ReadIntervalWire(&r, &out->definition_domain);
+    if (!st.ok()) return st;
+    st = r.U8(&out->cell_type_id);
+    if (!st.ok()) return st;
+  }
+  uint32_t count = 0;
+  st = r.U32(&count);
+  if (!st.ok()) return st;
+  out->tiles.clear();
+  out->tiles.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireTile tile;
+    st = ReadIntervalWire(&r, &tile.domain);
+    if (!st.ok()) return st;
+    uint64_t n = 0;
+    st = r.U64(&n);
+    if (!st.ok()) return st;
+    if (n > kMaxPayloadBytes) return CorruptPayload("oversized tile");
+    tile.cells.resize(static_cast<size_t>(n));
+    st = r.Bytes(tile.cells.data(), tile.cells.size());
+    if (!st.ok()) return st;
+    out->tiles.push_back(std::move(tile));
+  }
+  if (!r.AtEnd()) return CorruptPayload("trailing bytes in insert_tiles");
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeStatsRequest(const StatsRequest& req) {
+  ByteWriter w;
+  w.U8(req.format);
+  return w.Take();
+}
+
+Status DecodeStatsRequest(const std::vector<uint8_t>& payload,
+                          StatsRequest* out) {
+  ByteReader r(payload);
+  Status st = r.U8(&out->format);
+  if (!st.ok()) return st;
+  if (!r.AtEnd()) return CorruptPayload("trailing bytes in stats");
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// Responses.
+
+namespace {
+
+ByteWriter OkWriter() {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(StatusCode::kOk));
+  return w;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeErrorResponse(const Status& status) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(status.code()));
+  w.Str(status.message());
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodePingResponse() { return OkWriter().Take(); }
+
+std::vector<uint8_t> EncodeOpenMDDResponse(const OpenMDDResponse& resp) {
+  ByteWriter w = OkWriter();
+  WriteIntervalWire(&w, resp.definition_domain);
+  w.U8(resp.has_current_domain ? 1 : 0);
+  if (resp.has_current_domain) WriteIntervalWire(&w, resp.current_domain);
+  w.U8(resp.cell_type_id);
+  w.U64(resp.tile_count);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeRangeQueryResponse(const RangeQueryResponse& resp) {
+  ByteWriter w = OkWriter();
+  WriteIntervalWire(&w, resp.domain);
+  w.U8(resp.cell_type_id);
+  w.U64(resp.cells.size());
+  w.Bytes(resp.cells.data(), resp.cells.size());
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeAggregateResponse(const AggregateResponse& resp) {
+  ByteWriter w = OkWriter();
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(resp.value));
+  std::memcpy(&bits, &resp.value, sizeof(bits));
+  w.U64(bits);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeInsertTilesResponse(
+    const InsertTilesResponse& resp) {
+  ByteWriter w = OkWriter();
+  w.U64(resp.tiles_inserted);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& resp) {
+  ByteWriter w = OkWriter();
+  w.Str(resp.text);
+  return w.Take();
+}
+
+Status DecodeResponseStatus(ByteReader* r, Status* server_status) {
+  uint8_t code = 0;
+  Status st = r->U8(&code);
+  if (!st.ok()) return st;
+  if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return CorruptPayload("unknown response status code");
+  }
+  if (code == static_cast<uint8_t>(StatusCode::kOk)) {
+    *server_status = Status::OK();
+    return Status::OK();
+  }
+  std::string message;
+  st = r->Str(&message);
+  if (!st.ok()) return st;
+  *server_status = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+Status DecodePingResponse(const std::vector<uint8_t>& payload,
+                          Status* server_status) {
+  ByteReader r(payload);
+  return DecodeResponseStatus(&r, server_status);
+}
+
+Status DecodeOpenMDDResponse(const std::vector<uint8_t>& payload,
+                             Status* server_status, OpenMDDResponse* out) {
+  ByteReader r(payload);
+  Status st = DecodeResponseStatus(&r, server_status);
+  if (!st.ok() || !server_status->ok()) return st;
+  st = ReadIntervalWire(&r, &out->definition_domain);
+  if (!st.ok()) return st;
+  uint8_t has_current = 0;
+  st = r.U8(&has_current);
+  if (!st.ok()) return st;
+  out->has_current_domain = has_current != 0;
+  if (out->has_current_domain) {
+    st = ReadIntervalWire(&r, &out->current_domain);
+    if (!st.ok()) return st;
+  }
+  st = r.U8(&out->cell_type_id);
+  if (!st.ok()) return st;
+  return r.U64(&out->tile_count);
+}
+
+Status DecodeRangeQueryResponse(const std::vector<uint8_t>& payload,
+                                Status* server_status,
+                                RangeQueryResponse* out) {
+  ByteReader r(payload);
+  Status st = DecodeResponseStatus(&r, server_status);
+  if (!st.ok() || !server_status->ok()) return st;
+  st = ReadIntervalWire(&r, &out->domain);
+  if (!st.ok()) return st;
+  st = r.U8(&out->cell_type_id);
+  if (!st.ok()) return st;
+  uint64_t n = 0;
+  st = r.U64(&n);
+  if (!st.ok()) return st;
+  if (n > kMaxPayloadBytes) return CorruptPayload("oversized result");
+  out->cells.resize(static_cast<size_t>(n));
+  return r.Bytes(out->cells.data(), out->cells.size());
+}
+
+Status DecodeAggregateResponse(const std::vector<uint8_t>& payload,
+                               Status* server_status, AggregateResponse* out) {
+  ByteReader r(payload);
+  Status st = DecodeResponseStatus(&r, server_status);
+  if (!st.ok() || !server_status->ok()) return st;
+  uint64_t bits = 0;
+  st = r.U64(&bits);
+  if (!st.ok()) return st;
+  std::memcpy(&out->value, &bits, sizeof(out->value));
+  return Status::OK();
+}
+
+Status DecodeInsertTilesResponse(const std::vector<uint8_t>& payload,
+                                 Status* server_status,
+                                 InsertTilesResponse* out) {
+  ByteReader r(payload);
+  Status st = DecodeResponseStatus(&r, server_status);
+  if (!st.ok() || !server_status->ok()) return st;
+  return r.U64(&out->tiles_inserted);
+}
+
+Status DecodeStatsResponse(const std::vector<uint8_t>& payload,
+                           Status* server_status, StatsResponse* out) {
+  ByteReader r(payload);
+  Status st = DecodeResponseStatus(&r, server_status);
+  if (!st.ok() || !server_status->ok()) return st;
+  return r.Str(&out->text);
+}
+
+}  // namespace net
+}  // namespace tilestore

@@ -1,0 +1,207 @@
+#ifndef TILESTORE_NET_WIRE_H_
+#define TILESTORE_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "core/cell_type.h"
+#include "core/minterval.h"
+
+namespace tilestore {
+namespace net {
+
+/// \brief The tilestore binary wire protocol (DESIGN.md §9).
+///
+/// Every message is one *frame*: a fixed 28-byte header followed by a
+/// variable payload. All integers are little-endian, matching the on-disk
+/// format.
+///
+///   magic       u32   'TSN1'
+///   version     u16   kWireVersion; a server rejects newer majors
+///   op          u16   WireOp, high bit (kResponseFlag) set on responses
+///   request_id  u64   echoed verbatim in the response
+///   payload_len u32   <= kMaxPayloadBytes
+///   payload_crc u32   CRC-32C of the payload bytes
+///   header_crc  u32   CRC-32C of the preceding 24 header bytes
+///
+/// The header CRC lets a receiver reject a corrupt length before
+/// allocating; the payload CRC protects the body. Response payloads always
+/// begin with one status byte (`StatusCode`); non-OK responses follow with
+/// a length-prefixed message string and nothing else, OK responses with
+/// the op-specific body documented per encoder below.
+constexpr uint32_t kWireMagic = 0x54534E31;  // "TSN1"
+constexpr uint16_t kWireVersion = 1;
+constexpr uint16_t kResponseFlag = 0x8000;
+constexpr size_t kHeaderBytes = 28;
+/// Upper bound on one frame's payload: large enough for any sane tile
+/// batch or query result, small enough that a corrupt or hostile length
+/// cannot balloon server memory.
+constexpr size_t kMaxPayloadBytes = 64u << 20;
+
+enum class WireOp : uint16_t {
+  kPing = 1,
+  kOpenMDD = 2,
+  kRangeQuery = 3,
+  kAggregate = 4,
+  kInsertTiles = 5,
+  kStats = 6,
+};
+
+/// Static-literal op name ("range_query", ...), usable as a trace span
+/// name. Unknown ops map to "unknown".
+std::string_view WireOpName(WireOp op);
+bool WireOpValid(uint16_t raw);
+
+/// Decoded frame header.
+struct FrameHeader {
+  uint16_t version = 0;
+  WireOp op = WireOp::kPing;
+  bool response = false;
+  uint64_t request_id = 0;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+};
+
+/// Serializes a full frame (header + payload) ready to send.
+std::vector<uint8_t> EncodeFrame(WireOp op, bool response,
+                                 uint64_t request_id,
+                                 const std::vector<uint8_t>& payload);
+
+/// Validates magic/version/CRC/length of the `kHeaderBytes` at `buf`.
+/// Unsupported versions yield Unimplemented; everything else Corruption.
+Status DecodeHeader(const uint8_t* buf, FrameHeader* out);
+
+/// Checks the payload bytes against the header's CRC.
+Status VerifyPayload(const FrameHeader& header,
+                     const std::vector<uint8_t>& payload);
+
+// --------------------------------------------------------------------------
+// Interval / payload serde helpers shared by client and server.
+
+void WriteIntervalWire(ByteWriter* w, const MInterval& iv);
+Status ReadIntervalWire(ByteReader* r, MInterval* out);
+
+// --------------------------------------------------------------------------
+// Request payloads.
+
+struct OpenMDDRequest {
+  std::string name;
+};
+
+struct RangeQueryRequest {
+  std::string name;
+  MInterval region;  // '*' bounds allowed, resolved server-side
+};
+
+struct AggregateRequest {
+  std::string name;
+  MInterval region;
+  uint8_t op = 0;  // AggregateOp
+};
+
+/// One tile travelling over the wire, always as raw (uncompressed) cell
+/// bytes; the server re-applies the object's selective compression when
+/// storing.
+struct WireTile {
+  MInterval domain;
+  std::vector<uint8_t> cells;
+};
+
+struct InsertTilesRequest {
+  std::string name;
+  /// When set and the object does not exist, it is created first with
+  /// `definition_domain` / `cell_type_id`.
+  bool create_if_missing = false;
+  MInterval definition_domain;
+  uint8_t cell_type_id = 0;
+  std::vector<WireTile> tiles;
+};
+
+struct StatsRequest {
+  /// 0 = metrics JSON, 1 = Prometheus text, 2 = drained trace JSON.
+  uint8_t format = 0;
+};
+
+std::vector<uint8_t> EncodeOpenMDDRequest(const OpenMDDRequest& req);
+Status DecodeOpenMDDRequest(const std::vector<uint8_t>& payload,
+                            OpenMDDRequest* out);
+std::vector<uint8_t> EncodeRangeQueryRequest(const RangeQueryRequest& req);
+Status DecodeRangeQueryRequest(const std::vector<uint8_t>& payload,
+                               RangeQueryRequest* out);
+std::vector<uint8_t> EncodeAggregateRequest(const AggregateRequest& req);
+Status DecodeAggregateRequest(const std::vector<uint8_t>& payload,
+                              AggregateRequest* out);
+std::vector<uint8_t> EncodeInsertTilesRequest(const InsertTilesRequest& req);
+Status DecodeInsertTilesRequest(const std::vector<uint8_t>& payload,
+                                InsertTilesRequest* out);
+std::vector<uint8_t> EncodeStatsRequest(const StatsRequest& req);
+Status DecodeStatsRequest(const std::vector<uint8_t>& payload,
+                          StatsRequest* out);
+
+// --------------------------------------------------------------------------
+// Response payloads. Every encoder emits the leading status byte; decoders
+// return the decoded server-side Status (possibly non-OK) through
+// `*server_status` and fill the body only when it is OK.
+
+/// Error response usable for any op: status byte + message.
+std::vector<uint8_t> EncodeErrorResponse(const Status& status);
+
+struct OpenMDDResponse {
+  MInterval definition_domain;
+  bool has_current_domain = false;
+  MInterval current_domain;
+  uint8_t cell_type_id = 0;
+  uint64_t tile_count = 0;
+};
+
+struct RangeQueryResponse {
+  MInterval domain;
+  uint8_t cell_type_id = 0;
+  std::vector<uint8_t> cells;
+};
+
+struct AggregateResponse {
+  double value = 0;
+};
+
+struct InsertTilesResponse {
+  uint64_t tiles_inserted = 0;
+};
+
+struct StatsResponse {
+  std::string text;
+};
+
+std::vector<uint8_t> EncodePingResponse();
+std::vector<uint8_t> EncodeOpenMDDResponse(const OpenMDDResponse& resp);
+std::vector<uint8_t> EncodeRangeQueryResponse(const RangeQueryResponse& resp);
+std::vector<uint8_t> EncodeAggregateResponse(const AggregateResponse& resp);
+std::vector<uint8_t> EncodeInsertTilesResponse(
+    const InsertTilesResponse& resp);
+std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& resp);
+
+Status DecodeResponseStatus(ByteReader* r, Status* server_status);
+Status DecodePingResponse(const std::vector<uint8_t>& payload,
+                          Status* server_status);
+Status DecodeOpenMDDResponse(const std::vector<uint8_t>& payload,
+                             Status* server_status, OpenMDDResponse* out);
+Status DecodeRangeQueryResponse(const std::vector<uint8_t>& payload,
+                                Status* server_status,
+                                RangeQueryResponse* out);
+Status DecodeAggregateResponse(const std::vector<uint8_t>& payload,
+                               Status* server_status, AggregateResponse* out);
+Status DecodeInsertTilesResponse(const std::vector<uint8_t>& payload,
+                                 Status* server_status,
+                                 InsertTilesResponse* out);
+Status DecodeStatsResponse(const std::vector<uint8_t>& payload,
+                           Status* server_status, StatsResponse* out);
+
+}  // namespace net
+}  // namespace tilestore
+
+#endif  // TILESTORE_NET_WIRE_H_

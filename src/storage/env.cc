@@ -1,6 +1,7 @@
 #include "storage/env.h"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -206,6 +207,32 @@ Result<uint64_t> File::Size() const {
   const off_t end = ::lseek(fd_, 0, SEEK_END);
   if (end < 0) return Status::IOError(ErrnoMessage("lseek " + path_));
   return static_cast<uint64_t>(end);
+}
+
+Result<std::unique_ptr<FileLock>> FileLock::Acquire(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("open lock file " + path));
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    const int err = errno;
+    ::close(fd);
+    if (err == EWOULDBLOCK) {
+      return Status::Unavailable("database is locked by another process (" +
+                                 path + ")");
+    }
+    errno = err;
+    return Status::IOError(ErrnoMessage("flock " + path));
+  }
+  return std::unique_ptr<FileLock>(new FileLock(path, fd));
+}
+
+FileLock::~FileLock() {
+  // Closing the descriptor releases the flock; the sidecar file stays.
+  if (fd_ >= 0) {
+    (void)::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
 }
 
 bool FileExists(const std::string& path) {

@@ -146,6 +146,34 @@ class File {
   int fd_;
 };
 
+/// \brief Advisory exclusive lock on a sidecar file (POSIX flock).
+///
+/// `MDDStore` takes one on `<db>.lock` so a second process (or a second
+/// store instance in the same process) opening the same database gets a
+/// clear `Unavailable` error instead of undefined concurrent access. The
+/// lock is advisory: tools that merely read bytes (fsck on a crashed
+/// image) are not blocked by it. Released on destruction; the sidecar
+/// file itself is left in place — flock state dies with the descriptor,
+/// so a stale file never locks anyone out.
+class FileLock {
+ public:
+  /// Creates `path` if needed and acquires an exclusive non-blocking
+  /// flock on it. A held lock yields `Unavailable` naming the path.
+  static Result<std::unique_ptr<FileLock>> Acquire(const std::string& path);
+
+  ~FileLock();
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FileLock(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_;
+};
+
 /// True if a file exists at `path`.
 bool FileExists(const std::string& path);
 

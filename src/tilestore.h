@@ -15,6 +15,8 @@
 ///  - the tiling strategies and the tiling advisor   (tiling/)
 ///  - `obs::MetricsRegistry` / `MetricsSnapshot` / `obs::TraceRing`
 ///    (obs/ — reachable as `store->metrics()` / `store->trace()`)
+///  - `net::TileServer` / `net::TileClient` and the wire protocol
+///    constants (net/ — the TCP serving layer, DESIGN.md §9)
 ///  - filesystem helpers (`RemoveFileIfExists`, ...) and the offline
 ///    checker entry point (storage/env.h, storage/fsck.h)
 ///
@@ -29,6 +31,9 @@
 #include "core/tile.h"
 #include "mdd/mdd_object.h"
 #include "mdd/mdd_store.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/access_log.h"

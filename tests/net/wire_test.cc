@@ -1,0 +1,228 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/checksum.h"
+
+namespace tilestore {
+namespace net {
+namespace {
+
+// Little-endian u32 store, for hand-patching header fields in tests.
+void PutU32At(std::vector<uint8_t>* buf, size_t off, uint32_t v) {
+  (*buf)[off + 0] = static_cast<uint8_t>(v);
+  (*buf)[off + 1] = static_cast<uint8_t>(v >> 8);
+  (*buf)[off + 2] = static_cast<uint8_t>(v >> 16);
+  (*buf)[off + 3] = static_cast<uint8_t>(v >> 24);
+}
+
+// Re-seals the header CRC after a test patched earlier header bytes, so
+// the patched field (not the CRC check) is what the decoder trips on.
+void ResealHeaderCrc(std::vector<uint8_t>* frame) {
+  PutU32At(frame, 24, Crc32c(frame->data(), 24));
+}
+
+TEST(NetWireFrame, RoundTrip) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  std::vector<uint8_t> frame =
+      EncodeFrame(WireOp::kRangeQuery, /*response=*/false, 42, payload);
+  ASSERT_EQ(frame.size(), kHeaderBytes + payload.size());
+
+  FrameHeader header;
+  ASSERT_TRUE(DecodeHeader(frame.data(), &header).ok());
+  EXPECT_EQ(header.version, kWireVersion);
+  EXPECT_EQ(header.op, WireOp::kRangeQuery);
+  EXPECT_FALSE(header.response);
+  EXPECT_EQ(header.request_id, 42u);
+  EXPECT_EQ(header.payload_len, payload.size());
+  EXPECT_TRUE(VerifyPayload(header, payload).ok());
+}
+
+TEST(NetWireFrame, ResponseFlagRoundTrip) {
+  std::vector<uint8_t> frame =
+      EncodeFrame(WireOp::kPing, /*response=*/true, 7, {});
+  FrameHeader header;
+  ASSERT_TRUE(DecodeHeader(frame.data(), &header).ok());
+  EXPECT_TRUE(header.response);
+  EXPECT_EQ(header.op, WireOp::kPing);
+  EXPECT_EQ(header.payload_len, 0u);
+}
+
+TEST(NetWireFrame, CorruptHeaderCrcRejected) {
+  std::vector<uint8_t> frame = EncodeFrame(WireOp::kPing, false, 1, {});
+  frame[8] ^= 0xFF;  // flip a request_id byte, leave the CRC stale
+  FrameHeader header;
+  EXPECT_TRUE(DecodeHeader(frame.data(), &header).IsCorruption());
+}
+
+TEST(NetWireFrame, BadMagicRejected) {
+  std::vector<uint8_t> frame = EncodeFrame(WireOp::kPing, false, 1, {});
+  PutU32At(&frame, 0, 0xDEADBEEF);
+  ResealHeaderCrc(&frame);
+  FrameHeader header;
+  EXPECT_TRUE(DecodeHeader(frame.data(), &header).IsCorruption());
+}
+
+TEST(NetWireFrame, NewerVersionYieldsUnimplemented) {
+  std::vector<uint8_t> frame = EncodeFrame(WireOp::kPing, false, 1, {});
+  frame[4] = static_cast<uint8_t>(kWireVersion + 1);
+  ResealHeaderCrc(&frame);
+  FrameHeader header;
+  EXPECT_TRUE(DecodeHeader(frame.data(), &header).IsUnimplemented());
+}
+
+TEST(NetWireFrame, UnknownOpRejected) {
+  std::vector<uint8_t> frame = EncodeFrame(WireOp::kPing, false, 1, {});
+  frame[6] = 0x7F;  // not a WireOp
+  frame[7] = 0x00;
+  ResealHeaderCrc(&frame);
+  FrameHeader header;
+  EXPECT_TRUE(DecodeHeader(frame.data(), &header).IsCorruption());
+}
+
+TEST(NetWireFrame, OversizedPayloadLengthRejected) {
+  std::vector<uint8_t> frame = EncodeFrame(WireOp::kPing, false, 1, {});
+  PutU32At(&frame, 16, static_cast<uint32_t>(kMaxPayloadBytes) + 1);
+  ResealHeaderCrc(&frame);
+  FrameHeader header;
+  EXPECT_TRUE(DecodeHeader(frame.data(), &header).IsCorruption());
+}
+
+TEST(NetWireFrame, CorruptPayloadCaughtByCrc) {
+  std::vector<uint8_t> payload = {9, 8, 7};
+  std::vector<uint8_t> frame =
+      EncodeFrame(WireOp::kStats, false, 3, payload);
+  FrameHeader header;
+  ASSERT_TRUE(DecodeHeader(frame.data(), &header).ok());
+  payload[1] ^= 0x01;
+  EXPECT_TRUE(VerifyPayload(header, payload).IsCorruption());
+}
+
+TEST(NetWireFrame, OpNamesAreStable) {
+  EXPECT_EQ(WireOpName(WireOp::kRangeQuery), "range_query");
+  EXPECT_EQ(WireOpName(static_cast<WireOp>(99)), "unknown");
+  EXPECT_TRUE(WireOpValid(1));
+  EXPECT_FALSE(WireOpValid(0));
+  EXPECT_FALSE(WireOpValid(7));
+}
+
+// --------------------------------------------------------------------------
+// Request payload serde.
+
+TEST(NetWireRequests, RangeQueryRoundTrip) {
+  RangeQueryRequest req;
+  req.name = "temperature";
+  req.region = MInterval({{0, 99}, {-5, 63}});
+  RangeQueryRequest out;
+  ASSERT_TRUE(DecodeRangeQueryRequest(EncodeRangeQueryRequest(req), &out).ok());
+  EXPECT_EQ(out.name, "temperature");
+  EXPECT_EQ(out.region, req.region);
+}
+
+TEST(NetWireRequests, AggregateRoundTrip) {
+  AggregateRequest req;
+  req.name = "a";
+  req.region = MInterval({{1, 2}});
+  req.op = 3;
+  AggregateRequest out;
+  ASSERT_TRUE(DecodeAggregateRequest(EncodeAggregateRequest(req), &out).ok());
+  EXPECT_EQ(out.name, "a");
+  EXPECT_EQ(out.region, req.region);
+  EXPECT_EQ(out.op, 3);
+}
+
+TEST(NetWireRequests, InsertTilesRoundTrip) {
+  InsertTilesRequest req;
+  req.name = "obj";
+  req.create_if_missing = true;
+  req.definition_domain = MInterval({{0, 255}, {0, 255}});
+  req.cell_type_id = static_cast<uint8_t>(CellTypeId::kUInt8);
+  WireTile tile;
+  tile.domain = MInterval({{0, 1}, {0, 1}});
+  tile.cells = {10, 20, 30, 40};
+  req.tiles.push_back(tile);
+  InsertTilesRequest out;
+  ASSERT_TRUE(
+      DecodeInsertTilesRequest(EncodeInsertTilesRequest(req), &out).ok());
+  EXPECT_TRUE(out.create_if_missing);
+  EXPECT_EQ(out.definition_domain, req.definition_domain);
+  ASSERT_EQ(out.tiles.size(), 1u);
+  EXPECT_EQ(out.tiles[0].domain, tile.domain);
+  EXPECT_EQ(out.tiles[0].cells, tile.cells);
+}
+
+TEST(NetWireRequests, TruncatedPayloadIsCorruption) {
+  OpenMDDRequest req;
+  req.name = "some-object-name";
+  std::vector<uint8_t> payload = EncodeOpenMDDRequest(req);
+  payload.resize(payload.size() / 2);
+  OpenMDDRequest out;
+  EXPECT_TRUE(DecodeOpenMDDRequest(payload, &out).IsCorruption());
+}
+
+TEST(NetWireRequests, TrailingGarbageIsCorruption) {
+  StatsRequest req;
+  std::vector<uint8_t> payload = EncodeStatsRequest(req);
+  payload.push_back(0xAB);
+  StatsRequest out;
+  EXPECT_TRUE(DecodeStatsRequest(payload, &out).IsCorruption());
+}
+
+// --------------------------------------------------------------------------
+// Response payload serde.
+
+TEST(NetWireResponses, OkResponseRoundTrip) {
+  RangeQueryResponse resp;
+  resp.domain = MInterval({{0, 1}, {0, 2}});
+  resp.cell_type_id = static_cast<uint8_t>(CellTypeId::kUInt8);
+  resp.cells = {1, 2, 3, 4, 5, 6};
+  Status server;
+  RangeQueryResponse out;
+  ASSERT_TRUE(DecodeRangeQueryResponse(EncodeRangeQueryResponse(resp),
+                                       &server, &out)
+                  .ok());
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ(out.domain, resp.domain);
+  EXPECT_EQ(out.cells, resp.cells);
+}
+
+TEST(NetWireResponses, ErrorResponseCarriesStatus) {
+  const Status error = Status::Unavailable("overloaded: no slots");
+  Status server;
+  RangeQueryResponse out;
+  ASSERT_TRUE(
+      DecodeRangeQueryResponse(EncodeErrorResponse(error), &server, &out)
+          .ok());
+  EXPECT_TRUE(server.IsUnavailable());
+  EXPECT_EQ(server.message(), "overloaded: no slots");
+}
+
+TEST(NetWireResponses, DeadlineExceededSurvivesTheWire) {
+  Status server;
+  ASSERT_TRUE(DecodePingResponse(
+                  EncodeErrorResponse(Status::DeadlineExceeded("too slow")),
+                  &server)
+                  .ok());
+  EXPECT_TRUE(server.IsDeadlineExceeded());
+}
+
+TEST(NetWireResponses, UnknownStatusCodeRejected) {
+  std::vector<uint8_t> payload = {250};  // not a StatusCode
+  Status server;
+  EXPECT_TRUE(DecodePingResponse(payload, &server).IsCorruption());
+}
+
+TEST(NetWireResponses, AggregateValueBitExact) {
+  AggregateResponse resp;
+  resp.value = -0.1 + 3e300;
+  Status server;
+  AggregateResponse out;
+  ASSERT_TRUE(DecodeAggregateResponse(EncodeAggregateResponse(resp), &server,
+                                      &out)
+                  .ok());
+  EXPECT_EQ(out.value, resp.value);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace tilestore

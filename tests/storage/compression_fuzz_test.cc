@@ -1,0 +1,165 @@
+// Property-style and adversarial coverage of the RLE codec, complementing
+// the example-based cases in compression_test.cc. The decoder faces bytes
+// from disk (and, via tile blobs, ultimately from the network), so every
+// malformed stream must come back as Corruption — never a crash, hang, or
+// oversized allocation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "storage/compression.h"
+
+namespace tilestore {
+namespace {
+
+void ExpectRoundTrip(const std::vector<uint8_t>& data) {
+  const std::vector<uint8_t> packed = Compress(Compression::kRle, data);
+  Result<std::vector<uint8_t>> unpacked =
+      Decompress(Compression::kRle, packed, data.size());
+  ASSERT_TRUE(unpacked.ok()) << unpacked.status().ToString();
+  EXPECT_EQ(*unpacked, data);
+}
+
+TEST(RleFuzz, RandomBuffersRoundTrip) {
+  Random rng(20260806);
+  for (int iter = 0; iter < 200; ++iter) {
+    const size_t size = rng.Uniform(2048);
+    std::vector<uint8_t> data(size);
+    for (uint8_t& b : data) b = static_cast<uint8_t>(rng.Uniform(256));
+    ExpectRoundTrip(data);
+  }
+}
+
+TEST(RleFuzz, SparseBuffersRoundTrip) {
+  // The target workload: long runs of a default value with scattered
+  // non-default cells, at varying sparsity.
+  Random rng(7);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<uint8_t> data(1 + rng.Uniform(4096), 0);
+    const size_t spikes = rng.Uniform(data.size() / 4 + 1);
+    for (size_t s = 0; s < spikes; ++s) {
+      data[rng.Uniform(data.size())] =
+          static_cast<uint8_t>(1 + rng.Uniform(255));
+    }
+    ExpectRoundTrip(data);
+  }
+}
+
+TEST(RleFuzz, RunLengthBoundaries) {
+  // The codec caps runs at 128 (control 0x81) and literals at 128
+  // (control 0x7F); 0x80 is the reserved gap between the two ranges.
+  // Exercise every length around the caps and around the 255/256/257
+  // sizes where a second control byte becomes necessary.
+  for (size_t len : {1u, 2u, 3u, 127u, 128u, 129u, 255u, 256u, 257u, 513u}) {
+    ExpectRoundTrip(std::vector<uint8_t>(len, 0xAA));  // one long run
+    std::vector<uint8_t> ramp(len);
+    for (size_t i = 0; i < len; ++i) ramp[i] = static_cast<uint8_t>(i);
+    ExpectRoundTrip(ramp);  // forced literals (runs of 1)
+  }
+}
+
+TEST(RleFuzz, AlternatingRunsAroundTheCap) {
+  std::vector<uint8_t> data;
+  for (int block = 0; block < 8; ++block) {
+    data.insert(data.end(), 128 + block, static_cast<uint8_t>(block));
+    data.push_back(static_cast<uint8_t>(0xF0 + block));  // singleton
+  }
+  ExpectRoundTrip(data);
+}
+
+TEST(RleFuzz, EmptyInputRoundTrips) {
+  ExpectRoundTrip({});
+}
+
+// --------------------------------------------------------------------------
+// Adversarial streams. Built by hand, not by the compressor.
+
+TEST(RleFuzz, ReservedControlByteIsCorruption) {
+  const std::vector<uint8_t> stream = {0x80, 0x11};
+  EXPECT_TRUE(
+      Decompress(Compression::kRle, stream, 2).status().IsCorruption());
+}
+
+TEST(RleFuzz, TruncatedLiteralRunIsCorruption) {
+  // Control 0x05 promises 6 literal bytes; only 3 follow.
+  const std::vector<uint8_t> stream = {0x05, 1, 2, 3};
+  EXPECT_TRUE(
+      Decompress(Compression::kRle, stream, 6).status().IsCorruption());
+}
+
+TEST(RleFuzz, TruncatedRepeatRunIsCorruption) {
+  // Control 0xFE promises a repeated byte that never arrives.
+  const std::vector<uint8_t> stream = {0xFE};
+  EXPECT_TRUE(
+      Decompress(Compression::kRle, stream, 3).status().IsCorruption());
+}
+
+TEST(RleFuzz, StreamLongerThanDeclaredSizeIsCorruption) {
+  // Expands to 128 bytes but the tile domain promised 4; the decoder must
+  // stop at the bound instead of allocating past it.
+  const std::vector<uint8_t> stream = {0x81, 0x42};
+  EXPECT_TRUE(
+      Decompress(Compression::kRle, stream, 4).status().IsCorruption());
+}
+
+TEST(RleFuzz, StreamShorterThanDeclaredSizeIsCorruption) {
+  const std::vector<uint8_t> stream = {0x01, 7, 7};  // expands to 2 bytes
+  EXPECT_TRUE(
+      Decompress(Compression::kRle, stream, 100).status().IsCorruption());
+}
+
+TEST(RleFuzz, TruncatingValidStreamsAlwaysYieldsCorruption) {
+  // Chop a valid compressed stream at every byte offset: no prefix may
+  // decode successfully, since the full expansion can no longer arrive.
+  std::vector<uint8_t> data(300, 0);
+  for (size_t i = 0; i < data.size(); i += 7) {
+    data[i] = static_cast<uint8_t>(i);
+  }
+  const std::vector<uint8_t> packed = Compress(Compression::kRle, data);
+  ASSERT_GT(packed.size(), 2u);
+  for (size_t cut = 0; cut < packed.size(); ++cut) {
+    const std::vector<uint8_t> prefix(packed.begin(),
+                                      packed.begin() + cut);
+    EXPECT_TRUE(Decompress(Compression::kRle, prefix, data.size())
+                    .status()
+                    .IsCorruption())
+        << "prefix of " << cut << " bytes decoded successfully";
+  }
+}
+
+TEST(RleFuzz, RandomGarbageNeverCrashesTheDecoder) {
+  Random rng(0xC0DE);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<uint8_t> garbage(rng.Uniform(256));
+    for (uint8_t& b : garbage) b = static_cast<uint8_t>(rng.Uniform(256));
+    const size_t expected = rng.Uniform(1024);
+    // Either it happens to be a valid stream of exactly `expected` bytes,
+    // or it is Corruption; both are acceptable, crashing is not.
+    Result<std::vector<uint8_t>> out =
+        Decompress(Compression::kRle, garbage, expected);
+    if (out.ok()) {
+      EXPECT_EQ(out->size(), expected);
+    }
+  }
+}
+
+TEST(RleFuzz, CompressedOutputNeverContainsReservedControl) {
+  Random rng(99);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<uint8_t> data(rng.Uniform(1024));
+    for (uint8_t& b : data) b = static_cast<uint8_t>(rng.Uniform(4));
+    const std::vector<uint8_t> packed = Compress(Compression::kRle, data);
+    // Walk the control bytes (skipping payload) — none may be 0x80.
+    size_t i = 0;
+    while (i < packed.size()) {
+      const uint8_t control = packed[i++];
+      ASSERT_NE(control, 0x80);
+      i += control < 0x80 ? control + 1u : 1u;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tilestore

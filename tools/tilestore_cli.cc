@@ -10,6 +10,8 @@
 //   tilestore_cli advise <db> <object> <access-log-file>
 //   tilestore_cli stats  <db>
 //   tilestore_cli drop   <db> <object>
+//   tilestore_cli serve  <db> [--port=N] [--max-inflight=N] ...
+//   tilestore_cli --help
 //
 // <domain>/<region> use the paper notation, e.g. "[0:1023,0:767]".
 // <cell-type> is one of uint8..int64, float32/64, rgb8.
@@ -17,10 +19,13 @@
 // tile configuration (e.g. "[*,1]"); --max-tile-kb caps the tile size;
 // --rle enables selective RLE compression.
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tilestore.h"
@@ -33,20 +38,44 @@ int Fail(const Status& status) {
   return 1;
 }
 
-int Usage() {
+void PrintHelp(std::FILE* out) {
   std::fprintf(
-      stderr,
-      "usage: tilestore_cli <create|ls|info|import|export|query|advise|stats|drop> ...\n"
-      "  create <db>\n"
-      "  ls     <db>\n"
-      "  info   <db> <object>\n"
+      out,
+      "usage: tilestore_cli <subcommand> ...\n"
+      "\n"
+      "Store management:\n"
+      "  create <db>                          create an empty store\n"
+      "  ls     <db>                          list MDD objects\n"
+      "  info   <db> <object>                 object metadata and tiling\n"
+      "  stats  <db>                          store-wide size statistics\n"
+      "  drop   <db> <object>                 drop an object\n"
+      "\n"
+      "Data in / out:\n"
       "  import <db> <object> <raw-file> <domain> <cell-type>\n"
       "         [--max-tile-kb=N] [--config=[..]] [--rle]\n"
+      "                                       load a raw array, tiling it\n"
       "  export <db> <object> <region> <out-file>\n"
-      "  query  <db> \"select ... from ...\"\n"
-      "  advise <db> <object> <access-log-file>\n"
-      "  stats  <db>\n"
-      "  drop   <db> <object>\n");
+      "                                       run a range query to a file\n"
+      "\n"
+      "Queries and tuning:\n"
+      "  query  <db> \"select ... from ...\"    run a rasQL query\n"
+      "  advise <db> <object> <access-log>    tiling advice from a log\n"
+      "\n"
+      "Serving (DESIGN.md \xC2\xA7"
+      "9):\n"
+      "  serve  <db> [--port=N] [--threads=N] [--max-inflight=N]\n"
+      "         [--queue=N] [--request-timeout-ms=N] [--idle-timeout-ms=N]\n"
+      "         [--parallelism=N] [--all-interfaces]\n"
+      "                                       serve the store over TCP;\n"
+      "                                       prints the bound port, stops\n"
+      "                                       cleanly on SIGINT/SIGTERM\n"
+      "\n"
+      "<domain>/<region> use the paper notation, e.g. \"[0:1023,0:767]\";\n"
+      "<cell-type> is one of uint8..int64, float32/64, rgb8.\n");
+}
+
+int Usage() {
+  PrintHelp(stderr);
   return 2;
 }
 
@@ -66,6 +95,62 @@ bool HasFlag(int argc, char** argv, const char* name) {
     if (flag == argv[i]) return true;
   }
   return false;
+}
+
+// --------------------------------------------------------------------------
+// serve: run the store as a standalone TCP server until SIGINT/SIGTERM.
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+int CmdServe(const std::string& db, int argc, char** argv) {
+  Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(db);
+  if (!store.ok()) return Fail(store.status());
+
+  net::TileServerOptions options;
+  if (const char* v = FlagValue(argc, argv, "port")) {
+    options.port = static_cast<uint16_t>(std::atoi(v));
+  }
+  if (const char* v = FlagValue(argc, argv, "threads")) {
+    options.max_connections = static_cast<size_t>(std::atoi(v));
+  }
+  if (const char* v = FlagValue(argc, argv, "max-inflight")) {
+    options.max_inflight_requests = static_cast<size_t>(std::atoi(v));
+  }
+  if (const char* v = FlagValue(argc, argv, "queue")) {
+    options.admission_queue_limit = static_cast<size_t>(std::atoi(v));
+  }
+  if (const char* v = FlagValue(argc, argv, "request-timeout-ms")) {
+    options.request_timeout_ms = std::atoi(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "idle-timeout-ms")) {
+    options.idle_timeout_ms = std::atoi(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "parallelism")) {
+    options.query_parallelism = std::atoi(v);
+  }
+  if (HasFlag(argc, argv, "all-interfaces")) options.loopback_only = false;
+
+  net::TileServer server(store->get(), options);
+  Status st = server.Start();
+  if (!st.ok()) return Fail(st);
+  // The port line is machine-readable (CI scripts parse it), hence the
+  // explicit flush before entering the wait loop.
+  std::printf("serving %s on port %u\n", db.c_str(), server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "draining...\n");
+  server.Stop();
+  st = (*store)->Save();
+  if (!st.ok()) return Fail(st);
+  std::printf("drained cleanly\n");
+  return 0;
 }
 
 int CmdCreate(const std::string& db) {
@@ -278,6 +363,12 @@ int CmdDrop(const std::string& db, const std::string& name) {
 }
 
 int Main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0)) {
+    PrintHelp(stdout);
+    return 0;
+  }
   if (argc < 3) return Usage();
   const std::string command = argv[1];
   const std::string db = argv[2];
@@ -297,6 +388,7 @@ int Main(int argc, char** argv) {
   }
   if (command == "stats") return CmdStats(db);
   if (command == "drop" && argc >= 4) return CmdDrop(db, argv[3]);
+  if (command == "serve") return CmdServe(db, argc - 3, argv + 3);
   return Usage();
 }
 

@@ -1,0 +1,314 @@
+/// \file
+/// \brief Load generator for a running `TileServer` (`tilestore_cli serve`).
+///
+/// Spawns N client threads, each with its own `TileClient`, and drives a
+/// mixed read workload (range queries and aggregates over random
+/// subregions) against one object. Reports throughput and p50/p90/p99
+/// request latency, and merges the result — together with the server's
+/// final obs metrics snapshot — into `BENCH_server.json`.
+///
+///   tilestore_loadgen --port=7171 --bootstrap --clients=8 --requests=200
+///
+/// Flags:
+///   --host=HOST            server host (default 127.0.0.1)
+///   --port=PORT            server port (required)
+///   --clients=N            concurrent client connections (default 8)
+///   --requests=N           requests per client (default 200)
+///   --object=NAME          object to query (default "loadgen")
+///   --read-fraction=F      fraction of range queries vs aggregates (0.8)
+///   --bootstrap            create+fill the object over the wire first
+///   --smoke                CI mode: few clients/requests, same coverage
+///   --out=PATH             JSON report path (default BENCH_server.json)
+///
+/// The exit code is 0 only if every request succeeded (overload
+/// rejections count as failures here: the loadgen stays below the
+/// server's admission limits by construction, so seeing `Unavailable`
+/// means the deployment is misconfigured for this load).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "tilestore.h"
+
+namespace {
+
+using tilestore::Array;
+using tilestore::CellType;
+using tilestore::MInterval;
+using tilestore::Random;
+using tilestore::Status;
+using tilestore::net::TileClient;
+using tilestore::net::TileClientOptions;
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int clients = 8;
+  int requests = 200;
+  std::string object = "loadgen";
+  double read_fraction = 0.8;
+  bool bootstrap = false;
+  bool smoke = false;
+  std::string out = "BENCH_server.json";
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* name) -> const char* {
+      const size_t len = std::strlen(name);
+      if (arg.compare(0, len, name) == 0 && arg.size() > len &&
+          arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value("--host")) {
+      flags->host = v;
+    } else if (const char* v = value("--port")) {
+      flags->port = std::atoi(v);
+    } else if (const char* v = value("--clients")) {
+      flags->clients = std::atoi(v);
+    } else if (const char* v = value("--requests")) {
+      flags->requests = std::atoi(v);
+    } else if (const char* v = value("--object")) {
+      flags->object = v;
+    } else if (const char* v = value("--read-fraction")) {
+      flags->read_fraction = std::atof(v);
+    } else if (const char* v = value("--out")) {
+      flags->out = v;
+    } else if (arg == "--bootstrap") {
+      flags->bootstrap = true;
+    } else if (arg == "--smoke") {
+      flags->smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (flags->port <= 0 || flags->port > 65535) {
+    std::fprintf(stderr, "usage: tilestore_loadgen --port=PORT [flags]\n");
+    return false;
+  }
+  if (flags->smoke) {
+    flags->clients = std::min(flags->clients, 4);
+    flags->requests = std::min(flags->requests, 25);
+  }
+  flags->clients = std::max(flags->clients, 1);
+  flags->requests = std::max(flags->requests, 1);
+  return true;
+}
+
+// The bootstrap object: 256x256 uint8, filled as 16 64x64 tiles.
+constexpr int64_t kSide = 256;
+constexpr int64_t kTile = 64;
+
+Status Bootstrap(const Flags& flags) {
+  auto client = TileClient::Connect(flags.host,
+                                    static_cast<uint16_t>(flags.port));
+  if (!client.ok()) return client.status();
+  const MInterval domain({{0, kSide - 1}, {0, kSide - 1}});
+  const CellType cell_type = CellType::Of(tilestore::CellTypeId::kUInt8);
+  std::vector<Array> tiles;
+  for (int64_t y = 0; y < kSide; y += kTile) {
+    for (int64_t x = 0; x < kSide; x += kTile) {
+      const MInterval tile_domain(
+          {{y, y + kTile - 1}, {x, x + kTile - 1}});
+      auto tile = Array::Create(tile_domain, cell_type);
+      if (!tile.ok()) return tile.status();
+      uint8_t* data = tile.value().mutable_data();
+      for (int64_t r = 0; r < kTile; ++r) {
+        for (int64_t c = 0; c < kTile; ++c) {
+          data[r * kTile + c] =
+              static_cast<uint8_t>((y + r) * 31 + (x + c) * 7);
+        }
+      }
+      tiles.push_back(std::move(tile).MoveValue());
+    }
+  }
+  return client.value()->InsertTiles(flags.object, tiles,
+                                     /*create_if_missing=*/true, domain,
+                                     cell_type);
+}
+
+struct ClientResult {
+  std::vector<double> latencies_ms;
+  int range_queries = 0;
+  int aggregates = 0;
+  int failures = 0;
+  std::string first_error;
+};
+
+void RunClient(const Flags& flags, int index, ClientResult* result) {
+  auto client = TileClient::Connect(flags.host,
+                                    static_cast<uint16_t>(flags.port));
+  if (!client.ok()) {
+    result->failures = flags.requests;
+    result->first_error = client.status().ToString();
+    return;
+  }
+  // The query space comes from the served object itself, so the loadgen
+  // works against any object, not just its own bootstrap grid.
+  auto info = client.value()->OpenMDD(flags.object);
+  if (!info.ok()) {
+    result->failures = flags.requests;
+    result->first_error = info.status().ToString();
+    return;
+  }
+  // Prefer the current domain: definition domains may be unbounded ('*'
+  // axes), and queries must stay where cells actually are.
+  const MInterval domain =
+      info->current_domain.value_or(info->definition_domain);
+  if (!domain.IsFixed()) {
+    result->failures = flags.requests;
+    result->first_error = "object \"" + flags.object +
+                          "\" has no fixed domain to draw regions from";
+    return;
+  }
+  const size_t dims = domain.dim();
+  Random rng(0x10adu + static_cast<uint64_t>(index));
+  for (int i = 0; i < flags.requests; ++i) {
+    // Random subregion, at most one quarter of each axis so responses stay
+    // small and the mix exercises many distinct tile sets.
+    std::vector<int64_t> lo(dims), hi(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      const int64_t dlo = domain.lo(d), dhi = domain.hi(d);
+      lo[d] = rng.UniformInt(dlo, dhi);
+      hi[d] = std::min<int64_t>(
+          dhi, lo[d] + rng.UniformInt(0, (dhi - dlo + 1) / 4));
+    }
+    const MInterval region =
+        MInterval::Create(std::move(lo), std::move(hi)).value();
+    const bool read = rng.NextDouble() < flags.read_fraction;
+    const auto start = std::chrono::steady_clock::now();
+    Status st;
+    if (read) {
+      auto array = client.value()->RangeQuery(flags.object, region);
+      st = array.status();
+      ++result->range_queries;
+    } else {
+      auto sum = client.value()->Aggregate(flags.object, region,
+                                           tilestore::AggregateOp::kSum);
+      st = sum.status();
+      ++result->aggregates;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    if (!st.ok()) {
+      ++result->failures;
+      if (result->first_error.empty()) result->first_error = st.ToString();
+      if (!client.value()->healthy()) break;  // transport gone, stop early
+      continue;
+    }
+    result->latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0;
+  const size_t idx = static_cast<size_t>(p * (sorted->size() - 1) + 0.5);
+  return (*sorted)[std::min(idx, sorted->size() - 1)];
+}
+
+/// Writes the single-record report; the metrics snapshot JSON from the
+/// server is embedded verbatim (it is single-line by design).
+bool WriteReport(const Flags& flags, int total_requests, int failures,
+                 double elapsed_sec, double p50, double p90, double p99,
+                 const std::string& metrics_json) {
+  std::FILE* out = std::fopen(flags.out.c_str(), "w");
+  if (out == nullptr) return false;
+  const double rps = elapsed_sec > 0 ? total_requests / elapsed_sec : 0;
+  std::fprintf(out,
+               "[\n"
+               "  {\"bench\": \"tilestore_loadgen\", "
+               "\"workload\": \"mixed_read_aggregate\", "
+               "\"clients\": %d, \"requests\": %d, \"failures\": %d, "
+               "\"elapsed_sec\": %.3f, \"requests_per_sec\": %.3f, "
+               "\"p50_ms\": %.3f, \"p90_ms\": %.3f, \"p99_ms\": %.3f, "
+               "\"server_metrics\": %s}\n"
+               "]\n",
+               flags.clients, total_requests, failures, elapsed_sec, rps,
+               p50, p90, p99,
+               metrics_json.empty() ? "null" : metrics_json.c_str());
+  return std::fclose(out) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  if (flags.bootstrap) {
+    Status st = Bootstrap(flags);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bootstrap failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("bootstrapped object \"%s\" (%lldx%lld uint8)\n",
+                flags.object.c_str(), static_cast<long long>(kSide),
+                static_cast<long long>(kSide));
+  }
+
+  std::vector<ClientResult> results(flags.clients);
+  std::vector<std::thread> threads;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < flags.clients; ++i) {
+    threads.emplace_back(RunClient, flags, i, &results[i]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<double> latencies;
+  int failures = 0, range_queries = 0, aggregates = 0;
+  std::string first_error;
+  for (const ClientResult& r : results) {
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+    failures += r.failures;
+    range_queries += r.range_queries;
+    aggregates += r.aggregates;
+    if (first_error.empty()) first_error = r.first_error;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = Percentile(&latencies, 0.50);
+  const double p90 = Percentile(&latencies, 0.90);
+  const double p99 = Percentile(&latencies, 0.99);
+  const int total = flags.clients * flags.requests;
+
+  // Final metrics snapshot from the server, embedded into the report.
+  std::string metrics_json;
+  if (auto client = TileClient::Connect(flags.host,
+                                        static_cast<uint16_t>(flags.port));
+      client.ok()) {
+    if (auto stats = client.value()->Stats(0); stats.ok()) {
+      metrics_json = std::move(stats).MoveValue();
+    }
+  }
+
+  std::printf(
+      "loadgen: %d clients x %d requests (%d range, %d aggregate), "
+      "%d failures\n",
+      flags.clients, flags.requests, range_queries, aggregates, failures);
+  std::printf("  %.1f req/s, latency p50 %.2f ms, p90 %.2f ms, p99 %.2f ms\n",
+              elapsed_sec > 0 ? total / elapsed_sec : 0, p50, p90, p99);
+  if (failures > 0) {
+    std::fprintf(stderr, "first error: %s\n", first_error.c_str());
+  }
+
+  if (!WriteReport(flags, total, failures, elapsed_sec, p50, p90, p99,
+                   metrics_json)) {
+    std::fprintf(stderr, "could not write %s\n", flags.out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", flags.out.c_str());
+  return failures == 0 ? 0 : 1;
+}
