@@ -64,6 +64,7 @@ class ByteReader {
 
  private:
   Status Raw(void* out, size_t n) {
+    if (n == 0) return Status::OK();  // `out` may be a null data() pointer
     if (pos_ + n > buf_.size()) return Overrun();
     std::memcpy(out, buf_.data() + pos_, n);
     pos_ += n;

@@ -313,7 +313,11 @@ std::vector<uint8_t> TileServer::HandleRangeQuery(
   resp.domain = array->domain();
   resp.cell_type_id = static_cast<uint8_t>(array->cell_type().id());
   resp.cells = std::move(*array).TakeBuffer();
-  if (resp.cells.size() + 64 > kMaxPayloadBytes) {
+  // Encoding overhead: status byte + interval (1 + 16*dim) + cell type +
+  // u64 length prefix; rounded up so the framed payload can never exceed
+  // the protocol bound and poison the client's connection.
+  const size_t overhead = 16 + 16 * resp.domain.dim();
+  if (resp.cells.size() + overhead > kMaxPayloadBytes) {
     return EncodeErrorResponse(Status::OutOfRange(
         "query result exceeds the wire message bound; split the region"));
   }
@@ -351,6 +355,7 @@ std::vector<uint8_t> TileServer::HandleInsertTiles(
   if (!st.ok()) return EncodeErrorResponse(st);
 
   std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  bool created = false;
   Result<MDDObject*> obj = store_->GetMDD(req.name);
   if (!obj.ok() && obj.status().IsNotFound() && req.create_if_missing) {
     // Validate the wire byte before CellType::Of, which asserts on
@@ -362,35 +367,48 @@ std::vector<uint8_t> TileServer::HandleInsertTiles(
     obj = store_->CreateMDD(
         req.name, req.definition_domain,
         CellType::Of(static_cast<CellTypeId>(req.cell_type_id)));
+    created = obj.ok();
   }
   if (!obj.ok()) return EncodeErrorResponse(obj.status());
   MDDObject* object = *obj;
 
   // WAL mode: the whole batch is one atomic transaction; a failed insert
-  // aborts everything, including a just-created object.
+  // aborts everything, including a just-created object. Without a WAL
+  // there is no tile-level rollback: a just-created object is dropped
+  // whole, while a mid-batch failure against a pre-existing object leaves
+  // the earlier tiles inserted — the error message says so.
   const bool txn = store_->txn_manager() != nullptr;
   if (txn) {
     st = store_->Begin();
     if (!st.ok()) return EncodeErrorResponse(st);
   }
   InsertTilesResponse resp;
+  const auto fail = [&](Status failure) {
+    if (txn) {
+      (void)store_->Abort();
+    } else if (created) {
+      (void)store_->DropMDD(req.name);
+    } else if (resp.tiles_inserted > 0) {
+      failure = Status(
+          failure.code(),
+          failure.message() + " (store has no WAL: the first " +
+              std::to_string(resp.tiles_inserted) +
+              " tiles of the batch stay inserted and are not rolled back)");
+    }
+    return EncodeErrorResponse(failure);
+  };
   for (const WireTile& wire_tile : req.tiles) {
     Result<Array> tile = Array::FromBuffer(
         wire_tile.domain, object->cell_type(),
         std::vector<uint8_t>(wire_tile.cells));
     if (tile.ok()) st = object->InsertTile(*tile);
     if (!tile.ok() || !st.ok()) {
-      const Status failure = tile.ok() ? st : tile.status();
-      if (txn) (void)store_->Abort();
-      return EncodeErrorResponse(failure);
+      return fail(tile.ok() ? st : tile.status());
     }
     ++resp.tiles_inserted;
   }
   st = txn ? store_->Commit() : store_->Save();
-  if (!st.ok()) {
-    if (txn) (void)store_->Abort();
-    return EncodeErrorResponse(st);
-  }
+  if (!st.ok()) return fail(st);
   return EncodeInsertTilesResponse(resp);
 }
 

@@ -252,6 +252,11 @@ Result<Socket> Listener::Accept(int timeout_ms) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return Status::IOError(ErrnoMessage("accept"));
     }
+    // accept() does not inherit O_NONBLOCK from the listener on Linux.
+    // SendAll/RecvAll's deadline loop relies on partial-write EAGAIN
+    // semantics; a blocking fd would park the connection thread in the
+    // kernel past both the deadline and the stop flag.
+    SetNonBlocking(fd);
     int one = 1;
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     return Socket(fd);

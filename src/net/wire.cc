@@ -70,9 +70,14 @@ std::vector<uint8_t> EncodeFrame(WireOp op, bool response,
   PutU16(h + 6, op_raw);
   PutU64(h + 8, request_id);
   PutU32(h + 16, static_cast<uint32_t>(payload.size()));
-  PutU32(h + 20, Crc32c(payload.data(), payload.size()));
+  // An empty vector's data() may be null; memcpy/Crc32c over a null
+  // pointer is UB even for size 0 (pings have empty payloads).
+  PutU32(h + 20, payload.empty() ? Crc32c(h, 0)
+                                 : Crc32c(payload.data(), payload.size()));
   PutU32(h + 24, Crc32c(h, 24));
-  std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
+  }
   return frame;
 }
 
@@ -114,7 +119,11 @@ Status VerifyPayload(const FrameHeader& header,
   if (payload.size() != header.payload_len) {
     return Status::Corruption("wire payload length mismatch");
   }
-  if (Crc32c(payload.data(), payload.size()) != header.payload_crc) {
+  static const uint8_t kEmpty = 0;
+  const uint32_t crc = payload.empty()
+                           ? Crc32c(&kEmpty, 0)
+                           : Crc32c(payload.data(), payload.size());
+  if (crc != header.payload_crc) {
     return Status::Corruption("wire payload CRC mismatch");
   }
   return Status::OK();
@@ -243,6 +252,15 @@ Status DecodeInsertTilesRequest(const std::vector<uint8_t>& payload,
   uint32_t count = 0;
   st = r.U32(&count);
   if (!st.ok()) return st;
+  // The count is attacker-controlled: bound it against the bytes actually
+  // present before reserving, or a single CRC-valid frame could request a
+  // multi-hundred-GB allocation. Each encoded tile occupies at least
+  // 1 (dim) + 16 (one bound pair) + 8 (cell length) payload bytes.
+  constexpr size_t kMinWireTileBytes = 1 + 16 + 8;
+  const size_t remaining = payload.size() - r.position();
+  if (count > remaining / kMinWireTileBytes) {
+    return CorruptPayload("tile count exceeds payload size");
+  }
   out->tiles.clear();
   out->tiles.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {

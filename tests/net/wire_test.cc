@@ -151,6 +151,17 @@ TEST(NetWireRequests, InsertTilesRoundTrip) {
   EXPECT_EQ(out.tiles[0].cells, tile.cells);
 }
 
+TEST(NetWireRequests, HostileTileCountRejectedBeforeAllocation) {
+  // A CRC-valid frame claiming ~4 billion tiles in a tiny payload must be
+  // rejected by the length check, not by attempting a ~300 GB reserve.
+  ByteWriter w;
+  w.Str("obj");
+  w.U8(0);  // create_if_missing = false
+  w.U32(0xFFFFFFFFu);
+  InsertTilesRequest out;
+  EXPECT_TRUE(DecodeInsertTilesRequest(w.Take(), &out).IsCorruption());
+}
+
 TEST(NetWireRequests, TruncatedPayloadIsCorruption) {
   OpenMDDRequest req;
   req.name = "some-object-name";
