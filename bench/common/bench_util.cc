@@ -353,36 +353,50 @@ std::vector<ReadPathSample> MeasureWarmReadPath(
     MDDStore* store, MDDObject* object, const MInterval& region,
     const std::vector<int>& parallelisms, int min_queries,
     const std::string& bench, const std::string& workload) {
+  return MeasureWarmReadPath(store, object, region, parallelisms, min_queries,
+                             bench, workload, RangeQueryOptions());
+}
+
+std::vector<ReadPathSample> MeasureWarmReadPath(
+    MDDStore* store, MDDObject* object, const MInterval& region,
+    const std::vector<int>& parallelisms, int min_queries,
+    const std::string& bench, const std::string& workload,
+    const RangeQueryOptions& base_options) {
   using Clock = std::chrono::steady_clock;
   const int hardware =
       static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
 
   // Warm the pool (and fault in the worker pool) before timing.
   {
-    RangeQueryExecutor warm(store);
+    RangeQueryOptions warm_options = base_options;
+    warm_options.parallelism = 1;
+    RangeQueryExecutor warm(store, warm_options);
     if (!warm.Execute(object, region).ok()) return {};
   }
 
   std::vector<ReadPathSample> samples;
   double serial_qps = 0;
   for (int parallelism : parallelisms) {
-    RangeQueryOptions options;
+    RangeQueryOptions options = base_options;
     options.parallelism = parallelism;
     RangeQueryExecutor executor(store, options);
 
     int queries = 0;
     const Clock::time_point start = Clock::now();
     double elapsed_s = 0;
+    double model_ms_sum = 0;
     // At least `min_queries` and at least 0.2 s, so fast levels are not
     // measured from a handful of iterations.
     while (queries < min_queries || elapsed_s < 0.2) {
-      Result<Array> result = executor.Execute(object, region);
+      QueryStats stats;
+      Result<Array> result = executor.Execute(object, region, &stats);
       if (!result.ok()) {
         std::fprintf(stderr, "read-path bench query failed: %s\n",
                      result.status().ToString().c_str());
         return samples;
       }
       ++queries;
+      model_ms_sum += stats.total_cpu_model_ms();
       elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
     }
 
@@ -391,6 +405,8 @@ std::vector<ReadPathSample> MeasureWarmReadPath(
     sample.workload = workload;
     sample.parallelism = parallelism;
     sample.queries_per_sec = static_cast<double>(queries) / elapsed_s;
+    sample.wall_ms = elapsed_s * 1000.0 / static_cast<double>(queries);
+    sample.model_ms = model_ms_sum / static_cast<double>(queries);
     sample.hardware_threads = hardware;
     if (parallelism == 1) serial_qps = sample.queries_per_sec;
     sample.speedup_vs_serial =
@@ -424,10 +440,11 @@ bool WriteReadPathJson(const std::string& path, const std::string& bench,
     std::snprintf(buf, sizeof(buf),
                   "  {\"bench\": \"%s\", \"workload\": \"%s\", "
                   "\"parallelism\": %d, \"queries_per_sec\": %.3f, "
-                  "\"speedup_vs_serial\": %.3f, \"hardware_threads\": %d}",
+                  "\"speedup_vs_serial\": %.3f, \"wall_ms\": %.3f, "
+                  "\"model_ms\": %.3f, \"hardware_threads\": %d}",
                   s.bench.c_str(), s.workload.c_str(), s.parallelism,
-                  s.queries_per_sec, s.speedup_vs_serial,
-                  s.hardware_threads);
+                  s.queries_per_sec, s.speedup_vs_serial, s.wall_ms,
+                  s.model_ms, s.hardware_threads);
     records.push_back(buf);
   }
 
@@ -478,12 +495,13 @@ bool WriteMetricsSnapshotJson(const std::string& path,
 }
 
 void PrintReadPathSamples(const std::vector<ReadPathSample>& samples) {
-  std::printf("%-12s %-24s %12s %14s %10s\n", "bench", "workload",
-              "parallelism", "queries/sec", "speedup");
+  std::printf("%-12s %-24s %12s %14s %10s %10s %10s\n", "bench", "workload",
+              "parallelism", "queries/sec", "speedup", "wall ms", "model ms");
   for (const ReadPathSample& s : samples) {
-    std::printf("%-12s %-24s %12d %14.1f %9.2fx\n", s.bench.c_str(),
-                s.workload.c_str(), s.parallelism, s.queries_per_sec,
-                s.speedup_vs_serial);
+    std::printf("%-12s %-24s %12d %14.1f %9.2fx %10.3f %10.3f\n",
+                s.bench.c_str(), s.workload.c_str(), s.parallelism,
+                s.queries_per_sec, s.speedup_vs_serial, s.wall_ms,
+                s.model_ms);
   }
 }
 

@@ -142,6 +142,17 @@ struct ReadPathSample {
   int parallelism = 1;
   double queries_per_sec = 0;
   double speedup_vs_serial = 1.0;
+  /// Average measured wall-clock per query in ms — the quantity
+  /// `queries_per_sec` and `speedup_vs_serial` are computed from.
+  double wall_ms = 0;
+  /// Average deterministic cost-model total per query in ms
+  /// (`QueryStats::total_cpu_model_ms`). Reported separately from
+  /// `wall_ms` because the two answer different questions: the model is
+  /// host-independent and does not speed up with threads or caches, so a
+  /// wall-clock speedup next to a flat `model_ms` (or on a 1-hardware-
+  /// thread host) is a property of the measurement machine, not of the
+  /// cost model.
+  double model_ms = 0;
   /// std::thread::hardware_concurrency() at measurement time — scaling is
   /// only expected when this exceeds the parallelism level.
   int hardware_threads = 1;
@@ -155,6 +166,15 @@ std::vector<ReadPathSample> MeasureWarmReadPath(
     MDDStore* store, MDDObject* object, const MInterval& region,
     const std::vector<int>& parallelisms, int min_queries,
     const std::string& bench, const std::string& workload);
+
+/// Same, but with explicit base query options (parallelism is overridden
+/// per level) — used to A/B the decoded-tile cache and aggregation
+/// kernels.
+std::vector<ReadPathSample> MeasureWarmReadPath(
+    MDDStore* store, MDDObject* object, const MInterval& region,
+    const std::vector<int>& parallelisms, int min_queries,
+    const std::string& bench, const std::string& workload,
+    const RangeQueryOptions& base_options);
 
 /// Merges `samples` into the JSON report at `path`: the file is a JSON
 /// array with one record per line; existing records of the same bench are

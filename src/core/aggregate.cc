@@ -4,6 +4,8 @@
 #include <cstring>
 #include <limits>
 
+#include "core/linearizer.h"
+
 namespace tilestore {
 
 namespace {
@@ -43,6 +45,187 @@ double Reduce(const Array& array, AggregateOp op) {
     }
   }
   return 0;
+}
+
+// Run-based reduction over `region` inside `array` without a slice copy.
+// The accumulators and visit order are exactly those of `Reduce<T>` over
+// `array.Slice(region)` (row-major region order, doubles for sum/min/max,
+// uint64 for count), so the result is bit-identical to the slice kernel.
+template <typename T>
+double ReduceRegionRuns(const Array& array, const MInterval& region,
+                        AggregateOp op) {
+  const T* cells = reinterpret_cast<const T*>(array.data());
+  const uint64_t run =
+      static_cast<uint64_t>(region.Extent(region.dim() - 1));
+  const MInterval& domain = array.domain();
+  switch (op) {
+    case AggregateOp::kSum:
+    case AggregateOp::kAvg: {
+      double sum = 0;
+      ForEachRun(domain, domain, region, [&](uint64_t off, uint64_t) {
+        for (uint64_t c = 0; c < run; ++c) {
+          sum += static_cast<double>(cells[off + c]);
+        }
+      });
+      return op == AggregateOp::kSum
+                 ? sum
+                 : sum / static_cast<double>(region.CellCountOrDie());
+    }
+    case AggregateOp::kMin: {
+      double best = std::numeric_limits<double>::infinity();
+      ForEachRun(domain, domain, region, [&](uint64_t off, uint64_t) {
+        for (uint64_t c = 0; c < run; ++c) {
+          best = std::min(best, static_cast<double>(cells[off + c]));
+        }
+      });
+      return best;
+    }
+    case AggregateOp::kMax: {
+      double best = -std::numeric_limits<double>::infinity();
+      ForEachRun(domain, domain, region, [&](uint64_t off, uint64_t) {
+        for (uint64_t c = 0; c < run; ++c) {
+          best = std::max(best, static_cast<double>(cells[off + c]));
+        }
+      });
+      return best;
+    }
+    case AggregateOp::kCount: {
+      uint64_t count = 0;
+      ForEachRun(domain, domain, region, [&](uint64_t off, uint64_t) {
+        for (uint64_t c = 0; c < run; ++c) {
+          if (cells[off + c] != static_cast<T>(0)) ++count;
+        }
+      });
+      return static_cast<double>(count);
+    }
+  }
+  return 0;
+}
+
+// Streaming reduction over a PackBits RLE stream. Cells are folded in
+// decode order with `Reduce<T>`'s accumulators; repeat runs spanning whole
+// cells fold without touching memory (sum still adds per cell — the adds
+// must happen in the legacy order for bit-identity — but min/max/count
+// collapse to one operation per run, which is exact: folding one value n
+// times equals folding it once for those ops).
+template <typename T>
+Result<double> ReduceRleStream(const std::vector<uint8_t>& stream,
+                               uint64_t cell_count, AggregateOp op) {
+  constexpr size_t kCell = sizeof(T);
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  uint64_t nonzero = 0;
+  uint8_t buf[kCell];
+  size_t fill = 0;
+  auto fold = [&](T v) {
+    switch (op) {
+      case AggregateOp::kSum:
+      case AggregateOp::kAvg:
+        sum += static_cast<double>(v);
+        break;
+      case AggregateOp::kMin:
+        min = std::min(min, static_cast<double>(v));
+        break;
+      case AggregateOp::kMax:
+        max = std::max(max, static_cast<double>(v));
+        break;
+      case AggregateOp::kCount:
+        if (v != static_cast<T>(0)) ++nonzero;
+        break;
+    }
+  };
+  auto push_byte = [&](uint8_t b) {
+    // fill < kCell is invariant; the modulo makes it provable for the
+    // compiler's bounds checking (kCell is a power of two, so it's an AND).
+    buf[fill % kCell] = b;
+    if (++fill == kCell) {
+      T v;
+      std::memcpy(&v, buf, kCell);
+      fold(v);
+      fill = 0;
+    }
+  };
+
+  const uint64_t declared_bytes = cell_count * kCell;
+  uint64_t bytes_seen = 0;
+  size_t i = 0;
+  const size_t n = stream.size();
+  while (i < n) {
+    const uint8_t control = stream[i++];
+    if (control == 0x80) {
+      return Status::Corruption("reserved RLE control byte");
+    }
+    if (control < 0x80) {
+      const size_t lit = static_cast<size_t>(control) + 1;
+      if (i + lit > n) return Status::Corruption("truncated RLE literal run");
+      bytes_seen += lit;
+      if (bytes_seen > declared_bytes) {
+        return Status::Corruption("RLE stream longer than declared size");
+      }
+      for (size_t k = 0; k < lit; ++k) push_byte(stream[i + k]);
+      i += lit;
+    } else {
+      if (i >= n) return Status::Corruption("truncated RLE repeat run");
+      size_t run = 257 - static_cast<size_t>(control);
+      const uint8_t b = stream[i++];
+      bytes_seen += run;
+      if (bytes_seen > declared_bytes) {
+        return Status::Corruption("RLE stream longer than declared size");
+      }
+      // Finish the partially assembled cell, then take whole cells of the
+      // repeated byte at once, then start the next partial cell.
+      while (run > 0 && fill != 0) {
+        push_byte(b);
+        --run;
+      }
+      if (run >= kCell) {
+        uint8_t pattern[kCell];
+        std::memset(pattern, b, kCell);
+        T v;
+        std::memcpy(&v, pattern, kCell);
+        const uint64_t whole = run / kCell;
+        run -= static_cast<size_t>(whole) * kCell;
+        switch (op) {
+          case AggregateOp::kSum:
+          case AggregateOp::kAvg:
+            for (uint64_t w = 0; w < whole; ++w) {
+              sum += static_cast<double>(v);
+            }
+            break;
+          case AggregateOp::kMin:
+            min = std::min(min, static_cast<double>(v));
+            break;
+          case AggregateOp::kMax:
+            max = std::max(max, static_cast<double>(v));
+            break;
+          case AggregateOp::kCount:
+            if (v != static_cast<T>(0)) nonzero += whole;
+            break;
+        }
+      }
+      while (run > 0) {
+        push_byte(b);
+        --run;
+      }
+    }
+  }
+  if (fill != 0 || bytes_seen != declared_bytes) {
+    return Status::Corruption("RLE stream shorter than declared size");
+  }
+  switch (op) {
+    case AggregateOp::kSum:
+      return sum;
+    case AggregateOp::kAvg:
+      return sum / static_cast<double>(cell_count);
+    case AggregateOp::kMin:
+      return min;
+    case AggregateOp::kMax:
+      return max;
+    case AggregateOp::kCount:
+      return static_cast<double>(nonzero);
+  }
+  return Status::Internal("unhandled aggregate op");
 }
 
 struct OpName {
@@ -157,6 +340,80 @@ Result<double> AggregateCells(const Array& array, AggregateOp op) {
       return Status::InvalidArgument(
           "cell type does not support numeric aggregation: " +
           std::string(array.cell_type().name()));
+  }
+  return Status::Internal("unhandled cell type");
+}
+
+Result<double> AggregateRegion(const Array& array, const MInterval& region,
+                               AggregateOp op) {
+  if (region.dim() != array.domain().dim() || !region.IsFixed() ||
+      !array.domain().Contains(region)) {
+    return Status::InvalidArgument("aggregate region " + region.ToString() +
+                                   " not inside array domain " +
+                                   array.domain().ToString());
+  }
+  switch (array.cell_type().id()) {
+    case CellTypeId::kUInt8:
+      return ReduceRegionRuns<uint8_t>(array, region, op);
+    case CellTypeId::kInt8:
+      return ReduceRegionRuns<int8_t>(array, region, op);
+    case CellTypeId::kUInt16:
+      return ReduceRegionRuns<uint16_t>(array, region, op);
+    case CellTypeId::kInt16:
+      return ReduceRegionRuns<int16_t>(array, region, op);
+    case CellTypeId::kUInt32:
+      return ReduceRegionRuns<uint32_t>(array, region, op);
+    case CellTypeId::kInt32:
+      return ReduceRegionRuns<int32_t>(array, region, op);
+    case CellTypeId::kUInt64:
+      return ReduceRegionRuns<uint64_t>(array, region, op);
+    case CellTypeId::kInt64:
+      return ReduceRegionRuns<int64_t>(array, region, op);
+    case CellTypeId::kFloat32:
+      return ReduceRegionRuns<float>(array, region, op);
+    case CellTypeId::kFloat64:
+      return ReduceRegionRuns<double>(array, region, op);
+    case CellTypeId::kRGB8:
+    case CellTypeId::kOpaque:
+      return Status::InvalidArgument(
+          "cell type does not support numeric aggregation: " +
+          std::string(array.cell_type().name()));
+  }
+  return Status::Internal("unhandled cell type");
+}
+
+Result<double> AggregateRleStream(const std::vector<uint8_t>& stream,
+                                  CellType cell_type, uint64_t cell_count,
+                                  AggregateOp op) {
+  if (cell_count == 0) {
+    return Status::InvalidArgument("aggregate of empty array");
+  }
+  switch (cell_type.id()) {
+    case CellTypeId::kUInt8:
+      return ReduceRleStream<uint8_t>(stream, cell_count, op);
+    case CellTypeId::kInt8:
+      return ReduceRleStream<int8_t>(stream, cell_count, op);
+    case CellTypeId::kUInt16:
+      return ReduceRleStream<uint16_t>(stream, cell_count, op);
+    case CellTypeId::kInt16:
+      return ReduceRleStream<int16_t>(stream, cell_count, op);
+    case CellTypeId::kUInt32:
+      return ReduceRleStream<uint32_t>(stream, cell_count, op);
+    case CellTypeId::kInt32:
+      return ReduceRleStream<int32_t>(stream, cell_count, op);
+    case CellTypeId::kUInt64:
+      return ReduceRleStream<uint64_t>(stream, cell_count, op);
+    case CellTypeId::kInt64:
+      return ReduceRleStream<int64_t>(stream, cell_count, op);
+    case CellTypeId::kFloat32:
+      return ReduceRleStream<float>(stream, cell_count, op);
+    case CellTypeId::kFloat64:
+      return ReduceRleStream<double>(stream, cell_count, op);
+    case CellTypeId::kRGB8:
+    case CellTypeId::kOpaque:
+      return Status::InvalidArgument(
+          "cell type does not support numeric aggregation: " +
+          std::string(cell_type.name()));
   }
   return Status::Internal("unhandled cell type");
 }

@@ -1,10 +1,13 @@
 #ifndef TILESTORE_CORE_AGGREGATE_H_
 #define TILESTORE_CORE_AGGREGATE_H_
 
+#include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "core/array.h"
+#include "core/minterval.h"
 
 namespace tilestore {
 
@@ -27,6 +30,33 @@ std::string_view AggregateOpToName(AggregateOp op);
 /// for the numeric built-in cell types (not rgb8/opaque). `kAvg` of an
 /// array is sum/count; `kCount` counts non-zero cells.
 Result<double> AggregateCells(const Array& array, AggregateOp op);
+
+/// Reduces the cells of `region` inside `array` with `op`, without
+/// materializing a slice: the reduction walks the innermost-axis runs the
+/// copy kernels enumerate (`ForEachRun`) and accumulates in registers.
+/// Cells are visited in row-major `region` order — exactly the order
+/// `array.Slice(region)` would linearize them in — so the result is
+/// bit-identical to `AggregateCells(*array.Slice(region), op)` while
+/// skipping the slice allocation and copy. `region` must be fixed and
+/// contained in `array.domain()`; numeric cell types only. `kAvg` divides
+/// by the region cell count.
+Result<double> AggregateRegion(const Array& array, const MInterval& region,
+                               AggregateOp op);
+
+/// Reduces a whole RLE-compressed tile directly over the runs of the
+/// compressed stream (`Compression::kRle`, the PackBits byte codec of
+/// storage/compression.h), without materializing the decoded buffer:
+/// literal bytes and short repeats are assembled into cells in a small
+/// register buffer; a repeat run spanning whole cells reduces them without
+/// any memory traffic. Cells are folded in linear (decode) order with the
+/// same accumulator types as `AggregateCells`, so the result is
+/// bit-identical to decoding and reducing. `cell_count` is the tile's
+/// cell count (known from its domain); the stream must decode to exactly
+/// `cell_count * cell_type.size()` bytes (Corruption otherwise). Numeric
+/// cell types only; `kAvg` divides by `cell_count`.
+Result<double> AggregateRleStream(const std::vector<uint8_t>& stream,
+                                  CellType cell_type, uint64_t cell_count,
+                                  AggregateOp op);
 
 /// Interprets one cell (`cell_type.size()` bytes at `cell`) as a double.
 /// Used to fold an object's default cell value into aggregations over

@@ -6,11 +6,7 @@
 
 namespace tilestore {
 
-namespace {
-
-// Per-axis row-major strides (in cells) of a fixed domain: stride[d-1] == 1,
-// stride[i] == stride[i+1] * extent(i+1).
-std::vector<uint64_t> Strides(const MInterval& domain) {
+std::vector<uint64_t> RowMajorStrides(const MInterval& domain) {
   const size_t d = domain.dim();
   std::vector<uint64_t> stride(d);
   uint64_t acc = 1;
@@ -20,6 +16,8 @@ std::vector<uint64_t> Strides(const MInterval& domain) {
   }
   return stride;
 }
+
+namespace {
 
 Status ValidateRegion(const MInterval& src_domain, const MInterval& dst_domain,
                       const MInterval& region) {
@@ -42,59 +40,11 @@ Status ValidateRegion(const MInterval& src_domain, const MInterval& dst_domain,
   return Status::OK();
 }
 
-// Shared walker: calls `emit(src_off_cells, dst_off_cells)` once per
-// innermost-axis run of `region`, with offsets in cells relative to the
-// respective domain origins.
-template <typename Emit>
-void ForEachRun(const MInterval& src_domain, const MInterval& dst_domain,
-                const MInterval& region, Emit&& emit) {
-  const size_t d = region.dim();
-  const std::vector<uint64_t> src_stride = Strides(src_domain);
-  const std::vector<uint64_t> dst_stride = Strides(dst_domain);
-
-  // Offset of the region's low corner within each domain.
-  uint64_t src_off = 0, dst_off = 0;
-  for (size_t i = 0; i < d; ++i) {
-    src_off += static_cast<uint64_t>(region.lo(i) - src_domain.lo(i)) *
-               src_stride[i];
-    dst_off += static_cast<uint64_t>(region.lo(i) - dst_domain.lo(i)) *
-               dst_stride[i];
-  }
-
-  if (d == 1) {
-    emit(src_off, dst_off);
-    return;
-  }
-
-  // Odometer over axes 0..d-2; axis d-1 is the contiguous run.
-  std::vector<Coord> pos(region.lo().begin(), region.lo().end() - 1);
-  while (true) {
-    emit(src_off, dst_off);
-    size_t axis = d - 1;
-    while (axis > 0) {
-      --axis;
-      if (pos[axis] < region.hi(axis)) {
-        ++pos[axis];
-        src_off += src_stride[axis];
-        dst_off += dst_stride[axis];
-        break;
-      }
-      // Wrap this axis back to the region's low bound.
-      src_off -= static_cast<uint64_t>(region.Extent(axis) - 1) *
-                 src_stride[axis];
-      dst_off -= static_cast<uint64_t>(region.Extent(axis) - 1) *
-                 dst_stride[axis];
-      pos[axis] = region.lo(axis);
-      if (axis == 0) return;
-    }
-  }
-}
-
 }  // namespace
 
 uint64_t RowMajorOffset(const MInterval& domain, const Point& p) {
   assert(domain.Contains(p));
-  const std::vector<uint64_t> stride = Strides(domain);
+  const std::vector<uint64_t> stride = RowMajorStrides(domain);
   uint64_t off = 0;
   for (size_t i = 0; i < domain.dim(); ++i) {
     off += static_cast<uint64_t>(p[i] - domain.lo(i)) * stride[i];
@@ -104,7 +54,7 @@ uint64_t RowMajorOffset(const MInterval& domain, const Point& p) {
 
 Point RowMajorPoint(const MInterval& domain, uint64_t offset) {
   assert(offset < domain.CellCountOrDie());
-  const std::vector<uint64_t> stride = Strides(domain);
+  const std::vector<uint64_t> stride = RowMajorStrides(domain);
   Point p(domain.dim());
   for (size_t i = 0; i < domain.dim(); ++i) {
     p[i] = domain.lo(i) + static_cast<Coord>(offset / stride[i]);

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/status.h"
 #include "core/minterval.h"
@@ -46,6 +47,64 @@ Status CopyRegion(const MInterval& src_domain, const uint8_t* src,
 Status FillRegion(const MInterval& dst_domain, uint8_t* dst,
                   const MInterval& region, const void* cell_value,
                   size_t cell_size);
+
+/// Per-axis row-major strides (in cells) of a fixed domain:
+/// `stride[d-1] == 1`, `stride[i] == stride[i+1] * extent(i+1)`.
+std::vector<uint64_t> RowMajorStrides(const MInterval& domain);
+
+/// Calls `emit(src_off_cells, dst_off_cells)` once per innermost-axis run
+/// of `region`, in row-major region order, with offsets in cells relative
+/// to the respective domain origins. Each run is `region.Extent(d-1)`
+/// contiguous cells in both linearizations — the machinery behind
+/// `CopyRegion`/`FillRegion` and the run-based aggregation kernels (the
+/// t_cpu hot path: tile parts are composed or reduced run by run, never
+/// cell by cell). All three intervals must be fixed, share one
+/// dimensionality, and `region` must be contained in both domains (not
+/// validated here; use `CopyRegion`'s checks or validate upstream).
+template <typename Emit>
+void ForEachRun(const MInterval& src_domain, const MInterval& dst_domain,
+                const MInterval& region, Emit&& emit) {
+  const size_t d = region.dim();
+  const std::vector<uint64_t> src_stride = RowMajorStrides(src_domain);
+  const std::vector<uint64_t> dst_stride = RowMajorStrides(dst_domain);
+
+  // Offset of the region's low corner within each domain.
+  uint64_t src_off = 0, dst_off = 0;
+  for (size_t i = 0; i < d; ++i) {
+    src_off += static_cast<uint64_t>(region.lo(i) - src_domain.lo(i)) *
+               src_stride[i];
+    dst_off += static_cast<uint64_t>(region.lo(i) - dst_domain.lo(i)) *
+               dst_stride[i];
+  }
+
+  if (d == 1) {
+    emit(src_off, dst_off);
+    return;
+  }
+
+  // Odometer over axes 0..d-2; axis d-1 is the contiguous run.
+  std::vector<Coord> pos(region.lo().begin(), region.lo().end() - 1);
+  while (true) {
+    emit(src_off, dst_off);
+    size_t axis = d - 1;
+    while (axis > 0) {
+      --axis;
+      if (pos[axis] < region.hi(axis)) {
+        ++pos[axis];
+        src_off += src_stride[axis];
+        dst_off += dst_stride[axis];
+        break;
+      }
+      // Wrap this axis back to the region's low bound.
+      src_off -= static_cast<uint64_t>(region.Extent(axis) - 1) *
+                 src_stride[axis];
+      dst_off -= static_cast<uint64_t>(region.Extent(axis) - 1) *
+                 dst_stride[axis];
+      pos[axis] = region.lo(axis);
+      if (axis == 0) return;
+    }
+  }
+}
 
 /// Calls `fn(const Point&)` for every point of `domain` in row-major order.
 /// `domain` must be fixed. Intended for tests and data generators, not hot

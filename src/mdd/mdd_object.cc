@@ -45,6 +45,10 @@ void MDDObject::MarkStoreDirty() const {
   if (store_ != nullptr) store_->MarkCatalogDirty();
 }
 
+void MDDObject::InvalidateCachedTiles() const {
+  if (store_ != nullptr) store_->InvalidateTileCache(cache_id_);
+}
+
 Status MDDObject::SetDefaultCell(std::vector<uint8_t> value) {
   if (value.size() != cell_size()) {
     return Status::InvalidArgument(
@@ -131,6 +135,9 @@ Status MDDObject::InsertTile(const Tile& tile) {
     (void)index_->Remove(tile.domain());
     current_domain_ = saved_domain;
   }
+  // Invalidate on both outcomes: a reader racing the staged mutation may
+  // have cached a tile state the unwind just took back.
+  InvalidateCachedTiles();
   return commit;
 }
 
@@ -279,6 +286,7 @@ Status MDDObject::RemoveTile(const MInterval& domain) {
     (void)index_->Insert(removed);
     current_domain_ = saved_domain;
   }
+  InvalidateCachedTiles();
   return commit;
 }
 
@@ -410,6 +418,7 @@ Status MDDObject::WriteRegion(const Array& data) {
   MarkStoreDirty();
   Status commit = txn.Commit();
   if (!commit.ok()) unwind();
+  InvalidateCachedTiles();
   return commit;
 }
 

@@ -152,6 +152,13 @@ class MDDObject {
   /// True while the tile index is still the read-only packed image.
   bool index_is_packed() const { return index_packed_; }
 
+  /// Decoded-tile-cache epoch assigned by the owning store. 0 (standalone
+  /// objects) means "not cacheable". The store hands out a fresh id
+  /// whenever an object (re)materializes — create, catalog load, rollback
+  /// restore — so stale entries of a previous incarnation can never match.
+  uint64_t cache_id() const { return cache_id_; }
+  void set_cache_id(uint64_t id) { cache_id_ = id; }
+
  private:
   Status CheckInsertable(const MInterval& domain, size_t cell_size) const;
 
@@ -166,6 +173,10 @@ class MDDObject {
   // Tells the owning store its persisted catalog is now stale.
   void MarkStoreDirty() const;
 
+  // Drops this object's decoded-tile-cache entries after a successful
+  // mutation (no-op standalone or with the cache disabled).
+  void InvalidateCachedTiles() const;
+
   MDDStore* store_ = nullptr;
   std::string name_;
   MInterval definition_domain_;
@@ -176,6 +187,7 @@ class MDDObject {
   BlobStore* blobs_;
   IndexKind index_kind_;
   bool index_packed_ = false;
+  uint64_t cache_id_ = 0;
   std::unique_ptr<TileIndex> index_;
 };
 

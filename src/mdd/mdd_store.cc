@@ -56,6 +56,10 @@ MDDStore::MDDStore(std::unique_ptr<PageFile> file, MDDStoreOptions options)
   blobs_ = std::make_unique<BlobStore>(pool_.get());
   scheduler_ = std::make_unique<TileIOScheduler>(blobs_.get());
   scheduler_->set_metrics(&metrics_);
+  tile_cache_ = std::make_unique<TileCache>(options_.tile_cache_bytes);
+  // Register tilecache.* even at capacity 0 so every snapshot carries the
+  // (zero) series and dashboards need no conditional.
+  tile_cache_->set_metrics(&metrics_);
 }
 
 MDDStore::~MDDStore() {
@@ -117,13 +121,32 @@ ThreadPool* MDDStore::thread_pool() {
 
 Result<std::vector<Tile>> MDDStore::FetchTiles(
     const MDDObject& object, std::span<const TileEntry> entries,
-    int parallelism, TileIOStats* stats, uint64_t trace_id) {
+    int parallelism, TileIOStats* stats, uint64_t trace_id, bool use_cache) {
   std::vector<Tile> tiles(entries.size());
   TileIOOptions io;
   io.parallelism = parallelism;
   io.pool = parallelism > 1 ? thread_pool() : nullptr;
   io.trace = trace_id != 0 ? &trace_ : nullptr;
   io.trace_id = trace_id;
+  if (use_cache && tile_cache_->enabled()) {
+    io.cache = tile_cache_.get();
+    io.cache_object_id = object.cache_id();
+    Status st = scheduler_->FetchBatchShared(
+        entries, object.cell_type(), io,
+        [&tiles](size_t i, const Tile& tile) {
+          // The vector owns its tiles, so hits are copied out of the cache.
+          Result<Tile> copy = Tile::FromBuffer(
+              tile.domain(), tile.cell_type(),
+              std::vector<uint8_t>(tile.data(),
+                                   tile.data() + tile.size_bytes()));
+          if (!copy.ok()) return copy.status();
+          tiles[i] = std::move(copy).MoveValue();
+          return Status::OK();
+        },
+        stats);
+    if (!st.ok()) return st;
+    return tiles;
+  }
   Status st = scheduler_->FetchBatch(
       entries, object.cell_type(), io,
       [&tiles](size_t i, Tile&& tile) {
@@ -133,6 +156,10 @@ Result<std::vector<Tile>> MDDStore::FetchTiles(
       stats);
   if (!st.ok()) return st;
   return tiles;
+}
+
+void MDDStore::InvalidateTileCache(uint64_t cache_id) {
+  if (cache_id != 0) tile_cache_->InvalidateObject(cache_id);
 }
 
 Result<std::unique_ptr<MDDStore>> MDDStore::Create(const std::string& path,
@@ -188,6 +215,7 @@ Result<MDDObject*> MDDStore::CreateMDD(const std::string& name,
   auto object = std::make_unique<MDDObject>(name, definition_domain, cell_type,
                                             blobs_.get(), options_.index_kind,
                                             this);
+  object->set_cache_id(next_cache_id_++);
   MDDObject* raw = object.get();
   objects_[name] = std::move(object);
   catalog_dirty_ = true;
@@ -221,6 +249,7 @@ Status MDDStore::DropMDD(const std::string& name) {
     }
     index_blobs_.erase(blob_it);
   }
+  InvalidateTileCache(it->second->cache_id());
   objects_.erase(it);
   catalog_dirty_ = true;
   return Status::OK();
@@ -375,6 +404,10 @@ Status MDDStore::Abort() {
 }
 
 Status MDDStore::RestoreSnapshot() {
+  // Rollback wipes the whole cache: readers inside the aborted transaction
+  // may have cached tile states that never committed, and the restored
+  // objects get fresh epochs below so old entries can never match anyway.
+  tile_cache_->Clear();
   objects_.clear();
   index_blobs_ = std::move(txn_index_blobs_snapshot_);
   pending_free_blobs_ = std::move(txn_pending_frees_snapshot_);
@@ -383,6 +416,7 @@ Status MDDStore::RestoreSnapshot() {
     auto object = std::make_unique<MDDObject>(
         snap.name, snap.definition_domain, snap.cell_type, blobs_.get(),
         snap.index_kind, this);
+    object->set_cache_id(next_cache_id_++);
     Status st = object->SetDefaultCell(std::move(snap.default_cell));
     if (!st.ok()) return st;
     object->SetCompression(snap.compression);
@@ -463,6 +497,7 @@ Status MDDStore::LoadCatalog() {
     auto object = std::make_unique<MDDObject>(name, definition_domain,
                                               cell_type, blobs_.get(), kind,
                                               this);
+    object->set_cache_id(next_cache_id_++);
     st = object->SetDefaultCell(std::move(default_cell));
     if (!st.ok()) return st;
 

@@ -20,6 +20,7 @@
 #include "storage/env.h"
 #include "storage/io_scheduler.h"
 #include "storage/page_file.h"
+#include "storage/tile_cache.h"
 #include "storage/txn.h"
 #include "storage/wal.h"
 
@@ -48,6 +49,11 @@ struct MDDStoreOptions {
   /// (superblock flip + log truncation). 0 disables automatic
   /// checkpoints; `Checkpoint()` can always be called manually.
   uint64_t wal_checkpoint_bytes = 4ull << 20;
+  /// Byte budget of the decoded-tile cache above the buffer pool
+  /// (DESIGN.md §10). 0 — the default — disables it entirely, keeping the
+  /// cold read path and its cost-model numbers bit-identical to the
+  /// uncached implementation.
+  size_t tile_cache_bytes = 0;
 };
 
 /// \brief The database of MDD objects: one page file holding tile BLOBs
@@ -128,11 +134,17 @@ class MDDStore {
   /// concurrent callers may overlap.
   /// `trace_id`, when nonzero, groups the batch's per-tile spans into the
   /// store's trace ring under that query id.
+  /// With `use_cache` set (and a nonzero `tile_cache_bytes` budget),
+  /// entries already in the decoded-tile cache skip the BLOB read and
+  /// decode, and misses populate the cache; the returned tiles are always
+  /// private copies. Off by default so existing callers keep the exact
+  /// uncached path.
   Result<std::vector<Tile>> FetchTiles(const MDDObject& object,
                                        std::span<const TileEntry> entries,
                                        int parallelism = 1,
                                        TileIOStats* stats = nullptr,
-                                       uint64_t trace_id = 0);
+                                       uint64_t trace_id = 0,
+                                       bool use_cache = false);
 
   /// The worker pool behind parallel fetches (created on first use).
   ThreadPool* thread_pool();
@@ -153,7 +165,14 @@ class MDDStore {
   /// after a failed commit).
   void UndeferBlobFree(BlobId blob);
 
+  /// Drops the decoded-tile cache entries of one cache epoch (no-op for
+  /// id 0 or with the cache disabled). Called by MDDObject mutations and
+  /// DropMDD.
+  void InvalidateTileCache(uint64_t cache_id);
+
   TileIOScheduler* io_scheduler() { return scheduler_.get(); }
+  /// The decoded-tile cache (never null; disabled at capacity 0).
+  TileCache* tile_cache() { return tile_cache_.get(); }
   BlobStore* blob_store() { return blobs_.get(); }
   BufferPool* buffer_pool() { return pool_.get(); }
   PageFile* page_file() { return file_.get(); }
@@ -217,6 +236,9 @@ class MDDStore {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BlobStore> blobs_;
   std::unique_ptr<TileIOScheduler> scheduler_;
+  std::unique_ptr<TileCache> tile_cache_;
+  // Next decoded-tile-cache epoch; ids start at 1 (0 = uncacheable).
+  uint64_t next_cache_id_ = 1;
   std::unique_ptr<WriteAheadLog> wal_;
   std::unique_ptr<TxnManager> txns_;
   // BLOBs whose pages are still referenced by the persisted catalog;

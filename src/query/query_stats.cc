@@ -17,6 +17,7 @@ void QueryStats::Add(const QueryStats& other) {
                                                 : other.parallelism;
   io_runs += other.io_runs;
   prefetch_hits += other.prefetch_hits;
+  tilecache_hits += other.tilecache_hits;
   t_ix_model_ms += other.t_ix_model_ms;
   t_o_model_ms += other.t_o_model_ms;
   t_cpu_model_ms += other.t_cpu_model_ms;
@@ -38,6 +39,7 @@ void QueryStats::DivideBy(uint64_t n) {
   useful_bytes /= n;
   io_runs /= n;
   prefetch_hits /= n;
+  tilecache_hits /= n;
   const double dn = static_cast<double>(n);
   t_ix_model_ms /= dn;
   t_o_model_ms /= dn;
@@ -51,7 +53,8 @@ void QueryStats::DivideBy(uint64_t n) {
 std::string QueryStats::ToString() const {
   std::ostringstream os;
   os << "tiles=" << tiles_accessed << " read=" << tile_bytes_read
-     << "B (useful " << useful_bytes << "B) pages=" << pages_read
+     << "B (useful " << useful_bytes << "B) cache_hits=" << tilecache_hits
+     << " pages=" << pages_read
      << " seeks=" << seeks << " ix_nodes=" << index_nodes_visited
      << " | model ms: ix=" << t_ix_model_ms << " o=" << t_o_model_ms
      << " cpu=" << t_cpu_model_ms << " | measured ms: ix="

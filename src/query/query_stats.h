@@ -56,6 +56,10 @@ struct QueryStats {
   /// TileScan only: `Next()` calls whose tile had already been fetched by
   /// the prefetch window when the cursor arrived.
   uint64_t prefetch_hits = 0;
+  /// Tiles served from the decoded-tile cache (counted inside
+  /// `tiles_accessed`/`tile_bytes_read`; hits skip the page fetch and the
+  /// decode but not the traffic accounting).
+  uint64_t tilecache_hits = 0;
 
   // Model times (ms).
   double t_ix_model_ms = 0;

@@ -7,7 +7,9 @@
 #include <optional>
 
 #include "core/region.h"
+#include "storage/compression.h"
 #include "storage/io_scheduler.h"
+#include "storage/tile_cache.h"
 
 namespace tilestore {
 
@@ -113,7 +115,86 @@ Result<Array> RangeQueryExecutor::Execute(MDDObject* object,
               return a.blob < b.blob;
             });
 
+  // Warm runs may serve decoded tiles straight from the cache; cold runs
+  // always bypass it so the cost model keeps measuring physical retrieval.
+  const bool use_cache = options_.use_tile_cache && !options_.cold &&
+                         store_->tile_cache()->enabled() &&
+                         object->cache_id() != 0;
+
   TileIOStats io;
+  if (parallelism <= 1 && use_cache) {
+    // Serial cached path: tile-at-a-time like the legacy pipeline, but
+    // composing straight from the shared decoded copy — a hit pays neither
+    // the BLOB read, nor the decode, nor a private tile copy. Like the
+    // parallel path, only the pieces no tile covers are default-filled;
+    // tiles are disjoint, so the bytes equal the legacy fill-then-
+    // overwrite result.
+    const Clock::time_point o_start = Clock::now();
+    Result<Array> result_or = Array::Create(resolved, object->cell_type());
+    if (!result_or.ok()) return result_or.status();
+    Array result = std::move(result_or).MoveValue();
+    Status st = Status::OK();
+    {
+      std::vector<MInterval> covered;
+      covered.reserve(hits.size());
+      for (const TileEntry& entry : hits) {
+        const std::optional<MInterval> part =
+            entry.domain.Intersection(resolved);
+        if (part.has_value()) covered.push_back(*part);
+      }
+      for (const MInterval& piece : Subtract(resolved, covered)) {
+        st = result.Fill(piece, object->default_cell().data());
+        if (!st.ok()) return st;
+      }
+    }
+
+    TileIOOptions io_options;
+    io_options.parallelism = 1;
+    io_options.trace = trace;
+    io_options.trace_id = trace_id;
+    io_options.cache = store_->tile_cache();
+    io_options.cache_object_id = object->cache_id();
+    double compose_ms = 0;
+    {
+      obs::TraceScope fetch_span(trace, trace_id, "fetch");
+      st = store_->io_scheduler()->FetchBatchShared(
+          hits, object->cell_type(), io_options,
+          [&](size_t, const Tile& tile) -> Status {
+            const std::optional<MInterval> part =
+                tile.domain().Intersection(resolved);
+            if (!part.has_value()) return Status::OK();
+            const Clock::time_point compose_start = Clock::now();
+            Status copy = result.CopyFrom(tile, *part);
+            if (!copy.ok()) return copy;
+            local.useful_bytes +=
+                part->CellCountOrDie() * object->cell_size();
+            compose_ms += ElapsedMs(compose_start);
+            return Status::OK();
+          },
+          &io);
+    }
+    if (!st.ok()) return st;
+    local.t_o_measured_ms = ElapsedMs(o_start) - compose_ms;
+    local.t_o_wall_ms = local.t_o_measured_ms;
+    local.t_cpu_measured_ms = compose_ms;
+    local.t_o_model_ms = disk->read_ms() - disk_ms_before;
+    local.pages_read = disk->pages_read() - pages_before;
+    local.seeks = disk->read_seeks() - seeks_before;
+    local.io_runs = io.coalesced_runs;
+    local.tilecache_hits = io.cache_hits;
+    local.tiles_accessed = io.tiles;
+    local.tile_bytes_read = io.tile_bytes;
+    local.result_cells = resolved.CellCountOrDie();
+    local.result_bytes = local.result_cells * object->cell_size();
+    local.t_cpu_model_ms =
+        static_cast<double>(local.tile_bytes_read) /
+            (options_.cost.cpu_process_mib_per_s * 1024.0 * 1024.0) * 1000.0 +
+        static_cast<double>(local.tiles_accessed) *
+            options_.cost.per_tile_cpu_ms;
+
+    if (stats != nullptr) *stats = local;
+    return result;
+  }
   if (parallelism <= 1) {
     // Serial path: fetch everything, then compose — the paper's pipeline,
     // bit-identical in storage behavior and model cost to the original
@@ -122,7 +203,7 @@ Result<Array> RangeQueryExecutor::Execute(MDDObject* object,
     Result<std::vector<Tile>> tiles_or = [&] {
       obs::TraceScope span(trace, trace_id, "fetch");
       return store_->FetchTiles(*object, hits, /*parallelism=*/1, &io,
-                                trace_id);
+                                trace_id, use_cache);
     }();
     if (!tiles_or.ok()) return tiles_or.status();
     const std::vector<Tile>& tiles = tiles_or.value();
@@ -132,6 +213,7 @@ Result<Array> RangeQueryExecutor::Execute(MDDObject* object,
     local.pages_read = disk->pages_read() - pages_before;
     local.seeks = disk->read_seeks() - seeks_before;
     local.io_runs = io.coalesced_runs;
+    local.tilecache_hits = io.cache_hits;
     local.tiles_accessed = tiles.size();
     for (const Tile& tile : tiles) {
       local.tile_bytes_read += tile.size_bytes();
@@ -208,19 +290,40 @@ Result<Array> RangeQueryExecutor::Execute(MDDObject* object,
   Status st = Status::OK();
   {
     obs::TraceScope fetch_span(trace, trace_id, "fetch");
-    st = store_->io_scheduler()->FetchBatch(
-        hits, object->cell_type(), io_options,
-        [&](size_t, Tile&& tile) -> Status {
-          const std::optional<MInterval> part =
-              tile.domain().Intersection(resolved);
-          if (!part.has_value()) return Status::OK();
-          Status copy = result.CopyFrom(tile, *part);
-          if (!copy.ok()) return copy;
-          useful_bytes.fetch_add(part->CellCountOrDie() * cell_size,
-                                 std::memory_order_relaxed);
-          return Status::OK();
-        },
-        &io);
+    if (use_cache) {
+      // Cache-aware batch: hits compose straight from the shared decoded
+      // copy; misses decode once and populate the cache for the next
+      // query. Same compose kernel either way, so bytes are identical.
+      io_options.cache = store_->tile_cache();
+      io_options.cache_object_id = object->cache_id();
+      st = store_->io_scheduler()->FetchBatchShared(
+          hits, object->cell_type(), io_options,
+          [&](size_t, const Tile& tile) -> Status {
+            const std::optional<MInterval> part =
+                tile.domain().Intersection(resolved);
+            if (!part.has_value()) return Status::OK();
+            Status copy = result.CopyFrom(tile, *part);
+            if (!copy.ok()) return copy;
+            useful_bytes.fetch_add(part->CellCountOrDie() * cell_size,
+                                   std::memory_order_relaxed);
+            return Status::OK();
+          },
+          &io);
+    } else {
+      st = store_->io_scheduler()->FetchBatch(
+          hits, object->cell_type(), io_options,
+          [&](size_t, Tile&& tile) -> Status {
+            const std::optional<MInterval> part =
+                tile.domain().Intersection(resolved);
+            if (!part.has_value()) return Status::OK();
+            Status copy = result.CopyFrom(tile, *part);
+            if (!copy.ok()) return copy;
+            useful_bytes.fetch_add(part->CellCountOrDie() * cell_size,
+                                   std::memory_order_relaxed);
+            return Status::OK();
+          },
+          &io);
+    }
   }
   if (!st.ok()) return st;
 
@@ -231,6 +334,7 @@ Result<Array> RangeQueryExecutor::Execute(MDDObject* object,
   local.pages_read = disk->pages_read() - pages_before;
   local.seeks = disk->read_seeks() - seeks_before;
   local.io_runs = io.coalesced_runs;
+  local.tilecache_hits = io.cache_hits;
   local.tiles_accessed = io.tiles;
   local.tile_bytes_read = io.tile_bytes;
   local.useful_bytes = useful_bytes.load(std::memory_order_relaxed);
@@ -306,6 +410,11 @@ Result<double> RangeQueryExecutor::ExecuteAggregate(MDDObject* object,
   std::vector<TilePartial> partials(hits.size());
   const AggregateOp tile_op =
       op == AggregateOp::kAvg ? AggregateOp::kSum : op;
+  const bool run_kernel =
+      options_.aggregate_kernel == RangeQueryOptions::AggregateKernel::kRun;
+  const bool use_cache = options_.use_tile_cache && !options_.cold &&
+                         store_->tile_cache()->enabled() &&
+                         object->cache_id() != 0;
 
   TileIOStats io;
   TileIOOptions io_options;
@@ -313,19 +422,48 @@ Result<double> RangeQueryExecutor::ExecuteAggregate(MDDObject* object,
   io_options.pool = parallelism > 1 ? store_->thread_pool() : nullptr;
   io_options.trace = trace;
   io_options.trace_id = trace_id;
+  if (use_cache) {
+    io_options.cache = store_->tile_cache();
+    io_options.cache_object_id = object->cache_id();
+  }
+  if (run_kernel) {
+    // RLE fast path: a tile wholly inside the region whose stream is
+    // already run-encoded folds directly over the compressed bytes — no
+    // decoded buffer at all. (A cached decoded copy still wins when one
+    // exists; the scheduler checks the cache first and never populates it
+    // from this path.)
+    io_options.encoded_filter = [&hits, &resolved](size_t i) {
+      return hits[i].compression == Compression::kRle &&
+             resolved.Contains(hits[i].domain);
+    };
+    io_options.consume_encoded =
+        [&](size_t i, const std::vector<uint8_t>& stream) -> Status {
+      const uint64_t cells = hits[i].domain.CellCountOrDie();
+      Result<double> value =
+          AggregateRleStream(stream, object->cell_type(), cells, tile_op);
+      if (!value.ok()) return value.status();
+      partials[i] = TilePartial{*value, cells};
+      return Status::OK();
+    };
+  }
   Status st = Status::OK();
   {
     obs::TraceScope fetch_span(trace, trace_id, "fetch");
-    st = store_->io_scheduler()->FetchBatch(
+    st = store_->io_scheduler()->FetchBatchShared(
         hits, object->cell_type(), io_options,
-        [&](size_t i, Tile&& tile) -> Status {
+        [&](size_t i, const Tile& tile) -> Status {
           const std::optional<MInterval> part =
               tile.domain().Intersection(resolved);
-          Result<Array> slice = tile.Slice(*part);
-          if (!slice.ok()) return slice.status();
           // Condense via the primitive reductions; kAvg folds as a running
-          // sum.
-          Result<double> value = AggregateCells(*slice, tile_op);
+          // sum. The run kernel reduces the part in place; the legacy
+          // slice kernel materializes it first. Same cell order, same
+          // accumulators — bit-identical values.
+          Result<double> value = [&]() -> Result<double> {
+            if (run_kernel) return AggregateRegion(tile, *part, tile_op);
+            Result<Array> slice = tile.Slice(*part);
+            if (!slice.ok()) return slice.status();
+            return AggregateCells(*slice, tile_op);
+          }();
           if (!value.ok()) return value.status();
           partials[i] = TilePartial{*value, part->CellCountOrDie()};
           return Status::OK();
@@ -340,6 +478,7 @@ Result<double> RangeQueryExecutor::ExecuteAggregate(MDDObject* object,
   local.pages_read = disk->pages_read() - pages_before;
   local.seeks = disk->read_seeks() - seeks_before;
   local.io_runs = io.coalesced_runs;
+  local.tilecache_hits = io.cache_hits;
   local.tiles_accessed = io.tiles;
   local.tile_bytes_read = io.tile_bytes;
 

@@ -31,6 +31,19 @@ struct RangeQueryOptions {
   /// Optional access log: every executed query region is recorded, to be
   /// fed into statistic tiling later.
   AccessLog* log = nullptr;
+  /// Consult (and populate) the store's decoded-tile cache. Only effective
+  /// when the store was opened with `tile_cache_bytes > 0`; cold runs
+  /// always bypass the cache so their cost-model numbers stay those of
+  /// physical retrieval. Results are byte-identical either way — hits just
+  /// skip the page fetch and the decode.
+  bool use_tile_cache = true;
+  /// Which aggregation kernel `ExecuteAggregate` uses per tile part.
+  /// `kRun` (default) reduces in place over the tile's innermost-axis runs
+  /// — no slice allocation, no copy — and folds whole RLE tiles directly
+  /// over the compressed stream; `kSlice` is the legacy materialize-then-
+  /// reduce path, kept for differential testing. Bit-identical results.
+  enum class AggregateKernel { kRun, kSlice };
+  AggregateKernel aggregate_kernel = AggregateKernel::kRun;
 };
 
 /// \brief Executes range queries (access types (a)-(c) of Section 5.1)

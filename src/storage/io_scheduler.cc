@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "storage/compression.h"
+#include "storage/tile_cache.h"
 
 namespace tilestore {
 
@@ -41,6 +42,7 @@ void TileIOStats::Add(const TileIOStats& other) {
   tile_bytes += other.tile_bytes;
   coalesced_runs += other.coalesced_runs;
   chain_fallbacks += other.chain_fallbacks;
+  cache_hits += other.cache_hits;
   io_summed_ms += other.io_summed_ms;
   decode_summed_ms += other.decode_summed_ms;
   wall_ms += other.wall_ms;
@@ -200,6 +202,179 @@ Status TileIOScheduler::FetchBatch(
                             return cs;
                           }()
                         : tile.status();
+        if (!st.ok()) {
+          failed.store(true, std::memory_order_release);
+          std::lock_guard<std::mutex> lock(result_mu);
+          if (first_error.ok()) first_error = st;
+          break;
+        }
+        done.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_.queue_depth != nullptr) metrics_.queue_depth->Add(-1);
+      }
+      std::lock_guard<std::mutex> lock(result_mu);
+      merged.Add(local);
+    });
+  }
+  group.Wait();
+  completed = done.load(std::memory_order_relaxed);
+
+  if (metrics_.tiles != nullptr) {
+    metrics_.tiles->Add(merged.tiles);
+    metrics_.coalesced_runs->Add(merged.coalesced_runs);
+    metrics_.chain_fallbacks->Add(merged.chain_fallbacks);
+  }
+  settle_queue();
+  if (!first_error.ok()) return first_error;
+  merged.wall_ms = ElapsedMs(wall_start);
+  if (stats != nullptr) stats->Add(merged);
+  return Status::OK();
+}
+
+Status TileIOScheduler::FetchBatchShared(
+    std::span<const TileEntry> entries, CellType cell_type,
+    const TileIOOptions& options,
+    const std::function<Status(size_t, const Tile&)>& consume,
+    TileIOStats* stats) {
+  const Clock::time_point wall_start = Clock::now();
+
+  // Physical page order, exactly as in FetchBatch.
+  std::vector<size_t> order(entries.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return entries[a].blob < entries[b].blob;
+  });
+
+  const int parallelism =
+      options.pool != nullptr
+          ? std::min<int>(std::max(options.parallelism, 1),
+                          static_cast<int>(options.pool->size()))
+          : 1;
+
+  TileCache* cache = options.cache != nullptr && options.cache->enabled() &&
+                             options.cache_object_id != 0
+                         ? options.cache
+                         : nullptr;
+
+  if (metrics_.batches != nullptr) {
+    metrics_.batches->Add(1);
+    metrics_.batch_tiles->Observe(static_cast<double>(entries.size()));
+    metrics_.queue_depth->Add(static_cast<int64_t>(entries.size()));
+  }
+  uint64_t completed = 0;
+  auto settle_queue = [&]() {
+    if (metrics_.queue_depth != nullptr) {
+      metrics_.queue_depth->Add(-static_cast<int64_t>(entries.size() -
+                                                      completed));
+    }
+  };
+
+  // One entry end to end: cache hit > encoded fast path > fetch + decode
+  // (+ optional populate). Runs on the caller (serial) or a worker.
+  auto process = [&](size_t idx, bool coalesce, TileIOStats* local) {
+    const TileEntry& entry = entries[idx];
+    if (cache != nullptr) {
+      std::shared_ptr<const Tile> hit =
+          cache->Lookup(options.cache_object_id, entry.blob);
+      if (hit != nullptr) {
+        // Traffic totals stay identical to the uncached path; only the
+        // measured io/decode times (and fetch_ms) reflect the skip.
+        ++local->tiles;
+        local->tile_bytes += hit->size_bytes();
+        ++local->cache_hits;
+        obs::TraceScope span(options.trace, options.trace_id,
+                             "tile_cache_hit");
+        return consume(idx, *hit);
+      }
+    }
+    if (options.encoded_filter && options.encoded_filter(idx)) {
+      const Clock::time_point io_start = Clock::now();
+      Result<std::vector<uint8_t>> data = [&] {
+        obs::TraceScope span(options.trace, options.trace_id, "tile_fetch");
+        if (!coalesce) return blobs_->Get(entry.blob);
+        BlobReadStats blob_stats;
+        Result<std::vector<uint8_t>> r =
+            blobs_->GetCoalesced(entry.blob, &blob_stats);
+        local->coalesced_runs += blob_stats.physical_runs;
+        if (blob_stats.fell_back) ++local->chain_fallbacks;
+        return r;
+      }();
+      if (!data.ok()) return data.status();
+      ++local->tiles;
+      // Charge the logical decoded size: the cost model's t_cpu is a
+      // function of cells processed, not of the codec that carried them.
+      local->tile_bytes += entry.domain.CellCountOrDie() * cell_type.size();
+      local->io_summed_ms += ElapsedMs(io_start);
+      const Clock::time_point consume_start = Clock::now();
+      Status st = [&] {
+        obs::TraceScope span(options.trace, options.trace_id,
+                             "tile_reduce_encoded");
+        return options.consume_encoded(idx, data.value());
+      }();
+      local->decode_summed_ms += ElapsedMs(consume_start);
+      return st;
+    }
+    const Clock::time_point fetch_start = Clock::now();
+    Result<Tile> tile = [&] {
+      obs::TraceScope span(options.trace, options.trace_id, "tile_fetch");
+      return FetchOne(entry, cell_type, coalesce, local);
+    }();
+    if (metrics_.fetch_ms != nullptr) {
+      metrics_.fetch_ms->Observe(ElapsedMs(fetch_start));
+    }
+    if (!tile.ok()) return tile.status();
+    const Clock::time_point consume_start = Clock::now();
+    Status st = [&] {
+      obs::TraceScope span(options.trace, options.trace_id, "tile_decode");
+      if (cache != nullptr && options.cache_populate) {
+        std::shared_ptr<const Tile> canonical = cache->Insert(
+            options.cache_object_id, entry.blob,
+            std::make_shared<const Tile>(std::move(tile).MoveValue()));
+        return consume(idx, *canonical);
+      }
+      const Tile owned = std::move(tile).MoveValue();
+      return consume(idx, owned);
+    }();
+    local->decode_summed_ms += ElapsedMs(consume_start);
+    return st;
+  };
+
+  if (parallelism <= 1) {
+    TileIOStats local;
+    for (size_t idx : order) {
+      Status st = process(idx, /*coalesce=*/false, &local);
+      if (!st.ok()) {
+        settle_queue();
+        return st;
+      }
+      ++completed;
+      if (metrics_.queue_depth != nullptr) metrics_.queue_depth->Add(-1);
+    }
+    local.wall_ms = ElapsedMs(wall_start);
+    if (stats != nullptr) stats->Add(local);
+    if (metrics_.tiles != nullptr) {
+      metrics_.tiles->Add(local.tiles);
+      metrics_.coalesced_runs->Add(local.coalesced_runs);
+      metrics_.chain_fallbacks->Add(local.chain_fallbacks);
+    }
+    return Status::OK();
+  }
+
+  std::atomic<size_t> cursor{0};
+  std::atomic<uint64_t> done{0};
+  std::atomic<bool> failed{false};
+  std::mutex result_mu;
+  Status first_error;
+  TileIOStats merged;
+
+  TaskGroup group(options.pool);
+  for (int w = 0; w < parallelism; ++w) {
+    group.Run([&] {
+      TileIOStats local;
+      size_t i;
+      while (!failed.load(std::memory_order_acquire) &&
+             (i = cursor.fetch_add(1, std::memory_order_relaxed)) <
+                 order.size()) {
+        Status st = process(order[i], /*coalesce=*/true, &local);
         if (!st.ok()) {
           failed.store(true, std::memory_order_release);
           std::lock_guard<std::mutex> lock(result_mu);

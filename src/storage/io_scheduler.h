@@ -5,6 +5,7 @@
 #include <functional>
 #include <future>
 #include <span>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -17,6 +18,8 @@
 #include "storage/blob_store.h"
 
 namespace tilestore {
+
+class TileCache;
 
 /// Execution options for one batched fetch.
 struct TileIOOptions {
@@ -32,6 +35,25 @@ struct TileIOOptions {
   obs::TraceRing* trace = nullptr;
   /// Trace id grouping this batch's spans with the enclosing query.
   uint64_t trace_id = 0;
+
+  // --- FetchBatchShared only (ignored by FetchBatch) ---
+
+  /// Decoded-tile cache consulted before any BLOB read. Inactive when
+  /// null, disabled (capacity 0), or `cache_object_id` is 0.
+  TileCache* cache = nullptr;
+  /// The owning object's cache epoch (`MDDObject::cache_id`); 0 means the
+  /// object is not cacheable.
+  uint64_t cache_object_id = 0;
+  /// Whether misses populate the cache (lookups happen regardless). Off
+  /// for scans that should not wipe a working set.
+  bool cache_populate = true;
+  /// When set and `encoded_filter(i)` is true, entry `i` skips decode
+  /// entirely: the raw (compressed) BLOB bytes go to `consume_encoded`
+  /// instead of `consume`, and the cache is neither consulted for a
+  /// populate nor populated. Cache hits still win over the encoded path —
+  /// a decoded tile in memory beats re-walking the stream.
+  std::function<bool(size_t)> encoded_filter;
+  std::function<Status(size_t, const std::vector<uint8_t>&)> consume_encoded;
 };
 
 /// Accounting for one batched fetch, feeding the `QueryStats` breakdown of
@@ -46,6 +68,11 @@ struct TileIOStats {
   /// BLOB chains that were not consecutive on disk and fell back to
   /// pointer walking.
   uint64_t chain_fallbacks = 0;
+  /// Tiles served from the decoded-tile cache (no BLOB read, no decode).
+  /// Hits are still counted in `tiles`/`tile_bytes` — a query's traffic
+  /// totals must not depend on cache state — but contribute nothing to the
+  /// measured io/decode times.
+  uint64_t cache_hits = 0;
   /// Per-tile retrieval time summed across tiles (exceeds the wall clock
   /// when tiles are fetched concurrently).
   double io_summed_ms = 0;
@@ -91,6 +118,23 @@ class TileIOScheduler {
                     const TileIOOptions& options,
                     const std::function<Status(size_t, Tile&&)>& consume,
                     TileIOStats* stats = nullptr);
+
+  /// Cache-aware sibling of `FetchBatch`: tiles are handed out as
+  /// `const Tile&` so one decoded copy can be shared between the consumer
+  /// and the decoded-tile cache (`options.cache`). Per entry, in order of
+  /// preference: cache hit (no BLOB read, no decode, not re-inserted),
+  /// encoded fast path (`options.encoded_filter`/`consume_encoded`: raw
+  /// BLOB bytes, no decode, never cached), or fetch + decode with an
+  /// optional cache populate. Ordering, parallelism, error, and metrics
+  /// semantics match `FetchBatch`; cache hits skip the measured
+  /// `scheduler.fetch_ms` histogram. The referenced tile is only valid for
+  /// the duration of the `consume` call — copy or reduce, don't keep the
+  /// pointer.
+  Status FetchBatchShared(std::span<const TileEntry> entries,
+                          CellType cell_type, const TileIOOptions& options,
+                          const std::function<Status(size_t, const Tile&)>&
+                              consume,
+                          TileIOStats* stats = nullptr);
 
   /// Asynchronous single-tile fetch, the building block of the
   /// `TileScan` prefetch window. With a pool the work runs on a worker and

@@ -65,7 +65,7 @@ void PrintHelp(std::FILE* out) {
       "9):\n"
       "  serve  <db> [--port=N] [--threads=N] [--max-inflight=N]\n"
       "         [--queue=N] [--request-timeout-ms=N] [--idle-timeout-ms=N]\n"
-      "         [--parallelism=N] [--all-interfaces]\n"
+      "         [--parallelism=N] [--tile-cache-mb=N] [--all-interfaces]\n"
       "                                       serve the store over TCP;\n"
       "                                       prints the bound port, stops\n"
       "                                       cleanly on SIGINT/SIGTERM\n"
@@ -105,7 +105,13 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 void HandleStopSignal(int) { g_stop_requested = 1; }
 
 int CmdServe(const std::string& db, int argc, char** argv) {
-  Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(db);
+  // Store options must be resolved before the open.
+  MDDStoreOptions store_options;
+  if (const char* v = FlagValue(argc, argv, "tile-cache-mb")) {
+    store_options.tile_cache_bytes =
+        static_cast<size_t>(std::atoll(v)) << 20;
+  }
+  Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(db, store_options);
   if (!store.ok()) return Fail(store.status());
 
   net::TileServerOptions options;
