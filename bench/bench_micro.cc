@@ -18,6 +18,7 @@
 #include "core/linearizer.h"
 #include "index/rtree_index.h"
 #include "storage/env.h"
+#include "storage/io_backend.h"
 #include "tiling/aligned.h"
 #include "tiling/areas_of_interest.h"
 #include "tiling/directional.h"
@@ -140,12 +141,23 @@ Array MakeBandedArray() {
   return data;
 }
 
-int MeasureReadPath(bool smoke) {
+int MeasureReadPath(bool smoke, const std::string& io_backend) {
   const std::string path = "/tmp/tilestore_bench_micro_readpath.db";
   (void)RemoveFile(path);
   MDDStoreOptions options;
   options.pool_pages = 16384;  // entire object stays cached: warm regime
   options.worker_threads = 8;
+  std::unique_ptr<IoBackend> backend;
+  if (!io_backend.empty()) {
+    auto made = MakeIoBackend(io_backend);
+    if (!made.ok()) {
+      std::fprintf(stderr, "readpath: io backend '%s': %s\n",
+                   io_backend.c_str(), made.status().ToString().c_str());
+      return 1;
+    }
+    backend = std::move(made).MoveValue();
+    options.io_backend = backend.get();
+  }
   auto store = MDDStore::Create(path, options).MoveValue();
 
   Array data = MakeBandedArray();
@@ -188,6 +200,8 @@ int MeasureReadPath(bool smoke) {
 int main(int argc, char** argv) {
   bool readpath_only = false;
   bool smoke = false;
+  const std::string io_backend =
+      tilestore::bench::FlagString(argc, argv, "io-backend", "");
   int filtered_argc = 0;
   std::vector<char*> filtered(argc);
   for (int i = 0; i < argc; ++i) {
@@ -200,6 +214,7 @@ int main(int argc, char** argv) {
       readpath_only = true;  // CI smoke skips the google-benchmark suite
       continue;
     }
+    if (std::strncmp(argv[i], "--io-backend=", 13) == 0) continue;
     filtered[filtered_argc++] = argv[i];
   }
   if (!readpath_only) {
@@ -211,5 +226,5 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
   }
-  return tilestore::bench::MeasureReadPath(smoke);
+  return tilestore::bench::MeasureReadPath(smoke, io_backend);
 }

@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "storage/env.h"
+#include "storage/io_backend.h"
 
 namespace tilestore {
 namespace bench {
@@ -149,6 +150,19 @@ std::vector<SchemeResult> RunSchemes(const Array& data,
     MDDStoreOptions store_options;
     store_options.page_size = options.page_size;
     store_options.pool_pages = options.pool_pages;
+    std::unique_ptr<IoBackend> backend;
+    if (!options.io_backend.empty()) {
+      Result<std::unique_ptr<IoBackend>> made =
+          MakeIoBackend(options.io_backend);
+      if (!made.ok()) {
+        std::fprintf(stderr, "scheme %s: io backend '%s': %s\n",
+                     scheme.name.c_str(), options.io_backend.c_str(),
+                     made.status().ToString().c_str());
+        continue;
+      }
+      backend = std::move(made).MoveValue();
+      store_options.io_backend = backend.get();
+    }
     auto store = MDDStore::Create(path, store_options).MoveValue();
     MDDObject* object =
         store->CreateMDD("bench", data.domain(), data.cell_type()).value();
@@ -344,6 +358,12 @@ double FlagDouble(int argc, char** argv, const std::string& name,
                   double def) {
   const char* value = FindFlag(argc, argv, name);
   return (value != nullptr && *value != '\0') ? std::atof(value) : def;
+}
+
+std::string FlagString(int argc, char** argv, const std::string& name,
+                       const std::string& def) {
+  const char* value = FindFlag(argc, argv, name);
+  return (value != nullptr && *value != '\0') ? std::string(value) : def;
 }
 
 // ---------------------------------------------------------------------------

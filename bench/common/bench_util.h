@@ -96,6 +96,10 @@ struct RunOptions {
   size_t pool_pages = 16384;  // 64 MiB: ample for the cold-run regime
   std::string scratch_dir;    // defaults to /tmp
   bool keep_files = false;
+  /// Batched-read engine name for `MakeIoBackend` ("pread", "uring",
+  /// "auto"); empty uses the process default. Results are byte-identical
+  /// across backends — this knob exists to compare wall clocks.
+  std::string io_backend;
 };
 
 /// Loads `data` under each scheme into a scratch store and executes every
@@ -131,6 +135,8 @@ void PrintComponentsFigure(const std::vector<SchemeResult>& results,
 int FlagInt(int argc, char** argv, const std::string& name, int def);
 bool FlagBool(int argc, char** argv, const std::string& name);
 double FlagDouble(int argc, char** argv, const std::string& name, double def);
+std::string FlagString(int argc, char** argv, const std::string& name,
+                       const std::string& def);
 
 // ---------------------------------------------------------------------------
 // Read-path throughput reporting (BENCH_readpath.json).

@@ -51,6 +51,9 @@ MDDStore::MDDStore(std::unique_ptr<PageFile> file, MDDStoreOptions options)
       file_(std::move(file)) {
   file_->set_disk_model(&disk_model_);
   file_->set_metrics(&metrics_);
+  if (options_.io_backend != nullptr) {
+    file_->set_io_backend(options_.io_backend);
+  }
   pool_ = std::make_unique<BufferPool>(file_.get(), options_.pool_pages,
                                        &metrics_);
   blobs_ = std::make_unique<BlobStore>(pool_.get());

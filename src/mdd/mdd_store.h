@@ -54,6 +54,11 @@ struct MDDStoreOptions {
   /// cold read path and its cost-model numbers bit-identical to the
   /// uncached implementation.
   size_t tile_cache_bytes = 0;
+  /// Batched-read engine for the parallel fetch path (DESIGN.md §11).
+  /// Null uses `DefaultIoBackend()` (io_uring where available, otherwise
+  /// threaded pread; override with `TILESTORE_IO_BACKEND`). The caller
+  /// keeps ownership and must outlive the store.
+  IoBackend* io_backend = nullptr;
 };
 
 /// \brief The database of MDD objects: one page file holding tile BLOBs

@@ -1,0 +1,220 @@
+#include "net/event_loop.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+namespace tilestore {
+namespace net {
+
+namespace {
+
+std::string ErrnoText(const char* context) {
+  return std::string(context) + ": " + std::strerror(errno);
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(ErrnoText("fcntl O_NONBLOCK"));
+  }
+  return Status::OK();
+}
+
+bool ForcePoll() {
+  const char* env = std::getenv("TILESTORE_EVENT_LOOP");
+  return env != nullptr && std::strcmp(env, "poll") == 0;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EventLoop>> EventLoop::Create() {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return Status::IOError(ErrnoText("pipe"));
+  }
+  for (int fd : pipe_fds) {
+    if (Status st = SetNonBlocking(fd); !st.ok()) {
+      ::close(pipe_fds[0]);
+      ::close(pipe_fds[1]);
+      return st;
+    }
+  }
+
+  int epoll_fd = -1;
+#ifdef __linux__
+  if (!ForcePoll()) {
+    epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    // epoll failing (container seccomp, exotic kernels) just means the
+    // portable poll backend — not an error.
+  }
+#endif
+  std::unique_ptr<EventLoop> loop(
+      new EventLoop(epoll_fd, pipe_fds[0], pipe_fds[1]));
+  // The wake pipe is an ordinary registered fd with a null tag; Wait
+  // recognizes it and drains it instead of reporting an event.
+  if (Status st = loop->Add(pipe_fds[0], /*want_read=*/true,
+                            /*want_write=*/false, loop.get());
+      !st.ok()) {
+    return st;
+  }
+  return loop;
+}
+
+EventLoop::EventLoop(int epoll_fd, int wake_read_fd, int wake_write_fd)
+    : epoll_fd_(epoll_fd),
+      wake_read_fd_(wake_read_fd),
+      wake_write_fd_(wake_write_fd) {}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  ::close(wake_read_fd_);
+  ::close(wake_write_fd_);
+}
+
+const char* EventLoop::backend() const {
+  return epoll_fd_ >= 0 ? "epoll" : "poll";
+}
+
+Status EventLoop::Add(int fd, bool want_read, bool want_write, void* tag) {
+  if (tag == nullptr) {
+    return Status::InvalidArgument("event loop tags must be non-null");
+  }
+  if (!interest_.emplace(fd, Interest{tag, want_read, want_write}).second) {
+    return Status::InvalidArgument("fd already registered with event loop");
+  }
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    if (want_read) ev.events |= EPOLLIN;
+    if (want_write) ev.events |= EPOLLOUT;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      interest_.erase(fd);
+      return Status::IOError(ErrnoText("epoll_ctl ADD"));
+    }
+  }
+#endif
+  return Status::OK();
+}
+
+Status EventLoop::Update(int fd, bool want_read, bool want_write) {
+  auto it = interest_.find(fd);
+  if (it == interest_.end()) {
+    return Status::InvalidArgument("fd not registered with event loop");
+  }
+  it->second.want_read = want_read;
+  it->second.want_write = want_write;
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    if (want_read) ev.events |= EPOLLIN;
+    if (want_write) ev.events |= EPOLLOUT;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+      return Status::IOError(ErrnoText("epoll_ctl MOD"));
+    }
+  }
+#endif
+  return Status::OK();
+}
+
+Status EventLoop::Remove(int fd) {
+  if (interest_.erase(fd) == 0) {
+    return Status::InvalidArgument("fd not registered with event loop");
+  }
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+      return Status::IOError(ErrnoText("epoll_ctl DEL"));
+    }
+  }
+#endif
+  return Status::OK();
+}
+
+Result<size_t> EventLoop::Wait(int timeout_ms, std::vector<Event>* out) {
+  out->clear();
+  auto drain_wake = [this] {
+    uint8_t buf[64];
+    while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+    }
+  };
+
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    epoll_event events[128];
+    const int n = ::epoll_wait(epoll_fd_, events, 128, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return size_t{0};
+      return Status::IOError(ErrnoText("epoll_wait"));
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_read_fd_) {
+        drain_wake();
+        continue;
+      }
+      auto it = interest_.find(fd);
+      if (it == interest_.end()) continue;  // removed by an earlier event
+      Event ev;
+      ev.tag = it->second.tag;
+      ev.readable = (events[i].events & EPOLLIN) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.hangup = (events[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+      out->push_back(ev);
+    }
+    return out->size();
+  }
+#endif
+
+  std::vector<pollfd> fds;
+  fds.reserve(interest_.size());
+  poll_tags_.clear();
+  poll_tags_.reserve(interest_.size());
+  for (const auto& [fd, interest] : interest_) {
+    short events = 0;
+    if (interest.want_read) events |= POLLIN;
+    if (interest.want_write) events |= POLLOUT;
+    fds.push_back(pollfd{fd, events, 0});
+    poll_tags_.push_back(interest.tag);
+  }
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return size_t{0};
+    return Status::IOError(ErrnoText("poll"));
+  }
+  for (size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].revents == 0) continue;
+    if (fds[i].fd == wake_read_fd_) {
+      drain_wake();
+      continue;
+    }
+    Event ev;
+    ev.tag = poll_tags_[i];
+    ev.readable = (fds[i].revents & POLLIN) != 0;
+    ev.writable = (fds[i].revents & POLLOUT) != 0;
+    ev.hangup = (fds[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+    out->push_back(ev);
+  }
+  return out->size();
+}
+
+void EventLoop::Wake() {
+  const uint8_t byte = 1;
+  // A full pipe already guarantees a pending wake-up.
+  (void)!::write(wake_write_fd_, &byte, 1);
+}
+
+}  // namespace net
+}  // namespace tilestore

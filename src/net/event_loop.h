@@ -1,0 +1,86 @@
+#ifndef TILESTORE_NET_EVENT_LOOP_H_
+#define TILESTORE_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tilestore {
+namespace net {
+
+/// \brief Small readiness-notification wrapper: epoll on Linux, poll(2)
+/// everywhere (and when `TILESTORE_EVENT_LOOP=poll` forces the portable
+/// path, which is how tests cover both).
+///
+/// Level-triggered semantics on both backends: a ready fd is reported on
+/// every `Wait` until its condition is consumed or its interest set is
+/// changed with `Update`. One opaque tag per fd is handed back in events.
+/// `Wake` makes a concurrent `Wait` return early via a self-pipe; it is
+/// the only method safe to call from other threads — everything else
+/// belongs to the loop's owning thread.
+class EventLoop {
+ public:
+  struct Event {
+    void* tag = nullptr;
+    bool readable = false;
+    bool writable = false;
+    /// Peer hung up or the fd errored; the owner should close it.
+    bool hangup = false;
+  };
+
+  static Result<std::unique_ptr<EventLoop>> Create();
+
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` with the given interest set; `tag` is returned in
+  /// events for it (must be non-null and unique per fd).
+  Status Add(int fd, bool want_read, bool want_write, void* tag);
+
+  /// Changes the interest set of a registered fd. Both false parks the fd
+  /// (stays registered, reports nothing) — used while a request executes
+  /// so level-triggered readiness does not spin.
+  Status Update(int fd, bool want_read, bool want_write);
+
+  /// Deregisters `fd` (does not close it).
+  Status Remove(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = forever) and appends ready events to
+  /// `out` (cleared first). Returns the number of events. Wake-ups drain
+  /// the self-pipe internally and report zero events.
+  Result<size_t> Wait(int timeout_ms, std::vector<Event>* out);
+
+  /// Interrupts a concurrent `Wait`. Thread-safe, async-signal unsafe.
+  void Wake();
+
+  /// "epoll" or "poll".
+  const char* backend() const;
+
+  size_t watched_fds() const { return interest_.size(); }
+
+ private:
+  struct Interest {
+    void* tag;
+    bool want_read;
+    bool want_write;
+  };
+
+  EventLoop(int epoll_fd, int wake_read_fd, int wake_write_fd);
+
+  int epoll_fd_;  // -1 = poll backend
+  int wake_read_fd_;
+  int wake_write_fd_;
+  std::unordered_map<int, Interest> interest_;
+  // Scratch for the poll backend, rebuilt per Wait.
+  std::vector<void*> poll_tags_;
+};
+
+}  // namespace net
+}  // namespace tilestore
+
+#endif  // TILESTORE_NET_EVENT_LOOP_H_

@@ -70,6 +70,10 @@ TileServer::TileServer(MDDStore* store, TileServerOptions options)
         std::string(WireOpName(static_cast<WireOp>(op))) + "_ms";
     op_latency_ms_[op] = m->latency_histogram(name);
   }
+  eventloop_loops_ = m->counter("net.eventloop.loops");
+  eventloop_events_ = m->counter("net.eventloop.events");
+  eventloop_watched_fds_ = m->gauge("net.eventloop.watched_fds");
+  threads_gauge_ = m->gauge("net.threads");
 }
 
 TileServer::~TileServer() { Stop(); }
@@ -79,22 +83,54 @@ Status TileServer::Start() {
       stopping_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("server already started");
   }
+  // A server sized for N connections must also absorb an N-connection
+  // burst: a backlog below max_connections drops SYNs during connect
+  // storms and the clients stall on kernel retransmit timers.
+  const int backlog = std::max(
+      options_.backlog, static_cast<int>(options_.max_connections));
   Result<Listener> listener =
-      Listener::Bind(options_.port, options_.backlog, options_.loopback_only);
+      Listener::Bind(options_.port, backlog, options_.loopback_only);
   if (!listener.ok()) return listener.status();
   listener_ = std::move(listener).MoveValue();
   port_ = listener_.port();
+  if (options_.event_loop) return StartEventLoop();
   pool_ =
       std::make_unique<ThreadPool>(std::max<size_t>(options_.max_connections,
                                                     1));
+  threads_gauge_->Set(1 + static_cast<int64_t>(pool_->size()));
   running_.store(true, std::memory_order_release);
   listen_thread_ = std::thread([this] { ListenLoop(); });
+  return Status::OK();
+}
+
+Status TileServer::StartEventLoop() {
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  if (!loop.ok()) return loop.status();
+  loop_ = std::move(loop).MoveValue();
+  // The listener's tag is the Listener itself; connections tag their
+  // EventConn. One fixed worker pool executes requests — connection count
+  // is bounded by `max_connections` fds, not by threads.
+  Status st = loop_->Add(listener_.fd(), /*want_read=*/true,
+                         /*want_write=*/false, &listener_);
+  if (!st.ok()) return st;
+  const size_t workers =
+      options_.event_loop_workers != 0
+          ? options_.event_loop_workers
+          : std::clamp<size_t>(ThreadPool::DefaultThreadCount(), 2, 8);
+  pool_ = std::make_unique<ThreadPool>(workers);
+  threads_gauge_->Set(1 + static_cast<int64_t>(pool_->size()));
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { EventLoopMain(); });
   return Status::OK();
 }
 
 void TileServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stopping_.store(true, std::memory_order_release);
+  if (options_.event_loop) {
+    StopEventLoop();
+    return;
+  }
   if (listen_thread_.joinable()) listen_thread_.join();
   listener_.Close();
 
@@ -254,6 +290,462 @@ void TileServer::ServeConnection(std::shared_ptr<Socket> sock) {
     --active_conns_;
   }
   drain_cv_.notify_all();
+}
+
+/// One multiplexed connection: a small state machine driven by readiness
+/// events on the loop thread. While `kExecuting` the fd is parked (no
+/// interest) so level-triggered readiness does not spin.
+struct TileServer::EventConn {
+  enum class State { kHeader, kPayload, kExecuting, kWriting };
+
+  Socket sock;
+  State state = State::kHeader;
+  uint8_t header_raw[kHeaderBytes];
+  FrameHeader header;
+  std::vector<uint8_t> in;  // payload being received (moved to the worker)
+  size_t got = 0;
+  std::vector<uint8_t> out;  // encoded response frame being flushed
+  size_t out_pos = 0;
+  bool close_after_send = false;
+  /// Closed (hangup/forced) while a worker still owes a completion.
+  bool doomed = false;
+  /// A worker owns a pending completion for this connection.
+  bool job_outstanding = false;
+  bool in_admission_queue = false;
+  Clock::time_point idle_since;
+  Clock::time_point queued_at;
+  Clock::time_point request_start;
+  Deadline request_deadline = Deadline::max();
+};
+
+void TileServer::StopEventLoop() {
+  if (loop_ != nullptr) loop_->Wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  listener_.Close();
+  // Joining the workers guarantees no one references loop_ or the
+  // connection objects afterwards; late completions just settle gauges.
+  pool_.reset();
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    for (auto& completion : completions_) {
+      (void)completion;
+      inflight_gauge_->Add(-1);
+    }
+    completions_.clear();
+  }
+  econns_.clear();
+  ev_zombies_.clear();
+  ev_live_.clear();
+  loop_.reset();
+}
+
+void TileServer::EventLoopMain() {
+  std::vector<EventLoop::Event> events;
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+  // Sweeping walks every connection; under load the loop iterates once
+  // per completion, so an unthrottled sweep is O(connections) per request.
+  // Timeouts only need coarse granularity.
+  constexpr auto kSweepInterval = std::chrono::milliseconds(10);
+  Clock::time_point last_sweep = Clock::now();
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire) && !draining) {
+      draining = true;
+      drain_deadline =
+          Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+      (void)loop_->Remove(listener_.fd());
+      listener_.Close();
+      // Idle connections close immediately (exactly when a per-connection
+      // thread would notice `stopping_`); in-flight requests, queued
+      // admissions, and pending responses drain below.
+      std::vector<EventConn*> idle;
+      for (auto& [fd, conn] : econns_) {
+        if (conn->state == EventConn::State::kHeader) {
+          idle.push_back(conn.get());
+        } else if (conn->state == EventConn::State::kPayload) {
+          frame_errors_->Add(1);
+          idle.push_back(conn.get());
+        }
+      }
+      for (EventConn* conn : idle) EventCloseConn(conn);
+    }
+    if (draining) {
+      bool writing = false;
+      for (auto& [fd, conn] : econns_) {
+        if (conn->state == EventConn::State::kWriting) {
+          writing = true;
+          break;
+        }
+      }
+      const bool drained =
+          ev_inflight_ == 0 && ev_admission_queue_.empty() && !writing;
+      if (drained || Clock::now() >= drain_deadline) break;
+    }
+
+    Result<size_t> n = loop_->Wait(/*timeout_ms=*/10, &events);
+    eventloop_loops_->Add(1);
+    eventloop_watched_fds_->Set(
+        static_cast<int64_t>(loop_->watched_fds()));
+    if (n.ok() && *n > 0) {
+      eventloop_events_->Add(*n);
+      for (const EventLoop::Event& ev : events) {
+        if (ev.tag == &listener_) {
+          if (!draining) EventAccept();
+          continue;
+        }
+        EventConn* conn = static_cast<EventConn*>(ev.tag);
+        // An earlier event in this batch may have closed the connection.
+        if (ev_live_.count(conn) == 0) continue;
+        EventHandleIo(conn, ev);
+      }
+    }
+
+    // Completions from the workers (they Wake() after pushing).
+    std::vector<std::pair<EventConn*, std::vector<uint8_t>>> finished;
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      finished.swap(completions_);
+    }
+    for (auto& [conn, response] : finished) {
+      EventFinish(conn, std::move(response));
+    }
+
+    const Clock::time_point now = Clock::now();
+    if (now - last_sweep >= kSweepInterval) {
+      last_sweep = now;
+      EventSweep();
+    }
+  }
+
+  // Forced exit: anything still open lost the drain race.
+  for (auto& [fd, conn] : econns_) {
+    conn->sock.Close();
+    conns_gauge_->Add(-1);
+  }
+  eventloop_watched_fds_->Set(0);
+}
+
+void TileServer::EventAccept() {
+  for (;;) {
+    Result<Socket> accepted = listener_.AcceptNonBlocking();
+    if (!accepted.ok()) return;  // drained (or the listener broke)
+    if (econns_.size() >= options_.max_connections) {
+      refused_->Add(1);
+      continue;  // RAII-closes the socket: explicit refusal, no queue
+    }
+    accepted_->Add(1);
+    auto conn = std::make_unique<EventConn>();
+    conn->sock = std::move(accepted).MoveValue();
+    conn->idle_since = Clock::now();
+    const int fd = conn->sock.fd();
+    if (!loop_->Add(fd, /*want_read=*/true, /*want_write=*/false,
+                    conn.get())
+             .ok()) {
+      continue;  // fd limit burst: drop the connection
+    }
+    ev_live_.insert(conn.get());
+    econns_[fd] = std::move(conn);
+    conns_gauge_->Add(1);
+  }
+}
+
+void TileServer::EventHandleIo(EventConn* conn, const EventLoop::Event& ev) {
+  switch (conn->state) {
+    case EventConn::State::kHeader:
+    case EventConn::State::kPayload:
+      (void)EventReadStep(conn);
+      return;
+    case EventConn::State::kWriting:
+      if (ev.writable) {
+        (void)EventWriteStep(conn);
+      } else if (ev.hangup) {
+        EventCloseConn(conn);
+      }
+      return;
+    case EventConn::State::kExecuting:
+      // Parked fds still report hangups; the response has nowhere to go.
+      if (ev.hangup) EventCloseConn(conn);
+      return;
+  }
+}
+
+bool TileServer::EventReadStep(EventConn* conn) {
+  for (;;) {
+    uint8_t* buf = conn->state == EventConn::State::kHeader
+                       ? conn->header_raw
+                       : conn->in.data();
+    const size_t need = conn->state == EventConn::State::kHeader
+                            ? kHeaderBytes
+                            : conn->in.size();
+    while (conn->got < need) {
+      Result<size_t> r = conn->sock.RecvSome(buf + conn->got,
+                                             need - conn->got);
+      if (!r.ok()) {
+        // A clean hangup between requests closes quietly, like the
+        // thread path's NotFound("eof"); a payload cut off mid-message
+        // is a frame error there too.
+        if (conn->state == EventConn::State::kPayload) {
+          frame_errors_->Add(1);
+        }
+        EventCloseConn(conn);
+        return false;
+      }
+      if (*r == 0) return true;  // drained; wait for the next event
+      conn->got += *r;
+    }
+    if (conn->state == EventConn::State::kHeader) {
+      Status st = DecodeHeader(conn->header_raw, &conn->header);
+      if (st.ok() && conn->header.response) {
+        st = Status::Corruption("unexpected response frame from client");
+      }
+      if (!st.ok()) {
+        frame_errors_->Add(1);
+        EventCloseConn(conn);
+        return false;
+      }
+      // The request clock starts once the header is in, as in the
+      // thread path.
+      conn->request_start = Clock::now();
+      conn->request_deadline = DeadlineAfterMs(options_.request_timeout_ms);
+      conn->state = EventConn::State::kPayload;
+      conn->in.assign(conn->header.payload_len, 0);
+      conn->got = 0;
+      continue;  // a zero-length payload completes immediately
+    }
+    Status st = VerifyPayload(conn->header, conn->in);
+    if (!st.ok()) {
+      frame_errors_->Add(1);
+      EventCloseConn(conn);
+      return false;
+    }
+    bytes_received_->Add(kHeaderBytes + conn->in.size());
+    requests_->Add(1);
+    conn->state = EventConn::State::kExecuting;
+    (void)loop_->Update(conn->sock.fd(), /*want_read=*/false,
+                        /*want_write=*/false);
+    EventAdmit(conn);
+    return true;
+  }
+}
+
+void TileServer::EventAdmit(EventConn* conn) {
+  const size_t capacity = std::max<size_t>(options_.max_inflight_requests, 1);
+  if (ev_inflight_ < capacity) {
+    ++ev_inflight_;
+    inflight_gauge_->Add(1);
+    EventExecute(conn);
+    return;
+  }
+  if (ev_admission_queue_.size() >= options_.admission_queue_limit) {
+    rejected_overload_->Add(1);
+    EventSendResponse(conn,
+                      EncodeErrorResponse(Status::Unavailable(
+                          "overloaded: in-flight request limit reached")),
+                      /*close_after_send=*/false);
+    return;
+  }
+  conn->queued_at = Clock::now();
+  conn->in_admission_queue = true;
+  ev_admission_queue_.push_back(conn);
+}
+
+void TileServer::EventExecute(EventConn* conn) {
+  conn->job_outstanding = true;
+  pool_->Submit([this, conn, op = conn->header.op,
+                 payload = std::move(conn->in)] {
+    const uint64_t trace_id = store_->trace()->NextTraceId();
+    std::vector<uint8_t> response;
+    {
+      obs::TraceScope span(store_->trace(), trace_id, WireOpName(op).data());
+      if (options_.debug_handler_delay_ms > 0) {
+        // Sliced so shutdown is never held up by the debug delay.
+        const Deadline wake = DeadlineAfterMs(options_.debug_handler_delay_ms);
+        while (Clock::now() < wake &&
+               !stopping_.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      }
+      response = Dispatch(op, payload, trace_id);
+    }
+    // One wake per queue transition, not per completion: the loop drains
+    // the whole queue each iteration, so a non-empty queue already has a
+    // pending wake-up and further writes to the pipe would only add
+    // syscall churn under load.
+    bool first = false;
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      first = completions_.empty();
+      completions_.emplace_back(conn, std::move(response));
+    }
+    if (first) loop_->Wake();
+  });
+}
+
+void TileServer::EventFinish(EventConn* conn,
+                             std::vector<uint8_t> response) {
+  conn->job_outstanding = false;
+  --ev_inflight_;
+  inflight_gauge_->Add(-1);
+
+  if (conn->doomed) {
+    // Peer hung up while the request ran; drop the response and the husk.
+    for (auto it = ev_zombies_.begin(); it != ev_zombies_.end(); ++it) {
+      if (it->get() == conn) {
+        ev_zombies_.erase(it);
+        break;
+      }
+    }
+  } else {
+    op_latency_ms_[static_cast<size_t>(conn->header.op)]->Observe(
+        ElapsedMs(conn->request_start));
+    bool close_after_send = false;
+    if (Clock::now() > conn->request_deadline) {
+      // Finished after its deadline: the client has likely given up;
+      // answer with a timeout status and drop the connection.
+      request_timeouts_->Add(1);
+      response = EncodeErrorResponse(Status::DeadlineExceeded(
+          "request deadline expired on the server"));
+      close_after_send = true;
+    }
+    EventSendResponse(conn, std::move(response), close_after_send);
+  }
+
+  // Freed slots admit queued waiters in arrival order.
+  const size_t capacity = std::max<size_t>(options_.max_inflight_requests, 1);
+  while (ev_inflight_ < capacity && !ev_admission_queue_.empty()) {
+    EventConn* next = ev_admission_queue_.front();
+    ev_admission_queue_.pop_front();
+    next->in_admission_queue = false;
+    ++ev_inflight_;
+    inflight_gauge_->Add(1);
+    EventExecute(next);
+  }
+}
+
+void TileServer::EventSendResponse(EventConn* conn,
+                                   std::vector<uint8_t> payload,
+                                   bool close_after_send) {
+  conn->out = EncodeFrame(conn->header.op, /*response=*/true,
+                          conn->header.request_id, payload);
+  conn->out_pos = 0;
+  conn->close_after_send = close_after_send;
+  conn->state = EventConn::State::kWriting;
+  if (close_after_send) {
+    // A timeout answer gets a fresh grace deadline — the request's own
+    // has already expired.
+    conn->request_deadline = DeadlineAfterMs(options_.request_timeout_ms);
+  }
+  // Optimistic flush; anything left waits for writability.
+  if (EventWriteStep(conn) &&
+      conn->state == EventConn::State::kWriting) {
+    (void)loop_->Update(conn->sock.fd(), /*want_read=*/false,
+                        /*want_write=*/true);
+  }
+}
+
+bool TileServer::EventWriteStep(EventConn* conn) {
+  while (conn->out_pos < conn->out.size()) {
+    Result<size_t> put = conn->sock.SendSome(conn->out.data() + conn->out_pos,
+                                             conn->out.size() - conn->out_pos);
+    if (!put.ok()) {
+      EventCloseConn(conn);
+      return false;
+    }
+    if (*put == 0) return true;  // kernel buffer full; wait for writable
+    conn->out_pos += *put;
+  }
+  bytes_sent_->Add(conn->out.size());
+  conn->out.clear();
+  if (conn->close_after_send ||
+      stopping_.load(std::memory_order_acquire)) {
+    EventCloseConn(conn);
+    return false;
+  }
+  conn->state = EventConn::State::kHeader;
+  conn->got = 0;
+  conn->idle_since = Clock::now();
+  conn->request_deadline = Deadline::max();
+  (void)loop_->Update(conn->sock.fd(), /*want_read=*/true,
+                      /*want_write=*/false);
+  return true;
+}
+
+void TileServer::EventCloseConn(EventConn* conn) {
+  ev_live_.erase(conn);
+  if (conn->in_admission_queue) {
+    for (auto it = ev_admission_queue_.begin();
+         it != ev_admission_queue_.end(); ++it) {
+      if (*it == conn) {
+        ev_admission_queue_.erase(it);
+        break;
+      }
+    }
+    conn->in_admission_queue = false;
+  }
+  const int fd = conn->sock.fd();
+  (void)loop_->Remove(fd);
+  conn->sock.Close();
+  conns_gauge_->Add(-1);
+  auto it = econns_.find(fd);
+  if (it == econns_.end()) return;
+  if (conn->job_outstanding) {
+    // A worker still owes a completion that names this object; keep the
+    // husk until EventFinish reaps it.
+    conn->doomed = true;
+    ev_zombies_.push_back(std::move(it->second));
+  }
+  econns_.erase(it);
+}
+
+void TileServer::EventSweep() {
+  const Clock::time_point now = Clock::now();
+
+  // Queued admissions time out exactly like a thread blocked in
+  // `Admission::Acquire`: after `admission_wait_ms`, overloaded.
+  while (!ev_admission_queue_.empty()) {
+    EventConn* front = ev_admission_queue_.front();
+    if (now - front->queued_at <
+        std::chrono::milliseconds(options_.admission_wait_ms)) {
+      break;
+    }
+    ev_admission_queue_.pop_front();
+    front->in_admission_queue = false;
+    rejected_overload_->Add(1);
+    EventSendResponse(front,
+                      EncodeErrorResponse(Status::Unavailable(
+                          "overloaded: in-flight request limit reached")),
+                      /*close_after_send=*/false);
+  }
+
+  std::vector<EventConn*> idle;
+  std::vector<EventConn*> overdue;
+  for (auto& [fd, conn] : econns_) {
+    switch (conn->state) {
+      case EventConn::State::kHeader:
+        if (options_.idle_timeout_ms > 0 &&
+            now - conn->idle_since >
+                std::chrono::milliseconds(options_.idle_timeout_ms)) {
+          idle.push_back(conn.get());
+        }
+        break;
+      case EventConn::State::kPayload:
+      case EventConn::State::kWriting:
+        if (now > conn->request_deadline) overdue.push_back(conn.get());
+        break;
+      case EventConn::State::kExecuting:
+        break;  // completion handles its own deadline accounting
+    }
+  }
+  for (EventConn* conn : idle) {
+    idle_disconnects_->Add(1);
+    EventCloseConn(conn);
+  }
+  for (EventConn* conn : overdue) {
+    // A payload that never finishes arriving is a frame error (the thread
+    // path's RecvAll deadline); a write that cannot flush closes quietly.
+    if (conn->state == EventConn::State::kPayload) frame_errors_->Add(1);
+    EventCloseConn(conn);
+  }
 }
 
 std::vector<uint8_t> TileServer::Dispatch(WireOp op,

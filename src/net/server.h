@@ -4,15 +4,20 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <shared_mutex>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "mdd/mdd_store.h"
+#include "net/event_loop.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
@@ -58,6 +63,18 @@ struct TileServerOptions {
   /// executing, making overload and deadline behaviour deterministic to
   /// test. 0 in production.
   int debug_handler_delay_ms = 0;
+  /// Event-loop mode (DESIGN.md §11): one loop thread multiplexes every
+  /// connection over readiness notifications (epoll, or poll when forced
+  /// with `TILESTORE_EVENT_LOOP=poll`) and a small fixed worker pool
+  /// executes requests, so thousands of mostly-idle connections cost file
+  /// descriptors rather than threads. Limits, deadlines, drain semantics,
+  /// and all `net.*` metrics behave exactly as in thread-per-connection
+  /// mode.
+  bool event_loop = false;
+  /// Request-execution workers in event-loop mode; 0 picks a machine
+  /// default. Ignored in thread-per-connection mode, which sizes its pool
+  /// by `max_connections`.
+  size_t event_loop_workers = 0;
 };
 
 /// \brief TCP front end for one `MDDStore` (DESIGN.md §9).
@@ -121,6 +138,33 @@ class TileServer {
 
   void ListenLoop();
   void ServeConnection(std::shared_ptr<Socket> sock);
+
+  // --- Event-loop mode (options_.event_loop). All EventXxx methods and
+  // all ev_* state below belong to the loop thread exclusively; workers
+  // only push into `completions_` (mutex) and call `loop_->Wake()`.
+  struct EventConn;
+  Status StartEventLoop();
+  void StopEventLoop();
+  void EventLoopMain();
+  void EventAccept();
+  void EventHandleIo(EventConn* conn, const EventLoop::Event& ev);
+  /// Drains readable bytes, advancing kHeader -> kPayload -> admission.
+  /// Returns false when the connection was closed.
+  bool EventReadStep(EventConn* conn);
+  /// Flushes pending response bytes. Returns false when closed.
+  bool EventWriteStep(EventConn* conn);
+  /// Admission control: execute, queue, or reject as overloaded.
+  void EventAdmit(EventConn* conn);
+  /// Hands the parked request to a pool worker.
+  void EventExecute(EventConn* conn);
+  /// Completion (loop thread): deadline check, response, next waiter.
+  void EventFinish(EventConn* conn, std::vector<uint8_t> response);
+  void EventSendResponse(EventConn* conn, std::vector<uint8_t> payload,
+                         bool close_after_send);
+  void EventCloseConn(EventConn* conn);
+  /// Periodic timeouts: idle connections, stalled payloads/writes, and
+  /// admission-queue waits.
+  void EventSweep();
   /// Decodes and executes one request; returns the response payload.
   std::vector<uint8_t> Dispatch(WireOp op,
                                 const std::vector<uint8_t>& payload,
@@ -158,6 +202,18 @@ class TileServer {
   std::condition_variable drain_cv_;
   size_t active_conns_ = 0;
 
+  // Event-loop state (loop thread only, except completions_/its mutex).
+  std::unique_ptr<EventLoop> loop_;
+  std::thread loop_thread_;
+  std::unordered_map<int, std::unique_ptr<EventConn>> econns_;  // by fd
+  std::unordered_set<EventConn*> ev_live_;  // liveness check for event tags
+  // Closed while a worker still owes a completion; destroyed at finish.
+  std::vector<std::unique_ptr<EventConn>> ev_zombies_;
+  size_t ev_inflight_ = 0;
+  std::deque<EventConn*> ev_admission_queue_;
+  std::mutex completions_mu_;
+  std::vector<std::pair<EventConn*, std::vector<uint8_t>>> completions_;
+
   // net.* metrics, resolved once at construction.
   obs::Counter* accepted_;
   obs::Counter* refused_;
@@ -172,6 +228,13 @@ class TileServer {
   obs::Counter* bytes_sent_;
   // Indexed by WireOp value (1..6); [0] unused.
   std::vector<obs::Histogram*> op_latency_ms_;
+  // Registered in both modes (zero in thread-per-connection mode) so
+  // snapshots always carry the series.
+  obs::Counter* eventloop_loops_;
+  obs::Counter* eventloop_events_;
+  obs::Gauge* eventloop_watched_fds_;
+  // Server threads: 1 + pool size (max_connections or event_loop workers).
+  obs::Gauge* threads_gauge_;
 };
 
 }  // namespace net

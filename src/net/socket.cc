@@ -181,6 +181,27 @@ Status Socket::RecvAll(uint8_t* out, size_t n, Deadline deadline,
   return Status::OK();
 }
 
+Result<size_t> Socket::RecvSome(uint8_t* out, size_t n) {
+  for (;;) {
+    const ssize_t got = ::recv(fd_, out, n, 0);
+    if (got > 0) return static_cast<size_t>(got);
+    if (got == 0) return Status::NotFound("eof");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return Status::IOError(ErrnoMessage("recv"));
+  }
+}
+
+Result<size_t> Socket::SendSome(const uint8_t* data, size_t n) {
+  for (;;) {
+    const ssize_t put = ::send(fd_, data, n, MSG_NOSIGNAL);
+    if (put >= 0) return static_cast<size_t>(put);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return Status::IOError(ErrnoMessage("send"));
+  }
+}
+
 void Socket::ShutdownBoth() {
   if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
 }
@@ -256,6 +277,23 @@ Result<Socket> Listener::Accept(int timeout_ms) {
     // SendAll/RecvAll's deadline loop relies on partial-write EAGAIN
     // semantics; a blocking fd would park the connection thread in the
     // kernel past both the deadline and the stop flag.
+    SetNonBlocking(fd);
+    int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(fd);
+  }
+}
+
+Result<Socket> Listener::AcceptNonBlocking() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("no pending connection");
+      }
+      return Status::IOError(ErrnoMessage("accept"));
+    }
     SetNonBlocking(fd);
     int one = 1;
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

@@ -55,6 +55,16 @@ class Socket {
   Status RecvAll(uint8_t* out, size_t n, Deadline deadline,
                  const std::atomic<bool>* cancel = nullptr);
 
+  /// Non-blocking single read for event-loop use: returns the bytes read
+  /// (> 0), 0 when the call would block, `NotFound("eof")` on a clean peer
+  /// close, or `IOError`. The fd must be in non-blocking mode (accepted
+  /// and connected sockets are).
+  Result<size_t> RecvSome(uint8_t* out, size_t n);
+
+  /// Non-blocking single write: bytes written (> 0) or 0 when the call
+  /// would block.
+  Result<size_t> SendSome(const uint8_t* data, size_t n);
+
   /// Shuts down both directions (wakes a peer blocked in a read).
   void ShutdownBoth();
 
@@ -85,6 +95,14 @@ class Listener {
   /// Accepts one connection, waiting at most `timeout_ms`
   /// (-> `DeadlineExceeded` when nothing arrived).
   Result<Socket> Accept(int timeout_ms);
+
+  /// Accepts one pending connection without waiting; `DeadlineExceeded`
+  /// when none is queued. Event-loop companion to registering `fd()` for
+  /// readability.
+  Result<Socket> AcceptNonBlocking();
+
+  /// The listening fd, for event-loop registration.
+  int fd() const { return fd_; }
 
   /// The actually bound port (resolves port 0 requests).
   uint16_t port() const { return port_; }

@@ -94,18 +94,35 @@ Result<Array> RangeQueryExecutor::Execute(MDDObject* object,
   const int parallelism = std::max(options_.parallelism, 1);
   local.parallelism = static_cast<uint64_t>(parallelism);
 
+  // Warm runs may serve decoded tiles straight from the cache; cold runs
+  // always bypass it so the cost model keeps measuring physical retrieval.
+  const bool use_cache = options_.use_tile_cache && !options_.cold &&
+                         store_->tile_cache()->enabled() &&
+                         object->cache_id() != 0;
+  // Negative cache: a warm region remembered as intersecting no tiles
+  // skips the index walk; the query falls through with zero hits and
+  // default-fills as usual.
+  const bool known_empty =
+      use_cache && store_->tile_cache()->LookupNegativeRegion(
+                       object->cache_id(), resolved.ToString());
+
   // Phase 1 (t_ix): probe the tile index.
   const Clock::time_point ix_start = Clock::now();
-  std::vector<TileEntry> hits = [&] {
+  std::vector<TileEntry> hits;
+  if (!known_empty) {
     obs::TraceScope span(trace, trace_id, "index_probe");
-    return object->FindTiles(resolved);
-  }();
+    hits = object->FindTiles(resolved);
+    local.index_nodes_visited = object->index()->last_nodes_visited();
+    index_probes_->Add(1);
+    index_nodes_visited_->Add(local.index_nodes_visited);
+    if (use_cache && hits.empty()) {
+      store_->tile_cache()->InsertNegativeRegion(object->cache_id(),
+                                                 resolved.ToString());
+    }
+  }
   local.t_ix_measured_ms = ElapsedMs(ix_start);
-  local.index_nodes_visited = object->index()->last_nodes_visited();
   local.t_ix_model_ms = static_cast<double>(local.index_nodes_visited) *
                         options_.cost.index_node_ms;
-  index_probes_->Add(1);
-  index_nodes_visited_->Add(local.index_nodes_visited);
 
   // Phase 2 (t_o): retrieve the intersected tiles from the storage system,
   // in physical order (ascending BLOB id = ascending page position) so
@@ -114,12 +131,6 @@ Result<Array> RangeQueryExecutor::Execute(MDDObject* object,
             [](const TileEntry& a, const TileEntry& b) {
               return a.blob < b.blob;
             });
-
-  // Warm runs may serve decoded tiles straight from the cache; cold runs
-  // always bypass it so the cost model keeps measuring physical retrieval.
-  const bool use_cache = options_.use_tile_cache && !options_.cold &&
-                         store_->tile_cache()->enabled() &&
-                         object->cache_id() != 0;
 
   TileIOStats io;
   if (parallelism <= 1 && use_cache) {
@@ -379,18 +390,32 @@ Result<double> RangeQueryExecutor::ExecuteAggregate(MDDObject* object,
   const int parallelism = std::max(options_.parallelism, 1);
   local.parallelism = static_cast<uint64_t>(parallelism);
 
+  const bool use_cache = options_.use_tile_cache && !options_.cold &&
+                         store_->tile_cache()->enabled() &&
+                         object->cache_id() != 0;
+  // Negative cache, as in Execute: a region known empty skips the index
+  // walk and folds straight over default cells below.
+  const bool known_empty =
+      use_cache && store_->tile_cache()->LookupNegativeRegion(
+                       object->cache_id(), resolved.ToString());
+
   // Phase 1 (t_ix): probe the tile index.
   const Clock::time_point ix_start = Clock::now();
-  std::vector<TileEntry> hits = [&] {
+  std::vector<TileEntry> hits;
+  if (!known_empty) {
     obs::TraceScope span(trace, trace_id, "index_probe");
-    return object->FindTiles(resolved);
-  }();
+    hits = object->FindTiles(resolved);
+    local.index_nodes_visited = object->index()->last_nodes_visited();
+    index_probes_->Add(1);
+    index_nodes_visited_->Add(local.index_nodes_visited);
+    if (use_cache && hits.empty()) {
+      store_->tile_cache()->InsertNegativeRegion(object->cache_id(),
+                                                 resolved.ToString());
+    }
+  }
   local.t_ix_measured_ms = ElapsedMs(ix_start);
-  local.index_nodes_visited = object->index()->last_nodes_visited();
   local.t_ix_model_ms = static_cast<double>(local.index_nodes_visited) *
                         options_.cost.index_node_ms;
-  index_probes_->Add(1);
-  index_nodes_visited_->Add(local.index_nodes_visited);
 
   std::sort(hits.begin(), hits.end(),
             [](const TileEntry& a, const TileEntry& b) {
@@ -412,9 +437,6 @@ Result<double> RangeQueryExecutor::ExecuteAggregate(MDDObject* object,
       op == AggregateOp::kAvg ? AggregateOp::kSum : op;
   const bool run_kernel =
       options_.aggregate_kernel == RangeQueryOptions::AggregateKernel::kRun;
-  const bool use_cache = options_.use_tile_cache && !options_.cold &&
-                         store_->tile_cache()->enabled() &&
-                         object->cache_id() != 0;
 
   TileIOStats io;
   TileIOOptions io_options;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_set>
 
 namespace tilestore {
 
@@ -176,8 +177,187 @@ Result<std::vector<uint8_t>> BlobStore::GetImpl(BlobId id, bool coalesce,
     stats->physical_runs += runs;
     stats->pages += pages_touched;
     stats->fell_back = stats->fell_back || fell_back;
+    if (fell_back) ++stats->fallback_chains;
   }
   return out;
+}
+
+Status BlobStore::GetBatch(std::span<const BlobId> ids,
+                           std::vector<std::vector<uint8_t>>* payloads,
+                           BlobReadStats* stats) {
+  PageFile* file = pool_->page_file();
+  const size_t page_size = file->page_size();
+  const size_t n = ids.size();
+  payloads->assign(n, {});
+  if (n == 0) return Status::OK();
+
+  uint64_t runs = 0;
+  uint64_t pages_touched = 0;
+  bool fell_back = false;
+  uint64_t fallback_chain_count = 0;
+
+  // Repeated ids are served through the sequential path at their logical
+  // position (all cache hits by then), so the batch never reads one page
+  // twice where the sequential loop would have hit the pool.
+  std::unordered_set<BlobId> seen;
+  std::vector<uint8_t> dup(n, 0);
+  std::vector<size_t> batch_index(n, 0);  // request index in phase A
+  size_t unique = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!seen.insert(ids[i]).second) {
+      dup[i] = 1;
+    } else {
+      batch_index[i] = unique++;
+    }
+  }
+
+  // Phase A: every header page, one batch. Charges are deferred so they
+  // can be replayed interleaved with each BLOB's continuation charges.
+  std::vector<uint8_t> headers(unique * page_size);
+  std::vector<PageRunRequest> header_runs;
+  header_runs.reserve(unique);
+  for (size_t i = 0; i < n; ++i) {
+    if (dup[i] != 0) continue;
+    header_runs.push_back(PageRunRequest{
+        ids[i], 1, headers.data() + batch_index[i] * page_size});
+  }
+  std::vector<DeferredPageCharge> header_charges;
+  Status st = pool_->ReadRunBatch(header_runs, &runs, &header_charges);
+  if (!st.ok()) return st;
+
+  // Parse headers and plan the speculative continuation runs.
+  struct Plan {
+    uint64_t size = 0;
+    PageId next = kInvalidPageId;
+    bool speculate = false;
+    size_t cont_index = 0;  // request index in phase B
+    uint64_t rem = 0;
+  };
+  std::vector<Plan> plans(n);
+  std::vector<PageRunRequest> cont_runs;
+  std::vector<std::vector<uint8_t>> cont_bufs;
+  for (size_t i = 0; i < n; ++i) {
+    if (dup[i] != 0) continue;
+    const uint8_t* header = headers.data() + batch_index[i] * page_size;
+    if (GetU32(header) != kBlobMagic) {
+      return Status::Corruption("page " + std::to_string(ids[i]) +
+                                " is not a BLOB header");
+    }
+    Plan& plan = plans[i];
+    plan.size = GetU64(header + 8);
+    plan.next = GetU64(header + 16);
+    const uint64_t head_chunk =
+        std::min<uint64_t>(plan.size, header_capacity());
+    if (head_chunk < plan.size) {
+      plan.rem = (plan.size - head_chunk + continuation_capacity() - 1) /
+                 continuation_capacity();
+      if (plan.next == ids[i] + 1 &&
+          ids[i] + 1 + plan.rem <= file->page_count()) {
+        plan.speculate = true;
+        plan.cont_index = cont_runs.size();
+        cont_bufs.emplace_back(plan.rem * page_size);
+        cont_runs.push_back(
+            PageRunRequest{ids[i] + 1, plan.rem, cont_bufs.back().data()});
+      }
+    }
+  }
+
+  // Phase B: every speculative continuation run, one batch.
+  std::vector<DeferredPageCharge> cont_charges;
+  st = pool_->ReadRunBatch(cont_runs, &runs, &cont_charges);
+  if (!st.ok()) return st;
+
+  // Assembly: per BLOB in `ids` order, replay its deferred charges
+  // (header span, then continuation spans) and walk any fragmented tail
+  // with immediately-charged reads — the exact charge sequence of a
+  // sequential GetCoalesced loop.
+  size_t header_cursor = 0;
+  size_t cont_cursor = 0;
+  std::vector<uint8_t> page(page_size);
+  for (size_t i = 0; i < n; ++i) {
+    if (dup[i] != 0) {
+      BlobReadStats dup_stats;
+      Result<std::vector<uint8_t>> copy =
+          GetImpl(ids[i], /*coalesce=*/true, &dup_stats);
+      if (!copy.ok()) return copy.status();
+      runs += dup_stats.physical_runs;
+      pages_touched += dup_stats.pages;
+      fell_back = fell_back || dup_stats.fell_back;
+      fallback_chain_count += dup_stats.fallback_chains;
+      (*payloads)[i] = std::move(copy).MoveValue();
+      continue;
+    }
+    const Plan& plan = plans[i];
+    while (header_cursor < header_charges.size() &&
+           header_charges[header_cursor].request == batch_index[i]) {
+      file->ChargeReadRun(header_charges[header_cursor].first,
+                          header_charges[header_cursor].count);
+      ++header_cursor;
+    }
+
+    const uint8_t* header = headers.data() + batch_index[i] * page_size;
+    std::vector<uint8_t>& out = (*payloads)[i];
+    out.reserve(plan.size);
+    const size_t head_chunk =
+        std::min<uint64_t>(plan.size, header_capacity());
+    out.insert(out.end(), header + kHeaderBytes,
+               header + kHeaderBytes + head_chunk);
+    ++pages_touched;
+    PageId next = plan.next;
+    bool blob_fell_back = false;
+
+    if (plan.speculate) {
+      while (cont_cursor < cont_charges.size() &&
+             cont_charges[cont_cursor].request == plan.cont_index) {
+        file->ChargeReadRun(cont_charges[cont_cursor].first,
+                            cont_charges[cont_cursor].count);
+        ++cont_cursor;
+      }
+      const std::vector<uint8_t>& buf = cont_bufs[plan.cont_index];
+      for (uint64_t j = 0; j < plan.rem && out.size() < plan.size; ++j) {
+        if (next != ids[i] + 1 + j) {
+          blob_fell_back = true;
+          break;
+        }
+        const uint8_t* p = buf.data() + j * page_size;
+        next = GetU64(p);
+        const size_t chunk = std::min<uint64_t>(plan.size - out.size(),
+                                                continuation_capacity());
+        out.insert(out.end(), p + kContinuationBytes,
+                   p + kContinuationBytes + chunk);
+        ++pages_touched;
+      }
+    } else if (plan.rem > 0 && next != kInvalidPageId) {
+      blob_fell_back = true;
+    }
+    if (blob_fell_back) {
+      fell_back = true;
+      ++fallback_chain_count;
+    }
+
+    while (out.size() < plan.size) {
+      if (next == kInvalidPageId) {
+        return Status::Corruption("BLOB chain of " + std::to_string(ids[i]) +
+                                  " ends before its declared size");
+      }
+      st = pool_->ReadRun(next, 1, page.data(), &runs);
+      if (!st.ok()) return st;
+      next = GetU64(page.data());
+      const size_t chunk = std::min<uint64_t>(plan.size - out.size(),
+                                              continuation_capacity());
+      out.insert(out.end(), page.data() + kContinuationBytes,
+                 page.data() + kContinuationBytes + chunk);
+      ++pages_touched;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->physical_runs += runs;
+    stats->pages += pages_touched;
+    stats->fell_back = stats->fell_back || fell_back;
+    stats->fallback_chains += fallback_chain_count;
+  }
+  return Status::OK();
 }
 
 Result<uint64_t> BlobStore::Size(BlobId id) {

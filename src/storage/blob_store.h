@@ -2,6 +2,7 @@
 #define TILESTORE_STORAGE_BLOB_STORE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -24,6 +25,9 @@ struct BlobReadStats {
   /// True when the page chain was not consecutive and the read fell back
   /// to pointer walking for the tail.
   bool fell_back = false;
+  /// Number of BLOBs that fell back (equals `fell_back ? 1 : 0` for the
+  /// single-BLOB calls; `GetBatch` counts each fragmented chain).
+  uint64_t fallback_chains = 0;
 };
 
 /// \brief Variable-length BLOBs on top of the page file — the storage
@@ -62,6 +66,20 @@ class BlobStore {
   /// speculatively read pages.
   Result<std::vector<uint8_t>> GetCoalesced(BlobId id,
                                             BlobReadStats* stats = nullptr);
+
+  /// Batched `GetCoalesced` over many BLOBs: all header pages are
+  /// submitted as one `BufferPool::ReadRunBatch`, then all speculative
+  /// continuation runs as a second one, so every miss span of the whole
+  /// set is in flight concurrently instead of read in a blocking loop.
+  /// Disk-model charges are *deferred* by the pool and replayed here per
+  /// BLOB in `ids` order, which keeps seek accounting (and `model_ms`)
+  /// identical to calling `GetCoalesced` once per id. Fragmented chains
+  /// fall back to the pointer walk for their tail, exactly like
+  /// `GetCoalesced`. `payloads` is resized to `ids.size()`; on error the
+  /// first failure in `ids` order is returned. Thread-safe.
+  Status GetBatch(std::span<const BlobId> ids,
+                  std::vector<std::vector<uint8_t>>* payloads,
+                  BlobReadStats* stats = nullptr);
 
   /// Payload size of a BLOB without reading the payload.
   Result<uint64_t> Size(BlobId id);

@@ -138,6 +138,90 @@ Status BufferPool::ReadRun(PageId first, uint64_t count, uint8_t* out,
   return Status::OK();
 }
 
+Status BufferPool::ReadRunBatch(
+    std::span<const PageRunRequest> runs, uint64_t* physical_runs,
+    std::vector<DeferredPageCharge>* deferred_charges) {
+  const size_t page_size = file_->page_size();
+  // The staged-overlay path is sequential by construction; honor it the
+  // same way ReadRun does. Charges happen inline, in request order.
+  if (TransactionContext* txn = ActiveTxn(); txn != nullptr) {
+    bool staged = false;
+    for (const PageRunRequest& run : runs) {
+      if (txn->HasStagedInRange(run.first, run.count)) {
+        staged = true;
+        break;
+      }
+    }
+    if (staged) {
+      for (const PageRunRequest& run : runs) {
+        Status st = ReadRun(run.first, run.count, run.out, physical_runs);
+        if (!st.ok()) return st;
+      }
+      return Status::OK();
+    }
+  }
+
+  // Pass 1: serve cached pages and collect the maximal miss spans of every
+  // run, in request order — the same spans the sequential path would read.
+  struct MissSpan {
+    size_t request;
+    uint64_t begin;  // page offset within the request's run
+    uint64_t len;
+  };
+  std::vector<MissSpan> spans;
+  for (size_t r = 0; r < runs.size(); ++r) {
+    const PageRunRequest& run = runs[r];
+    uint64_t span_begin = 0;
+    uint64_t span_len = 0;
+    for (uint64_t i = 0; i < run.count; ++i) {
+      if (TryReadCached(run.first + i, run.out + i * page_size)) {
+        if (span_len != 0) {
+          spans.push_back(MissSpan{r, span_begin, span_len});
+          span_len = 0;
+        }
+        continue;
+      }
+      if (span_len == 0) span_begin = i;
+      ++span_len;
+    }
+    if (span_len != 0) spans.push_back(MissSpan{r, span_begin, span_len});
+  }
+  if (spans.empty()) return Status::OK();
+
+  // Pass 2: one physical batch for every span, charged later (or not at
+  // all here, when the caller replays the deferred charges).
+  std::vector<PageRunRead> reads(spans.size());
+  for (size_t s = 0; s < spans.size(); ++s) {
+    const MissSpan& span = spans[s];
+    const PageRunRequest& run = runs[span.request];
+    reads[s].first = run.first + span.begin;
+    reads[s].count = span.len;
+    reads[s].out = run.out + span.begin * page_size;
+  }
+  Status st = file_->ReadBatch(reads, /*charge_model=*/false);
+  if (!st.ok()) return st;
+
+  // Pass 3: account and cache in span order, exactly like flush_span.
+  for (size_t s = 0; s < spans.size(); ++s) {
+    const MissSpan& span = spans[s];
+    const PageRunRead& read = reads[s];
+    for (uint64_t i = 0; i < span.len; ++i) {
+      const PageId id = read.first + i;
+      ShardFor(id).misses->Add(1);
+      InsertEntry(id, read.out + i * page_size);
+    }
+    miss_run_pages_->Observe(static_cast<double>(span.len));
+    if (deferred_charges != nullptr) {
+      deferred_charges->push_back(
+          DeferredPageCharge{span.request, read.first, span.len});
+    } else {
+      file_->ChargeReadRun(read.first, span.len);
+    }
+  }
+  if (physical_runs != nullptr) *physical_runs += spans.size();
+  return Status::OK();
+}
+
 Status BufferPool::WritePage(PageId id, const uint8_t* data) {
   // No-steal: inside a transaction nothing reaches the file until commit.
   if (TransactionContext* txn = ActiveTxn(); txn != nullptr) {

@@ -5,6 +5,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -15,6 +16,24 @@
 namespace tilestore {
 
 class TxnManager;
+
+/// One logical page run in a `BufferPool::ReadRunBatch` request.
+struct PageRunRequest {
+  PageId first = kInvalidPageId;
+  uint64_t count = 0;
+  uint8_t* out = nullptr;
+};
+
+/// A disk-model charge owed for a physical miss span read by
+/// `ReadRunBatch`: `request` indexes the originating `PageRunRequest`.
+/// The caller replays these through `PageFile::ChargeReadRun` in its own
+/// logical order, which is how the batched path reproduces the
+/// access-order-dependent seek accounting of the sequential path.
+struct DeferredPageCharge {
+  size_t request = 0;
+  PageId first = kInvalidPageId;
+  uint64_t count = 0;
+};
 
 /// \brief Write-through LRU page cache in front of a `PageFile`.
 ///
@@ -67,6 +86,19 @@ class BufferPool {
   /// number of coalesced physical reads issued.
   Status ReadRun(PageId first, uint64_t count, uint8_t* out,
                  uint64_t* physical_runs = nullptr);
+
+  /// Batched `ReadRun`: serves cached pages, then submits every miss span
+  /// of every run as one `PageFile::ReadBatch`, so the spans overlap in
+  /// flight. Hit/miss/eviction counters and the miss-run histogram are
+  /// identical to the equivalent `ReadRun` loop. With `deferred_charges`
+  /// non-null the physical reads are NOT charged to the disk model —
+  /// the spans are appended there instead for the caller to replay; with
+  /// null each span is charged immediately in span order. Falls back to
+  /// sequential `ReadRun` calls when the active transaction stages pages
+  /// (the single-writer mutation path, which never batches anyway).
+  Status ReadRunBatch(std::span<const PageRunRequest> runs,
+                      uint64_t* physical_runs,
+                      std::vector<DeferredPageCharge>* deferred_charges);
 
   /// Writes a page. Outside a transaction: through to the file, refreshing
   /// any cached copy. Inside one: staged in the transaction only.

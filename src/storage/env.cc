@@ -150,6 +150,11 @@ File::~File() {
 }
 
 Status File::ReadAt(uint64_t offset, size_t n, uint8_t* out) const {
+  if (FaultInjector* injector = ActiveFaultInjector()) {
+    if (injector->OnReadAt(path_, offset, n)) {
+      return Status::IOError("injected read failure on " + path_);
+    }
+  }
   size_t done = 0;
   while (done < n) {
     const ssize_t got = ::pread(fd_, out + done, n - done,

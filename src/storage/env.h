@@ -40,6 +40,16 @@ class FaultInjector {
     (void)path;
     return false;
   }
+
+  /// Consulted before each read — both `File::ReadAt` and every op an
+  /// `IoBackend` submits — so batched and sequential reads fail at the
+  /// same boundaries. Returning true fails the read with an IOError.
+  virtual bool OnReadAt(const std::string& path, uint64_t offset, size_t n) {
+    (void)path;
+    (void)offset;
+    (void)n;
+    return false;
+  }
 };
 
 /// Installs `injector` globally (nullptr uninstalls). The caller keeps
@@ -138,6 +148,11 @@ class File {
   Result<uint64_t> Size() const;
 
   const std::string& path() const { return path_; }
+
+  /// Raw descriptor, for `IoBackend` implementations that submit reads
+  /// directly to the kernel (io_uring). Read-only use; the `File` keeps
+  /// ownership.
+  int fd() const { return fd_; }
 
  private:
   File(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}

@@ -65,12 +65,18 @@ Result<Tile> TileIOScheduler::FetchOne(const TileEntry& entry,
       }()
                : blobs_->Get(entry.blob);
   if (!data.ok()) return data.status();
-  const double io_ms = ElapsedMs(io_start);
+  if (stats != nullptr) stats->io_summed_ms += ElapsedMs(io_start);
+  return DecodePayload(entry, cell_type, std::move(data).MoveValue(), stats);
+}
 
+Result<Tile> TileIOScheduler::DecodePayload(const TileEntry& entry,
+                                            CellType cell_type,
+                                            std::vector<uint8_t>&& data,
+                                            TileIOStats* stats) {
   const Clock::time_point decode_start = Clock::now();
   const size_t raw_size = entry.domain.CellCountOrDie() * cell_type.size();
   Result<std::vector<uint8_t>> cells =
-      Decompress(entry.compression, data.value(), raw_size);
+      Decompress(entry.compression, data, raw_size);
   if (!cells.ok()) return cells.status();
   Result<Tile> tile =
       Tile::FromBuffer(entry.domain, cell_type, std::move(cells).MoveValue());
@@ -79,7 +85,6 @@ Result<Tile> TileIOScheduler::FetchOne(const TileEntry& entry,
   if (stats != nullptr) {
     ++stats->tiles;
     stats->tile_bytes += tile->size_bytes();
-    stats->io_summed_ms += io_ms;
     stats->decode_summed_ms += ElapsedMs(decode_start);
   }
   return tile;
@@ -162,9 +167,25 @@ Status TileIOScheduler::FetchBatch(
     return Status::OK();
   }
 
-  // Parallel mode: `parallelism` workers drain the sorted batch through a
-  // shared cursor, so retrieval is issued in (approximately) physical page
-  // order while decode and composition overlap across tiles.
+  // Parallel mode: one `GetBatch` covers the whole sorted batch, so every
+  // miss span is handed to the page file's IoBackend in a single
+  // submission; `parallelism` workers then drain decode + composition
+  // through a shared cursor. Charges were replayed inside GetBatch in
+  // sorted-id order, identical to a sequential coalesced loop.
+  std::vector<BlobId> ids(order.size());
+  for (size_t i = 0; i < order.size(); ++i) ids[i] = entries[order[i]].blob;
+
+  const Clock::time_point io_start = Clock::now();
+  std::vector<std::vector<uint8_t>> payloads;
+  BlobReadStats batch_stats;
+  Status batch_status = blobs_->GetBatch(ids, &payloads, &batch_stats);
+  const double batch_io_ms = ElapsedMs(io_start);
+  if (metrics_.fetch_ms != nullptr) metrics_.fetch_ms->Observe(batch_io_ms);
+  if (!batch_status.ok()) {
+    settle_queue();
+    return batch_status;
+  }
+
   std::atomic<size_t> cursor{0};
   std::atomic<uint64_t> done{0};
   std::atomic<bool> failed{false};
@@ -181,14 +202,13 @@ Status TileIOScheduler::FetchBatch(
              (i = cursor.fetch_add(1, std::memory_order_relaxed)) <
                  order.size()) {
         const size_t idx = order[i];
-        const Clock::time_point fetch_start = Clock::now();
+        // The payload is already in memory; the span marks the per-tile
+        // handoff + decode so traces keep one tile_fetch per tile.
         Result<Tile> tile = [&] {
           obs::TraceScope span(options.trace, options.trace_id, "tile_fetch");
-          return FetchOne(entries[idx], cell_type, /*coalesce=*/true, &local);
+          return DecodePayload(entries[idx], cell_type,
+                               std::move(payloads[i]), &local);
         }();
-        if (metrics_.fetch_ms != nullptr) {
-          metrics_.fetch_ms->Observe(ElapsedMs(fetch_start));
-        }
         Status st = tile.ok()
                         ? [&] {
                             obs::TraceScope span(options.trace,
@@ -218,6 +238,9 @@ Status TileIOScheduler::FetchBatch(
   group.Wait();
   completed = done.load(std::memory_order_relaxed);
 
+  merged.coalesced_runs += batch_stats.physical_runs;
+  merged.chain_fallbacks += batch_stats.fallback_chains;
+  merged.io_summed_ms += batch_io_ms;
   if (metrics_.tiles != nullptr) {
     metrics_.tiles->Add(merged.tiles);
     metrics_.coalesced_runs->Add(merged.coalesced_runs);
@@ -359,12 +382,72 @@ Status TileIOScheduler::FetchBatchShared(
     return Status::OK();
   }
 
+  // Parallel mode: cache hits are resolved inline on the caller first, so
+  // the single `GetBatch` submission covers exactly the misses; workers
+  // then drain decode/consume through a shared cursor.
   std::atomic<size_t> cursor{0};
   std::atomic<uint64_t> done{0};
   std::atomic<bool> failed{false};
   std::mutex result_mu;
   Status first_error;
   TileIOStats merged;
+
+  auto publish_metrics = [&] {
+    if (metrics_.tiles != nullptr) {
+      metrics_.tiles->Add(merged.tiles);
+      metrics_.coalesced_runs->Add(merged.coalesced_runs);
+      metrics_.chain_fallbacks->Add(merged.chain_fallbacks);
+    }
+  };
+
+  std::vector<size_t> miss_idx;  // entry indices, still in sorted order
+  miss_idx.reserve(order.size());
+  for (size_t idx : order) {
+    std::shared_ptr<const Tile> hit =
+        cache != nullptr
+            ? cache->Lookup(options.cache_object_id, entries[idx].blob)
+            : nullptr;
+    if (hit == nullptr) {
+      miss_idx.push_back(idx);
+      continue;
+    }
+    ++merged.tiles;
+    merged.tile_bytes += hit->size_bytes();
+    ++merged.cache_hits;
+    Status st = [&] {
+      obs::TraceScope span(options.trace, options.trace_id, "tile_cache_hit");
+      return consume(idx, *hit);
+    }();
+    if (!st.ok()) {
+      publish_metrics();
+      settle_queue();
+      return st;
+    }
+    ++completed;
+    if (metrics_.queue_depth != nullptr) metrics_.queue_depth->Add(-1);
+  }
+
+  std::vector<BlobId> miss_ids(miss_idx.size());
+  for (size_t i = 0; i < miss_idx.size(); ++i) {
+    miss_ids[i] = entries[miss_idx[i]].blob;
+  }
+
+  const Clock::time_point io_start = Clock::now();
+  std::vector<std::vector<uint8_t>> payloads;
+  BlobReadStats batch_stats;
+  Status batch_status = blobs_->GetBatch(miss_ids, &payloads, &batch_stats);
+  if (!miss_idx.empty()) {
+    const double batch_io_ms = ElapsedMs(io_start);
+    merged.io_summed_ms += batch_io_ms;
+    if (metrics_.fetch_ms != nullptr) metrics_.fetch_ms->Observe(batch_io_ms);
+  }
+  merged.coalesced_runs += batch_stats.physical_runs;
+  merged.chain_fallbacks += batch_stats.fallback_chains;
+  if (!batch_status.ok()) {
+    publish_metrics();
+    settle_queue();
+    return batch_status;
+  }
 
   TaskGroup group(options.pool);
   for (int w = 0; w < parallelism; ++w) {
@@ -373,8 +456,56 @@ Status TileIOScheduler::FetchBatchShared(
       size_t i;
       while (!failed.load(std::memory_order_acquire) &&
              (i = cursor.fetch_add(1, std::memory_order_relaxed)) <
-                 order.size()) {
-        Status st = process(order[i], /*coalesce=*/true, &local);
+                 miss_idx.size()) {
+        const size_t idx = miss_idx[i];
+        const TileEntry& entry = entries[idx];
+        Status st;
+        if (options.encoded_filter && options.encoded_filter(idx)) {
+          {
+            // The raw bytes were fetched in the batch; the empty span
+            // keeps traces at one tile_fetch per tile.
+            obs::TraceScope span(options.trace, options.trace_id,
+                                 "tile_fetch");
+          }
+          ++local.tiles;
+          local.tile_bytes +=
+              entry.domain.CellCountOrDie() * cell_type.size();
+          const Clock::time_point consume_start = Clock::now();
+          st = [&] {
+            obs::TraceScope span(options.trace, options.trace_id,
+                                 "tile_reduce_encoded");
+            return options.consume_encoded(idx, payloads[i]);
+          }();
+          local.decode_summed_ms += ElapsedMs(consume_start);
+        } else {
+          Result<Tile> tile = [&] {
+            obs::TraceScope span(options.trace, options.trace_id,
+                                 "tile_fetch");
+            return DecodePayload(entry, cell_type, std::move(payloads[i]),
+                                 &local);
+          }();
+          st = tile.ok()
+                   ? [&] {
+                       obs::TraceScope span(options.trace, options.trace_id,
+                                            "tile_decode");
+                       const Clock::time_point consume_start = Clock::now();
+                       Status cs;
+                       if (cache != nullptr && options.cache_populate) {
+                         std::shared_ptr<const Tile> canonical =
+                             cache->Insert(options.cache_object_id,
+                                           entry.blob,
+                                           std::make_shared<const Tile>(
+                                               std::move(tile).MoveValue()));
+                         cs = consume(idx, *canonical);
+                       } else {
+                         const Tile owned = std::move(tile).MoveValue();
+                         cs = consume(idx, owned);
+                       }
+                       local.decode_summed_ms += ElapsedMs(consume_start);
+                       return cs;
+                     }()
+                   : tile.status();
+        }
         if (!st.ok()) {
           failed.store(true, std::memory_order_release);
           std::lock_guard<std::mutex> lock(result_mu);
@@ -389,13 +520,9 @@ Status TileIOScheduler::FetchBatchShared(
     });
   }
   group.Wait();
-  completed = done.load(std::memory_order_relaxed);
+  completed += done.load(std::memory_order_relaxed);
 
-  if (metrics_.tiles != nullptr) {
-    metrics_.tiles->Add(merged.tiles);
-    metrics_.coalesced_runs->Add(merged.coalesced_runs);
-    metrics_.chain_fallbacks->Add(merged.chain_fallbacks);
-  }
+  publish_metrics();
   settle_queue();
   if (!first_error.ok()) return first_error;
   merged.wall_ms = ElapsedMs(wall_start);

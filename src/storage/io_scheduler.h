@@ -89,11 +89,17 @@ struct TileIOStats {
 ///
 /// A batch of tile BLOB requests is sorted into physical page order
 /// (ascending BLOB id — BLOBs are allocated front to back, so this is disk
-/// order), adjacent page runs are coalesced into single reads charged to
-/// the disk model once per run, and decode + composition work is spread
-/// over a fixed worker pool. At `parallelism = 1` the scheduler degrades
-/// to the exact tile-at-a-time loop of the original implementation, which
-/// keeps the paper's t_o/t_cpu cost tables reproducible.
+/// order) and, with `parallelism > 1`, submitted as *one*
+/// `BlobStore::GetBatch` so every miss span of the whole query is handed
+/// to the page file's `IoBackend` in a single batch (io_uring keeps them
+/// in flight concurrently; the portable backend fans them over a small
+/// pool). Decode + composition then overlap across tiles on a fixed
+/// worker pool. Disk-model charges are replayed inside `GetBatch` in
+/// sorted-id order, so `model_ms`/seek accounting is identical to a
+/// sequential coalesced loop — and independent of the backend. At
+/// `parallelism = 1` the scheduler degrades to the exact tile-at-a-time
+/// loop of the original implementation, which keeps the paper's
+/// t_o/t_cpu cost tables reproducible.
 /// Observability: with an attached registry (`set_metrics`), batches and
 /// tiles are counted under `scheduler.*`, the `scheduler.queue_depth`
 /// gauge tracks tiles admitted but not yet consumed, and histograms record
@@ -150,6 +156,12 @@ class TileIOScheduler {
                         bool coalesce, TileIOStats* stats);
 
  private:
+  /// Decode half of `FetchOne`: selective decompression + tile
+  /// construction from an already-read BLOB payload. Used by the batched
+  /// parallel path, where the I/O happened in one `GetBatch` up front.
+  Result<Tile> DecodePayload(const TileEntry& entry, CellType cell_type,
+                             std::vector<uint8_t>&& data, TileIOStats* stats);
+
   BlobStore* blobs_;
 
   // Registry metrics (null when no registry is attached).

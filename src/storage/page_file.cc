@@ -244,6 +244,20 @@ void PageFile::set_metrics(obs::MetricsRegistry* registry) {
   metrics_.bytes_read = registry->counter("pagefile.bytes_read");
   metrics_.bytes_written = registry->counter("pagefile.bytes_written");
   metrics_.seeks = registry->counter("pagefile.seeks");
+  metrics_.io_batches = registry->counter("io.batches_submitted");
+  metrics_.io_inflight_peak = registry->gauge("io.inflight_peak");
+  metrics_.io_backend_code = registry->gauge("io.backend");
+  metrics_.io_backend_code->Set(
+      io_backend_ != nullptr ? io_backend_->code() : DefaultIoBackend()->code());
+}
+
+void PageFile::set_io_backend(IoBackend* backend) {
+  io_backend_ = backend;
+  if (metrics_.io_backend_code != nullptr) {
+    metrics_.io_backend_code->Set(
+        io_backend_ != nullptr ? io_backend_->code()
+                               : DefaultIoBackend()->code());
+  }
 }
 
 void PageFile::NoteAccess(PageId first, uint64_t count) {
@@ -400,6 +414,53 @@ Status PageFile::ReadRun(PageId first, uint64_t count, uint8_t* out) {
     metrics_.reads->Add(count);
     metrics_.read_runs->Add(1);
     metrics_.bytes_read->Add(static_cast<size_t>(count) * page_size_);
+  }
+  return Status::OK();
+}
+
+void PageFile::ChargeReadRun(PageId first, uint64_t count) {
+  if (disk_model_ != nullptr) {
+    disk_model_->OnReadRun(first, count,
+                           static_cast<size_t>(count) * page_size_);
+  }
+  NoteAccess(first, count);
+  if (metrics_.reads != nullptr) {
+    metrics_.reads->Add(count);
+    metrics_.read_runs->Add(1);
+    metrics_.bytes_read->Add(static_cast<size_t>(count) * page_size_);
+  }
+}
+
+Status PageFile::ReadBatch(std::span<const PageRunRead> runs,
+                           bool charge_model) {
+  if (runs.empty()) return Status::OK();
+  for (const PageRunRead& run : runs) {
+    Status st = ValidatePageRun(run.first, run.count);
+    if (!st.ok()) return st;
+  }
+  std::vector<ReadOp> ops(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    ops[i].file = file_.get();
+    ops[i].offset = runs[i].first * page_size_;
+    ops[i].size = runs[i].count * page_size_;
+    ops[i].out = runs[i].out;
+  }
+  IoBackend* backend =
+      io_backend_ != nullptr ? io_backend_ : DefaultIoBackend();
+  const Status st = backend->SubmitBatch(std::span<ReadOp>(ops));
+  if (metrics_.io_batches != nullptr) {
+    metrics_.io_batches->Add(1);
+    const int64_t size = static_cast<int64_t>(runs.size());
+    int64_t peak = io_inflight_peak_.load(std::memory_order_relaxed);
+    while (size > peak && !io_inflight_peak_.compare_exchange_weak(
+                              peak, size, std::memory_order_relaxed)) {
+    }
+    metrics_.io_inflight_peak->Set(
+        io_inflight_peak_.load(std::memory_order_relaxed));
+  }
+  if (!st.ok()) return st;
+  if (charge_model) {
+    for (const PageRunRead& run : runs) ChargeReadRun(run.first, run.count);
   }
   return Status::OK();
 }

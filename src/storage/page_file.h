@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "obs/metrics.h"
 #include "storage/disk_model.h"
 #include "storage/env.h"
+#include "storage/io_backend.h"
 
 namespace tilestore {
 
@@ -28,6 +30,14 @@ inline constexpr PageId kInvalidPageId = 0;
 /// managed BLOBs on pages of this order of magnitude; tile sizes
 /// (32 KiB .. 256 KiB) are intended to be integral multiples of it.
 inline constexpr uint32_t kDefaultPageSize = 4096;
+
+/// One coalesced page run in a `PageFile::ReadBatch` submission. `out`
+/// must hold `count * page_size()` bytes.
+struct PageRunRead {
+  PageId first = kInvalidPageId;
+  uint64_t count = 0;
+  uint8_t* out = nullptr;
+};
 
 /// Snapshot of the page file's allocation metadata. Transactions capture
 /// one at Begin so Abort can roll the free list / page count / user root
@@ -121,6 +131,20 @@ class PageFile {
   /// disk model once for the whole run. Thread-safe.
   Status ReadRun(PageId first, uint64_t count, uint8_t* out);
 
+  /// Submits every run as one batch to the attached `IoBackend`, so the
+  /// runs can be in flight concurrently. With `charge_model` true each
+  /// run is charged (model + metrics) in submission order after the I/O
+  /// completes, exactly as the equivalent `ReadRun` loop would; with
+  /// false the caller replays charges itself via `ChargeReadRun` — the
+  /// hook that lets batched callers keep the cost model's access-order
+  /// accounting identical to the sequential read path. Thread-safe.
+  Status ReadBatch(std::span<const PageRunRead> runs, bool charge_model);
+
+  /// Accounts for a `count`-page run at `first` (disk model, pagefile.*
+  /// metrics, seek rule) without any I/O. Pair with a `ReadBatch(...,
+  /// /*charge_model=*/false)` that physically read the pages.
+  void ChargeReadRun(PageId first, uint64_t count);
+
   /// Writes page `id` from `data` (page_size() bytes).
   Status WritePage(PageId id, const uint8_t* data);
 
@@ -189,6 +213,12 @@ class PageFile {
   /// pass nullptr to detach (restoring unlogged write-through behavior).
   void set_txn_manager(TxnManager* txns) { txns_ = txns; }
 
+  /// Overrides the batched-read engine (default: `DefaultIoBackend()`).
+  /// The caller keeps ownership. Attach before sharing the file across
+  /// threads.
+  void set_io_backend(IoBackend* backend);
+  IoBackend* io_backend() const { return io_backend_; }
+
   const std::string& path() const { return file_->path(); }
 
  private:
@@ -226,6 +256,7 @@ class PageFile {
   std::vector<uint32_t> crcs_;
   DiskModel* disk_model_ = nullptr;
   TxnManager* txns_ = nullptr;
+  IoBackend* io_backend_ = nullptr;  // resolved lazily to the default
 
   // Registry counters (null when no registry is attached).
   struct {
@@ -236,7 +267,12 @@ class PageFile {
     obs::Counter* bytes_read = nullptr;
     obs::Counter* bytes_written = nullptr;
     obs::Counter* seeks = nullptr;
+    obs::Counter* io_batches = nullptr;
+    obs::Gauge* io_inflight_peak = nullptr;
+    obs::Gauge* io_backend_code = nullptr;
   } metrics_;
+  // Largest batch submitted so far, mirrored into `io.inflight_peak`.
+  std::atomic<int64_t> io_inflight_peak_{0};
   // Page that would continue the previous access without a seek; only
   // consulted for the `pagefile.seeks` counter, never for model cost.
   std::atomic<uint64_t> metrics_expected_next_{UINT64_MAX};

@@ -4,6 +4,14 @@
 
 namespace tilestore {
 
+namespace {
+
+std::string NegativeKey(uint64_t object_id, const std::string& region) {
+  return std::to_string(object_id) + "|" + region;
+}
+
+}  // namespace
+
 TileCache::TileCache(size_t capacity_bytes, size_t shards)
     : capacity_bytes_(capacity_bytes),
       shard_capacity_bytes_(capacity_bytes / std::max<size_t>(shards, 1)),
@@ -19,6 +27,9 @@ void TileCache::set_metrics(obs::MetricsRegistry* registry) {
   metrics_.inserts = registry->counter("tilecache.inserts");
   metrics_.evictions = registry->counter("tilecache.evictions");
   metrics_.invalidations = registry->counter("tilecache.invalidations");
+  metrics_.negative_hits = registry->counter("tilecache.negative_hits");
+  metrics_.negative_misses = registry->counter("tilecache.negative_misses");
+  metrics_.negative_inserts = registry->counter("tilecache.negative_inserts");
   metrics_.bytes = registry->gauge("tilecache.bytes");
   metrics_.entries = registry->gauge("tilecache.entries");
 }
@@ -80,8 +91,43 @@ std::shared_ptr<const Tile> TileCache::Insert(
   return shard.lru.front().tile;
 }
 
+bool TileCache::LookupNegativeRegion(uint64_t object_id,
+                                     const std::string& region) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(negative_mu_);
+  const bool hit = negative_.count(NegativeKey(object_id, region)) > 0;
+  if (hit) {
+    if (metrics_.negative_hits != nullptr) metrics_.negative_hits->Add(1);
+  } else {
+    if (metrics_.negative_misses != nullptr) metrics_.negative_misses->Add(1);
+  }
+  return hit;
+}
+
+void TileCache::InsertNegativeRegion(uint64_t object_id,
+                                     const std::string& region) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(negative_mu_);
+  if (negative_.size() >= kNegativeCapacity) negative_.clear();
+  if (negative_.insert(NegativeKey(object_id, region)).second &&
+      metrics_.negative_inserts != nullptr) {
+    metrics_.negative_inserts->Add(1);
+  }
+}
+
 void TileCache::InvalidateObject(uint64_t object_id) {
   if (!enabled()) return;
+  {
+    const std::string prefix = std::to_string(object_id) + "|";
+    std::lock_guard<std::mutex> lock(negative_mu_);
+    for (auto it = negative_.begin(); it != negative_.end();) {
+      if (it->compare(0, prefix.size(), prefix) == 0) {
+        it = negative_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   uint64_t dropped = 0;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -106,6 +152,10 @@ void TileCache::InvalidateObject(uint64_t object_id) {
 }
 
 void TileCache::Clear() {
+  {
+    std::lock_guard<std::mutex> lock(negative_mu_);
+    negative_.clear();
+  }
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (metrics_.bytes != nullptr) {

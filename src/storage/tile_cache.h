@@ -5,7 +5,9 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/tile.h"
@@ -69,7 +71,22 @@ class TileCache {
   std::shared_ptr<const Tile> Insert(uint64_t object_id, BlobId blob,
                                      std::shared_ptr<const Tile> tile);
 
-  /// Drops every entry of `object_id` (mutation/drop invalidation).
+  /// Negative-region cache: remembers that `region` (its canonical string
+  /// form) intersected no tiles of `object_id`, so a repeated probe of the
+  /// same empty space skips the index walk entirely. Exact-match only —
+  /// the full region string is stored, so a hit can never be a hash
+  /// collision. Shares the invalidation protocol of the tile entries:
+  /// `InvalidateObject` and `Clear` drop negatives too, and the store's
+  /// cache-epoch key makes stale entries unreachable besides.
+  bool LookupNegativeRegion(uint64_t object_id, const std::string& region);
+
+  /// Records a "no tiles here" answer. Bounded (a full set is cleared
+  /// wholesale — empty-space probes are cheap to relearn); no-op when the
+  /// cache is disabled.
+  void InsertNegativeRegion(uint64_t object_id, const std::string& region);
+
+  /// Drops every entry of `object_id` (mutation/drop invalidation),
+  /// including its negative regions.
   void InvalidateObject(uint64_t object_id);
 
   /// Drops everything (transaction rollback).
@@ -120,12 +137,21 @@ class TileCache {
   const size_t shard_capacity_bytes_;
   std::vector<Shard> shards_;
 
+  // Negative-region set, keyed "<object_id>|<region string>". Small and
+  // exact; one mutex suffices (a lookup is one set probe).
+  static constexpr size_t kNegativeCapacity = 1024;
+  std::mutex negative_mu_;
+  std::unordered_set<std::string> negative_;
+
   struct {
     obs::Counter* hits = nullptr;
     obs::Counter* misses = nullptr;
     obs::Counter* inserts = nullptr;
     obs::Counter* evictions = nullptr;
     obs::Counter* invalidations = nullptr;
+    obs::Counter* negative_hits = nullptr;
+    obs::Counter* negative_misses = nullptr;
+    obs::Counter* negative_inserts = nullptr;
     obs::Gauge* bytes = nullptr;
     obs::Gauge* entries = nullptr;
   } metrics_;

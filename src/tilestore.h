@@ -44,6 +44,7 @@
 #include "query/tile_scan.h"
 #include "storage/env.h"
 #include "storage/fsck.h"
+#include "storage/io_backend.h"
 #include "tiling/advisor.h"
 #include "tiling/aligned.h"
 #include "tiling/areas_of_interest.h"

@@ -18,7 +18,9 @@ namespace {
 
 /// Loopback integration fixture: one store with a patterned object, one
 /// `TileServer` on an ephemeral port, clients connecting to `port()`.
-class NetServerTest : public ::testing::Test {
+/// Parameterized over the serving mode: false = thread-per-connection,
+/// true = event loop. Every behavior below must hold in both.
+class NetServerTest : public ::testing::TestWithParam<bool> {
  protected:
   void SetUp() override {
     path_ = UniqueTestPath("net_server_test.db");
@@ -55,6 +57,7 @@ class NetServerTest : public ::testing::Test {
   }
 
   void StartServer(TileServerOptions options = TileServerOptions()) {
+    options.event_loop = GetParam();
     server_ = std::make_unique<TileServer>(store_.get(), options);
     ASSERT_TRUE(server_->Start().ok());
   }
@@ -71,7 +74,7 @@ class NetServerTest : public ::testing::Test {
   std::unique_ptr<TileServer> server_;
 };
 
-TEST_F(NetServerTest, PingAndOpenMDD) {
+TEST_P(NetServerTest, PingAndOpenMDD) {
   StartServer();
   auto client = Connect();
   ASSERT_NE(client, nullptr);
@@ -86,7 +89,7 @@ TEST_F(NetServerTest, PingAndOpenMDD) {
   EXPECT_TRUE(client->OpenMDD("nope").status().IsNotFound());
 }
 
-TEST_F(NetServerTest, RemoteQueryMatchesInProcessByteForByte) {
+TEST_P(NetServerTest, RemoteQueryMatchesInProcessByteForByte) {
   StartServer();
   auto client = Connect();
   ASSERT_NE(client, nullptr);
@@ -119,7 +122,7 @@ TEST_F(NetServerTest, RemoteQueryMatchesInProcessByteForByte) {
   }
 }
 
-TEST_F(NetServerTest, EightConcurrentClientsGetConsistentResults) {
+TEST_P(NetServerTest, EightConcurrentClientsGetConsistentResults) {
   StartServer();
   MDDObject* obj = store_->GetMDD("grid").value();
   RangeQueryExecutor executor(store_.get());
@@ -169,7 +172,7 @@ TEST_F(NetServerTest, EightConcurrentClientsGetConsistentResults) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
-TEST_F(NetServerTest, InsertTilesCreatesAndQueriesBack) {
+TEST_P(NetServerTest, InsertTilesCreatesAndQueriesBack) {
   StartServer();
   auto client = Connect();
   ASSERT_NE(client, nullptr);
@@ -197,7 +200,7 @@ TEST_F(NetServerTest, InsertTilesCreatesAndQueriesBack) {
   EXPECT_TRUE(client->Ping().ok());
 }
 
-TEST_F(NetServerTest, OverloadIsExplicitAndCounted) {
+TEST_P(NetServerTest, OverloadIsExplicitAndCounted) {
   TileServerOptions options;
   options.max_inflight_requests = 1;
   options.admission_queue_limit = 0;
@@ -234,7 +237,7 @@ TEST_F(NetServerTest, OverloadIsExplicitAndCounted) {
             static_cast<uint64_t>(rejected));
 }
 
-TEST_F(NetServerTest, RequestDeadlineExpiryIsReported) {
+TEST_P(NetServerTest, RequestDeadlineExpiryIsReported) {
   TileServerOptions options;
   options.request_timeout_ms = 100;
   options.debug_handler_delay_ms = 400;
@@ -248,7 +251,7 @@ TEST_F(NetServerTest, RequestDeadlineExpiryIsReported) {
             1u);
 }
 
-TEST_F(NetServerTest, StatsExposesNetMetricsAndTrace) {
+TEST_P(NetServerTest, StatsExposesNetMetricsAndTrace) {
   StartServer();
   auto client = Connect();
   ASSERT_NE(client, nullptr);
@@ -268,7 +271,7 @@ TEST_F(NetServerTest, StatsExposesNetMetricsAndTrace) {
   EXPECT_NE(trace->find("ping"), std::string::npos);
 }
 
-TEST_F(NetServerTest, StopDrainsInFlightRequestsCleanly) {
+TEST_P(NetServerTest, StopDrainsInFlightRequestsCleanly) {
   TileServerOptions options;
   options.debug_handler_delay_ms = 300;
   StartServer(options);
@@ -294,7 +297,7 @@ TEST_F(NetServerTest, StopDrainsInFlightRequestsCleanly) {
   EXPECT_FALSE(TileClient::Connect("127.0.0.1", server_->port(), copts).ok());
 }
 
-TEST_F(NetServerTest, MalformedFrameClosesConnectionNotServer) {
+TEST_P(NetServerTest, MalformedFrameClosesConnectionNotServer) {
   StartServer();
   auto raw = Socket::ConnectTcp("127.0.0.1", server_->port(), 1000);
   ASSERT_TRUE(raw.ok());
@@ -313,6 +316,12 @@ TEST_F(NetServerTest, MalformedFrameClosesConnectionNotServer) {
 
   EXPECT_GE(store_->metrics()->Snapshot().counter("net.frame_errors"), 1u);
 }
+
+INSTANTIATE_TEST_SUITE_P(ServingModes, NetServerTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "event_loop"
+                                             : "thread_per_conn";
+                         });
 
 }  // namespace
 }  // namespace net

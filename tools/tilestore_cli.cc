@@ -66,9 +66,15 @@ void PrintHelp(std::FILE* out) {
       "  serve  <db> [--port=N] [--threads=N] [--max-inflight=N]\n"
       "         [--queue=N] [--request-timeout-ms=N] [--idle-timeout-ms=N]\n"
       "         [--parallelism=N] [--tile-cache-mb=N] [--all-interfaces]\n"
+      "         [--event-loop] [--workers=N] [--max-connections=N]\n"
+      "         [--io-backend=auto|pread|uring]\n"
       "                                       serve the store over TCP;\n"
       "                                       prints the bound port, stops\n"
-      "                                       cleanly on SIGINT/SIGTERM\n"
+      "                                       cleanly on SIGINT/SIGTERM;\n"
+      "                                       --event-loop multiplexes all\n"
+      "                                       connections over one epoll\n"
+      "                                       thread + --workers executors\n"
+      "                                       (DESIGN.md \xC2\xA7" "11)\n"
       "\n"
       "<domain>/<region> use the paper notation, e.g. \"[0:1023,0:767]\";\n"
       "<cell-type> is one of uint8..int64, float32/64, rgb8.\n");
@@ -111,6 +117,13 @@ int CmdServe(const std::string& db, int argc, char** argv) {
     store_options.tile_cache_bytes =
         static_cast<size_t>(std::atoll(v)) << 20;
   }
+  std::unique_ptr<IoBackend> io_backend;
+  if (const char* v = FlagValue(argc, argv, "io-backend")) {
+    Result<std::unique_ptr<IoBackend>> made = MakeIoBackend(v);
+    if (!made.ok()) return Fail(made.status());
+    io_backend = std::move(made).MoveValue();
+    store_options.io_backend = io_backend.get();
+  }
   Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(db, store_options);
   if (!store.ok()) return Fail(store.status());
 
@@ -137,6 +150,13 @@ int CmdServe(const std::string& db, int argc, char** argv) {
     options.query_parallelism = std::atoi(v);
   }
   if (HasFlag(argc, argv, "all-interfaces")) options.loopback_only = false;
+  if (HasFlag(argc, argv, "event-loop")) options.event_loop = true;
+  if (const char* v = FlagValue(argc, argv, "workers")) {
+    options.event_loop_workers = static_cast<size_t>(std::atoi(v));
+  }
+  if (const char* v = FlagValue(argc, argv, "max-connections")) {
+    options.max_connections = static_cast<size_t>(std::atoi(v));
+  }
 
   net::TileServer server(store->get(), options);
   Status st = server.Start();

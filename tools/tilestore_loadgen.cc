@@ -14,11 +14,21 @@
 ///   --port=PORT            server port (required)
 ///   --clients=N            concurrent client connections (default 8)
 ///   --requests=N           requests per client (default 200)
+///   --conns-per-thread=K   connections driven round-robin by each
+///                          generator thread (default 1). Raise at high
+///                          --clients so the generator's own thread count
+///                          doesn't become the measured bottleneck.
 ///   --object=NAME          object to query (default "loadgen")
 ///   --read-fraction=F      fraction of range queries vs aggregates (0.8)
 ///   --bootstrap            create+fill the object over the wire first
 ///   --smoke                CI mode: few clients/requests, same coverage
 ///   --out=PATH             JSON report path (default BENCH_server.json)
+///   --label=NAME           row label (e.g. "thread_64", "event_loop_1024")
+///   --io-backend=NAME      record which IoBackend the server runs
+///                          (informational: the server picks its own via
+///                          `serve --io-backend` / TILESTORE_IO_BACKEND)
+///   --append               append the row to --out instead of rewriting,
+///                          so mode-comparison rows accumulate in one file
 ///
 /// The exit code is 0 only if every request succeeded (overload
 /// rejections count as failures here: the loadgen stays below the
@@ -56,6 +66,10 @@ struct Flags {
   bool bootstrap = false;
   bool smoke = false;
   std::string out = "BENCH_server.json";
+  std::string label = "default";
+  std::string io_backend = "auto";
+  bool append = false;
+  int conns_per_thread = 1;
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -83,6 +97,14 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->read_fraction = std::atof(v);
     } else if (const char* v = value("--out")) {
       flags->out = v;
+    } else if (const char* v = value("--label")) {
+      flags->label = v;
+    } else if (const char* v = value("--io-backend")) {
+      flags->io_backend = v;
+    } else if (const char* v = value("--conns-per-thread")) {
+      flags->conns_per_thread = std::atoi(v);
+    } else if (arg == "--append") {
+      flags->append = true;
     } else if (arg == "--bootstrap") {
       flags->bootstrap = true;
     } else if (arg == "--smoke") {
@@ -102,6 +124,7 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
   }
   flags->clients = std::max(flags->clients, 1);
   flags->requests = std::max(flags->requests, 1);
+  flags->conns_per_thread = std::max(flags->conns_per_thread, 1);
   return true;
 }
 
@@ -145,68 +168,107 @@ struct ClientResult {
   std::string first_error;
 };
 
-void RunClient(const Flags& flags, int index, ClientResult* result) {
-  auto client = TileClient::Connect(flags.host,
-                                    static_cast<uint16_t>(flags.port));
-  if (!client.ok()) {
-    result->failures = flags.requests;
-    result->first_error = client.status().ToString();
-    return;
-  }
-  // The query space comes from the served object itself, so the loadgen
-  // works against any object, not just its own bootstrap grid.
-  auto info = client.value()->OpenMDD(flags.object);
-  if (!info.ok()) {
-    result->failures = flags.requests;
-    result->first_error = info.status().ToString();
-    return;
-  }
-  // Prefer the current domain: definition domains may be unbounded ('*'
-  // axes), and queries must stay where cells actually are.
-  const MInterval domain =
-      info->current_domain.value_or(info->definition_domain);
-  if (!domain.IsFixed()) {
-    result->failures = flags.requests;
-    result->first_error = "object \"" + flags.object +
-                          "\" has no fixed domain to draw regions from";
-    return;
-  }
-  const size_t dims = domain.dim();
-  Random rng(0x10adu + static_cast<uint64_t>(index));
-  for (int i = 0; i < flags.requests; ++i) {
-    // Random subregion, at most one quarter of each axis so responses stay
-    // small and the mix exercises many distinct tile sets.
-    std::vector<int64_t> lo(dims), hi(dims);
-    for (size_t d = 0; d < dims; ++d) {
-      const int64_t dlo = domain.lo(d), dhi = domain.hi(d);
-      lo[d] = rng.UniformInt(dlo, dhi);
-      hi[d] = std::min<int64_t>(
-          dhi, lo[d] + rng.UniformInt(0, (dhi - dlo + 1) / 4));
-    }
-    const MInterval region =
-        MInterval::Create(std::move(lo), std::move(hi)).value();
-    const bool read = rng.NextDouble() < flags.read_fraction;
-    const auto start = std::chrono::steady_clock::now();
-    Status st;
-    if (read) {
-      auto array = client.value()->RangeQuery(flags.object, region);
-      st = array.status();
-      ++result->range_queries;
-    } else {
-      auto sum = client.value()->Aggregate(flags.object, region,
-                                           tilestore::AggregateOp::kSum);
-      st = sum.status();
-      ++result->aggregates;
-    }
-    const auto end = std::chrono::steady_clock::now();
-    if (!st.ok()) {
-      ++result->failures;
-      if (result->first_error.empty()) result->first_error = st.ToString();
-      if (!client.value()->healthy()) break;  // transport gone, stop early
+/// Drives `count` connections from one OS thread, round-robin: one
+/// request per connection per round, so every connection carries traffic
+/// without the load generator needing a thread per connection. At high
+/// connection counts (`--clients=1024`) a thread-per-connection client
+/// makes the *generator's* scheduler the bottleneck on small machines;
+/// `--conns-per-thread` keeps the measurement about the server.
+void RunClientGroup(const Flags& flags, int first_index, int count,
+                    ClientResult* result) {
+  struct Conn {
+    std::unique_ptr<TileClient> client;
+    bool alive = false;
+  };
+  std::vector<Conn> conns(static_cast<size_t>(count));
+  for (int c = 0; c < count; ++c) {
+    auto client = TileClient::Connect(flags.host,
+                                      static_cast<uint16_t>(flags.port));
+    if (!client.ok()) {
+      result->failures += flags.requests;
+      if (result->first_error.empty()) {
+        result->first_error = client.status().ToString();
+      }
       continue;
     }
-    result->latencies_ms.push_back(
-        std::chrono::duration<double, std::milli>(end - start).count());
+    conns[c].client = std::move(client).MoveValue();
+    conns[c].alive = true;
+  }
+
+  // The query space comes from the served object itself, so the loadgen
+  // works against any object, not just its own bootstrap grid. One probe
+  // per group: the domain is the same on every connection.
+  MInterval domain;
+  bool have_domain = false;
+  for (Conn& conn : conns) {
+    if (!conn.alive) continue;
+    auto info = conn.client->OpenMDD(flags.object);
+    if (!info.ok()) {
+      if (result->first_error.empty()) {
+        result->first_error = info.status().ToString();
+      }
+      break;
+    }
+    // Prefer the current domain: definition domains may be unbounded ('*'
+    // axes), and queries must stay where cells actually are.
+    domain = info->current_domain.value_or(info->definition_domain);
+    if (!domain.IsFixed()) {
+      if (result->first_error.empty()) {
+        result->first_error = "object \"" + flags.object +
+                              "\" has no fixed domain to draw regions from";
+      }
+      break;
+    }
+    have_domain = true;
+    break;
+  }
+  if (!have_domain) {
+    for (Conn& conn : conns) {
+      if (conn.alive) result->failures += flags.requests;
+    }
+    return;
+  }
+
+  const size_t dims = domain.dim();
+  Random rng(0x10adu + static_cast<uint64_t>(first_index));
+  for (int i = 0; i < flags.requests; ++i) {
+    for (int c = 0; c < count; ++c) {
+      if (!conns[c].alive) continue;
+      // Random subregion, at most one quarter of each axis so responses
+      // stay small and the mix exercises many distinct tile sets.
+      std::vector<int64_t> lo(dims), hi(dims);
+      for (size_t d = 0; d < dims; ++d) {
+        const int64_t dlo = domain.lo(d), dhi = domain.hi(d);
+        lo[d] = rng.UniformInt(dlo, dhi);
+        hi[d] = std::min<int64_t>(
+            dhi, lo[d] + rng.UniformInt(0, (dhi - dlo + 1) / 4));
+      }
+      const MInterval region =
+          MInterval::Create(std::move(lo), std::move(hi)).value();
+      const bool read = rng.NextDouble() < flags.read_fraction;
+      const auto start = std::chrono::steady_clock::now();
+      Status st;
+      if (read) {
+        auto array = conns[c].client->RangeQuery(flags.object, region);
+        st = array.status();
+        ++result->range_queries;
+      } else {
+        auto sum = conns[c].client->Aggregate(flags.object, region,
+                                              tilestore::AggregateOp::kSum);
+        st = sum.status();
+        ++result->aggregates;
+      }
+      const auto end = std::chrono::steady_clock::now();
+      if (!st.ok()) {
+        ++result->failures;
+        if (result->first_error.empty()) result->first_error = st.ToString();
+        // Transport gone: this connection stops, the rest keep going.
+        if (!conns[c].client->healthy()) conns[c].alive = false;
+        continue;
+      }
+      result->latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(end - start).count());
+    }
   }
 }
 
@@ -216,23 +278,50 @@ double Percentile(std::vector<double>* sorted, double p) {
   return (*sorted)[std::min(idx, sorted->size() - 1)];
 }
 
-/// Writes the single-record report; the metrics snapshot JSON from the
-/// server is embedded verbatim (it is single-line by design).
+/// Writes the report row; the metrics snapshot JSON from the server is
+/// embedded verbatim (it is single-line by design). `--append` reopens an
+/// existing array and adds the row, so comparison runs (thread vs
+/// event-loop, different connection counts) collect in one file.
 bool WriteReport(const Flags& flags, int total_requests, int failures,
                  double elapsed_sec, double p50, double p90, double p99,
                  const std::string& metrics_json) {
+  std::string prefix = "[\n";
+  if (flags.append) {
+    if (std::FILE* in = std::fopen(flags.out.c_str(), "r")) {
+      std::string existing;
+      char buf[4096];
+      size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+        existing.append(buf, n);
+      }
+      std::fclose(in);
+      const size_t close = existing.rfind(']');
+      if (close != std::string::npos) {
+        existing.erase(close);
+        while (!existing.empty() &&
+               (existing.back() == '\n' || existing.back() == ' ')) {
+          existing.pop_back();
+        }
+        if (!existing.empty() && existing.back() != '[') existing += ",";
+        existing += "\n";
+        prefix = std::move(existing);
+      }
+    }
+  }
   std::FILE* out = std::fopen(flags.out.c_str(), "w");
   if (out == nullptr) return false;
   const double rps = elapsed_sec > 0 ? total_requests / elapsed_sec : 0;
+  std::fputs(prefix.c_str(), out);
   std::fprintf(out,
-               "[\n"
                "  {\"bench\": \"tilestore_loadgen\", "
                "\"workload\": \"mixed_read_aggregate\", "
+               "\"label\": \"%s\", \"io_backend\": \"%s\", "
                "\"clients\": %d, \"requests\": %d, \"failures\": %d, "
                "\"elapsed_sec\": %.3f, \"requests_per_sec\": %.3f, "
                "\"p50_ms\": %.3f, \"p90_ms\": %.3f, \"p99_ms\": %.3f, "
                "\"server_metrics\": %s}\n"
                "]\n",
+               flags.label.c_str(), flags.io_backend.c_str(),
                flags.clients, total_requests, failures, elapsed_sec, rps,
                p50, p90, p99,
                metrics_json.empty() ? "null" : metrics_json.c_str());
@@ -256,11 +345,15 @@ int main(int argc, char** argv) {
                 static_cast<long long>(kSide));
   }
 
-  std::vector<ClientResult> results(flags.clients);
+  const int per_thread = flags.conns_per_thread;
+  const int groups = (flags.clients + per_thread - 1) / per_thread;
+  std::vector<ClientResult> results(groups);
   std::vector<std::thread> threads;
   const auto start = std::chrono::steady_clock::now();
-  for (int i = 0; i < flags.clients; ++i) {
-    threads.emplace_back(RunClient, flags, i, &results[i]);
+  for (int g = 0; g < groups; ++g) {
+    const int first = g * per_thread;
+    const int count = std::min(per_thread, flags.clients - first);
+    threads.emplace_back(RunClientGroup, flags, first, count, &results[g]);
   }
   for (std::thread& t : threads) t.join();
   const double elapsed_sec =

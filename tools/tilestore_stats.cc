@@ -7,7 +7,10 @@
 // read path, and dumps the store's metrics-registry snapshot. Metrics are
 // in-memory only (see FORMAT.md), so what this prints reflects the work
 // this process performed: opening the store (catalog reads) plus the
-// optional query. `--query=obj` reads the object's full current domain;
+// optional query. The snapshot carries every registered series, including
+// the async-read engine's `io.backend` (1 = threaded_pread, 2 = io_uring),
+// `io.batches_submitted` and `io.inflight_peak`; against a server the same
+// series — plus `net.eventloop.*` — come back through the Stats op. `--query=obj` reads the object's full current domain;
 // `--query=obj:[a:b,...]` reads the given region. `--format=prom` emits
 // Prometheus text exposition instead of JSON; `--trace` additionally
 // dumps the query's trace spans as a JSON array on stderr.
