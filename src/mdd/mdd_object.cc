@@ -422,6 +422,164 @@ Status MDDObject::WriteRegion(const Array& data) {
   return commit;
 }
 
+Status MDDObject::RetileRegion(const MInterval& region,
+                               const TilingSpec& new_tiles) {
+  // One transaction for the whole generation swap: new BLOBs, index
+  // replacement, and deferred frees of the old BLOBs commit together, so a
+  // crash recovers to exactly the old or the new tiling of this region.
+  ScopedTxn txn(txn_manager());
+  if (!txn.begin_status().ok()) return txn.begin_status();
+  Status mut = EnsureMutableIndex();
+  if (!mut.ok()) return mut;
+  if (region.dim() != definition_domain_.dim() || !region.IsFixed()) {
+    return Status::InvalidArgument("RetileRegion: bad region " +
+                                   region.ToString());
+  }
+  if (!definition_domain_.Contains(region)) {
+    return Status::OutOfRange("RetileRegion: region " + region.ToString() +
+                              " outside definition domain " +
+                              definition_domain_.ToString());
+  }
+  for (const MInterval& domain : new_tiles) {
+    if (domain.dim() != region.dim() || !domain.IsFixed() ||
+        !region.Contains(domain)) {
+      return Status::InvalidArgument("RetileRegion: new tile " +
+                                     domain.ToString() +
+                                     " not inside region " +
+                                     region.ToString());
+    }
+  }
+  Status st = CheckDisjoint(new_tiles);
+  if (!st.ok()) return st;
+
+  // Old generation: every tile intersecting the region must lie wholly
+  // inside it, so the swap replaces complete tiles and the object is a
+  // disjoint tile set — mixed generations included — at every boundary.
+  const std::vector<TileEntry> old_entries = index_->Search(region);
+  for (const TileEntry& entry : old_entries) {
+    if (!region.Contains(entry.domain)) {
+      return Status::InvalidArgument("RetileRegion: tile " +
+                                     entry.domain.ToString() +
+                                     " crosses the region boundary " +
+                                     region.ToString());
+    }
+    // No data loss: every old cell must land in some new tile.
+    if (!Subtract(entry.domain, new_tiles).empty()) {
+      return Status::InvalidArgument(
+          "RetileRegion: new tiling does not cover old tile " +
+          entry.domain.ToString());
+    }
+  }
+  if (old_entries.empty() && new_tiles.empty()) return txn.Commit();
+
+  // Materialize the new generation default-filled, then scatter each old
+  // tile's cells into the overlapping new arrays — each old tile is
+  // fetched and decoded exactly once.
+  bool default_is_zero = true;
+  for (uint8_t b : default_cell_) default_is_zero = default_is_zero && b == 0;
+  std::vector<Array> staged;
+  staged.reserve(new_tiles.size());
+  for (const MInterval& domain : new_tiles) {
+    Result<Array> array = Array::Create(domain, cell_type_);
+    if (!array.ok()) return array.status();
+    if (!default_is_zero) {
+      st = array->Fill(domain, default_cell_.data());
+      if (!st.ok()) return st;
+    }
+    staged.push_back(std::move(array).MoveValue());
+  }
+  for (const TileEntry& entry : old_entries) {
+    Result<Tile> tile = FetchTile(entry);
+    if (!tile.ok()) return tile.status();
+    for (Array& target : staged) {
+      const std::optional<MInterval> part =
+          target.domain().Intersection(entry.domain);
+      if (!part.has_value()) continue;
+      st = target.CopyFrom(*tile, *part);
+      if (!st.ok()) return st;
+    }
+  }
+
+  const std::optional<MInterval> saved_domain = current_domain_;
+  std::vector<TileEntry> removed;
+  std::vector<MInterval> inserted;
+  std::vector<BlobId> deferred;
+  auto unwind = [&] {
+    for (BlobId blob : deferred) store_->UndeferBlobFree(blob);
+    for (const MInterval& domain : inserted) (void)index_->Remove(domain);
+    for (const TileEntry& entry : removed) (void)index_->Insert(entry);
+    current_domain_ = saved_domain;
+  };
+
+  // Write the new BLOBs (codec re-evaluated selectively per tile).
+  std::vector<TileEntry> fresh;
+  fresh.reserve(staged.size());
+  for (Array& array : staged) {
+    const MInterval domain = array.domain();
+    std::vector<uint8_t> stored;
+    const std::vector<uint8_t> raw = std::move(array).TakeBuffer();
+    const Compression used = CompressIfSmaller(compression_, raw, &stored);
+    Result<BlobId> blob = blobs_->Put(stored);
+    if (!blob.ok()) {
+      unwind();
+      return blob.status();
+    }
+    fresh.push_back(TileEntry{domain, blob.value(), used});
+  }
+
+  // Swap the generations in the index. The old BLOBs are freed with the
+  // next catalog write, not here: the persisted tile table still points at
+  // them, and a crash after this commit must leave that table readable —
+  // that deferral is exactly what gates recovery to old-or-new-never-mixed.
+  for (const TileEntry& entry : old_entries) {
+    st = index_->Remove(entry.domain);
+    if (!st.ok()) {
+      unwind();
+      return st;
+    }
+    removed.push_back(entry);
+    if (store_ != nullptr) {
+      store_->DeferBlobFree(entry.blob);
+      deferred.push_back(entry.blob);
+    }
+  }
+  for (const TileEntry& entry : fresh) {
+    st = index_->Insert(entry);
+    if (!st.ok()) {
+      unwind();
+      return st;
+    }
+    inserted.push_back(entry.domain);
+  }
+
+  // Recompute the hull. Newly covered cells lie inside `region`, so when
+  // the region is inside the old hull the current domain — and '*'
+  // resolution — is unchanged.
+  std::vector<TileEntry> remaining;
+  index_->GetAll(&remaining);
+  if (remaining.empty()) {
+    current_domain_.reset();
+  } else {
+    MInterval hull = remaining.front().domain;
+    for (size_t i = 1; i < remaining.size(); ++i) {
+      hull = hull.Hull(remaining[i].domain);
+    }
+    current_domain_ = hull;
+  }
+  MarkStoreDirty();
+  Status commit = txn.Commit();
+  if (!commit.ok()) unwind();
+  InvalidateCachedTiles();
+  if (commit.ok() && store_ == nullptr) {
+    // Standalone (unlogged, test-only) objects have no catalog to defer
+    // for; release the old BLOBs now that the swap is complete.
+    for (const TileEntry& entry : old_entries) {
+      (void)blobs_->Delete(entry.blob);
+    }
+  }
+  return commit;
+}
+
 Result<Tile> MDDObject::FetchTile(const TileEntry& entry) const {
   // One tile through the shared decode pipeline, serial paper-exact mode.
   TileIOScheduler scheduler(blobs_);

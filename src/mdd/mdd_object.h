@@ -117,6 +117,25 @@ class MDDObject {
   /// `kDefaultMaxTileBytes` — the paper's gradual-growth scenario.
   Status WriteRegion(const Array& data);
 
+  /// Atomically re-tiles one region of the object (the online re-tiling
+  /// primitive, DESIGN.md §12): the old tiles inside `region` are decoded,
+  /// their cells re-sliced to `new_tiles`, the new BLOBs + index entries
+  /// inserted and the old ones removed — all in one transaction, so a
+  /// crash at any point recovers to either the old or the new tiling,
+  /// never a mix (the old BLOBs are freed only with the next catalog
+  /// write, which is what makes the new tiling visible across reopen).
+  ///
+  /// Contract: `region` must be fixed and inside the definition domain;
+  /// every existing tile intersecting `region` must be fully contained in
+  /// it; `new_tiles` must be disjoint boxes inside `region` covering every
+  /// cell the old tiles covered. New tiles may additionally cover
+  /// previously uncovered cells — those are materialized with the default
+  /// cell, which reads back byte-identically (uncovered cells already read
+  /// as the default). The current domain is recomputed as the hull of the
+  /// resulting tile set; when `region` lies inside the current domain the
+  /// hull — and hence '*' resolution — is unchanged.
+  Status RetileRegion(const MInterval& region, const TilingSpec& new_tiles);
+
   /// The tiles intersecting `region` (index probe only; no data I/O).
   std::vector<TileEntry> FindTiles(const MInterval& region) const {
     return index_->Search(region);

@@ -162,7 +162,14 @@ Result<std::vector<Tile>> MDDStore::FetchTiles(
 }
 
 void MDDStore::InvalidateTileCache(uint64_t cache_id) {
-  if (cache_id != 0) tile_cache_->InvalidateObject(cache_id);
+  if (cache_id == 0) return;
+  tile_cache_->InvalidateObject(cache_id);
+  // Inside an explicit transaction, remember which epochs saw uncommitted
+  // state: a reader racing the staged mutation may cache tiles the rollback
+  // takes back, so RestoreSnapshot re-epochs exactly these objects.
+  if (txns_ != nullptr && txns_->in_txn()) {
+    txn_touched_cache_ids_.insert(cache_id);
+  }
 }
 
 Result<std::unique_ptr<MDDStore>> MDDStore::Create(const std::string& path,
@@ -253,6 +260,8 @@ Status MDDStore::DropMDD(const std::string& name) {
     index_blobs_.erase(blob_it);
   }
   InvalidateTileCache(it->second->cache_id());
+  // A later namesake must not inherit this object's workload evidence.
+  workload_.Forget(name);
   objects_.erase(it);
   catalog_dirty_ = true;
   return Status::OK();
@@ -360,11 +369,12 @@ Status MDDStore::Begin() {
     txn_snapshot_.push_back(ObjectSnapshot{
         name, object->definition_domain(), object->cell_type(),
         object->index_kind(), object->default_cell(), object->compression(),
-        object->AllTiles()});
+        object->AllTiles(), object->cache_id()});
   }
   txn_index_blobs_snapshot_ = index_blobs_;
   txn_pending_frees_snapshot_ = pending_free_blobs_;
   txn_catalog_dirty_snapshot_ = catalog_dirty_;
+  txn_touched_cache_ids_.clear();
   return Status::OK();
 }
 
@@ -393,6 +403,7 @@ Status MDDStore::Commit() {
   txn_snapshot_.clear();
   txn_index_blobs_snapshot_.clear();
   txn_pending_frees_snapshot_.clear();
+  txn_touched_cache_ids_.clear();
   return Status::OK();
 }
 
@@ -407,10 +418,17 @@ Status MDDStore::Abort() {
 }
 
 Status MDDStore::RestoreSnapshot() {
-  // Rollback wipes the whole cache: readers inside the aborted transaction
-  // may have cached tile states that never committed, and the restored
-  // objects get fresh epochs below so old entries can never match anyway.
-  tile_cache_->Clear();
+  // Rollback invalidation is per-object (DESIGN.md §12): only epochs the
+  // transaction touched may hold cached tile states that never committed,
+  // and those objects are re-epoched below so stale entries can never
+  // match. Untouched objects are restored under their Begin-time epoch and
+  // keep their warm decoded tiles. Objects created inside the transaction
+  // vanish with the rollback; their epochs were invalidated at mutation
+  // time (every mutation path ends in InvalidateTileCache) and are never
+  // reissued.
+  for (uint64_t cache_id : txn_touched_cache_ids_) {
+    tile_cache_->InvalidateObject(cache_id);
+  }
   objects_.clear();
   index_blobs_ = std::move(txn_index_blobs_snapshot_);
   pending_free_blobs_ = std::move(txn_pending_frees_snapshot_);
@@ -419,7 +437,9 @@ Status MDDStore::RestoreSnapshot() {
     auto object = std::make_unique<MDDObject>(
         snap.name, snap.definition_domain, snap.cell_type, blobs_.get(),
         snap.index_kind, this);
-    object->set_cache_id(next_cache_id_++);
+    const bool touched = snap.cache_id == 0 ||
+                         txn_touched_cache_ids_.count(snap.cache_id) > 0;
+    object->set_cache_id(touched ? next_cache_id_++ : snap.cache_id);
     Status st = object->SetDefaultCell(std::move(snap.default_cell));
     if (!st.ok()) return st;
     object->SetCompression(snap.compression);
@@ -430,6 +450,7 @@ Status MDDStore::RestoreSnapshot() {
   txn_snapshot_.clear();
   txn_index_blobs_snapshot_.clear();
   txn_pending_frees_snapshot_.clear();
+  txn_touched_cache_ids_.clear();
   // Restoring marked the catalog dirty through SetDefaultCell; the
   // snapshot value is authoritative.
   catalog_dirty_ = txn_catalog_dirty_snapshot_;

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -23,6 +24,7 @@
 #include "storage/tile_cache.h"
 #include "storage/txn.h"
 #include "storage/wal.h"
+#include "tiling/workload_recorder.h"
 
 namespace tilestore {
 
@@ -172,8 +174,16 @@ class MDDStore {
 
   /// Drops the decoded-tile cache entries of one cache epoch (no-op for
   /// id 0 or with the cache disabled). Called by MDDObject mutations and
-  /// DropMDD.
+  /// DropMDD. Inside an explicit transaction the epoch is also remembered
+  /// as *touched*, so a rollback re-epochs only the objects the
+  /// transaction actually mutated — unrelated objects keep their warm
+  /// entries (DESIGN.md §12 cache-epoch protocol).
   void InvalidateTileCache(uint64_t cache_id);
+
+  /// The store-level ring of recent query regions per object (always on;
+  /// `RangeQueryExecutor` records every resolved region). The background
+  /// re-tiler mines it for migration decisions.
+  WorkloadRecorder* workload() { return &workload_; }
 
   TileIOScheduler* io_scheduler() { return scheduler_.get(); }
   /// The decoded-tile cache (never null; disabled at capacity 0).
@@ -208,6 +218,9 @@ class MDDStore {
     std::vector<uint8_t> default_cell;
     Compression compression;
     std::vector<TileEntry> entries;
+    // Cache epoch at Begin: untouched objects are restored under the same
+    // epoch so their warm decoded tiles survive the rollback.
+    uint64_t cache_id = 0;
   };
 
   MDDStore(std::unique_ptr<PageFile> file, MDDStoreOptions options);
@@ -252,11 +265,15 @@ class MDDStore {
   bool catalog_dirty_ = false;
   // Captured at Begin; used by Abort to restore the in-memory catalog.
   std::vector<ObjectSnapshot> txn_snapshot_;
+  // Cache epochs invalidated since Begin (i.e. objects the transaction
+  // mutated or dropped): only these are re-epoched on rollback.
+  std::unordered_set<uint64_t> txn_touched_cache_ids_;
   std::map<std::string, BlobId> txn_index_blobs_snapshot_;
   std::vector<BlobId> txn_pending_frees_snapshot_;
   bool txn_catalog_dirty_snapshot_ = false;
   std::once_flag workers_once_;
   std::unique_ptr<ThreadPool> workers_;
+  WorkloadRecorder workload_;
   std::map<std::string, std::unique_ptr<MDDObject>> objects_;
 };
 

@@ -216,5 +216,22 @@ Result<std::string> TileClient::Stats(uint8_t format) {
   return std::move(resp.text);
 }
 
+Result<RetileResponse> TileClient::Retile(const std::string& name) {
+  RetileRequest req;
+  req.name = name;
+  std::vector<uint8_t> payload;
+  Status st = RoundTrip(WireOp::kRetile, EncodeRetileRequest(req), &payload);
+  if (!st.ok()) return st;
+  Status server;
+  RetileResponse resp;
+  st = DecodeRetileResponse(payload, &server, &resp);
+  if (!st.ok()) {
+    healthy_ = false;
+    return st;
+  }
+  if (!server.ok()) return server;
+  return resp;
+}
+
 }  // namespace net
 }  // namespace tilestore

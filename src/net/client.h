@@ -61,6 +61,9 @@ class TileClient {
   /// Server-side obs snapshot. format 0 = metrics JSON, 1 = Prometheus
   /// text, 2 = drained trace JSON.
   Result<std::string> Stats(uint8_t format = 0);
+  /// Admin: synchronously evaluate (and, when the predicted gain clears the
+  /// server's bar, migrate) `name`'s tiling against its recorded workload.
+  Result<RetileResponse> Retile(const std::string& name);
 
   /// True until an I/O or protocol error poisoned the connection.
   bool healthy() const { return healthy_; }

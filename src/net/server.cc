@@ -62,9 +62,9 @@ TileServer::TileServer(MDDStore* store, TileServerOptions options)
   idle_disconnects_ = m->counter("net.idle_disconnects");
   bytes_received_ = m->counter("net.bytes_received");
   bytes_sent_ = m->counter("net.bytes_sent");
-  op_latency_ms_.resize(static_cast<size_t>(WireOp::kStats) + 1, nullptr);
+  op_latency_ms_.resize(static_cast<size_t>(WireOp::kRetile) + 1, nullptr);
   for (uint16_t op = static_cast<uint16_t>(WireOp::kPing);
-       op <= static_cast<uint16_t>(WireOp::kStats); ++op) {
+       op <= static_cast<uint16_t>(WireOp::kRetile); ++op) {
     const std::string name =
         "net.op." +
         std::string(WireOpName(static_cast<WireOp>(op))) + "_ms";
@@ -74,6 +74,15 @@ TileServer::TileServer(MDDStore* store, TileServerOptions options)
   eventloop_events_ = m->counter("net.eventloop.events");
   eventloop_watched_fds_ = m->gauge("net.eventloop.watched_fds");
   threads_gauge_ = m->gauge("net.threads");
+
+  RetilerOptions retile_options;
+  retile_options.poll_interval =
+      std::chrono::milliseconds(std::max(options_.retile_poll_ms, 1));
+  retile_options.min_queries = options_.retile_min_queries;
+  retile_options.min_improvement = options_.retile_min_improvement;
+  retile_options.step_cell_budget = options_.retile_step_cell_budget;
+  retile_options.catalog_mu = &catalog_mu_;
+  retiler_ = std::make_unique<Retiler>(store_, retile_options);
 }
 
 TileServer::~TileServer() { Stop(); }
@@ -100,6 +109,7 @@ Status TileServer::Start() {
   threads_gauge_->Set(1 + static_cast<int64_t>(pool_->size()));
   running_.store(true, std::memory_order_release);
   listen_thread_ = std::thread([this] { ListenLoop(); });
+  if (options_.auto_retile) retiler_->Start();
   return Status::OK();
 }
 
@@ -121,12 +131,17 @@ Status TileServer::StartEventLoop() {
   threads_gauge_->Set(1 + static_cast<int64_t>(pool_->size()));
   running_.store(true, std::memory_order_release);
   loop_thread_ = std::thread([this] { EventLoopMain(); });
+  if (options_.auto_retile) retiler_->Start();
   return Status::OK();
 }
 
 void TileServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stopping_.store(true, std::memory_order_release);
+  // Drain the re-tiler first: its in-flight migration step completes (an
+  // atomic RetileRegion), remaining steps are abandoned — the object is
+  // left in a valid mixed-generation tiling either way.
+  if (retiler_) retiler_->Stop();
   if (options_.event_loop) {
     StopEventLoop();
     return;
@@ -764,6 +779,8 @@ std::vector<uint8_t> TileServer::Dispatch(WireOp op,
       return HandleInsertTiles(payload);
     case WireOp::kStats:
       return HandleStats(payload);
+    case WireOp::kRetile:
+      return HandleRetile(payload);
   }
   return EncodeErrorResponse(Status::Unimplemented("unknown op"));
 }
@@ -925,6 +942,28 @@ std::vector<uint8_t> TileServer::HandleStats(
           Status::InvalidArgument("unknown stats format"));
   }
   return EncodeStatsResponse(resp);
+}
+
+std::vector<uint8_t> TileServer::HandleRetile(
+    const std::vector<uint8_t>& payload) {
+  RetileRequest req;
+  Status st = DecodeRetileRequest(payload, &req);
+  if (!st.ok()) return EncodeErrorResponse(st);
+  // Deliberately NOT under catalog_mu_: the re-tiler takes it shared for
+  // evaluation and exclusive per migration step, so concurrent queries
+  // keep flowing between steps of a long migration.
+  Result<RetileReport> report = retiler_->RetileNow(req.name);
+  if (!report.ok()) return EncodeErrorResponse(report.status());
+  RetileResponse resp;
+  resp.migrated = report->migrated;
+  resp.kind = report->kind;
+  resp.rationale = report->rationale;
+  resp.predicted_gain = report->predicted_gain;
+  resp.steps = report->steps;
+  resp.tiles_before = report->tiles_before;
+  resp.tiles_after = report->tiles_after;
+  resp.cells_moved = report->cells_moved;
+  return EncodeRetileResponse(resp);
 }
 
 }  // namespace net

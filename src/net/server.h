@@ -21,6 +21,7 @@
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "tiling/retiler.h"
 
 namespace tilestore {
 namespace net {
@@ -75,6 +76,18 @@ struct TileServerOptions {
   /// default. Ignored in thread-per-connection mode, which sizes its pool
   /// by `max_connections`.
   size_t event_loop_workers = 0;
+  /// Run the online re-tiler's background loop (DESIGN.md §12): hot
+  /// objects are periodically re-tiled to fit the observed workload.
+  /// The `retile` wire op works either way; this flag only controls the
+  /// automatic loop. `Stop` drains the re-tiler's in-flight migration
+  /// step before closing connections.
+  bool auto_retile = false;
+  /// Re-tiler policy knobs, forwarded to `RetilerOptions` (the catalog
+  /// lock is always the server's own). See that struct for semantics.
+  int retile_poll_ms = 1000;
+  uint64_t retile_min_queries = 32;
+  double retile_min_improvement = 1.3;
+  uint64_t retile_step_cell_budget = 1ull << 22;
 };
 
 /// \brief TCP front end for one `MDDStore` (DESIGN.md §9).
@@ -113,6 +126,10 @@ class TileServer {
   /// The bound port (valid after a successful `Start`).
   uint16_t port() const { return port_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The server's re-tiler (always constructed; its background loop runs
+  /// only with `auto_retile`). Exposed for tests and embedders.
+  Retiler* retiler() { return retiler_.get(); }
 
  private:
   /// Counting semaphore with a bounded wait queue; the server's admission
@@ -176,13 +193,20 @@ class TileServer {
                                        uint64_t trace_id);
   std::vector<uint8_t> HandleInsertTiles(const std::vector<uint8_t>& payload);
   std::vector<uint8_t> HandleStats(const std::vector<uint8_t>& payload);
+  std::vector<uint8_t> HandleRetile(const std::vector<uint8_t>& payload);
 
   MDDStore* store_;
   const TileServerOptions options_;
 
   // Catalog guard: read ops share, InsertTiles is exclusive. The store's
-  // tile read path is thread-safe; catalog mutation is not.
+  // tile read path is thread-safe; catalog mutation is not. The re-tiler
+  // takes it exclusively per migration step, so readers interleave with a
+  // migration at step granularity.
   std::shared_mutex catalog_mu_;
+
+  // Online re-tiler (DESIGN.md §12); background loop gated on
+  // options_.auto_retile, the `retile` op uses it synchronously.
+  std::unique_ptr<Retiler> retiler_;
 
   Admission admission_;
   Listener listener_;

@@ -49,13 +49,15 @@ std::string_view WireOpName(WireOp op) {
       return "insert_tiles";
     case WireOp::kStats:
       return "stats";
+    case WireOp::kRetile:
+      return "retile";
   }
   return "unknown";
 }
 
 bool WireOpValid(uint16_t raw) {
   return raw >= static_cast<uint16_t>(WireOp::kPing) &&
-         raw <= static_cast<uint16_t>(WireOp::kStats);
+         raw <= static_cast<uint16_t>(WireOp::kRetile);
 }
 
 std::vector<uint8_t> EncodeFrame(WireOp op, bool response,
@@ -295,6 +297,21 @@ Status DecodeStatsRequest(const std::vector<uint8_t>& payload,
   return Status::OK();
 }
 
+std::vector<uint8_t> EncodeRetileRequest(const RetileRequest& req) {
+  ByteWriter w;
+  w.Str(req.name);
+  return w.Take();
+}
+
+Status DecodeRetileRequest(const std::vector<uint8_t>& payload,
+                           RetileRequest* out) {
+  ByteReader r(payload);
+  Status st = r.Str(&out->name);
+  if (!st.ok()) return st;
+  if (!r.AtEnd()) return CorruptPayload("trailing bytes in retile");
+  return Status::OK();
+}
+
 // --------------------------------------------------------------------------
 // Responses.
 
@@ -355,6 +372,22 @@ std::vector<uint8_t> EncodeInsertTilesResponse(
 std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& resp) {
   ByteWriter w = OkWriter();
   w.Str(resp.text);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeRetileResponse(const RetileResponse& resp) {
+  ByteWriter w = OkWriter();
+  w.U8(resp.migrated ? 1 : 0);
+  w.Str(resp.kind);
+  w.Str(resp.rationale);
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(resp.predicted_gain));
+  std::memcpy(&bits, &resp.predicted_gain, sizeof(bits));
+  w.U64(bits);
+  w.U64(resp.steps);
+  w.U64(resp.tiles_before);
+  w.U64(resp.tiles_after);
+  w.U64(resp.cells_moved);
   return w.Take();
 }
 
@@ -447,6 +480,32 @@ Status DecodeStatsResponse(const std::vector<uint8_t>& payload,
   Status st = DecodeResponseStatus(&r, server_status);
   if (!st.ok() || !server_status->ok()) return st;
   return r.Str(&out->text);
+}
+
+Status DecodeRetileResponse(const std::vector<uint8_t>& payload,
+                            Status* server_status, RetileResponse* out) {
+  ByteReader r(payload);
+  Status st = DecodeResponseStatus(&r, server_status);
+  if (!st.ok() || !server_status->ok()) return st;
+  uint8_t migrated = 0;
+  st = r.U8(&migrated);
+  if (!st.ok()) return st;
+  out->migrated = migrated != 0;
+  st = r.Str(&out->kind);
+  if (!st.ok()) return st;
+  st = r.Str(&out->rationale);
+  if (!st.ok()) return st;
+  uint64_t bits = 0;
+  st = r.U64(&bits);
+  if (!st.ok()) return st;
+  std::memcpy(&out->predicted_gain, &bits, sizeof(out->predicted_gain));
+  st = r.U64(&out->steps);
+  if (!st.ok()) return st;
+  st = r.U64(&out->tiles_before);
+  if (!st.ok()) return st;
+  st = r.U64(&out->tiles_after);
+  if (!st.ok()) return st;
+  return r.U64(&out->cells_moved);
 }
 
 }  // namespace net

@@ -50,6 +50,7 @@ enum class WireOp : uint16_t {
   kAggregate = 4,
   kInsertTiles = 5,
   kStats = 6,
+  kRetile = 7,
 };
 
 /// Static-literal op name ("range_query", ...), usable as a trace span
@@ -127,6 +128,13 @@ struct StatsRequest {
   uint8_t format = 0;
 };
 
+/// Admin op: synchronously evaluate (and, if the predicted gain clears the
+/// server's improvement bar, migrate) one object's tiling against its
+/// recorded workload. See `Retiler::RetileNow`.
+struct RetileRequest {
+  std::string name;
+};
+
 std::vector<uint8_t> EncodeOpenMDDRequest(const OpenMDDRequest& req);
 Status DecodeOpenMDDRequest(const std::vector<uint8_t>& payload,
                             OpenMDDRequest* out);
@@ -142,6 +150,9 @@ Status DecodeInsertTilesRequest(const std::vector<uint8_t>& payload,
 std::vector<uint8_t> EncodeStatsRequest(const StatsRequest& req);
 Status DecodeStatsRequest(const std::vector<uint8_t>& payload,
                           StatsRequest* out);
+std::vector<uint8_t> EncodeRetileRequest(const RetileRequest& req);
+Status DecodeRetileRequest(const std::vector<uint8_t>& payload,
+                           RetileRequest* out);
 
 // --------------------------------------------------------------------------
 // Response payloads. Every encoder emits the leading status byte; decoders
@@ -177,6 +188,18 @@ struct StatsResponse {
   std::string text;
 };
 
+/// Mirrors `RetileReport`.
+struct RetileResponse {
+  bool migrated = false;
+  std::string kind;
+  std::string rationale;
+  double predicted_gain = 0;
+  uint64_t steps = 0;
+  uint64_t tiles_before = 0;
+  uint64_t tiles_after = 0;
+  uint64_t cells_moved = 0;
+};
+
 std::vector<uint8_t> EncodePingResponse();
 std::vector<uint8_t> EncodeOpenMDDResponse(const OpenMDDResponse& resp);
 std::vector<uint8_t> EncodeRangeQueryResponse(const RangeQueryResponse& resp);
@@ -184,6 +207,7 @@ std::vector<uint8_t> EncodeAggregateResponse(const AggregateResponse& resp);
 std::vector<uint8_t> EncodeInsertTilesResponse(
     const InsertTilesResponse& resp);
 std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& resp);
+std::vector<uint8_t> EncodeRetileResponse(const RetileResponse& resp);
 
 Status DecodeResponseStatus(ByteReader* r, Status* server_status);
 Status DecodePingResponse(const std::vector<uint8_t>& payload,
@@ -200,6 +224,8 @@ Status DecodeInsertTilesResponse(const std::vector<uint8_t>& payload,
                                  InsertTilesResponse* out);
 Status DecodeStatsResponse(const std::vector<uint8_t>& payload,
                            Status* server_status, StatsResponse* out);
+Status DecodeRetileResponse(const std::vector<uint8_t>& payload,
+                            Status* server_status, RetileResponse* out);
 
 }  // namespace net
 }  // namespace tilestore

@@ -75,6 +75,9 @@ Result<Array> RangeQueryExecutor::Execute(MDDObject* object,
   const MInterval resolved = std::move(resolved_or).MoveValue();
 
   if (options_.log != nullptr) options_.log->Record(resolved);
+  // Feed the store's workload recorder — the observe side of the
+  // re-tiling loop (the retiler mines these boxes for migrations).
+  store_->workload()->Record(object->name(), resolved);
 
   DiskModel* disk = store_->disk_model();
   if (options_.cold) {
@@ -371,6 +374,7 @@ Result<double> RangeQueryExecutor::ExecuteAggregate(MDDObject* object,
   const MInterval resolved = std::move(resolved_or).MoveValue();
 
   if (options_.log != nullptr) options_.log->Record(resolved);
+  store_->workload()->Record(object->name(), resolved);
 
   DiskModel* disk = store_->disk_model();
   if (options_.cold) {

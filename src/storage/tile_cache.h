@@ -29,10 +29,12 @@ namespace tilestore {
 /// concurrent queries share one decoded copy and an eviction or
 /// invalidation never frees a tile a reader still holds.
 ///
-/// Staleness protocol (see DESIGN.md §10): every object mutation
-/// (`InsertTile`, `RemoveTile`, `WriteRegion`, drop) invalidates the
-/// object's entries, transaction rollback clears the cache wholesale, and
-/// WAL recovery starts from an empty cache by construction. BLOB ids may
+/// Staleness protocol (see DESIGN.md §10, §12): every object mutation
+/// (`InsertTile`, `RemoveTile`, `WriteRegion`, `RetileRegion`, drop)
+/// invalidates the object's entries, transaction rollback invalidates
+/// exactly the objects the transaction touched (per-MDD epochs — other
+/// objects keep their warm entries), and WAL recovery starts from an
+/// empty cache by construction. BLOB ids may
 /// be reused after a free, but a free is only ever triggered by one of the
 /// invalidating mutations of the owning object, so a key can never
 /// resurrect with different bytes.

@@ -51,7 +51,9 @@
 #include "tiling/chunking.h"
 #include "tiling/directional.h"
 #include "tiling/ordering.h"
+#include "tiling/retiler.h"
 #include "tiling/statistic.h"
 #include "tiling/tiling.h"
+#include "tiling/workload_recorder.h"
 
 #endif  // TILESTORE_TILESTORE_H_

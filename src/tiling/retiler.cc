@@ -1,0 +1,367 @@
+#include "tiling/retiler.h"
+
+#include <algorithm>
+#include <map>
+
+#include "mdd/mdd_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tilestore {
+
+namespace {
+
+// A default-constructed std::shared_lock / std::unique_lock owns nothing;
+// with a null catalog guard the caller serializes externally and the lock
+// degenerates to a no-op.
+std::shared_lock<std::shared_mutex> MaybeShared(std::shared_mutex* mu) {
+  return mu != nullptr ? std::shared_lock<std::shared_mutex>(*mu)
+                       : std::shared_lock<std::shared_mutex>();
+}
+
+std::unique_lock<std::shared_mutex> MaybeUnique(std::shared_mutex* mu) {
+  return mu != nullptr ? std::unique_lock<std::shared_mutex>(*mu)
+                       : std::unique_lock<std::shared_mutex>();
+}
+
+}  // namespace
+
+struct Retiler::Metrics {
+  obs::Counter* evaluations;
+  obs::Counter* migrations;
+  obs::Counter* steps;
+  obs::Counter* skipped_no_gain;
+  obs::Counter* errors;
+  obs::Counter* tiles_removed;
+  obs::Counter* tiles_written;
+  obs::Counter* cells_moved;
+  obs::Counter* bytes_written;
+  // Work a background migration still owes (pending steps), per object.
+  std::map<std::string, std::vector<Step>> pending;
+};
+
+Retiler::Retiler(MDDStore* store, RetilerOptions options)
+    : store_(store), options_(options) {
+  TilingAdvisor::Options advisor_options;
+  advisor_options.max_tile_bytes = options_.max_tile_bytes;
+  advisor_ = TilingAdvisor(advisor_options);
+  metrics_ = std::make_unique<Metrics>();
+  obs::MetricsRegistry* registry = store_->metrics();
+  metrics_->evaluations = registry->counter("retile.evaluations");
+  metrics_->migrations = registry->counter("retile.migrations");
+  metrics_->steps = registry->counter("retile.steps");
+  metrics_->skipped_no_gain = registry->counter("retile.skipped_no_gain");
+  metrics_->errors = registry->counter("retile.errors");
+  metrics_->tiles_removed = registry->counter("retile.tiles_removed");
+  metrics_->tiles_written = registry->counter("retile.tiles_written");
+  metrics_->cells_moved = registry->counter("retile.cells_moved");
+  metrics_->bytes_written = registry->counter("retile.bytes_written");
+}
+
+Retiler::~Retiler() { Stop(); }
+
+void Retiler::Start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Retiler::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  wake_.notify_all();
+  thread_.join();
+  stop_.store(false, std::memory_order_relaxed);
+}
+
+void Retiler::Loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_.wait_for(lock, options_.poll_interval, [this] {
+        return stop_.load(std::memory_order_relaxed);
+      });
+    }
+    if (stop_.load(std::memory_order_relaxed)) break;
+    if (paused_.load(std::memory_order_relaxed)) continue;
+
+    // Hot objects this tick: anything past the query trigger, plus
+    // migrations still owing steps from a previous (budget-capped) tick.
+    std::vector<std::string> names;
+    for (const std::string& name : store_->workload()->Objects()) {
+      if (store_->workload()->TotalSince(name) >= options_.min_queries) {
+        names.push_back(name);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(migrate_mu_);
+      for (const auto& [name, steps] : metrics_->pending) {
+        if (std::find(names.begin(), names.end(), name) == names.end()) {
+          names.push_back(name);
+        }
+      }
+    }
+    for (const std::string& name : names) {
+      if (stop_.load(std::memory_order_relaxed) ||
+          paused_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      Result<RetileReport> report =
+          EvaluateAndMigrate(name, options_.step_cell_budget);
+      if (!report.ok()) metrics_->errors->Add(1);
+    }
+  }
+}
+
+Result<RetileReport> Retiler::RetileNow(const std::string& name) {
+  // Fresh evidence beats a stale plan: an admin-triggered run re-evaluates
+  // even when a background migration still owes steps.
+  {
+    std::lock_guard<std::mutex> lock(migrate_mu_);
+    metrics_->pending.erase(name);
+  }
+  return EvaluateAndMigrate(name, /*budget=*/0);
+}
+
+uint64_t Retiler::WorkloadCost(const std::vector<MInterval>& tiles,
+                               const std::vector<AccessRecord>& accesses,
+                               size_t cell_size) {
+  uint64_t total = 0;
+  for (const AccessRecord& access : accesses) {
+    uint64_t bytes = 0;
+    for (const MInterval& tile : tiles) {
+      if (access.region.Intersects(tile)) {
+        bytes += tile.CellCountOrDie() * cell_size;
+      }
+    }
+    total += access.count * bytes;
+  }
+  return total;
+}
+
+Result<std::vector<Retiler::Step>> Retiler::PlanSteps(
+    const std::vector<TileEntry>& current, const TilingSpec& target) {
+  // Closure grouping: every group's hull must intersect no tile outside
+  // the group, in either generation — then each group is one atomic
+  // RetileRegion whose region contains complete tiles only, and distinct
+  // steps touch disjoint regions (so partially applied plans are valid
+  // mixed-generation tilings). Start with one group per tile and merge
+  // until all hulls are pairwise disjoint.
+  struct Group {
+    MInterval region;
+    std::vector<MInterval> old_tiles;
+    TilingSpec new_tiles;
+    bool dead = false;
+  };
+  std::vector<Group> groups;
+  groups.reserve(current.size() + target.size());
+  for (const TileEntry& entry : current) {
+    groups.push_back(Group{entry.domain, {entry.domain}, {}, false});
+  }
+  for (const MInterval& domain : target) {
+    groups.push_back(Group{domain, {}, {domain}, false});
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < groups.size(); ++i) {
+      if (groups[i].dead) continue;
+      for (size_t j = i + 1; j < groups.size(); ++j) {
+        if (groups[j].dead) continue;
+        if (!groups[i].region.Intersects(groups[j].region)) continue;
+        groups[i].region = groups[i].region.Hull(groups[j].region);
+        groups[i].old_tiles.insert(groups[i].old_tiles.end(),
+                                   groups[j].old_tiles.begin(),
+                                   groups[j].old_tiles.end());
+        groups[i].new_tiles.insert(groups[i].new_tiles.end(),
+                                   groups[j].new_tiles.begin(),
+                                   groups[j].new_tiles.end());
+        groups[j].dead = true;
+        changed = true;
+      }
+    }
+  }
+
+  std::vector<Step> steps;
+  for (Group& group : groups) {
+    if (group.dead) continue;
+    // No old tiles: the target would materialize default-filled tiles over
+    // space no data occupies — skip, sparse objects stay sparse.
+    if (group.old_tiles.empty()) continue;
+    if (group.new_tiles.empty()) {
+      return Status::InvalidArgument(
+          "target tiling leaves old tiles uncovered near " +
+          group.region.ToString());
+    }
+    // Converged group (same domains in both generations): rewriting it
+    // would be pure churn, and skipping makes migration idempotent.
+    std::vector<std::string> old_keys, new_keys;
+    for (const MInterval& domain : group.old_tiles) {
+      old_keys.push_back(domain.ToString());
+    }
+    for (const MInterval& domain : group.new_tiles) {
+      new_keys.push_back(domain.ToString());
+    }
+    std::sort(old_keys.begin(), old_keys.end());
+    std::sort(new_keys.begin(), new_keys.end());
+    if (old_keys == new_keys) continue;
+    std::sort(group.new_tiles.begin(), group.new_tiles.end(),
+              MIntervalLess());
+    steps.push_back(Step{group.region, std::move(group.new_tiles)});
+  }
+  std::sort(steps.begin(), steps.end(), [](const Step& a, const Step& b) {
+    return MIntervalLess()(a.region, b.region);
+  });
+  return steps;
+}
+
+Result<RetileReport> Retiler::EvaluateAndMigrate(const std::string& name,
+                                                 uint64_t budget) {
+  std::lock_guard<std::mutex> migrate_lock(migrate_mu_);
+  RetileReport report;
+
+  size_t cell_size = 0;
+  std::vector<Step> steps;
+  auto pending_it = metrics_->pending.find(name);
+  const bool resuming = pending_it != metrics_->pending.end();
+  if (resuming) {
+    steps = std::move(pending_it->second);
+    metrics_->pending.erase(pending_it);
+    auto lock = MaybeShared(options_.catalog_mu);
+    Result<MDDObject*> object_or = store_->GetMDD(name);
+    if (!object_or.ok()) return object_or.status();  // dropped; plan gone
+    cell_size = object_or.value()->cell_size();
+    report.tiles_before = object_or.value()->tile_count();
+    report.kind = "resumed";
+  } else {
+    metrics_->evaluations->Add(1);
+
+    // Snapshot the object and its evidence under a reader lock.
+    MInterval domain;
+    std::vector<TileEntry> current;
+    std::vector<AccessRecord> records;
+    {
+      auto lock = MaybeShared(options_.catalog_mu);
+      Result<MDDObject*> object_or = store_->GetMDD(name);
+      if (!object_or.ok()) return object_or.status();
+      MDDObject* object = object_or.value();
+      if (!object->current_domain().has_value()) {
+        report.rationale = "object is empty";
+        return report;
+      }
+      domain = *object->current_domain();
+      cell_size = object->cell_size();
+      current = object->AllTiles();
+      records = store_->workload()->Snapshot(name);
+    }
+    if (records.empty()) {
+      report.rationale = "no recorded workload";
+      return report;
+    }
+
+    Result<TilingAdvice> advice_or = advisor_.Advise(domain, records);
+    if (!advice_or.ok()) return advice_or.status();
+    const TilingAdvice advice = std::move(advice_or).MoveValue();
+    report.kind = std::string(WorkloadKindToString(advice.kind));
+    report.rationale = advice.rationale;
+
+    Result<TilingSpec> target_or =
+        advice.strategy->ComputeTiling(domain, cell_size);
+    if (!target_or.ok()) return target_or.status();
+    const TilingSpec target = std::move(target_or).MoveValue();
+
+    // Migration trigger: predicted fetched-bytes ratio over the recorded
+    // workload must clear the improvement bar.
+    std::vector<MInterval> old_domains;
+    old_domains.reserve(current.size());
+    for (const TileEntry& entry : current) {
+      old_domains.push_back(entry.domain);
+    }
+    const uint64_t old_cost = WorkloadCost(old_domains, records, cell_size);
+    const uint64_t new_cost = WorkloadCost(target, records, cell_size);
+    report.predicted_gain =
+        new_cost != 0 ? static_cast<double>(old_cost) /
+                            static_cast<double>(new_cost)
+                      : (old_cost != 0 ? 1e9 : 1.0);
+    report.tiles_before = current.size();
+    if (report.predicted_gain < options_.min_improvement) {
+      metrics_->skipped_no_gain->Add(1);
+      return report;
+    }
+
+    Result<std::vector<Step>> steps_or = PlanSteps(current, target);
+    if (!steps_or.ok()) return steps_or.status();
+    steps = std::move(steps_or).MoveValue();
+    if (steps.empty()) {
+      metrics_->skipped_no_gain->Add(1);
+      report.rationale += " (already tiled this way)";
+      return report;
+    }
+  }
+
+  // Migrate step by step. Each step is one atomic RetileRegion under the
+  // exclusive lock; between steps readers run against a valid
+  // mixed-generation tiling. Stop() abandons remaining steps (drain);
+  // a nonzero budget defers them to the next background tick.
+  const uint64_t trace_id = store_->trace()->NextTraceId();
+  obs::TraceScope retile_span(store_->trace(), trace_id, "retile");
+  size_t applied = 0;
+  uint64_t moved_cells = 0;
+  for (const Step& step : steps) {
+    if (applied > 0 && stop_.load(std::memory_order_relaxed)) break;
+    if (applied > 0 && budget != 0 && moved_cells >= budget) break;
+    {
+      auto lock = MaybeUnique(options_.catalog_mu);
+      Result<MDDObject*> object_or = store_->GetMDD(name);
+      if (!object_or.ok()) return object_or.status();
+      MDDObject* object = object_or.value();
+      const size_t replaced = object->FindTiles(step.region).size();
+      obs::TraceScope step_span(store_->trace(), trace_id, "retile_step");
+      Status st = object->RetileRegion(step.region, step.tiles);
+      if (!st.ok()) return st;  // plan discarded; object unchanged
+      metrics_->tiles_removed->Add(replaced);
+    }
+    ++applied;
+    uint64_t step_cells = 0;
+    for (const MInterval& domain : step.tiles) {
+      step_cells += domain.CellCountOrDie();
+    }
+    moved_cells += step_cells;
+    metrics_->steps->Add(1);
+    metrics_->tiles_written->Add(step.tiles.size());
+    metrics_->cells_moved->Add(step_cells);
+    metrics_->bytes_written->Add(step_cells * cell_size);
+  }
+  report.steps = applied;
+  report.cells_moved = moved_cells;
+  report.migrated = applied > 0;
+
+  if (applied < steps.size()) {
+    // Budget-capped or draining: park the remainder; the next tick (or a
+    // later session) resumes it. The mixed state left behind is a valid
+    // tiling, so nothing breaks if it never resumes.
+    metrics_->pending[name] =
+        std::vector<Step>(steps.begin() + applied, steps.end());
+    auto lock = MaybeShared(options_.catalog_mu);
+    Result<MDDObject*> object_or = store_->GetMDD(name);
+    if (object_or.ok()) report.tiles_after = object_or.value()->tile_count();
+    return report;
+  }
+
+  // Migration complete: persist the new tiling, drop the evidence that
+  // drove it (the next decision needs post-migration boxes).
+  metrics_->migrations->Add(1);
+  store_->workload()->Forget(name);
+  {
+    auto lock = MaybeUnique(options_.catalog_mu);
+    if (options_.save_after_migration) {
+      Status st = store_->Save();
+      if (!st.ok()) return st;
+    }
+    Result<MDDObject*> object_or = store_->GetMDD(name);
+    if (object_or.ok()) report.tiles_after = object_or.value()->tile_count();
+  }
+  return report;
+}
+
+}  // namespace tilestore

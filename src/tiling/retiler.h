@@ -1,0 +1,167 @@
+#ifndef TILESTORE_TILING_RETILER_H_
+#define TILESTORE_TILING_RETILER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/minterval.h"
+#include "core/tile.h"
+#include "index/tile_index.h"
+#include "tiling/advisor.h"
+#include "tiling/statistic.h"
+
+namespace tilestore {
+
+class MDDStore;
+class MDDObject;
+
+/// Policy knobs of the online re-tiler (DESIGN.md §12).
+struct RetilerOptions {
+  /// Background poll period between policy evaluations.
+  std::chrono::milliseconds poll_interval{1000};
+  /// Queries an object must have seen (since the last migration) before
+  /// the background loop evaluates it. `RetileNow` bypasses this.
+  uint64_t min_queries = 32;
+  /// Predicted fetched-bytes ratio (current tiling / candidate tiling over
+  /// the recorded workload) required to migrate. 1.0 migrates on any
+  /// predicted win; the default demands a solid one so the loop cannot
+  /// thrash between near-equal tilings.
+  double min_improvement = 1.3;
+  /// Soft cap on cells migrated per background tick: steps are applied in
+  /// plan order until the budget is exhausted, then the migration resumes
+  /// on the next tick — readers run between ticks. One step is always
+  /// applied (a step is the atomicity unit and cannot be split).
+  uint64_t step_cell_budget = 1ull << 22;
+  /// Tile size target handed to the advisor's strategies.
+  uint64_t max_tile_bytes = kDefaultMaxTileBytes;
+  /// Persist the catalog after a completed migration so the new tiling is
+  /// visible across reopen without an explicit Save.
+  bool save_after_migration = true;
+  /// Reader-coexistence lock (the server passes its catalog guard): steps
+  /// and the final Save run under an exclusive lock, evaluation under a
+  /// shared lock. Null means the caller serializes externally.
+  std::shared_mutex* catalog_mu = nullptr;
+};
+
+/// Outcome of one evaluation/migration of one object.
+struct RetileReport {
+  bool migrated = false;
+  /// Advisor classification (WorkloadKindToString) and its evidence.
+  std::string kind;
+  std::string rationale;
+  /// Predicted fetched-bytes ratio old/new over the recorded workload.
+  double predicted_gain = 0;
+  uint64_t steps = 0;
+  uint64_t tiles_before = 0;
+  uint64_t tiles_after = 0;
+  uint64_t cells_moved = 0;
+};
+
+/// \brief The observe → advise → migrate loop: mines the store's
+/// `WorkloadRecorder` for hot objects, asks `TilingAdvisor` for a better
+/// tiling, and migrates tile-by-tile through `MDDObject::RetileRegion`
+/// under store transactions (DESIGN.md §12).
+///
+/// Runs either as a background thread (`Start`/`Stop`, budgeted per tick,
+/// pausable, drains its in-flight step on `Stop` — the server wires this
+/// to SIGTERM) or synchronously (`RetileNow`, the admin surface). Each
+/// migration step is one atomic `RetileRegion`; between steps the object
+/// is a valid mixed-generation tiling, so readers interleave freely and a
+/// drain mid-migration is safe — the remaining steps simply run later (or
+/// never; the mixed state is durable and correct).
+///
+/// Observability: `retile.*` counters in the store registry
+/// (evaluations, migrations, steps, skipped_no_gain, tiles_removed,
+/// tiles_written, cells_moved, bytes_written) and "retile"/"retile_step"
+/// spans in the trace ring.
+class Retiler {
+ public:
+  explicit Retiler(MDDStore* store, RetilerOptions options = RetilerOptions());
+  ~Retiler();
+
+  Retiler(const Retiler&) = delete;
+  Retiler& operator=(const Retiler&) = delete;
+
+  /// Starts the background policy thread (idempotent).
+  void Start();
+
+  /// Drains and joins the background thread: the in-flight step (if any)
+  /// completes, remaining steps are abandoned — safe, see above.
+  void Stop();
+
+  /// Pauses/resumes the background loop between steps.
+  void Pause() { paused_.store(true, std::memory_order_relaxed); }
+  void Resume() {
+    paused_.store(false, std::memory_order_relaxed);
+    wake_.notify_all();
+  }
+  bool running() const { return thread_.joinable(); }
+
+  /// Synchronous evaluate-and-migrate of one object, bypassing the
+  /// `min_queries` trigger (the `retile` admin op). Still subject to
+  /// `min_improvement`: a workload the current tiling already serves well
+  /// returns `migrated = false` with the advisor's reasoning.
+  Result<RetileReport> RetileNow(const std::string& name);
+
+  /// One migration step: an atomic `RetileRegion(region, tiles)` call.
+  struct Step {
+    MInterval region;
+    TilingSpec tiles;
+  };
+
+  /// Decomposes a migration to `target` into independent atomic steps.
+  /// Steps are closure groups: starting from a target tile, old and target
+  /// tiles intersecting the growing hull are merged until the hull is
+  /// closed under intersection — so every step's region contains complete
+  /// tiles of both generations and `RetileRegion`'s contract holds.
+  /// Groups whose old and new tile sets coincide (already converged) and
+  /// groups containing no old tile (nothing to migrate) are dropped.
+  /// Exposed for the byte-identity and crash tests, which apply steps one
+  /// at a time.
+  static Result<std::vector<Step>> PlanSteps(
+      const std::vector<TileEntry>& current, const TilingSpec& target);
+
+  /// Fetched-bytes cost proxy: total logical tile bytes the workload drags
+  /// in, Σ count × Σ bytes of tiles intersecting the box. The migration
+  /// trigger compares this between the current and the candidate tiling.
+  static uint64_t WorkloadCost(const std::vector<MInterval>& tiles,
+                               const std::vector<AccessRecord>& accesses,
+                               size_t cell_size);
+
+ private:
+  struct Metrics;
+
+  // Evaluates one object and, when the predicted gain clears
+  // `min_improvement`, migrates it (one step at a time, honoring
+  // pause/stop between steps; `budget` caps cells when nonzero).
+  Result<RetileReport> EvaluateAndMigrate(const std::string& name,
+                                          uint64_t budget);
+
+  void Loop();
+
+  MDDStore* store_;
+  RetilerOptions options_;
+  TilingAdvisor advisor_;
+  std::unique_ptr<Metrics> metrics_;
+  // Serializes migrations (background loop vs RetileNow).
+  std::mutex migrate_mu_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> paused_{false};
+  std::thread thread_;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_TILING_RETILER_H_

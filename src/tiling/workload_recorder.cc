@@ -1,0 +1,26 @@
+#include "tiling/workload_recorder.h"
+
+namespace tilestore {
+
+std::vector<AccessRecord> WorkloadRecorder::Snapshot(
+    const std::string& object) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return {};
+  // Merge identical boxes: repeated hotspot queries collapse into one
+  // record with the combined count, which is the frequency evidence the
+  // advisor's clustering thresholds act on.
+  std::map<std::string, AccessRecord> merged;
+  for (const MInterval& region : it->second.recent) {
+    auto [entry, inserted] =
+        merged.try_emplace(region.ToString(), AccessRecord{region, 0});
+    entry->second.count += 1;
+    (void)inserted;
+  }
+  std::vector<AccessRecord> records;
+  records.reserve(merged.size());
+  for (auto& [key, record] : merged) records.push_back(std::move(record));
+  return records;
+}
+
+}  // namespace tilestore

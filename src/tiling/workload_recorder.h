@@ -1,0 +1,89 @@
+#ifndef TILESTORE_TILING_WORKLOAD_RECORDER_H_
+#define TILESTORE_TILING_WORKLOAD_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/minterval.h"
+#include "tiling/statistic.h"
+
+namespace tilestore {
+
+/// \brief Store-level ring of recent query regions per MDD object — the
+/// *observe* side of the re-tiling loop (DESIGN.md §12).
+///
+/// `AccessLog` is an opt-in, per-executor artifact for offline analysis;
+/// the recorder is always on and store-owned, so the background re-tiler
+/// can mine the live workload without any caller cooperation. Each object
+/// keeps a bounded ring of its most recent query boxes (old boxes fall
+/// off, so the evidence tracks a *shifting* hotspot) plus a monotone
+/// total used as the trigger threshold. All methods are thread-safe; a
+/// `Record` is one mutex acquisition and one interval copy, negligible
+/// next to an index probe.
+class WorkloadRecorder {
+ public:
+  /// `capacity_per_object` bounds each ring; the oldest box is evicted
+  /// when a new one arrives at capacity.
+  explicit WorkloadRecorder(size_t capacity_per_object = 256)
+      : capacity_(capacity_per_object == 0 ? 1 : capacity_per_object) {}
+
+  WorkloadRecorder(const WorkloadRecorder&) = delete;
+  WorkloadRecorder& operator=(const WorkloadRecorder&) = delete;
+
+  void Record(const std::string& object, const MInterval& region) {
+    std::lock_guard<std::mutex> lock(mu_);
+    PerObject& entry = objects_[object];
+    entry.recent.push_back(region);
+    if (entry.recent.size() > capacity_) entry.recent.pop_front();
+    ++entry.total;
+  }
+
+  /// The retained boxes of one object, identical regions merged into one
+  /// record with the combined count — the advisor's input form.
+  std::vector<AccessRecord> Snapshot(const std::string& object) const;
+
+  /// Queries recorded for `object` since creation or the last `Forget`
+  /// (monotone; not capped by the ring capacity).
+  uint64_t TotalSince(const std::string& object) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = objects_.find(object);
+    return it == objects_.end() ? 0 : it->second.total;
+  }
+
+  /// Drops everything recorded for `object`: after a migration (the next
+  /// decision must be based on post-migration evidence) and on DropMDD
+  /// (a recreated namesake must not inherit the old workload).
+  void Forget(const std::string& object) {
+    std::lock_guard<std::mutex> lock(mu_);
+    objects_.erase(object);
+  }
+
+  /// Names of every object with at least one retained box.
+  std::vector<std::string> Objects() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(objects_.size());
+    for (const auto& [name, entry] : objects_) {
+      if (!entry.recent.empty()) names.push_back(name);
+    }
+    return names;
+  }
+
+ private:
+  struct PerObject {
+    std::deque<MInterval> recent;
+    uint64_t total = 0;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, PerObject> objects_;
+};
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_TILING_WORKLOAD_RECORDER_H_

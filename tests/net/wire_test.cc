@@ -100,10 +100,12 @@ TEST(NetWireFrame, CorruptPayloadCaughtByCrc) {
 
 TEST(NetWireFrame, OpNamesAreStable) {
   EXPECT_EQ(WireOpName(WireOp::kRangeQuery), "range_query");
+  EXPECT_EQ(WireOpName(WireOp::kRetile), "retile");
   EXPECT_EQ(WireOpName(static_cast<WireOp>(99)), "unknown");
   EXPECT_TRUE(WireOpValid(1));
+  EXPECT_TRUE(WireOpValid(7));
   EXPECT_FALSE(WireOpValid(0));
-  EXPECT_FALSE(WireOpValid(7));
+  EXPECT_FALSE(WireOpValid(8));
 }
 
 // --------------------------------------------------------------------------

@@ -229,8 +229,9 @@ TEST_F(TileCacheStoreTest, AbortClearsCache) {
   MDDObject* obj = store_->GetMDD("obj").value();
   ASSERT_TRUE(obj->WriteRegion(Pattern(MInterval({{0, 15}}), 21)).ok());
   ASSERT_TRUE(store_->Abort().ok());
-  // Rollback clears wholesale: a reader racing the aborted transaction may
-  // have cached tiles of the staged state.
+  // Rollback re-epochs exactly the objects the transaction touched; "obj"
+  // is the only cached object here, so the cache empties. (A reader racing
+  // the aborted transaction may have cached tiles of the staged state.)
   EXPECT_EQ(store_->tile_cache()->entry_count(), 0u);
   // The restored object has a fresh cache epoch; cached and uncached reads
   // agree on the pre-transaction bytes.
@@ -241,6 +242,53 @@ TEST_F(TileCacheStoreTest, AbortClearsCache) {
   Array expected = Pattern(MInterval({{0, 63}}), 5);
   ASSERT_EQ(cached.size(), expected.size_bytes());
   EXPECT_EQ(std::memcmp(cached.data(), expected.data(), cached.size()), 0);
+}
+
+// Per-MDD invalidation at the store level: object B's warm entries must
+// survive mutations of object A — both a plain insert and a whole aborted
+// transaction that touched only A (DESIGN.md §12 cache-epoch protocol).
+TEST_F(TileCacheStoreTest, MutatingOneObjectKeepsOthersWarm) {
+  MDDObject* a = LoadAndWarm();
+  MDDObject* b = store_
+                     ->CreateMDD("other", MInterval({{0, 63}}),
+                                 CellType::Of(CellTypeId::kInt32))
+                     .value();
+  ASSERT_TRUE(b->Load(Pattern(MInterval({{0, 63}}), 9),
+                      AlignedTiling::Regular(1, 8 * sizeof(int32_t)))
+                  .ok());
+  RangeQueryExecutor executor(store_.get());
+  ASSERT_TRUE(executor.Execute(b, MInterval({{0, 63}})).ok());
+  const size_t warm_entries = store_->tile_cache()->entry_count();
+
+  // Plain mutation of A: B's decoded tiles stay cached and keep hitting.
+  ASSERT_TRUE(a->WriteRegion(Pattern(MInterval({{0, 15}}), 17)).ok());
+  EXPECT_GT(store_->tile_cache()->entry_count(), 0u);
+  EXPECT_LT(store_->tile_cache()->entry_count(), warm_entries);
+  QueryStats stats;
+  ASSERT_TRUE(executor.Execute(b, MInterval({{0, 63}}), &stats).ok());
+  EXPECT_GT(stats.tilecache_hits, 0u);
+  EXPECT_EQ(stats.tilecache_hits, stats.tiles_accessed);
+
+  // Aborted transaction touching only A: B keeps its epoch and its entries;
+  // A is re-epoched and serves the pre-transaction bytes.
+  const uint64_t b_epoch = b->cache_id();
+  ASSERT_TRUE(store_->Begin().ok());
+  a = store_->GetMDD("obj").value();
+  ASSERT_TRUE(a->WriteRegion(Pattern(MInterval({{16, 31}}), 23)).ok());
+  ASSERT_TRUE(store_->Abort().ok());
+  b = store_->GetMDD("other").value();
+  EXPECT_EQ(b->cache_id(), b_epoch);
+  stats = QueryStats();
+  ASSERT_TRUE(executor.Execute(b, MInterval({{0, 63}}), &stats).ok());
+  EXPECT_GT(stats.tilecache_hits, 0u);
+  EXPECT_EQ(stats.tilecache_hits, stats.tiles_accessed);
+
+  // Both objects still read back byte-identically, cached vs fresh.
+  a = store_->GetMDD("obj").value();
+  EXPECT_EQ(QueryBytes(a, MInterval({{0, 63}}), true),
+            QueryBytes(a, MInterval({{0, 63}}), false));
+  EXPECT_EQ(QueryBytes(b, MInterval({{0, 63}}), true),
+            QueryBytes(b, MInterval({{0, 63}}), false));
 }
 
 TEST_F(TileCacheStoreTest, CrashRecoveryStartsCold) {

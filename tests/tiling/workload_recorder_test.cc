@@ -1,0 +1,113 @@
+// WorkloadRecorder unit tests: the observe side of the re-tiling loop.
+// Ring bounds, merge-by-region snapshots, the monotone trigger counter,
+// and the Forget semantics a migration / DropMDD relies on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/minterval.h"
+#include "tiling/workload_recorder.h"
+
+namespace tilestore {
+namespace {
+
+MInterval Box(Coord lo, Coord hi) { return MInterval({{lo, hi}}); }
+
+TEST(WorkloadRecorderTest, SnapshotMergesIdenticalRegions) {
+  WorkloadRecorder recorder;
+  recorder.Record("a", Box(0, 9));
+  recorder.Record("a", Box(0, 9));
+  recorder.Record("a", Box(20, 29));
+  std::vector<AccessRecord> snapshot = recorder.Snapshot("a");
+  ASSERT_EQ(snapshot.size(), 2u);
+  uint64_t total = 0;
+  for (const AccessRecord& access : snapshot) {
+    total += access.count;
+    if (access.region.ToString() == Box(0, 9).ToString()) {
+      EXPECT_EQ(access.count, 2u);
+    } else {
+      EXPECT_EQ(access.region.ToString(), Box(20, 29).ToString());
+      EXPECT_EQ(access.count, 1u);
+    }
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_TRUE(recorder.Snapshot("unknown").empty());
+}
+
+TEST(WorkloadRecorderTest, CapacityBoundsTheRing) {
+  WorkloadRecorder recorder(/*capacity_per_object=*/4);
+  for (Coord i = 0; i < 10; ++i) recorder.Record("a", Box(i, i));
+  // The ring retains only the newest four boxes...
+  std::vector<AccessRecord> snapshot = recorder.Snapshot("a");
+  uint64_t retained = 0;
+  for (const AccessRecord& access : snapshot) {
+    retained += access.count;
+    EXPECT_GE(access.region.lo()[0], 6);
+  }
+  EXPECT_EQ(retained, 4u);
+  // ...but the trigger counter is monotone, not capped.
+  EXPECT_EQ(recorder.TotalSince("a"), 10u);
+}
+
+TEST(WorkloadRecorderTest, RingTracksShiftingHotspot) {
+  WorkloadRecorder recorder(/*capacity_per_object=*/8);
+  for (int i = 0; i < 20; ++i) recorder.Record("a", Box(0, 9));
+  for (int i = 0; i < 8; ++i) recorder.Record("a", Box(90, 99));
+  // The old hotspot has fallen off entirely: evidence follows the drift.
+  std::vector<AccessRecord> snapshot = recorder.Snapshot("a");
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].region.ToString(), Box(90, 99).ToString());
+  EXPECT_EQ(snapshot[0].count, 8u);
+}
+
+TEST(WorkloadRecorderTest, ForgetDropsEvidenceAndCounter) {
+  WorkloadRecorder recorder;
+  recorder.Record("a", Box(0, 9));
+  recorder.Record("b", Box(0, 9));
+  recorder.Forget("a");
+  EXPECT_TRUE(recorder.Snapshot("a").empty());
+  EXPECT_EQ(recorder.TotalSince("a"), 0u);
+  // Other objects are untouched.
+  EXPECT_EQ(recorder.TotalSince("b"), 1u);
+  std::vector<std::string> names = recorder.Objects();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "b");
+}
+
+TEST(WorkloadRecorderTest, ObjectsListsOnlyNamesWithEvidence) {
+  WorkloadRecorder recorder;
+  EXPECT_TRUE(recorder.Objects().empty());
+  recorder.Record("x", Box(1, 2));
+  recorder.Record("y", Box(3, 4));
+  std::vector<std::string> names = recorder.Objects();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "x");
+  EXPECT_EQ(names[1], "y");
+}
+
+// Recorders are hammered from every query thread; run under TSan in CI.
+TEST(WorkloadRecorderConcurrencyTest, ParallelRecordAndSnapshot) {
+  WorkloadRecorder recorder(/*capacity_per_object=*/64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&recorder, t] {
+      const std::string name = (t % 2 == 0) ? "even" : "odd";
+      for (Coord i = 0; i < 200; ++i) {
+        recorder.Record(name, Box(i % 16, i % 16 + 3));
+        if (i % 32 == 0) {
+          (void)recorder.Snapshot(name);
+          (void)recorder.Objects();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(recorder.TotalSince("even"), 400u);
+  EXPECT_EQ(recorder.TotalSince("odd"), 400u);
+}
+
+}  // namespace
+}  // namespace tilestore

@@ -60,6 +60,9 @@ void PrintHelp(std::FILE* out) {
       "Queries and tuning:\n"
       "  query  <db> \"select ... from ...\"    run a rasQL query\n"
       "  advise <db> <object> <access-log>    tiling advice from a log\n"
+      "  retile <host:port> <object>          ask a running server to\n"
+      "                                       re-tile the object against\n"
+      "                                       its recorded workload\n"
       "\n"
       "Serving (DESIGN.md \xC2\xA7"
       "9):\n"
@@ -68,6 +71,9 @@ void PrintHelp(std::FILE* out) {
       "         [--parallelism=N] [--tile-cache-mb=N] [--all-interfaces]\n"
       "         [--event-loop] [--workers=N] [--max-connections=N]\n"
       "         [--io-backend=auto|pread|uring]\n"
+      "         [--auto-retile] [--retile-poll-ms=N]\n"
+      "         [--retile-min-queries=N] [--retile-min-improvement=X]\n"
+      "         [--retile-cell-budget=N]\n"
       "                                       serve the store over TCP;\n"
       "                                       prints the bound port, stops\n"
       "                                       cleanly on SIGINT/SIGTERM;\n"
@@ -156,6 +162,19 @@ int CmdServe(const std::string& db, int argc, char** argv) {
   }
   if (const char* v = FlagValue(argc, argv, "max-connections")) {
     options.max_connections = static_cast<size_t>(std::atoi(v));
+  }
+  if (HasFlag(argc, argv, "auto-retile")) options.auto_retile = true;
+  if (const char* v = FlagValue(argc, argv, "retile-poll-ms")) {
+    options.retile_poll_ms = std::atoi(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "retile-min-queries")) {
+    options.retile_min_queries = static_cast<uint64_t>(std::atoll(v));
+  }
+  if (const char* v = FlagValue(argc, argv, "retile-min-improvement")) {
+    options.retile_min_improvement = std::atof(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "retile-cell-budget")) {
+    options.retile_step_cell_budget = static_cast<uint64_t>(std::atoll(v));
   }
 
   net::TileServer server(store->get(), options);
@@ -352,6 +371,44 @@ int CmdAdvise(const std::string& db, const std::string& name,
   return 0;
 }
 
+// retile: admin call against a running server ("host:port"), not a db
+// path — re-tiling needs the server's recorded workload, which only
+// exists in the serving process.
+int CmdRetile(const std::string& endpoint, const std::string& name) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    return Fail(Status::InvalidArgument(
+        "retile expects <host:port>, got '" + endpoint + "'"));
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return Fail(Status::InvalidArgument("bad port in '" + endpoint + "'"));
+  }
+  net::TileClientOptions client_options;
+  // Migrations move whole objects; give the server room to finish.
+  client_options.request_timeout_ms = 10 * 60 * 1000;
+  Result<std::unique_ptr<net::TileClient>> client = net::TileClient::Connect(
+      host, static_cast<uint16_t>(port), client_options);
+  if (!client.ok()) return Fail(client.status());
+  Result<net::RetileResponse> resp = (*client)->Retile(name);
+  if (!resp.ok()) return Fail(resp.status());
+  std::printf("object:    %s\n", name.c_str());
+  std::printf("migrated:  %s\n", resp->migrated ? "yes" : "no");
+  std::printf("workload:  %s\n", resp->kind.c_str());
+  std::printf("why:       %s\n", resp->rationale.c_str());
+  std::printf("predicted: %.2fx less data fetched\n", resp->predicted_gain);
+  if (resp->migrated) {
+    std::printf("steps:     %llu (%llu cells moved)\n",
+                static_cast<unsigned long long>(resp->steps),
+                static_cast<unsigned long long>(resp->cells_moved));
+    std::printf("tiles:     %llu -> %llu\n",
+                static_cast<unsigned long long>(resp->tiles_before),
+                static_cast<unsigned long long>(resp->tiles_after));
+  }
+  return 0;
+}
+
 int CmdStats(const std::string& db) {
   Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(db);
   if (!store.ok()) return Fail(store.status());
@@ -412,6 +469,7 @@ int Main(int argc, char** argv) {
   if (command == "advise" && argc >= 5) {
     return CmdAdvise(db, argv[3], argv[4]);
   }
+  if (command == "retile" && argc >= 4) return CmdRetile(db, argv[3]);
   if (command == "stats") return CmdStats(db);
   if (command == "drop" && argc >= 4) return CmdDrop(db, argv[3]);
   if (command == "serve") return CmdServe(db, argc - 3, argv + 3);

@@ -29,6 +29,11 @@
 ///                          `serve --io-backend` / TILESTORE_IO_BACKEND)
 ///   --append               append the row to --out instead of rewriting,
 ///                          so mode-comparison rows accumulate in one file
+///   --hotspot-drift=N      instead of uniform random boxes, draw small
+///                          boxes around a hotspot that jumps to a new
+///                          random center every N requests (per thread) —
+///                          the shifting-hotspot workload the online
+///                          re-tiler (serve --auto-retile) adapts to
 ///
 /// The exit code is 0 only if every request succeeded (overload
 /// rejections count as failures here: the loadgen stays below the
@@ -70,6 +75,7 @@ struct Flags {
   std::string io_backend = "auto";
   bool append = false;
   int conns_per_thread = 1;
+  int hotspot_drift = 0;
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -103,6 +109,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->io_backend = v;
     } else if (const char* v = value("--conns-per-thread")) {
       flags->conns_per_thread = std::atoi(v);
+    } else if (const char* v = value("--hotspot-drift")) {
+      flags->hotspot_drift = std::atoi(v);
     } else if (arg == "--append") {
       flags->append = true;
     } else if (arg == "--bootstrap") {
@@ -231,18 +239,44 @@ void RunClientGroup(const Flags& flags, int first_index, int count,
 
   const size_t dims = domain.dim();
   Random rng(0x10adu + static_cast<uint64_t>(first_index));
+  // Hotspot mode: boxes cluster around a center that jumps every
+  // --hotspot-drift requests, modelling an area of interest that moves.
+  std::vector<int64_t> hotspot(dims);
+  auto redraw_hotspot = [&] {
+    for (size_t d = 0; d < dims; ++d) {
+      hotspot[d] = rng.UniformInt(domain.lo(d), domain.hi(d));
+    }
+  };
+  if (flags.hotspot_drift > 0) redraw_hotspot();
+  int issued = 0;
   for (int i = 0; i < flags.requests; ++i) {
     for (int c = 0; c < count; ++c) {
       if (!conns[c].alive) continue;
-      // Random subregion, at most one quarter of each axis so responses
-      // stay small and the mix exercises many distinct tile sets.
       std::vector<int64_t> lo(dims), hi(dims);
-      for (size_t d = 0; d < dims; ++d) {
-        const int64_t dlo = domain.lo(d), dhi = domain.hi(d);
-        lo[d] = rng.UniformInt(dlo, dhi);
-        hi[d] = std::min<int64_t>(
-            dhi, lo[d] + rng.UniformInt(0, (dhi - dlo + 1) / 4));
+      if (flags.hotspot_drift > 0) {
+        if (issued > 0 && issued % flags.hotspot_drift == 0) {
+          redraw_hotspot();
+        }
+        // Small box near the hotspot: about 1/8 of each axis, its corner
+        // jittered within the same radius so boxes overlap but differ.
+        for (size_t d = 0; d < dims; ++d) {
+          const int64_t dlo = domain.lo(d), dhi = domain.hi(d);
+          const int64_t radius = std::max<int64_t>((dhi - dlo + 1) / 8, 1);
+          lo[d] = std::clamp(hotspot[d] + rng.UniformInt(-radius, radius),
+                             dlo, dhi);
+          hi[d] = std::min<int64_t>(dhi, lo[d] + rng.UniformInt(0, radius));
+        }
+      } else {
+        // Random subregion, at most one quarter of each axis so responses
+        // stay small and the mix exercises many distinct tile sets.
+        for (size_t d = 0; d < dims; ++d) {
+          const int64_t dlo = domain.lo(d), dhi = domain.hi(d);
+          lo[d] = rng.UniformInt(dlo, dhi);
+          hi[d] = std::min<int64_t>(
+              dhi, lo[d] + rng.UniformInt(0, (dhi - dlo + 1) / 4));
+        }
       }
+      ++issued;
       const MInterval region =
           MInterval::Create(std::move(lo), std::move(hi)).value();
       const bool read = rng.NextDouble() < flags.read_fraction;
