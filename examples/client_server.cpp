@@ -50,9 +50,17 @@ int main(int argc, char** argv) {
   std::printf("serving on 127.0.0.1:%u\n", server.port());
 
   // 2. Connect a client and create an 8x8 object over the wire, loading
-  //    one 8x8 tile of raw cells.
-  auto client = Unwrap(net::TileClient::Connect("127.0.0.1", server.port()),
+  //    one 8x8 tile of raw cells. The handshake option negotiates wire v2
+  //    and reports the server's shard identity (0 of 1 for a standalone
+  //    server; a cluster shard reports its slot, DESIGN.md §13).
+  net::TileClientOptions client_options;
+  client_options.handshake = true;
+  auto client = Unwrap(net::TileClient::Connect("127.0.0.1", server.port(),
+                                                client_options),
                        "connect");
+  std::printf("negotiated wire v%u, shard %u of %u\n",
+              client->wire_version(), client->shard_id(),
+              client->shard_count());
   const MInterval domain({{0, 7}, {0, 7}});
   Array tile = Unwrap(
       Array::Create(domain, CellType::Of(CellTypeId::kUInt8)), "array");
@@ -83,10 +91,22 @@ int main(int argc, char** argv) {
   }
   std::printf("remote result is byte-identical to the local executor\n");
 
-  // 4. Aggregate push-down over the wire.
+  // 4. Aggregate push-down over the wire. `Aggregate` is a thin typed
+  //    wrapper over the unified `Call` seam every op flows through —
+  //    the same request can be issued through `Call` directly, which is
+  //    how generic middleware (the cluster routing client, proxies,
+  //    request recorders) handles all ops uniformly.
   const double sum = Unwrap(
       client->Aggregate("remote", domain, AggregateOp::kSum), "aggregate");
   std::printf("sum over %s = %.0f\n", domain.ToString().c_str(), sum);
+  net::AggregateRequest raw;
+  raw.name = "remote";
+  raw.region = domain;
+  raw.op = static_cast<uint8_t>(AggregateOp::kCount);
+  net::Response raw_response =
+      Unwrap(client->Call(net::Request{raw}), "call");
+  std::printf("count via Call() = %.0f non-zero cells\n",
+              std::get<net::AggregateResponse>(raw_response).value);
 
   // 5. Server-side observability: every request above is already counted.
   const std::string stats = Unwrap(client->Stats(0), "stats");

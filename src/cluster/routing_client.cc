@@ -1,0 +1,513 @@
+#include "cluster/routing_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace tilestore {
+namespace cluster {
+
+namespace {
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string DescribeShard(const ShardMap& map, uint32_t shard) {
+  const ShardEndpoint& ep = map.endpoint(shard);
+  return "shard " + std::to_string(shard) + " (" + ep.host + ":" +
+         std::to_string(ep.port) + ")";
+}
+
+}  // namespace
+
+RoutingTileClient::RoutingTileClient(ShardMap map,
+                                     RoutingClientOptions options)
+    : map_(std::move(map)), options_(std::move(options)) {
+  // The handshake is what makes routing safe: it pins the wire version and
+  // lets every connection verify it reached the shard the map claims.
+  options_.shard_options.handshake = true;
+  shards_.resize(map_.shard_count());
+  const size_t workers = std::min<size_t>(
+      std::max<size_t>(options_.max_fanout, 1), map_.shard_count());
+  if (workers > 1) pool_ = std::make_unique<ThreadPool>(workers);
+  requests_ = registry_.counter("cluster.requests");
+  fanout_calls_ = registry_.counter("cluster.fanout_calls");
+  partial_results_ = registry_.counter("cluster.partial_results");
+  shard_errors_ = registry_.counter("cluster.shard_errors");
+  reconnects_ = registry_.counter("cluster.reconnects");
+  fanout_width_ = registry_.size_histogram("cluster.fanout_width");
+  shard_latency_ms_.resize(map_.shard_count());
+  for (uint32_t i = 0; i < map_.shard_count(); ++i) {
+    shard_latency_ms_[i] = registry_.latency_histogram(
+        "cluster.shard." + std::to_string(i) + ".latency_ms");
+  }
+}
+
+Result<std::unique_ptr<RoutingTileClient>> RoutingTileClient::Connect(
+    ShardMap map, RoutingClientOptions options) {
+  if (map.shard_count() == 0) {
+    return Status::InvalidArgument("shard map is empty");
+  }
+  std::unique_ptr<RoutingTileClient> client(
+      new RoutingTileClient(std::move(map), std::move(options)));
+  size_t healthy = 0;
+  Status last = Status::Unavailable("no shards in map");
+  for (uint32_t shard = 0; shard < client->map_.shard_count(); ++shard) {
+    Status st = client->ConnectShard(
+        shard, client->options_.shard_options.connect_attempts);
+    if (st.ok()) {
+      ++healthy;
+      continue;
+    }
+    // A clean identity rejection means the map is miswired — surfacing it
+    // beats serving wrong answers from whatever store did answer.
+    if (st.IsInvalidArgument()) {
+      return Status::InvalidArgument(
+          DescribeShard(client->map_, shard) + ": " + st.message());
+    }
+    last = st;
+  }
+  if (healthy == 0) {
+    return Status::Unavailable("no shard of the cluster is reachable: " +
+                               last.message());
+  }
+  return client;
+}
+
+Status RoutingTileClient::ConnectShard(uint32_t shard, int attempts) {
+  net::TileClientOptions opts = options_.shard_options;
+  opts.handshake = true;
+  opts.connect_attempts = std::max(attempts, 1);
+  opts.expected_shard_id =
+      options_.verify_shard_ids ? shard : net::kAnyShard;
+  const ShardEndpoint& ep = map_.endpoint(shard);
+  Result<std::unique_ptr<net::TileClient>> conn =
+      net::TileClient::Connect(ep.host, ep.port, opts);
+  if (!conn.ok()) {
+    shards_[shard].reset();
+    return conn.status();
+  }
+  if (options_.verify_shard_ids &&
+      (*conn)->shard_count() != map_.shard_count()) {
+    shards_[shard].reset();
+    return Status::InvalidArgument(
+        "endpoint reports a " + std::to_string((*conn)->shard_count()) +
+        "-shard cluster, map has " + std::to_string(map_.shard_count()));
+  }
+  shards_[shard] = std::move(conn).MoveValue();
+  return Status::OK();
+}
+
+size_t RoutingTileClient::healthy_shards() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    if (shard != nullptr && shard->healthy()) ++n;
+  }
+  return n;
+}
+
+void RoutingTileClient::Scatter(std::vector<SubCall>* calls) {
+  // One task per shard, not per sub-call: a TileClient connection is a
+  // synchronous stream, so the sub-calls bound for one shard must run
+  // sequentially on it — only cross-shard calls overlap.
+  std::map<uint32_t, std::vector<size_t>> by_shard;
+  for (size_t i = 0; i < calls->size(); ++i) {
+    by_shard[(*calls)[i].shard].push_back(i);
+  }
+  fanout_calls_->Add(calls->size());
+  fanout_width_->Observe(static_cast<double>(by_shard.size()));
+  TaskGroup group(pool_.get());
+  for (auto& entry : by_shard) {
+    const uint32_t shard = entry.first;
+    const std::vector<size_t>* indices = &entry.second;
+    group.Run([this, shard, indices, calls] {
+      for (const size_t i : *indices) {
+        (*calls)[i].result = CallShard(shard, (*calls)[i].request);
+      }
+    });
+  }
+  group.Wait();
+}
+
+Result<net::Response> RoutingTileClient::CallShard(
+    uint32_t shard, const net::Request& request) {
+  if (shards_[shard] == nullptr || !shards_[shard]->healthy()) {
+    // Lazy reconnect, one attempt: a shard that is really down fails fast
+    // instead of stretching every request by the full retry ladder.
+    reconnects_->Add();
+    Status st = ConnectShard(shard, /*attempts=*/1);
+    if (!st.ok()) {
+      shard_errors_->Add();
+      return st;
+    }
+  }
+  const double start = NowMs();
+  Result<net::Response> result = shards_[shard]->Call(request);
+  shard_latency_ms_[shard]->Observe(NowMs() - start);
+  if (!result.ok()) shard_errors_->Add();
+  return result;
+}
+
+Status RoutingTileClient::CombineStatuses(const std::vector<SubCall>& calls,
+                                          bool treat_notfound_as_ok) {
+  size_t failed = 0;
+  bool same_code = true;
+  StatusCode code = StatusCode::kOk;
+  std::ostringstream msg;
+  for (const SubCall& call : calls) {
+    if (call.result.ok()) continue;
+    const Status& st = call.result.status();
+    if (treat_notfound_as_ok && st.IsNotFound()) continue;
+    if (failed == 0) {
+      code = st.code();
+    } else {
+      msg << "; ";
+      if (st.code() != code) same_code = false;
+    }
+    ++failed;
+    msg << DescribeShard(map_, call.shard) << ": " << st.ToString();
+  }
+  if (failed == 0) return Status::OK();
+  if (failed < calls.size()) {
+    partial_results_->Add();
+    return Status::PartialResult(msg.str());
+  }
+  // Every shard failed: a shared code (NotFound everywhere, timeouts
+  // everywhere) is more actionable than the generic Unavailable.
+  if (same_code) return Status(code, msg.str());
+  return Status::Unavailable(msg.str());
+}
+
+Result<net::Response> RoutingTileClient::Call(const net::Request& request) {
+  requests_->Add();
+  return std::visit(
+      Overloaded{
+          [&](const net::PingRequest&) { return RoutePing(request); },
+          [&](const net::OpenMDDRequest& r) { return RouteOpenMDD(r); },
+          [&](const net::RangeQueryRequest& r) { return RouteRangeQuery(r); },
+          [&](const net::AggregateRequest& r) { return RouteAggregate(r); },
+          [&](const net::InsertTilesRequest& r) {
+            return RouteInsertTiles(r);
+          },
+          [&](const net::StatsRequest& r) { return RouteStats(r); },
+          [&](const net::RetileRequest& r) { return RouteRetile(r); },
+          [&](const net::HelloRequest&) -> Result<net::Response> {
+            return Status::Unimplemented(
+                "hello is connection-scoped; the routing client negotiates "
+                "it per shard at connect time");
+          },
+      },
+      request);
+}
+
+Result<net::Response> RoutingTileClient::RoutePing(
+    const net::Request& request) {
+  std::vector<SubCall> calls(map_.shard_count());
+  for (uint32_t shard = 0; shard < map_.shard_count(); ++shard) {
+    calls[shard].shard = shard;
+    calls[shard].request = request;
+  }
+  Scatter(&calls);
+  Status st = CombineStatuses(calls);
+  if (!st.ok()) return st;
+  return net::Response{net::PingResponse{}};
+}
+
+Result<net::Response> RoutingTileClient::RouteOpenMDD(
+    const net::OpenMDDRequest& request) {
+  const std::vector<uint32_t> owners = map_.AllOwners(request.name);
+  std::vector<SubCall> calls(owners.size());
+  for (size_t i = 0; i < owners.size(); ++i) {
+    calls[i].shard = owners[i];
+    calls[i].request = request;
+  }
+  Scatter(&calls);
+  // A slab owner without tiles yet legitimately answers NotFound; the
+  // object exists cluster-wide as long as any owner knows it.
+  Status st = CombineStatuses(calls, /*treat_notfound_as_ok=*/true);
+  if (!st.ok()) return st;
+  net::OpenMDDResponse combined;
+  bool first = true;
+  for (SubCall& call : calls) {
+    if (!call.result.ok()) continue;  // tolerated NotFound
+    const auto& resp = std::get<net::OpenMDDResponse>(*call.result);
+    if (first) {
+      combined = resp;
+      first = false;
+      continue;
+    }
+    if (resp.definition_domain.dim() != combined.definition_domain.dim() ||
+        resp.cell_type_id != combined.cell_type_id) {
+      return Status::Corruption("shards disagree on the shape of '" +
+                                request.name + "'");
+    }
+    combined.tile_count += resp.tile_count;
+    combined.definition_domain =
+        combined.definition_domain.Hull(resp.definition_domain);
+    if (resp.has_current_domain) {
+      combined.current_domain =
+          combined.has_current_domain
+              ? combined.current_domain.Hull(resp.current_domain)
+              : resp.current_domain;
+      combined.has_current_domain = true;
+    }
+  }
+  if (first) {
+    return Status::NotFound("mdd '" + request.name +
+                            "' not found on any owning shard");
+  }
+  return net::Response{std::move(combined)};
+}
+
+Result<net::Response> RoutingTileClient::RouteRangeQuery(
+    const net::RangeQueryRequest& request) {
+  if (map_.FindSplit(request.name) != nullptr && !request.region.IsFixed()) {
+    return Status::InvalidArgument(
+        "queries on a range-split object need a fixed region ('*' bounds "
+        "cannot be resolved across shards)");
+  }
+  Result<std::vector<ShardMap::Target>> targets =
+      map_.QueryTargets(request.name, request.region);
+  if (!targets.ok()) return targets.status();
+  std::vector<SubCall> calls(targets->size());
+  for (size_t i = 0; i < targets->size(); ++i) {
+    calls[i].shard = (*targets)[i].shard;
+    calls[i].request = net::RangeQueryRequest{
+        request.name, std::move((*targets)[i].region)};
+  }
+  Scatter(&calls);
+  if (calls.size() == 1) return std::move(calls[0].result);
+  Status st = CombineStatuses(calls);
+  if (!st.ok()) return st;
+  // Stitch: sub-regions partition the query region, and each shard
+  // default-fills its own sub-region, so copying every sub-array into a
+  // zero-initialised frame writes each cell exactly once.
+  const auto& first = std::get<net::RangeQueryResponse>(*calls[0].result);
+  const CellType cell_type =
+      CellType::Of(static_cast<CellTypeId>(first.cell_type_id));
+  Result<Array> stitched = Array::Create(request.region, cell_type);
+  if (!stitched.ok()) return stitched.status();
+  for (SubCall& call : calls) {
+    auto& resp = std::get<net::RangeQueryResponse>(*call.result);
+    if (resp.cell_type_id != first.cell_type_id) {
+      return Status::Corruption("shards disagree on the cell type of '" +
+                                request.name + "'");
+    }
+    Result<Array> piece =
+        Array::FromBuffer(resp.domain, cell_type, std::move(resp.cells));
+    if (!piece.ok()) return piece.status();
+    Status copy = stitched->CopyFrom(*piece, piece->domain());
+    if (!copy.ok()) {
+      return Status::Corruption(DescribeShard(map_, call.shard) +
+                                " answered outside its sub-region: " +
+                                copy.message());
+    }
+  }
+  net::RangeQueryResponse out;
+  out.domain = request.region;
+  out.cell_type_id = first.cell_type_id;
+  out.cells = std::move(*stitched).TakeBuffer();
+  return net::Response{std::move(out)};
+}
+
+Result<net::Response> RoutingTileClient::RouteAggregate(
+    const net::AggregateRequest& request) {
+  if (map_.FindSplit(request.name) != nullptr && !request.region.IsFixed()) {
+    return Status::InvalidArgument(
+        "aggregates on a range-split object need a fixed region");
+  }
+  Result<std::vector<ShardMap::Target>> targets =
+      map_.QueryTargets(request.name, request.region);
+  if (!targets.ok()) return targets.status();
+  const auto op = static_cast<AggregateOp>(request.op);
+  // kAvg does not distribute over sub-regions; fan it out as per-shard
+  // kSum and divide by the full region's cell count — the same operands
+  // the single-store average uses.
+  const bool rewrite_avg = targets->size() > 1 && op == AggregateOp::kAvg;
+  std::vector<SubCall> calls(targets->size());
+  for (size_t i = 0; i < targets->size(); ++i) {
+    net::AggregateRequest sub = request;
+    sub.region = std::move((*targets)[i].region);
+    if (rewrite_avg) sub.op = static_cast<uint8_t>(AggregateOp::kSum);
+    calls[i].shard = (*targets)[i].shard;
+    calls[i].request = std::move(sub);
+  }
+  Scatter(&calls);
+  if (calls.size() == 1) return std::move(calls[0].result);
+  Status st = CombineStatuses(calls);
+  if (!st.ok()) return st;
+  double value = 0;
+  bool first = true;
+  for (const SubCall& call : calls) {
+    const double v = std::get<net::AggregateResponse>(*call.result).value;
+    switch (op) {
+      case AggregateOp::kSum:
+      case AggregateOp::kAvg:
+      case AggregateOp::kCount:
+        value += v;
+        break;
+      case AggregateOp::kMin:
+        value = first ? v : std::min(value, v);
+        break;
+      case AggregateOp::kMax:
+        value = first ? v : std::max(value, v);
+        break;
+    }
+    first = false;
+  }
+  if (rewrite_avg) {
+    Result<uint64_t> cells = request.region.CellCount();
+    if (!cells.ok()) return cells.status();
+    value /= static_cast<double>(*cells);
+  }
+  return net::Response{net::AggregateResponse{value}};
+}
+
+Result<net::Response> RoutingTileClient::RouteInsertTiles(
+    const net::InsertTilesRequest& request) {
+  const RegionSplit* split = map_.FindSplit(request.name);
+  if (split == nullptr) {
+    std::vector<SubCall> calls(1);
+    calls[0].shard = map_.OwnerOf(request.name);
+    calls[0].request = request;
+    Scatter(&calls);
+    return std::move(calls[0].result);
+  }
+  // Group tiles by owning slab before sending anything: a tile straddling
+  // a cut rejects the whole batch with no shard mutated.
+  std::map<uint32_t, net::InsertTilesRequest> per_shard;
+  auto shard_request = [&](uint32_t shard) -> net::InsertTilesRequest& {
+    auto [it, inserted] = per_shard.try_emplace(shard);
+    if (inserted) {
+      it->second.name = request.name;
+      it->second.create_if_missing = request.create_if_missing;
+      it->second.definition_domain = request.definition_domain;
+      it->second.cell_type_id = request.cell_type_id;
+    }
+    return it->second;
+  };
+  if (request.create_if_missing) {
+    // Broadcast the creation (possibly with no tiles) to every slab owner
+    // so a later query on any slab finds the object, not NotFound.
+    for (const uint32_t owner : map_.AllOwners(request.name)) {
+      shard_request(owner);
+    }
+  }
+  for (const net::WireTile& tile : request.tiles) {
+    Result<uint32_t> owner = map_.TileOwner(request.name, tile.domain);
+    if (!owner.ok()) return owner.status();
+    shard_request(*owner).tiles.push_back(tile);
+  }
+  std::vector<SubCall> calls;
+  calls.reserve(per_shard.size());
+  for (auto& [shard, sub] : per_shard) {
+    SubCall call;
+    call.shard = shard;
+    call.request = std::move(sub);
+    calls.push_back(std::move(call));
+  }
+  Scatter(&calls);
+  Status st = CombineStatuses(calls);
+  if (!st.ok()) return st;
+  net::InsertTilesResponse combined;
+  for (const SubCall& call : calls) {
+    combined.tiles_inserted +=
+        std::get<net::InsertTilesResponse>(*call.result).tiles_inserted;
+  }
+  return net::Response{combined};
+}
+
+Result<net::Response> RoutingTileClient::RouteStats(
+    const net::StatsRequest& request) {
+  std::vector<SubCall> calls(map_.shard_count());
+  for (uint32_t shard = 0; shard < map_.shard_count(); ++shard) {
+    calls[shard].shard = shard;
+    calls[shard].request = request;
+  }
+  Scatter(&calls);
+  // Lenient by design: observability of the live shards should not go
+  // dark because one shard is down — failed shards show up as null.
+  size_t ok_count = 0;
+  for (const SubCall& call : calls) ok_count += call.result.ok() ? 1 : 0;
+  if (ok_count == 0) return CombineStatuses(calls);
+  std::ostringstream out;
+  if (request.format == 1) {
+    out << "# cluster routing client\n"
+        << registry_.Snapshot().ToPrometheusText();
+    for (const SubCall& call : calls) {
+      out << "# " << DescribeShard(map_, call.shard) << "\n";
+      if (call.result.ok()) {
+        out << std::get<net::StatsResponse>(*call.result).text;
+      } else {
+        out << "# unavailable: " << call.result.status().ToString() << "\n";
+      }
+    }
+  } else {
+    // Formats 0 and 2 are JSON; shard texts embed verbatim.
+    out << "{";
+    if (request.format == 0) {
+      out << "\"cluster\":" << registry_.Snapshot().ToJson() << ",";
+    }
+    out << "\"shards\":[";
+    for (size_t i = 0; i < calls.size(); ++i) {
+      if (i) out << ",";
+      if (calls[i].result.ok()) {
+        out << std::get<net::StatsResponse>(*calls[i].result).text;
+      } else {
+        out << "null";
+      }
+    }
+    out << "]}";
+  }
+  return net::Response{net::StatsResponse{out.str()}};
+}
+
+Result<net::Response> RoutingTileClient::RouteRetile(
+    const net::RetileRequest& request) {
+  const std::vector<uint32_t> owners = map_.AllOwners(request.name);
+  std::vector<SubCall> calls(owners.size());
+  for (size_t i = 0; i < owners.size(); ++i) {
+    calls[i].shard = owners[i];
+    calls[i].request = request;
+  }
+  Scatter(&calls);
+  if (calls.size() == 1) return std::move(calls[0].result);
+  Status st = CombineStatuses(calls);
+  if (!st.ok()) return st;
+  net::RetileResponse combined;
+  for (const SubCall& call : calls) {
+    const auto& resp = std::get<net::RetileResponse>(*call.result);
+    if (resp.migrated && !combined.migrated) {
+      combined.migrated = true;
+      combined.kind = resp.kind;
+      combined.rationale = resp.rationale;
+    }
+    combined.predicted_gain =
+        std::max(combined.predicted_gain, resp.predicted_gain);
+    combined.steps += resp.steps;
+    combined.tiles_before += resp.tiles_before;
+    combined.tiles_after += resp.tiles_after;
+    combined.cells_moved += resp.cells_moved;
+  }
+  if (!combined.migrated && !calls.empty()) {
+    const auto& firstr = std::get<net::RetileResponse>(*calls[0].result);
+    combined.kind = firstr.kind;
+    combined.rationale = firstr.rationale;
+  }
+  return net::Response{std::move(combined)};
+}
+
+}  // namespace cluster
+}  // namespace tilestore

@@ -1,0 +1,309 @@
+#include "cluster/shard_map.h"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+namespace tilestore {
+namespace cluster {
+
+namespace {
+
+// FNV-1a over the object name: stable across platforms and sessions, so
+// every participant derives the same placement from the same map.
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// The slab's coordinate range along the split axis. Slab 0 reaches -inf,
+// the last slab +inf, so every coordinate belongs to exactly one slab and
+// placement never depends on knowing the object's domain.
+void SlabBounds(const RegionSplit& split, size_t slab, Coord* lo,
+                Coord* hi) {
+  *lo = slab == 0 ? kLoUnbounded : split.cuts[slab - 1];
+  *hi = slab == split.cuts.size() ? kHiUnbounded : split.cuts[slab] - 1;
+}
+
+Status ParseEndpoint(const std::string& token, ShardEndpoint* out) {
+  const size_t colon = token.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= token.size()) {
+    return Status::InvalidArgument("bad endpoint '" + token +
+                                   "' (want host:port)");
+  }
+  out->host = token.substr(0, colon);
+  int port = 0;
+  try {
+    port = std::stoi(token.substr(colon + 1));
+  } catch (...) {
+    port = -1;
+  }
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in endpoint '" + token + "'");
+  }
+  out->port = static_cast<uint16_t>(port);
+  return Status::OK();
+}
+
+template <typename T>
+Status ParseCoordList(const std::string& list, const char* what,
+                      std::vector<T>* out) {
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      out->push_back(static_cast<T>(std::stoll(item)));
+    } catch (...) {
+      return Status::InvalidArgument(std::string("bad ") + what + " '" +
+                                     item + "'");
+    }
+  }
+  if (out->empty()) {
+    return Status::InvalidArgument(std::string("empty ") + what + " list");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ShardMap> ShardMap::Create(std::vector<ShardEndpoint> endpoints,
+                                  std::vector<RegionSplit> splits) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("shard map needs at least one shard");
+  }
+  ShardMap map;
+  map.endpoints_ = std::move(endpoints);
+  for (RegionSplit& split : splits) {
+    if (split.object.empty()) {
+      return Status::InvalidArgument("split with empty object name");
+    }
+    if (map.splits_.count(split.object) != 0) {
+      return Status::InvalidArgument("duplicate split for object '" +
+                                     split.object + "'");
+    }
+    if (split.shards.size() != split.cuts.size() + 1) {
+      return Status::InvalidArgument(
+          "split '" + split.object + "' needs " +
+          std::to_string(split.cuts.size() + 1) + " slab owners, got " +
+          std::to_string(split.shards.size()));
+    }
+    for (size_t i = 1; i < split.cuts.size(); ++i) {
+      if (split.cuts[i] <= split.cuts[i - 1]) {
+        return Status::InvalidArgument("split '" + split.object +
+                                       "' cuts must be strictly ascending");
+      }
+    }
+    for (const uint32_t shard : split.shards) {
+      if (shard >= map.endpoints_.size()) {
+        return Status::InvalidArgument(
+            "split '" + split.object + "' references shard " +
+            std::to_string(shard) + " of " +
+            std::to_string(map.endpoints_.size()));
+      }
+    }
+    map.splits_[split.object] = std::move(split);
+  }
+  return map;
+}
+
+ShardMap ShardMap::Uniform(std::vector<ShardEndpoint> endpoints) {
+  assert(!endpoints.empty());
+  ShardMap map;
+  map.endpoints_ = std::move(endpoints);
+  return map;
+}
+
+Result<ShardMap> ShardMap::Parse(const std::string& text) {
+  std::vector<ShardEndpoint> endpoints;
+  std::vector<std::pair<uint32_t, ShardEndpoint>> numbered;
+  std::vector<RegionSplit> splits;
+  std::stringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    std::stringstream tokens(line);
+    std::string kind;
+    if (!(tokens >> kind) || kind[0] == '#') continue;
+    const std::string where = " (line " + std::to_string(lineno) + ")";
+    if (kind == "shard") {
+      uint32_t id = 0;
+      std::string addr;
+      if (!(tokens >> id >> addr)) {
+        return Status::InvalidArgument("malformed shard line" + where);
+      }
+      ShardEndpoint ep;
+      Status st = ParseEndpoint(addr, &ep);
+      if (!st.ok()) return Status::InvalidArgument(st.message() + where);
+      numbered.emplace_back(id, std::move(ep));
+    } else if (kind == "split") {
+      RegionSplit split;
+      std::string token;
+      if (!(tokens >> split.object)) {
+        return Status::InvalidArgument("malformed split line" + where);
+      }
+      bool have_axis = false, have_cuts = false, have_shards = false;
+      while (tokens >> token) {
+        const size_t eq = token.find('=');
+        if (eq == std::string::npos) {
+          return Status::InvalidArgument("bad split attribute '" + token +
+                                         "'" + where);
+        }
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        Status st;
+        if (key == "axis") {
+          try {
+            split.axis = static_cast<size_t>(std::stoul(value));
+            have_axis = true;
+          } catch (...) {
+            st = Status::InvalidArgument("bad axis '" + value + "'");
+          }
+        } else if (key == "cuts") {
+          st = ParseCoordList<Coord>(value, "cut", &split.cuts);
+          have_cuts = st.ok();
+        } else if (key == "shards") {
+          st = ParseCoordList<uint32_t>(value, "shard id", &split.shards);
+          have_shards = st.ok();
+        } else {
+          st = Status::InvalidArgument("unknown split attribute '" + key +
+                                       "'");
+        }
+        if (!st.ok()) return Status::InvalidArgument(st.message() + where);
+      }
+      if (!have_axis || !have_cuts || !have_shards) {
+        return Status::InvalidArgument(
+            "split needs axis=, cuts= and shards=" + where);
+      }
+      splits.push_back(std::move(split));
+    } else {
+      return Status::InvalidArgument("unknown directive '" + kind + "' (line " +
+                                     std::to_string(lineno) + ")");
+    }
+  }
+  if (numbered.empty()) {
+    return Status::InvalidArgument("shard map defines no shards");
+  }
+  std::sort(numbered.begin(), numbered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  endpoints.reserve(numbered.size());
+  for (size_t i = 0; i < numbered.size(); ++i) {
+    if (numbered[i].first != i) {
+      return Status::InvalidArgument(
+          "shard ids must be contiguous from 0 (missing or duplicate id " +
+          std::to_string(i) + ")");
+    }
+    endpoints.push_back(std::move(numbered[i].second));
+  }
+  return Create(std::move(endpoints), std::move(splits));
+}
+
+Result<ShardMap> ShardMap::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot read cluster map file: " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Result<ShardMap> map = Parse(buffer.str());
+  if (!map.ok()) {
+    return Status::InvalidArgument(path + ": " + map.status().message());
+  }
+  return map;
+}
+
+std::string ShardMap::ToText() const {
+  std::stringstream out;
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    out << "shard " << i << " " << endpoints_[i].host << ":"
+        << endpoints_[i].port << "\n";
+  }
+  for (const auto& [name, split] : splits_) {
+    out << "split " << name << " axis=" << split.axis << " cuts=";
+    for (size_t i = 0; i < split.cuts.size(); ++i) {
+      out << (i ? "," : "") << split.cuts[i];
+    }
+    out << " shards=";
+    for (size_t i = 0; i < split.shards.size(); ++i) {
+      out << (i ? "," : "") << split.shards[i];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+uint32_t ShardMap::OwnerOf(const std::string& name) const {
+  return static_cast<uint32_t>(Fnv1a(name) % endpoints_.size());
+}
+
+const RegionSplit* ShardMap::FindSplit(const std::string& name) const {
+  auto it = splits_.find(name);
+  return it == splits_.end() ? nullptr : &it->second;
+}
+
+Result<std::vector<ShardMap::Target>> ShardMap::QueryTargets(
+    const std::string& name, const MInterval& region) const {
+  std::vector<Target> targets;
+  const RegionSplit* split = FindSplit(name);
+  if (split == nullptr) {
+    targets.push_back(Target{OwnerOf(name), region});
+    return targets;
+  }
+  if (split->axis >= region.dim()) {
+    return Status::InvalidArgument(
+        "split axis " + std::to_string(split->axis) + " out of range for " +
+        std::to_string(region.dim()) + "-d region");
+  }
+  // Clip the region against each slab: the slab interval is unbounded on
+  // every other axis, so Intersection only narrows the split axis.
+  std::vector<Coord> lo(region.dim(), kLoUnbounded);
+  std::vector<Coord> hi(region.dim(), kHiUnbounded);
+  for (size_t slab = 0; slab <= split->cuts.size(); ++slab) {
+    SlabBounds(*split, slab, &lo[split->axis], &hi[split->axis]);
+    Result<MInterval> slab_iv = MInterval::Create(lo, hi);
+    if (!slab_iv.ok()) return slab_iv.status();
+    std::optional<MInterval> clipped = region.Intersection(*slab_iv);
+    if (!clipped.has_value()) continue;
+    targets.push_back(Target{split->shards[slab], std::move(*clipped)});
+  }
+  return targets;
+}
+
+Result<uint32_t> ShardMap::TileOwner(const std::string& name,
+                                     const MInterval& domain) const {
+  const RegionSplit* split = FindSplit(name);
+  if (split == nullptr) return OwnerOf(name);
+  if (split->axis >= domain.dim()) {
+    return Status::InvalidArgument(
+        "split axis " + std::to_string(split->axis) +
+        " out of range for tile " + domain.ToString());
+  }
+  for (size_t slab = 0; slab <= split->cuts.size(); ++slab) {
+    Coord lo, hi;
+    SlabBounds(*split, slab, &lo, &hi);
+    if (domain.lo(split->axis) >= lo && domain.hi(split->axis) <= hi) {
+      return split->shards[slab];
+    }
+  }
+  return Status::InvalidArgument(
+      "tile " + domain.ToString() + " of '" + name +
+      "' straddles a shard cut; splits must be tile-aligned");
+}
+
+std::vector<uint32_t> ShardMap::AllOwners(const std::string& name) const {
+  const RegionSplit* split = FindSplit(name);
+  if (split == nullptr) return {OwnerOf(name)};
+  std::vector<uint32_t> owners = split->shards;
+  std::sort(owners.begin(), owners.end());
+  owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+  return owners;
+}
+
+}  // namespace cluster
+}  // namespace tilestore

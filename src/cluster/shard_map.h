@@ -1,0 +1,112 @@
+#ifndef TILESTORE_CLUSTER_SHARD_MAP_H_
+#define TILESTORE_CLUSTER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/minterval.h"
+
+namespace tilestore {
+namespace cluster {
+
+/// One shard process's address.
+struct ShardEndpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// Region-range split of one huge MDD across shards: the object is cut
+/// into slabs along one axis at tile-aligned hyperplanes, and each slab
+/// lives on its own shard. Objects without a split are placed whole by
+/// name hash.
+struct RegionSplit {
+  std::string object;
+  /// Split axis (0-based). Must be a valid axis of every region queried.
+  size_t axis = 0;
+  /// Strictly ascending interior cut coordinates. Cut `c` separates cells
+  /// `< c` from cells `>= c`; with k cuts the object has k+1 slabs:
+  /// (-inf, c0-1], [c0, c1-1], ..., [ck-1, +inf).
+  std::vector<Coord> cuts;
+  /// Owning shard of each slab, size `cuts.size() + 1`.
+  std::vector<uint32_t> shards;
+};
+
+/// \brief Deterministic MDD -> shard assignment (DESIGN.md §13).
+///
+/// Whole objects are placed by FNV-1a hash of their name modulo the shard
+/// count; huge objects may instead be region-split along one axis, each
+/// slab owned by a configured shard. The map is plain data — every client
+/// and launcher computing placement from the same map text agrees, so
+/// there is no placement service to coordinate with.
+///
+/// Text format (whitespace-separated, `#` starts a comment line):
+///
+///   shard 0 127.0.0.1:7101
+///   shard 1 127.0.0.1:7102
+///   split huge axis=0 cuts=1024,2048 shards=0,1,0
+class ShardMap {
+ public:
+  ShardMap() = default;
+
+  /// Validating factory: shard ids contiguous from 0, split cut/shard
+  /// lists consistent, split shard ids in range.
+  static Result<ShardMap> Create(std::vector<ShardEndpoint> endpoints,
+                                 std::vector<RegionSplit> splits = {});
+
+  /// Hash-only map over `endpoints` (no splits); asserts non-empty.
+  static ShardMap Uniform(std::vector<ShardEndpoint> endpoints);
+
+  static Result<ShardMap> Parse(const std::string& text);
+  static Result<ShardMap> LoadFile(const std::string& path);
+  std::string ToText() const;
+
+  uint32_t shard_count() const {
+    return static_cast<uint32_t>(endpoints_.size());
+  }
+  const ShardEndpoint& endpoint(uint32_t shard) const {
+    return endpoints_[shard];
+  }
+
+  /// Hash owner of an unsplit object (also the *metadata* owner of a
+  /// split one — see `QueryTargets` for data placement).
+  uint32_t OwnerOf(const std::string& name) const;
+
+  const RegionSplit* FindSplit(const std::string& name) const;
+
+  /// One shard's share of a query: the sub-region it owns. Sub-regions of
+  /// one query partition the query region (slabs are disjoint and cover
+  /// the axis), so stitched results cover every cell exactly once.
+  struct Target {
+    uint32_t shard = 0;
+    MInterval region;
+  };
+
+  /// Shards owning parts of `region` of `name`, clipped per slab. Unsplit
+  /// objects yield exactly one target carrying the whole region.
+  /// Unbounded ('*') region bounds pass through to each slab's share.
+  Result<std::vector<Target>> QueryTargets(const std::string& name,
+                                           const MInterval& region) const;
+
+  /// Owning shard of one whole tile. Fails with InvalidArgument when the
+  /// tile straddles a cut hyperplane — splits must be tile-aligned, and
+  /// rejecting at insert keeps every stored tile on exactly one shard.
+  Result<uint32_t> TileOwner(const std::string& name,
+                             const MInterval& domain) const;
+
+  /// Every shard holding (or eligible to hold) data of `name`: the slab
+  /// owners of a split object, the single hash owner otherwise.
+  std::vector<uint32_t> AllOwners(const std::string& name) const;
+
+ private:
+  std::vector<ShardEndpoint> endpoints_;
+  std::map<std::string, RegionSplit> splits_;
+};
+
+}  // namespace cluster
+}  // namespace tilestore
+
+#endif  // TILESTORE_CLUSTER_SHARD_MAP_H_

@@ -28,6 +28,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kPartialResult:
+      return "PartialResult";
   }
   return "Unknown";
 }

@@ -31,6 +31,10 @@ enum class StatusCode : uint8_t {
   kUnavailable = 10,
   /// An operation's deadline expired before it completed.
   kDeadlineExceeded = 11,
+  /// A fan-out operation succeeded on some shards but failed on others;
+  /// the message enumerates the per-shard failures. Whatever data was
+  /// returned alongside this status is incomplete but well-formed.
+  kPartialResult = 12,
 };
 
 /// \brief Returns the canonical name of a status code (e.g. "IOError").
@@ -87,6 +91,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status PartialResult(std::string msg) {
+    return Status(StatusCode::kPartialResult, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -108,6 +115,9 @@ class Status {
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsPartialResult() const {
+    return code_ == StatusCode::kPartialResult;
   }
 
   /// Renders "OK" or "<Code>: <message>".

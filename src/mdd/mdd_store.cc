@@ -284,6 +284,8 @@ std::vector<std::string> MDDStore::ListMDD() const {
   return names;
 }
 
+const std::string& MDDStore::path() const { return file_->path(); }
+
 Status MDDStore::StageCatalog() {
   // Phase 1: persist each object's packed index image.
   std::map<std::string, BlobId> new_index_blobs;

@@ -109,6 +109,10 @@ class MDDStore {
 
   std::vector<std::string> ListMDD() const;
 
+  /// Filesystem path of the backing page file; sidecars (`.wal`, `.lock`,
+  /// the re-tiler's `.retile` plan file) derive their names from it.
+  const std::string& path() const;
+
   /// Persists the catalog. In WAL mode this is a transactional, fsynced
   /// commit (joining the active transaction if one is open — durability
   /// then arrives at that transaction's commit); in unlogged mode it

@@ -16,13 +16,87 @@ Result<std::unique_ptr<TileClient>> TileClient::Connect(
     }
     Result<Socket> sock =
         Socket::ConnectTcp(host, port, options.connect_timeout_ms);
-    if (sock.ok()) {
-      return std::unique_ptr<TileClient>(
-          new TileClient(std::move(sock).MoveValue(), options));
+    if (!sock.ok()) {
+      last = sock.status();
+      continue;
     }
-    last = sock.status();
+    std::unique_ptr<TileClient> client(
+        new TileClient(std::move(sock).MoveValue(), options));
+    if (!options.handshake) return client;
+    bool downgrade = false;
+    Status st = client->Handshake(&downgrade);
+    if (st.ok() && !downgrade) return client;
+    if (st.ok() && downgrade) {
+      // The server dropped the connection on the unknown kHello op — the
+      // v1 behaviour. Reconnect fresh and speak v1; shard identity stays
+      // at the standalone default.
+      Result<Socket> again =
+          Socket::ConnectTcp(host, port, options.connect_timeout_ms);
+      if (!again.ok()) {
+        last = again.status();
+        continue;
+      }
+      client.reset(new TileClient(std::move(again).MoveValue(), options));
+      client->wire_version_ = kMinWireVersion;
+      return client;
+    }
+    // A timed-out handshake is transient — a busy server may answer the
+    // next attempt.
+    if (st.IsDeadlineExceeded()) {
+      last = st;
+      continue;
+    }
+    // A clean server-side rejection (e.g. the wrong shard answered) is
+    // definitive — retrying the same endpoint cannot fix a miswired map.
+    return st;
   }
   return last;
+}
+
+Status TileClient::Handshake(bool* downgrade) {
+  *downgrade = false;
+  HelloRequest hello;
+  hello.max_version = kWireVersion;
+  hello.expected_shard_id = options_.expected_shard_id;
+  std::vector<uint8_t> payload;
+  Status st = RoundTrip(WireOp::kHello, EncodeHelloRequest(hello), &payload);
+  if (!st.ok()) {
+    // A deadline expiry is a slow server, not a v1 one — downgrading here
+    // would hide its shard identity behind the standalone defaults.
+    if (st.IsDeadlineExceeded()) return st;
+    // Any other transport failure right after a successful connect: almost
+    // certainly a v1 server closing on the unknown op. Signal downgrade;
+    // a genuinely dead server fails the v1 reconnect immediately after.
+    *downgrade = true;
+    return Status::OK();
+  }
+  Status server;
+  HelloResponse resp;
+  st = DecodeHelloResponse(payload, &server, &resp);
+  if (!st.ok()) {
+    healthy_ = false;
+    return st;
+  }
+  if (!server.ok()) {
+    if (server.IsUnimplemented()) {
+      // The server answered cleanly but is pinned to v1
+      // (max_wire_version=1); the connection is still good.
+      wire_version_ = kMinWireVersion;
+      return Status::OK();
+    }
+    return server;
+  }
+  wire_version_ = resp.version;
+  shard_id_ = resp.shard_id;
+  shard_count_ = resp.shard_count;
+  if (options_.expected_shard_id != kAnyShard &&
+      resp.shard_id != options_.expected_shard_id) {
+    return Status::InvalidArgument(
+        "endpoint serves shard " + std::to_string(resp.shard_id) + "/" +
+        std::to_string(resp.shard_count) + ", expected shard " +
+        std::to_string(options_.expected_shard_id));
+  }
+  return Status::OK();
 }
 
 Status TileClient::RoundTrip(WireOp op, const std::vector<uint8_t>& request,
@@ -35,8 +109,12 @@ Status TileClient::RoundTrip(WireOp op, const std::vector<uint8_t>& request,
   }
   const uint64_t id = next_request_id_++;
   const Deadline deadline = DeadlineAfterMs(options_.request_timeout_ms);
+  // kHello frames are stamped with the client's maximum version (that is
+  // the offer); everything later uses the negotiated one.
+  const uint16_t version =
+      op == WireOp::kHello ? kWireVersion : wire_version_;
   const std::vector<uint8_t> frame =
-      EncodeFrame(op, /*response=*/false, id, request);
+      EncodeFrame(op, /*response=*/false, id, request, version);
   Status st = socket_.SendAll(frame.data(), frame.size(), deadline);
   if (!st.ok()) {
     healthy_ = false;
@@ -71,166 +149,20 @@ Status TileClient::RoundTrip(WireOp op, const std::vector<uint8_t>& request,
   return Status::OK();
 }
 
-Status TileClient::Ping() {
+Result<Response> TileClient::Call(const Request& request) {
+  const WireOp op = RequestOp(request);
   std::vector<uint8_t> payload;
-  Status st = RoundTrip(WireOp::kPing, {}, &payload);
+  Status st = RoundTrip(op, EncodeRequest(request), &payload);
   if (!st.ok()) return st;
   Status server;
-  st = DecodePingResponse(payload, &server);
-  if (!st.ok()) {
-    healthy_ = false;
-    return st;
-  }
-  return server;
-}
-
-Result<RemoteMDDInfo> TileClient::OpenMDD(const std::string& name) {
-  OpenMDDRequest req;
-  req.name = name;
-  std::vector<uint8_t> payload;
-  Status st = RoundTrip(WireOp::kOpenMDD, EncodeOpenMDDRequest(req), &payload);
-  if (!st.ok()) return st;
-  Status server;
-  OpenMDDResponse resp;
-  st = DecodeOpenMDDResponse(payload, &server, &resp);
+  Response response;
+  st = DecodeResponsePayload(op, payload, &server, &response);
   if (!st.ok()) {
     healthy_ = false;
     return st;
   }
   if (!server.ok()) return server;
-  if (resp.cell_type_id > static_cast<uint8_t>(CellTypeId::kRGB8)) {
-    healthy_ = false;
-    return Status::Corruption("unknown cell type id in response");
-  }
-  RemoteMDDInfo info;
-  info.definition_domain = std::move(resp.definition_domain);
-  if (resp.has_current_domain) {
-    info.current_domain = std::move(resp.current_domain);
-  }
-  info.cell_type = CellType::Of(static_cast<CellTypeId>(resp.cell_type_id));
-  info.tile_count = resp.tile_count;
-  return info;
-}
-
-Result<Array> TileClient::RangeQuery(const std::string& name,
-                                     const MInterval& region) {
-  RangeQueryRequest req;
-  req.name = name;
-  req.region = region;
-  std::vector<uint8_t> payload;
-  Status st =
-      RoundTrip(WireOp::kRangeQuery, EncodeRangeQueryRequest(req), &payload);
-  if (!st.ok()) return st;
-  Status server;
-  RangeQueryResponse resp;
-  st = DecodeRangeQueryResponse(payload, &server, &resp);
-  if (!st.ok()) {
-    healthy_ = false;
-    return st;
-  }
-  if (!server.ok()) return server;
-  if (resp.cell_type_id > static_cast<uint8_t>(CellTypeId::kRGB8)) {
-    healthy_ = false;
-    return Status::Corruption("unknown cell type id in response");
-  }
-  Result<Array> array = Array::FromBuffer(
-      resp.domain, CellType::Of(static_cast<CellTypeId>(resp.cell_type_id)),
-      std::move(resp.cells));
-  if (!array.ok()) {
-    healthy_ = false;
-    return Status::Corruption("malformed query result: " +
-                              array.status().message());
-  }
-  return array;
-}
-
-Result<double> TileClient::Aggregate(const std::string& name,
-                                     const MInterval& region,
-                                     AggregateOp op) {
-  AggregateRequest req;
-  req.name = name;
-  req.region = region;
-  req.op = static_cast<uint8_t>(op);
-  std::vector<uint8_t> payload;
-  Status st =
-      RoundTrip(WireOp::kAggregate, EncodeAggregateRequest(req), &payload);
-  if (!st.ok()) return st;
-  Status server;
-  AggregateResponse resp;
-  st = DecodeAggregateResponse(payload, &server, &resp);
-  if (!st.ok()) {
-    healthy_ = false;
-    return st;
-  }
-  if (!server.ok()) return server;
-  return resp.value;
-}
-
-Status TileClient::InsertTiles(const std::string& name,
-                               std::span<const Array> tiles,
-                               bool create_if_missing,
-                               const MInterval& definition_domain,
-                               CellType cell_type) {
-  InsertTilesRequest req;
-  req.name = name;
-  req.create_if_missing = create_if_missing;
-  if (create_if_missing) {
-    req.definition_domain = definition_domain;
-    req.cell_type_id = static_cast<uint8_t>(cell_type.id());
-  }
-  req.tiles.reserve(tiles.size());
-  for (const Array& tile : tiles) {
-    WireTile wire_tile;
-    wire_tile.domain = tile.domain();
-    wire_tile.cells.assign(tile.data(), tile.data() + tile.size_bytes());
-    req.tiles.push_back(std::move(wire_tile));
-  }
-  std::vector<uint8_t> payload;
-  Status st = RoundTrip(WireOp::kInsertTiles, EncodeInsertTilesRequest(req),
-                        &payload);
-  if (!st.ok()) return st;
-  Status server;
-  InsertTilesResponse resp;
-  st = DecodeInsertTilesResponse(payload, &server, &resp);
-  if (!st.ok()) {
-    healthy_ = false;
-    return st;
-  }
-  return server;
-}
-
-Result<std::string> TileClient::Stats(uint8_t format) {
-  StatsRequest req;
-  req.format = format;
-  std::vector<uint8_t> payload;
-  Status st = RoundTrip(WireOp::kStats, EncodeStatsRequest(req), &payload);
-  if (!st.ok()) return st;
-  Status server;
-  StatsResponse resp;
-  st = DecodeStatsResponse(payload, &server, &resp);
-  if (!st.ok()) {
-    healthy_ = false;
-    return st;
-  }
-  if (!server.ok()) return server;
-  return std::move(resp.text);
-}
-
-Result<RetileResponse> TileClient::Retile(const std::string& name) {
-  RetileRequest req;
-  req.name = name;
-  std::vector<uint8_t> payload;
-  Status st = RoundTrip(WireOp::kRetile, EncodeRetileRequest(req), &payload);
-  if (!st.ok()) return st;
-  Status server;
-  RetileResponse resp;
-  st = DecodeRetileResponse(payload, &server, &resp);
-  if (!st.ok()) {
-    healthy_ = false;
-    return st;
-  }
-  if (!server.ok()) return server;
-  return resp;
+  return response;
 }
 
 }  // namespace net

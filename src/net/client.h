@@ -3,12 +3,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <span>
 #include <string>
 
-#include "core/aggregate.h"
-#include "core/array.h"
-#include "core/minterval.h"
+#include "net/client_api.h"
 #include "net/socket.h"
 #include "net/wire.h"
 
@@ -26,63 +23,62 @@ struct TileClientOptions {
   /// read. Expiry poisons the connection (the stream may hold a stale
   /// response), so the next call fails until `Connect` is used again.
   int request_timeout_ms = 10000;
-};
-
-/// Remote object metadata, the response of `OpenMDD`.
-struct RemoteMDDInfo {
-  MInterval definition_domain;
-  std::optional<MInterval> current_domain;
-  CellType cell_type;
-  uint64_t tile_count = 0;
+  /// Send a kHello as the first request after connecting, negotiating the
+  /// wire version and learning the server's shard identity. Against a v1
+  /// server (which drops the connection on the unknown op) the client
+  /// reconnects and speaks v1. Off by default so plain clients cost one
+  /// round trip, not two; the routing client always turns it on.
+  bool handshake = false;
+  /// With `handshake`, fail `Connect` unless the server reports exactly
+  /// this shard id. `kAnyShard` accepts any server.
+  uint32_t expected_shard_id = kAnyShard;
 };
 
 /// \brief Client side of the tilestore wire protocol: one TCP connection,
-/// synchronous request/response. Not thread-safe — use one `TileClient`
-/// per thread (the loadgen does exactly that).
-class TileClient {
+/// synchronous request/response, every op flowing through the unified
+/// `Call` seam. Not thread-safe — use one `TileClient` per thread (the
+/// loadgen does exactly that).
+class TileClient : public ClientInterface {
  public:
   static Result<std::unique_ptr<TileClient>> Connect(
       const std::string& host, uint16_t port,
       TileClientOptions options = TileClientOptions());
 
-  Status Ping();
-  Result<RemoteMDDInfo> OpenMDD(const std::string& name);
-  /// Executes a range query remotely; the returned array is byte-identical
-  /// to in-process `RangeQueryExecutor::Execute` on the same store.
-  Result<Array> RangeQuery(const std::string& name, const MInterval& region);
-  Result<double> Aggregate(const std::string& name, const MInterval& region,
-                           AggregateOp op);
-  /// Inserts tiles (uncompressed cell buffers); with `create_if_missing`
-  /// the object is created first with `definition_domain`/`cell_type`.
-  Status InsertTiles(const std::string& name, std::span<const Array> tiles,
-                     bool create_if_missing = false,
-                     const MInterval& definition_domain = MInterval(),
-                     CellType cell_type = CellType());
-  /// Server-side obs snapshot. format 0 = metrics JSON, 1 = Prometheus
-  /// text, 2 = drained trace JSON.
-  Result<std::string> Stats(uint8_t format = 0);
-  /// Admin: synchronously evaluate (and, when the predicted gain clears the
-  /// server's bar, migrate) `name`'s tiling against its recorded workload.
-  Result<RetileResponse> Retile(const std::string& name);
+  /// One round trip: encode, send, receive, decode. Transport and
+  /// protocol failures poison the connection; clean server-side errors do
+  /// not.
+  Result<Response> Call(const Request& request) override;
 
   /// True until an I/O or protocol error poisoned the connection.
-  bool healthy() const { return healthy_; }
+  bool healthy() const override { return healthy_; }
   void Close() { socket_.Close(); healthy_ = false; }
+
+  /// Negotiated protocol version (kWireVersion without a handshake).
+  uint16_t wire_version() const { return wire_version_; }
+  /// Shard identity learned from the handshake (0 of 1 without one).
+  uint32_t shard_id() const { return shard_id_; }
+  uint32_t shard_count() const { return shard_count_; }
 
  private:
   TileClient(Socket socket, TileClientOptions options)
       : socket_(std::move(socket)), options_(options) {}
 
   /// Sends one request frame and reads the matching response payload.
-  /// Protocol/transport errors poison the connection; server-side errors
-  /// (in the response status byte) do not.
   Status RoundTrip(WireOp op, const std::vector<uint8_t>& request,
                    std::vector<uint8_t>* response);
+
+  /// Runs the kHello exchange; on success records the negotiated version
+  /// and shard identity. Returns NotFound-as-downgrade via `*downgrade`
+  /// when the server does not speak v2.
+  Status Handshake(bool* downgrade);
 
   Socket socket_;
   TileClientOptions options_;
   uint64_t next_request_id_ = 1;
   bool healthy_ = true;
+  uint16_t wire_version_ = kWireVersion;
+  uint32_t shard_id_ = 0;
+  uint32_t shard_count_ = 1;
 };
 
 }  // namespace net

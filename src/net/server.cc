@@ -62,9 +62,9 @@ TileServer::TileServer(MDDStore* store, TileServerOptions options)
   idle_disconnects_ = m->counter("net.idle_disconnects");
   bytes_received_ = m->counter("net.bytes_received");
   bytes_sent_ = m->counter("net.bytes_sent");
-  op_latency_ms_.resize(static_cast<size_t>(WireOp::kRetile) + 1, nullptr);
+  op_latency_ms_.resize(static_cast<size_t>(WireOp::kHello) + 1, nullptr);
   for (uint16_t op = static_cast<uint16_t>(WireOp::kPing);
-       op <= static_cast<uint16_t>(WireOp::kRetile); ++op) {
+       op <= static_cast<uint16_t>(WireOp::kHello); ++op) {
     const std::string name =
         "net.op." +
         std::string(WireOpName(static_cast<WireOp>(op))) + "_ms";
@@ -82,6 +82,9 @@ TileServer::TileServer(MDDStore* store, TileServerOptions options)
   retile_options.min_improvement = options_.retile_min_improvement;
   retile_options.step_cell_budget = options_.retile_step_cell_budget;
   retile_options.catalog_mu = &catalog_mu_;
+  // Parked migration plans survive restarts via a sidecar next to the
+  // database, so a drain mid-migration resumes instead of forgetting.
+  retile_options.pending_path = store_->path() + ".retile";
   retiler_ = std::make_unique<Retiler>(store_, retile_options);
 }
 
@@ -781,8 +784,42 @@ std::vector<uint8_t> TileServer::Dispatch(WireOp op,
       return HandleStats(payload);
     case WireOp::kRetile:
       return HandleRetile(payload);
+    case WireOp::kHello:
+      return HandleHello(payload);
   }
   return EncodeErrorResponse(Status::Unimplemented("unknown op"));
+}
+
+std::vector<uint8_t> TileServer::HandleHello(
+    const std::vector<uint8_t>& payload) {
+  HelloRequest req;
+  Status st = DecodeHelloRequest(payload, &req);
+  if (!st.ok()) return EncodeErrorResponse(st);
+  if (options_.max_wire_version < 2 || req.max_version < 2) {
+    // No common version above 1 — and a v1 conversation has no hello, so
+    // the op itself is the thing we cannot serve.
+    return EncodeErrorResponse(Status::Unimplemented(
+        "no common wire version above 1 (server max " +
+        std::to_string(options_.max_wire_version) + ", client max " +
+        std::to_string(req.max_version) + ")"));
+  }
+  if (req.expected_shard_id != kAnyShard &&
+      req.expected_shard_id != options_.shard_id) {
+    // Answer with our true identity in the message so a misrouted client
+    // can log which shard actually lives here.
+    return EncodeErrorResponse(Status::InvalidArgument(
+        "shard mismatch: this server is shard " +
+        std::to_string(options_.shard_id) + "/" +
+        std::to_string(options_.shard_count) + ", client expected shard " +
+        std::to_string(req.expected_shard_id)));
+  }
+  HelloResponse resp;
+  resp.version = std::min<uint16_t>(req.max_version,
+                                    std::min<uint16_t>(options_.max_wire_version,
+                                                       kWireVersion));
+  resp.shard_id = options_.shard_id;
+  resp.shard_count = std::max<uint32_t>(options_.shard_count, 1);
+  return EncodeHelloResponse(resp);
 }
 
 std::vector<uint8_t> TileServer::HandleOpenMDD(

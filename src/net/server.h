@@ -88,6 +88,17 @@ struct TileServerOptions {
   uint64_t retile_min_queries = 32;
   double retile_min_improvement = 1.3;
   uint64_t retile_step_cell_budget = 1ull << 22;
+  /// Shard identity reported in the kHello handshake (DESIGN.md §13).
+  /// Defaults describe a standalone, unsharded server. A cluster launcher
+  /// runs N processes with shard_id = 0..N-1, shard_count = N; the
+  /// routing client verifies the identity per connection so a miswired
+  /// shard map is a connect-time error, not silent wrong answers.
+  uint32_t shard_id = 0;
+  uint32_t shard_count = 1;
+  /// Highest wire version this server will negotiate. Pinning 1 makes the
+  /// server answer kHello with Unimplemented — the v2 client's downgrade
+  /// test hook.
+  uint16_t max_wire_version = kWireVersion;
 };
 
 /// \brief TCP front end for one `MDDStore` (DESIGN.md §9).
@@ -194,6 +205,7 @@ class TileServer {
   std::vector<uint8_t> HandleInsertTiles(const std::vector<uint8_t>& payload);
   std::vector<uint8_t> HandleStats(const std::vector<uint8_t>& payload);
   std::vector<uint8_t> HandleRetile(const std::vector<uint8_t>& payload);
+  std::vector<uint8_t> HandleHello(const std::vector<uint8_t>& payload);
 
   MDDStore* store_;
   const TileServerOptions options_;
@@ -250,7 +262,7 @@ class TileServer {
   obs::Counter* idle_disconnects_;
   obs::Counter* bytes_received_;
   obs::Counter* bytes_sent_;
-  // Indexed by WireOp value (1..6); [0] unused.
+  // Indexed by WireOp value (1..kHello); [0] unused.
   std::vector<obs::Histogram*> op_latency_ms_;
   // Registered in both modes (zero in thread-per-connection mode) so
   // snapshots always carry the series.

@@ -1,0 +1,56 @@
+#ifndef TILESTORE_NET_SERVER_CONFIG_H_
+#define TILESTORE_NET_SERVER_CONFIG_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cluster/shard_map.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "mdd/mdd_store.h"
+#include "net/server.h"
+#include "storage/io_backend.h"
+
+namespace tilestore {
+namespace net {
+
+/// \brief Everything a serving process needs, parsed once.
+///
+/// `tilestore_cli serve`, the cluster shard launcher, and server tests all
+/// build their `MDDStore` + `TileServer` from this one struct, so a flag
+/// means the same thing everywhere and new knobs are added in exactly one
+/// place. Flags use the `--name=value` / bare `--name` convention of the
+/// CLI; unknown `--flags` are rejected (a typo becomes an error instead of
+/// a silently ignored knob). The io-backend additionally honours the
+/// `TILESTORE_IO_BACKEND` environment override via `DefaultIoBackend` when
+/// no `--io-backend` flag is given.
+///
+/// Cluster mode: `--cluster-map=<file>` (see `cluster::ShardMap` for the
+/// format) plus `--shard-id=N` make this process shard N of the map — the
+/// shard identity is stamped into the kHello handshake and, unless
+/// `--port` overrides it, the shard's port is taken from its map entry.
+/// `--shard-id`/`--shard-count` without a map configure the identity
+/// directly (the form tests use).
+struct ServerConfig {
+  MDDStoreOptions store_options;
+  TileServerOptions server_options;
+  /// Explicit backend from `--io-backend`; `store_options.io_backend`
+  /// points at it (or is null, deferring to the process default). Owned
+  /// here so the config must outlive the store.
+  std::unique_ptr<IoBackend> io_backend;
+  /// Loaded from `--cluster-map`; the launcher uses it to spawn peers.
+  std::optional<cluster::ShardMap> cluster_map;
+
+  /// Parses `argv[0..argc)` (flags only, no positionals). On error the
+  /// message names the offending flag.
+  static Result<ServerConfig> FromArgs(int argc, char** argv);
+
+  /// The serve-flag help block, shared with the CLI's usage text.
+  static const char* FlagHelp();
+};
+
+}  // namespace net
+}  // namespace tilestore
+
+#endif  // TILESTORE_NET_SERVER_CONFIG_H_

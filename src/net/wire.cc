@@ -51,22 +51,25 @@ std::string_view WireOpName(WireOp op) {
       return "stats";
     case WireOp::kRetile:
       return "retile";
+    case WireOp::kHello:
+      return "hello";
   }
   return "unknown";
 }
 
 bool WireOpValid(uint16_t raw) {
   return raw >= static_cast<uint16_t>(WireOp::kPing) &&
-         raw <= static_cast<uint16_t>(WireOp::kRetile);
+         raw <= static_cast<uint16_t>(WireOp::kHello);
 }
 
 std::vector<uint8_t> EncodeFrame(WireOp op, bool response,
                                  uint64_t request_id,
-                                 const std::vector<uint8_t>& payload) {
+                                 const std::vector<uint8_t>& payload,
+                                 uint16_t version) {
   std::vector<uint8_t> frame(kHeaderBytes + payload.size());
   uint8_t* h = frame.data();
   PutU32(h, kWireMagic);
-  PutU16(h + 4, kWireVersion);
+  PutU16(h + 4, version);
   const uint16_t op_raw =
       static_cast<uint16_t>(op) | (response ? kResponseFlag : 0);
   PutU16(h + 6, op_raw);
@@ -91,7 +94,7 @@ Status DecodeHeader(const uint8_t* buf, FrameHeader* out) {
     return Status::Corruption("bad wire magic");
   }
   const uint16_t version = GetU16(buf + 4);
-  if (version != kWireVersion) {
+  if (version < kMinWireVersion || version > kWireVersion) {
     return Status::Unimplemented("unsupported wire version " +
                                  std::to_string(version) + " (speaking " +
                                  std::to_string(kWireVersion) + ")");
@@ -312,6 +315,24 @@ Status DecodeRetileRequest(const std::vector<uint8_t>& payload,
   return Status::OK();
 }
 
+std::vector<uint8_t> EncodeHelloRequest(const HelloRequest& req) {
+  ByteWriter w;
+  w.U16(req.max_version);
+  w.U32(req.expected_shard_id);
+  return w.Take();
+}
+
+Status DecodeHelloRequest(const std::vector<uint8_t>& payload,
+                          HelloRequest* out) {
+  ByteReader r(payload);
+  Status st = r.U16(&out->max_version);
+  if (!st.ok()) return st;
+  st = r.U32(&out->expected_shard_id);
+  if (!st.ok()) return st;
+  if (!r.AtEnd()) return CorruptPayload("trailing bytes in hello");
+  return Status::OK();
+}
+
 // --------------------------------------------------------------------------
 // Responses.
 
@@ -395,7 +416,7 @@ Status DecodeResponseStatus(ByteReader* r, Status* server_status) {
   uint8_t code = 0;
   Status st = r->U8(&code);
   if (!st.ok()) return st;
-  if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+  if (code > static_cast<uint8_t>(StatusCode::kPartialResult)) {
     return CorruptPayload("unknown response status code");
   }
   if (code == static_cast<uint8_t>(StatusCode::kOk)) {
@@ -480,6 +501,34 @@ Status DecodeStatsResponse(const std::vector<uint8_t>& payload,
   Status st = DecodeResponseStatus(&r, server_status);
   if (!st.ok() || !server_status->ok()) return st;
   return r.Str(&out->text);
+}
+
+std::vector<uint8_t> EncodeHelloResponse(const HelloResponse& resp) {
+  ByteWriter w = OkWriter();
+  w.U16(resp.version);
+  w.U32(resp.shard_id);
+  w.U32(resp.shard_count);
+  return w.Take();
+}
+
+Status DecodeHelloResponse(const std::vector<uint8_t>& payload,
+                           Status* server_status, HelloResponse* out) {
+  ByteReader r(payload);
+  Status st = DecodeResponseStatus(&r, server_status);
+  if (!st.ok() || !server_status->ok()) return st;
+  st = r.U16(&out->version);
+  if (!st.ok()) return st;
+  st = r.U32(&out->shard_id);
+  if (!st.ok()) return st;
+  st = r.U32(&out->shard_count);
+  if (!st.ok()) return st;
+  if (out->version < kMinWireVersion || out->version > kWireVersion) {
+    return CorruptPayload("negotiated version outside supported range");
+  }
+  if (out->shard_count == 0 || out->shard_id >= out->shard_count) {
+    return CorruptPayload("inconsistent shard identity in hello");
+  }
+  return Status::OK();
 }
 
 Status DecodeRetileResponse(const std::vector<uint8_t>& payload,

@@ -35,7 +35,14 @@ namespace net {
 /// a length-prefixed message string and nothing else, OK responses with
 /// the op-specific body documented per encoder below.
 constexpr uint32_t kWireMagic = 0x54534E31;  // "TSN1"
-constexpr uint16_t kWireVersion = 1;
+/// Highest protocol version this build speaks. v2 adds the kHello
+/// negotiation op carrying shard identity (shard_id/shard_count), used by
+/// the cluster routing client to detect misconfigured shard maps. The
+/// frame layout is unchanged between v1 and v2, so every peer accepts
+/// frames stamped with any version in [kMinWireVersion, kWireVersion] and
+/// the negotiated version only gates which ops may be sent.
+constexpr uint16_t kWireVersion = 2;
+constexpr uint16_t kMinWireVersion = 1;
 constexpr uint16_t kResponseFlag = 0x8000;
 constexpr size_t kHeaderBytes = 28;
 /// Upper bound on one frame's payload: large enough for any sane tile
@@ -51,6 +58,9 @@ enum class WireOp : uint16_t {
   kInsertTiles = 5,
   kStats = 6,
   kRetile = 7,
+  /// v2: version/shard negotiation. A v1 server treats the op as unknown
+  /// and drops the connection, which clients take as "speak v1".
+  kHello = 8,
 };
 
 /// Static-literal op name ("range_query", ...), usable as a trace span
@@ -68,13 +78,16 @@ struct FrameHeader {
   uint32_t payload_crc = 0;
 };
 
-/// Serializes a full frame (header + payload) ready to send.
+/// Serializes a full frame (header + payload) ready to send. `version`
+/// stamps the header; clients that negotiated down pass the agreed value.
 std::vector<uint8_t> EncodeFrame(WireOp op, bool response,
                                  uint64_t request_id,
-                                 const std::vector<uint8_t>& payload);
+                                 const std::vector<uint8_t>& payload,
+                                 uint16_t version = kWireVersion);
 
 /// Validates magic/version/CRC/length of the `kHeaderBytes` at `buf`.
-/// Unsupported versions yield Unimplemented; everything else Corruption.
+/// Versions outside [kMinWireVersion, kWireVersion] yield Unimplemented;
+/// everything else Corruption.
 Status DecodeHeader(const uint8_t* buf, FrameHeader* out);
 
 /// Checks the payload bytes against the header's CRC.
@@ -135,6 +148,22 @@ struct RetileRequest {
   std::string name;
 };
 
+/// Sentinel for HelloRequest::expected_shard_id: the client does not care
+/// which shard answers.
+constexpr uint32_t kAnyShard = 0xFFFFFFFFu;
+
+/// v2 negotiation, sent as the first request on a connection by clients
+/// that opt in. The server answers with the highest mutually supported
+/// version and its shard identity; a routing client that expected a
+/// specific shard id can detect a misrouted/miswired endpoint from the
+/// response instead of silently querying the wrong store.
+struct HelloRequest {
+  /// Highest version the client speaks.
+  uint16_t max_version = kWireVersion;
+  /// Shard id the client believes this endpoint serves, or kAnyShard.
+  uint32_t expected_shard_id = kAnyShard;
+};
+
 std::vector<uint8_t> EncodeOpenMDDRequest(const OpenMDDRequest& req);
 Status DecodeOpenMDDRequest(const std::vector<uint8_t>& payload,
                             OpenMDDRequest* out);
@@ -153,6 +182,9 @@ Status DecodeStatsRequest(const std::vector<uint8_t>& payload,
 std::vector<uint8_t> EncodeRetileRequest(const RetileRequest& req);
 Status DecodeRetileRequest(const std::vector<uint8_t>& payload,
                            RetileRequest* out);
+std::vector<uint8_t> EncodeHelloRequest(const HelloRequest& req);
+Status DecodeHelloRequest(const std::vector<uint8_t>& payload,
+                          HelloRequest* out);
 
 // --------------------------------------------------------------------------
 // Response payloads. Every encoder emits the leading status byte; decoders
@@ -188,6 +220,15 @@ struct StatsResponse {
   std::string text;
 };
 
+/// Answer to kHello: the version both sides will speak from now on plus
+/// the server's shard identity (shard_id/shard_count are 0/1 for a
+/// standalone, unsharded server).
+struct HelloResponse {
+  uint16_t version = kWireVersion;
+  uint32_t shard_id = 0;
+  uint32_t shard_count = 1;
+};
+
 /// Mirrors `RetileReport`.
 struct RetileResponse {
   bool migrated = false;
@@ -208,6 +249,7 @@ std::vector<uint8_t> EncodeInsertTilesResponse(
     const InsertTilesResponse& resp);
 std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& resp);
 std::vector<uint8_t> EncodeRetileResponse(const RetileResponse& resp);
+std::vector<uint8_t> EncodeHelloResponse(const HelloResponse& resp);
 
 Status DecodeResponseStatus(ByteReader* r, Status* server_status);
 Status DecodePingResponse(const std::vector<uint8_t>& payload,
@@ -226,6 +268,8 @@ Status DecodeStatsResponse(const std::vector<uint8_t>& payload,
                            Status* server_status, StatsResponse* out);
 Status DecodeRetileResponse(const std::vector<uint8_t>& payload,
                             Status* server_status, RetileResponse* out);
+Status DecodeHelloResponse(const std::vector<uint8_t>& payload,
+                           Status* server_status, HelloResponse* out);
 
 }  // namespace net
 }  // namespace tilestore

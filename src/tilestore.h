@@ -15,8 +15,10 @@
 ///  - the tiling strategies and the tiling advisor   (tiling/)
 ///  - `obs::MetricsRegistry` / `MetricsSnapshot` / `obs::TraceRing`
 ///    (obs/ — reachable as `store->metrics()` / `store->trace()`)
-///  - `net::TileServer` / `net::TileClient` and the wire protocol
-///    constants (net/ — the TCP serving layer, DESIGN.md §9)
+///  - `net::TileServer` / `net::TileClient` / `net::ServerConfig` and the
+///    wire protocol constants (net/ — the TCP serving layer, DESIGN.md §9)
+///  - `cluster::ShardMap` / `cluster::RoutingTileClient`  (cluster/ — the
+///    horizontally sharded serving layer, DESIGN.md §13)
 ///  - filesystem helpers (`RemoveFileIfExists`, ...) and the offline
 ///    checker entry point (storage/env.h, storage/fsck.h)
 ///
@@ -24,6 +26,8 @@
 /// includable for tests and embedders that need the internals, but are
 /// not part of the stable surface this header defines.
 
+#include "cluster/routing_client.h"
+#include "cluster/shard_map.h"
 #include "common/random.h"
 #include "core/array.h"
 #include "core/cell_type.h"
@@ -32,7 +36,9 @@
 #include "mdd/mdd_object.h"
 #include "mdd/mdd_store.h"
 #include "net/client.h"
+#include "net/client_api.h"
 #include "net/server.h"
+#include "net/server_config.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"

@@ -1,15 +1,51 @@
 #include "tiling/retiler.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 
+#include "common/checksum.h"
+#include "common/serde.h"
 #include "mdd/mdd_store.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/env.h"
 
 namespace tilestore {
 
 namespace {
+
+// Persisted-plan sidecar format: magic, version, then the pending map,
+// closed by a CRC-32C of everything before it. Intervals travel as
+// dim + (lo, hi) pairs, mirroring the catalog encoding.
+constexpr uint32_t kPendingMagic = 0x54535250;  // "TSRP"
+constexpr uint16_t kPendingVersion = 1;
+
+void WritePendingInterval(ByteWriter* w, const MInterval& iv) {
+  w->U8(static_cast<uint8_t>(iv.dim()));
+  for (size_t i = 0; i < iv.dim(); ++i) {
+    w->I64(iv.lo(i));
+    w->I64(iv.hi(i));
+  }
+}
+
+Status ReadPendingInterval(ByteReader* r, MInterval* out) {
+  uint8_t dim = 0;
+  Status st = r->U8(&dim);
+  if (!st.ok()) return st;
+  if (dim == 0) return Status::Corruption("zero-dimensional interval");
+  std::vector<Coord> lo(dim), hi(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    st = r->I64(&lo[i]);
+    if (!st.ok()) return st;
+    st = r->I64(&hi[i]);
+    if (!st.ok()) return st;
+  }
+  Result<MInterval> iv = MInterval::Create(std::move(lo), std::move(hi));
+  if (!iv.ok()) return Status::Corruption("invalid interval bounds");
+  *out = std::move(iv).MoveValue();
+  return Status::OK();
+}
 
 // A default-constructed std::shared_lock / std::unique_lock owns nothing;
 // with a null catalog guard the caller serializes externally and the lock
@@ -56,6 +92,102 @@ Retiler::Retiler(MDDStore* store, RetilerOptions options)
   metrics_->tiles_written = registry->counter("retile.tiles_written");
   metrics_->cells_moved = registry->counter("retile.cells_moved");
   metrics_->bytes_written = registry->counter("retile.bytes_written");
+  LoadPending();
+}
+
+void Retiler::PersistPendingLocked() {
+  if (options_.pending_path.empty()) return;
+  if (metrics_->pending.empty()) {
+    if (FileExists(options_.pending_path)) {
+      (void)RemoveFile(options_.pending_path);  // best-effort
+    }
+    return;
+  }
+  ByteWriter w;
+  w.U32(kPendingMagic);
+  w.U16(kPendingVersion);
+  w.U32(static_cast<uint32_t>(metrics_->pending.size()));
+  for (const auto& [name, steps] : metrics_->pending) {
+    w.Str(name);
+    w.U32(static_cast<uint32_t>(steps.size()));
+    for (const Step& step : steps) {
+      WritePendingInterval(&w, step.region);
+      w.U32(static_cast<uint32_t>(step.tiles.size()));
+      for (const MInterval& tile : step.tiles) {
+        WritePendingInterval(&w, tile);
+      }
+    }
+  }
+  std::vector<uint8_t> payload = w.Take();
+  const uint32_t crc = Crc32c(payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) {
+    payload.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+  }
+  // tmp + rename so a crash mid-write leaves the previous plan (or
+  // nothing), never a torn file a future session would have to distrust.
+  const std::string tmp = options_.pending_path + ".tmp";
+  Result<std::unique_ptr<File>> file = File::Open(tmp, /*create=*/true);
+  if (!file.ok()) return;
+  Status st = (*file)->Truncate(0);
+  if (st.ok()) st = (*file)->WriteAt(0, payload.data(), payload.size());
+  if (st.ok()) st = (*file)->Sync();
+  file->reset();
+  if (!st.ok() ||
+      std::rename(tmp.c_str(), options_.pending_path.c_str()) != 0) {
+    (void)RemoveFile(tmp);
+  }
+}
+
+void Retiler::LoadPending() {
+  if (options_.pending_path.empty() || !FileExists(options_.pending_path)) {
+    return;
+  }
+  Result<std::unique_ptr<File>> file =
+      File::Open(options_.pending_path, /*create=*/false);
+  if (!file.ok()) return;
+  Result<uint64_t> size = (*file)->Size();
+  if (!size.ok() || *size < 4 || *size > (64u << 20)) return;
+  std::vector<uint8_t> bytes(static_cast<size_t>(*size));
+  if (!(*file)->ReadAt(0, bytes.size(), bytes.data()).ok()) return;
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(bytes[bytes.size() - 4 + i])
+                  << (8 * i);
+  }
+  bytes.resize(bytes.size() - 4);
+  if (Crc32c(bytes.data(), bytes.size()) != stored_crc) return;
+
+  std::map<std::string, std::vector<Step>> loaded;
+  ByteReader r(bytes);
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  uint32_t objects = 0;
+  if (!r.U32(&magic).ok() || magic != kPendingMagic) return;
+  if (!r.U16(&version).ok() || version != kPendingVersion) return;
+  if (!r.U32(&objects).ok()) return;
+  for (uint32_t i = 0; i < objects; ++i) {
+    std::string name;
+    uint32_t step_count = 0;
+    if (!r.Str(&name).ok() || !r.U32(&step_count).ok()) return;
+    std::vector<Step> steps;
+    steps.reserve(std::min<uint32_t>(step_count, 1024));
+    for (uint32_t s = 0; s < step_count; ++s) {
+      Step step;
+      if (!ReadPendingInterval(&r, &step.region).ok()) return;
+      uint32_t tiles = 0;
+      if (!r.U32(&tiles).ok()) return;
+      for (uint32_t t = 0; t < tiles; ++t) {
+        MInterval tile;
+        if (!ReadPendingInterval(&r, &tile).ok()) return;
+        step.tiles.push_back(std::move(tile));
+      }
+      if (step.tiles.empty()) return;
+      steps.push_back(std::move(step));
+    }
+    if (!steps.empty()) loaded[std::move(name)] = std::move(steps);
+  }
+  if (!r.AtEnd()) return;
+  metrics_->pending = std::move(loaded);
 }
 
 Retiler::~Retiler() { Stop(); }
@@ -113,14 +245,27 @@ void Retiler::Loop() {
   }
 }
 
-Result<RetileReport> Retiler::RetileNow(const std::string& name) {
+Result<RetileReport> Retiler::RetileNow(const std::string& name,
+                                        uint64_t budget) {
   // Fresh evidence beats a stale plan: an admin-triggered run re-evaluates
   // even when a background migration still owes steps.
   {
     std::lock_guard<std::mutex> lock(migrate_mu_);
-    metrics_->pending.erase(name);
+    if (metrics_->pending.erase(name) > 0) PersistPendingLocked();
   }
-  return EvaluateAndMigrate(name, /*budget=*/0);
+  return EvaluateAndMigrate(name, budget);
+}
+
+Result<RetileReport> Retiler::Continue(const std::string& name) {
+  return EvaluateAndMigrate(name, /*budget=*/0, /*resume_only=*/true);
+}
+
+std::vector<std::string> Retiler::PendingObjects() const {
+  std::lock_guard<std::mutex> lock(migrate_mu_);
+  std::vector<std::string> names;
+  names.reserve(metrics_->pending.size());
+  for (const auto& [name, steps] : metrics_->pending) names.push_back(name);
+  return names;
 }
 
 uint64_t Retiler::WorkloadCost(const std::vector<MInterval>& tiles,
@@ -216,7 +361,8 @@ Result<std::vector<Retiler::Step>> Retiler::PlanSteps(
 }
 
 Result<RetileReport> Retiler::EvaluateAndMigrate(const std::string& name,
-                                                 uint64_t budget) {
+                                                 uint64_t budget,
+                                                 bool resume_only) {
   std::lock_guard<std::mutex> migrate_lock(migrate_mu_);
   RetileReport report;
 
@@ -224,12 +370,18 @@ Result<RetileReport> Retiler::EvaluateAndMigrate(const std::string& name,
   std::vector<Step> steps;
   auto pending_it = metrics_->pending.find(name);
   const bool resuming = pending_it != metrics_->pending.end();
+  if (resume_only && !resuming) {
+    return Status::NotFound("no parked migration plan for " + name);
+  }
   if (resuming) {
     steps = std::move(pending_it->second);
     metrics_->pending.erase(pending_it);
     auto lock = MaybeShared(options_.catalog_mu);
     Result<MDDObject*> object_or = store_->GetMDD(name);
-    if (!object_or.ok()) return object_or.status();  // dropped; plan gone
+    if (!object_or.ok()) {
+      PersistPendingLocked();  // dropped; forget the plan durably too
+      return object_or.status();
+    }
     cell_size = object_or.value()->cell_size();
     report.tiles_before = object_or.value()->tile_count();
     report.kind = "resumed";
@@ -338,15 +490,19 @@ Result<RetileReport> Retiler::EvaluateAndMigrate(const std::string& name,
 
   if (applied < steps.size()) {
     // Budget-capped or draining: park the remainder; the next tick (or a
-    // later session) resumes it. The mixed state left behind is a valid
-    // tiling, so nothing breaks if it never resumes.
+    // later session, via the persisted plan) resumes it. The mixed state
+    // left behind is a valid tiling, so nothing breaks if it never
+    // resumes.
     metrics_->pending[name] =
         std::vector<Step>(steps.begin() + applied, steps.end());
+    PersistPendingLocked();
     auto lock = MaybeShared(options_.catalog_mu);
     Result<MDDObject*> object_or = store_->GetMDD(name);
     if (object_or.ok()) report.tiles_after = object_or.value()->tile_count();
     return report;
   }
+  // Completed a resumed plan: retire its persisted copy.
+  if (resuming) PersistPendingLocked();
 
   // Migration complete: persist the new tiling, drop the evidence that
   // drove it (the next decision needs post-migration boxes).

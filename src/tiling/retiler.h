@@ -51,6 +51,14 @@ struct RetilerOptions {
   /// and the final Save run under an exclusive lock, evaluation under a
   /// shared lock. Null means the caller serializes externally.
   std::shared_mutex* catalog_mu = nullptr;
+  /// When non-empty, parked (budget-capped or drain-abandoned) migration
+  /// plans are persisted to this file — CRC'd, written via tmp+rename —
+  /// and loaded back on construction, so a restart resumes a
+  /// mid-migration object instead of forgetting its remaining steps. The
+  /// server derives it from the store path (`<db>.retile`). A corrupt or
+  /// torn file is discarded silently: losing a plan is always safe, the
+  /// mixed-generation tiling left behind is valid.
+  std::string pending_path;
 };
 
 /// Outcome of one evaluation/migration of one object.
@@ -110,8 +118,19 @@ class Retiler {
   /// Synchronous evaluate-and-migrate of one object, bypassing the
   /// `min_queries` trigger (the `retile` admin op). Still subject to
   /// `min_improvement`: a workload the current tiling already serves well
-  /// returns `migrated = false` with the advisor's reasoning.
-  Result<RetileReport> RetileNow(const std::string& name);
+  /// returns `migrated = false` with the advisor's reasoning. A nonzero
+  /// `budget` caps migrated cells as in the background loop; the surplus
+  /// steps are parked (and persisted with `pending_path`).
+  Result<RetileReport> RetileNow(const std::string& name,
+                                 uint64_t budget = 0);
+
+  /// Applies the remaining steps of a parked plan — from an earlier
+  /// budget-capped tick or a previous session via `pending_path` —
+  /// without re-evaluating the workload. NotFound when no plan is parked.
+  Result<RetileReport> Continue(const std::string& name);
+
+  /// Objects with parked migration steps.
+  std::vector<std::string> PendingObjects() const;
 
   /// One migration step: an atomic `RetileRegion(region, tiles)` call.
   struct Step {
@@ -143,9 +162,19 @@ class Retiler {
 
   // Evaluates one object and, when the predicted gain clears
   // `min_improvement`, migrates it (one step at a time, honoring
-  // pause/stop between steps; `budget` caps cells when nonzero).
+  // pause/stop between steps; `budget` caps cells when nonzero). With
+  // `resume_only`, fails with NotFound instead of evaluating afresh when
+  // no plan is parked.
   Result<RetileReport> EvaluateAndMigrate(const std::string& name,
-                                          uint64_t budget);
+                                          uint64_t budget,
+                                          bool resume_only = false);
+
+  // Writes the pending map to `options_.pending_path` (removes the file
+  // when the map is empty). Caller holds `migrate_mu_`. Best-effort: an
+  // I/O failure only costs restart-resumability.
+  void PersistPendingLocked();
+  // Loads `options_.pending_path` into the pending map (construction).
+  void LoadPending();
 
   void Loop();
 
@@ -154,7 +183,7 @@ class Retiler {
   TilingAdvisor advisor_;
   std::unique_ptr<Metrics> metrics_;
   // Serializes migrations (background loop vs RetileNow).
-  std::mutex migrate_mu_;
+  mutable std::mutex migrate_mu_;
   std::mutex wake_mu_;
   std::condition_variable wake_;
   std::atomic<bool> stop_{false};

@@ -1,0 +1,223 @@
+// ShardMap unit tests (DESIGN.md §13): deterministic hash placement,
+// text-format round trips, slab clipping for region-split objects, and the
+// tile-alignment contract that keeps every stored tile on exactly one
+// shard.
+
+#include "cluster/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tilestore {
+namespace cluster {
+namespace {
+
+std::vector<ShardEndpoint> Endpoints(int n) {
+  std::vector<ShardEndpoint> eps;
+  for (int i = 0; i < n; ++i) {
+    eps.push_back({"127.0.0.1", static_cast<uint16_t>(7101 + i)});
+  }
+  return eps;
+}
+
+TEST(ShardMapPlacement, HashIsDeterministicAndSpreads) {
+  const ShardMap map = ShardMap::Uniform(Endpoints(3));
+  ASSERT_EQ(map.shard_count(), 3u);
+
+  std::set<uint32_t> used;
+  for (int i = 0; i < 64; ++i) {
+    const std::string name = "object-" + std::to_string(i);
+    const uint32_t owner = map.OwnerOf(name);
+    EXPECT_LT(owner, 3u);
+    // Same name, same owner — every client computes the same placement.
+    EXPECT_EQ(map.OwnerOf(name), owner);
+    used.insert(owner);
+  }
+  // 64 hashed names must not all collapse onto one shard.
+  EXPECT_GE(used.size(), 2u);
+
+  // Placement depends only on the name and the shard count, not on the
+  // endpoint addresses.
+  std::vector<ShardEndpoint> other = Endpoints(3);
+  for (auto& ep : other) ep.port += 1000;
+  const ShardMap relocated = ShardMap::Uniform(std::move(other));
+  EXPECT_EQ(relocated.OwnerOf("object-7"), map.OwnerOf("object-7"));
+}
+
+TEST(ShardMapPlacement, UnsplitQueryYieldsOneWholeTarget) {
+  const ShardMap map = ShardMap::Uniform(Endpoints(3));
+  const MInterval region({{0, 63}, {0, 63}});
+  auto targets = map.QueryTargets("plain", region);
+  ASSERT_TRUE(targets.ok());
+  ASSERT_EQ(targets->size(), 1u);
+  EXPECT_EQ((*targets)[0].shard, map.OwnerOf("plain"));
+  EXPECT_EQ((*targets)[0].region, region);
+
+  // Unbounded bounds pass through untouched for unsplit objects — the
+  // owning server resolves '*' against its own catalog.
+  const MInterval open({{kLoUnbounded, kHiUnbounded}, {0, 63}});
+  targets = map.QueryTargets("plain", open);
+  ASSERT_TRUE(targets.ok());
+  ASSERT_EQ(targets->size(), 1u);
+  EXPECT_EQ((*targets)[0].region, open);
+
+  EXPECT_EQ(map.AllOwners("plain"),
+            std::vector<uint32_t>{map.OwnerOf("plain")});
+  auto owner = map.TileOwner("plain", MInterval({{0, 15}, {0, 15}}));
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(*owner, map.OwnerOf("plain"));
+}
+
+TEST(ShardMapSplit, SlabsClipQueriesIntoAPartition) {
+  RegionSplit split;
+  split.object = "huge";
+  split.axis = 0;
+  split.cuts = {32};
+  split.shards = {0, 1};
+  const ShardMap map =
+      ShardMap::Create(Endpoints(2), {split}).MoveValue();
+  ASSERT_NE(map.FindSplit("huge"), nullptr);
+  EXPECT_EQ(map.FindSplit("other"), nullptr);
+
+  // A region spanning the cut is clipped into one sub-region per slab;
+  // the sub-regions partition the query region.
+  auto targets = map.QueryTargets("huge", MInterval({{0, 63}, {0, 63}}));
+  ASSERT_TRUE(targets.ok());
+  ASSERT_EQ(targets->size(), 2u);
+  std::sort(targets->begin(), targets->end(),
+            [](const auto& a, const auto& b) { return a.shard < b.shard; });
+  EXPECT_EQ((*targets)[0].shard, 0u);
+  EXPECT_EQ((*targets)[0].region, MInterval({{0, 31}, {0, 63}}));
+  EXPECT_EQ((*targets)[1].shard, 1u);
+  EXPECT_EQ((*targets)[1].region, MInterval({{32, 63}, {0, 63}}));
+
+  // A region inside one slab goes to that slab's shard alone.
+  targets = map.QueryTargets("huge", MInterval({{40, 50}, {5, 9}}));
+  ASSERT_TRUE(targets.ok());
+  ASSERT_EQ(targets->size(), 1u);
+  EXPECT_EQ((*targets)[0].shard, 1u);
+  EXPECT_EQ((*targets)[0].region, MInterval({{40, 50}, {5, 9}}));
+
+  EXPECT_EQ(map.AllOwners("huge"), (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(ShardMapSplit, OuterSlabsAreUnboundedAndOwnersDeduplicated) {
+  // Three slabs, outer two owned by the same shard: the first slab has no
+  // lower limit and the last no upper limit, so any coordinate routes.
+  RegionSplit split;
+  split.object = "huge";
+  split.axis = 1;
+  split.cuts = {0, 100};
+  split.shards = {1, 0, 1};
+  const ShardMap map =
+      ShardMap::Create(Endpoints(2), {split}).MoveValue();
+
+  auto targets =
+      map.QueryTargets("huge", MInterval({{0, 0}, {-500, 499}}));
+  ASSERT_TRUE(targets.ok());
+  ASSERT_EQ(targets->size(), 3u);
+  EXPECT_EQ((*targets)[0].region, MInterval({{0, 0}, {-500, -1}}));
+  EXPECT_EQ((*targets)[1].region, MInterval({{0, 0}, {0, 99}}));
+  EXPECT_EQ((*targets)[2].region, MInterval({{0, 0}, {100, 499}}));
+
+  // AllOwners is sorted and duplicate-free even when slabs share a shard.
+  EXPECT_EQ(map.AllOwners("huge"), (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(ShardMapSplit, TileOwnerRejectsStraddlers) {
+  RegionSplit split;
+  split.object = "huge";
+  split.axis = 0;
+  split.cuts = {32};
+  split.shards = {0, 1};
+  const ShardMap map =
+      ShardMap::Create(Endpoints(2), {split}).MoveValue();
+
+  auto owner = map.TileOwner("huge", MInterval({{0, 31}, {0, 63}}));
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(*owner, 0u);
+  owner = map.TileOwner("huge", MInterval({{32, 47}, {0, 63}}));
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(*owner, 1u);
+
+  // [24:39] crosses the cut at 32: the split is not tile-aligned for this
+  // tile, which must be rejected before anything is stored.
+  EXPECT_TRUE(map.TileOwner("huge", MInterval({{24, 39}, {0, 63}}))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ShardMapText, ParseAndRoundTrip) {
+  const std::string text =
+      "# cluster of two\n"
+      "shard 0 127.0.0.1:7101\n"
+      "shard 1 10.0.0.2:7102\n"
+      "split huge axis=0 cuts=1024,2048 shards=0,1,0\n";
+  const ShardMap map = ShardMap::Parse(text).MoveValue();
+  ASSERT_EQ(map.shard_count(), 2u);
+  EXPECT_EQ(map.endpoint(0).host, "127.0.0.1");
+  EXPECT_EQ(map.endpoint(0).port, 7101);
+  EXPECT_EQ(map.endpoint(1).host, "10.0.0.2");
+  EXPECT_EQ(map.endpoint(1).port, 7102);
+  const RegionSplit* split = map.FindSplit("huge");
+  ASSERT_NE(split, nullptr);
+  EXPECT_EQ(split->axis, 0u);
+  EXPECT_EQ(split->cuts, (std::vector<Coord>{1024, 2048}));
+  EXPECT_EQ(split->shards, (std::vector<uint32_t>{0, 1, 0}));
+
+  // ToText -> Parse -> ToText is a fixed point, so maps can be shipped
+  // around as text without drifting.
+  const ShardMap reparsed = ShardMap::Parse(map.ToText()).MoveValue();
+  EXPECT_EQ(reparsed.ToText(), map.ToText());
+  EXPECT_EQ(reparsed.OwnerOf("anything"), map.OwnerOf("anything"));
+}
+
+TEST(ShardMapText, ParseRejectsMalformedInput) {
+  // Non-contiguous shard ids.
+  EXPECT_TRUE(ShardMap::Parse("shard 0 a:1\nshard 2 b:2\n")
+                  .status()
+                  .IsInvalidArgument());
+  // No shards at all.
+  EXPECT_TRUE(ShardMap::Parse("# empty\n").status().IsInvalidArgument());
+  // Unknown directive.
+  EXPECT_TRUE(
+      ShardMap::Parse("node 0 a:1\n").status().IsInvalidArgument());
+  // Endpoint without a port.
+  EXPECT_TRUE(
+      ShardMap::Parse("shard 0 localhost\n").status().IsInvalidArgument());
+  // Split referencing an out-of-range shard.
+  EXPECT_TRUE(ShardMap::Parse("shard 0 a:1\n"
+                              "split x axis=0 cuts=8 shards=0,7\n")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ShardMapText, CreateValidatesSplits) {
+  RegionSplit split;
+  split.object = "x";
+  split.axis = 0;
+  split.cuts = {10, 20};
+  split.shards = {0, 1};  // needs cuts+1 = 3 entries
+  EXPECT_TRUE(ShardMap::Create(Endpoints(2), {split})
+                  .status()
+                  .IsInvalidArgument());
+
+  split.shards = {0, 1, 0};
+  ASSERT_TRUE(ShardMap::Create(Endpoints(2), {split}).ok());
+
+  split.cuts = {20, 10};  // not strictly ascending
+  EXPECT_TRUE(ShardMap::Create(Endpoints(2), {split})
+                  .status()
+                  .IsInvalidArgument());
+
+  EXPECT_TRUE(
+      ShardMap::Create({}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace tilestore

@@ -101,11 +101,13 @@ TEST(NetWireFrame, CorruptPayloadCaughtByCrc) {
 TEST(NetWireFrame, OpNamesAreStable) {
   EXPECT_EQ(WireOpName(WireOp::kRangeQuery), "range_query");
   EXPECT_EQ(WireOpName(WireOp::kRetile), "retile");
+  EXPECT_EQ(WireOpName(WireOp::kHello), "hello");
   EXPECT_EQ(WireOpName(static_cast<WireOp>(99)), "unknown");
   EXPECT_TRUE(WireOpValid(1));
   EXPECT_TRUE(WireOpValid(7));
+  EXPECT_TRUE(WireOpValid(8));
   EXPECT_FALSE(WireOpValid(0));
-  EXPECT_FALSE(WireOpValid(8));
+  EXPECT_FALSE(WireOpValid(9));
 }
 
 // --------------------------------------------------------------------------
@@ -223,6 +225,73 @@ TEST(NetWireResponses, UnknownStatusCodeRejected) {
   std::vector<uint8_t> payload = {250};  // not a StatusCode
   Status server;
   EXPECT_TRUE(DecodePingResponse(payload, &server).IsCorruption());
+}
+
+// --------------------------------------------------------------------------
+// v2 negotiation (kHello) and the version window.
+
+TEST(NetWireFrame, NegotiatedVersionStampsTheHeader) {
+  // A client that negotiated down to v1 stamps v1 on every later frame;
+  // both versions in the window decode cleanly.
+  for (uint16_t version = kMinWireVersion; version <= kWireVersion;
+       ++version) {
+    std::vector<uint8_t> frame =
+        EncodeFrame(WireOp::kPing, /*response=*/false, 7, {}, version);
+    FrameHeader header;
+    ASSERT_TRUE(DecodeHeader(frame.data(), &header).ok());
+    EXPECT_EQ(header.version, version);
+  }
+}
+
+TEST(NetWireFrame, VersionBelowWindowYieldsUnimplemented) {
+  std::vector<uint8_t> frame =
+      EncodeFrame(WireOp::kPing, /*response=*/false, 7, {});
+  frame[4] = 0;  // version u16 lives at offset 4
+  frame[5] = 0;
+  ResealHeaderCrc(&frame);
+  FrameHeader header;
+  EXPECT_TRUE(DecodeHeader(frame.data(), &header).IsUnimplemented());
+}
+
+TEST(NetWireRequests, HelloRoundTrip) {
+  HelloRequest req;
+  req.max_version = kWireVersion;
+  req.expected_shard_id = 7;
+  HelloRequest out;
+  ASSERT_TRUE(DecodeHelloRequest(EncodeHelloRequest(req), &out).ok());
+  EXPECT_EQ(out.max_version, kWireVersion);
+  EXPECT_EQ(out.expected_shard_id, 7u);
+
+  // The default asks for any shard.
+  ASSERT_TRUE(
+      DecodeHelloRequest(EncodeHelloRequest(HelloRequest{}), &out).ok());
+  EXPECT_EQ(out.expected_shard_id, kAnyShard);
+
+  std::vector<uint8_t> truncated = EncodeHelloRequest(req);
+  truncated.pop_back();
+  EXPECT_TRUE(DecodeHelloRequest(truncated, &out).IsCorruption());
+}
+
+TEST(NetWireResponses, HelloResponseRoundTrip) {
+  HelloResponse resp;
+  resp.version = kWireVersion;
+  resp.shard_id = 3;
+  resp.shard_count = 8;
+  Status server;
+  HelloResponse out;
+  ASSERT_TRUE(
+      DecodeHelloResponse(EncodeHelloResponse(resp), &server, &out).ok());
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ(out.version, kWireVersion);
+  EXPECT_EQ(out.shard_id, 3u);
+  EXPECT_EQ(out.shard_count, 8u);
+
+  // A v1 server pinned below kHello answers with a clean error response.
+  ASSERT_TRUE(DecodeHelloResponse(
+                  EncodeErrorResponse(Status::Unimplemented("no hello")),
+                  &server, &out)
+                  .ok());
+  EXPECT_TRUE(server.IsUnimplemented());
 }
 
 TEST(NetWireResponses, AggregateValueBitExact) {

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -510,6 +511,81 @@ TEST_F(RetilerStoreTest, NegativeRegionsDoNotSurviveDropAndRecreate) {
   EXPECT_EQ(
       std::memcmp(result.data(), expected_arr.data(), result.size_bytes()),
       0);
+}
+
+// ---------------------------------------------------------------------------
+// Parked-plan persistence: the `pending_path` sidecar survives a restart.
+
+TEST_F(RetilerStoreTest, ParkedPlanIsPersistedAndResumesAfterRestart) {
+  // Strips with two separated hotspots: the advisor's target changes two
+  // independent regions, so the plan decomposes into >= 2 steps and a
+  // 1-cell budget must park the tail.
+  MDDObject* obj = LoadObject("obj", Box(0, 1023), Strips(0, 1023, 128));
+  const std::vector<uint8_t> reference = QueryBytes(obj, Box(0, 1023));
+  RangeQueryExecutor executor(store_.get());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(executor.Execute(obj, Box(0, 31)).ok());
+    ASSERT_TRUE(executor.Execute(obj, Box(512, 543)).ok());
+  }
+
+  const std::string pending_path = path_ + ".retile";
+  (void)RemoveFile(pending_path);
+  RetilerOptions options;
+  options.pending_path = pending_path;
+  options.min_improvement = 1.05;
+  uint64_t applied_steps = 0;
+  {
+    Retiler retiler(store_.get(), options);
+    RetileReport report =
+        retiler.RetileNow("obj", /*budget=*/1).MoveValue();
+    EXPECT_TRUE(report.migrated);
+    applied_steps = report.steps;
+    ASSERT_EQ(retiler.PendingObjects(), std::vector<std::string>{"obj"})
+        << "plan finished within the budget; the workload above should "
+           "produce at least two steps";
+    // Parking is not a completed migration, so durability of the applied
+    // step is the caller's business — as it is the server's on shutdown.
+    ASSERT_TRUE(store_->Save().ok());
+  }
+
+  // Simulated restart: reopen the store, construct a fresh retiler with
+  // the same sidecar path. The parked plan is back.
+  store_.reset();
+  MDDStoreOptions store_options;
+  store_options.page_size = 512;
+  store_ = MDDStore::Open(path_, store_options).MoveValue();
+  Retiler resumed(store_.get(), options);
+  ASSERT_EQ(resumed.PendingObjects(), std::vector<std::string>{"obj"});
+  RetileReport rest = resumed.Continue("obj").MoveValue();
+  EXPECT_GE(rest.steps, 1u);
+  EXPECT_TRUE(resumed.PendingObjects().empty());
+  // The plan was consumed with its sidecar: nothing resumes twice.
+  EXPECT_TRUE(resumed.Continue("obj").status().IsNotFound());
+  Retiler another(store_.get(), options);
+  EXPECT_TRUE(another.PendingObjects().empty());
+
+  // The resumed migration finished the job byte-identically.
+  obj = store_->GetMDD("obj").value();
+  EXPECT_TRUE(obj->Validate().ok());
+  EXPECT_EQ(QueryBytes(obj, Box(0, 1023)), reference);
+  EXPECT_GE(applied_steps + rest.steps, 2u);
+  (void)RemoveFile(pending_path);
+}
+
+// A corrupt sidecar is discarded silently: losing a parked plan is safe,
+// failing to start the server over it would not be.
+TEST_F(RetilerStoreTest, CorruptPendingSidecarIsIgnored) {
+  const std::string pending_path = path_ + ".retile";
+  {
+    std::ofstream out(pending_path, std::ios::binary);
+    out << "TSRPgarbage-that-is-not-a-plan";
+  }
+  RetilerOptions options;
+  options.pending_path = pending_path;
+  Retiler retiler(store_.get(), options);
+  EXPECT_TRUE(retiler.PendingObjects().empty());
+  EXPECT_TRUE(retiler.Continue("obj").status().IsNotFound());
+  (void)RemoveFile(pending_path);
 }
 
 }  // namespace

@@ -66,24 +66,21 @@ void PrintHelp(std::FILE* out) {
       "\n"
       "Serving (DESIGN.md \xC2\xA7"
       "9):\n"
-      "  serve  <db> [--port=N] [--threads=N] [--max-inflight=N]\n"
-      "         [--queue=N] [--request-timeout-ms=N] [--idle-timeout-ms=N]\n"
-      "         [--parallelism=N] [--tile-cache-mb=N] [--all-interfaces]\n"
-      "         [--event-loop] [--workers=N] [--max-connections=N]\n"
-      "         [--io-backend=auto|pread|uring]\n"
-      "         [--auto-retile] [--retile-poll-ms=N]\n"
-      "         [--retile-min-queries=N] [--retile-min-improvement=X]\n"
-      "         [--retile-cell-budget=N]\n"
+      "%s"
       "                                       serve the store over TCP;\n"
       "                                       prints the bound port, stops\n"
       "                                       cleanly on SIGINT/SIGTERM;\n"
       "                                       --event-loop multiplexes all\n"
       "                                       connections over one epoll\n"
       "                                       thread + --workers executors\n"
-      "                                       (DESIGN.md \xC2\xA7" "11)\n"
+      "                                       (DESIGN.md \xC2\xA7" "11);\n"
+      "                                       --cluster-map + --shard-id\n"
+      "                                       serve one shard of a cluster\n"
+      "                                       (DESIGN.md \xC2\xA7" "13)\n"
       "\n"
       "<domain>/<region> use the paper notation, e.g. \"[0:1023,0:767]\";\n"
-      "<cell-type> is one of uint8..int64, float32/64, rgb8.\n");
+      "<cell-type> is one of uint8..int64, float32/64, rgb8.\n",
+      net::ServerConfig::FlagHelp());
 }
 
 int Usage() {
@@ -117,72 +114,22 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 void HandleStopSignal(int) { g_stop_requested = 1; }
 
 int CmdServe(const std::string& db, int argc, char** argv) {
-  // Store options must be resolved before the open.
-  MDDStoreOptions store_options;
-  if (const char* v = FlagValue(argc, argv, "tile-cache-mb")) {
-    store_options.tile_cache_bytes =
-        static_cast<size_t>(std::atoll(v)) << 20;
-  }
-  std::unique_ptr<IoBackend> io_backend;
-  if (const char* v = FlagValue(argc, argv, "io-backend")) {
-    Result<std::unique_ptr<IoBackend>> made = MakeIoBackend(v);
-    if (!made.ok()) return Fail(made.status());
-    io_backend = std::move(made).MoveValue();
-    store_options.io_backend = io_backend.get();
-  }
-  Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(db, store_options);
+  Result<net::ServerConfig> config = net::ServerConfig::FromArgs(argc, argv);
+  if (!config.ok()) return Fail(config.status());
+  Result<std::unique_ptr<MDDStore>> store =
+      MDDStore::Open(db, config->store_options);
   if (!store.ok()) return Fail(store.status());
 
-  net::TileServerOptions options;
-  if (const char* v = FlagValue(argc, argv, "port")) {
-    options.port = static_cast<uint16_t>(std::atoi(v));
-  }
-  if (const char* v = FlagValue(argc, argv, "threads")) {
-    options.max_connections = static_cast<size_t>(std::atoi(v));
-  }
-  if (const char* v = FlagValue(argc, argv, "max-inflight")) {
-    options.max_inflight_requests = static_cast<size_t>(std::atoi(v));
-  }
-  if (const char* v = FlagValue(argc, argv, "queue")) {
-    options.admission_queue_limit = static_cast<size_t>(std::atoi(v));
-  }
-  if (const char* v = FlagValue(argc, argv, "request-timeout-ms")) {
-    options.request_timeout_ms = std::atoi(v);
-  }
-  if (const char* v = FlagValue(argc, argv, "idle-timeout-ms")) {
-    options.idle_timeout_ms = std::atoi(v);
-  }
-  if (const char* v = FlagValue(argc, argv, "parallelism")) {
-    options.query_parallelism = std::atoi(v);
-  }
-  if (HasFlag(argc, argv, "all-interfaces")) options.loopback_only = false;
-  if (HasFlag(argc, argv, "event-loop")) options.event_loop = true;
-  if (const char* v = FlagValue(argc, argv, "workers")) {
-    options.event_loop_workers = static_cast<size_t>(std::atoi(v));
-  }
-  if (const char* v = FlagValue(argc, argv, "max-connections")) {
-    options.max_connections = static_cast<size_t>(std::atoi(v));
-  }
-  if (HasFlag(argc, argv, "auto-retile")) options.auto_retile = true;
-  if (const char* v = FlagValue(argc, argv, "retile-poll-ms")) {
-    options.retile_poll_ms = std::atoi(v);
-  }
-  if (const char* v = FlagValue(argc, argv, "retile-min-queries")) {
-    options.retile_min_queries = static_cast<uint64_t>(std::atoll(v));
-  }
-  if (const char* v = FlagValue(argc, argv, "retile-min-improvement")) {
-    options.retile_min_improvement = std::atof(v);
-  }
-  if (const char* v = FlagValue(argc, argv, "retile-cell-budget")) {
-    options.retile_step_cell_budget = static_cast<uint64_t>(std::atoll(v));
-  }
-
-  net::TileServer server(store->get(), options);
+  net::TileServer server(store->get(), config->server_options);
   Status st = server.Start();
   if (!st.ok()) return Fail(st);
   // The port line is machine-readable (CI scripts parse it), hence the
   // explicit flush before entering the wait loop.
   std::printf("serving %s on port %u\n", db.c_str(), server.port());
+  if (config->server_options.shard_count > 1) {
+    std::printf("shard %u of %u\n", config->server_options.shard_id,
+                config->server_options.shard_count);
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleStopSignal);

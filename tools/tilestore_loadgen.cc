@@ -34,6 +34,17 @@
 ///                          random center every N requests (per thread) —
 ///                          the shifting-hotspot workload the online
 ///                          re-tiler (serve --auto-retile) adapts to
+///   --cluster=H:P,H:P,...  drive a sharded cluster through the routing
+///                          client instead of one server: the listed
+///                          endpoints are shards 0..N-1 of a uniform
+///                          (hash-placement) shard map. --port is then
+///                          unused (DESIGN.md §13)
+///   --objects=N            spread the workload over N objects
+///                          ("<object>-0".."<object>-<N-1>"); with
+///                          --cluster, hash placement spreads them over
+///                          the shards, which is what makes aggregate
+///                          throughput scale (a single object lives on
+///                          one shard)
 ///
 /// The exit code is 0 only if every request succeeded (overload
 /// rejections count as failures here: the loadgen stays below the
@@ -57,7 +68,13 @@ using tilestore::Array;
 using tilestore::CellType;
 using tilestore::MInterval;
 using tilestore::Random;
+using tilestore::Result;
 using tilestore::Status;
+using tilestore::cluster::RoutingClientOptions;
+using tilestore::cluster::RoutingTileClient;
+using tilestore::cluster::ShardEndpoint;
+using tilestore::cluster::ShardMap;
+using tilestore::net::ClientInterface;
 using tilestore::net::TileClient;
 using tilestore::net::TileClientOptions;
 
@@ -76,7 +93,65 @@ struct Flags {
   bool append = false;
   int conns_per_thread = 1;
   int hotspot_drift = 0;
+  std::string cluster;  // "host:port,host:port,..." — empty = single server
+  int objects = 1;
 };
+
+/// Parses the --cluster endpoint list into shard order (index = shard id).
+Result<std::vector<ShardEndpoint>> ParseClusterEndpoints(
+    const std::string& list) {
+  std::vector<ShardEndpoint> endpoints;
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    size_t end = list.find(',', begin);
+    if (end == std::string::npos) end = list.size();
+    const std::string token = list.substr(begin, end - begin);
+    const size_t colon = token.rfind(':');
+    const int port = colon == std::string::npos
+                         ? 0
+                         : std::atoi(token.c_str() + colon + 1);
+    if (colon == std::string::npos || colon == 0 || port <= 0 ||
+        port > 65535) {
+      return Status::InvalidArgument("bad --cluster endpoint '" + token +
+                                     "' (want host:port)");
+    }
+    endpoints.push_back(
+        ShardEndpoint{token.substr(0, colon), static_cast<uint16_t>(port)});
+    begin = end + 1;
+  }
+  return endpoints;
+}
+
+/// One connection, single-server or cluster, behind the unified API.
+Result<std::unique_ptr<ClientInterface>> ConnectClient(const Flags& flags) {
+  if (flags.cluster.empty()) {
+    Result<std::unique_ptr<TileClient>> client = TileClient::Connect(
+        flags.host, static_cast<uint16_t>(flags.port));
+    if (!client.ok()) return client.status();
+    return std::unique_ptr<ClientInterface>(std::move(client).MoveValue());
+  }
+  Result<std::vector<ShardEndpoint>> endpoints =
+      ParseClusterEndpoints(flags.cluster);
+  if (!endpoints.ok()) return endpoints.status();
+  Result<std::unique_ptr<RoutingTileClient>> client =
+      RoutingTileClient::Connect(ShardMap::Uniform(std::move(*endpoints)),
+                                 RoutingClientOptions());
+  if (!client.ok()) return client.status();
+  return std::unique_ptr<ClientInterface>(std::move(client).MoveValue());
+}
+
+/// The object names the workload spreads over. A single object keeps the
+/// plain flag value (back-compatible); N > 1 numbers them so hash
+/// placement can spread them across shards.
+std::vector<std::string> ObjectNames(const Flags& flags) {
+  if (flags.objects <= 1) return {flags.object};
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(flags.objects));
+  for (int i = 0; i < flags.objects; ++i) {
+    names.push_back(flags.object + "-" + std::to_string(i));
+  }
+  return names;
+}
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
   for (int i = 1; i < argc; ++i) {
@@ -111,6 +186,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->conns_per_thread = std::atoi(v);
     } else if (const char* v = value("--hotspot-drift")) {
       flags->hotspot_drift = std::atoi(v);
+    } else if (const char* v = value("--cluster")) {
+      flags->cluster = v;
+    } else if (const char* v = value("--objects")) {
+      flags->objects = std::atoi(v);
     } else if (arg == "--append") {
       flags->append = true;
     } else if (arg == "--bootstrap") {
@@ -122,8 +201,11 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       return false;
     }
   }
-  if (flags->port <= 0 || flags->port > 65535) {
-    std::fprintf(stderr, "usage: tilestore_loadgen --port=PORT [flags]\n");
+  if (flags->cluster.empty() &&
+      (flags->port <= 0 || flags->port > 65535)) {
+    std::fprintf(stderr,
+                 "usage: tilestore_loadgen --port=PORT [flags]\n"
+                 "       tilestore_loadgen --cluster=H:P,H:P,... [flags]\n");
     return false;
   }
   if (flags->smoke) {
@@ -133,6 +215,7 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
   flags->clients = std::max(flags->clients, 1);
   flags->requests = std::max(flags->requests, 1);
   flags->conns_per_thread = std::max(flags->conns_per_thread, 1);
+  flags->objects = std::max(flags->objects, 1);
   return true;
 }
 
@@ -141,8 +224,7 @@ constexpr int64_t kSide = 256;
 constexpr int64_t kTile = 64;
 
 Status Bootstrap(const Flags& flags) {
-  auto client = TileClient::Connect(flags.host,
-                                    static_cast<uint16_t>(flags.port));
+  auto client = ConnectClient(flags);
   if (!client.ok()) return client.status();
   const MInterval domain({{0, kSide - 1}, {0, kSide - 1}});
   const CellType cell_type = CellType::Of(tilestore::CellTypeId::kUInt8);
@@ -163,9 +245,13 @@ Status Bootstrap(const Flags& flags) {
       tiles.push_back(std::move(tile).MoveValue());
     }
   }
-  return client.value()->InsertTiles(flags.object, tiles,
-                                     /*create_if_missing=*/true, domain,
-                                     cell_type);
+  for (const std::string& name : ObjectNames(flags)) {
+    Status st = client.value()->InsertTiles(name, tiles,
+                                            /*create_if_missing=*/true,
+                                            domain, cell_type);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
 }
 
 struct ClientResult {
@@ -185,13 +271,13 @@ struct ClientResult {
 void RunClientGroup(const Flags& flags, int first_index, int count,
                     ClientResult* result) {
   struct Conn {
-    std::unique_ptr<TileClient> client;
+    std::unique_ptr<ClientInterface> client;
     bool alive = false;
   };
+  const std::vector<std::string> names = ObjectNames(flags);
   std::vector<Conn> conns(static_cast<size_t>(count));
   for (int c = 0; c < count; ++c) {
-    auto client = TileClient::Connect(flags.host,
-                                      static_cast<uint16_t>(flags.port));
+    auto client = ConnectClient(flags);
     if (!client.ok()) {
       result->failures += flags.requests;
       if (result->first_error.empty()) {
@@ -206,11 +292,13 @@ void RunClientGroup(const Flags& flags, int first_index, int count,
   // The query space comes from the served object itself, so the loadgen
   // works against any object, not just its own bootstrap grid. One probe
   // per group: the domain is the same on every connection.
+  // One probe on the first object: with --objects, all of them share the
+  // bootstrap shape, so one domain serves the whole name list.
   MInterval domain;
   bool have_domain = false;
   for (Conn& conn : conns) {
     if (!conn.alive) continue;
-    auto info = conn.client->OpenMDD(flags.object);
+    auto info = conn.client->OpenMDD(names.front());
     if (!info.ok()) {
       if (result->first_error.empty()) {
         result->first_error = info.status().ToString();
@@ -222,7 +310,7 @@ void RunClientGroup(const Flags& flags, int first_index, int count,
     domain = info->current_domain.value_or(info->definition_domain);
     if (!domain.IsFixed()) {
       if (result->first_error.empty()) {
-        result->first_error = "object \"" + flags.object +
+        result->first_error = "object \"" + names.front() +
                               "\" has no fixed domain to draw regions from";
       }
       break;
@@ -279,15 +367,20 @@ void RunClientGroup(const Flags& flags, int first_index, int count,
       ++issued;
       const MInterval region =
           MInterval::Create(std::move(lo), std::move(hi)).value();
+      const std::string& name =
+          names.size() == 1
+              ? names.front()
+              : names[static_cast<size_t>(rng.UniformInt(
+                    0, static_cast<int64_t>(names.size()) - 1))];
       const bool read = rng.NextDouble() < flags.read_fraction;
       const auto start = std::chrono::steady_clock::now();
       Status st;
       if (read) {
-        auto array = conns[c].client->RangeQuery(flags.object, region);
+        auto array = conns[c].client->RangeQuery(name, region);
         st = array.status();
         ++result->range_queries;
       } else {
-        auto sum = conns[c].client->Aggregate(flags.object, region,
+        auto sum = conns[c].client->Aggregate(name, region,
                                               tilestore::AggregateOp::kSum);
         st = sum.status();
         ++result->aggregates;
@@ -316,9 +409,9 @@ double Percentile(std::vector<double>* sorted, double p) {
 /// embedded verbatim (it is single-line by design). `--append` reopens an
 /// existing array and adds the row, so comparison runs (thread vs
 /// event-loop, different connection counts) collect in one file.
-bool WriteReport(const Flags& flags, int total_requests, int failures,
-                 double elapsed_sec, double p50, double p90, double p99,
-                 const std::string& metrics_json) {
+bool WriteReport(const Flags& flags, int shards, int total_requests,
+                 int failures, double elapsed_sec, double p50, double p90,
+                 double p99, const std::string& metrics_json) {
   std::string prefix = "[\n";
   if (flags.append) {
     if (std::FILE* in = std::fopen(flags.out.c_str(), "r")) {
@@ -350,14 +443,16 @@ bool WriteReport(const Flags& flags, int total_requests, int failures,
                "  {\"bench\": \"tilestore_loadgen\", "
                "\"workload\": \"mixed_read_aggregate\", "
                "\"label\": \"%s\", \"io_backend\": \"%s\", "
+               "\"mode\": \"%s\", \"shards\": %d, \"objects\": %d, "
                "\"clients\": %d, \"requests\": %d, \"failures\": %d, "
                "\"elapsed_sec\": %.3f, \"requests_per_sec\": %.3f, "
                "\"p50_ms\": %.3f, \"p90_ms\": %.3f, \"p99_ms\": %.3f, "
                "\"server_metrics\": %s}\n"
                "]\n",
                flags.label.c_str(), flags.io_backend.c_str(),
-               flags.clients, total_requests, failures, elapsed_sec, rps,
-               p50, p90, p99,
+               flags.cluster.empty() ? "single" : "cluster", shards,
+               flags.objects, flags.clients, total_requests, failures,
+               elapsed_sec, rps, p50, p90, p99,
                metrics_json.empty() ? "null" : metrics_json.c_str());
   return std::fclose(out) == 0;
 }
@@ -411,13 +506,19 @@ int main(int argc, char** argv) {
   const double p99 = Percentile(&latencies, 0.99);
   const int total = flags.clients * flags.requests;
 
-  // Final metrics snapshot from the server, embedded into the report.
+  // Final metrics snapshot (in cluster mode: the merged per-shard
+  // snapshots plus the routing client's own cluster.* series).
   std::string metrics_json;
-  if (auto client = TileClient::Connect(flags.host,
-                                        static_cast<uint16_t>(flags.port));
-      client.ok()) {
+  if (auto client = ConnectClient(flags); client.ok()) {
     if (auto stats = client.value()->Stats(0); stats.ok()) {
       metrics_json = std::move(stats).MoveValue();
+    }
+  }
+  int shards = 1;
+  if (!flags.cluster.empty()) {
+    if (auto endpoints = ParseClusterEndpoints(flags.cluster);
+        endpoints.ok()) {
+      shards = static_cast<int>(endpoints->size());
     }
   }
 
@@ -431,8 +532,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "first error: %s\n", first_error.c_str());
   }
 
-  if (!WriteReport(flags, total, failures, elapsed_sec, p50, p90, p99,
-                   metrics_json)) {
+  if (!WriteReport(flags, shards, total, failures, elapsed_sec, p50, p90,
+                   p99, metrics_json)) {
     std::fprintf(stderr, "could not write %s\n", flags.out.c_str());
     return 1;
   }
