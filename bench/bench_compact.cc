@@ -1,0 +1,240 @@
+// Online compaction A/B (DESIGN.md §14): the same object is measured in
+// three placements — fresh (SFC-placed, physically sequential), aged
+// (its tiles rewritten in shuffled interleave with a churn object, so
+// the chains scatter across the file), and compacted (the aged store
+// after one CompactNow relocation pass). Warm range queries run against
+// a pool much smaller than the object, so every query pays the physical
+// layout: the aged store seeks per tile, the fresh and compacted ones
+// stream.
+//
+// Correctness guard: the full-domain bytes are compared after aging and
+// after compaction; a relocation that changes a single cell fails the
+// bench.
+//
+// Gates: fragmentation must rise with aging and collapse with
+// compaction, and the compacted model_ms must recover most of the
+// fresh-store advantage over the aged one. Wall-clock ratios are
+// printed (and land in the JSON) but are not gated — on a hot page
+// cache the physical-seek penalty is host-dependent.
+//
+// Output: human-readable tables, plus BENCH_compact.json holding the
+// fresh/aged/compacted samples and the store's metrics snapshot (the
+// layout.* counters embedded for the perf trajectory).
+//
+// Flags: --smoke     reduced workload for CI (smaller object, fewer
+//                    queries).
+//        --queries=N minimum warm queries per measurement.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "layout/compactor.h"
+#include "query/range_query.h"
+
+namespace tilestore {
+namespace bench {
+namespace {
+
+TilingSpec Strips(Coord lo, Coord hi, Coord cells) {
+  TilingSpec spec;
+  for (Coord c = lo; c <= hi; c += cells) {
+    spec.push_back(MInterval({{c, std::min<Coord>(c + cells - 1, hi)}}));
+  }
+  return spec;
+}
+
+Array Pattern(const MInterval& domain) {
+  Array arr =
+      Array::Create(domain, CellType::Of(CellTypeId::kInt32)).value();
+  ForEachPoint(domain, [&](const Point& p) {
+    arr.Set<int32_t>(p, static_cast<int32_t>(p[0]) * 13 + 5);
+  });
+  return arr;
+}
+
+std::vector<uint8_t> FullBytes(MDDStore* store, MDDObject* object) {
+  RangeQueryExecutor executor(store);
+  Array result =
+      executor.Execute(object, object->definition_domain()).MoveValue();
+  return std::vector<uint8_t>(result.data(),
+                              result.data() + result.size_bytes());
+}
+
+int Main(int argc, char** argv) {
+  const bool smoke = FlagBool(argc, argv, "smoke");
+  const int min_queries = FlagInt(argc, argv, "queries", smoke ? 4 : 20);
+
+  // int32 cells in 4096-cell (16 KiB) strips. The pool holds a fraction
+  // of the object, so warm queries still read the file and the layout is
+  // what they pay for.
+  const Coord cells = smoke ? 131072 : 524288;
+  const Coord tile_cells = 4096;
+  const MInterval domain({{0, cells - 1}});
+
+  const std::string path = "/tmp/tilestore_bench_compact.db";
+  (void)RemoveFile(path);
+  MDDStoreOptions options;
+  options.pool_pages = 64;
+  options.sfc_placement = true;
+  auto store = MDDStore::Create(path, options).MoveValue();
+  for (const char* name : {"seq", "churn"}) {
+    MDDObject* obj =
+        store->CreateMDD(name, domain, CellType::Of(CellTypeId::kInt32))
+            .value();
+    if (!obj->Load(Pattern(domain), Strips(0, cells - 1, tile_cells)).ok()) {
+      return 1;
+    }
+  }
+  if (!store->Save().ok()) return 1;
+  MDDObject* object = store->GetMDD("seq").value();
+  const std::vector<uint8_t> reference = FullBytes(store.get(), object);
+
+  layout::Compactor compactor(store.get());
+  const double frag_fresh =
+      compactor.Measure("seq").MoveValue().fragmentation;
+  std::printf("=== online compaction: fresh / aged / compacted A/B ===\n");
+  std::printf("object: %lld int32 cells, %lld-cell strips (%zu tiles), "
+              "fresh fragmentation %.3f\n",
+              static_cast<long long>(cells),
+              static_cast<long long>(tile_cells), object->tile_count(),
+              frag_fresh);
+
+  const std::vector<int> level = {1};
+  std::vector<ReadPathSample> fresh =
+      MeasureWarmReadPath(store.get(), object, domain, level, min_queries,
+                          "bench_compact", "full_scan_fresh");
+  if (fresh.empty()) return 1;
+
+  // Age: rewrite every tile of both objects in shuffled interleave (the
+  // bytes are rewritten identically — only the placement churns), with
+  // catalog saves in between so freed pages recycle into later writes.
+  std::vector<std::pair<std::string, MInterval>> rewrites;
+  for (const char* name : {"seq", "churn"}) {
+    for (const TileEntry& entry :
+         store->GetMDD(name).value()->AllTiles()) {
+      rewrites.emplace_back(name, entry.domain);
+    }
+  }
+  std::mt19937 rng(20260808);
+  for (int round = 0; round < 2; ++round) {
+    std::shuffle(rewrites.begin(), rewrites.end(), rng);
+    size_t done = 0;
+    for (const auto& [name, tile] : rewrites) {
+      MDDObject* obj = store->GetMDD(name).value();
+      if (!obj->WriteRegion(Pattern(tile)).ok()) return 1;
+      if (++done % 8 == 0 && !store->Save().ok()) return 1;
+    }
+    if (!store->Save().ok()) return 1;
+  }
+  object = store->GetMDD("seq").value();
+  if (FullBytes(store.get(), object) != reference) {
+    std::fprintf(stderr, "compact: aging changed object bytes!\n");
+    return 1;
+  }
+  const double frag_aged =
+      compactor.Measure("seq").MoveValue().fragmentation;
+  std::printf("\naged: fragmentation %.3f (expected well above the fresh "
+              "%.3f)\n",
+              frag_aged, frag_fresh);
+  if (frag_aged <= frag_fresh + 0.1) {
+    std::fprintf(stderr, "compact: aging did not fragment the store\n");
+    return 1;
+  }
+  std::vector<ReadPathSample> aged =
+      MeasureWarmReadPath(store.get(), object, domain, level, min_queries,
+                          "bench_compact", "full_scan_aged");
+  if (aged.empty()) return 1;
+
+  Result<layout::CompactReport> report = compactor.CompactNow("seq");
+  if (!report.ok() || !report->compacted) {
+    std::fprintf(stderr, "compact: relocation did not happen: %s\n",
+                 report.ok() ? report->rationale.c_str()
+                             : report.status().message().c_str());
+    return 1;
+  }
+  object = store->GetMDD("seq").value();
+  if (FullBytes(store.get(), object) != reference) {
+    std::fprintf(stderr, "compact: relocation changed object bytes!\n");
+    return 1;
+  }
+  std::printf("compaction: frag %.3f -> %.3f, steps=%llu tiles_moved=%llu "
+              "bytes_moved=%llu\n",
+              report->frag_before, report->frag_after,
+              static_cast<unsigned long long>(report->steps),
+              static_cast<unsigned long long>(report->tiles_moved),
+              static_cast<unsigned long long>(report->bytes_moved));
+  if (report->frag_after > frag_fresh + 0.05) {
+    std::fprintf(stderr, "compact: relocation left the object fragmented\n");
+    return 1;
+  }
+  std::vector<ReadPathSample> compacted =
+      MeasureWarmReadPath(store.get(), object, domain, level, min_queries,
+                          "bench_compact", "full_scan_compacted");
+  if (compacted.empty()) return 1;
+
+  std::vector<ReadPathSample> samples;
+  samples.insert(samples.end(), fresh.begin(), fresh.end());
+  samples.insert(samples.end(), aged.begin(), aged.end());
+  samples.insert(samples.end(), compacted.begin(), compacted.end());
+  std::printf("\n");
+  PrintReadPathSamples(samples);
+
+  const double model_fresh = fresh[0].model_ms;
+  const double model_aged = aged[0].model_ms;
+  const double model_compacted = compacted[0].model_ms;
+  const double wall_aged = aged[0].wall_ms;
+  const double wall_compacted = compacted[0].wall_ms;
+  std::printf("\nmodel_ms fresh/aged/compacted: %.3f / %.3f / %.3f\n",
+              model_fresh, model_aged, model_compacted);
+  std::printf("wall_ms aged/compacted: %.3f / %.3f (%.2fx)\n", wall_aged,
+              wall_compacted,
+              wall_compacted > 0 ? wall_aged / wall_compacted : 0.0);
+  // The gate: aging must cost model time, and compaction must claw back
+  // most of it. "Most" = the aged->compacted recovery covers at least
+  // half of the aged->fresh gap.
+  if (model_aged <= model_fresh) {
+    std::fprintf(stderr, "compact: aging did not slow the model read\n");
+    return 1;
+  }
+  const double recovered =
+      (model_aged - model_compacted) / (model_aged - model_fresh);
+  std::printf("model_ms advantage recovered by compaction: %.0f%%\n",
+              recovered * 100.0);
+  if (recovered < 0.5) {
+    std::fprintf(stderr,
+                 "compact: compaction recovered too little of the "
+                 "sequential-read advantage\n");
+    return 1;
+  }
+
+  const obs::MetricsSnapshot snapshot = store->metrics()->Snapshot();
+  store.reset();
+  (void)RemoveFile(path);
+
+  if (!WriteReadPathJson("BENCH_compact.json", "bench_compact", samples)) {
+    std::fprintf(stderr, "compact: cannot write BENCH_compact.json\n");
+    return 1;
+  }
+  if (!WriteMetricsSnapshotJson("BENCH_compact.json", "bench_compact",
+                                "metrics_snapshot", snapshot)) {
+    std::fprintf(stderr, "compact: cannot merge metrics snapshot\n");
+    return 1;
+  }
+  std::printf("merged into BENCH_compact.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tilestore
+
+int main(int argc, char** argv) {
+  return tilestore::bench::Main(argc, argv);
+}

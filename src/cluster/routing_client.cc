@@ -203,6 +203,7 @@ Result<net::Response> RoutingTileClient::Call(const net::Request& request) {
           },
           [&](const net::StatsRequest& r) { return RouteStats(r); },
           [&](const net::RetileRequest& r) { return RouteRetile(r); },
+          [&](const net::CompactRequest& r) { return RouteCompact(r); },
           [&](const net::HelloRequest&) -> Result<net::Response> {
             return Status::Unimplemented(
                 "hello is connection-scoped; the routing client negotiates "
@@ -505,6 +506,45 @@ Result<net::Response> RoutingTileClient::RouteRetile(
     const auto& firstr = std::get<net::RetileResponse>(*calls[0].result);
     combined.kind = firstr.kind;
     combined.rationale = firstr.rationale;
+  }
+  return net::Response{std::move(combined)};
+}
+
+Result<net::Response> RoutingTileClient::RouteCompact(
+    const net::CompactRequest& request) {
+  const std::vector<uint32_t> owners = map_.AllOwners(request.name);
+  std::vector<SubCall> calls(owners.size());
+  for (size_t i = 0; i < owners.size(); ++i) {
+    calls[i].shard = owners[i];
+    calls[i].request = request;
+  }
+  Scatter(&calls);
+  if (calls.size() == 1) return std::move(calls[0].result);
+  Status st = CombineStatuses(calls);
+  if (!st.ok()) return st;
+  // Each shard compacts its own slab; the combined report sums the work
+  // and averages the fragmentation across owners.
+  net::CompactResponse combined;
+  double frag_before_sum = 0, frag_after_sum = 0;
+  for (const SubCall& call : calls) {
+    const auto& resp = std::get<net::CompactResponse>(*call.result);
+    if (resp.compacted && !combined.compacted) {
+      combined.compacted = true;
+      combined.rationale = resp.rationale;
+    }
+    frag_before_sum += resp.frag_before;
+    frag_after_sum += resp.frag_after;
+    combined.steps += resp.steps;
+    combined.tiles_moved += resp.tiles_moved;
+    combined.bytes_moved += resp.bytes_moved;
+  }
+  if (!calls.empty()) {
+    combined.frag_before = frag_before_sum / calls.size();
+    combined.frag_after = frag_after_sum / calls.size();
+    if (!combined.compacted) {
+      combined.rationale =
+          std::get<net::CompactResponse>(*calls[0].result).rationale;
+    }
   }
   return net::Response{std::move(combined)};
 }

@@ -43,7 +43,7 @@ struct RoutingClientOptions {
 ///    cut is rejected before anything is sent); `create_if_missing`
 ///    broadcasts the creation to every owning shard so later slab
 ///    queries never see NotFound.
-///  - `Ping`/`Stats`/`Retile`: fan out to all/owning shards.
+///  - `Ping`/`Stats`/`Retile`/`Compact`: fan out to all/owning shards.
 ///
 /// Partial-failure contract: when some shards succeed and others fail,
 /// `Call` returns `kPartialResult` whose message lists each failing shard
@@ -114,6 +114,7 @@ class RoutingTileClient : public net::ClientInterface {
   Result<net::Response> RouteInsertTiles(const net::InsertTilesRequest& req);
   Result<net::Response> RouteStats(const net::StatsRequest& request);
   Result<net::Response> RouteRetile(const net::RetileRequest& request);
+  Result<net::Response> RouteCompact(const net::CompactRequest& request);
 
   ShardMap map_;
   RoutingClientOptions options_;

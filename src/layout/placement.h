@@ -1,0 +1,31 @@
+#ifndef TILESTORE_LAYOUT_PLACEMENT_H_
+#define TILESTORE_LAYOUT_PLACEMENT_H_
+
+#include <cstdint>
+
+namespace tilestore {
+namespace layout {
+
+/// \brief How `BlobStore::Put` acquires pages for a fresh chain — the
+/// placement seam of the layout subsystem (DESIGN.md §14).
+///
+/// `kFirstFit` is the historical behaviour: one page at a time off the
+/// LIFO free list, which degrades into scatter as the list churns.
+/// `kContiguous` allocates the whole chain as one consecutive page run
+/// (`PageFile::AllocateRun`), so a blob written under it always reads
+/// back with the coalesced fast path. Combined with SFC-ordered write
+/// batches (see `layout/sfc.h`) this places curve-adjacent tiles into
+/// adjacent runs.
+enum class PlacementMode : uint8_t {
+  kFirstFit = 0,
+  kContiguous = 1,
+};
+
+inline const char* PlacementModeName(PlacementMode mode) {
+  return mode == PlacementMode::kContiguous ? "contiguous" : "first-fit";
+}
+
+}  // namespace layout
+}  // namespace tilestore
+
+#endif  // TILESTORE_LAYOUT_PLACEMENT_H_

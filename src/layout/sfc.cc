@@ -1,0 +1,158 @@
+#include "layout/sfc.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tilestore {
+namespace layout {
+
+namespace {
+
+/// Bits per axis: the interleaved key must fit 64 bits with headroom for
+/// the sign-free scaling below.
+int BitsPerAxis(size_t dim) {
+  if (dim == 0) return 0;
+  const size_t b = 63 / dim;
+  return static_cast<int>(std::min<size_t>(b, 32));
+}
+
+/// Scales twice-the-center `v2` (in [lo2, hi2]) to [0, 2^bits - 1].
+/// 128-bit arithmetic keeps the full Coord range exact.
+uint64_t ScaleAxis(__int128 v2, __int128 lo2, __int128 hi2, int bits) {
+  if (bits <= 0 || hi2 <= lo2) return 0;
+  if (v2 < lo2) v2 = lo2;
+  if (v2 > hi2) v2 = hi2;
+  const __int128 span = hi2 - lo2;
+  const __int128 top = (static_cast<__int128>(1) << bits) - 1;
+  return static_cast<uint64_t>((v2 - lo2) * top / span);
+}
+
+/// Skilling's transpose-form Hilbert encoding ("Programming the Hilbert
+/// curve", AIP Conf. Proc. 707, 2004): maps axis coordinates in place to
+/// the transposed Hilbert index, which the caller interleaves.
+void AxesToTranspose(std::vector<uint64_t>* x, int bits, size_t dim) {
+  if (dim < 2 || bits < 1) return;
+  std::vector<uint64_t>& X = *x;
+  const uint64_t M = 1ull << (bits - 1);
+  // Inverse undo.
+  for (uint64_t Q = M; Q > 1; Q >>= 1) {
+    const uint64_t P = Q - 1;
+    for (size_t i = 0; i < dim; ++i) {
+      if (X[i] & Q) {
+        X[0] ^= P;
+      } else {
+        const uint64_t t = (X[0] ^ X[i]) & P;
+        X[0] ^= t;
+        X[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (size_t i = 1; i < dim; ++i) X[i] ^= X[i - 1];
+  uint64_t t = 0;
+  for (uint64_t Q = M; Q > 1; Q >>= 1) {
+    if (X[dim - 1] & Q) t ^= Q - 1;
+  }
+  for (size_t i = 0; i < dim; ++i) X[i] ^= t;
+}
+
+/// MSB-first interleave of `dim` coordinates of `bits` bits each. For the
+/// transposed Hilbert form this yields the curve index; for raw scaled
+/// coordinates it yields the Morton (Z-order) key.
+uint64_t Interleave(const std::vector<uint64_t>& x, int bits, size_t dim) {
+  uint64_t key = 0;
+  for (int bit = bits - 1; bit >= 0; --bit) {
+    for (size_t i = 0; i < dim; ++i) {
+      key = (key << 1) | ((x[i] >> bit) & 1);
+    }
+  }
+  return key;
+}
+
+/// Lexicographic region comparison, the deterministic tie-break.
+bool RegionLess(const MInterval& a, const MInterval& b) {
+  if (a.dim() != b.dim()) return a.dim() < b.dim();
+  for (size_t i = 0; i < a.dim(); ++i) {
+    if (a.lo(i) != b.lo(i)) return a.lo(i) < b.lo(i);
+    if (a.hi(i) != b.hi(i)) return a.hi(i) < b.hi(i);
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* SfcCurveName(SfcCurve curve) {
+  return curve == SfcCurve::kZOrder ? "zorder" : "hilbert";
+}
+
+Result<SfcCurve> ParseSfcCurve(const std::string& name) {
+  if (name == "hilbert") return SfcCurve::kHilbert;
+  if (name == "zorder" || name == "z-order" || name == "morton") {
+    return SfcCurve::kZOrder;
+  }
+  return Status::InvalidArgument("unknown space-filling curve '" + name +
+                                 "' (expected hilbert or zorder)");
+}
+
+uint64_t SfcKey(const MInterval& region, const MInterval& frame,
+                SfcCurve curve) {
+  const size_t dim = region.dim();
+  if (dim == 0 || frame.dim() != dim) return 0;
+  const int bits = BitsPerAxis(dim);
+  if (bits <= 0) return 0;
+  std::vector<uint64_t> x(dim, 0);
+  for (size_t i = 0; i < dim; ++i) {
+    const __int128 v2 =
+        static_cast<__int128>(region.lo(i)) + static_cast<__int128>(region.hi(i));
+    const __int128 lo2 = static_cast<__int128>(frame.lo(i)) * 2;
+    const __int128 hi2 = static_cast<__int128>(frame.hi(i)) * 2;
+    x[i] = ScaleAxis(v2, lo2, hi2, bits);
+  }
+  if (dim == 1) return x[0];
+  if (curve == SfcCurve::kHilbert) AxesToTranspose(&x, bits, dim);
+  return Interleave(x, bits, dim);
+}
+
+MInterval BoundingFrame(const std::vector<MInterval>& regions) {
+  if (regions.empty()) return MInterval({{0, 0}});
+  const size_t dim = regions.front().dim();
+  std::vector<Coord> lo(dim, kHiUnbounded), hi(dim, kLoUnbounded);
+  for (const MInterval& r : regions) {
+    if (r.dim() != dim) continue;
+    for (size_t i = 0; i < dim; ++i) {
+      lo[i] = std::min(lo[i], r.lo(i));
+      hi[i] = std::max(hi[i], r.hi(i));
+    }
+  }
+  Result<MInterval> frame = MInterval::Create(std::move(lo), std::move(hi));
+  return frame.ok() ? frame.value() : regions.front();
+}
+
+std::vector<size_t> SfcOrder(const std::vector<MInterval>& regions,
+                             SfcCurve curve) {
+  std::vector<size_t> order(regions.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (regions.size() < 2) return order;
+  const MInterval frame = BoundingFrame(regions);
+  std::vector<uint64_t> keys(regions.size());
+  for (size_t i = 0; i < regions.size(); ++i) {
+    keys[i] = SfcKey(regions[i], frame, curve);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return RegionLess(regions[a], regions[b]);
+  });
+  return order;
+}
+
+void SortBySfc(TilingSpec* spec, SfcCurve curve) {
+  if (spec == nullptr || spec->size() < 2) return;
+  const std::vector<size_t> order = SfcOrder(*spec, curve);
+  TilingSpec sorted;
+  sorted.reserve(spec->size());
+  for (size_t i : order) sorted.push_back((*spec)[i]);
+  *spec = std::move(sorted);
+}
+
+}  // namespace layout
+}  // namespace tilestore

@@ -1,0 +1,65 @@
+#ifndef TILESTORE_LAYOUT_SFC_H_
+#define TILESTORE_LAYOUT_SFC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/minterval.h"
+#include "core/tile.h"
+
+namespace tilestore {
+namespace layout {
+
+/// \brief Space-filling-curve key computation over tile-region centers —
+/// the ordering half of the layout subsystem (DESIGN.md §14).
+///
+/// Arbitrary (non-aligned) tilings have no grid to index, so keys are
+/// computed from each region's *center*, normalized into a bounding frame
+/// and quantized to `63 / d` bits per axis. Haverkort's recursive-tilings
+/// result bounds how many curve sections a query box intersects, which is
+/// exactly the number of sequential runs a range query's fetch set decays
+/// into once blobs are placed in key order.
+
+/// Curve choice. Hilbert keeps all neighbors close at every scale (the
+/// default); Z-order (Morton) is cheaper to compute and good enough for
+/// mostly-square tiles.
+enum class SfcCurve : uint8_t {
+  kHilbert = 0,
+  kZOrder = 1,
+};
+
+const char* SfcCurveName(SfcCurve curve);
+
+/// Parses "hilbert" / "zorder" (also accepts "z-order", "morton").
+Result<SfcCurve> ParseSfcCurve(const std::string& name);
+
+/// Key of `region`'s center within `frame` (a bounding box of the whole
+/// batch being placed, typically the hull of a tiling spec). Centers are
+/// kept exact as `lo + hi` (twice the center) so half-cell positions never
+/// round. Regions outside the frame clamp to its faces; a degenerate frame
+/// axis contributes zero bits. Keys are comparable only against keys
+/// computed within the same frame and curve.
+uint64_t SfcKey(const MInterval& region, const MInterval& frame,
+                SfcCurve curve);
+
+/// Bounding hull of `regions` (per-axis min lo / max hi). Empty input
+/// yields a 1-d zero interval.
+MInterval BoundingFrame(const std::vector<MInterval>& regions);
+
+/// Index permutation that visits `regions` in curve order within their
+/// own bounding frame. Ties (identical keys) break by lexicographic
+/// region bounds, so the order is deterministic.
+std::vector<size_t> SfcOrder(const std::vector<MInterval>& regions,
+                             SfcCurve curve);
+
+/// Sorts a tiling spec in place into curve order — the write-batch hook:
+/// loading or re-tiling through a sorted spec makes blob allocation order
+/// (and therefore physical placement) follow the curve.
+void SortBySfc(TilingSpec* spec, SfcCurve curve);
+
+}  // namespace layout
+}  // namespace tilestore
+
+#endif  // TILESTORE_LAYOUT_SFC_H_

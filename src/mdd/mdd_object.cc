@@ -3,6 +3,7 @@
 #include "core/region.h"
 #include "index/directory_index.h"
 #include "index/rtree_index.h"
+#include "layout/sfc.h"
 #include "mdd/mdd_store.h"
 #include "storage/io_scheduler.h"
 #include "storage/txn.h"
@@ -47,6 +48,14 @@ void MDDObject::MarkStoreDirty() const {
 
 void MDDObject::InvalidateCachedTiles() const {
   if (store_ != nullptr) store_->InvalidateTileCache(cache_id_);
+}
+
+TilingSpec MDDObject::PlacementOrdered(const TilingSpec& spec) const {
+  TilingSpec ordered = spec;
+  if (store_ != nullptr && store_->options().sfc_placement) {
+    layout::SortBySfc(&ordered, store_->options().sfc_curve);
+  }
+  return ordered;
 }
 
 Status MDDObject::SetDefaultCell(std::vector<uint8_t> value) {
@@ -154,15 +163,18 @@ Status MDDObject::Load(const Array& data, const TilingSpec& spec) {
   ScopedTxn txn(txn_manager());
   if (!txn.begin_status().ok()) return txn.begin_status();
   const std::optional<MInterval> saved_domain = current_domain_;
+  // Under SFC placement the batch is inserted in curve order, so blob
+  // allocation order follows the curve.
+  const TilingSpec ordered = PlacementOrdered(spec);
   std::vector<MInterval> inserted;
-  inserted.reserve(spec.size());
+  inserted.reserve(ordered.size());
   auto unwind = [&] {
     for (const MInterval& domain : inserted) (void)index_->Remove(domain);
     current_domain_ = saved_domain;
   };
   // Cut tile by tile rather than materializing all tiles at once, so load
   // memory stays bounded by one tile.
-  for (const MInterval& domain : spec) {
+  for (const MInterval& domain : ordered) {
     if (!data.domain().Contains(domain)) {
       unwind();
       return Status::InvalidArgument("tile domain " + domain.ToString() +
@@ -398,7 +410,7 @@ Status MDDObject::WriteRegion(const Array& data) {
     } else {
       spec.push_back(piece);
     }
-    for (const MInterval& tile_domain : spec) {
+    for (const MInterval& tile_domain : PlacementOrdered(spec)) {
       Result<Tile> tile = data.Slice(tile_domain);
       if (!tile.ok()) {
         unwind();
@@ -477,9 +489,12 @@ Status MDDObject::RetileRegion(const MInterval& region,
   // fetched and decoded exactly once.
   bool default_is_zero = true;
   for (uint8_t b : default_cell_) default_is_zero = default_is_zero && b == 0;
+  // Re-encode order is placement order: under SFC placement the new
+  // generation's blobs land along the curve.
+  const TilingSpec ordered = PlacementOrdered(new_tiles);
   std::vector<Array> staged;
-  staged.reserve(new_tiles.size());
-  for (const MInterval& domain : new_tiles) {
+  staged.reserve(ordered.size());
+  for (const MInterval& domain : ordered) {
     Result<Array> array = Array::Create(domain, cell_type_);
     if (!array.ok()) return array.status();
     if (!default_is_zero) {
@@ -578,6 +593,110 @@ Status MDDObject::RetileRegion(const MInterval& region,
     }
   }
   return commit;
+}
+
+Result<uint64_t> MDDObject::RelocateTiles(
+    const std::vector<MInterval>& domains) {
+  if (domains.empty()) return static_cast<uint64_t>(0);
+  // One transaction for the whole step: every blob of the step moves, or
+  // none does. The unwind mirrors RetileRegion's — the index swap and the
+  // deferred frees are both rolled back on a failed commit.
+  ScopedTxn txn(txn_manager());
+  if (!txn.begin_status().ok()) return txn.begin_status();
+  Status mut = EnsureMutableIndex();
+  if (!mut.ok()) return mut;
+
+  // Resolve every domain to its exact entry up front, so a stale plan
+  // (tile re-tiled or removed since planning) fails before any page is
+  // written.
+  std::vector<TileEntry> old_entries;
+  old_entries.reserve(domains.size());
+  for (const MInterval& domain : domains) {
+    const std::vector<TileEntry> hits = index_->Search(domain);
+    const TileEntry* exact = nullptr;
+    for (const TileEntry& entry : hits) {
+      if (entry.domain == domain) {
+        exact = &entry;
+        break;
+      }
+    }
+    if (exact == nullptr) {
+      return Status::NotFound("no tile with domain " + domain.ToString() +
+                              " in '" + name_ + "'");
+    }
+    old_entries.push_back(*exact);
+  }
+
+  std::vector<TileEntry> removed;
+  std::vector<MInterval> inserted;
+  std::vector<BlobId> deferred;
+  auto unwind = [&] {
+    for (BlobId blob : deferred) store_->UndeferBlobFree(blob);
+    for (const MInterval& domain : inserted) (void)index_->Remove(domain);
+    for (const TileEntry& entry : removed) (void)index_->Insert(entry);
+  };
+
+  // The stored bytes move verbatim — still compressed if the tile was —
+  // so relocation is byte-identical by construction.
+  uint64_t bytes_moved = 0;
+  std::vector<std::vector<uint8_t>> payloads;
+  payloads.reserve(old_entries.size());
+  for (const TileEntry& entry : old_entries) {
+    Result<std::vector<uint8_t>> raw = blobs_->Get(entry.blob);
+    if (!raw.ok()) {
+      unwind();
+      return raw.status();
+    }
+    bytes_moved += raw->size();
+    payloads.push_back(std::move(*raw));
+  }
+
+  // All blobs of the step land back to back in ONE consecutive page run,
+  // in plan (SFC) order — this is what turns a step into a single extent.
+  // Per-blob contiguous placement would take a run per blob, and
+  // single-page blobs would scatter across whatever holes the free list
+  // offers first.
+  Result<std::vector<BlobId>> packed = blobs_->PutContiguousBatch(payloads);
+  if (!packed.ok()) {
+    unwind();
+    return packed.status();
+  }
+
+  for (size_t t = 0; t < old_entries.size(); ++t) {
+    const TileEntry& entry = old_entries[t];
+    Status st = index_->Remove(entry.domain);
+    if (!st.ok()) {
+      unwind();
+      return st;
+    }
+    removed.push_back(entry);
+    st = index_->Insert(TileEntry{entry.domain, (*packed)[t],
+                                  entry.compression});
+    if (!st.ok()) {
+      unwind();
+      return st;
+    }
+    inserted.push_back(entry.domain);
+    // Old blobs are freed with the next catalog write, like RetileRegion:
+    // the persisted tile table still points at them.
+    if (store_ != nullptr) {
+      store_->DeferBlobFree(entry.blob);
+      deferred.push_back(entry.blob);
+    }
+  }
+  MarkStoreDirty();
+  Status commit = txn.Commit();
+  if (!commit.ok()) unwind();
+  InvalidateCachedTiles();
+  if (commit.ok() && store_ == nullptr) {
+    // Standalone (unlogged, test-only) objects have no catalog deferral;
+    // release the old blobs now that the swap is durable.
+    for (const TileEntry& entry : old_entries) {
+      (void)blobs_->Delete(entry.blob);
+    }
+  }
+  if (!commit.ok()) return commit;
+  return bytes_moved;
 }
 
 Result<Tile> MDDObject::FetchTile(const TileEntry& entry) const {

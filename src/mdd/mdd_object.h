@@ -136,6 +136,16 @@ class MDDObject {
   /// hull — and hence '*' resolution — is unchanged.
   Status RetileRegion(const MInterval& region, const TilingSpec& new_tiles);
 
+  /// Physically relocates the tiles with exactly these domains (the
+  /// compaction step primitive, DESIGN.md §14): each stored BLOB is
+  /// rewritten byte-identically into one contiguous page run and the
+  /// index entry swapped to the new id, all in one transaction. Old BLOBs
+  /// are freed with the next catalog write, exactly like `RetileRegion`,
+  /// so a crash recovers to the old or the new placement — never a mix.
+  /// Contents, tiling, and current domain are unchanged. Returns the
+  /// stored bytes moved.
+  Result<uint64_t> RelocateTiles(const std::vector<MInterval>& domains);
+
   /// The tiles intersecting `region` (index probe only; no data I/O).
   std::vector<TileEntry> FindTiles(const MInterval& region) const {
     return index_->Search(region);
@@ -180,6 +190,11 @@ class MDDObject {
 
  private:
   Status CheckInsertable(const MInterval& domain, size_t cell_size) const;
+
+  // Returns `spec` reordered along the owning store's space-filling curve
+  // when SFC placement is enabled (identity otherwise): insertion order is
+  // allocation order, so sorting the batch sorts physical placement.
+  TilingSpec PlacementOrdered(const TilingSpec& spec) const;
 
   // Replaces a packed (read-only) index with a dynamic one before any
   // mutation.

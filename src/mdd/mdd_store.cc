@@ -57,6 +57,9 @@ MDDStore::MDDStore(std::unique_ptr<PageFile> file, MDDStoreOptions options)
   pool_ = std::make_unique<BufferPool>(file_.get(), options_.pool_pages,
                                        &metrics_);
   blobs_ = std::make_unique<BlobStore>(pool_.get());
+  if (options_.sfc_placement) {
+    blobs_->set_placement(layout::PlacementMode::kContiguous);
+  }
   scheduler_ = std::make_unique<TileIOScheduler>(blobs_.get());
   scheduler_->set_metrics(&metrics_);
   tile_cache_ = std::make_unique<TileCache>(options_.tile_cache_bytes);
@@ -94,6 +97,14 @@ Status MDDStore::InitWal(bool recover) {
     Result<uint64_t> replayed =
         RecoverFromWal(file_.get(), wal_->path(), &max_lsn);
     if (!replayed.ok()) return replayed.status();
+    // LSNs must stay monotonic across sessions, not just within one: an
+    // empty log restarts numbering at 1, below the superblock's
+    // checkpoint LSN from the previous session — and recovery treats any
+    // record with lsn <= checkpoint_lsn as already checkpointed, so a
+    // crash mid-apply would silently skip committed transactions. Floor
+    // the next LSN at the checkpoint LSN so new records always sort
+    // after it.
+    if (file_->checkpoint_lsn() > max_lsn) max_lsn = file_->checkpoint_lsn();
     if (max_lsn >= wal_->next_lsn()) wal_->set_next_lsn(max_lsn + 1);
     if (wal_->size_bytes() > 0) {
       // Fold the replayed state into the superblock, then start an empty

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "layout/sfc.h"
 #include "mdd/mdd_object.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -61,6 +62,14 @@ struct MDDStoreOptions {
   /// threaded pread; override with `TILESTORE_IO_BACKEND`). The caller
   /// keeps ownership and must outlive the store.
   IoBackend* io_backend = nullptr;
+  /// Space-filling-curve placement (DESIGN.md §14): new tile blob chains
+  /// are allocated as contiguous page runs and batched tile writes (Load
+  /// specs, WriteRegion growth tiles, RetileRegion targets) are ordered
+  /// by `sfc_curve` keys over tile centers, so curve-adjacent tiles land
+  /// in adjacent runs. Off by default: first-fit placement keeps the
+  /// historical allocation order (and its cost accounting) bit-identical.
+  bool sfc_placement = false;
+  layout::SfcCurve sfc_curve = layout::SfcCurve::kHilbert;
 };
 
 /// \brief The database of MDD objects: one page file holding tile BLOBs
@@ -211,6 +220,8 @@ class MDDStore {
   TxnManager* txn_manager() { return txns_.get(); }
   /// Null when the store is unlogged.
   WriteAheadLog* wal() { return wal_.get(); }
+  /// The options this store was created/opened with.
+  const MDDStoreOptions& options() const { return options_; }
 
  private:
   /// Logical state of one object, captured at `Begin` for `Abort`.

@@ -32,6 +32,7 @@ WireOp RequestOp(const Request& request) {
           [](const StatsRequest&) { return WireOp::kStats; },
           [](const RetileRequest&) { return WireOp::kRetile; },
           [](const HelloRequest&) { return WireOp::kHello; },
+          [](const CompactRequest&) { return WireOp::kCompact; },
       },
       request);
 }
@@ -51,6 +52,7 @@ std::vector<uint8_t> EncodeRequest(const Request& request) {
           [](const StatsRequest& r) { return EncodeStatsRequest(r); },
           [](const RetileRequest& r) { return EncodeRetileRequest(r); },
           [](const HelloRequest& r) { return EncodeHelloRequest(r); },
+          [](const CompactRequest& r) { return EncodeCompactRequest(r); },
       },
       request);
 }
@@ -126,6 +128,13 @@ Status DecodeResponsePayload(WireOp op, const std::vector<uint8_t>& payload,
       st = DecodeHelloResponse(payload, server_status, &resp);
       if (!st.ok() || !server_status->ok()) return st;
       *out = resp;
+      return Status::OK();
+    }
+    case WireOp::kCompact: {
+      CompactResponse resp;
+      st = DecodeCompactResponse(payload, server_status, &resp);
+      if (!st.ok() || !server_status->ok()) return st;
+      *out = std::move(resp);
       return Status::OK();
     }
   }
@@ -216,6 +225,14 @@ Result<RetileResponse> ClientInterface::Retile(const std::string& name) {
   Result<Response> result = Call(std::move(req));
   if (!result.ok()) return result.status();
   return std::move(std::get<RetileResponse>(*result));
+}
+
+Result<CompactResponse> ClientInterface::Compact(const std::string& name) {
+  CompactRequest req;
+  req.name = name;
+  Result<Response> result = Call(std::move(req));
+  if (!result.ok()) return result.status();
+  return std::move(std::get<CompactResponse>(*result));
 }
 
 }  // namespace net

@@ -36,12 +36,12 @@ struct PingResponse {};
 using Request =
     std::variant<PingRequest, OpenMDDRequest, RangeQueryRequest,
                  AggregateRequest, InsertTilesRequest, StatsRequest,
-                 RetileRequest, HelloRequest>;
+                 RetileRequest, HelloRequest, CompactRequest>;
 
 using Response =
     std::variant<PingResponse, OpenMDDResponse, RangeQueryResponse,
                  AggregateResponse, InsertTilesResponse, StatsResponse,
-                 RetileResponse, HelloResponse>;
+                 RetileResponse, HelloResponse, CompactResponse>;
 
 /// The wire op a request alternative travels as.
 WireOp RequestOp(const Request& request);
@@ -104,6 +104,9 @@ class ClientInterface {
   /// Admin: synchronously evaluate (and, when the predicted gain clears the
   /// server's bar, migrate) `name`'s tiling against its recorded workload.
   Result<RetileResponse> Retile(const std::string& name);
+  /// Admin: measure `name`'s physical fragmentation and rewrite its tile
+  /// blobs into SFC-contiguous page runs (`Compactor::CompactNow`).
+  Result<CompactResponse> Compact(const std::string& name);
 };
 
 }  // namespace net

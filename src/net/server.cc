@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "core/aggregate.h"
+#include "layout/sfc.h"
 #include "obs/trace.h"
 #include "query/range_query.h"
 
@@ -62,9 +63,9 @@ TileServer::TileServer(MDDStore* store, TileServerOptions options)
   idle_disconnects_ = m->counter("net.idle_disconnects");
   bytes_received_ = m->counter("net.bytes_received");
   bytes_sent_ = m->counter("net.bytes_sent");
-  op_latency_ms_.resize(static_cast<size_t>(WireOp::kHello) + 1, nullptr);
+  op_latency_ms_.resize(static_cast<size_t>(WireOp::kCompact) + 1, nullptr);
   for (uint16_t op = static_cast<uint16_t>(WireOp::kPing);
-       op <= static_cast<uint16_t>(WireOp::kHello); ++op) {
+       op <= static_cast<uint16_t>(WireOp::kCompact); ++op) {
     const std::string name =
         "net.op." +
         std::string(WireOpName(static_cast<WireOp>(op))) + "_ms";
@@ -81,11 +82,24 @@ TileServer::TileServer(MDDStore* store, TileServerOptions options)
   retile_options.min_queries = options_.retile_min_queries;
   retile_options.min_improvement = options_.retile_min_improvement;
   retile_options.step_cell_budget = options_.retile_step_cell_budget;
+  retile_options.migration_cost_weight = options_.retile_migration_cost_weight;
+  retile_options.cooldown =
+      std::chrono::milliseconds(std::max(options_.retile_cooldown_ms, 0));
   retile_options.catalog_mu = &catalog_mu_;
   // Parked migration plans survive restarts via a sidecar next to the
   // database, so a drain mid-migration resumes instead of forgetting.
   retile_options.pending_path = store_->path() + ".retile";
   retiler_ = std::make_unique<Retiler>(store_, retile_options);
+
+  layout::CompactorOptions compact_options;
+  compact_options.poll_interval =
+      std::chrono::milliseconds(std::max(options_.compact_poll_ms, 1));
+  compact_options.min_fragmentation = options_.compact_min_fragmentation;
+  compact_options.step_byte_budget = options_.compact_step_bytes;
+  compact_options.catalog_mu = &catalog_mu_;
+  // Parked relocation plans survive restarts the same way.
+  compact_options.pending_path = store_->path() + ".compact";
+  compactor_ = std::make_unique<layout::Compactor>(store_, compact_options);
 }
 
 TileServer::~TileServer() { Stop(); }
@@ -113,6 +127,7 @@ Status TileServer::Start() {
   running_.store(true, std::memory_order_release);
   listen_thread_ = std::thread([this] { ListenLoop(); });
   if (options_.auto_retile) retiler_->Start();
+  if (options_.auto_compact) compactor_->Start();
   return Status::OK();
 }
 
@@ -135,16 +150,18 @@ Status TileServer::StartEventLoop() {
   running_.store(true, std::memory_order_release);
   loop_thread_ = std::thread([this] { EventLoopMain(); });
   if (options_.auto_retile) retiler_->Start();
+  if (options_.auto_compact) compactor_->Start();
   return Status::OK();
 }
 
 void TileServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stopping_.store(true, std::memory_order_release);
-  // Drain the re-tiler first: its in-flight migration step completes (an
-  // atomic RetileRegion), remaining steps are abandoned — the object is
-  // left in a valid mixed-generation tiling either way.
+  // Drain the re-tiler and compactor first: their in-flight steps
+  // complete (an atomic RetileRegion / RelocateTiles), remaining steps
+  // are parked — the object is left in a valid state either way.
   if (retiler_) retiler_->Stop();
+  if (compactor_) compactor_->Stop();
   if (options_.event_loop) {
     StopEventLoop();
     return;
@@ -786,6 +803,8 @@ std::vector<uint8_t> TileServer::Dispatch(WireOp op,
       return HandleRetile(payload);
     case WireOp::kHello:
       return HandleHello(payload);
+    case WireOp::kCompact:
+      return HandleCompact(payload);
   }
   return EncodeErrorResponse(Status::Unimplemented("unknown op"));
 }
@@ -943,6 +962,19 @@ std::vector<uint8_t> TileServer::HandleInsertTiles(
     }
     return EncodeErrorResponse(failure);
   };
+  // With SFC placement on, inserting the batch in curve order makes the
+  // freshly allocated blob pages follow the curve too.
+  if (store_->options().sfc_placement && req.tiles.size() > 1) {
+    std::vector<MInterval> domains;
+    domains.reserve(req.tiles.size());
+    for (const WireTile& t : req.tiles) domains.push_back(t.domain);
+    std::vector<size_t> order =
+        layout::SfcOrder(domains, store_->options().sfc_curve);
+    std::vector<WireTile> sorted;
+    sorted.reserve(req.tiles.size());
+    for (size_t i : order) sorted.push_back(std::move(req.tiles[i]));
+    req.tiles = std::move(sorted);
+  }
   for (const WireTile& wire_tile : req.tiles) {
     Result<Array> tile = Array::FromBuffer(
         wire_tile.domain, object->cell_type(),
@@ -1001,6 +1033,27 @@ std::vector<uint8_t> TileServer::HandleRetile(
   resp.tiles_after = report->tiles_after;
   resp.cells_moved = report->cells_moved;
   return EncodeRetileResponse(resp);
+}
+
+std::vector<uint8_t> TileServer::HandleCompact(
+    const std::vector<uint8_t>& payload) {
+  CompactRequest req;
+  Status st = DecodeCompactRequest(payload, &req);
+  if (!st.ok()) return EncodeErrorResponse(st);
+  // Deliberately NOT under catalog_mu_: the compactor takes it shared for
+  // measurement and exclusive per relocation step, so concurrent queries
+  // keep flowing between steps of a long compaction.
+  Result<layout::CompactReport> report = compactor_->CompactNow(req.name);
+  if (!report.ok()) return EncodeErrorResponse(report.status());
+  CompactResponse resp;
+  resp.compacted = report->compacted;
+  resp.rationale = report->rationale;
+  resp.frag_before = report->frag_before;
+  resp.frag_after = report->frag_after;
+  resp.steps = report->steps;
+  resp.tiles_moved = report->tiles_moved;
+  resp.bytes_moved = report->bytes_moved;
+  return EncodeCompactResponse(resp);
 }
 
 }  // namespace net

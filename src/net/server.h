@@ -20,6 +20,7 @@
 #include "net/event_loop.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "layout/compactor.h"
 #include "obs/metrics.h"
 #include "tiling/retiler.h"
 
@@ -88,6 +89,21 @@ struct TileServerOptions {
   uint64_t retile_min_queries = 32;
   double retile_min_improvement = 1.3;
   uint64_t retile_step_cell_budget = 1ull << 22;
+  /// Re-tile hysteresis/cool-down, forwarded to `RetilerOptions`
+  /// (`migration_cost_weight`, `cooldown`).
+  double retile_migration_cost_weight = 0.0;
+  int retile_cooldown_ms = 0;
+  /// Run the online compactor's background loop (DESIGN.md §14):
+  /// fragmented objects are periodically rewritten into SFC-contiguous
+  /// page runs. The `compact` wire op works either way; this flag only
+  /// controls the automatic loop. `Stop` drains the compactor's in-flight
+  /// relocation step before closing connections.
+  bool auto_compact = false;
+  /// Compactor policy knobs, forwarded to `CompactorOptions` (the catalog
+  /// lock is always the server's own). See that struct for semantics.
+  int compact_poll_ms = 1000;
+  double compact_min_fragmentation = 0.25;
+  uint64_t compact_step_bytes = 4ull << 20;
   /// Shard identity reported in the kHello handshake (DESIGN.md §13).
   /// Defaults describe a standalone, unsharded server. A cluster launcher
   /// runs N processes with shard_id = 0..N-1, shard_count = N; the
@@ -141,6 +157,10 @@ class TileServer {
   /// The server's re-tiler (always constructed; its background loop runs
   /// only with `auto_retile`). Exposed for tests and embedders.
   Retiler* retiler() { return retiler_.get(); }
+
+  /// The server's compactor (always constructed; its background loop runs
+  /// only with `auto_compact`). Exposed for tests and embedders.
+  layout::Compactor* compactor() { return compactor_.get(); }
 
  private:
   /// Counting semaphore with a bounded wait queue; the server's admission
@@ -206,6 +226,7 @@ class TileServer {
   std::vector<uint8_t> HandleStats(const std::vector<uint8_t>& payload);
   std::vector<uint8_t> HandleRetile(const std::vector<uint8_t>& payload);
   std::vector<uint8_t> HandleHello(const std::vector<uint8_t>& payload);
+  std::vector<uint8_t> HandleCompact(const std::vector<uint8_t>& payload);
 
   MDDStore* store_;
   const TileServerOptions options_;
@@ -219,6 +240,10 @@ class TileServer {
   // Online re-tiler (DESIGN.md §12); background loop gated on
   // options_.auto_retile, the `retile` op uses it synchronously.
   std::unique_ptr<Retiler> retiler_;
+
+  // Online compactor (DESIGN.md §14); background loop gated on
+  // options_.auto_compact, the `compact` op uses it synchronously.
+  std::unique_ptr<layout::Compactor> compactor_;
 
   Admission admission_;
   Listener listener_;
@@ -262,7 +287,7 @@ class TileServer {
   obs::Counter* idle_disconnects_;
   obs::Counter* bytes_received_;
   obs::Counter* bytes_sent_;
-  // Indexed by WireOp value (1..kHello); [0] unused.
+  // Indexed by WireOp value (1..kCompact); [0] unused.
   std::vector<obs::Histogram*> op_latency_ms_;
   // Registered in both modes (zero in thread-per-connection mode) so
   // snapshots always carry the series.

@@ -1,6 +1,8 @@
 #include "net/server_config.h"
 
 #include <cstdint>
+
+#include "layout/sfc.h"
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -221,6 +223,45 @@ Result<ServerConfig> ServerConfig::FromArgs(int argc, char** argv) {
     st = set.Integer("retile-cell-budget", &server.retile_step_cell_budget, 1,
                      int64_t{1} << 40);
   }
+  if (st.ok()) {
+    st = set.Double("retile-migration-cost", &server.retile_migration_cost_weight);
+  }
+  if (st.ok()) {
+    st = set.Integer("retile-cooldown-ms", &server.retile_cooldown_ms, 0,
+                     24 * 3600 * 1000);
+  }
+  if (!st.ok()) return st;
+
+  // Layout knobs: SFC placement for new tile writes, plus the background
+  // compactor that restores SFC-contiguity on aged stores.
+  {
+    Result<bool> v = set.Switch("sfc-placement");
+    if (!v.ok()) return v.status();
+    if (*v) config.store_options.sfc_placement = true;
+  }
+  {
+    Result<std::optional<std::string>> v = set.String("sfc-curve");
+    if (!v.ok()) return v.status();
+    if (v->has_value()) {
+      Result<layout::SfcCurve> curve = layout::ParseSfcCurve(**v);
+      if (!curve.ok()) return curve.status();
+      config.store_options.sfc_curve = *curve;
+      config.store_options.sfc_placement = true;
+    }
+  }
+  {
+    Result<bool> v = set.Switch("auto-compact");
+    if (!v.ok()) return v.status();
+    if (*v) server.auto_compact = true;
+  }
+  st = set.Integer("compact-poll-ms", &server.compact_poll_ms, 1, 3600 * 1000);
+  if (st.ok()) {
+    st = set.Double("compact-min-frag", &server.compact_min_fragmentation);
+  }
+  if (st.ok()) {
+    st = set.Integer("compact-step-bytes", &server.compact_step_bytes, 4096,
+                     int64_t{1} << 40);
+  }
   if (!st.ok()) return st;
 
   // Cluster identity: either from a map (authoritative endpoints and
@@ -285,7 +326,11 @@ const char* ServerConfig::FlagHelp() {
          "         [--io-backend=auto|pread|uring]\n"
          "         [--auto-retile] [--retile-poll-ms=N]\n"
          "         [--retile-min-queries=N] [--retile-min-improvement=X]\n"
-         "         [--retile-cell-budget=N]\n"
+         "         [--retile-cell-budget=N] [--retile-migration-cost=X]\n"
+         "         [--retile-cooldown-ms=N]\n"
+         "         [--sfc-placement] [--sfc-curve=hilbert|zorder]\n"
+         "         [--auto-compact] [--compact-poll-ms=N]\n"
+         "         [--compact-min-frag=X] [--compact-step-bytes=N]\n"
          "         [--shard-id=N] [--shard-count=N] [--cluster-map=FILE]\n"
          "         [--max-wire-version=N] [--debug-handler-delay-ms=N]\n";
 }

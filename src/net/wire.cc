@@ -53,13 +53,15 @@ std::string_view WireOpName(WireOp op) {
       return "retile";
     case WireOp::kHello:
       return "hello";
+    case WireOp::kCompact:
+      return "compact";
   }
   return "unknown";
 }
 
 bool WireOpValid(uint16_t raw) {
   return raw >= static_cast<uint16_t>(WireOp::kPing) &&
-         raw <= static_cast<uint16_t>(WireOp::kHello);
+         raw <= static_cast<uint16_t>(WireOp::kCompact);
 }
 
 std::vector<uint8_t> EncodeFrame(WireOp op, bool response,
@@ -333,6 +335,21 @@ Status DecodeHelloRequest(const std::vector<uint8_t>& payload,
   return Status::OK();
 }
 
+std::vector<uint8_t> EncodeCompactRequest(const CompactRequest& req) {
+  ByteWriter w;
+  w.Str(req.name);
+  return w.Take();
+}
+
+Status DecodeCompactRequest(const std::vector<uint8_t>& payload,
+                            CompactRequest* out) {
+  ByteReader r(payload);
+  Status st = r.Str(&out->name);
+  if (!st.ok()) return st;
+  if (!r.AtEnd()) return CorruptPayload("trailing bytes in compact");
+  return Status::OK();
+}
+
 // --------------------------------------------------------------------------
 // Responses.
 
@@ -555,6 +572,47 @@ Status DecodeRetileResponse(const std::vector<uint8_t>& payload,
   st = r.U64(&out->tiles_after);
   if (!st.ok()) return st;
   return r.U64(&out->cells_moved);
+}
+
+std::vector<uint8_t> EncodeCompactResponse(const CompactResponse& resp) {
+  ByteWriter w = OkWriter();
+  w.U8(resp.compacted ? 1 : 0);
+  w.Str(resp.rationale);
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(resp.frag_before));
+  std::memcpy(&bits, &resp.frag_before, sizeof(bits));
+  w.U64(bits);
+  std::memcpy(&bits, &resp.frag_after, sizeof(bits));
+  w.U64(bits);
+  w.U64(resp.steps);
+  w.U64(resp.tiles_moved);
+  w.U64(resp.bytes_moved);
+  return w.Take();
+}
+
+Status DecodeCompactResponse(const std::vector<uint8_t>& payload,
+                             Status* server_status, CompactResponse* out) {
+  ByteReader r(payload);
+  Status st = DecodeResponseStatus(&r, server_status);
+  if (!st.ok() || !server_status->ok()) return st;
+  uint8_t compacted = 0;
+  st = r.U8(&compacted);
+  if (!st.ok()) return st;
+  out->compacted = compacted != 0;
+  st = r.Str(&out->rationale);
+  if (!st.ok()) return st;
+  uint64_t bits = 0;
+  st = r.U64(&bits);
+  if (!st.ok()) return st;
+  std::memcpy(&out->frag_before, &bits, sizeof(out->frag_before));
+  st = r.U64(&bits);
+  if (!st.ok()) return st;
+  std::memcpy(&out->frag_after, &bits, sizeof(out->frag_after));
+  st = r.U64(&out->steps);
+  if (!st.ok()) return st;
+  st = r.U64(&out->tiles_moved);
+  if (!st.ok()) return st;
+  return r.U64(&out->bytes_moved);
 }
 
 }  // namespace net

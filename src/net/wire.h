@@ -61,6 +61,9 @@ enum class WireOp : uint16_t {
   /// v2: version/shard negotiation. A v1 server treats the op as unknown
   /// and drops the connection, which clients take as "speak v1".
   kHello = 8,
+  /// Admin op: synchronously measure (and, past the server's tile floor,
+  /// compact) one object's physical layout. See `Compactor::CompactNow`.
+  kCompact = 9,
 };
 
 /// Static-literal op name ("range_query", ...), usable as a trace span
@@ -164,6 +167,13 @@ struct HelloRequest {
   uint32_t expected_shard_id = kAnyShard;
 };
 
+/// Admin op: synchronously measure one object's fragmentation and rewrite
+/// its tile blobs into SFC-contiguous page runs. See
+/// `Compactor::CompactNow`.
+struct CompactRequest {
+  std::string name;
+};
+
 std::vector<uint8_t> EncodeOpenMDDRequest(const OpenMDDRequest& req);
 Status DecodeOpenMDDRequest(const std::vector<uint8_t>& payload,
                             OpenMDDRequest* out);
@@ -185,6 +195,9 @@ Status DecodeRetileRequest(const std::vector<uint8_t>& payload,
 std::vector<uint8_t> EncodeHelloRequest(const HelloRequest& req);
 Status DecodeHelloRequest(const std::vector<uint8_t>& payload,
                           HelloRequest* out);
+std::vector<uint8_t> EncodeCompactRequest(const CompactRequest& req);
+Status DecodeCompactRequest(const std::vector<uint8_t>& payload,
+                            CompactRequest* out);
 
 // --------------------------------------------------------------------------
 // Response payloads. Every encoder emits the leading status byte; decoders
@@ -241,6 +254,17 @@ struct RetileResponse {
   uint64_t cells_moved = 0;
 };
 
+/// Mirrors `layout::CompactReport`.
+struct CompactResponse {
+  bool compacted = false;
+  std::string rationale;
+  double frag_before = 0;
+  double frag_after = 0;
+  uint64_t steps = 0;
+  uint64_t tiles_moved = 0;
+  uint64_t bytes_moved = 0;
+};
+
 std::vector<uint8_t> EncodePingResponse();
 std::vector<uint8_t> EncodeOpenMDDResponse(const OpenMDDResponse& resp);
 std::vector<uint8_t> EncodeRangeQueryResponse(const RangeQueryResponse& resp);
@@ -250,6 +274,7 @@ std::vector<uint8_t> EncodeInsertTilesResponse(
 std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& resp);
 std::vector<uint8_t> EncodeRetileResponse(const RetileResponse& resp);
 std::vector<uint8_t> EncodeHelloResponse(const HelloResponse& resp);
+std::vector<uint8_t> EncodeCompactResponse(const CompactResponse& resp);
 
 Status DecodeResponseStatus(ByteReader* r, Status* server_status);
 Status DecodePingResponse(const std::vector<uint8_t>& payload,
@@ -270,6 +295,8 @@ Status DecodeRetileResponse(const std::vector<uint8_t>& payload,
                             Status* server_status, RetileResponse* out);
 Status DecodeHelloResponse(const std::vector<uint8_t>& payload,
                            Status* server_status, HelloResponse* out);
+Status DecodeCompactResponse(const std::vector<uint8_t>& payload,
+                             Status* server_status, CompactResponse* out);
 
 }  // namespace net
 }  // namespace tilestore

@@ -45,24 +45,59 @@ Result<BlobId> BlobStore::Put(const std::vector<uint8_t>& data) {
 }
 
 Result<BlobId> BlobStore::Put(const uint8_t* data, size_t size) {
-  PageFile* file = pool_->page_file();
-  const size_t page_size = file->page_size();
+  return PutImpl(data, size,
+                 placement_ == layout::PlacementMode::kContiguous);
+}
 
-  // Number of pages: one header plus continuations for the overflow.
-  size_t pages = 1;
+Result<BlobId> BlobStore::PutContiguous(const std::vector<uint8_t>& data) {
+  return PutContiguous(data.data(), data.size());
+}
+
+Result<BlobId> BlobStore::PutContiguous(const uint8_t* data, size_t size) {
+  return PutImpl(data, size, /*contiguous=*/true);
+}
+
+uint64_t BlobStore::PagesFor(uint64_t size) const {
+  uint64_t pages = 1;
   if (size > header_capacity()) {
-    const size_t overflow = size - header_capacity();
+    const uint64_t overflow = size - header_capacity();
     pages += (overflow + continuation_capacity() - 1) / continuation_capacity();
   }
+  return pages;
+}
 
-  // Allocate the whole chain up front so pages are (mostly) consecutive.
+Result<BlobId> BlobStore::PutImpl(const uint8_t* data, size_t size,
+                                  bool contiguous) {
+  PageFile* file = pool_->page_file();
+
+  // Number of pages: one header plus continuations for the overflow.
+  const size_t pages = static_cast<size_t>(PagesFor(size));
+
+  // Allocate the whole chain up front. Contiguous placement takes one
+  // consecutive run; first-fit pops the free list page by page, which is
+  // (mostly) consecutive only while the list is unchurned.
   std::vector<PageId> chain(pages);
-  for (size_t i = 0; i < pages; ++i) {
-    Result<PageId> id = file->AllocatePage();
-    if (!id.ok()) return id.status();
-    chain[i] = id.value();
+  if (contiguous) {
+    Result<PageId> first = file->AllocateRun(pages);
+    if (!first.ok()) return first.status();
+    for (size_t i = 0; i < pages; ++i) chain[i] = first.value() + i;
+  } else {
+    for (size_t i = 0; i < pages; ++i) {
+      Result<PageId> id = file->AllocatePage();
+      if (!id.ok()) return id.status();
+      chain[i] = id.value();
+    }
   }
 
+  Status st = WriteChain(data, size, chain);
+  if (!st.ok()) return st;
+  return chain[0];
+}
+
+Status BlobStore::WriteChain(const uint8_t* data, size_t size,
+                             const std::vector<PageId>& chain) {
+  const size_t page_size = pool_->page_file()->page_size();
+  const size_t pages = chain.size();
   std::vector<uint8_t> page(page_size, 0);
   size_t consumed = 0;
   for (size_t i = 0; i < pages; ++i) {
@@ -90,7 +125,31 @@ Result<BlobId> BlobStore::Put(const uint8_t* data, size_t size) {
     Status st = pool_->WritePage(chain[i], page.data());
     if (!st.ok()) return st;
   }
-  return chain[0];
+  return Status::OK();
+}
+
+Result<std::vector<BlobId>> BlobStore::PutContiguousBatch(
+    const std::vector<std::vector<uint8_t>>& payloads) {
+  std::vector<BlobId> ids;
+  ids.reserve(payloads.size());
+  if (payloads.empty()) return ids;
+  uint64_t total = 0;
+  for (const std::vector<uint8_t>& p : payloads) total += PagesFor(p.size());
+  Result<PageId> first = pool_->page_file()->AllocateRun(total);
+  if (!first.ok()) return first.status();
+  PageId cursor = first.value();
+  for (const std::vector<uint8_t>& p : payloads) {
+    const size_t pages = static_cast<size_t>(PagesFor(p.size()));
+    std::vector<PageId> chain(pages);
+    for (size_t i = 0; i < pages; ++i) {
+      chain[i] = cursor + static_cast<PageId>(i);
+    }
+    Status st = WriteChain(p.data(), p.size(), chain);
+    if (!st.ok()) return st;
+    ids.push_back(chain[0]);
+    cursor += static_cast<PageId>(pages);
+  }
+  return ids;
 }
 
 Result<std::vector<uint8_t>> BlobStore::Get(BlobId id) {
@@ -369,6 +428,23 @@ Result<uint64_t> BlobStore::Size(BlobId id) {
                               " is not a BLOB header");
   }
   return GetU64(page.data() + 8);
+}
+
+Result<BlobStore::BlobExtent> BlobStore::Stat(BlobId id) {
+  std::vector<uint8_t> page(pool_->page_file()->page_size());
+  Status st = pool_->ReadPage(id, page.data());
+  if (!st.ok()) return st;
+  if (GetU32(page.data()) != kBlobMagic) {
+    return Status::Corruption("page " + std::to_string(id) +
+                              " is not a BLOB header");
+  }
+  BlobExtent extent;
+  extent.id = id;
+  extent.size = GetU64(page.data() + 8);
+  extent.pages = PagesFor(extent.size);
+  const PageId next = GetU64(page.data() + 16);
+  extent.starts_adjacent = extent.pages == 1 || next == id + 1;
+  return extent;
 }
 
 Status BlobStore::Delete(BlobId id) {

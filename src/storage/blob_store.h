@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "layout/placement.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 
@@ -48,9 +49,26 @@ class BlobStore {
  public:
   explicit BlobStore(BufferPool* pool);
 
-  /// Writes a new BLOB; returns its id. Empty BLOBs are allowed.
+  /// Writes a new BLOB; returns its id. Empty BLOBs are allowed. Pages
+  /// come one at a time off the free list under the default first-fit
+  /// placement, or as one consecutive run under `kContiguous` (see
+  /// `set_placement`).
   Result<BlobId> Put(const std::vector<uint8_t>& data);
   Result<BlobId> Put(const uint8_t* data, size_t size);
+
+  /// Writes a new BLOB into one consecutive page run regardless of the
+  /// installed placement mode — the compactor's relocation primitive.
+  Result<BlobId> PutContiguous(const std::vector<uint8_t>& data);
+  Result<BlobId> PutContiguous(const uint8_t* data, size_t size);
+
+  /// Writes a batch of BLOBs back to back inside ONE consecutive page
+  /// run: payload i+1's header page is the page after payload i's last
+  /// page. Returns one id per payload, in order. This is the compaction
+  /// step's placement primitive — per-blob `PutContiguous` takes a run
+  /// *per blob*, so single-page blobs would still land on whatever
+  /// scattered holes the free list offers first.
+  Result<std::vector<BlobId>> PutContiguousBatch(
+      const std::vector<std::vector<uint8_t>>& payloads);
 
   /// Reads a BLOB back in full, one page at a time (the paper-exact cost
   /// path: every chain page is a separate pool access).
@@ -84,6 +102,20 @@ class BlobStore {
   /// Payload size of a BLOB without reading the payload.
   Result<uint64_t> Size(BlobId id);
 
+  /// Physical placement summary of a BLOB, from its header page alone.
+  /// `starts_adjacent` reports whether the chain *begins* consecutively
+  /// (always exact for 1- and 2-page chains; a cheap proxy for longer
+  /// ones — blobs are written front to back, so a chain that starts
+  /// adjacent almost always stays adjacent). The compactor's run-length
+  /// fragmentation statistic is built from these.
+  struct BlobExtent {
+    BlobId id = kInvalidBlobId;
+    uint64_t size = 0;
+    uint64_t pages = 0;
+    bool starts_adjacent = false;
+  };
+  Result<BlobExtent> Stat(BlobId id);
+
   /// Frees all pages of the BLOB.
   Status Delete(BlobId id);
 
@@ -91,11 +123,23 @@ class BlobStore {
   size_t header_capacity() const;
   size_t continuation_capacity() const;
 
+  /// Pages a payload of `size` bytes occupies.
+  uint64_t PagesFor(uint64_t size) const;
+
+  /// Placement mode consulted by `Put` (default first-fit). Not
+  /// synchronized with in-flight writes — install before sharing.
+  void set_placement(layout::PlacementMode mode) { placement_ = mode; }
+  layout::PlacementMode placement() const { return placement_; }
+
  private:
   Result<std::vector<uint8_t>> GetImpl(BlobId id, bool coalesce,
                                        BlobReadStats* stats);
+  Result<BlobId> PutImpl(const uint8_t* data, size_t size, bool contiguous);
+  Status WriteChain(const uint8_t* data, size_t size,
+                    const std::vector<PageId>& chain);
 
   BufferPool* pool_;
+  layout::PlacementMode placement_ = layout::PlacementMode::kFirstFit;
 };
 
 }  // namespace tilestore

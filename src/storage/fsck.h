@@ -37,6 +37,24 @@ struct FsckReport {
   uint64_t pages_checksummed = 0;
   uint64_t checksum_mismatches = 0;
 
+  /// Tile→page mapping walk (catalog, index images, tile blob chains) —
+  /// only when no recovery is pending. `mapped_pages` are pages owned by
+  /// exactly one blob chain; a page both free and mapped, mapped twice,
+  /// or a chain running off the file is an error. `leaked_pages`
+  /// (allocated but referenced by nothing) are a warning: a committed
+  /// data transaction whose catalog write never happened leaves them
+  /// behind legitimately.
+  uint64_t mapped_blobs = 0;
+  uint64_t mapped_pages = 0;
+  uint64_t leaked_pages = 0;
+  /// Fragmentation: tile blobs per object sorted by first page, counting
+  /// physically adjacent runs. `tile_extents == objects` means every
+  /// object reads in one sequential sweep; `fragmented_chains` counts
+  /// blob chains whose own pages are non-consecutive.
+  uint64_t tile_blobs = 0;
+  uint64_t tile_extents = 0;
+  uint64_t fragmented_chains = 0;
+
   bool clean() const { return errors.empty(); }
 };
 

@@ -1,5 +1,6 @@
 #include "storage/page_file.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -308,6 +309,89 @@ Result<PageId> PageFile::AllocatePage() {
     return id;
   }
   return page_count_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+Result<PageId> PageFile::AllocateRun(uint64_t count) {
+  if (count == 0) return Status::InvalidArgument("empty allocation run");
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  // Bounded free-list walk: enough to find runs in a churned list without
+  // turning allocation into a full-file scan.
+  constexpr size_t kFreeScanLimit = 1024;
+  if (free_head_ != kInvalidPageId &&
+      free_count_.load(std::memory_order_relaxed) >= count) {
+    TransactionContext* txn = ActiveTxn();
+    std::vector<PageId> walked;
+    walked.reserve(std::min<uint64_t>(kFreeScanLimit,
+                                      free_count_.load(std::memory_order_relaxed)));
+    PageId cursor = free_head_;
+    PageId tail_next = kInvalidPageId;
+    while (cursor != kInvalidPageId && walked.size() < kFreeScanLimit) {
+      walked.push_back(cursor);
+      PageId next = kInvalidPageId;
+      if (txn == nullptr || !txn->StagedFreeLink(cursor, &next)) {
+        uint8_t buf[8];
+        Status st =
+            file_->ReadAt((cursor + 1) * page_size_ - 8, sizeof(buf), buf);
+        if (!st.ok()) return st;
+        next = GetU64(buf);
+      }
+      tail_next = next;
+      cursor = next;
+    }
+    if (cursor != kInvalidPageId) {
+      // Stopped at the scan limit: the unwalked remainder hangs off the
+      // last walked node's link, which is exactly `tail_next`.
+      tail_next = cursor;
+    } else {
+      tail_next = kInvalidPageId;
+    }
+
+    // Look for `count` consecutive ids among the walked nodes (lowest run
+    // wins, pulling reuse toward the front of the file).
+    std::vector<PageId> sorted = walked;
+    std::sort(sorted.begin(), sorted.end());
+    PageId run_first = kInvalidPageId;
+    uint64_t run_len = 0;
+    for (size_t i = 0; i < sorted.size() && run_first == kInvalidPageId; ++i) {
+      if (run_len == 0 || sorted[i] != sorted[i - 1] + 1) {
+        run_len = 1;
+      } else {
+        ++run_len;
+      }
+      if (run_len >= count) run_first = sorted[i] - count + 1;
+    }
+    if (run_first != kInvalidPageId) {
+      // Unlink the run: relink the surviving walked nodes in their original
+      // order, ending at the unwalked remainder. Link writes follow the
+      // FreePage rule — staged inside a transaction, written through
+      // otherwise.
+      std::vector<PageId> remaining;
+      remaining.reserve(walked.size() - count);
+      for (PageId id : walked) {
+        if (id < run_first || id >= run_first + count) remaining.push_back(id);
+      }
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        const PageId next =
+            i + 1 < remaining.size() ? remaining[i + 1] : tail_next;
+        if (txn != nullptr) {
+          txn->StageFreeLink(remaining[i], next);
+        } else {
+          uint8_t buf[8];
+          PutU64(buf, next);
+          Status st = file_->WriteAt((remaining[i] + 1) * page_size_ - 8, buf,
+                                     sizeof(buf));
+          if (!st.ok()) return st;
+          if (remaining[i] < crcs_.size()) crcs_[remaining[i]] = 0;
+        }
+      }
+      free_head_ = remaining.empty() ? tail_next : remaining.front();
+      free_count_.fetch_sub(count, std::memory_order_acq_rel);
+      return run_first;
+    }
+  }
+  // No reusable run: extend at the tail, which is contiguous by
+  // construction.
+  return page_count_.fetch_add(count, std::memory_order_acq_rel);
 }
 
 Status PageFile::FreePage(PageId id) {

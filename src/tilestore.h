@@ -33,6 +33,8 @@
 #include "core/cell_type.h"
 #include "core/minterval.h"
 #include "core/tile.h"
+#include "layout/compactor.h"
+#include "layout/sfc.h"
 #include "mdd/mdd_object.h"
 #include "mdd/mdd_store.h"
 #include "net/client.h"

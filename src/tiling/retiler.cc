@@ -221,6 +221,7 @@ void Retiler::Loop() {
     // migrations still owing steps from a previous (budget-capped) tick.
     std::vector<std::string> names;
     for (const std::string& name : store_->workload()->Objects()) {
+      if (InCooldown(name)) continue;
       if (store_->workload()->TotalSince(name) >= options_.min_queries) {
         names.push_back(name);
       }
@@ -257,7 +258,18 @@ Result<RetileReport> Retiler::RetileNow(const std::string& name,
 }
 
 Result<RetileReport> Retiler::Continue(const std::string& name) {
-  return EvaluateAndMigrate(name, /*budget=*/0, /*resume_only=*/true);
+  // Budgeted like a background tick, so a resumed plan keeps spreading
+  // across calls instead of finishing in one burst.
+  return EvaluateAndMigrate(name, options_.step_cell_budget,
+                            /*resume_only=*/true);
+}
+
+bool Retiler::InCooldown(const std::string& name) const {
+  if (options_.cooldown.count() <= 0) return false;
+  std::lock_guard<std::mutex> lock(cooldown_mu_);
+  auto it = last_migration_.find(name);
+  if (it == last_migration_.end()) return false;
+  return std::chrono::steady_clock::now() - it->second < options_.cooldown;
 }
 
 std::vector<std::string> Retiler::PendingObjects() const {
@@ -449,6 +461,30 @@ Result<RetileReport> Retiler::EvaluateAndMigrate(const std::string& name,
       report.rationale += " (already tiled this way)";
       return report;
     }
+
+    // Hysteresis: charge the migration's own write volume against the
+    // predicted gain, so a marginal win on a huge object does not pay for
+    // itself. report.predicted_gain stays the raw workload ratio.
+    if (options_.migration_cost_weight > 0) {
+      uint64_t migration_cells = 0;
+      for (const Step& step : steps) {
+        for (const MInterval& domain : step.tiles) {
+          migration_cells += domain.CellCountOrDie();
+        }
+      }
+      const double migration_bytes =
+          static_cast<double>(migration_cells) *
+          static_cast<double>(cell_size);
+      const double effective =
+          static_cast<double>(old_cost) /
+          (static_cast<double>(new_cost) +
+           options_.migration_cost_weight * migration_bytes);
+      if (effective < options_.min_improvement) {
+        metrics_->skipped_no_gain->Add(1);
+        report.rationale += " (migration cost outweighs predicted gain)";
+        return report;
+      }
+    }
   }
 
   // Migrate step by step. Each step is one atomic RetileRegion under the
@@ -505,9 +541,14 @@ Result<RetileReport> Retiler::EvaluateAndMigrate(const std::string& name,
   if (resuming) PersistPendingLocked();
 
   // Migration complete: persist the new tiling, drop the evidence that
-  // drove it (the next decision needs post-migration boxes).
+  // drove it (the next decision needs post-migration boxes), and start
+  // the cool-down clock so the loop cannot thrash this object.
   metrics_->migrations->Add(1);
   store_->workload()->Forget(name);
+  if (options_.cooldown.count() > 0) {
+    std::lock_guard<std::mutex> lock(cooldown_mu_);
+    last_migration_[name] = std::chrono::steady_clock::now();
+  }
   {
     auto lock = MaybeUnique(options_.catalog_mu);
     if (options_.save_after_migration) {

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -44,6 +45,19 @@ struct RetilerOptions {
   uint64_t step_cell_budget = 1ull << 22;
   /// Tile size target handed to the advisor's strategies.
   uint64_t max_tile_bytes = kDefaultMaxTileBytes;
+  /// Hysteresis: charges the migration's own cost against its predicted
+  /// gain. With a nonzero weight the trigger becomes
+  /// `old_cost / (new_cost + weight * migration_bytes) >= min_improvement`,
+  /// where `migration_bytes` is the data the planned steps would rewrite —
+  /// so a marginal win on a huge object no longer pays for itself and is
+  /// skipped. 0 (the default) preserves the pure fetched-bytes trigger.
+  double migration_cost_weight = 0.0;
+  /// Per-object cool-down after a completed migration: the background
+  /// loop does not re-evaluate the object until it elapses, so a hot
+  /// object cannot thrash the WAL with back-to-back migrations. Parked
+  /// plans still resume, and `RetileNow` (the admin surface) bypasses it.
+  /// 0 disables.
+  std::chrono::milliseconds cooldown{0};
   /// Persist the catalog after a completed migration so the new tiling is
   /// visible across reopen without an explicit Save.
   bool save_after_migration = true;
@@ -124,13 +138,20 @@ class Retiler {
   Result<RetileReport> RetileNow(const std::string& name,
                                  uint64_t budget = 0);
 
-  /// Applies the remaining steps of a parked plan — from an earlier
-  /// budget-capped tick or a previous session via `pending_path` —
-  /// without re-evaluating the workload. NotFound when no plan is parked.
+  /// Applies up to one `step_cell_budget` worth of a parked plan — from an
+  /// earlier budget-capped tick or a previous session via `pending_path` —
+  /// without re-evaluating the workload, then parks the remainder again,
+  /// so resumed plans spread across poll ticks exactly like fresh ones
+  /// instead of finishing in one call. Call repeatedly (or let the
+  /// background loop tick) to drain a plan. NotFound when none is parked.
   Result<RetileReport> Continue(const std::string& name);
 
   /// Objects with parked migration steps.
   std::vector<std::string> PendingObjects() const;
+
+  /// True while `name` is inside the post-migration cool-down window (the
+  /// background loop skips fresh evaluations of such objects).
+  bool InCooldown(const std::string& name) const;
 
   /// One migration step: an atomic `RetileRegion(region, tiles)` call.
   struct Step {
@@ -182,6 +203,10 @@ class Retiler {
   RetilerOptions options_;
   TilingAdvisor advisor_;
   std::unique_ptr<Metrics> metrics_;
+  // Completion time of each object's last migration (cool-down gate).
+  mutable std::mutex cooldown_mu_;
+  std::map<std::string, std::chrono::steady_clock::time_point>
+      last_migration_;
   // Serializes migrations (background loop vs RetileNow).
   mutable std::mutex migrate_mu_;
   std::mutex wake_mu_;

@@ -186,5 +186,100 @@ TEST_F(FsckTest, OneCorruptSuperblockIsOnlyAWarning) {
   EXPECT_FALSE(report->warnings.empty());
 }
 
+// ---------------------------------------------------------------------------
+// Tile→page mapping walk (DESIGN.md §14): every catalog-reachable blob is
+// chased page by page, cross-checked against the free list, and the
+// physical adjacency of tile chains is reported as fragmentation stats.
+
+TEST_F(FsckTest, CleanStoreMappingWalkCountsBlobsAndExtents) {
+  BuildStore();
+  Result<FsckReport> report = FsckStore(path_);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->clean()) << FormatFsckReport(*report);
+  // One object over 256 uint16 cells, tiled at 128 BYTES per tile → 4
+  // tiles: catalog blob + index blob + 4 tile blobs are all reachable
+  // and fully walked.
+  EXPECT_EQ(report->tile_blobs, 4u);
+  EXPECT_GE(report->mapped_blobs, 4u);
+  EXPECT_GT(report->mapped_pages, 0u);
+  EXPECT_EQ(report->leaked_pages, 0u) << FormatFsckReport(*report);
+  // A clean single Load allocates each chain contiguously.
+  EXPECT_EQ(report->fragmented_chains, 0u);
+  EXPECT_GE(report->tile_extents, 1u);
+  EXPECT_LE(report->tile_extents, report->tile_blobs);
+
+  const std::string text = FormatFsckReport(*report);
+  EXPECT_NE(text.find("tile_blobs"), std::string::npos);
+  EXPECT_NE(text.find("tile_extents"), std::string::npos);
+}
+
+TEST_F(FsckTest, LeakedPagesAreAWarningNotAnError) {
+  BuildStore();
+  {
+    // A page allocated behind the catalog's back — exactly what a crash
+    // between a data commit and the catalog write leaves behind.
+    auto file = PageFile::Open(path_).MoveValue();
+    PageId orphan = file->AllocatePage().value();
+    std::vector<uint8_t> page(file->page_size(), 0x5A);
+    ASSERT_TRUE(file->WritePage(orphan, page.data()).ok());
+    ASSERT_TRUE(file->Flush().ok());
+  }
+  Result<FsckReport> report = FsckStore(path_);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->clean()) << FormatFsckReport(*report);
+  EXPECT_GE(report->leaked_pages, 1u);
+  bool mentions_leak = false;
+  for (const std::string& warning : report->warnings) {
+    if (warning.find("referenced by nothing") != std::string::npos) {
+      mentions_leak = true;
+    }
+  }
+  EXPECT_TRUE(mentions_leak) << FormatFsckReport(*report);
+}
+
+TEST_F(FsckTest, InterleavedRewritesShowUpAsExtents) {
+  // Age the store: rewrite the tiles of two objects against each other so
+  // their replacement blobs interleave on disk.
+  {
+    auto store = MDDStore::Create(path_, SmallPages()).MoveValue();
+    for (const char* name : {"A", "B"}) {
+      MDDObject* obj = store
+                           ->CreateMDD(name, MInterval({{0, 255}}),
+                                       CellType::Of(CellTypeId::kUInt16))
+                           .value();
+      Array data = Array::Create(MInterval({{0, 255}}),
+                                 CellType::Of(CellTypeId::kUInt16))
+                       .value();
+      for (int i = 0; i < 256; ++i) {
+        data.Set<uint16_t>(Point({i}), static_cast<uint16_t>(i));
+      }
+      ASSERT_TRUE(obj->Load(data, AlignedTiling::Regular(1, 64)).ok());
+    }
+    ASSERT_TRUE(store->Save().ok());
+    for (int t = 0; t < 4; ++t) {
+      for (const char* name : {"A", "B"}) {
+        MDDObject* obj = store->GetMDD(name).value();
+        const MInterval domain = obj->AllTiles()[t].domain;
+        Array patch =
+            Array::Create(domain, CellType::Of(CellTypeId::kUInt16)).value();
+        ForEachPoint(domain, [&](const Point& p) {
+          patch.Set<uint16_t>(p, static_cast<uint16_t>(p[0] + 7));
+        });
+        ASSERT_TRUE(obj->WriteRegion(patch).ok());
+        ASSERT_TRUE(store->Save().ok());
+      }
+    }
+  }
+  Result<FsckReport> report = FsckStore(path_);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->clean()) << FormatFsckReport(*report);
+  // Two objects over 256 uint16 cells each, tiled at 64 BYTES per tile
+  // → 8 tiles per object, 16 total.
+  EXPECT_EQ(report->tile_blobs, 16u);
+  // The interleaving scattered at least one object's chains: more extents
+  // than the two a pair of contiguous objects would show.
+  EXPECT_GT(report->tile_extents, 2u) << FormatFsckReport(*report);
+}
+
 }  // namespace
 }  // namespace tilestore

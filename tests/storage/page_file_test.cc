@@ -156,5 +156,101 @@ TEST_F(PageFileTest, DiskModelChargesPhysicalIO) {
   EXPECT_EQ(model.read_seeks(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// AllocateRun: the contiguous-placement primitive (DESIGN.md §14).
+
+TEST_F(PageFileTest, AllocateRunExtendsTailContiguously) {
+  auto file = PageFile::Create(Fresh("run_tail"), 512).MoveValue();
+  PageId first = file->AllocateRun(5).value();
+  EXPECT_NE(first, kInvalidPageId);
+  // All five ids are ours and consecutive: writing each succeeds and the
+  // page count advanced by exactly five.
+  std::vector<uint8_t> page(512, 9);
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(file->WritePage(first + i, page.data()).ok());
+  }
+  EXPECT_EQ(file->page_count(), first + 5);
+}
+
+TEST_F(PageFileTest, AllocateRunHarvestsAFreedConsecutiveRun) {
+  auto file = PageFile::Create(Fresh("run_harvest"), 512).MoveValue();
+  std::vector<uint8_t> page(512, 3);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) {
+    PageId id = file->AllocatePage().value();
+    ASSERT_TRUE(file->WritePage(id, page.data()).ok());
+    ids.push_back(id);
+  }
+  // Free a consecutive run in the middle (pages ids[2]..ids[5]).
+  for (int i = 2; i <= 5; ++i) ASSERT_TRUE(file->FreePage(ids[i]).ok());
+  const uint64_t count_before = file->page_count();
+  PageId run = file->AllocateRun(4).value();
+  EXPECT_EQ(run, ids[2]) << "should reuse the freed run, not extend";
+  EXPECT_EQ(file->page_count(), count_before);
+  EXPECT_EQ(file->free_page_count(), 0u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(file->WritePage(run + i, page.data()).ok());
+  }
+}
+
+TEST_F(PageFileTest, AllocateRunFallsBackWhenFreePagesAreScattered) {
+  auto file = PageFile::Create(Fresh("run_scatter"), 512).MoveValue();
+  std::vector<uint8_t> page(512, 4);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 9; ++i) {
+    PageId id = file->AllocatePage().value();
+    ASSERT_TRUE(file->WritePage(id, page.data()).ok());
+    ids.push_back(id);
+  }
+  // Free every other page: no 3-run exists among the holes.
+  for (int i = 0; i < 9; i += 2) ASSERT_TRUE(file->FreePage(ids[i]).ok());
+  const uint64_t free_before = file->free_page_count();
+  const uint64_t count_before = file->page_count();
+  PageId run = file->AllocateRun(3).value();
+  EXPECT_GE(run, count_before) << "scattered holes cannot satisfy a run";
+  EXPECT_EQ(file->free_page_count(), free_before)
+      << "the holes stay on the free list for single-page allocations";
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(file->WritePage(run + i, page.data()).ok());
+  }
+}
+
+TEST_F(PageFileTest, AllocateRunOfOneBehavesLikeAllocatePage) {
+  auto file = PageFile::Create(Fresh("run_one"), 512).MoveValue();
+  std::vector<uint8_t> page(512, 6);
+  PageId a = file->AllocatePage().value();
+  ASSERT_TRUE(file->WritePage(a, page.data()).ok());
+  ASSERT_TRUE(file->FreePage(a).ok());
+  PageId b = file->AllocateRun(1).value();
+  EXPECT_EQ(b, a) << "a single-page run reuses the freelist";
+  EXPECT_FALSE(file->AllocateRun(0).ok());
+}
+
+TEST_F(PageFileTest, AllocateRunSurvivesReopenWithFreeListIntact) {
+  const std::string path = Fresh("run_reopen");
+  PageId run = kInvalidPageId;
+  {
+    auto file = PageFile::Create(path, 512).MoveValue();
+    std::vector<uint8_t> page(512, 2);
+    std::vector<PageId> ids;
+    for (int i = 0; i < 6; ++i) {
+      PageId id = file->AllocatePage().value();
+      ASSERT_TRUE(file->WritePage(id, page.data()).ok());
+      ids.push_back(id);
+    }
+    for (int i = 1; i <= 3; ++i) ASSERT_TRUE(file->FreePage(ids[i]).ok());
+    run = file->AllocateRun(3).value();
+    EXPECT_EQ(run, ids[1]);
+    for (uint64_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(file->WritePage(run + i, page.data()).ok());
+    }
+    ASSERT_TRUE(file->Flush().ok());
+  }
+  auto file = PageFile::Open(path).MoveValue();
+  EXPECT_EQ(file->free_page_count(), 0u);
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(file->ReadPage(run, out.data()).ok());
+}
+
 }  // namespace
 }  // namespace tilestore

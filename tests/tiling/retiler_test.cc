@@ -572,6 +572,82 @@ TEST_F(RetilerStoreTest, ParkedPlanIsPersistedAndResumesAfterRestart) {
   (void)RemoveFile(pending_path);
 }
 
+// ---------------------------------------------------------------------------
+// Hysteresis and cool-down: the anti-thrash gates (DESIGN.md §12).
+
+TEST_F(RetilerStoreTest, MigrationCostHysteresisSkipsMarginalWins) {
+  MDDObject* obj = LoadObject("obj", Box(0, 1023), {Box(0, 1023)});
+  RangeQueryExecutor executor(store_.get());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(executor.Execute(obj, Box(0, 127)).ok());
+  }
+  ASSERT_GE(store_->workload()->TotalSince("obj"), 8u);
+
+  // An absurd weight makes any migration look too expensive: the raw
+  // predicted gain clears the trigger, the cost-charged one does not.
+  RetilerOptions costly;
+  costly.migration_cost_weight = 1e9;
+  Retiler reluctant(store_.get(), costly);
+  RetileReport report = reluctant.RetileNow("obj").MoveValue();
+  EXPECT_FALSE(report.migrated);
+  EXPECT_GE(report.predicted_gain, 1.3)
+      << "the raw gain must still clear the bar — only the charged one "
+         "fails";
+  EXPECT_NE(report.rationale.find("migration cost"), std::string::npos)
+      << report.rationale;
+  EXPECT_GE(CounterValue("retile.skipped_no_gain"), 1u);
+  EXPECT_EQ(obj->tile_count(), 1u);
+
+  // A skipped evaluation must not consume the evidence: the same workload
+  // still drives a zero-weight retiler to migrate.
+  EXPECT_GE(store_->workload()->TotalSince("obj"), 8u);
+  Retiler eager(store_.get());
+  report = eager.RetileNow("obj").MoveValue();
+  EXPECT_TRUE(report.migrated);
+  EXPECT_GT(store_->GetMDD("obj").value()->tile_count(), 1u);
+}
+
+TEST_F(RetilerStoreTest, CooldownSuppressesBackgroundLoopButNotRetileNow) {
+  MDDObject* obj = LoadObject("obj", Box(0, 1023), {Box(0, 1023)});
+  RangeQueryExecutor executor(store_.get());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(executor.Execute(obj, Box(0, 127)).ok());
+  }
+
+  RetilerOptions options;
+  options.poll_interval = std::chrono::milliseconds(5);
+  options.min_queries = 4;
+  options.min_improvement = 1.05;
+  options.cooldown = std::chrono::hours(1);
+  Retiler retiler(store_.get(), options);
+
+  // The completed migration starts the cool-down clock.
+  RetileReport report = retiler.RetileNow("obj").MoveValue();
+  ASSERT_TRUE(report.migrated);
+  EXPECT_EQ(CounterValue("retile.migrations"), 1u);
+
+  // Fresh evidence well past min_queries: without the cool-down the loop
+  // would evaluate this object on its first tick.
+  for (int i = 0; i < 16; ++i) {
+    store_->workload()->Record("obj", Box(512, 543));
+  }
+  ASSERT_GE(store_->workload()->TotalSince("obj"), 16u);
+
+  const uint64_t evals_before = CounterValue("retile.evaluations");
+  retiler.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  retiler.Stop();
+  EXPECT_EQ(CounterValue("retile.evaluations"), evals_before)
+      << "the background loop must not even evaluate a cooling object";
+  EXPECT_EQ(CounterValue("retile.migrations"), 1u);
+
+  // RetileNow is the admin surface: it bypasses the cool-down and
+  // evaluates immediately (whether it migrates is the advisor's call).
+  ASSERT_TRUE(retiler.RetileNow("obj").ok());
+  EXPECT_GT(CounterValue("retile.evaluations"), evals_before);
+  EXPECT_TRUE(store_->GetMDD("obj").value()->Validate().ok());
+}
+
 // A corrupt sidecar is discarded silently: losing a parked plan is safe,
 // failing to start the server over it would not be.
 TEST_F(RetilerStoreTest, CorruptPendingSidecarIsIgnored) {

@@ -8,6 +8,7 @@
 //   tilestore_cli export <db> <object> <region> <out-file>
 //   tilestore_cli query  <db> "<rasql>"
 //   tilestore_cli advise <db> <object> <access-log-file>
+//   tilestore_cli compact <db|host:port> <object>
 //   tilestore_cli stats  <db>
 //   tilestore_cli drop   <db> <object>
 //   tilestore_cli serve  <db> [--port=N] [--max-inflight=N] ...
@@ -63,6 +64,10 @@ void PrintHelp(std::FILE* out) {
       "  retile <host:port> <object>          ask a running server to\n"
       "                                       re-tile the object against\n"
       "                                       its recorded workload\n"
+      "  compact <db|host:port> <object>      rewrite the object's tile\n"
+      "                                       blobs into SFC-contiguous\n"
+      "                                       page runs (offline on a db\n"
+      "                                       path, online via a server)\n"
       "\n"
       "Serving (DESIGN.md \xC2\xA7"
       "9):\n"
@@ -356,6 +361,54 @@ int CmdRetile(const std::string& endpoint, const std::string& name) {
   return 0;
 }
 
+void PrintCompactReport(const std::string& name, bool compacted,
+                        const std::string& rationale, double frag_before,
+                        double frag_after, uint64_t steps,
+                        uint64_t tiles_moved, uint64_t bytes_moved) {
+  std::printf("object:    %s\n", name.c_str());
+  std::printf("compacted: %s\n", compacted ? "yes" : "no");
+  std::printf("why:       %s\n", rationale.c_str());
+  std::printf("frag:      %.3f -> %.3f\n", frag_before, frag_after);
+  if (compacted) {
+    std::printf("steps:     %llu (%llu tiles, %.1f MiB moved)\n",
+                static_cast<unsigned long long>(steps),
+                static_cast<unsigned long long>(tiles_moved),
+                static_cast<double>(bytes_moved) / (1024.0 * 1024.0));
+  }
+}
+
+// compact: either an admin call against a running server ("host:port"),
+// or — when the target parses as a db path — an offline compaction of
+// the store in this process.
+int CmdCompact(const std::string& target, const std::string& name) {
+  const size_t colon = target.rfind(':');
+  const int port =
+      colon == std::string::npos ? 0 : std::atoi(target.c_str() + colon + 1);
+  if (colon != std::string::npos && port > 0 && port <= 65535) {
+    net::TileClientOptions client_options;
+    // Compaction rewrites whole objects; give the server room to finish.
+    client_options.request_timeout_ms = 10 * 60 * 1000;
+    Result<std::unique_ptr<net::TileClient>> client = net::TileClient::Connect(
+        target.substr(0, colon), static_cast<uint16_t>(port), client_options);
+    if (!client.ok()) return Fail(client.status());
+    Result<net::CompactResponse> resp = (*client)->Compact(name);
+    if (!resp.ok()) return Fail(resp.status());
+    PrintCompactReport(name, resp->compacted, resp->rationale,
+                       resp->frag_before, resp->frag_after, resp->steps,
+                       resp->tiles_moved, resp->bytes_moved);
+    return 0;
+  }
+  Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(target);
+  if (!store.ok()) return Fail(store.status());
+  layout::Compactor compactor((*store).get(), layout::CompactorOptions());
+  Result<layout::CompactReport> report = compactor.CompactNow(name);
+  if (!report.ok()) return Fail(report.status());
+  PrintCompactReport(name, report->compacted, report->rationale,
+                     report->frag_before, report->frag_after, report->steps,
+                     report->tiles_moved, report->bytes_moved);
+  return 0;
+}
+
 int CmdStats(const std::string& db) {
   Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(db);
   if (!store.ok()) return Fail(store.status());
@@ -417,6 +470,7 @@ int Main(int argc, char** argv) {
     return CmdAdvise(db, argv[3], argv[4]);
   }
   if (command == "retile" && argc >= 4) return CmdRetile(db, argv[3]);
+  if (command == "compact" && argc >= 4) return CmdCompact(db, argv[3]);
   if (command == "stats") return CmdStats(db);
   if (command == "drop" && argc >= 4) return CmdDrop(db, argv[3]);
   if (command == "serve") return CmdServe(db, argc - 3, argv + 3);
