@@ -204,6 +204,9 @@ Result<net::Response> RoutingTileClient::Call(const net::Request& request) {
           [&](const net::StatsRequest& r) { return RouteStats(r); },
           [&](const net::RetileRequest& r) { return RouteRetile(r); },
           [&](const net::CompactRequest& r) { return RouteCompact(r); },
+          [&](const net::FilterQueryRequest& r) {
+            return RouteFilterQuery(r);
+          },
           [&](const net::HelloRequest&) -> Result<net::Response> {
             return Status::Unimplemented(
                 "hello is connection-scoped; the routing client negotiates "
@@ -317,6 +320,61 @@ Result<net::Response> RoutingTileClient::RouteRangeQuery(
     }
   }
   net::RangeQueryResponse out;
+  out.domain = request.region;
+  out.cell_type_id = first.cell_type_id;
+  out.cells = std::move(*stitched).TakeBuffer();
+  return net::Response{std::move(out)};
+}
+
+Result<net::Response> RoutingTileClient::RouteFilterQuery(
+    const net::FilterQueryRequest& request) {
+  if (map_.FindSplit(request.name) != nullptr && !request.region.IsFixed()) {
+    return Status::InvalidArgument(
+        "queries on a range-split object need a fixed region ('*' bounds "
+        "cannot be resolved across shards)");
+  }
+  Result<std::vector<ShardMap::Target>> targets =
+      map_.QueryTargets(request.name, request.region);
+  if (!targets.ok()) return targets.status();
+  std::vector<SubCall> calls(targets->size());
+  for (size_t i = 0; i < targets->size(); ++i) {
+    net::FilterQueryRequest sub = request;
+    sub.region = std::move((*targets)[i].region);
+    calls[i].shard = (*targets)[i].shard;
+    calls[i].request = std::move(sub);
+  }
+  Scatter(&calls);
+  if (calls.size() == 1) return std::move(calls[0].result);
+  Status st = CombineStatuses(calls);
+  if (!st.ok()) return st;
+  // Stitch exactly like RouteRangeQuery: sub-regions partition the query
+  // region, and each shard fills its sub-region completely — matching
+  // cells with their value, everything else with the object's default —
+  // so copying every sub-array into a zero-initialised frame writes each
+  // cell exactly once and the stitched result is byte-identical to a
+  // single-store filtered query.
+  const auto& first = std::get<net::FilterQueryResponse>(*calls[0].result);
+  const CellType cell_type =
+      CellType::Of(static_cast<CellTypeId>(first.cell_type_id));
+  Result<Array> stitched = Array::Create(request.region, cell_type);
+  if (!stitched.ok()) return stitched.status();
+  for (SubCall& call : calls) {
+    auto& resp = std::get<net::FilterQueryResponse>(*call.result);
+    if (resp.cell_type_id != first.cell_type_id) {
+      return Status::Corruption("shards disagree on the cell type of '" +
+                                request.name + "'");
+    }
+    Result<Array> piece =
+        Array::FromBuffer(resp.domain, cell_type, std::move(resp.cells));
+    if (!piece.ok()) return piece.status();
+    Status copy = stitched->CopyFrom(*piece, piece->domain());
+    if (!copy.ok()) {
+      return Status::Corruption(DescribeShard(map_, call.shard) +
+                                " answered outside its sub-region: " +
+                                copy.message());
+    }
+  }
+  net::FilterQueryResponse out;
   out.domain = request.region;
   out.cell_type_id = first.cell_type_id;
   out.cells = std::move(*stitched).TakeBuffer();

@@ -34,8 +34,10 @@ struct RoutingClientOptions {
 /// and stitches the results.
 ///
 /// Routing rules per op:
-///  - `RangeQuery`/`Aggregate`: `ShardMap::QueryTargets` clips the region
-///    per owning slab; sub-results are stitched (queries) or combined
+///  - `RangeQuery`/`FilterQuery`/`Aggregate`: `ShardMap::QueryTargets`
+///    clips the region per owning slab; sub-results are stitched
+///    (queries — every shard default-fills its own sub-region, so a
+///    filtered stitch stays byte-identical) or combined
 ///    (aggregates; `kAvg` fans out as per-shard `kSum` over the exact
 ///    same operands the single-store divide uses). Split objects require
 ///    fixed regions; unsplit objects pass through untouched.
@@ -115,6 +117,7 @@ class RoutingTileClient : public net::ClientInterface {
   Result<net::Response> RouteStats(const net::StatsRequest& request);
   Result<net::Response> RouteRetile(const net::RetileRequest& request);
   Result<net::Response> RouteCompact(const net::CompactRequest& request);
+  Result<net::Response> RouteFilterQuery(const net::FilterQueryRequest& req);
 
   ShardMap map_;
   RoutingClientOptions options_;

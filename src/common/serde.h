@@ -27,6 +27,9 @@ class ByteWriter {
   }
 
   size_t size() const { return buf_.size(); }
+  const uint8_t* data() const { return buf_.data(); }
+  /// Pre-sizes the buffer (perf only; the writer grows on demand anyway).
+  void Reserve(size_t n) { buf_.reserve(buf_.size() + n); }
   std::vector<uint8_t> Take() { return std::move(buf_); }
 
  private:

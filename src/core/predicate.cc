@@ -1,0 +1,130 @@
+#include "core/predicate.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace tilestore {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+Result<double> ParseNumber(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return Status::InvalidArgument("empty number in predicate");
+  const std::string owned(s);
+  char* end = nullptr;
+  const double v = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size()) {
+    return Status::InvalidArgument("bad number in predicate: '" + owned +
+                                   "'");
+  }
+  if (std::isnan(v)) {
+    return Status::InvalidArgument("NaN is not a valid predicate constant");
+  }
+  return v;
+}
+
+std::string FormatNumber(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+Status ValuePredicate::Validate() const {
+  if (std::isnan(a) || (kind == Kind::kBetween && std::isnan(b))) {
+    return Status::InvalidArgument("predicate constant is NaN");
+  }
+  if (kind == Kind::kBetween && a > b) {
+    return Status::InvalidArgument("predicate range is empty (a > b)");
+  }
+  switch (kind) {
+    case Kind::kLess:
+    case Kind::kGreater:
+    case Kind::kBetween:
+    case Kind::kEqual:
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown predicate kind");
+}
+
+std::string ValuePredicate::ToString() const {
+  switch (kind) {
+    case Kind::kLess:
+      return "v<" + FormatNumber(a);
+    case Kind::kGreater:
+      return "v>" + FormatNumber(a);
+    case Kind::kBetween:
+      return "v in [" + FormatNumber(a) + "," + FormatNumber(b) + "]";
+    case Kind::kEqual:
+      return "v==" + FormatNumber(a);
+  }
+  return "v<?";
+}
+
+Result<ValuePredicate> ValuePredicate::Parse(std::string_view text) {
+  std::string_view s = Trim(text);
+  if (s.size() < 3 || s[0] != 'v') {
+    return Status::InvalidArgument(
+        "bad predicate '" + std::string(text) +
+        "' (expected v<C, v>C, v==C, or v in [A,B])");
+  }
+  std::string_view rest = Trim(s.substr(1));
+  ValuePredicate pred;
+  if (rest.rfind("in", 0) == 0) {
+    rest = Trim(rest.substr(2));
+    if (rest.size() < 2 || rest.front() != '[' || rest.back() != ']') {
+      return Status::InvalidArgument("bad range predicate '" +
+                                     std::string(text) + "'");
+    }
+    rest = rest.substr(1, rest.size() - 2);
+    const size_t comma = rest.find(',');
+    if (comma == std::string_view::npos) {
+      return Status::InvalidArgument("bad range predicate '" +
+                                     std::string(text) + "'");
+    }
+    Result<double> lo = ParseNumber(rest.substr(0, comma));
+    if (!lo.ok()) return lo.status();
+    Result<double> hi = ParseNumber(rest.substr(comma + 1));
+    if (!hi.ok()) return hi.status();
+    pred.kind = Kind::kBetween;
+    pred.a = *lo;
+    pred.b = *hi;
+  } else if (rest.rfind("==", 0) == 0) {
+    Result<double> c = ParseNumber(rest.substr(2));
+    if (!c.ok()) return c.status();
+    pred.kind = Kind::kEqual;
+    pred.a = *c;
+  } else if (rest.front() == '<') {
+    Result<double> c = ParseNumber(rest.substr(1));
+    if (!c.ok()) return c.status();
+    pred.kind = Kind::kLess;
+    pred.a = *c;
+  } else if (rest.front() == '>') {
+    Result<double> c = ParseNumber(rest.substr(1));
+    if (!c.ok()) return c.status();
+    pred.kind = Kind::kGreater;
+    pred.a = *c;
+  } else {
+    return Status::InvalidArgument(
+        "bad predicate '" + std::string(text) +
+        "' (expected v<C, v>C, v==C, or v in [A,B])");
+  }
+  Status st = pred.Validate();
+  if (!st.ok()) return st;
+  return pred;
+}
+
+}  // namespace tilestore

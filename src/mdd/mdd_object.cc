@@ -50,6 +50,18 @@ void MDDObject::InvalidateCachedTiles() const {
   if (store_ != nullptr) store_->InvalidateTileCache(cache_id_);
 }
 
+TileSummaryIndex* MDDObject::summary_index() const {
+  if (store_ == nullptr || cache_id_ == 0) return nullptr;
+  TileSummaryIndex* summaries = store_->tile_summaries();
+  return summaries != nullptr && summaries->enabled() ? summaries : nullptr;
+}
+
+void MDDObject::InvalidateTileSummaries() const {
+  if (TileSummaryIndex* summaries = summary_index()) {
+    summaries->InvalidateObject(cache_id_);
+  }
+}
+
 TilingSpec MDDObject::PlacementOrdered(const TilingSpec& spec) const {
   TilingSpec ordered = spec;
   if (store_ != nullptr && store_->options().sfc_placement) {
@@ -147,6 +159,21 @@ Status MDDObject::InsertTile(const Tile& tile) {
   // Invalidate on both outcomes: a reader racing the staged mutation may
   // have cached a tile state the unwind just took back.
   InvalidateCachedTiles();
+  if (TileSummaryIndex* summaries = summary_index()) {
+    if (commit.ok()) {
+      // The decoded cells are at hand; summarize them now so a filtered
+      // query can classify this tile without ever fetching it.
+      std::optional<TileSummary> summary =
+          BuildTileSummary(cell_type_, raw.data(),
+                           tile.domain().CellCountOrDie(),
+                           default_cell_.data());
+      if (summary.has_value()) {
+        summaries->Put(cache_id_, blob.value(), *summary);
+      }
+    } else {
+      summaries->InvalidateObject(cache_id_);
+    }
+  }
   return commit;
 }
 
@@ -171,6 +198,9 @@ Status MDDObject::Load(const Array& data, const TilingSpec& spec) {
   auto unwind = [&] {
     for (const MInterval& domain : inserted) (void)index_->Remove(domain);
     current_domain_ = saved_domain;
+    // Inner InsertTiles joined this transaction and recorded their tiles'
+    // summaries when their (joined) commits returned; take those back.
+    InvalidateTileSummaries();
   };
   // Cut tile by tile rather than materializing all tiles at once, so load
   // memory stays bounded by one tile.
@@ -215,6 +245,7 @@ Status MDDObject::LoadFrom(
   auto unwind = [&] {
     for (const MInterval& domain : inserted) (void)index_->Remove(domain);
     current_domain_ = saved_domain;
+    InvalidateTileSummaries();
   };
   for (const MInterval& domain : spec) {
     Result<Tile> tile = producer(domain);
@@ -299,6 +330,15 @@ Status MDDObject::RemoveTile(const MInterval& domain) {
     current_domain_ = saved_domain;
   }
   InvalidateCachedTiles();
+  if (TileSummaryIndex* summaries = summary_index()) {
+    if (commit.ok()) {
+      // Erased before the deferred free executes, so a recycled blob id
+      // can never be classified by its predecessor's summary.
+      summaries->Erase(cache_id_, removed.blob);
+    } else {
+      summaries->InvalidateObject(cache_id_);
+    }
+  }
   return commit;
 }
 
@@ -335,7 +375,12 @@ Status MDDObject::WriteRegion(const Array& data) {
       (void)index_->Insert(entry);
     }
     current_domain_ = saved_domain;
+    InvalidateTileSummaries();
   };
+  // Summaries of the rewritten tiles, computed while the decoded cells are
+  // at hand but applied only after a successful commit.
+  TileSummaryIndex* summaries = summary_index();
+  std::vector<std::pair<BlobId, std::optional<TileSummary>>> rewritten;
 
   // Update the covered parts tile by tile (read-modify-write).
   const std::vector<TileEntry> hits = index_->Search(region);
@@ -378,6 +423,13 @@ Status MDDObject::WriteRegion(const Array& data) {
     if (!blob.ok()) {
       unwind();
       return blob.status();
+    }
+    if (summaries != nullptr) {
+      rewritten.emplace_back(
+          blob.value(),
+          BuildTileSummary(cell_type_, raw.data(),
+                           entry.domain.CellCountOrDie(),
+                           default_cell_.data()));
     }
     // From here the index swap is in flight; record the original so the
     // unwind can restore it whether or not the swap completed.
@@ -431,6 +483,16 @@ Status MDDObject::WriteRegion(const Array& data) {
   Status commit = txn.Commit();
   if (!commit.ok()) unwind();
   InvalidateCachedTiles();
+  if (commit.ok() && summaries != nullptr) {
+    // Growth tiles were recorded by their (joined) InsertTiles; here the
+    // rewritten tiles swap summaries along with their blobs.
+    for (const TileEntry& entry : replaced) {
+      summaries->Erase(cache_id_, entry.blob);
+    }
+    for (auto& [blob, summary] : rewritten) {
+      if (summary.has_value()) summaries->Put(cache_id_, blob, *summary);
+    }
+  }
   return commit;
 }
 
@@ -524,9 +586,14 @@ Status MDDObject::RetileRegion(const MInterval& region,
     for (const MInterval& domain : inserted) (void)index_->Remove(domain);
     for (const TileEntry& entry : removed) (void)index_->Insert(entry);
     current_domain_ = saved_domain;
+    InvalidateTileSummaries();
   };
 
-  // Write the new BLOBs (codec re-evaluated selectively per tile).
+  // Write the new BLOBs (codec re-evaluated selectively per tile). The new
+  // generation's summaries are computed here, while the decoded cells are
+  // at hand, and applied only after the commit succeeds.
+  TileSummaryIndex* summaries = summary_index();
+  std::vector<std::optional<TileSummary>> fresh_summaries;
   std::vector<TileEntry> fresh;
   fresh.reserve(staged.size());
   for (Array& array : staged) {
@@ -538,6 +605,11 @@ Status MDDObject::RetileRegion(const MInterval& region,
     if (!blob.ok()) {
       unwind();
       return blob.status();
+    }
+    if (summaries != nullptr) {
+      fresh_summaries.push_back(BuildTileSummary(cell_type_, raw.data(),
+                                                 domain.CellCountOrDie(),
+                                                 default_cell_.data()));
     }
     fresh.push_back(TileEntry{domain, blob.value(), used});
   }
@@ -585,6 +657,16 @@ Status MDDObject::RetileRegion(const MInterval& region,
   Status commit = txn.Commit();
   if (!commit.ok()) unwind();
   InvalidateCachedTiles();
+  if (commit.ok() && summaries != nullptr) {
+    for (const TileEntry& entry : old_entries) {
+      summaries->Erase(cache_id_, entry.blob);
+    }
+    for (size_t t = 0; t < fresh.size(); ++t) {
+      if (fresh_summaries[t].has_value()) {
+        summaries->Put(cache_id_, fresh[t].blob, *fresh_summaries[t]);
+      }
+    }
+  }
   if (commit.ok() && store_ == nullptr) {
     // Standalone (unlogged, test-only) objects have no catalog to defer
     // for; release the old BLOBs now that the swap is complete.
@@ -634,6 +716,7 @@ Result<uint64_t> MDDObject::RelocateTiles(
     for (BlobId blob : deferred) store_->UndeferBlobFree(blob);
     for (const MInterval& domain : inserted) (void)index_->Remove(domain);
     for (const TileEntry& entry : removed) (void)index_->Insert(entry);
+    InvalidateTileSummaries();
   };
 
   // The stored bytes move verbatim — still compressed if the tile was —
@@ -688,6 +771,14 @@ Result<uint64_t> MDDObject::RelocateTiles(
   Status commit = txn.Commit();
   if (!commit.ok()) unwind();
   InvalidateCachedTiles();
+  if (commit.ok()) {
+    if (TileSummaryIndex* summaries = summary_index()) {
+      // Relocation is byte-identical, so the summary just follows its blob.
+      for (size_t t = 0; t < old_entries.size(); ++t) {
+        summaries->Move(cache_id_, old_entries[t].blob, (*packed)[t]);
+      }
+    }
+  }
   if (commit.ok() && store_ == nullptr) {
     // Standalone (unlogged, test-only) objects have no catalog deferral;
     // release the old blobs now that the swap is durable.

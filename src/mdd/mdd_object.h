@@ -20,6 +20,7 @@
 namespace tilestore {
 
 class MDDStore;
+class TileSummaryIndex;
 class TxnManager;
 
 /// Which index implementation an MDD object uses for its tiles.
@@ -210,6 +211,14 @@ class MDDObject {
   // Drops this object's decoded-tile-cache entries after a successful
   // mutation (no-op standalone or with the cache disabled).
   void InvalidateCachedTiles() const;
+
+  // The store's per-tile summary index when this object participates in
+  // predicate pushdown; null standalone, uncacheable, or with summaries
+  // disabled. Mutations record summaries only *after* a successful commit;
+  // every unwind path calls InvalidateTileSummaries instead, dropping any
+  // summary optimistically recorded by a joined inner mutation.
+  TileSummaryIndex* summary_index() const;
+  void InvalidateTileSummaries() const;
 
   MDDStore* store_ = nullptr;
   std::string name_;

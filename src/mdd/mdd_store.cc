@@ -66,6 +66,7 @@ MDDStore::MDDStore(std::unique_ptr<PageFile> file, MDDStoreOptions options)
   // Register tilecache.* even at capacity 0 so every snapshot carries the
   // (zero) series and dashboards need no conditional.
   tile_cache_->set_metrics(&metrics_);
+  tile_summaries_ = std::make_unique<TileSummaryIndex>(options_.tile_summaries);
 }
 
 MDDStore::~MDDStore() {
@@ -79,6 +80,8 @@ MDDStore::~MDDStore() {
     file_->set_txn_manager(nullptr);
     pool_->set_txn_manager(nullptr);
   }
+  // After the checkpoint, so the sidecar carries the final epoch.
+  SaveSummarySidecar();
 }
 
 Status MDDStore::InitWal(bool recover) {
@@ -107,6 +110,12 @@ Status MDDStore::InitWal(bool recover) {
     if (file_->checkpoint_lsn() > max_lsn) max_lsn = file_->checkpoint_lsn();
     if (max_lsn >= wal_->next_lsn()) wal_->set_next_lsn(max_lsn + 1);
     if (wal_->size_bytes() > 0) {
+      // This was a crash recovery: the summary sidecar (written only on
+      // clean checkpoints) predates the replayed tail and must be ignored.
+      // The Checkpoint below also bumps the file epoch, so the stale
+      // sidecar would be rejected by its epoch stamp anyway — the flag is
+      // belt and braces.
+      wal_replayed_ = true;
       // Fold the replayed state into the superblock, then start an empty
       // log: recovery is not repeated on the next Open.
       Status st = file_->Checkpoint(max_lsn);
@@ -218,6 +227,7 @@ Result<std::unique_ptr<MDDStore>> MDDStore::Open(const std::string& path,
   if (!st.ok()) return st;
   st = store->LoadCatalog();
   if (!st.ok()) return st;
+  store->LoadSummarySidecar();
   return store;
 }
 
@@ -271,6 +281,7 @@ Status MDDStore::DropMDD(const std::string& name) {
     index_blobs_.erase(blob_it);
   }
   InvalidateTileCache(it->second->cache_id());
+  tile_summaries_->InvalidateObject(it->second->cache_id());
   // A later namesake must not inherit this object's workload evidence.
   workload_.Forget(name);
   objects_.erase(it);
@@ -360,11 +371,17 @@ Status MDDStore::Save() {
     if (!txn.begin_status().ok()) return txn.begin_status();
     Status st = StageCatalog();
     if (!st.ok()) return st;
-    return txn.Commit();
+    st = txn.Commit();
+    // Written after StageCatalog's deferred frees, so the sidecar is always
+    // at least as fresh as the persisted catalog it will be checked against.
+    if (st.ok()) SaveSummarySidecar();
+    return st;
   }
   Status st = StageCatalog();
   if (!st.ok()) return st;
-  return file_->Flush();
+  st = file_->Flush();
+  if (st.ok()) SaveSummarySidecar();
+  return st;
 }
 
 Status MDDStore::Begin() {
@@ -441,6 +458,9 @@ Status MDDStore::RestoreSnapshot() {
   // reissued.
   for (uint64_t cache_id : txn_touched_cache_ids_) {
     tile_cache_->InvalidateObject(cache_id);
+    // Summaries recorded by mutations inside the rolled-back transaction
+    // describe tile states that never committed; drop them with the epoch.
+    tile_summaries_->InvalidateObject(cache_id);
   }
   objects_.clear();
   index_blobs_ = std::move(txn_index_blobs_snapshot_);
@@ -471,8 +491,49 @@ Status MDDStore::RestoreSnapshot() {
 }
 
 Status MDDStore::Checkpoint() {
-  if (txns_ != nullptr) return txns_->CheckpointNow();
-  return file_->Flush();
+  Status st = txns_ != nullptr ? txns_->CheckpointNow() : file_->Flush();
+  // The checkpoint bumped the file epoch; re-stamp the sidecar so it
+  // survives the next Open's staleness check.
+  if (st.ok()) SaveSummarySidecar();
+  return st;
+}
+
+void MDDStore::SaveSummarySidecar() {
+  if (tile_summaries_ == nullptr || !tile_summaries_->enabled()) return;
+  std::vector<ObjectSummaries> out;
+  out.reserve(objects_.size());
+  for (const auto& [name, object] : objects_) {
+    ObjectSummaries entry;
+    entry.name = name;
+    entry.entries = tile_summaries_->ObjectEntries(object->cache_id());
+    if (!entry.entries.empty()) out.push_back(std::move(entry));
+  }
+  // Best-effort: the sidecar is a warm-start cache of rebuildable state; a
+  // failed write only costs the next open some inspects.
+  (void)SaveTileSummarySidecar(path() + ".summ", file_->epoch(), out);
+}
+
+void MDDStore::LoadSummarySidecar() {
+  if (tile_summaries_ == nullptr || !tile_summaries_->enabled()) return;
+  Result<LoadedSummarySidecar> side = LoadTileSummarySidecar(path() + ".summ");
+  if (!side.ok()) return;  // absent or corrupt: rebuild lazily
+  // A sidecar from before a crash describes tile states the WAL replay may
+  // have superseded; the epoch stamp catches every flush/checkpoint since
+  // it was written, and wal_replayed_ covers the replay itself.
+  if (wal_replayed_ || side->epoch != file_->epoch()) return;
+  for (ObjectSummaries& object_summaries : side->objects) {
+    auto it = objects_.find(object_summaries.name);
+    if (it == objects_.end()) continue;  // dropped since the sidecar
+    const MDDObject& object = *it->second;
+    // Only blobs the loaded catalog still references: an entry for a
+    // freed/reused blob id must never classify the new occupant's tile.
+    std::unordered_set<BlobId> live;
+    for (const TileEntry& tile : object.AllTiles()) live.insert(tile.blob);
+    for (const auto& [blob, summary] : object_summaries.entries) {
+      if (live.count(blob) == 0) continue;
+      tile_summaries_->Put(object.cache_id(), blob, summary);
+    }
+  }
 }
 
 Status MDDStore::LoadCatalog() {

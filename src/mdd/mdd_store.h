@@ -23,6 +23,7 @@
 #include "storage/io_scheduler.h"
 #include "storage/page_file.h"
 #include "storage/tile_cache.h"
+#include "storage/tile_summary.h"
 #include "storage/txn.h"
 #include "storage/wal.h"
 #include "tiling/workload_recorder.h"
@@ -70,6 +71,13 @@ struct MDDStoreOptions {
   /// historical allocation order (and its cost accounting) bit-identical.
   bool sfc_placement = false;
   layout::SfcCurve sfc_curve = layout::SfcCurve::kHilbert;
+  /// Per-tile summary statistics for predicate pushdown (DESIGN.md §15):
+  /// every tile write also records min/max/count/null-count (+ a small
+  /// histogram) in an in-memory index that filtered queries consult to
+  /// skip whole tiles, persisted best-effort in a `<path>.summ` sidecar.
+  /// Purely an optimization: results are byte-identical with summaries
+  /// on, off, or the sidecar deleted/corrupt (it is then rebuilt lazily).
+  bool tile_summaries = true;
 };
 
 /// \brief The database of MDD objects: one page file holding tile BLOBs
@@ -201,6 +209,10 @@ class MDDStore {
   TileIOScheduler* io_scheduler() { return scheduler_.get(); }
   /// The decoded-tile cache (never null; disabled at capacity 0).
   TileCache* tile_cache() { return tile_cache_.get(); }
+  /// Per-tile summary index (never null; disabled unless
+  /// `options.tile_summaries`). Keyed by (cache epoch, blob id), exactly
+  /// like the tile cache, so the same invalidation protocol covers both.
+  TileSummaryIndex* tile_summaries() { return tile_summaries_.get(); }
   BlobStore* blob_store() { return blobs_.get(); }
   BufferPool* buffer_pool() { return pool_.get(); }
   PageFile* page_file() { return file_.get(); }
@@ -250,6 +262,16 @@ class MDDStore {
   /// Rebuilds the in-memory catalog from the `Begin` snapshot (Abort and
   /// failed-Commit path).
   Status RestoreSnapshot();
+  /// Best-effort persistence of the summary index to `<path>.summ`,
+  /// stamped with the current page-file epoch. Called after successful
+  /// Save/Checkpoint and at destruction; failures are swallowed — the
+  /// sidecar is purely an optimization.
+  void SaveSummarySidecar();
+  /// Loads `<path>.summ` at open. The sidecar is discarded wholesale when
+  /// its epoch does not match the page file's (it predates a crash,
+  /// checkpoint, or WAL replay) and entry-by-entry when it references
+  /// blobs the catalog no longer lists.
+  void LoadSummarySidecar();
 
   MDDStoreOptions options_;
   // Advisory exclusive lock on `<path>.lock`, held for the store's
@@ -270,8 +292,12 @@ class MDDStore {
   std::unique_ptr<BlobStore> blobs_;
   std::unique_ptr<TileIOScheduler> scheduler_;
   std::unique_ptr<TileCache> tile_cache_;
+  std::unique_ptr<TileSummaryIndex> tile_summaries_;
   // Next decoded-tile-cache epoch; ids start at 1 (0 = uncacheable).
   uint64_t next_cache_id_ = 1;
+  // Set when Open replayed a non-empty WAL: the summary sidecar predates
+  // the crash and is ignored even if its epoch happens to match.
+  bool wal_replayed_ = false;
   std::unique_ptr<WriteAheadLog> wal_;
   std::unique_ptr<TxnManager> txns_;
   // BLOBs whose pages are still referenced by the persisted catalog;

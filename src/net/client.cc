@@ -151,6 +151,15 @@ Status TileClient::RoundTrip(WireOp op, const std::vector<uint8_t>& request,
 
 Result<Response> TileClient::Call(const Request& request) {
   const WireOp op = RequestOp(request);
+  // v2-only ops never go out on a v1 conversation: a genuine v1 server
+  // would drop the connection on the unknown op, poisoning it for every
+  // later request. Refuse locally instead.
+  if (op == WireOp::kFilterQuery && wire_version_ < 2) {
+    return Status::Unimplemented(
+        "filter_query requires wire version 2; this connection negotiated "
+        "version " +
+        std::to_string(wire_version_));
+  }
   std::vector<uint8_t> payload;
   Status st = RoundTrip(op, EncodeRequest(request), &payload);
   if (!st.ok()) return st;

@@ -33,6 +33,7 @@ WireOp RequestOp(const Request& request) {
           [](const RetileRequest&) { return WireOp::kRetile; },
           [](const HelloRequest&) { return WireOp::kHello; },
           [](const CompactRequest&) { return WireOp::kCompact; },
+          [](const FilterQueryRequest&) { return WireOp::kFilterQuery; },
       },
       request);
 }
@@ -53,6 +54,9 @@ std::vector<uint8_t> EncodeRequest(const Request& request) {
           [](const RetileRequest& r) { return EncodeRetileRequest(r); },
           [](const HelloRequest& r) { return EncodeHelloRequest(r); },
           [](const CompactRequest& r) { return EncodeCompactRequest(r); },
+          [](const FilterQueryRequest& r) {
+            return EncodeFilterQueryRequest(r);
+          },
       },
       request);
 }
@@ -134,6 +138,25 @@ Status DecodeResponsePayload(WireOp op, const std::vector<uint8_t>& payload,
       CompactResponse resp;
       st = DecodeCompactResponse(payload, server_status, &resp);
       if (!st.ok() || !server_status->ok()) return st;
+      *out = std::move(resp);
+      return Status::OK();
+    }
+    case WireOp::kFilterQuery: {
+      FilterQueryResponse resp;
+      st = DecodeFilterQueryResponse(payload, server_status, &resp);
+      if (!st.ok() || !server_status->ok()) return st;
+      st = CellTypeInRange(resp.cell_type_id);
+      if (!st.ok()) return st;
+      const CellType cell_type =
+          CellType::Of(static_cast<CellTypeId>(resp.cell_type_id));
+      // Same hostile-domain hardening as range_query.
+      Result<uint64_t> cells = resp.domain.IsFixed()
+                                   ? resp.domain.CellCount()
+                                   : Status::Corruption("unbounded domain");
+      if (!cells.ok() || *cells > kMaxPayloadBytes ||
+          resp.cells.size() != *cells * cell_type.size()) {
+        return Status::Corruption("query result size does not match domain");
+      }
       *out = std::move(resp);
       return Status::OK();
     }
@@ -233,6 +256,30 @@ Result<CompactResponse> ClientInterface::Compact(const std::string& name) {
   Result<Response> result = Call(std::move(req));
   if (!result.ok()) return result.status();
   return std::move(std::get<CompactResponse>(*result));
+}
+
+Result<Array> ClientInterface::FilterQuery(const std::string& name,
+                                           const MInterval& region,
+                                           const ValuePredicate& predicate) {
+  Status st = predicate.Validate();
+  if (!st.ok()) return st;
+  FilterQueryRequest req;
+  req.name = name;
+  req.region = region;
+  req.pred_kind = static_cast<uint8_t>(predicate.kind);
+  req.pred_a = predicate.a;
+  req.pred_b = predicate.b;
+  Result<Response> result = Call(std::move(req));
+  if (!result.ok()) return result.status();
+  auto& resp = std::get<FilterQueryResponse>(*result);
+  Result<Array> array = Array::FromBuffer(
+      resp.domain, CellType::Of(static_cast<CellTypeId>(resp.cell_type_id)),
+      std::move(resp.cells));
+  if (!array.ok()) {
+    return Status::Corruption("malformed query result: " +
+                              array.status().message());
+  }
+  return array;
 }
 
 }  // namespace net

@@ -12,6 +12,7 @@
 #include "core/array.h"
 #include "core/cell_type.h"
 #include "core/minterval.h"
+#include "core/predicate.h"
 #include "net/wire.h"
 
 namespace tilestore {
@@ -36,12 +37,14 @@ struct PingResponse {};
 using Request =
     std::variant<PingRequest, OpenMDDRequest, RangeQueryRequest,
                  AggregateRequest, InsertTilesRequest, StatsRequest,
-                 RetileRequest, HelloRequest, CompactRequest>;
+                 RetileRequest, HelloRequest, CompactRequest,
+                 FilterQueryRequest>;
 
 using Response =
     std::variant<PingResponse, OpenMDDResponse, RangeQueryResponse,
                  AggregateResponse, InsertTilesResponse, StatsResponse,
-                 RetileResponse, HelloResponse, CompactResponse>;
+                 RetileResponse, HelloResponse, CompactResponse,
+                 FilterQueryResponse>;
 
 /// The wire op a request alternative travels as.
 WireOp RequestOp(const Request& request);
@@ -107,6 +110,13 @@ class ClientInterface {
   /// Admin: measure `name`'s physical fragmentation and rewrite its tile
   /// blobs into SFC-contiguous page runs (`Compactor::CompactNow`).
   Result<CompactResponse> Compact(const std::string& name);
+  /// Range query with a cell-value predicate pushed to the server
+  /// (DESIGN.md §15): non-matching cells come back as the object's
+  /// default value, byte-identical to in-process
+  /// `RangeQueryExecutor::Execute` with the same predicate. Requires a
+  /// v2-negotiated connection; `TileClient` refuses against a v1 server.
+  Result<Array> FilterQuery(const std::string& name, const MInterval& region,
+                            const ValuePredicate& predicate);
 };
 
 }  // namespace net

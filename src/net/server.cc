@@ -63,9 +63,10 @@ TileServer::TileServer(MDDStore* store, TileServerOptions options)
   idle_disconnects_ = m->counter("net.idle_disconnects");
   bytes_received_ = m->counter("net.bytes_received");
   bytes_sent_ = m->counter("net.bytes_sent");
-  op_latency_ms_.resize(static_cast<size_t>(WireOp::kCompact) + 1, nullptr);
+  op_latency_ms_.resize(static_cast<size_t>(WireOp::kFilterQuery) + 1,
+                        nullptr);
   for (uint16_t op = static_cast<uint16_t>(WireOp::kPing);
-       op <= static_cast<uint16_t>(WireOp::kCompact); ++op) {
+       op <= static_cast<uint16_t>(WireOp::kFilterQuery); ++op) {
     const std::string name =
         "net.op." +
         std::string(WireOpName(static_cast<WireOp>(op))) + "_ms";
@@ -805,6 +806,8 @@ std::vector<uint8_t> TileServer::Dispatch(WireOp op,
       return HandleHello(payload);
     case WireOp::kCompact:
       return HandleCompact(payload);
+    case WireOp::kFilterQuery:
+      return HandleFilterQuery(payload, trace_id);
   }
   return EncodeErrorResponse(Status::Unimplemented("unknown op"));
 }
@@ -887,6 +890,51 @@ std::vector<uint8_t> TileServer::HandleRangeQuery(
         "query result exceeds the wire message bound; split the region"));
   }
   return EncodeRangeQueryResponse(resp);
+}
+
+std::vector<uint8_t> TileServer::HandleFilterQuery(
+    const std::vector<uint8_t>& payload, uint64_t trace_id) {
+  (void)trace_id;  // spans are emitted by the executor under its own id
+  // A server pinned to wire v1 never announced the op in its hello, so it
+  // answers the way a genuine v1 peer's op table would: unimplemented.
+  if (options_.max_wire_version < 2) {
+    return EncodeErrorResponse(
+        Status::Unimplemented("filter_query requires wire version 2"));
+  }
+  FilterQueryRequest req;
+  Status st = DecodeFilterQueryRequest(payload, &req);
+  if (!st.ok()) return EncodeErrorResponse(st);
+  if (req.pred_kind > static_cast<uint8_t>(ValuePredicate::Kind::kEqual)) {
+    return EncodeErrorResponse(
+        Status::InvalidArgument("unknown predicate kind on wire"));
+  }
+  ValuePredicate pred;
+  pred.kind = static_cast<ValuePredicate::Kind>(req.pred_kind);
+  pred.a = req.pred_a;
+  pred.b = req.pred_b;
+  st = pred.Validate();
+  if (!st.ok()) return EncodeErrorResponse(st);
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  Result<MDDObject*> obj = store_->GetMDD(req.name);
+  if (!obj.ok()) return EncodeErrorResponse(obj.status());
+  RangeQueryOptions options;
+  options.parallelism = options_.query_parallelism;
+  options.predicate = pred;
+  RangeQueryExecutor executor(store_, options);
+  Result<Array> array = executor.Execute(*obj, req.region);
+  if (!array.ok()) return EncodeErrorResponse(array.status());
+  FilterQueryResponse resp;
+  resp.domain = array->domain();
+  resp.cell_type_id = static_cast<uint8_t>(array->cell_type().id());
+  resp.cells = std::move(*array).TakeBuffer();
+  // Same wire bound as range_query: status byte + interval + cell type +
+  // u64 length prefix, rounded up.
+  const size_t overhead = 16 + 16 * resp.domain.dim();
+  if (resp.cells.size() + overhead > kMaxPayloadBytes) {
+    return EncodeErrorResponse(Status::OutOfRange(
+        "query result exceeds the wire message bound; split the region"));
+  }
+  return EncodeFilterQueryResponse(resp);
 }
 
 std::vector<uint8_t> TileServer::HandleAggregate(

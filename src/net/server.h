@@ -227,6 +227,8 @@ class TileServer {
   std::vector<uint8_t> HandleRetile(const std::vector<uint8_t>& payload);
   std::vector<uint8_t> HandleHello(const std::vector<uint8_t>& payload);
   std::vector<uint8_t> HandleCompact(const std::vector<uint8_t>& payload);
+  std::vector<uint8_t> HandleFilterQuery(const std::vector<uint8_t>& payload,
+                                         uint64_t trace_id);
 
   MDDStore* store_;
   const TileServerOptions options_;
@@ -287,7 +289,7 @@ class TileServer {
   obs::Counter* idle_disconnects_;
   obs::Counter* bytes_received_;
   obs::Counter* bytes_sent_;
-  // Indexed by WireOp value (1..kCompact); [0] unused.
+  // Indexed by WireOp value (1..kFilterQuery); [0] unused.
   std::vector<obs::Histogram*> op_latency_ms_;
   // Registered in both modes (zero in thread-per-connection mode) so
   // snapshots always carry the series.

@@ -154,6 +154,23 @@ Result<ServerConfig> ServerConfig::FromArgs(int argc, char** argv) {
         static_cast<size_t>(tile_cache_mb) << 20;
   }
   {
+    // Per-tile summary statistics (DESIGN.md §15). On by default; "off"
+    // disables both maintenance and the filter-query pruning that uses
+    // them (filtered queries then inspect every candidate tile).
+    Result<std::optional<std::string>> v = set.String("summaries");
+    if (!v.ok()) return v.status();
+    if (v->has_value()) {
+      if (**v == "on") {
+        config.store_options.tile_summaries = true;
+      } else if (**v == "off") {
+        config.store_options.tile_summaries = false;
+      } else {
+        return Status::InvalidArgument("--summaries wants on|off, got '" +
+                                       **v + "'");
+      }
+    }
+  }
+  {
     Result<std::optional<std::string>> v = set.String("io-backend");
     if (!v.ok()) return v.status();
     if (v->has_value()) {
@@ -323,7 +340,7 @@ const char* ServerConfig::FlagHelp() {
          "         [--queue=N] [--request-timeout-ms=N] [--idle-timeout-ms=N]\n"
          "         [--parallelism=N] [--tile-cache-mb=N] [--all-interfaces]\n"
          "         [--event-loop] [--workers=N] [--max-connections=N]\n"
-         "         [--io-backend=auto|pread|uring]\n"
+         "         [--io-backend=auto|pread|uring] [--summaries=on|off]\n"
          "         [--auto-retile] [--retile-poll-ms=N]\n"
          "         [--retile-min-queries=N] [--retile-min-improvement=X]\n"
          "         [--retile-cell-budget=N] [--retile-migration-cost=X]\n"

@@ -55,13 +55,15 @@ std::string_view WireOpName(WireOp op) {
       return "hello";
     case WireOp::kCompact:
       return "compact";
+    case WireOp::kFilterQuery:
+      return "filter_query";
   }
   return "unknown";
 }
 
 bool WireOpValid(uint16_t raw) {
   return raw >= static_cast<uint16_t>(WireOp::kPing) &&
-         raw <= static_cast<uint16_t>(WireOp::kCompact);
+         raw <= static_cast<uint16_t>(WireOp::kFilterQuery);
 }
 
 std::vector<uint8_t> EncodeFrame(WireOp op, bool response,
@@ -350,6 +352,40 @@ Status DecodeCompactRequest(const std::vector<uint8_t>& payload,
   return Status::OK();
 }
 
+std::vector<uint8_t> EncodeFilterQueryRequest(const FilterQueryRequest& req) {
+  ByteWriter w;
+  w.Str(req.name);
+  WriteIntervalWire(&w, req.region);
+  w.U8(req.pred_kind);
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(req.pred_a));
+  std::memcpy(&bits, &req.pred_a, sizeof(bits));
+  w.U64(bits);
+  std::memcpy(&bits, &req.pred_b, sizeof(bits));
+  w.U64(bits);
+  return w.Take();
+}
+
+Status DecodeFilterQueryRequest(const std::vector<uint8_t>& payload,
+                                FilterQueryRequest* out) {
+  ByteReader r(payload);
+  Status st = r.Str(&out->name);
+  if (!st.ok()) return st;
+  st = ReadIntervalWire(&r, &out->region);
+  if (!st.ok()) return st;
+  st = r.U8(&out->pred_kind);
+  if (!st.ok()) return st;
+  uint64_t bits = 0;
+  st = r.U64(&bits);
+  if (!st.ok()) return st;
+  std::memcpy(&out->pred_a, &bits, sizeof(out->pred_a));
+  st = r.U64(&bits);
+  if (!st.ok()) return st;
+  std::memcpy(&out->pred_b, &bits, sizeof(out->pred_b));
+  if (!r.AtEnd()) return CorruptPayload("trailing bytes in filter_query");
+  return Status::OK();
+}
+
 // --------------------------------------------------------------------------
 // Responses.
 
@@ -572,6 +608,34 @@ Status DecodeRetileResponse(const std::vector<uint8_t>& payload,
   st = r.U64(&out->tiles_after);
   if (!st.ok()) return st;
   return r.U64(&out->cells_moved);
+}
+
+std::vector<uint8_t> EncodeFilterQueryResponse(
+    const FilterQueryResponse& resp) {
+  ByteWriter w = OkWriter();
+  WriteIntervalWire(&w, resp.domain);
+  w.U8(resp.cell_type_id);
+  w.U64(resp.cells.size());
+  w.Bytes(resp.cells.data(), resp.cells.size());
+  return w.Take();
+}
+
+Status DecodeFilterQueryResponse(const std::vector<uint8_t>& payload,
+                                 Status* server_status,
+                                 FilterQueryResponse* out) {
+  ByteReader r(payload);
+  Status st = DecodeResponseStatus(&r, server_status);
+  if (!st.ok() || !server_status->ok()) return st;
+  st = ReadIntervalWire(&r, &out->domain);
+  if (!st.ok()) return st;
+  st = r.U8(&out->cell_type_id);
+  if (!st.ok()) return st;
+  uint64_t n = 0;
+  st = r.U64(&n);
+  if (!st.ok()) return st;
+  if (n > kMaxPayloadBytes) return CorruptPayload("oversized result");
+  out->cells.resize(static_cast<size_t>(n));
+  return r.Bytes(out->cells.data(), out->cells.size());
 }
 
 std::vector<uint8_t> EncodeCompactResponse(const CompactResponse& resp) {

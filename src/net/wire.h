@@ -64,6 +64,11 @@ enum class WireOp : uint16_t {
   /// Admin op: synchronously measure (and, past the server's tile floor,
   /// compact) one object's physical layout. See `Compactor::CompactNow`.
   kCompact = 9,
+  /// v2: range query with a cell-value predicate pushed down to the
+  /// server, which prunes whole tiles via per-tile summaries. A v1 server
+  /// treats the op as unknown and drops the connection; v2-negotiated
+  /// clients refuse to send it to a v1 peer.
+  kFilterQuery = 10,
 };
 
 /// Static-literal op name ("range_query", ...), usable as a trace span
@@ -174,6 +179,18 @@ struct CompactRequest {
   std::string name;
 };
 
+/// v2: a range query filtered by a cell-value predicate (DESIGN.md §15).
+/// The predicate travels as its kind (`ValuePredicate::Kind`) plus both
+/// operand doubles; `pred_b` is meaningful only for the between kind but
+/// always occupies its slot so the encoding is fixed-width.
+struct FilterQueryRequest {
+  std::string name;
+  MInterval region;  // '*' bounds allowed, resolved server-side
+  uint8_t pred_kind = 0;  // ValuePredicate::Kind
+  double pred_a = 0;
+  double pred_b = 0;
+};
+
 std::vector<uint8_t> EncodeOpenMDDRequest(const OpenMDDRequest& req);
 Status DecodeOpenMDDRequest(const std::vector<uint8_t>& payload,
                             OpenMDDRequest* out);
@@ -198,6 +215,9 @@ Status DecodeHelloRequest(const std::vector<uint8_t>& payload,
 std::vector<uint8_t> EncodeCompactRequest(const CompactRequest& req);
 Status DecodeCompactRequest(const std::vector<uint8_t>& payload,
                             CompactRequest* out);
+std::vector<uint8_t> EncodeFilterQueryRequest(const FilterQueryRequest& req);
+Status DecodeFilterQueryRequest(const std::vector<uint8_t>& payload,
+                                FilterQueryRequest* out);
 
 // --------------------------------------------------------------------------
 // Response payloads. Every encoder emits the leading status byte; decoders
@@ -254,6 +274,16 @@ struct RetileResponse {
   uint64_t cells_moved = 0;
 };
 
+/// Result of a filter query: the resolved region with every non-matching
+/// cell set to the object's default value. Identical shape to
+/// `RangeQueryResponse`, kept distinct so the two ops can evolve
+/// independently.
+struct FilterQueryResponse {
+  MInterval domain;
+  uint8_t cell_type_id = 0;
+  std::vector<uint8_t> cells;
+};
+
 /// Mirrors `layout::CompactReport`.
 struct CompactResponse {
   bool compacted = false;
@@ -275,6 +305,7 @@ std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& resp);
 std::vector<uint8_t> EncodeRetileResponse(const RetileResponse& resp);
 std::vector<uint8_t> EncodeHelloResponse(const HelloResponse& resp);
 std::vector<uint8_t> EncodeCompactResponse(const CompactResponse& resp);
+std::vector<uint8_t> EncodeFilterQueryResponse(const FilterQueryResponse& resp);
 
 Status DecodeResponseStatus(ByteReader* r, Status* server_status);
 Status DecodePingResponse(const std::vector<uint8_t>& payload,
@@ -297,6 +328,9 @@ Status DecodeHelloResponse(const std::vector<uint8_t>& payload,
                            Status* server_status, HelloResponse* out);
 Status DecodeCompactResponse(const std::vector<uint8_t>& payload,
                              Status* server_status, CompactResponse* out);
+Status DecodeFilterQueryResponse(const std::vector<uint8_t>& payload,
+                                 Status* server_status,
+                                 FilterQueryResponse* out);
 
 }  // namespace net
 }  // namespace tilestore

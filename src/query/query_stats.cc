@@ -18,6 +18,9 @@ void QueryStats::Add(const QueryStats& other) {
   io_runs += other.io_runs;
   prefetch_hits += other.prefetch_hits;
   tilecache_hits += other.tilecache_hits;
+  summary_probes += other.summary_probes;
+  summary_skips += other.summary_skips;
+  summary_inspects += other.summary_inspects;
   t_ix_model_ms += other.t_ix_model_ms;
   t_o_model_ms += other.t_o_model_ms;
   t_cpu_model_ms += other.t_cpu_model_ms;
@@ -40,6 +43,9 @@ void QueryStats::DivideBy(uint64_t n) {
   io_runs /= n;
   prefetch_hits /= n;
   tilecache_hits /= n;
+  summary_probes /= n;
+  summary_skips /= n;
+  summary_inspects /= n;
   const double dn = static_cast<double>(n);
   t_ix_model_ms /= dn;
   t_o_model_ms /= dn;
@@ -54,8 +60,12 @@ std::string QueryStats::ToString() const {
   std::ostringstream os;
   os << "tiles=" << tiles_accessed << " read=" << tile_bytes_read
      << "B (useful " << useful_bytes << "B) cache_hits=" << tilecache_hits
-     << " pages=" << pages_read
-     << " seeks=" << seeks << " ix_nodes=" << index_nodes_visited
+     << " pages=" << pages_read;
+  if (summary_probes > 0 || summary_skips > 0 || summary_inspects > 0) {
+    os << " summ_probes=" << summary_probes << " summ_skips=" << summary_skips
+       << " summ_inspects=" << summary_inspects;
+  }
+  os << " seeks=" << seeks << " ix_nodes=" << index_nodes_visited
      << " | model ms: ix=" << t_ix_model_ms << " o=" << t_o_model_ms
      << " cpu=" << t_cpu_model_ms << " | measured ms: ix="
      << t_ix_measured_ms << " o=" << t_o_measured_ms << " cpu="

@@ -61,6 +61,17 @@ struct QueryStats {
   /// decode but not the traffic accounting).
   uint64_t tilecache_hits = 0;
 
+  // Predicate pushdown (filtered queries only; DESIGN.md §15).
+  /// Candidate tiles whose summary was consulted.
+  uint64_t summary_probes = 0;
+  /// Tiles proven irrelevant by their summary: no fetch, no decode, and no
+  /// model charge beyond the (free) summary probe — the pruning the
+  /// `bench_filter` A/B measures.
+  uint64_t summary_skips = 0;
+  /// Tiles that had to be fetched and filtered cell by cell (no summary,
+  /// or the summary could not decide).
+  uint64_t summary_inspects = 0;
+
   // Model times (ms).
   double t_ix_model_ms = 0;
   double t_o_model_ms = 0;

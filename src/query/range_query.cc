@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <limits>
 #include <optional>
 
+#include "core/linearizer.h"
 #include "core/region.h"
 #include "storage/compression.h"
 #include "storage/io_scheduler.h"
@@ -22,6 +24,252 @@ double ElapsedMs(Clock::time_point start) {
       .count();
 }
 
+// ---------------------------------------------------------------------------
+// Filtered-query kernels (DESIGN.md §15). Cells are widened to double for
+// the comparison, exactly like the aggregation kernels, so a predicate
+// means the same thing for every numeric cell type — and matches the
+// min/max reasoning `ClassifyTile` does on summaries.
+
+bool IsNumericCellType(CellType cell_type) {
+  switch (cell_type.id()) {
+    case CellTypeId::kRGB8:
+    case CellTypeId::kOpaque:
+      return false;
+    default:
+      return true;
+  }
+}
+
+using WidenFn = double (*)(const uint8_t*);
+
+template <typename T>
+double WidenAs(const uint8_t* cell) {
+  T v;
+  std::memcpy(&v, cell, sizeof(T));
+  return static_cast<double>(v);
+}
+
+WidenFn WidenFor(CellTypeId id) {
+  switch (id) {
+    case CellTypeId::kUInt8:   return &WidenAs<uint8_t>;
+    case CellTypeId::kInt8:    return &WidenAs<int8_t>;
+    case CellTypeId::kUInt16:  return &WidenAs<uint16_t>;
+    case CellTypeId::kInt16:   return &WidenAs<int16_t>;
+    case CellTypeId::kUInt32:  return &WidenAs<uint32_t>;
+    case CellTypeId::kInt32:   return &WidenAs<int32_t>;
+    case CellTypeId::kUInt64:  return &WidenAs<uint64_t>;
+    case CellTypeId::kInt64:   return &WidenAs<int64_t>;
+    case CellTypeId::kFloat32: return &WidenAs<float>;
+    case CellTypeId::kFloat64: return &WidenAs<double>;
+    default:                   return nullptr;
+  }
+}
+
+// Copies the matching cells of one contiguous run; non-matching cells keep
+// whatever `dst` holds (the default fill).
+using FilterRunFn = void (*)(const uint8_t*, uint8_t*, uint64_t,
+                             const ValuePredicate&);
+
+template <typename T>
+void FilterRunTyped(const uint8_t* src, uint8_t* dst, uint64_t cells,
+                    const ValuePredicate& pred) {
+  const T* s = reinterpret_cast<const T*>(src);
+  T* d = reinterpret_cast<T*>(dst);
+  for (uint64_t i = 0; i < cells; ++i) {
+    if (pred.Matches(static_cast<double>(s[i]))) d[i] = s[i];
+  }
+}
+
+FilterRunFn FilterRunFor(CellTypeId id) {
+  switch (id) {
+    case CellTypeId::kUInt8:   return &FilterRunTyped<uint8_t>;
+    case CellTypeId::kInt8:    return &FilterRunTyped<int8_t>;
+    case CellTypeId::kUInt16:  return &FilterRunTyped<uint16_t>;
+    case CellTypeId::kInt16:   return &FilterRunTyped<int16_t>;
+    case CellTypeId::kUInt32:  return &FilterRunTyped<uint32_t>;
+    case CellTypeId::kInt32:   return &FilterRunTyped<int32_t>;
+    case CellTypeId::kUInt64:  return &FilterRunTyped<uint64_t>;
+    case CellTypeId::kInt64:   return &FilterRunTyped<int64_t>;
+    case CellTypeId::kFloat32: return &FilterRunTyped<float>;
+    case CellTypeId::kFloat64: return &FilterRunTyped<double>;
+    default:                   return nullptr;
+  }
+}
+
+// Filters an RLE tile straight off its compressed stream into the result
+// buffer: runs are tested against the predicate *before* any cell is
+// materialized, so a repeat run of non-matching cells costs one comparison.
+// The tile must lie wholly inside `result_domain`. Returns matched cells.
+Result<uint64_t> FilterRleStreamInto(const std::vector<uint8_t>& stream,
+                                     const MInterval& tile_domain,
+                                     CellTypeId type_id, size_t cell_size,
+                                     const ValuePredicate& pred,
+                                     const MInterval& result_domain,
+                                     uint8_t* result_data) {
+  const WidenFn widen = WidenFor(type_id);
+  if (widen == nullptr || cell_size == 0 || cell_size > 8) {
+    return Status::InvalidArgument("filtered RLE needs a numeric cell type");
+  }
+  // Linear tile cell k lives in innermost-axis run k / L at offset k % L;
+  // the runs' destination offsets are precomputed once.
+  const uint64_t run_len =
+      static_cast<uint64_t>(tile_domain.Extent(tile_domain.dim() - 1));
+  std::vector<uint64_t> dst_runs;
+  dst_runs.reserve(tile_domain.CellCountOrDie() / run_len);
+  ForEachRun(tile_domain, result_domain, tile_domain,
+             [&](uint64_t, uint64_t dst) { dst_runs.push_back(dst); });
+  auto dst_for = [&](uint64_t k) {
+    return result_data + (dst_runs[k / run_len] + (k % run_len)) * cell_size;
+  };
+
+  const uint64_t cells = tile_domain.CellCountOrDie();
+  const uint64_t declared_bytes = cells * cell_size;
+  uint8_t buf[8];
+  size_t fill = 0;
+  uint64_t cell_index = 0;
+  uint64_t matched = 0;
+  auto emit_cell = [&](const uint8_t* cell) {
+    if (pred.Matches(widen(cell))) {
+      std::memcpy(dst_for(cell_index), cell, cell_size);
+      ++matched;
+    }
+    ++cell_index;
+  };
+  auto push_byte = [&](uint8_t b) {
+    buf[fill % sizeof(buf)] = b;
+    if (++fill == cell_size) {
+      emit_cell(buf);
+      fill = 0;
+    }
+  };
+
+  uint64_t bytes_seen = 0;
+  size_t i = 0;
+  const size_t n = stream.size();
+  while (i < n) {
+    const uint8_t control = stream[i++];
+    if (control == 0x80) {
+      return Status::Corruption("reserved RLE control byte");
+    }
+    if (control < 0x80) {
+      const size_t lit = static_cast<size_t>(control) + 1;
+      if (i + lit > n) return Status::Corruption("truncated RLE literal run");
+      bytes_seen += lit;
+      if (bytes_seen > declared_bytes) {
+        return Status::Corruption("RLE stream longer than declared size");
+      }
+      for (size_t k = 0; k < lit; ++k) push_byte(stream[i + k]);
+      i += lit;
+    } else {
+      if (i >= n) return Status::Corruption("truncated RLE repeat run");
+      size_t run = 257 - static_cast<size_t>(control);
+      const uint8_t b = stream[i++];
+      bytes_seen += run;
+      if (bytes_seen > declared_bytes) {
+        return Status::Corruption("RLE stream longer than declared size");
+      }
+      // Finish the partial cell, test whole repeated cells once, then
+      // start the next partial cell.
+      while (run > 0 && fill != 0) {
+        push_byte(b);
+        --run;
+      }
+      if (run >= cell_size) {
+        uint8_t cell[8];
+        std::memset(cell, b, cell_size);
+        uint64_t whole = run / cell_size;
+        run -= static_cast<size_t>(whole * cell_size);
+        if (pred.Matches(widen(cell))) {
+          matched += whole;
+          while (whole > 0) {
+            const uint64_t in_run =
+                std::min<uint64_t>(whole, run_len - (cell_index % run_len));
+            uint8_t* d = dst_for(cell_index);
+            for (uint64_t c = 0; c < in_run; ++c) {
+              std::memcpy(d + c * cell_size, cell, cell_size);
+            }
+            cell_index += in_run;
+            whole -= in_run;
+          }
+        } else {
+          cell_index += whole;
+        }
+      }
+      while (run > 0) {
+        push_byte(b);
+        --run;
+      }
+    }
+  }
+  if (fill != 0 || bytes_seen != declared_bytes) {
+    return Status::Corruption("RLE stream shorter than declared size");
+  }
+  return matched;
+}
+
+// Per-tile filtered fold: matching cells of `part`, visited in the exact
+// row-major run order of `ReduceRegionRuns`, with the same accumulator
+// types — so when every cell matches (the summaries-off degenerate case of
+// an accept-all tile) the partial is bit-identical to `AggregateRegion`.
+struct FilterPartial {
+  double value = 0;
+  uint64_t matched = 0;
+};
+
+FilterPartial FilterFoldRegion(const Array& tile, const MInterval& part,
+                               const ValuePredicate& pred, AggregateOp op,
+                               WidenFn widen, size_t cell_size) {
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  uint64_t nonzero = 0;
+  uint64_t matched = 0;
+  const uint64_t run = static_cast<uint64_t>(part.Extent(part.dim() - 1));
+  const uint8_t* data = tile.data();
+  ForEachRun(tile.domain(), tile.domain(), part,
+             [&](uint64_t off, uint64_t) {
+               const uint8_t* p = data + off * cell_size;
+               for (uint64_t c = 0; c < run; ++c, p += cell_size) {
+                 const double v = widen(p);
+                 if (!pred.Matches(v)) continue;
+                 ++matched;
+                 switch (op) {
+                   case AggregateOp::kSum:
+                   case AggregateOp::kAvg:
+                     sum += v;
+                     break;
+                   case AggregateOp::kMin:
+                     min = std::min(min, v);
+                     break;
+                   case AggregateOp::kMax:
+                     max = std::max(max, v);
+                     break;
+                   case AggregateOp::kCount:
+                     if (v != 0.0) ++nonzero;
+                     break;
+                 }
+               }
+             });
+  FilterPartial out;
+  out.matched = matched;
+  switch (op) {
+    case AggregateOp::kSum:
+    case AggregateOp::kAvg:
+      out.value = sum;
+      break;
+    case AggregateOp::kMin:
+      out.value = min;
+      break;
+    case AggregateOp::kMax:
+      out.value = max;
+      break;
+    case AggregateOp::kCount:
+      out.value = static_cast<double>(nonzero);
+      break;
+  }
+  return out;
+}
+
 }  // namespace
 
 RangeQueryExecutor::RangeQueryExecutor(MDDStore* store,
@@ -31,6 +279,9 @@ RangeQueryExecutor::RangeQueryExecutor(MDDStore* store,
   queries_ = metrics->counter("query.executed");
   index_probes_ = metrics->counter("index.probes");
   index_nodes_visited_ = metrics->counter("index.nodes_visited");
+  summary_probes_ = metrics->counter("query.summary_probes");
+  summary_skips_ = metrics->counter("query.summary_skips");
+  summary_inspects_ = metrics->counter("query.summary_inspects");
 }
 
 Result<MInterval> RangeQueryExecutor::ResolveRegion(const MDDObject& object,
@@ -70,6 +321,9 @@ Result<MInterval> RangeQueryExecutor::ResolveRegion(const MDDObject& object,
 Result<Array> RangeQueryExecutor::Execute(MDDObject* object,
                                           const MInterval& region,
                                           QueryStats* stats) {
+  if (options_.predicate.has_value()) {
+    return ExecuteFiltered(object, region, stats);
+  }
   Result<MInterval> resolved_or = ResolveRegion(*object, region);
   if (!resolved_or.ok()) return resolved_or.status();
   const MInterval resolved = std::move(resolved_or).MoveValue();
@@ -369,6 +623,9 @@ Result<double> RangeQueryExecutor::ExecuteAggregate(MDDObject* object,
                                                     const MInterval& region,
                                                     AggregateOp op,
                                                     QueryStats* stats) {
+  if (options_.predicate.has_value()) {
+    return ExecuteAggregateFiltered(object, region, op, stats);
+  }
   Result<MInterval> resolved_or = ResolveRegion(*object, region);
   if (!resolved_or.ok()) return resolved_or.status();
   const MInterval resolved = std::move(resolved_or).MoveValue();
@@ -576,6 +833,480 @@ Result<double> RangeQueryExecutor::ExecuteAggregate(MDDObject* object,
       return sum;
     case AggregateOp::kAvg:
       return sum / static_cast<double>(total_cells);
+    case AggregateOp::kMin:
+      return min;
+    case AggregateOp::kMax:
+      return max;
+    case AggregateOp::kCount:
+      return nonzero;
+  }
+  return Status::Internal("unhandled aggregate op");
+}
+
+Result<Array> RangeQueryExecutor::ExecuteFiltered(MDDObject* object,
+                                                  const MInterval& region,
+                                                  QueryStats* stats) {
+  const ValuePredicate pred = *options_.predicate;
+  Status vst = pred.Validate();
+  if (!vst.ok()) return vst;
+  if (!IsNumericCellType(object->cell_type())) {
+    return Status::InvalidArgument(
+        "filtered query needs a numeric cell type; object '" +
+        object->name() + "' is " + std::string(object->cell_type().name()));
+  }
+  Result<MInterval> resolved_or = ResolveRegion(*object, region);
+  if (!resolved_or.ok()) return resolved_or.status();
+  const MInterval resolved = std::move(resolved_or).MoveValue();
+
+  if (options_.log != nullptr) options_.log->Record(resolved);
+  store_->workload()->Record(object->name(), resolved);
+
+  DiskModel* disk = store_->disk_model();
+  if (options_.cold) {
+    store_->buffer_pool()->Clear();
+    disk->Reset();
+  }
+  const double disk_ms_before = disk->read_ms();
+  const uint64_t pages_before = disk->pages_read();
+  const uint64_t seeks_before = disk->read_seeks();
+
+  obs::TraceRing* trace = store_->trace();
+  const uint64_t trace_id = trace->NextTraceId();
+  obs::TraceScope query_span(trace, trace_id, "filter_query");
+  queries_->Add(1);
+
+  QueryStats local;
+  const int parallelism = std::max(options_.parallelism, 1);
+  local.parallelism = static_cast<uint64_t>(parallelism);
+
+  const bool use_cache = options_.use_tile_cache && !options_.cold &&
+                         store_->tile_cache()->enabled() &&
+                         object->cache_id() != 0;
+
+  // Phase 1 (t_ix): index probe + summary classification. Skipped tiles
+  // end here — no fetch, no decode, no model charge beyond this probe.
+  const Clock::time_point ix_start = Clock::now();
+  std::vector<TileEntry> hits;
+  {
+    obs::TraceScope span(trace, trace_id, "index_probe");
+    hits = object->FindTiles(resolved);
+    local.index_nodes_visited = object->index()->last_nodes_visited();
+    index_probes_->Add(1);
+    index_nodes_visited_->Add(local.index_nodes_visited);
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const TileEntry& a, const TileEntry& b) {
+              return a.blob < b.blob;
+            });
+
+  TileSummaryIndex* summaries = store_->tile_summaries();
+  const bool probe = summaries->enabled() && object->cache_id() != 0;
+  // Per fetched tile: 0 = accept-all (plain copy), 1 = inspect with a
+  // summary present, 2 = inspect with none (lazy-backfill candidate).
+  std::vector<TileEntry> fetch;
+  std::vector<uint8_t> mode;
+  fetch.reserve(hits.size());
+  mode.reserve(hits.size());
+  {
+    obs::TraceScope span(trace, trace_id, "summary_probe");
+    for (const TileEntry& entry : hits) {
+      TilePrune prune = TilePrune::kInspect;
+      bool had_summary = false;
+      if (probe) {
+        ++local.summary_probes;
+        std::optional<TileSummary> summary =
+            summaries->Lookup(object->cache_id(), entry.blob);
+        if (summary.has_value()) {
+          had_summary = true;
+          prune = ClassifyTile(*summary, pred);
+        }
+      }
+      if (prune == TilePrune::kSkip) {
+        ++local.summary_skips;
+        continue;
+      }
+      if (prune == TilePrune::kInspect) ++local.summary_inspects;
+      fetch.push_back(entry);
+      mode.push_back(prune == TilePrune::kAcceptAll ? 0
+                                                    : (had_summary ? 1 : 2));
+    }
+  }
+  summary_probes_->Add(local.summary_probes);
+  summary_skips_->Add(local.summary_skips);
+  summary_inspects_->Add(local.summary_inspects);
+  local.t_ix_measured_ms = ElapsedMs(ix_start);
+  local.t_ix_model_ms = static_cast<double>(local.index_nodes_visited) *
+                        options_.cost.index_node_ms;
+
+  // The result starts as the default value everywhere; accept-all parts
+  // are overwritten wholesale, inspect parts cell by matching cell, and
+  // skipped tiles touch nothing. A cell's final bytes therefore depend
+  // only on (stored value, predicate) — never on the classification — so
+  // results are byte-identical with summaries on, off, or discarded.
+  const Clock::time_point prep_start = Clock::now();
+  Result<Array> result_or = Array::Create(resolved, object->cell_type());
+  if (!result_or.ok()) return result_or.status();
+  Array result = std::move(result_or).MoveValue();
+  Status st = result.Fill(resolved, object->default_cell().data());
+  if (!st.ok()) return st;
+  const double prep_ms = ElapsedMs(prep_start);
+
+  const CellTypeId type_id = object->cell_type().id();
+  const FilterRunFn filter_run = FilterRunFor(type_id);
+  const size_t cell_size = object->cell_size();
+  std::atomic<uint64_t> useful_bytes{0};
+
+  TileIOOptions io_options;
+  io_options.parallelism = parallelism;
+  io_options.pool = parallelism > 1 ? store_->thread_pool() : nullptr;
+  io_options.trace = trace;
+  io_options.trace_id = trace_id;
+  if (use_cache) {
+    io_options.cache = store_->tile_cache();
+    io_options.cache_object_id = object->cache_id();
+  }
+  // Inspect tiles stored RLE and wholly inside the region filter straight
+  // off the compressed stream (runs tested before materializing).
+  io_options.encoded_filter = [&](size_t i) {
+    return mode[i] != 0 && fetch[i].compression == Compression::kRle &&
+           resolved.Contains(fetch[i].domain);
+  };
+  io_options.consume_encoded =
+      [&](size_t i, const std::vector<uint8_t>& stream) -> Status {
+    Result<uint64_t> matched =
+        FilterRleStreamInto(stream, fetch[i].domain, type_id, cell_size,
+                            pred, resolved, result.mutable_data());
+    if (!matched.ok()) return matched.status();
+    useful_bytes.fetch_add(*matched * cell_size, std::memory_order_relaxed);
+    return Status::OK();
+  };
+
+  TileIOStats io;
+  {
+    obs::TraceScope fetch_span(trace, trace_id, "fetch");
+    st = store_->io_scheduler()->FetchBatchShared(
+        fetch, object->cell_type(), io_options,
+        [&](size_t i, const Tile& tile) -> Status {
+          const std::optional<MInterval> part =
+              tile.domain().Intersection(resolved);
+          if (!part.has_value()) return Status::OK();
+          if (mode[i] == 0) {
+            Status copy = result.CopyFrom(tile, *part);
+            if (!copy.ok()) return copy;
+            useful_bytes.fetch_add(part->CellCountOrDie() * cell_size,
+                                   std::memory_order_relaxed);
+            return Status::OK();
+          }
+          if (mode[i] == 2 && probe) {
+            // Lazy backfill: the tile is decoded anyway, so summarizing it
+            // now lets the next filtered query classify it outright.
+            std::optional<TileSummary> summary = BuildTileSummary(
+                object->cell_type(), tile.data(),
+                tile.domain().CellCountOrDie(),
+                object->default_cell().data());
+            if (summary.has_value()) {
+              summaries->Put(object->cache_id(), fetch[i].blob, *summary);
+            }
+          }
+          const uint64_t run =
+              static_cast<uint64_t>(part->Extent(part->dim() - 1));
+          ForEachRun(tile.domain(), resolved, *part,
+                     [&](uint64_t src_off, uint64_t dst_off) {
+                       filter_run(tile.data() + src_off * cell_size,
+                                  result.mutable_data() + dst_off * cell_size,
+                                  run, pred);
+                     });
+          useful_bytes.fetch_add(part->CellCountOrDie() * cell_size,
+                                 std::memory_order_relaxed);
+          return Status::OK();
+        },
+        &io);
+  }
+  if (!st.ok()) return st;
+
+  local.t_o_measured_ms = io.io_summed_ms;
+  local.t_o_wall_ms = io.wall_ms;
+  local.t_cpu_measured_ms = prep_ms + io.decode_summed_ms;
+  local.t_o_model_ms = disk->read_ms() - disk_ms_before;
+  local.pages_read = disk->pages_read() - pages_before;
+  local.seeks = disk->read_seeks() - seeks_before;
+  local.io_runs = io.coalesced_runs;
+  local.tilecache_hits = io.cache_hits;
+  local.tiles_accessed = io.tiles;
+  local.tile_bytes_read = io.tile_bytes;
+  local.useful_bytes = useful_bytes.load(std::memory_order_relaxed);
+  local.result_cells = resolved.CellCountOrDie();
+  local.result_bytes = local.result_cells * cell_size;
+  // Only fetched tiles charge t_cpu; skipped tiles cost nothing — the
+  // model-side face of predicate pushdown.
+  local.t_cpu_model_ms =
+      static_cast<double>(local.tile_bytes_read) /
+          (options_.cost.cpu_process_mib_per_s * 1024.0 * 1024.0) * 1000.0 +
+      static_cast<double>(local.tiles_accessed) *
+          options_.cost.per_tile_cpu_ms;
+
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+Result<double> RangeQueryExecutor::ExecuteAggregateFiltered(
+    MDDObject* object, const MInterval& region, AggregateOp op,
+    QueryStats* stats) {
+  const ValuePredicate pred = *options_.predicate;
+  Status vst = pred.Validate();
+  if (!vst.ok()) return vst;
+  if (!IsNumericCellType(object->cell_type())) {
+    return Status::InvalidArgument(
+        "filtered aggregate needs a numeric cell type; object '" +
+        object->name() + "' is " + std::string(object->cell_type().name()));
+  }
+  Result<MInterval> resolved_or = ResolveRegion(*object, region);
+  if (!resolved_or.ok()) return resolved_or.status();
+  const MInterval resolved = std::move(resolved_or).MoveValue();
+
+  if (options_.log != nullptr) options_.log->Record(resolved);
+  store_->workload()->Record(object->name(), resolved);
+
+  DiskModel* disk = store_->disk_model();
+  if (options_.cold) {
+    store_->buffer_pool()->Clear();
+    disk->Reset();
+  }
+  const double disk_ms_before = disk->read_ms();
+  const uint64_t pages_before = disk->pages_read();
+  const uint64_t seeks_before = disk->read_seeks();
+
+  obs::TraceRing* trace = store_->trace();
+  const uint64_t trace_id = trace->NextTraceId();
+  obs::TraceScope query_span(trace, trace_id, "filter_aggregate");
+  queries_->Add(1);
+
+  QueryStats local;
+  const int parallelism = std::max(options_.parallelism, 1);
+  local.parallelism = static_cast<uint64_t>(parallelism);
+
+  const bool use_cache = options_.use_tile_cache && !options_.cold &&
+                         store_->tile_cache()->enabled() &&
+                         object->cache_id() != 0;
+
+  const Clock::time_point ix_start = Clock::now();
+  std::vector<TileEntry> hits;
+  {
+    obs::TraceScope span(trace, trace_id, "index_probe");
+    hits = object->FindTiles(resolved);
+    local.index_nodes_visited = object->index()->last_nodes_visited();
+    index_probes_->Add(1);
+    index_nodes_visited_->Add(local.index_nodes_visited);
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const TileEntry& a, const TileEntry& b) {
+              return a.blob < b.blob;
+            });
+
+  // Every hit covers its cells whether fetched or skipped; the uncovered
+  // remainder folds the default value below (iff the default matches).
+  uint64_t covered_cells = 0;
+  for (const TileEntry& entry : hits) {
+    const std::optional<MInterval> part = entry.domain.Intersection(resolved);
+    if (part.has_value()) covered_cells += part->CellCountOrDie();
+  }
+
+  TileSummaryIndex* summaries = store_->tile_summaries();
+  const bool probe = summaries->enabled() && object->cache_id() != 0;
+  std::vector<TileEntry> fetch;
+  std::vector<uint8_t> mode;  // 0 accept-all, 1 inspect, 2 inspect+backfill
+  fetch.reserve(hits.size());
+  mode.reserve(hits.size());
+  {
+    obs::TraceScope span(trace, trace_id, "summary_probe");
+    for (const TileEntry& entry : hits) {
+      TilePrune prune = TilePrune::kInspect;
+      bool had_summary = false;
+      if (probe) {
+        ++local.summary_probes;
+        std::optional<TileSummary> summary =
+            summaries->Lookup(object->cache_id(), entry.blob);
+        if (summary.has_value()) {
+          had_summary = true;
+          prune = ClassifyTile(*summary, pred);
+        }
+      }
+      if (prune == TilePrune::kSkip) {
+        ++local.summary_skips;
+        continue;
+      }
+      if (prune == TilePrune::kInspect) ++local.summary_inspects;
+      fetch.push_back(entry);
+      mode.push_back(prune == TilePrune::kAcceptAll ? 0
+                                                    : (had_summary ? 1 : 2));
+    }
+  }
+  summary_probes_->Add(local.summary_probes);
+  summary_skips_->Add(local.summary_skips);
+  summary_inspects_->Add(local.summary_inspects);
+  local.t_ix_measured_ms = ElapsedMs(ix_start);
+  local.t_ix_model_ms = static_cast<double>(local.index_nodes_visited) *
+                        options_.cost.index_node_ms;
+
+  const AggregateOp tile_op =
+      op == AggregateOp::kAvg ? AggregateOp::kSum : op;
+  const bool run_kernel =
+      options_.aggregate_kernel == RangeQueryOptions::AggregateKernel::kRun;
+  const WidenFn widen = WidenFor(object->cell_type().id());
+  const size_t cell_size = object->cell_size();
+  std::vector<FilterPartial> partials(fetch.size());
+
+  TileIOOptions io_options;
+  io_options.parallelism = parallelism;
+  io_options.pool = parallelism > 1 ? store_->thread_pool() : nullptr;
+  io_options.trace = trace;
+  io_options.trace_id = trace_id;
+  if (use_cache) {
+    io_options.cache = store_->tile_cache();
+    io_options.cache_object_id = object->cache_id();
+  }
+  if (run_kernel) {
+    // Accept-all RLE tiles wholly inside the region fold straight over the
+    // compressed stream with the *unfiltered* kernel — every cell matches,
+    // so the existing bit-identical fast path applies untouched.
+    io_options.encoded_filter = [&](size_t i) {
+      return mode[i] == 0 && fetch[i].compression == Compression::kRle &&
+             resolved.Contains(fetch[i].domain);
+    };
+    io_options.consume_encoded =
+        [&](size_t i, const std::vector<uint8_t>& stream) -> Status {
+      const uint64_t cells = fetch[i].domain.CellCountOrDie();
+      Result<double> value =
+          AggregateRleStream(stream, object->cell_type(), cells, tile_op);
+      if (!value.ok()) return value.status();
+      partials[i] = FilterPartial{*value, cells};
+      return Status::OK();
+    };
+  }
+  TileIOStats io;
+  Status st = Status::OK();
+  {
+    obs::TraceScope fetch_span(trace, trace_id, "fetch");
+    st = store_->io_scheduler()->FetchBatchShared(
+        fetch, object->cell_type(), io_options,
+        [&](size_t i, const Tile& tile) -> Status {
+          const std::optional<MInterval> part =
+              tile.domain().Intersection(resolved);
+          if (!part.has_value()) return Status::OK();
+          if (mode[i] == 0) {
+            Result<double> value = [&]() -> Result<double> {
+              if (run_kernel) return AggregateRegion(tile, *part, tile_op);
+              Result<Array> slice = tile.Slice(*part);
+              if (!slice.ok()) return slice.status();
+              return AggregateCells(*slice, tile_op);
+            }();
+            if (!value.ok()) return value.status();
+            partials[i] = FilterPartial{*value, part->CellCountOrDie()};
+            return Status::OK();
+          }
+          if (mode[i] == 2 && probe) {
+            std::optional<TileSummary> summary = BuildTileSummary(
+                object->cell_type(), tile.data(),
+                tile.domain().CellCountOrDie(),
+                object->default_cell().data());
+            if (summary.has_value()) {
+              summaries->Put(object->cache_id(), fetch[i].blob, *summary);
+            }
+          }
+          partials[i] =
+              FilterFoldRegion(tile, *part, pred, tile_op, widen, cell_size);
+          return Status::OK();
+        },
+        &io);
+  }
+  if (!st.ok()) return st;
+
+  local.t_o_measured_ms = io.io_summed_ms;
+  local.t_o_wall_ms = io.wall_ms;
+  local.t_o_model_ms = disk->read_ms() - disk_ms_before;
+  local.pages_read = disk->pages_read() - pages_before;
+  local.seeks = disk->read_seeks() - seeks_before;
+  local.io_runs = io.coalesced_runs;
+  local.tilecache_hits = io.cache_hits;
+  local.tiles_accessed = io.tiles;
+  local.tile_bytes_read = io.tile_bytes;
+
+  // Fold the partials serially in ascending BLOB-id order, then the
+  // uncovered default cells — deterministic at every parallelism.
+  const Clock::time_point fold_start = Clock::now();
+  obs::TraceScope compose_span(trace, trace_id, "compose");
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double nonzero = 0;
+  uint64_t matched_total = 0;
+  for (const FilterPartial& partial : partials) {
+    matched_total += partial.matched;
+    local.useful_bytes += partial.matched * cell_size;
+    if (partial.matched == 0) continue;
+    switch (op) {
+      case AggregateOp::kSum:
+      case AggregateOp::kAvg:
+        sum += partial.value;
+        break;
+      case AggregateOp::kMin:
+        min = std::min(min, partial.value);
+        break;
+      case AggregateOp::kMax:
+        max = std::max(max, partial.value);
+        break;
+      case AggregateOp::kCount:
+        nonzero += partial.value;
+        break;
+    }
+  }
+
+  const uint64_t total_cells = resolved.CellCountOrDie();
+  const uint64_t uncovered = total_cells - covered_cells;
+  if (uncovered > 0) {
+    Result<double> default_value = CellValueAsDouble(
+        object->cell_type(), object->default_cell().data());
+    if (!default_value.ok()) return default_value.status();
+    if (pred.Matches(*default_value)) {
+      matched_total += uncovered;
+      switch (op) {
+        case AggregateOp::kSum:
+        case AggregateOp::kAvg:
+          sum += *default_value * static_cast<double>(uncovered);
+          break;
+        case AggregateOp::kMin:
+          min = std::min(min, *default_value);
+          break;
+        case AggregateOp::kMax:
+          max = std::max(max, *default_value);
+          break;
+        case AggregateOp::kCount:
+          if (*default_value != 0.0) {
+            nonzero += static_cast<double>(uncovered);
+          }
+          break;
+      }
+    }
+  }
+  local.t_cpu_measured_ms = io.decode_summed_ms + ElapsedMs(fold_start);
+
+  local.result_cells = total_cells;
+  local.result_bytes = sizeof(double);
+  local.t_cpu_model_ms =
+      static_cast<double>(local.tile_bytes_read) /
+          (options_.cost.cpu_process_mib_per_s * 1024.0 * 1024.0) * 1000.0 +
+      static_cast<double>(local.tiles_accessed) *
+          options_.cost.per_tile_cpu_ms;
+  if (stats != nullptr) *stats = local;
+
+  // No matching cell: 0 by definition for every op (documented — a
+  // filtered aggregate over the empty set has no natural min/max/avg).
+  if (matched_total == 0) return 0.0;
+  switch (op) {
+    case AggregateOp::kSum:
+      return sum;
+    case AggregateOp::kAvg:
+      return sum / static_cast<double>(matched_total);
     case AggregateOp::kMin:
       return min;
     case AggregateOp::kMax:

@@ -1,14 +1,18 @@
 #ifndef TILESTORE_QUERY_RANGE_QUERY_H_
 #define TILESTORE_QUERY_RANGE_QUERY_H_
 
+#include <optional>
+
 #include "common/result.h"
 #include "core/aggregate.h"
 #include "core/array.h"
 #include "core/minterval.h"
+#include "core/predicate.h"
 #include "mdd/mdd_object.h"
 #include "mdd/mdd_store.h"
 #include "query/access_log.h"
 #include "query/query_stats.h"
+#include "storage/tile_summary.h"
 
 namespace tilestore {
 
@@ -44,6 +48,16 @@ struct RangeQueryOptions {
   /// reduce path, kept for differential testing. Bit-identical results.
   enum class AggregateKernel { kRun, kSlice };
   AggregateKernel aggregate_kernel = AggregateKernel::kRun;
+  /// Value predicate (DESIGN.md §15). When set, `Execute` returns the
+  /// resolved region with non-matching cells replaced by the object's
+  /// default value, and `ExecuteAggregate` folds matching cells only. The
+  /// planner consults the store's per-tile summaries to classify each
+  /// candidate tile as skip (no fetch, no decode), accept-all (plain
+  /// copy/fold), or inspect (fetch + filtered decode); results are
+  /// byte-identical whether summaries are present, absent, or stale —
+  /// summaries only change *which* tiles are touched, never the bytes.
+  /// Numeric cell types only.
+  std::optional<ValuePredicate> predicate;
 };
 
 /// \brief Executes range queries (access types (a)-(c) of Section 5.1)
@@ -95,12 +109,24 @@ class RangeQueryExecutor {
   RangeQueryOptions* mutable_options() { return &options_; }
 
  private:
+  /// Filtered variants taken when `options_.predicate` is set: classify
+  /// every index hit against its tile summary, fetch only accept/inspect
+  /// tiles, and compose/fold with the predicate applied.
+  Result<Array> ExecuteFiltered(MDDObject* object, const MInterval& region,
+                                QueryStats* stats);
+  Result<double> ExecuteAggregateFiltered(MDDObject* object,
+                                          const MInterval& region,
+                                          AggregateOp op, QueryStats* stats);
+
   MDDStore* store_;
   RangeQueryOptions options_;
   // Store-registry counters, resolved once at construction.
   obs::Counter* queries_;
   obs::Counter* index_probes_;
   obs::Counter* index_nodes_visited_;
+  obs::Counter* summary_probes_;
+  obs::Counter* summary_skips_;
+  obs::Counter* summary_inspects_;
 };
 
 /// Convenience wrapper: executes one warm query with default options.

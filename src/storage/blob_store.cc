@@ -270,16 +270,33 @@ Status BlobStore::GetBatch(std::span<const BlobId> ids,
     }
   }
 
-  // Phase A: every header page, one batch. Charges are deferred so they
-  // can be replayed interleaved with each BLOB's continuation charges.
+  // Phase A: every header page, one batch. Header pages of *different*
+  // BLOBs that sit on consecutive pages — the normal layout for
+  // SFC-placed single-page tiles — are merged into one physical run;
+  // their destination slots are already adjacent because unique ids fill
+  // `headers` in first-appearance order. Charges are deferred so they can
+  // be replayed interleaved with each BLOB's continuation charges.
   std::vector<uint8_t> headers(unique * page_size);
   std::vector<PageRunRequest> header_runs;
+  std::vector<size_t> header_run_of(unique, 0);  // unique index -> run
   header_runs.reserve(unique);
   for (size_t i = 0; i < n; ++i) {
     if (dup[i] != 0) continue;
-    header_runs.push_back(PageRunRequest{
-        ids[i], 1, headers.data() + batch_index[i] * page_size});
+    uint8_t* dst = headers.data() + batch_index[i] * page_size;
+    if (!header_runs.empty()) {
+      PageRunRequest& prev = header_runs.back();
+      if (prev.first + prev.count == ids[i] &&
+          prev.out + prev.count * page_size == dst) {
+        header_run_of[batch_index[i]] = header_runs.size() - 1;
+        ++prev.count;
+        continue;
+      }
+    }
+    header_run_of[batch_index[i]] = header_runs.size();
+    header_runs.push_back(PageRunRequest{ids[i], 1, dst});
   }
+  const uint64_t merged_headers =
+      unique - static_cast<uint64_t>(header_runs.size());
   std::vector<DeferredPageCharge> header_charges;
   Status st = pool_->ReadRunBatch(header_runs, &runs, &header_charges);
   if (!st.ok()) return st;
@@ -347,8 +364,12 @@ Status BlobStore::GetBatch(std::span<const BlobId> ids,
       continue;
     }
     const Plan& plan = plans[i];
+    // A merged header run carries the charges of every BLOB it covers;
+    // they replay once, at the first covered BLOB (the cursor only moves
+    // forward, so later members of the group find it already past).
     while (header_cursor < header_charges.size() &&
-           header_charges[header_cursor].request == batch_index[i]) {
+           header_charges[header_cursor].request ==
+               header_run_of[batch_index[i]]) {
       file->ChargeReadRun(header_charges[header_cursor].first,
                           header_charges[header_cursor].count);
       ++header_cursor;
@@ -415,6 +436,7 @@ Status BlobStore::GetBatch(std::span<const BlobId> ids,
     stats->pages += pages_touched;
     stats->fell_back = stats->fell_back || fell_back;
     stats->fallback_chains += fallback_chain_count;
+    stats->cross_object_coalesced += merged_headers;
   }
   return Status::OK();
 }

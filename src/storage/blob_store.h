@@ -29,6 +29,11 @@ struct BlobReadStats {
   /// Number of BLOBs that fell back (equals `fell_back ? 1 : 0` for the
   /// single-BLOB calls; `GetBatch` counts each fragmented chain).
   uint64_t fallback_chains = 0;
+  /// Header-page reads `GetBatch` merged into a neighbouring BLOB's run
+  /// because the two chains sit on consecutive pages — the payoff of
+  /// SFC-ordered placement: adjacent tiles of *different* waves (or
+  /// objects) become one physical read. Always 0 for single-BLOB calls.
+  uint64_t cross_object_coalesced = 0;
 };
 
 /// \brief Variable-length BLOBs on top of the page file — the storage

@@ -13,6 +13,7 @@
 #include "storage/blob_store.h"
 #include "storage/env.h"
 #include "storage/page_file.h"
+#include "storage/tile_summary.h"
 #include "storage/wal.h"
 
 namespace tilestore {
@@ -272,9 +273,10 @@ Status SkipInterval(ByteReader* r) {
 // blob, every object's index image, every tile blob. Fills the mapping
 // counters and reports dangling/double-mapped pages as errors, leaked
 // pages as a warning.
-void CheckTileMapping(const File& file, const SuperblockImage& sb,
-                      const std::unordered_set<uint64_t>& free_set,
-                      FsckReport* report) {
+void CheckTileMapping(
+    const File& file, const SuperblockImage& sb,
+    const std::unordered_set<uint64_t>& free_set, FsckReport* report,
+    std::map<std::string, std::unordered_set<uint64_t>>* live_tile_blobs) {
   std::unordered_map<uint64_t, std::string> owner;
   const uint64_t root = sb.meta.user_root;
   if (root != kInvalidBlobId) {
@@ -336,6 +338,7 @@ void CheckTileMapping(const File& file, const SuperblockImage& sb,
         if (WalkBlob(file, sb, entry.blob, "tile blob of '" + name + "'",
                      free_set, &owner, report, nullptr, &pages)) {
           ++report->tile_blobs;
+          (*live_tile_blobs)[name].insert(entry.blob);
           chains.push_back(std::move(pages));
         }
       }
@@ -360,6 +363,65 @@ void CheckTileMapping(const File& file, const SuperblockImage& sb,
         "before the catalog write; harmless, but the space is dead until "
         "the file is rebuilt)");
   }
+}
+
+// Validates the `<db>.summ` summary sidecar (DESIGN.md §15): its own CRC
+// and structure, its epoch against the superblock, and — when the tile
+// mapping walk produced the live blob sets — that every entry names a
+// live tile blob of its object. All advisory: Open discards a bad or
+// stale sidecar and the summaries rebuild lazily, so nothing here can
+// make the store CORRUPT.
+void CheckSummarySidecar(
+    const std::string& db_path, const SuperblockImage& sb,
+    bool mapping_walked,
+    const std::map<std::string, std::unordered_set<uint64_t>>& live_tile_blobs,
+    FsckReport* report) {
+  Result<LoadedSummarySidecar> side =
+      LoadTileSummarySidecar(db_path + ".summ");
+  if (!side.ok()) {
+    if (side.status().IsNotFound()) return;  // no sidecar: nothing to check
+    report->warnings.push_back("summary sidecar invalid (" +
+                               side.status().message() +
+                               "); it will be discarded at open");
+    return;
+  }
+  report->summ_present = true;
+  for (const ObjectSummaries& obj : side->objects) {
+    report->summ_entries += obj.entries.size();
+  }
+  if (side->epoch != sb.epoch) {
+    report->summ_stale = true;
+    report->warnings.push_back(
+        "summary sidecar epoch " + std::to_string(side->epoch) +
+        " does not match superblock epoch " + std::to_string(sb.epoch) +
+        "; it is stale and will be discarded at open");
+    // Cross-checking a stale sidecar's blob ids against the current
+    // mapping would only generate noise — the whole file is dead.
+    return;
+  }
+  if (!mapping_walked) return;
+  uint64_t covered = 0;
+  for (const ObjectSummaries& obj : side->objects) {
+    auto live = live_tile_blobs.find(obj.name);
+    for (const auto& [blob, summary] : obj.entries) {
+      if (live == live_tile_blobs.end() || live->second.count(blob) == 0) {
+        ++report->summ_orphans;
+      } else {
+        ++covered;
+      }
+    }
+  }
+  if (report->summ_orphans > 0) {
+    report->warnings.push_back(
+        std::to_string(report->summ_orphans) +
+        " summary entries reference no live tile blob (left behind by a "
+        "mutation; dropped at open)");
+  }
+  for (const auto& [name, blobs] : live_tile_blobs) {
+    (void)name;
+    report->summ_uncovered += blobs.size();
+  }
+  report->summ_uncovered -= covered;
 }
 
 }  // namespace
@@ -457,6 +519,8 @@ Result<FsckReport> FsckStore(const std::string& db_path) {
   // rewritten pages and free links that recovery's metadata snapshot will
   // re-legitimize. Anything checked here would be checked against the
   // wrong epoch.
+  std::map<std::string, std::unordered_set<uint64_t>> live_tile_blobs;
+  bool mapping_walked = false;
   if (report.needs_recovery) {
     report.warnings.push_back(
         "store needs WAL recovery; free list, page checksums and tile "
@@ -468,9 +532,13 @@ Result<FsckReport> FsckStore(const std::string& db_path) {
     // The mapping walk trusts the free set; a broken free list already
     // failed the check, and walking on top of it would double-report.
     if (report.errors.empty()) {
-      CheckTileMapping(*file.value(), *sb, free_set, &report);
+      CheckTileMapping(*file.value(), *sb, free_set, &report,
+                       &live_tile_blobs);
+      mapping_walked = true;
     }
   }
+  CheckSummarySidecar(db_path, *sb, mapping_walked, live_tile_blobs,
+                      &report);
   return report;
 }
 
@@ -494,7 +562,14 @@ std::string FormatFsckReport(const FsckReport& report) {
       << "leaked_pages:       " << report.leaked_pages << "\n"
       << "tile_blobs:         " << report.tile_blobs << "\n"
       << "tile_extents:       " << report.tile_extents << "\n"
-      << "fragmented_chains:  " << report.fragmented_chains << "\n";
+      << "fragmented_chains:  " << report.fragmented_chains << "\n"
+      << "summ_sidecar:       "
+      << (report.summ_present ? (report.summ_stale ? "stale" : "ok")
+                              : "absent")
+      << "\n"
+      << "summ_entries:       " << report.summ_entries << "\n"
+      << "summ_orphans:       " << report.summ_orphans << "\n"
+      << "summ_uncovered:     " << report.summ_uncovered << "\n";
   for (const std::string& w : report.warnings) out << "warning: " << w << "\n";
   for (const std::string& e : report.errors) out << "ERROR: " << e << "\n";
   out << (report.clean() ? "status: CLEAN" : "status: CORRUPT") << "\n";

@@ -55,6 +55,20 @@ struct FsckReport {
   uint64_t tile_extents = 0;
   uint64_t fragmented_chains = 0;
 
+  /// `<db>.summ` summary-sidecar check (DESIGN.md §15) — advisory only:
+  /// summaries are rebuildable, so every problem here is a warning, never
+  /// an error. `summ_stale` means the sidecar's epoch does not match the
+  /// superblock (Open discards it wholesale); `summ_orphans` counts
+  /// entries whose blob is not a live tile blob of the named object
+  /// (Open's live-blob filter drops them); `summ_uncovered` counts live
+  /// tile blobs with no persisted summary (they rebuild lazily on the
+  /// next filtered query).
+  bool summ_present = false;
+  bool summ_stale = false;
+  uint64_t summ_entries = 0;
+  uint64_t summ_orphans = 0;
+  uint64_t summ_uncovered = 0;
+
   bool clean() const { return errors.empty(); }
 };
 
@@ -65,7 +79,9 @@ struct FsckReport {
 ///   - the WAL record chain,
 ///   - per-page CRC32C against the persisted checksum table — only when
 ///     the store needs no recovery, since replay legitimately changes
-///     pages.
+///     pages,
+///   - the `<db_path>.summ` summary sidecar (CRC, epoch, one entry per
+///     live tile blob) — warnings only, since summaries are rebuildable.
 /// Fails (the Result) only when the file cannot be read at all; integrity
 /// problems are reported inside the FsckReport.
 Result<FsckReport> FsckStore(const std::string& db_path);

@@ -32,6 +32,8 @@ void TileIOScheduler::set_metrics(obs::MetricsRegistry* registry) {
   metrics_.tiles = registry->counter("scheduler.tiles");
   metrics_.coalesced_runs = registry->counter("scheduler.coalesced_runs");
   metrics_.chain_fallbacks = registry->counter("scheduler.chain_fallbacks");
+  metrics_.cross_object_coalesced =
+      registry->counter("io.cross_object_coalesced");
   metrics_.queue_depth = registry->gauge("scheduler.queue_depth");
   metrics_.batch_tiles = registry->size_histogram("scheduler.batch_tiles");
   metrics_.fetch_ms = registry->latency_histogram("scheduler.fetch_ms");
@@ -42,6 +44,7 @@ void TileIOStats::Add(const TileIOStats& other) {
   tile_bytes += other.tile_bytes;
   coalesced_runs += other.coalesced_runs;
   chain_fallbacks += other.chain_fallbacks;
+  cross_object_coalesced += other.cross_object_coalesced;
   cache_hits += other.cache_hits;
   io_summed_ms += other.io_summed_ms;
   decode_summed_ms += other.decode_summed_ms;
@@ -240,11 +243,13 @@ Status TileIOScheduler::FetchBatch(
 
   merged.coalesced_runs += batch_stats.physical_runs;
   merged.chain_fallbacks += batch_stats.fallback_chains;
+  merged.cross_object_coalesced += batch_stats.cross_object_coalesced;
   merged.io_summed_ms += batch_io_ms;
   if (metrics_.tiles != nullptr) {
     metrics_.tiles->Add(merged.tiles);
     metrics_.coalesced_runs->Add(merged.coalesced_runs);
     metrics_.chain_fallbacks->Add(merged.chain_fallbacks);
+    metrics_.cross_object_coalesced->Add(merged.cross_object_coalesced);
   }
   settle_queue();
   if (!first_error.ok()) return first_error;
@@ -397,6 +402,7 @@ Status TileIOScheduler::FetchBatchShared(
       metrics_.tiles->Add(merged.tiles);
       metrics_.coalesced_runs->Add(merged.coalesced_runs);
       metrics_.chain_fallbacks->Add(merged.chain_fallbacks);
+      metrics_.cross_object_coalesced->Add(merged.cross_object_coalesced);
     }
   };
 
@@ -443,6 +449,7 @@ Status TileIOScheduler::FetchBatchShared(
   }
   merged.coalesced_runs += batch_stats.physical_runs;
   merged.chain_fallbacks += batch_stats.fallback_chains;
+  merged.cross_object_coalesced += batch_stats.cross_object_coalesced;
   if (!batch_status.ok()) {
     publish_metrics();
     settle_queue();

@@ -68,6 +68,9 @@ struct TileIOStats {
   /// BLOB chains that were not consecutive on disk and fell back to
   /// pointer walking.
   uint64_t chain_fallbacks = 0;
+  /// Header reads merged into a neighbouring BLOB's physical run inside
+  /// one `GetBatch` wave (see `BlobReadStats::cross_object_coalesced`).
+  uint64_t cross_object_coalesced = 0;
   /// Tiles served from the decoded-tile cache (no BLOB read, no decode).
   /// Hits are still counted in `tiles`/`tile_bytes` — a query's traffic
   /// totals must not depend on cache state — but contribute nothing to the
@@ -170,6 +173,7 @@ class TileIOScheduler {
     obs::Counter* tiles = nullptr;
     obs::Counter* coalesced_runs = nullptr;
     obs::Counter* chain_fallbacks = nullptr;
+    obs::Counter* cross_object_coalesced = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Histogram* batch_tiles = nullptr;
     obs::Histogram* fetch_ms = nullptr;

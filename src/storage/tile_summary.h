@@ -1,0 +1,146 @@
+#ifndef TILESTORE_STORAGE_TILE_SUMMARY_H_
+#define TILESTORE_STORAGE_TILE_SUMMARY_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/cell_type.h"
+#include "core/predicate.h"
+#include "storage/blob_store.h"
+
+namespace tilestore {
+
+/// Buckets of the optional equi-width histogram. Small on purpose: a
+/// summary is ~100 bytes per tile, so a million-tile store carries ~100MB
+/// of summaries at most — and typical stores far less.
+inline constexpr size_t kTileSummaryBuckets = 16;
+
+/// \brief Per-tile value statistics used for predicate pushdown
+/// (DESIGN.md §15): min/max over all cells (widened to double, like the
+/// aggregation kernels), the cell count, the number of cells equal to the
+/// object's default value, and an equi-width histogram over [min, max].
+///
+/// A summary describes the *whole* tile. Query regions may intersect only
+/// part of a tile, which keeps both pruning directions conservative-safe:
+/// "no cell of the tile can match" implies no cell of any sub-region can,
+/// and "every cell matches" covers every sub-region too.
+///
+/// Tiles containing NaN cells get no summary (NaN never matches a
+/// comparison but would make an accept-all classification wrong), and
+/// neither do non-numeric cell types — such tiles are always inspected.
+struct TileSummary {
+  double min = 0;
+  double max = 0;
+  uint64_t count = 0;       // cells in the tile
+  uint64_t null_count = 0;  // cells equal to the object's default cell
+  bool has_histogram = false;
+  /// Bucket i covers [min + i*w, min + (i+1)*w) with w = (max-min)/B
+  /// (the last bucket is closed at max). All cells land in some bucket.
+  std::array<uint32_t, kTileSummaryBuckets> histogram{};
+
+  /// Bucket index of `v` (clamped); only meaningful with has_histogram.
+  /// Monotonic in v, so the buckets intersecting [a,b] are exactly
+  /// [BucketOf(a), BucketOf(b)] — the refinement is exact-safe.
+  size_t BucketOf(double v) const;
+};
+
+/// How the planner treats one candidate tile under a predicate.
+enum class TilePrune {
+  kSkip,       // no cell can match: no fetch, no decode
+  kAcceptAll,  // every cell matches: existing unfiltered fast path
+  kInspect,    // undecided: fetch + filtered decode
+};
+
+/// Classifies a tile against `pred` using its summary alone. Pure
+/// min/max/histogram reasoning; conservative in both directions (kSkip
+/// and kAcceptAll are only returned when provable).
+TilePrune ClassifyTile(const TileSummary& summary, const ValuePredicate& pred);
+
+/// Builds the summary of one tile from its decoded cells. Returns nullopt
+/// for non-numeric cell types (rgb8/opaque) and for tiles containing NaN.
+/// `default_cell` (the object's fill value, `cell_type.size()` bytes) is
+/// what null_count counts; pass nullptr to count nothing as null.
+std::optional<TileSummary> BuildTileSummary(CellType cell_type,
+                                            const uint8_t* cells,
+                                            uint64_t cell_count,
+                                            const uint8_t* default_cell);
+
+/// \brief In-memory summary index, keyed (cache epoch, blob id) exactly
+/// like the TileCache — so the store-level re-epoch protocol (mutation,
+/// txn rollback, drop/recreate, WAL replay) orphans stale summaries
+/// automatically; see DESIGN.md §15. Thread-safe. Summaries are
+/// rebuildable from tile data, so losing one merely costs an inspect.
+class TileSummaryIndex {
+ public:
+  explicit TileSummaryIndex(bool enabled) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  std::optional<TileSummary> Lookup(uint64_t object_id, BlobId blob) const;
+  void Put(uint64_t object_id, BlobId blob, const TileSummary& summary);
+  void Erase(uint64_t object_id, BlobId blob);
+  /// Re-keys one entry (tile relocation: same bytes, new blob).
+  void Move(uint64_t object_id, BlobId from, BlobId to);
+  /// Drops every summary of one cache epoch (mutation-failure unwind,
+  /// DropMDD, txn rollback).
+  void InvalidateObject(uint64_t object_id);
+  void Clear();
+  size_t size() const;
+
+  /// Snapshot of one epoch's entries (sidecar persistence).
+  std::vector<std::pair<BlobId, TileSummary>> ObjectEntries(
+      uint64_t object_id) const;
+
+ private:
+  struct Key {
+    uint64_t object_id;
+    BlobId blob;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t x = k.object_id * 0x9E3779B97F4A7C15ull ^ (k.blob + 0x7F4A7C15ull);
+      x ^= x >> 30;
+      x *= 0xBF58476D1CE4E5B9ull;
+      x ^= x >> 27;
+      return static_cast<size_t>(x * 0x94D049BB133111EBull);
+    }
+  };
+
+  bool enabled_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<Key, TileSummary, KeyHash> map_;
+};
+
+/// One object's summaries in sidecar form (object *names* are stable
+/// across reopen; cache epochs are not, so the sidecar maps names).
+struct ObjectSummaries {
+  std::string name;
+  std::vector<std::pair<BlobId, TileSummary>> entries;
+};
+
+/// Writes the `<db>.summ` sidecar (CRC'd, tmp+rename atomic). `epoch` is
+/// the page file's superblock epoch at write time: a sidecar whose epoch
+/// does not match the file at open is stale and gets discarded —
+/// summaries rebuild lazily, so a discard is merely a warm-up cost.
+Status SaveTileSummarySidecar(const std::string& path, uint64_t epoch,
+                              const std::vector<ObjectSummaries>& objects);
+
+/// Loads and validates the sidecar. NotFound when absent; Corruption on a
+/// bad CRC/magic/structure (callers treat both as "no sidecar").
+struct LoadedSummarySidecar {
+  uint64_t epoch = 0;
+  std::vector<ObjectSummaries> objects;
+};
+Result<LoadedSummarySidecar> LoadTileSummarySidecar(const std::string& path);
+
+}  // namespace tilestore
+
+#endif  // TILESTORE_STORAGE_TILE_SUMMARY_H_

@@ -343,6 +343,88 @@ TEST_F(ClusterTest, SplitQueryAcrossDeadShardIsPartial) {
   ExpectMatchesOracle(client.get(), "wide", MInterval({{0, 31}, {0, 63}}));
 }
 
+TEST_F(ClusterTest, FilterQueryMatchesOracleAcrossPlacements) {
+  // Hash-placed and split objects: routed filtered queries must be
+  // byte-identical to the oracle's filtered executor, including the
+  // stitched cut-spanning case.
+  RegionSplit split;
+  split.object = "wide";
+  split.axis = 0;
+  split.cuts = {32};
+  split.shards = {0, 1};
+  const ShardMap map = ShardMap::Create(Eps(), {split}).MoveValue();
+  auto client = Route(map);
+  ASSERT_NE(client, nullptr);
+  const std::string hashed = NameOwnedBy(map, 2);
+  LoadGrid(client.get(), hashed, 23);
+  LoadGrid(client.get(), "wide", 7);
+
+  const ValuePredicate preds[] = {
+      {ValuePredicate::Kind::kLess, 64, 0},
+      {ValuePredicate::Kind::kBetween, 40, 180},
+      {ValuePredicate::Kind::kEqual, 77, 0},
+  };
+  const MInterval regions[] = {
+      GridDomain(),
+      MInterval({{16, 47}, {8, 55}}),  // spans the split cut
+      MInterval({{40, 50}, {0, 63}}),  // one slab only
+  };
+  for (const std::string& name : {hashed, std::string("wide")}) {
+    MDDObject* obj = oracle_->GetMDD(name).value();
+    for (const ValuePredicate& pred : preds) {
+      RangeQueryOptions options;
+      options.predicate = pred;
+      RangeQueryExecutor executor(oracle_.get(), options);
+      for (const MInterval& region : regions) {
+        Array local = executor.Execute(obj, region).MoveValue();
+        auto remote = client->FilterQuery(name, region, pred);
+        ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+        EXPECT_EQ(remote->domain(), local.domain());
+        ASSERT_EQ(remote->size_bytes(), local.size_bytes());
+        EXPECT_EQ(
+            std::memcmp(remote->data(), local.data(), local.size_bytes()), 0)
+            << name << " filtered " << pred.ToString() << " over "
+            << region.ToString();
+      }
+    }
+  }
+}
+
+TEST_F(ClusterTest, FilterQueryAcrossDeadShardIsPartialAndNamesIt) {
+  RegionSplit split;
+  split.object = "wide";
+  split.axis = 0;
+  split.cuts = {32};
+  split.shards = {0, 1};
+  const ShardMap map = ShardMap::Create(Eps(), {split}).MoveValue();
+  auto client = Route(map);
+  ASSERT_NE(client, nullptr);
+  LoadGrid(client.get(), "wide", 13);
+  const ValuePredicate pred{ValuePredicate::Kind::kLess, 100, 0};
+
+  servers_[1]->Stop();
+  // The cut-spanning filtered query needs both slab owners; the answer
+  // must be an explicit partial failure naming the dead shard, never a
+  // stitched array with silently missing cells.
+  Status status = client->FilterQuery("wide", GridDomain(), pred).status();
+  EXPECT_TRUE(status.IsPartialResult()) << status.ToString();
+  EXPECT_NE(status.message().find("shard 1"), std::string::npos)
+      << status.ToString();
+
+  // The surviving slab still answers, byte-identical to the oracle.
+  const MInterval survivor({{0, 31}, {0, 63}});
+  MDDObject* obj = oracle_->GetMDD("wide").value();
+  RangeQueryOptions options;
+  options.predicate = pred;
+  RangeQueryExecutor executor(oracle_.get(), options);
+  Array local = executor.Execute(obj, survivor).MoveValue();
+  auto remote = client->FilterQuery("wide", survivor, pred);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  ASSERT_EQ(remote->size_bytes(), local.size_bytes());
+  EXPECT_EQ(std::memcmp(remote->data(), local.data(), local.size_bytes()),
+            0);
+}
+
 TEST_F(ClusterTest, PerShardDeadlineBoundsASlowShard) {
   // A replacement shard 2 that holds every request for 1.5 s, against a
   // 300 ms per-shard deadline: the slow shard must cost one deadline, not

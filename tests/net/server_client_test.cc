@@ -317,6 +317,76 @@ TEST_P(NetServerTest, MalformedFrameClosesConnectionNotServer) {
   EXPECT_GE(store_->metrics()->Snapshot().counter("net.frame_errors"), 1u);
 }
 
+TEST_P(NetServerTest, FilterQueryMatchesInProcessByteForByte) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+
+  MDDObject* obj = store_->GetMDD("grid").value();
+  const ValuePredicate preds[] = {
+      {ValuePredicate::Kind::kLess, 64, 0},
+      {ValuePredicate::Kind::kGreater, 200, 0},
+      {ValuePredicate::Kind::kBetween, 50, 120},
+      {ValuePredicate::Kind::kEqual, 33, 0},
+  };
+  const MInterval regions[] = {
+      MInterval({{0, 63}, {0, 63}}),   // whole object
+      MInterval({{5, 40}, {10, 12}}),  // tile-straddling slab
+  };
+  for (const ValuePredicate& pred : preds) {
+    RangeQueryOptions options;
+    options.predicate = pred;
+    RangeQueryExecutor executor(store_.get(), options);
+    for (const MInterval& region : regions) {
+      auto local = executor.Execute(obj, region);
+      ASSERT_TRUE(local.ok()) << local.status().ToString();
+      auto remote = client->FilterQuery("grid", region, pred);
+      ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+      EXPECT_EQ(remote->domain(), local->domain());
+      ASSERT_EQ(remote->size_bytes(), local->size_bytes());
+      EXPECT_EQ(
+          std::memcmp(remote->data(), local->data(), local->size_bytes()), 0)
+          << "remote filtered result differs for " << pred.ToString()
+          << " over " << region.ToString();
+    }
+  }
+
+  // Server-side validation: a malformed predicate is a clean error.
+  ValuePredicate bad{ValuePredicate::Kind::kBetween, 9, 2};  // a > b
+  EXPECT_TRUE(client
+                  ->FilterQuery("grid", MInterval({{0, 63}, {0, 63}}), bad)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(client
+                  ->FilterQuery("nope", MInterval({{0, 63}, {0, 63}}),
+                                preds[0])
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_P(NetServerTest, FilterQueryRefusedClientSideOnV1Connection) {
+  // A v1-pinned server downgrades a handshaking client; the client must
+  // then refuse to send the v2-only op instead of confusing the server.
+  TileServerOptions options;
+  options.max_wire_version = 1;
+  StartServer(options);
+  TileClientOptions copts;
+  copts.handshake = true;
+  auto client = Connect(copts);
+  ASSERT_NE(client, nullptr);
+  ASSERT_EQ(client->wire_version(), 1u);
+
+  Status status = client
+                      ->FilterQuery("grid", MInterval({{0, 63}, {0, 63}}),
+                                    {ValuePredicate::Kind::kLess, 64, 0})
+                      .status();
+  EXPECT_TRUE(status.IsUnimplemented()) << status.ToString();
+  // The connection itself stays healthy for v1 traffic.
+  EXPECT_TRUE(client->Ping().ok());
+  EXPECT_TRUE(
+      client->RangeQuery("grid", MInterval({{0, 15}, {0, 15}})).ok());
+}
+
 INSTANTIATE_TEST_SUITE_P(ServingModes, NetServerTest, ::testing::Bool(),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "event_loop"

@@ -103,13 +103,15 @@ TEST(NetWireFrame, OpNamesAreStable) {
   EXPECT_EQ(WireOpName(WireOp::kRetile), "retile");
   EXPECT_EQ(WireOpName(WireOp::kHello), "hello");
   EXPECT_EQ(WireOpName(WireOp::kCompact), "compact");
+  EXPECT_EQ(WireOpName(WireOp::kFilterQuery), "filter_query");
   EXPECT_EQ(WireOpName(static_cast<WireOp>(99)), "unknown");
   EXPECT_TRUE(WireOpValid(1));
   EXPECT_TRUE(WireOpValid(7));
   EXPECT_TRUE(WireOpValid(8));
   EXPECT_TRUE(WireOpValid(9));
+  EXPECT_TRUE(WireOpValid(10));
   EXPECT_FALSE(WireOpValid(0));
-  EXPECT_FALSE(WireOpValid(10));
+  EXPECT_FALSE(WireOpValid(11));
 }
 
 // --------------------------------------------------------------------------

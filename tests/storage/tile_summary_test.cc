@@ -1,0 +1,336 @@
+#include "storage/tile_summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "test_paths.h"
+
+#include "core/predicate.h"
+#include "storage/env.h"
+
+namespace tilestore {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ValuePredicate: parsing, printing, matching.
+
+TEST(ValuePredicateTest, ParsesAllFourShapes) {
+  auto less = ValuePredicate::Parse("v<10");
+  ASSERT_TRUE(less.ok());
+  EXPECT_EQ(less->kind, ValuePredicate::Kind::kLess);
+  EXPECT_EQ(less->a, 10.0);
+
+  auto greater = ValuePredicate::Parse("  v > 2.5 ");
+  ASSERT_TRUE(greater.ok());
+  EXPECT_EQ(greater->kind, ValuePredicate::Kind::kGreater);
+  EXPECT_EQ(greater->a, 2.5);
+
+  auto between = ValuePredicate::Parse("v in [2, 5]");
+  ASSERT_TRUE(between.ok());
+  EXPECT_EQ(between->kind, ValuePredicate::Kind::kBetween);
+  EXPECT_EQ(between->a, 2.0);
+  EXPECT_EQ(between->b, 5.0);
+
+  auto equal = ValuePredicate::Parse("v==3");
+  ASSERT_TRUE(equal.ok());
+  EXPECT_EQ(equal->kind, ValuePredicate::Kind::kEqual);
+  EXPECT_EQ(equal->a, 3.0);
+}
+
+TEST(ValuePredicateTest, ToStringRoundTripsThroughParse) {
+  const ValuePredicate preds[] = {
+      {ValuePredicate::Kind::kLess, 10, 0},
+      {ValuePredicate::Kind::kGreater, -2.5, 0},
+      {ValuePredicate::Kind::kBetween, 2, 5},
+      {ValuePredicate::Kind::kEqual, 3, 0},
+  };
+  for (const ValuePredicate& pred : preds) {
+    auto back = ValuePredicate::Parse(pred.ToString());
+    ASSERT_TRUE(back.ok()) << pred.ToString();
+    EXPECT_EQ(*back, pred) << pred.ToString();
+  }
+}
+
+TEST(ValuePredicateTest, RejectsMalformedAndInvalid) {
+  EXPECT_FALSE(ValuePredicate::Parse("").ok());
+  EXPECT_FALSE(ValuePredicate::Parse("x<10").ok());
+  EXPECT_FALSE(ValuePredicate::Parse("v<").ok());
+  EXPECT_FALSE(ValuePredicate::Parse("v in [5,2]").ok());  // empty range
+  EXPECT_FALSE(ValuePredicate::Parse("v in [2 5]").ok());
+  EXPECT_FALSE(ValuePredicate::Parse("v=3").ok());
+  EXPECT_FALSE(ValuePredicate::Parse("v<nan").ok());
+
+  ValuePredicate nan_pred{ValuePredicate::Kind::kLess,
+                          std::numeric_limits<double>::quiet_NaN(), 0};
+  EXPECT_FALSE(nan_pred.Validate().ok());
+}
+
+TEST(ValuePredicateTest, MatchesSemanticsIncludingNaN) {
+  const ValuePredicate between{ValuePredicate::Kind::kBetween, 2, 5};
+  EXPECT_TRUE(between.Matches(2));   // closed on both ends
+  EXPECT_TRUE(between.Matches(5));
+  EXPECT_FALSE(between.Matches(1.999));
+  EXPECT_FALSE(between.Matches(5.001));
+  // NaN cells never match any comparison.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const ValuePredicate& pred :
+       {ValuePredicate{ValuePredicate::Kind::kLess, 10, 0},
+        ValuePredicate{ValuePredicate::Kind::kGreater, -10, 0}, between,
+        ValuePredicate{ValuePredicate::Kind::kEqual, nan, 0}}) {
+    EXPECT_FALSE(pred.Matches(nan)) << pred.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BuildTileSummary.
+
+TEST(TileSummaryTest, BuildComputesMinMaxCountNullCount) {
+  const int32_t cells[] = {5, -3, 12, 0, 0, 7};
+  const int32_t default_cell = 0;
+  auto summary = BuildTileSummary(
+      CellType::Of(CellTypeId::kInt32),
+      reinterpret_cast<const uint8_t*>(cells), 6,
+      reinterpret_cast<const uint8_t*>(&default_cell));
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(summary->min, -3.0);
+  EXPECT_EQ(summary->max, 12.0);
+  EXPECT_EQ(summary->count, 6u);
+  EXPECT_EQ(summary->null_count, 2u);
+  ASSERT_TRUE(summary->has_histogram);
+  uint64_t total = 0;
+  for (uint32_t bucket : summary->histogram) total += bucket;
+  EXPECT_EQ(total, 6u);  // every cell lands in some bucket
+}
+
+TEST(TileSummaryTest, BuildConstantTileHasNoHistogram) {
+  const uint8_t cells[] = {7, 7, 7, 7};
+  auto summary = BuildTileSummary(CellType::Of(CellTypeId::kUInt8), cells, 4,
+                                  nullptr);
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(summary->min, 7.0);
+  EXPECT_EQ(summary->max, 7.0);
+  EXPECT_FALSE(summary->has_histogram);
+  EXPECT_EQ(summary->null_count, 0u);  // null counting off without a default
+}
+
+TEST(TileSummaryTest, BuildRefusesNaNTilesAndNonNumericTypes) {
+  const float cells[] = {1.0f, std::numeric_limits<float>::quiet_NaN()};
+  EXPECT_FALSE(BuildTileSummary(CellType::Of(CellTypeId::kFloat32),
+                                reinterpret_cast<const uint8_t*>(cells), 2,
+                                nullptr)
+                   .has_value());
+  const uint8_t rgb[] = {1, 2, 3, 4, 5, 6};
+  EXPECT_FALSE(
+      BuildTileSummary(CellType::Of(CellTypeId::kRGB8), rgb, 2, nullptr)
+          .has_value());
+}
+
+// ---------------------------------------------------------------------------
+// ClassifyTile: both pruning directions must be provable, never guessed.
+
+TileSummary RangeSummary(double min, double max, uint64_t count = 100) {
+  TileSummary s;
+  s.min = min;
+  s.max = max;
+  s.count = count;
+  return s;
+}
+
+TEST(TileSummaryTest, ClassifyLessGreater) {
+  const TileSummary s = RangeSummary(10, 20);
+  using K = ValuePredicate::Kind;
+  EXPECT_EQ(ClassifyTile(s, {K::kLess, 10, 0}), TilePrune::kSkip);
+  EXPECT_EQ(ClassifyTile(s, {K::kLess, 21, 0}), TilePrune::kAcceptAll);
+  EXPECT_EQ(ClassifyTile(s, {K::kLess, 15, 0}), TilePrune::kInspect);
+  EXPECT_EQ(ClassifyTile(s, {K::kGreater, 20, 0}), TilePrune::kSkip);
+  EXPECT_EQ(ClassifyTile(s, {K::kGreater, 9, 0}), TilePrune::kAcceptAll);
+  EXPECT_EQ(ClassifyTile(s, {K::kGreater, 15, 0}), TilePrune::kInspect);
+}
+
+TEST(TileSummaryTest, ClassifyBetweenAndEqual) {
+  const TileSummary s = RangeSummary(10, 20);
+  using K = ValuePredicate::Kind;
+  EXPECT_EQ(ClassifyTile(s, {K::kBetween, 0, 9}), TilePrune::kSkip);
+  EXPECT_EQ(ClassifyTile(s, {K::kBetween, 21, 30}), TilePrune::kSkip);
+  EXPECT_EQ(ClassifyTile(s, {K::kBetween, 10, 20}), TilePrune::kAcceptAll);
+  EXPECT_EQ(ClassifyTile(s, {K::kBetween, 15, 30}), TilePrune::kInspect);
+  EXPECT_EQ(ClassifyTile(s, {K::kEqual, 9, 0}), TilePrune::kSkip);
+  EXPECT_EQ(ClassifyTile(s, {K::kEqual, 15, 0}), TilePrune::kInspect);
+
+  const TileSummary constant = RangeSummary(7, 7);
+  EXPECT_EQ(ClassifyTile(constant, {K::kEqual, 7, 0}), TilePrune::kAcceptAll);
+  EXPECT_EQ(ClassifyTile(constant, {K::kEqual, 8, 0}), TilePrune::kSkip);
+}
+
+TEST(TileSummaryTest, EmptyTileAlwaysSkips) {
+  const TileSummary s = RangeSummary(0, 0, 0);
+  EXPECT_EQ(ClassifyTile(s, {ValuePredicate::Kind::kLess, 100, 0}),
+            TilePrune::kSkip);
+}
+
+TEST(TileSummaryTest, HistogramRefinesBetweenIntoSkip) {
+  // Bimodal tile: values at the extremes, nothing in the middle. Pure
+  // min/max says "inspect" for a mid-range query; the histogram proves
+  // the middle buckets are empty.
+  std::vector<uint8_t> cells;
+  for (int i = 0; i < 50; ++i) cells.push_back(0);
+  for (int i = 0; i < 50; ++i) cells.push_back(160);
+  auto summary = BuildTileSummary(CellType::Of(CellTypeId::kUInt8),
+                                  cells.data(), cells.size(), nullptr);
+  ASSERT_TRUE(summary.has_value());
+  ASSERT_TRUE(summary->has_histogram);
+  // [60,90] sits strictly inside (0,160) but covers only empty buckets.
+  EXPECT_EQ(ClassifyTile(*summary, {ValuePredicate::Kind::kBetween, 60, 90}),
+            TilePrune::kSkip);
+  EXPECT_EQ(ClassifyTile(*summary, {ValuePredicate::Kind::kEqual, 80, 0}),
+            TilePrune::kSkip);
+  // A range touching an occupied bucket still inspects.
+  EXPECT_EQ(ClassifyTile(*summary, {ValuePredicate::Kind::kBetween, 0, 90}),
+            TilePrune::kInspect);
+}
+
+// The conservative-safety property the executor relies on: whatever
+// ClassifyTile returns, it must agree with brute-force evaluation.
+TEST(TileSummaryTest, ClassificationIsConservativeSafeOnRandomTiles) {
+  uint64_t state = 0x5eedULL;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<uint32_t>(state >> 33);
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int16_t> cells(64);
+    const int16_t base = static_cast<int16_t>(next() % 500) - 250;
+    const int16_t spread = static_cast<int16_t>(next() % 100 + 1);
+    for (int16_t& c : cells) {
+      c = static_cast<int16_t>(base + next() % spread);
+    }
+    auto summary = BuildTileSummary(
+        CellType::Of(CellTypeId::kInt16),
+        reinterpret_cast<const uint8_t*>(cells.data()), cells.size(),
+        nullptr);
+    ASSERT_TRUE(summary.has_value());
+
+    ValuePredicate pred;
+    pred.kind = static_cast<ValuePredicate::Kind>(next() % 4);
+    pred.a = static_cast<double>(next() % 600) - 300;
+    pred.b = pred.a + next() % 100;
+    const TilePrune prune = ClassifyTile(*summary, pred);
+    size_t matches = 0;
+    for (int16_t c : cells) {
+      if (pred.Matches(static_cast<double>(c))) ++matches;
+    }
+    if (prune == TilePrune::kSkip) {
+      EXPECT_EQ(matches, 0u) << "skip with matches, trial " << trial << " "
+                             << pred.ToString();
+    } else if (prune == TilePrune::kAcceptAll) {
+      EXPECT_EQ(matches, cells.size())
+          << "accept-all missed cells, trial " << trial << " "
+          << pred.ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TileSummaryIndex.
+
+TEST(TileSummaryTest, IndexPutLookupEraseMoveInvalidate) {
+  TileSummaryIndex index(/*enabled=*/true);
+  EXPECT_FALSE(index.Lookup(1, 10).has_value());
+
+  index.Put(1, 10, RangeSummary(0, 5));
+  index.Put(1, 11, RangeSummary(5, 9));
+  index.Put(2, 10, RangeSummary(100, 200));
+  EXPECT_EQ(index.size(), 3u);
+  ASSERT_TRUE(index.Lookup(1, 10).has_value());
+  EXPECT_EQ(index.Lookup(1, 10)->max, 5.0);
+  EXPECT_EQ(index.Lookup(2, 10)->min, 100.0);  // keys are (object, blob)
+
+  index.Move(1, 10, 42);  // relocation re-keys, same stats
+  EXPECT_FALSE(index.Lookup(1, 10).has_value());
+  ASSERT_TRUE(index.Lookup(1, 42).has_value());
+  EXPECT_EQ(index.Lookup(1, 42)->max, 5.0);
+
+  index.Erase(1, 11);
+  EXPECT_FALSE(index.Lookup(1, 11).has_value());
+
+  index.InvalidateObject(1);
+  EXPECT_FALSE(index.Lookup(1, 42).has_value());
+  EXPECT_TRUE(index.Lookup(2, 10).has_value());  // other epochs untouched
+
+  auto entries = index.ObjectEntries(2);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].first, 10u);
+}
+
+TEST(TileSummaryTest, DisabledIndexStoresNothing) {
+  TileSummaryIndex index(/*enabled=*/false);
+  index.Put(1, 10, RangeSummary(0, 5));
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_FALSE(index.Lookup(1, 10).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Sidecar persistence.
+
+TEST(TileSummaryTest, SidecarRoundTripsAndChecksEpoch) {
+  const std::string path = UniqueTestPath("tile_summary_sidecar_test.summ");
+  (void)RemoveFile(path);
+
+  ObjectSummaries obj;
+  obj.name = "grid";
+  TileSummary s = RangeSummary(1, 9, 64);
+  s.null_count = 3;
+  s.has_histogram = true;
+  s.histogram[0] = 60;
+  s.histogram[15] = 4;
+  obj.entries.emplace_back(7, s);
+  ASSERT_TRUE(SaveTileSummarySidecar(path, /*epoch=*/42, {obj}).ok());
+
+  auto loaded = LoadTileSummarySidecar(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch, 42u);
+  ASSERT_EQ(loaded->objects.size(), 1u);
+  EXPECT_EQ(loaded->objects[0].name, "grid");
+  ASSERT_EQ(loaded->objects[0].entries.size(), 1u);
+  EXPECT_EQ(loaded->objects[0].entries[0].first, 7u);
+  const TileSummary& back = loaded->objects[0].entries[0].second;
+  EXPECT_EQ(back.min, 1.0);
+  EXPECT_EQ(back.max, 9.0);
+  EXPECT_EQ(back.count, 64u);
+  EXPECT_EQ(back.null_count, 3u);
+  ASSERT_TRUE(back.has_histogram);
+  EXPECT_EQ(back.histogram[0], 60u);
+  EXPECT_EQ(back.histogram[15], 4u);
+  (void)RemoveFile(path);
+}
+
+TEST(TileSummaryTest, SidecarDetectsCorruption) {
+  const std::string path = UniqueTestPath("tile_summary_corrupt_test.summ");
+  (void)RemoveFile(path);
+  ObjectSummaries obj;
+  obj.name = "grid";
+  obj.entries.emplace_back(7, RangeSummary(1, 9));
+  ASSERT_TRUE(SaveTileSummarySidecar(path, 1, {obj}).ok());
+
+  // Flip one payload byte: the trailing CRC must catch it.
+  {
+    auto file = File::Open(path, /*create=*/false).MoveValue();
+    uint8_t byte = 0;
+    ASSERT_TRUE(file->ReadAt(10, 1, &byte).ok());
+    byte ^= 0xFF;
+    ASSERT_TRUE(file->WriteAt(10, &byte, 1).ok());
+  }
+  auto loaded = LoadTileSummarySidecar(path);
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
+
+  // Absent file is NotFound, not corruption.
+  (void)RemoveFile(path);
+  EXPECT_TRUE(LoadTileSummarySidecar(path).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace tilestore

@@ -95,6 +95,14 @@ TEST_F(CliTest, FullLifecycle) {
   ASSERT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("array [5:9,0:63]"), std::string::npos);
 
+  // Filtered query: cell (x,y) = x + y, so "v < 3" over rows 0:1 keeps
+  // {(0,0),(0,1),(0,2),(1,0),(1,1)} and zeroes the rest; the full slab
+  // shape and the summary stats line must both be reported.
+  r = RunCli("filter-query " + db_ + " img \"[0:1,0:63]\" \"v < 3\"");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("array [0:1,0:63] where v<3"), std::string::npos);
+  EXPECT_NE(r.output.find("summ_probes="), std::string::npos) << r.output;
+
   // Export round-trips the raw bytes.
   r = RunCli("export " + db_ + " img \"[0:63,0:63]\" " + out_);
   ASSERT_EQ(r.exit_code, 0) << r.output;

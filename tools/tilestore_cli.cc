@@ -7,6 +7,7 @@
 //                        [--max-tile-kb=N] [--config=[..]] [--rle]
 //   tilestore_cli export <db> <object> <region> <out-file>
 //   tilestore_cli query  <db> "<rasql>"
+//   tilestore_cli filter-query <db|host:port> <object> <region> "<pred>"
 //   tilestore_cli advise <db> <object> <access-log-file>
 //   tilestore_cli compact <db|host:port> <object>
 //   tilestore_cli stats  <db>
@@ -60,6 +61,13 @@ void PrintHelp(std::FILE* out) {
       "\n"
       "Queries and tuning:\n"
       "  query  <db> \"select ... from ...\"    run a rasQL query\n"
+      "  filter-query <db|host:port> <object> <region> \"<pred>\"\n"
+      "                                       range query with a value\n"
+      "                                       predicate pushed down to the\n"
+      "                                       per-tile summaries; <pred> is\n"
+      "                                       \"v<C\", \"v>C\", \"v==C\" or\n"
+      "                                       \"v in [A,B]\" (DESIGN.md \xC2\xA7"
+      "15)\n"
       "  advise <db> <object> <access-log>    tiling advice from a log\n"
       "  retile <host:port> <object>          ask a running server to\n"
       "                                       re-tile the object against\n"
@@ -291,6 +299,54 @@ int CmdQuery(const std::string& db, const std::string& text) {
   return 0;
 }
 
+// filter-query: either over the wire against a running server
+// ("host:port" — exercises the kFilterQuery op, v2 connections only), or
+// directly against a db path. Both print the same result line; the local
+// path additionally reports the query-stats breakdown with the summary
+// probe/skip/inspect counters.
+int CmdFilterQuery(const std::string& target, const std::string& name,
+                   const std::string& region_text,
+                   const std::string& pred_text) {
+  Result<MInterval> region = MInterval::Parse(region_text);
+  if (!region.ok()) return Fail(region.status());
+  Result<ValuePredicate> pred = ValuePredicate::Parse(pred_text);
+  if (!pred.ok()) return Fail(pred.status());
+
+  const size_t colon = target.rfind(':');
+  const int port =
+      colon == std::string::npos ? 0 : std::atoi(target.c_str() + colon + 1);
+  if (colon != std::string::npos && port > 0 && port <= 65535) {
+    Result<std::unique_ptr<net::TileClient>> client = net::TileClient::Connect(
+        target.substr(0, colon), static_cast<uint16_t>(port));
+    if (!client.ok()) return Fail(client.status());
+    Result<Array> array = (*client)->FilterQuery(name, *region, *pred);
+    if (!array.ok()) return Fail(array.status());
+    std::printf("array %s where %s, %llu cells, %zu bytes\n",
+                array->domain().ToString().c_str(),
+                pred->ToString().c_str(),
+                static_cast<unsigned long long>(array->cell_count()),
+                array->size_bytes());
+    return 0;
+  }
+
+  Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(target);
+  if (!store.ok()) return Fail(store.status());
+  Result<MDDObject*> obj = (*store)->GetMDD(name);
+  if (!obj.ok()) return Fail(obj.status());
+  RangeQueryOptions options;
+  options.predicate = *pred;
+  RangeQueryExecutor executor(store->get(), options);
+  QueryStats stats;
+  Result<Array> array = executor.Execute(*obj, *region, &stats);
+  if (!array.ok()) return Fail(array.status());
+  std::printf("array %s where %s, %llu cells, %zu bytes\n",
+              array->domain().ToString().c_str(), pred->ToString().c_str(),
+              static_cast<unsigned long long>(array->cell_count()),
+              array->size_bytes());
+  std::fprintf(stderr, "stats: %s\n", stats.ToString().c_str());
+  return 0;
+}
+
 int CmdAdvise(const std::string& db, const std::string& name,
               const std::string& log_path) {
   Result<std::unique_ptr<MDDStore>> store = MDDStore::Open(db);
@@ -466,6 +522,9 @@ int Main(int argc, char** argv) {
     return CmdExport(db, argv[3], argv[4], argv[5]);
   }
   if (command == "query" && argc >= 4) return CmdQuery(db, argv[3]);
+  if (command == "filter-query" && argc >= 6) {
+    return CmdFilterQuery(db, argv[3], argv[4], argv[5]);
+  }
   if (command == "advise" && argc >= 5) {
     return CmdAdvise(db, argv[3], argv[4]);
   }

@@ -2,11 +2,12 @@
 //
 //   tilestore_fsck <db>
 //
-// Reads the database (and its .wal sidecar, if present) without opening
-// it through MDDStore, so it can be pointed at a crashed store before
-// recovery runs. Prints the report from FsckStore and exits 0 iff the
-// store is clean (a pending WAL recovery is clean: reopening the store
-// completes it).
+// Reads the database (and its .wal / .summ sidecars, if present) without
+// opening it through MDDStore, so it can be pointed at a crashed store
+// before recovery runs. Prints the report from FsckStore and exits 0 iff
+// the store is clean (a pending WAL recovery is clean: reopening the
+// store completes it; a stale or damaged summary sidecar is clean too —
+// it is rebuildable and gets discarded at open).
 
 #include <cstdio>
 #include <string>

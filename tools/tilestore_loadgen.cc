@@ -39,6 +39,13 @@
 ///                          endpoints are shards 0..N-1 of a uniform
 ///                          (hash-placement) shard map. --port is then
 ///                          unused (DESIGN.md §13)
+///   --filter-sel=F         issue the read side of the mix as filter
+///                          queries ("v < 256*F" — the bootstrap object's
+///                          uint8 values are uniform, so F approximates
+///                          the fraction of matching cells). Works with
+///                          --cluster too: the routing client scatters
+///                          the predicate and stitches the filtered
+///                          sub-results (DESIGN.md §15)
 ///   --objects=N            spread the workload over N objects
 ///                          ("<object>-0".."<object>-<N-1>"); with
 ///                          --cluster, hash placement spreads them over
@@ -95,6 +102,7 @@ struct Flags {
   int hotspot_drift = 0;
   std::string cluster;  // "host:port,host:port,..." — empty = single server
   int objects = 1;
+  double filter_sel = 0;  // 0 = plain range queries; (0,1] = filter queries
 };
 
 /// Parses the --cluster endpoint list into shard order (index = shard id).
@@ -190,6 +198,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->cluster = v;
     } else if (const char* v = value("--objects")) {
       flags->objects = std::atoi(v);
+    } else if (const char* v = value("--filter-sel")) {
+      flags->filter_sel = std::atof(v);
     } else if (arg == "--append") {
       flags->append = true;
     } else if (arg == "--bootstrap") {
@@ -216,6 +226,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
   flags->requests = std::max(flags->requests, 1);
   flags->conns_per_thread = std::max(flags->conns_per_thread, 1);
   flags->objects = std::max(flags->objects, 1);
+  if (flags->filter_sel < 0 || flags->filter_sel > 1) {
+    std::fprintf(stderr, "--filter-sel wants a selectivity in (0, 1]\n");
+    return false;
+  }
   return true;
 }
 
@@ -257,6 +271,7 @@ Status Bootstrap(const Flags& flags) {
 struct ClientResult {
   std::vector<double> latencies_ms;
   int range_queries = 0;
+  int filter_queries = 0;
   int aggregates = 0;
   int failures = 0;
   std::string first_error;
@@ -375,7 +390,17 @@ void RunClientGroup(const Flags& flags, int first_index, int count,
       const bool read = rng.NextDouble() < flags.read_fraction;
       const auto start = std::chrono::steady_clock::now();
       Status st;
-      if (read) {
+      if (read && flags.filter_sel > 0) {
+        // The bootstrap fill is uniform over the uint8 range, so this
+        // predicate matches ~filter_sel of the cells and the summary
+        // pruning rate tracks the requested selectivity.
+        tilestore::ValuePredicate pred;
+        pred.kind = tilestore::ValuePredicate::Kind::kLess;
+        pred.a = 256.0 * flags.filter_sel;
+        auto array = conns[c].client->FilterQuery(name, region, pred);
+        st = array.status();
+        ++result->filter_queries;
+      } else if (read) {
         auto array = conns[c].client->RangeQuery(name, region);
         st = array.status();
         ++result->range_queries;
@@ -410,8 +435,9 @@ double Percentile(std::vector<double>* sorted, double p) {
 /// existing array and adds the row, so comparison runs (thread vs
 /// event-loop, different connection counts) collect in one file.
 bool WriteReport(const Flags& flags, int shards, int total_requests,
-                 int failures, double elapsed_sec, double p50, double p90,
-                 double p99, const std::string& metrics_json) {
+                 int filter_queries, int failures, double elapsed_sec,
+                 double p50, double p90, double p99,
+                 const std::string& metrics_json) {
   std::string prefix = "[\n";
   if (flags.append) {
     if (std::FILE* in = std::fopen(flags.out.c_str(), "r")) {
@@ -445,6 +471,7 @@ bool WriteReport(const Flags& flags, int shards, int total_requests,
                "\"label\": \"%s\", \"io_backend\": \"%s\", "
                "\"mode\": \"%s\", \"shards\": %d, \"objects\": %d, "
                "\"clients\": %d, \"requests\": %d, \"failures\": %d, "
+               "\"filter_sel\": %.4f, \"filter_queries\": %d, "
                "\"elapsed_sec\": %.3f, \"requests_per_sec\": %.3f, "
                "\"p50_ms\": %.3f, \"p90_ms\": %.3f, \"p99_ms\": %.3f, "
                "\"server_metrics\": %s}\n"
@@ -452,6 +479,7 @@ bool WriteReport(const Flags& flags, int shards, int total_requests,
                flags.label.c_str(), flags.io_backend.c_str(),
                flags.cluster.empty() ? "single" : "cluster", shards,
                flags.objects, flags.clients, total_requests, failures,
+               flags.filter_sel, filter_queries,
                elapsed_sec, rps, p50, p90, p99,
                metrics_json.empty() ? "null" : metrics_json.c_str());
   return std::fclose(out) == 0;
@@ -490,13 +518,14 @@ int main(int argc, char** argv) {
           .count();
 
   std::vector<double> latencies;
-  int failures = 0, range_queries = 0, aggregates = 0;
+  int failures = 0, range_queries = 0, filter_queries = 0, aggregates = 0;
   std::string first_error;
   for (const ClientResult& r : results) {
     latencies.insert(latencies.end(), r.latencies_ms.begin(),
                      r.latencies_ms.end());
     failures += r.failures;
     range_queries += r.range_queries;
+    filter_queries += r.filter_queries;
     aggregates += r.aggregates;
     if (first_error.empty()) first_error = r.first_error;
   }
@@ -523,17 +552,18 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "loadgen: %d clients x %d requests (%d range, %d aggregate), "
-      "%d failures\n",
-      flags.clients, flags.requests, range_queries, aggregates, failures);
+      "loadgen: %d clients x %d requests (%d range, %d filter, "
+      "%d aggregate), %d failures\n",
+      flags.clients, flags.requests, range_queries, filter_queries,
+      aggregates, failures);
   std::printf("  %.1f req/s, latency p50 %.2f ms, p90 %.2f ms, p99 %.2f ms\n",
               elapsed_sec > 0 ? total / elapsed_sec : 0, p50, p90, p99);
   if (failures > 0) {
     std::fprintf(stderr, "first error: %s\n", first_error.c_str());
   }
 
-  if (!WriteReport(flags, shards, total, failures, elapsed_sec, p50, p90,
-                   p99, metrics_json)) {
+  if (!WriteReport(flags, shards, total, filter_queries, failures,
+                   elapsed_sec, p50, p90, p99, metrics_json)) {
     std::fprintf(stderr, "could not write %s\n", flags.out.c_str());
     return 1;
   }
